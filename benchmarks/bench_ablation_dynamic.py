@@ -1,0 +1,63 @@
+"""Ablation A5: dynamic group maintenance vs batch recomputation.
+
+Section 5.A of the paper discusses the group count evolving as licenses
+are acquired.  This ablation measures maintaining the partition with the
+union-find grouper (one overlap pass per arrival) against recomputing
+Algorithm 3 from the adjacency matrix after every arrival.
+"""
+
+import pytest
+
+from repro.core.dynamic import DynamicGrouper
+from repro.core.grouping import form_groups
+from repro.core.overlap import OverlapGraph
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import WorkloadGenerator
+
+N = 35
+
+
+@pytest.fixture(scope="module")
+def licenses():
+    config = WorkloadConfig(n_licenses=N, seed=0, n_records=0)
+    return list(WorkloadGenerator(config).generate_pool())
+
+
+def test_dynamic_maintenance(benchmark, licenses):
+    """Union-find: add all N licenses one at a time."""
+
+    def run():
+        grouper = DynamicGrouper()
+        for lic in licenses:
+            grouper.add(lic)
+        return grouper.group_count
+
+    groups = benchmark(run)
+    assert groups >= 1
+
+
+def test_batch_recompute_each_arrival(benchmark, licenses):
+    """Recompute Algorithm 3 from scratch after every arrival."""
+
+    def run():
+        boxes = []
+        count = 0
+        for lic in licenses:
+            boxes.append(lic.box)
+            count = form_groups(OverlapGraph.from_boxes(boxes)).count
+        return count
+
+    groups = benchmark(run)
+    assert groups >= 1
+
+
+def test_both_agree(benchmark, licenses):
+    def run():
+        grouper = DynamicGrouper()
+        for lic in licenses:
+            grouper.add(lic)
+        boxes = [lic.box for lic in licenses]
+        return grouper.structure(), form_groups(OverlapGraph.from_boxes(boxes))
+
+    dynamic, batch = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert dynamic == batch

@@ -1,0 +1,110 @@
+"""Ablation A1: LHS-evaluation engines.
+
+Compares the four ways this library can evaluate all 2^N - 1 equations:
+
+* ``expansion`` -- the fully expanded Equation 1 (3^N - 2^N term lookups),
+  the cost model the validation tree of [10] was introduced to beat;
+* ``scan`` -- per-equation scan over the distinct logged sets;
+* ``tree`` -- the paper's validation-tree traversal;
+* ``zeta`` -- the dense subset-sum transform (numpy), a modern bulk engine.
+
+All four must return identical violation lists.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.validation.naive import ExpansionValidator, ScanValidator
+from repro.validation.tree import ValidationTree
+from repro.validation.tree_validator import TreeValidator
+from repro.validation.zeta import ZetaValidator
+
+N = 14
+
+
+@pytest.fixture(scope="module")
+def inputs(wide_suite):
+    workload = wide_suite.workload(N)
+    return (
+        workload.aggregates,
+        workload.log.counts_by_mask(),
+        ValidationTree.from_log(workload.log),
+    )
+
+
+def test_engine_expansion(benchmark, inputs):
+    aggregates, counts, _tree = inputs
+    validator = ExpansionValidator(aggregates)
+    benchmark(lambda: validator.validate_counts(counts))
+
+
+def test_engine_scan(benchmark, inputs):
+    aggregates, counts, _tree = inputs
+    validator = ScanValidator(aggregates)
+    benchmark(lambda: validator.validate_counts(counts))
+
+
+def test_engine_tree(benchmark, inputs):
+    aggregates, _counts, tree = inputs
+    validator = TreeValidator(aggregates)
+    benchmark(lambda: validator.validate(tree))
+
+
+def test_engine_zeta(benchmark, inputs):
+    aggregates, counts, _tree = inputs
+    validator = ZetaValidator(aggregates)
+    benchmark(lambda: validator.validate_counts(counts))
+
+
+def test_engine_grouped_tree(benchmark, inputs, wide_suite):
+    from repro.core.validator import GroupedValidator
+
+    workload = wide_suite.workload(N)
+    validator = GroupedValidator.from_pool(workload.pool)
+    benchmark(lambda: validator.validate(workload.log))
+
+
+def test_engine_grouped_zeta(benchmark, inputs, wide_suite):
+    from repro.core.grouped_zeta import GroupedZetaValidator
+
+    workload = wide_suite.workload(N)
+    validator = GroupedZetaValidator.from_pool(workload.pool)
+    benchmark(lambda: validator.validate(workload.log))
+
+
+def test_grouped_engines_agree(benchmark, wide_suite):
+    from repro.core.grouped_zeta import GroupedZetaValidator
+    from repro.core.validator import GroupedValidator
+
+    workload = wide_suite.workload(N)
+
+    def run():
+        return (
+            GroupedValidator.from_pool(workload.pool).validate(workload.log),
+            GroupedZetaValidator.from_pool(workload.pool).validate(workload.log),
+        )
+
+    tree_report, zeta_report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert set(tree_report.violations) == set(zeta_report.violations)
+
+
+def test_engines_agree_and_report(benchmark, inputs, report):
+    aggregates, counts, tree = inputs
+    reports = benchmark.pedantic(
+        lambda: {
+            "expansion": ExpansionValidator(aggregates).validate_counts(counts),
+            "scan": ScanValidator(aggregates).validate_counts(counts),
+            "tree": TreeValidator(aggregates).validate(tree),
+            "zeta": ZetaValidator(aggregates).validate_counts(counts),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    violations = {name: r.violations for name, r in reports.items()}
+    assert len(set(violations.values())) == 1, "engines disagree"
+    table = render_table(
+        ["engine", "equations", "violations"],
+        [[name, r.equations_checked, len(r.violations)] for name, r in reports.items()],
+        title=f"Ablation A1: engine agreement at N={N}",
+    )
+    report("ablation_engines", table)

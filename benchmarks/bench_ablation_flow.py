@@ -1,0 +1,67 @@
+"""Ablation A3: max-flow oracle vs equation validation.
+
+The flow oracle answers the yes/no feasibility question in polynomial
+time -- asymptotically it must beat every 2^N engine, but it cannot name
+the violated sets.  This ablation measures the crossover and verifies the
+verdicts always agree (the Gale-Hoffman equivalence the test suite
+property-checks at small N).
+"""
+
+import pytest
+
+from repro.analysis.tables import format_seconds, render_table
+from repro.analysis.timing import time_callable
+from repro.core.validator import GroupedValidator
+from repro.validation.flow import FlowFeasibilityOracle
+from repro.validation.tree import ValidationTree
+from repro.validation.tree_validator import TreeValidator
+
+POINTS = (8, 14, 18)
+
+
+@pytest.mark.parametrize("n", POINTS)
+def test_flow_oracle(benchmark, wide_suite, n):
+    workload = wide_suite.workload(n)
+    oracle = FlowFeasibilityOracle(workload.aggregates)
+    counts = workload.log.counts_by_mask()
+    benchmark(lambda: oracle.feasible(counts))
+
+
+@pytest.mark.parametrize("n", POINTS)
+def test_grouped_equations(benchmark, wide_suite, n):
+    workload = wide_suite.workload(n)
+    validator = GroupedValidator.from_pool(workload.pool)
+    grouped = validator.build(workload.log)
+    benchmark(grouped.validate)
+
+
+def test_flow_agrees_with_equations(benchmark, wide_suite, report):
+    rows = []
+
+    def run():
+        agreement = True
+        for n in POINTS:
+            workload = wide_suite.workload(n)
+            counts = workload.log.counts_by_mask()
+            oracle = FlowFeasibilityOracle(workload.aggregates)
+            flow_time, feasible = time_callable(lambda: oracle.feasible(counts))
+            tree = ValidationTree.from_log(workload.log)
+            validator = TreeValidator(workload.aggregates)
+            eq_time, eq_report = time_callable(lambda: validator.validate(tree))
+            agreement &= feasible == eq_report.is_valid
+            rows.append(
+                [n, format_seconds(flow_time), format_seconds(eq_time),
+                 "yes" if feasible else "no"]
+            )
+        return agreement
+
+    agreement = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert agreement
+    report(
+        "ablation_flow",
+        render_table(
+            ["N", "flow oracle", "2^N equations", "feasible"],
+            rows,
+            title="Ablation A3: polynomial flow oracle vs exponential equations",
+        ),
+    )

@@ -1,0 +1,62 @@
+"""Ablation A6: group-restricted vs full-universe headroom queries.
+
+The online equation policy issues one headroom query per incoming
+license: ``min over supersets T ⊇ S of (A[T] - C⟨T⟩)``.  Without the
+paper's grouping the enumeration spans ``2^(N - |S|)`` supersets; with it
+(Theorem 2) only ``2^(N_g - |S|)`` inside the set's own group.  This is
+the *online* payoff of the geometric grouping, complementary to the
+offline Figure 7 result.
+"""
+
+import pytest
+
+from repro.core.validator import GroupedValidator
+from repro.validation.bitset import mask_from_indexes
+from repro.validation.capacity import headroom
+from repro.validation.tree import ValidationTree
+
+N = 20
+
+
+@pytest.fixture(scope="module")
+def setup(wide_suite):
+    # Use the N=22 workload from the shared suite (above baseline cap).
+    workload = wide_suite.workload(22)
+    validator = GroupedValidator.from_pool(workload.pool)
+    tree = ValidationTree.from_log(workload.log)
+    # A target set: the first logged set (guaranteed within one group).
+    target_set = next(iter(workload.log.counts_by_set()))
+    target_mask = mask_from_indexes(target_set)
+    group_id = validator.structure.group_of(min(target_set))
+    group_mask = validator.structure.masks()[group_id]
+    return workload, validator, tree, target_mask, group_mask
+
+
+def test_headroom_full_universe(benchmark, setup):
+    workload, _validator, tree, target_mask, _group_mask = setup
+    aggregates = workload.aggregates
+    result = benchmark(lambda: headroom(tree, aggregates, target_mask))
+    assert result >= 0
+
+
+def test_headroom_group_restricted(benchmark, setup):
+    workload, _validator, tree, target_mask, group_mask = setup
+    aggregates = workload.aggregates
+    result = benchmark(
+        lambda: headroom(tree, aggregates, target_mask, universe_mask=group_mask)
+    )
+    assert result >= 0
+
+
+def test_restriction_preserves_answer(benchmark, setup):
+    workload, _validator, tree, target_mask, group_mask = setup
+    aggregates = workload.aggregates
+
+    def both():
+        return (
+            headroom(tree, aggregates, target_mask),
+            headroom(tree, aggregates, target_mask, universe_mask=group_mask),
+        )
+
+    full, restricted = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert full == restricted  # Theorem 2: cross-group equations never bind

@@ -1,0 +1,83 @@
+"""Ablation A4: incremental (dirty-group) validation vs full revalidation.
+
+A validation authority revalidating after every batch of issuances can
+either rebuild + divide + validate from scratch (the paper's offline
+pipeline) or keep per-group trees and revalidate only the groups touched
+since the last pass (Theorem 2 makes the per-group verdicts independent).
+This ablation measures the steady-state cost of one "revalidate after a
+few records" cycle under both designs.
+"""
+
+import itertools
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.incremental import IncrementalValidator
+from repro.core.validator import GroupedValidator
+from repro.logstore.log import ValidationLog
+
+N = 18
+BATCH = 5  # records between revalidations
+
+
+@pytest.fixture(scope="module")
+def workload(wide_suite):
+    return wide_suite.workload(N)
+
+
+def test_batch_revalidation_cycle(benchmark, workload):
+    """Rebuild-everything cycle: tree from full log + divide + validate."""
+    validator = GroupedValidator.from_pool(workload.pool)
+    log = ValidationLog()
+    log.extend(workload.log)
+    extra = list(itertools.islice(itertools.cycle(workload.log), BATCH))
+
+    def cycle():
+        for record in extra:
+            log.append(record)
+        return validator.validate(log)
+
+    report = benchmark(cycle)
+    assert report.equations_checked == validator.equations_required
+
+
+def test_incremental_revalidation_cycle(benchmark, workload):
+    """Dirty-group cycle: insert BATCH records, revalidate touched groups."""
+    incremental = IncrementalValidator.from_pool(workload.pool)
+    incremental.replay(workload.log)
+    incremental.validate()  # prime caches
+    extra = list(itertools.islice(itertools.cycle(workload.log), BATCH))
+
+    def cycle():
+        for record in extra:
+            incremental.append(record)
+        return incremental.validate()
+
+    report = benchmark(cycle)
+    # Only the touched groups' equations were evaluated.
+    total = GroupedValidator.from_pool(workload.pool).equations_required
+    assert 0 < report.equations_checked <= total
+
+
+def test_incremental_matches_batch_verdict(benchmark, workload, report):
+    incremental = IncrementalValidator.from_pool(workload.pool)
+    batch = GroupedValidator.from_pool(workload.pool)
+
+    def run():
+        incremental.replay(workload.log)
+        return incremental.validate(), batch.validate(workload.log)
+
+    fresh, reference = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert set(fresh.violations) == set(reference.violations)
+    report(
+        "ablation_incremental",
+        render_table(
+            ["engine", "equations / cycle"],
+            [
+                ["full grouped revalidation", reference.equations_checked],
+                ["incremental (all groups dirty)", fresh.equations_checked],
+            ],
+            title=f"Ablation A4: revalidation cost at N={N}",
+        ),
+    )

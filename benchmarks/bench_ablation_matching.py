@@ -1,0 +1,64 @@
+"""Ablation A2: instance matching -- brute force vs vectorized index.
+
+Instance matching runs once per issued license (tens of thousands of times
+per experiment), so its constant matters for workload generation even
+though it is outside the paper's timed region.
+"""
+
+import pytest
+
+from repro.matching.index import IndexedMatcher
+from repro.matching.matcher import BruteForceMatcher
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import WorkloadGenerator
+
+N = 35
+QUERIES = 200
+
+
+@pytest.fixture(scope="module")
+def pool_and_queries():
+    generator = WorkloadGenerator(WorkloadConfig(n_licenses=N, seed=0, n_records=0))
+    pool = generator.generate_pool()
+    queries = list(generator.issue_stream(pool, QUERIES))
+    return pool, queries
+
+
+def test_matching_brute_force(benchmark, pool_and_queries):
+    pool, queries = pool_and_queries
+    matcher = BruteForceMatcher(pool)
+    results = benchmark(lambda: [matcher.match(q) for q in queries])
+    assert all(results)
+
+
+def test_matching_indexed(benchmark, pool_and_queries):
+    pool, queries = pool_and_queries
+    matcher = IndexedMatcher(pool)
+    results = benchmark(lambda: [matcher.match(q) for q in queries])
+    assert all(results)
+
+
+def test_matching_sorted_candidates(benchmark, pool_and_queries):
+    from repro.matching.sorted_index import SortedCandidateMatcher
+
+    pool, queries = pool_and_queries
+    matcher = SortedCandidateMatcher(pool)
+    results = benchmark(lambda: [matcher.match(q) for q in queries])
+    assert all(results)
+
+
+def test_matchers_agree(benchmark, pool_and_queries):
+    from repro.matching.sorted_index import SortedCandidateMatcher
+
+    pool, queries = pool_and_queries
+    brute = BruteForceMatcher(pool)
+    indexed = IndexedMatcher(pool)
+    pruned = SortedCandidateMatcher(pool)
+
+    def compare():
+        return [
+            (brute.match(q), indexed.match(q), pruned.match(q)) for q in queries
+        ]
+
+    triples = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert all(a == b == c for a, b, c in triples)

@@ -1,0 +1,81 @@
+"""Figure 7: validation time -- original validation tree vs the proposed
+grouped method (V_T alone and V_T + D_T).
+
+The paper's result: the baseline's 2^N - 1 equations make its validation
+time explode exponentially in N, while the grouped method tracks
+Σ_k (2^{N_k} - 1) and stays flat when groups are small.  Scale note: our
+pure-Python baseline is swept to N = 18 (the paper's Java sweep reaches
+N = 35; both are exponential -- see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.analysis.experiments import render_figure7
+from repro.core.validator import GroupedValidator
+from repro.validation.tree import ValidationTree
+from repro.validation.tree_validator import TreeValidator
+
+BASELINE_POINTS = (8, 12, 16, 18)
+GROUPED_POINTS = (8, 12, 16, 18, 22, 26, 30)
+
+
+@pytest.mark.parametrize("n", BASELINE_POINTS)
+def test_baseline_validation(benchmark, wide_suite, n):
+    """The 2^N - 1 equation baseline of [10] (Algorithm 2 on one tree)."""
+    workload = wide_suite.workload(n)
+    tree = ValidationTree.from_log(workload.log)
+    validator = TreeValidator(workload.aggregates)
+    report = benchmark(lambda: validator.validate(tree))
+    assert report.equations_checked == (1 << n) - 1
+
+
+@pytest.mark.parametrize("n", GROUPED_POINTS)
+def test_grouped_validation(benchmark, wide_suite, n):
+    """The proposed method's V_T (validation only; division done once)."""
+    workload = wide_suite.workload(n)
+    validator = GroupedValidator.from_pool(workload.pool)
+    grouped = validator.build(workload.log)
+    report = benchmark(grouped.validate)
+    assert report.equations_checked == validator.equations_required
+
+
+@pytest.mark.parametrize("n", GROUPED_POINTS)
+def test_division_dt(benchmark, wide_suite, n):
+    """D_T: group identification + tree division + index remapping.
+
+    Division consumes its input tree, so each timed round gets a fresh
+    tree from an (untimed) setup -- tree construction is C_T, not D_T.
+    """
+    workload = wide_suite.workload(n)
+    boxes = workload.pool.boxes()
+    aggregates = workload.aggregates
+
+    def setup():
+        return (ValidationTree.from_log(workload.log),), {}
+
+    def divide(tree):
+        return GroupedValidator(boxes, aggregates).divide(tree)
+
+    grouped = benchmark.pedantic(divide, setup=setup, rounds=30, iterations=1)
+    assert grouped.node_count() > 0
+
+
+def test_figure7_table(benchmark, suite, report):
+    """Regenerate the Figure 7 series and check the paper's shape."""
+    rows = benchmark.pedantic(lambda: suite.figure7(repeats=1), rounds=1, iterations=1)
+    report("figure07_validation_time", render_figure7(rows))
+    from repro.analysis.charts import timing_chart
+    from repro.analysis.export import figure7_csv
+    from benchmarks.conftest import RESULTS_DIR
+
+    figure7_csv(rows, RESULTS_DIR / "figure07_validation_time.csv")
+    report("figure07_chart", timing_chart(rows, title="Figure 7"))
+    by_n = {row.n: row for row in rows}
+    # Exponential baseline: each +4 licenses multiplies time by >~4.
+    assert by_n[16].baseline_vt > 8 * by_n[8].baseline_vt
+    assert by_n[18].baseline_vt > by_n[12].baseline_vt * 10
+    # Proposed method stays orders of magnitude below the baseline at scale.
+    assert by_n[18].grouped_vt * 50 < by_n[18].baseline_vt
+    # The paper: D_T becomes small relative to baseline V_T for N > 2 --
+    # and even V_T + D_T beats the baseline by a wide margin at scale.
+    assert by_n[18].grouped_total < by_n[18].baseline_vt / 10

@@ -1,0 +1,47 @@
+"""Figure 10: storage -- original validation tree vs divided trees.
+
+The paper's claim: division creates no new nodes except the g group roots,
+so storage is essentially unchanged.  We regenerate the series and assert
+the exact node accounting, and benchmark the storage-metric computation
+itself (a full tree walk).
+"""
+
+import pytest
+
+from repro.analysis.experiments import render_figure10
+from repro.analysis.storage import tree_storage
+from repro.validation.tree import ValidationTree
+
+POINTS = (8, 16, 30)
+
+
+@pytest.mark.parametrize("n", POINTS)
+def test_storage_walk(benchmark, wide_suite, n):
+    """Cost of the node-count walk used by the storage metric."""
+    workload = wide_suite.workload(n)
+    tree = ValidationTree.from_log(workload.log)
+    stats = benchmark(lambda: tree_storage(tree))
+    assert stats.nodes > 0
+
+
+def test_figure10_table(benchmark, wide_suite, report):
+    """Regenerate Figure 10 and assert the paper's storage claim."""
+    rows = benchmark.pedantic(wide_suite.figure10, rounds=1, iterations=1)
+    report("figure10_storage", render_figure10(rows))
+    from repro.analysis.export import figure10_csv
+    from benchmarks.conftest import RESULTS_DIR
+
+    figure10_csv(rows, RESULTS_DIR / "figure10_storage.csv")
+    from repro.analysis.storage import NODE_COST_BYTES
+
+    for row in rows:
+        # Identical shared nodes; only the g-1 extra roots differ.
+        assert row.divided.nodes == row.original.nodes
+        extra_roots = row.divided.roots - row.original.roots
+        assert 0 <= extra_roots < 10
+        # The byte delta is exactly those extra roots...
+        delta = row.divided.model_bytes - row.original.model_bytes
+        assert delta == extra_roots * NODE_COST_BYTES
+        # ...which is negligible once trees hold a realistic log volume.
+        if row.n >= 8:
+            assert row.divided.model_bytes <= row.original.model_bytes * 1.10

@@ -1,0 +1,80 @@
+"""Paper-scale benchmark: the full Section 5 workload (N=35, 22050 records).
+
+The paper's largest experimental point.  The 2^35-equation baseline is
+infeasible for any implementation (it is the reason the paper exists), so
+this suite times what *is* tractable at that scale: log generation,
+matching, tree construction, the grouped pipeline and both grouped
+engines.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.grouped_zeta import GroupedZetaValidator
+from repro.core.validator import GroupedValidator
+from repro.matching.index import IndexedMatcher
+from repro.validation.tree import ValidationTree
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def paper():
+    config = WorkloadConfig(n_licenses=35, seed=0)  # 630 * 35 = 22050 records
+    workload = WorkloadGenerator(config).generate()
+    return workload
+
+
+def test_tree_construction_22k_records(benchmark, paper):
+    tree = benchmark(lambda: ValidationTree.from_log(paper.log))
+    assert tree.subset_sum((1 << 35) - 1) == paper.log.total_count
+
+
+def test_matching_throughput(benchmark, paper):
+    generator = WorkloadGenerator(WorkloadConfig(n_licenses=35, seed=1, n_records=0))
+    matcher = IndexedMatcher(paper.pool)
+    queries = list(generator.issue_stream(paper.pool, 500))
+    results = benchmark(lambda: [matcher.match(q) for q in queries])
+    assert all(results)
+
+
+def test_grouped_pipeline_end_to_end(benchmark, paper):
+    validator = GroupedValidator.from_pool(paper.pool)
+
+    def run():
+        return validator.validate(paper.log)
+
+    report = benchmark(run)
+    assert report.equations_checked == validator.equations_required
+
+
+def test_grouped_zeta_end_to_end(benchmark, paper):
+    validator = GroupedZetaValidator.from_pool(paper.pool)
+    report = benchmark(lambda: validator.validate(paper.log))
+    assert report.equations_checked > 0
+
+
+def test_scale_report(benchmark, paper, report):
+    def analyze():
+        validator = GroupedValidator.from_pool(paper.pool)
+        return validator
+
+    validator = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    report(
+        "paper_scale",
+        render_table(
+            ["metric", "value"],
+            [
+                ["licenses (N)", 35],
+                ["log records", len(paper.log)],
+                ["distinct sets", paper.log.distinct_sets],
+                ["groups", validator.structure.count],
+                ["group sizes", "+".join(map(str, validator.structure.sizes))],
+                ["equations (ungrouped)", f"{validator.equations_baseline:,}"],
+                ["equations (grouped)", f"{validator.equations_required:,}"],
+                ["Eq. 3 gain", f"{validator.theoretical_gain:,.0f}x"],
+            ],
+            title="Paper-scale workload (Section 5 maximum: N=35, 630N records)",
+        ),
+    )
+    assert validator.equations_baseline == 2**35 - 1

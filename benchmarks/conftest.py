@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures.
+
+Every figure benchmark gets a session-scoped :class:`ExperimentSuite` so
+workloads are generated once, plus a ``report`` helper that writes each
+regenerated figure table both to stdout (visible with ``pytest -s``) and to
+``benchmarks/results/<name>.txt`` so the artifacts persist across runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSuite
+
+#: Sweep used by the timing figures.  The 2^N baseline is exponential in
+#: pure Python, so it is swept to N=18 (≈1 s/run) while the grouped method
+#: continues to N=30 -- see EXPERIMENTS.md for the scale note.
+TIMED_SWEEP = (4, 8, 12, 16, 18)
+GROUPED_ONLY_SWEEP = (22, 26, 30)
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """Workload-cached experiment suite over the timed sweep."""
+    return ExperimentSuite(
+        n_values=TIMED_SWEEP, seed=0, records_per_license=60, baseline_cap=18
+    )
+
+
+@pytest.fixture(scope="session")
+def wide_suite():
+    """Suite including grouped-only N values beyond the baseline cap."""
+    return ExperimentSuite(
+        n_values=TIMED_SWEEP + GROUPED_ONLY_SWEEP,
+        seed=0,
+        records_per_license=60,
+        baseline_cap=18,
+    )
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Return a callable persisting + printing a figure table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n")
+
+    return _report

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Scenario: a three-level distribution network with nested budgets.
+
+The paper's Section 1 architecture: the owner grants redistribution
+licenses to regional distributors, who generate narrower redistribution
+licenses for local sub-distributors, who sell usage licenses to consumers.
+Every generated license is validated at its generating node (instance
+constraints nested, aggregates headroom-gated), so the offline audit at
+the end finds no violations -- while a deliberately over-ambitious
+sub-license gets rejected on the way.
+
+Run:  python examples/supply_chain.py
+"""
+
+from repro.licenses.license import LicenseFactory
+from repro.licenses.regions import WORLD
+from repro.licenses.schema import ConstraintSchema, DimensionSpec
+from repro.network import DistributionNetwork
+
+
+def main() -> None:
+    schema = ConstraintSchema(
+        [
+            DimensionSpec.date("validity"),
+            DimensionSpec.region("region", taxonomy=WORLD),
+        ]
+    )
+    factory = LicenseFactory(schema, content_id="series-9", permission="stream")
+
+    network = DistributionNetwork()
+    network.add_distributor("asia")
+    network.add_distributor("europe")
+    network.add_distributor("india-retail", parent="asia")
+    network.add_distributor("japan-retail", parent="asia")
+
+    # Owner grants (no validation; the owner licenses its own content).
+    network.grant(
+        "asia",
+        factory.redistribution(
+            "asia-2009", aggregate=5000,
+            validity=("01/03/09", "30/06/09"), region=["asia"],
+        ),
+    )
+    network.grant(
+        "europe",
+        factory.redistribution(
+            "europe-2009", aggregate=3000,
+            validity=("01/03/09", "30/06/09"), region=["europe"],
+        ),
+    )
+
+    # Asia slices its budget for two retail sub-distributors.
+    for name, region, budget in (
+        ("india-q2", "india", 2500),
+        ("japan-q2", "japan", 2000),
+    ):
+        sub = factory.redistribution(
+            name, aggregate=budget,
+            validity=("01/04/09", "30/06/09"), region=[region],
+        )
+        target = "india-retail" if region == "india" else "japan-retail"
+        outcome = network.redistribute("asia", target, sub)
+        print(f"asia -> {target}: {name} ({budget} counts) "
+              f"{'accepted' if outcome.accepted else 'REJECTED'}")
+
+    # A third slice would overdraw asia's 5000: 2500 + 2000 + 600 > 5000.
+    greedy = factory.redistribution(
+        "india-extra", aggregate=600,
+        validity=("01/04/09", "30/06/09"), region=["india"],
+    )
+    outcome = network.redistribute("asia", "india-retail", greedy)
+    print(f"asia -> india-retail: india-extra (600 counts) "
+          f"{'accepted' if outcome.accepted else 'REJECTED'} "
+          f"({outcome.rejection_reason})")
+
+    # Retail nodes sell to consumers inside their windows.
+    sold = 0
+    for serial in range(1, 61):
+        usage = factory.usage(
+            f"c{serial}", count=50,
+            validity=("10/04/09", "20/04/09"), region=["india"],
+        )
+        if network.sell("india-retail", usage).accepted:
+            sold += 1
+    print(f"india-retail sold {sold}/60 x 50 counts "
+          f"(budget {2500} -> expected {2500 // 50} sales)")
+
+    # An out-of-region sale is instance-rejected.
+    stray = factory.usage(
+        "stray", count=10, validity=("10/04/09", "20/04/09"), region=["france"],
+    )
+    outcome = network.sell("india-retail", stray)
+    print(f"out-of-region sale: "
+          f"{'accepted' if outcome.accepted else 'REJECTED'} "
+          f"({outcome.rejection_reason})")
+
+    # Offline audit across the whole network.
+    print("\noffline audit (grouped validation at every node):")
+    for name, report in network.audit_all().items():
+        verdict = "no licenses" if report is None else report.summary()
+        print(f"  {name:13s} {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Regenerate docs/API.md from module docstrings and __all__ exports."""
+
+import importlib
+import pkgutil
+from pathlib import Path
+
+import repro
+
+
+def main() -> None:
+    lines = [
+        "# API Reference",
+        "",
+        "Generated from module docstrings (`python scripts/gen_api_doc.py` to refresh).",
+        "",
+    ]
+    modules = sorted(
+        pkgutil.walk_packages(repro.__path__, prefix="repro."),
+        key=lambda info: info.name,
+    )
+    for info in modules:
+        module = importlib.import_module(info.name)
+        doc = (module.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else "(no docstring)"
+        lines.append(f"## `{info.name}`")
+        lines.append("")
+        lines.append(summary)
+        exported = getattr(module, "__all__", None)
+        if exported:
+            lines.append("")
+            lines.append("Public: " + ", ".join(f"`{name}`" for name in exported))
+        lines.append("")
+    target = Path(__file__).parent.parent / "docs" / "API.md"
+    target.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    print(f"wrote {target}")
+
+
+if __name__ == "__main__":
+    main()

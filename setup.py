@@ -1,0 +1,6 @@
+"""Legacy setup shim (offline environment lacks the `wheel` package, so the
+PEP 517/660 editable path is unavailable; `pip install -e .` uses this)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro -- a reproduction of "A Geometric Approach for Efficient Licenses
+Validation in DRM" (Sachan, Emmanuel, Kankanhalli, 2010).
+
+The library implements the full multi-distributor DRM validation stack:
+
+* license model (permissions, instance constraints, aggregates) and the
+  hyper-rectangle geometry behind instance-based validation;
+* the validation tree and all-equations aggregate validation of [10];
+* the paper's contribution: overlap-graph grouping, validation-tree
+  division, and grouped validation with the Eq. 3 performance gain;
+* baselines (naive scans, full expansion), a zeta-transform engine, and a
+  max-flow feasibility oracle used as a correctness cross-check;
+* online issuance sessions, synthetic workloads, and an experiment harness
+  regenerating every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import GroupedValidator
+    from repro.workloads import example1, example1_log
+
+    validator = GroupedValidator.from_pool(example1().pool)
+    print(validator.structure.sizes)          # (3, 2) -- groups {1,2,4}, {3,5}
+    print(round(validator.theoretical_gain, 1))  # 3.1
+    print(validator.validate(example1_log()).summary())
+"""
+
+from repro.core.validator import GroupedValidator
+from repro.licenses.catalog import LicenseCatalog
+from repro.core.grouping import GroupStructure, form_groups
+from repro.core.overlap import OverlapGraph
+from repro.licenses.license import (
+    LicenseFactory,
+    RedistributionLicense,
+    UsageLicense,
+)
+from repro.licenses.permission import Permission
+from repro.licenses.pool import LicensePool
+from repro.licenses.schema import ConstraintSchema, DimensionSpec
+from repro.logstore.log import ValidationLog
+from repro.logstore.record import LogRecord
+from repro.validation.report import ValidationReport, Violation
+from repro.validation.tree import ValidationTree
+from repro.validation.tree_validator import TreeValidator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConstraintSchema",
+    "DimensionSpec",
+    "GroupStructure",
+    "GroupedValidator",
+    "LicenseCatalog",
+    "LicenseFactory",
+    "LicensePool",
+    "LogRecord",
+    "OverlapGraph",
+    "Permission",
+    "RedistributionLicense",
+    "TreeValidator",
+    "UsageLicense",
+    "ValidationLog",
+    "ValidationReport",
+    "ValidationTree",
+    "Violation",
+    "form_groups",
+    "__version__",
+]

@@ -1,0 +1,71 @@
+"""Experiment harness: timing, storage accounting, figure regeneration."""
+
+from repro.analysis.experiments import (
+    DEFAULT_BASELINE_CAP,
+    DEFAULT_SWEEP,
+    ExperimentSuite,
+    Fig6Row,
+    Fig7Row,
+    Fig8Row,
+    Fig9Row,
+    Fig10Row,
+    render_figure6,
+    render_figure7,
+    render_figure8,
+    render_figure9,
+    render_figure10,
+)
+from repro.analysis.charts import bar_chart, timing_chart
+from repro.analysis.export import (
+    figure10_csv,
+    figure6_csv,
+    figure7_csv,
+    figure8_csv,
+    figure9_csv,
+    write_csv,
+)
+from repro.analysis.profile import WorkloadProfile, profile_workload
+from repro.analysis.storage import (
+    NODE_COST_BYTES,
+    StorageStats,
+    grouped_storage,
+    python_tree_bytes,
+    tree_storage,
+)
+from repro.analysis.tables import format_seconds, render_table
+from repro.analysis.timing import Stopwatch, time_callable
+
+__all__ = [
+    "DEFAULT_BASELINE_CAP",
+    "DEFAULT_SWEEP",
+    "ExperimentSuite",
+    "Fig10Row",
+    "Fig6Row",
+    "Fig7Row",
+    "Fig8Row",
+    "Fig9Row",
+    "NODE_COST_BYTES",
+    "StorageStats",
+    "Stopwatch",
+    "WorkloadProfile",
+    "bar_chart",
+    "timing_chart",
+    "figure10_csv",
+    "figure6_csv",
+    "figure7_csv",
+    "figure8_csv",
+    "figure9_csv",
+    "profile_workload",
+    "write_csv",
+    "format_seconds",
+    "grouped_storage",
+    "python_tree_bytes",
+    "render_figure10",
+    "render_figure6",
+    "render_figure7",
+    "render_figure8",
+    "render_figure9",
+    "render_table",
+    "time_callable",
+    "tree_storage",
+]

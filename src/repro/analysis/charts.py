@@ -1,0 +1,94 @@
+"""Terminal (ASCII) charts for experiment series.
+
+Offline environments have no plotting stack, but the paper's figures are
+log-scale line charts whose *shape* is the result.  A horizontal
+log-scale bar chart per data point makes that shape visible directly in
+the terminal::
+
+    Figure 7 (log scale)
+    N=8   baseline  |############                448.3 µs
+          grouped   |#####                        64.8 µs
+    N=18  baseline  |######################        1.03 s
+          grouped   |######                      166.5 µs
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.tables import format_seconds
+
+__all__ = ["bar_chart", "timing_chart"]
+
+_BAR_WIDTH = 40
+
+
+def _bar(value: float, low: float, high: float, log_scale: bool) -> str:
+    """Render one bar scaled into ``[1, _BAR_WIDTH]`` characters."""
+    if value <= 0 or high <= low:
+        return "#"
+    if log_scale:
+        fraction = (math.log10(value) - math.log10(low)) / (
+            math.log10(high) - math.log10(low)
+        )
+    else:
+        fraction = (value - low) / (high - low)
+    fraction = min(max(fraction, 0.0), 1.0)
+    return "#" * max(1, round(fraction * _BAR_WIDTH))
+
+
+def bar_chart(
+    series: "Dict[str, Sequence[Tuple[object, float]]]",
+    title: str = "",
+    log_scale: bool = True,
+    value_format=format_seconds,
+) -> str:
+    """Render named series of ``(x, value)`` points as grouped bars.
+
+    All series must share the same x values (missing points are skipped).
+    Non-positive values render as a minimal bar with their raw value.
+    """
+    xs: List[object] = []
+    for points in series.values():
+        for x, _value in points:
+            if x not in xs:
+                xs.append(x)
+    values = [
+        value
+        for points in series.values()
+        for _x, value in points
+        if value > 0 and value == value  # filter NaN and non-positives
+    ]
+    if not values:
+        return title or "(no data)"
+    low, high = min(values), max(values)
+    label_width = max(len(name) for name in series)
+    lines = [f"{title} ({'log' if log_scale else 'linear'} scale)"] if title else []
+    for x in xs:
+        first = True
+        for name, points in series.items():
+            match = [value for px, value in points if px == x]
+            if not match:
+                continue
+            value = match[0]
+            prefix = f"{'N=' + str(x):<6}" if first else " " * 6
+            first = False
+            if value != value:  # NaN
+                lines.append(f"{prefix}{name:<{label_width}}  (not run)")
+                continue
+            bar = _bar(value, low, high, log_scale)
+            lines.append(
+                f"{prefix}{name:<{label_width}}  |{bar:<{_BAR_WIDTH}} "
+                f"{value_format(value)}"
+            )
+    return "\n".join(lines)
+
+
+def timing_chart(rows, title: str = "Figure 7") -> str:
+    """Convenience: render Figure-7-shaped rows (baseline vs proposed)."""
+    series = {
+        "baseline V_T": [(row.n, row.baseline_vt) for row in rows],
+        "proposed V_T+D_T": [(row.n, row.grouped_total) for row in rows],
+    }
+    return bar_chart(series, title=title, log_scale=True)

@@ -1,0 +1,366 @@
+"""Experiment runners regenerating every figure of the paper's Section 5.
+
+Each ``figure*`` function sweeps the number of redistribution licenses
+``N``, produces one row per ``N``, and the companion ``render_*`` helper
+prints the same series the paper plots:
+
+* Figure 6 -- number of groups vs N.
+* Figure 7 -- validation time: original tree (``V_T`` baseline) vs the
+  proposed grouped method (``V_T`` and ``V_T + D_T``).
+* Figure 8 -- theoretical (Eq. 3) vs experimental gain.
+* Figure 9 -- single-record insertion time vs tree-division time ``D_T``.
+* Figure 10 -- storage: original tree vs divided trees.
+
+Scale note (see EXPERIMENTS.md): the baseline checks ``2^N - 1`` equations,
+so pure-Python sweeps cap the baseline N lower than the paper's Java N=35;
+the exponential-vs-flat *shape* is the reproduced result.  Default sweeps
+use a reduced log volume (``records_per_license``) so the whole suite runs
+in minutes; pass ``None`` to use the paper's full 630·N records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.storage import (
+    StorageStats,
+    grouped_storage,
+    tree_storage,
+)
+from repro.analysis.tables import format_seconds, render_table
+from repro.analysis.timing import time_callable
+from repro.core.gain import equations_without_grouping
+from repro.core.grouping import form_groups
+from repro.core.overlap import OverlapGraph
+from repro.core.validator import GroupedValidator
+from repro.logstore.record import LogRecord
+from repro.validation.tree import ValidationTree
+from repro.validation.tree_validator import TreeValidator
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import GeneratedWorkload, WorkloadGenerator
+
+__all__ = [
+    "ExperimentSuite",
+    "Fig6Row",
+    "Fig7Row",
+    "Fig8Row",
+    "Fig9Row",
+    "Fig10Row",
+    "DEFAULT_SWEEP",
+    "DEFAULT_BASELINE_CAP",
+]
+
+#: N values swept by default; chosen so the exponential baseline stays
+#: tractable in pure Python while the shape is unmistakable.
+DEFAULT_SWEEP: Tuple[int, ...] = (2, 4, 6, 8, 10, 12, 14, 16)
+
+#: Largest N for which the 2^N-equation baseline is run by default.
+DEFAULT_BASELINE_CAP = 18
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    """One point of Figure 6."""
+
+    n: int
+    groups: int
+    sizes: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Fig7Row:
+    """One point of Figure 7 (seconds)."""
+
+    n: int
+    baseline_vt: float
+    grouped_vt: float
+    division_dt: float
+
+    @property
+    def grouped_total(self) -> float:
+        """Return ``V_T + D_T`` for the proposed method."""
+        return self.grouped_vt + self.division_dt
+
+
+@dataclass(frozen=True)
+class Fig8Row:
+    """One point of Figure 8."""
+
+    n: int
+    theoretical_gain: float
+    experimental_gain: float
+
+
+@dataclass(frozen=True)
+class Fig9Row:
+    """One point of Figure 9 (seconds)."""
+
+    n: int
+    insert_one: float
+    division_dt: float
+
+    @property
+    def ratio(self) -> float:
+        """Return D_T as a multiple of one record insertion (the paper
+        reports 3-4x)."""
+        if self.insert_one == 0:
+            return float("inf")
+        return self.division_dt / self.insert_one
+
+
+@dataclass(frozen=True)
+class Fig10Row:
+    """One point of Figure 10."""
+
+    n: int
+    original: StorageStats
+    divided: StorageStats
+
+
+class ExperimentSuite:
+    """Workload-caching runner for all Section 5 experiments.
+
+    Parameters
+    ----------
+    n_values:
+        The sweep over the number of redistribution licenses.
+    seed:
+        Workload RNG seed.
+    records_per_license:
+        Log records per license (paper: 630).  The default 60 keeps the
+        full suite interactive; results scale linearly in tree size.
+    baseline_cap:
+        Do not run the ``2^N`` baseline beyond this N (rows above the cap
+        report ``float('nan')`` baseline times and gain).
+    config_overrides:
+        Extra :class:`WorkloadConfig` fields applied to every generated
+        workload (e.g. a sparser ``license_extent_fraction`` for the
+        Figure 6 sweep).
+    """
+
+    def __init__(
+        self,
+        n_values: Sequence[int] = DEFAULT_SWEEP,
+        seed: int = 0,
+        records_per_license: Optional[int] = 60,
+        baseline_cap: int = DEFAULT_BASELINE_CAP,
+        config_overrides: Optional[Dict[str, object]] = None,
+    ):
+        self.n_values = tuple(n_values)
+        self.seed = seed
+        self.records_per_license = records_per_license
+        self.baseline_cap = baseline_cap
+        self.config_overrides = dict(config_overrides or {})
+        self._workloads: Dict[int, GeneratedWorkload] = {}
+
+    # ------------------------------------------------------------------
+    # Workload management
+    # ------------------------------------------------------------------
+    def workload(self, n: int) -> GeneratedWorkload:
+        """Return the (cached) workload for ``n`` licenses."""
+        if n not in self._workloads:
+            records = (
+                None
+                if self.records_per_license is None
+                else self.records_per_license * n
+            )
+            config = WorkloadConfig(
+                n_licenses=n,
+                seed=self.seed,
+                n_records=records,
+                **self.config_overrides,  # type: ignore[arg-type]
+            )
+            self._workloads[n] = WorkloadGenerator(config).generate()
+        return self._workloads[n]
+
+    # ------------------------------------------------------------------
+    # Figure 6: number of groups vs N
+    # ------------------------------------------------------------------
+    def figure6(self) -> List[Fig6Row]:
+        """Group counts across the sweep."""
+        rows = []
+        for n in self.n_values:
+            workload = self.workload(n)
+            structure = form_groups(OverlapGraph.from_pool(workload.pool))
+            rows.append(Fig6Row(n, structure.count, structure.sizes))
+        return rows
+
+    # ------------------------------------------------------------------
+    # Figure 7: validation time
+    # ------------------------------------------------------------------
+    def figure7(self, repeats: int = 1) -> List[Fig7Row]:
+        """Validation-time comparison across the sweep."""
+        rows = []
+        for n in self.n_values:
+            workload = self.workload(n)
+            aggregates = workload.aggregates
+            boxes = workload.pool.boxes()
+
+            if n <= self.baseline_cap:
+                baseline_tree = ValidationTree.from_log(workload.log)
+                validator = TreeValidator(aggregates)
+                baseline_vt, _ = time_callable(
+                    lambda: validator.validate(baseline_tree), repeats
+                )
+            else:
+                baseline_vt = float("nan")
+
+            # D_T: group identification (overlap graph + DFS) + division +
+            # remapping, exactly the paper's definition.  A fresh tree is
+            # built outside the timed region (construction is C_T, Fig. 9).
+            def divide():
+                tree = ValidationTree.from_log(workload.log)
+                grouped_validator = GroupedValidator(boxes, aggregates)
+                return grouped_validator.divide(tree)
+
+            tree_for_division = ValidationTree.from_log(workload.log)
+
+            def timed_division():
+                grouped_validator = GroupedValidator(boxes, aggregates)
+                return grouped_validator.divide(tree_for_division)
+
+            division_dt, grouped = time_callable(timed_division, 1)
+            grouped_vt, _ = time_callable(lambda: grouped.validate(), repeats)
+            rows.append(Fig7Row(n, baseline_vt, grouped_vt, division_dt))
+        return rows
+
+    # ------------------------------------------------------------------
+    # Figure 8: theoretical vs experimental gain
+    # ------------------------------------------------------------------
+    def figure8(self, fig7_rows: Optional[List[Fig7Row]] = None) -> List[Fig8Row]:
+        """Gain comparison; reuses Figure 7 timings when provided."""
+        timings = fig7_rows if fig7_rows is not None else self.figure7()
+        rows = []
+        for timing in timings:
+            workload = self.workload(timing.n)
+            validator = GroupedValidator(workload.pool.boxes(), workload.aggregates)
+            if timing.grouped_vt > 0 and timing.baseline_vt == timing.baseline_vt:
+                experimental = timing.baseline_vt / timing.grouped_vt
+            else:
+                experimental = float("nan")
+            rows.append(Fig8Row(timing.n, validator.theoretical_gain, experimental))
+        return rows
+
+    # ------------------------------------------------------------------
+    # Figure 9: insertion vs division time
+    # ------------------------------------------------------------------
+    def figure9(self, insert_samples: int = 200) -> List[Fig9Row]:
+        """Single-record insertion time vs division time ``D_T``."""
+        rows = []
+        for n in self.n_values:
+            workload = self.workload(n)
+            tree = ValidationTree.from_log(workload.log)
+            records = [workload.log[i % len(workload.log)]
+                       for i in range(insert_samples)]
+
+            def insert_all(records: List[LogRecord] = records) -> None:
+                for record in records:
+                    tree.insert(record)
+
+            total_insert, _ = time_callable(insert_all, 1)
+            insert_one = total_insert / max(len(records), 1)
+
+            fresh = ValidationTree.from_log(workload.log)
+            boxes = workload.pool.boxes()
+            aggregates = workload.aggregates
+
+            def timed_division():
+                grouped_validator = GroupedValidator(boxes, aggregates)
+                return grouped_validator.divide(fresh)
+
+            division_dt, _ = time_callable(timed_division, 1)
+            rows.append(Fig9Row(n, insert_one, division_dt))
+        return rows
+
+    # ------------------------------------------------------------------
+    # Figure 10: storage
+    # ------------------------------------------------------------------
+    def figure10(self) -> List[Fig10Row]:
+        """Storage before and after division."""
+        rows = []
+        for n in self.n_values:
+            workload = self.workload(n)
+            tree = ValidationTree.from_log(workload.log)
+            original = tree_storage(tree)
+            validator = GroupedValidator(workload.pool.boxes(), workload.aggregates)
+            grouped = validator.divide(tree)
+            rows.append(Fig10Row(n, original, grouped_storage(grouped)))
+        return rows
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_figure6(rows: List[Fig6Row]) -> str:
+    """Render Figure 6 as a table."""
+    return render_table(
+        ["N", "groups", "group sizes"],
+        [[row.n, row.groups, "+".join(map(str, row.sizes))] for row in rows],
+        title="Figure 6: number of groups vs number of redistribution licenses",
+    )
+
+
+def render_figure7(rows: List[Fig7Row]) -> str:
+    """Render Figure 7 as a table."""
+    return render_table(
+        ["N", "baseline V_T", "proposed V_T", "D_T", "proposed V_T+D_T"],
+        [
+            [
+                row.n,
+                format_seconds(row.baseline_vt),
+                format_seconds(row.grouped_vt),
+                format_seconds(row.division_dt),
+                format_seconds(row.grouped_total),
+            ]
+            for row in rows
+        ],
+        title="Figure 7: validation time, original tree vs proposed method",
+    )
+
+
+def render_figure8(rows: List[Fig8Row]) -> str:
+    """Render Figure 8 as a table."""
+    return render_table(
+        ["N", "theoretical gain (Eq. 3)", "experimental gain"],
+        [
+            [row.n, f"{row.theoretical_gain:.2f}", f"{row.experimental_gain:.2f}"]
+            for row in rows
+        ],
+        title="Figure 8: theoretical vs experimental gain",
+    )
+
+
+def render_figure9(rows: List[Fig9Row]) -> str:
+    """Render Figure 9 as a table."""
+    return render_table(
+        ["N", "insert 1 record", "division D_T", "D_T / insert"],
+        [
+            [
+                row.n,
+                format_seconds(row.insert_one),
+                format_seconds(row.division_dt),
+                f"{row.ratio:.1f}x",
+            ]
+            for row in rows
+        ],
+        title="Figure 9: insertion time vs division time",
+    )
+
+
+def render_figure10(rows: List[Fig10Row]) -> str:
+    """Render Figure 10 as a table."""
+    return render_table(
+        ["N", "original nodes", "divided nodes", "original bytes", "divided bytes"],
+        [
+            [
+                row.n,
+                row.original.total_nodes,
+                row.divided.total_nodes,
+                row.original.model_bytes,
+                row.divided.model_bytes,
+            ]
+            for row in rows
+        ],
+        title="Figure 10: storage, original tree vs divided trees",
+    )

@@ -1,0 +1,106 @@
+"""CSV export of experiment series.
+
+The ASCII tables are for eyeballs; these writers produce the same series
+as CSV so results can be re-plotted or diffed across machines.  One writer
+per figure, all sharing :func:`write_csv`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+from repro.analysis.experiments import (
+    Fig6Row,
+    Fig7Row,
+    Fig8Row,
+    Fig9Row,
+    Fig10Row,
+)
+
+__all__ = [
+    "write_csv",
+    "figure6_csv",
+    "figure7_csv",
+    "figure8_csv",
+    "figure9_csv",
+    "figure10_csv",
+]
+
+PathLike = Union[str, Path]
+
+
+def write_csv(path: PathLike, headers: Sequence[str], rows: Iterable[Sequence]) -> int:
+    """Write rows to ``path``; return the number of data rows written."""
+    count = 0
+    with open(path, "w", encoding="utf-8", newline="") as stream:
+        writer = csv.writer(stream)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+            count += 1
+    return count
+
+
+def figure6_csv(rows: List[Fig6Row], path: PathLike) -> int:
+    """Export the Figure 6 series."""
+    return write_csv(
+        path,
+        ["n", "groups", "group_sizes"],
+        [[row.n, row.groups, "+".join(map(str, row.sizes))] for row in rows],
+    )
+
+
+def figure7_csv(rows: List[Fig7Row], path: PathLike) -> int:
+    """Export the Figure 7 series (seconds)."""
+    return write_csv(
+        path,
+        ["n", "baseline_vt_s", "grouped_vt_s", "division_dt_s", "grouped_total_s"],
+        [
+            [row.n, row.baseline_vt, row.grouped_vt, row.division_dt, row.grouped_total]
+            for row in rows
+        ],
+    )
+
+
+def figure8_csv(rows: List[Fig8Row], path: PathLike) -> int:
+    """Export the Figure 8 series."""
+    return write_csv(
+        path,
+        ["n", "theoretical_gain", "experimental_gain"],
+        [[row.n, row.theoretical_gain, row.experimental_gain] for row in rows],
+    )
+
+
+def figure9_csv(rows: List[Fig9Row], path: PathLike) -> int:
+    """Export the Figure 9 series (seconds)."""
+    return write_csv(
+        path,
+        ["n", "insert_one_s", "division_dt_s", "ratio"],
+        [[row.n, row.insert_one, row.division_dt, row.ratio] for row in rows],
+    )
+
+
+def figure10_csv(rows: List[Fig10Row], path: PathLike) -> int:
+    """Export the Figure 10 series."""
+    return write_csv(
+        path,
+        [
+            "n",
+            "original_nodes",
+            "divided_nodes",
+            "original_bytes",
+            "divided_bytes",
+        ],
+        [
+            [
+                row.n,
+                row.original.total_nodes,
+                row.divided.total_nodes,
+                row.original.model_bytes,
+                row.divided.model_bytes,
+            ]
+            for row in rows
+        ],
+    )

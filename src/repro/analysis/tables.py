@@ -1,0 +1,54 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures plot;
+these helpers keep the formatting consistent across figures and the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "format_seconds"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with a sensible unit (s / ms / µs)."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.1f} µs"
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(render_table(["n", "gain"], [[5, 3.1]], title="Eq. 3"))
+    Eq. 3
+    n | gain
+    --+-----
+    5 | 3.1
+    """
+    cells = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[column]) for row in cells)) if cells else len(header)
+        for column, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)

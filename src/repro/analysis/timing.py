@@ -1,0 +1,58 @@
+"""Lightweight timing utilities for the experiment harness.
+
+The figure-level experiments (:mod:`repro.analysis.experiments`) need
+wall-clock measurements of multi-second pipelines; pytest-benchmark handles
+the statistically careful micro-benchmarks in ``benchmarks/``.  These
+helpers cover the former.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Tuple
+
+__all__ = ["Stopwatch", "time_callable"]
+
+
+class Stopwatch:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Examples
+    --------
+    >>> with Stopwatch() as watch:
+    ...     _ = sum(range(1000))
+    >>> watch.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def time_callable(
+    fn: Callable[[], Any], repeats: int = 1
+) -> Tuple[float, Any]:
+    """Run ``fn`` ``repeats`` times; return ``(best seconds, last result)``.
+
+    Taking the minimum across repeats filters scheduler noise, the standard
+    practice for wall-clock micro-timing.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    result: Any = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, result

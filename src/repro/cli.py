@@ -1,0 +1,335 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``
+    Produce a synthetic workload and write the pool (JSON) and log (JSONL).
+``validate``
+    Offline-validate a pool + log with a chosen engine.
+``experiment``
+    Regenerate one of the paper's figures (6-10) as an ASCII table.
+``headroom``
+    Query how many more counts a license set can absorb given a log.
+``diagnose``
+    On an invalid log: minimal violated sets + a minimal revocation plan.
+``demo``
+    Walk through the paper's Example 1 end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.experiments import (
+    ExperimentSuite,
+    render_figure6,
+    render_figure7,
+    render_figure8,
+    render_figure9,
+    render_figure10,
+)
+from repro.core.validator import GroupedValidator
+from repro.licenses.rel import dumps_pool, loads_pool
+from repro.logstore.io import dump_log, load_log
+from repro.validation.naive import ExpansionValidator, ScanValidator
+from repro.validation.tree import ValidationTree
+from repro.validation.tree_validator import TreeValidator
+from repro.validation.zeta import ZetaValidator
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import WorkloadGenerator
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Geometric DRM license validation (paper reproduction).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate a synthetic workload")
+    generate.add_argument("-n", "--licenses", type=int, required=True)
+    generate.add_argument("--records", type=int, default=None)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--pool-out", default="pool.json")
+    generate.add_argument("--log-out", default="log.jsonl")
+
+    validate = commands.add_parser("validate", help="offline-validate a pool + log")
+    validate.add_argument("--pool", required=True)
+    validate.add_argument("--log", required=True)
+    validate.add_argument(
+        "--engine",
+        choices=["grouped", "grouped-zeta", "tree", "scan", "expansion", "zeta"],
+        default="grouped",
+    )
+
+    experiment = commands.add_parser("experiment", help="regenerate a paper figure")
+    experiment.add_argument("figure", type=int, choices=[6, 7, 8, 9, 10])
+    experiment.add_argument(
+        "--sweep", type=int, nargs="+", default=None, metavar="N"
+    )
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--records-per-license", type=int, default=60)
+
+    headroom = commands.add_parser(
+        "headroom", help="remaining capacity for a license set"
+    )
+    headroom.add_argument("--pool", required=True)
+    headroom.add_argument("--log", required=True)
+    headroom.add_argument(
+        "--set", required=True, type=int, nargs="+", metavar="INDEX",
+        help="1-based license indexes of the set",
+    )
+
+    diagnose = commands.add_parser(
+        "diagnose", help="minimal violations + revocation plan for a log"
+    )
+    diagnose.add_argument("--pool", required=True)
+    diagnose.add_argument("--log", required=True)
+
+    profile = commands.add_parser(
+        "profile", help="shape statistics of a pool + log workload"
+    )
+    profile.add_argument("--pool", required=True)
+    profile.add_argument("--log", required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="compare online validation policies on one stream"
+    )
+    simulate.add_argument("-n", "--licenses", type=int, default=8)
+    simulate.add_argument("--stream", type=int, default=400)
+    simulate.add_argument("--seed", type=int, default=0)
+
+    conformance = commands.add_parser(
+        "conformance", help="run the built-in conformance vectors"
+    )
+    conformance.add_argument(
+        "--export-dir", default=None,
+        help="also write the vectors as JSON files into this directory",
+    )
+
+    commands.add_parser("demo", help="walk through the paper's Example 1")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = WorkloadConfig(
+        n_licenses=args.licenses, seed=args.seed, n_records=args.records
+    )
+    generator = WorkloadGenerator(config)
+    workload = generator.generate()
+    with open(args.pool_out, "w", encoding="utf-8") as stream:
+        stream.write(dumps_pool(workload.pool, workload.schema, indent=2))
+    records = dump_log(workload.log, args.log_out)
+    print(
+        f"wrote {len(workload.pool)} licenses to {args.pool_out} "
+        f"and {records} log records to {args.log_out}"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    with open(args.pool, "r", encoding="utf-8") as stream:
+        pool, _schema = loads_pool(stream.read())
+    log = load_log(args.log)
+    aggregates = pool.aggregate_array()
+    if args.engine == "grouped":
+        report = GroupedValidator.from_pool(pool).validate(log)
+    elif args.engine == "grouped-zeta":
+        from repro.core.grouped_zeta import GroupedZetaValidator
+
+        report = GroupedZetaValidator.from_pool(pool).validate(log)
+    elif args.engine == "tree":
+        report = TreeValidator(aggregates).validate(ValidationTree.from_log(log))
+    elif args.engine == "scan":
+        report = ScanValidator(aggregates).validate_log(log)
+    elif args.engine == "expansion":
+        report = ExpansionValidator(aggregates).validate_log(log)
+    else:
+        report = ZetaValidator(aggregates).validate_log(log)
+    print(report)
+    return 0 if report.is_valid else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    suite = ExperimentSuite(
+        n_values=args.sweep or None or ExperimentSuite().n_values,
+        seed=args.seed,
+        records_per_license=args.records_per_license,
+    )
+    if args.figure == 6:
+        print(render_figure6(suite.figure6()))
+    elif args.figure == 7:
+        from repro.analysis.charts import timing_chart
+
+        rows = suite.figure7()
+        print(render_figure7(rows))
+        print()
+        print(timing_chart(rows, title="Figure 7"))
+    elif args.figure == 8:
+        rows = suite.figure7()
+        print(render_figure8(suite.figure8(rows)))
+    elif args.figure == 9:
+        print(render_figure9(suite.figure9()))
+    else:
+        print(render_figure10(suite.figure10()))
+    return 0
+
+
+def _load_pool_and_log(args: argparse.Namespace):
+    with open(args.pool, "r", encoding="utf-8") as stream:
+        pool, _schema = loads_pool(stream.read())
+    return pool, load_log(args.log)
+
+
+def _cmd_headroom(args: argparse.Namespace) -> int:
+    pool, log = _load_pool_and_log(args)
+    validator = GroupedValidator.from_pool(pool)
+    slack = validator.headroom(log, set(args.set))
+    names = ", ".join(pool[i].license_id for i in sorted(set(args.set)))
+    print(f"headroom for {{{names}}}: {slack} counts")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.validation.diagnosis import minimal_violations, revocation_plan
+    from repro.validation.bitset import indexes_of
+
+    pool, log = _load_pool_and_log(args)
+    report = GroupedValidator.from_pool(pool).validate(log)
+    print(report.summary())
+    if report.is_valid:
+        return 0
+    print("minimal violated sets:")
+    for violation in minimal_violations(report):
+        names = ", ".join(
+            pool[i].license_id for i in sorted(violation.license_set)
+        )
+        print(f"  {{{names}}}: issued {violation.lhs} > capacity {violation.rhs}")
+    total, plan = revocation_plan(log.counts_by_mask(), pool.aggregate_array())
+    print(f"minimum counts to revoke: {total}")
+    for mask, amount in sorted(plan.items()):
+        names = ", ".join(pool[i].license_id for i in indexes_of(mask))
+        print(f"  revoke {amount} from issuances matched to {{{names}}}")
+    return 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.analysis.profile import profile_workload
+
+    pool, log = _load_pool_and_log(args)
+    print(profile_workload(pool, log).render())
+    validator = GroupedValidator.from_pool(pool)
+    print()
+    print(validator.explain())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_table
+    from repro.online.session import IssuanceSession
+    from repro.online.strategies import (
+        BestFit,
+        FirstFit,
+        GreedyMaxRemaining,
+        LastFit,
+        RandomPick,
+    )
+
+    config = WorkloadConfig(
+        n_licenses=args.licenses,
+        seed=args.seed,
+        n_records=0,
+        aggregate_range=(300, 900),
+    )
+    generator = WorkloadGenerator(config)
+    pool = generator.generate_pool()
+    stream = list(generator.issue_stream(pool, args.stream))
+    rows = []
+    for policy in (RandomPick(seed=args.seed), LastFit(), FirstFit(),
+                   BestFit(), GreedyMaxRemaining(), "equation"):
+        session = IssuanceSession(pool, policy)
+        for usage in stream:
+            session.issue(usage)
+        accepted = sum(outcome.accepted for outcome in session.outcomes)
+        rows.append(
+            [session.policy_name, accepted, len(stream) - accepted,
+             session.accepted_counts]
+        )
+    print(
+        render_table(
+            ["policy", "accepted", "rejected", "counts served"],
+            rows,
+            title=(
+                f"Online policies: N={args.licenses}, "
+                f"{len(stream)} usage licenses"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.conformance import builtin_vectors, dumps_vector, run_vector
+
+    failures = 0
+    for name, vector in builtin_vectors():
+        results = run_vector(vector)
+        bad = [result for result in results if not result.passed]
+        failures += len(bad)
+        print(f"{name}: {len(results) - len(bad)}/{len(results)} checks passed")
+        for result in bad:
+            print(f"  {result}")
+        if args.export_dir:
+            target = Path(args.export_dir)
+            target.mkdir(parents=True, exist_ok=True)
+            (target / f"{name}.json").write_text(
+                dumps_vector(vector, indent=2), encoding="utf-8"
+            )
+    return 1 if failures else 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    # Imported lazily to keep CLI startup light.
+    from repro.workloads.scenarios import example1, example1_log
+
+    scenario = example1()
+    validator = GroupedValidator.from_pool(scenario.pool)
+    print("Example 1 pool: 5 redistribution licenses for (K, play)")
+    print(f"overlap edges: {sorted(validator.graph.edges())}")
+    print(f"groups: {[sorted(group) for group in validator.structure.groups]}")
+    print(
+        f"equations: {validator.equations_baseline} -> "
+        f"{validator.equations_required} "
+        f"(theoretical gain {validator.theoretical_gain:.1f}x, paper: 3.1x)"
+    )
+    report = validator.validate(example1_log())
+    print(report.summary())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "validate": _cmd_validate,
+        "experiment": _cmd_experiment,
+        "headroom": _cmd_headroom,
+        "diagnose": _cmd_diagnose,
+        "profile": _cmd_profile,
+        "simulate": _cmd_simulate,
+        "conformance": _cmd_conformance,
+        "demo": _cmd_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""Conformance vectors: the paper's worked numbers as executable JSON.
+
+Another implementation of this paper (any language) can check itself
+against the same fixtures this library is pinned to.  A vector bundles a
+pool (JSON rights-expression form), an issuance log, and the expected
+outputs of every pipeline stage::
+
+    {
+      "name": "example1",
+      "pool": {...},                       # repro.licenses.rel pool document
+      "log": [{"set": [...], "count": n}, ...],
+      "expected": {
+        "match_sets": {"<usage json>": [indexes]},   # optional
+        "overlap_edges": [[i, j], ...],
+        "groups": [[...], [...]],
+        "equations_baseline": int,
+        "equations_grouped": int,
+        "theoretical_gain": float,
+        "set_counts": {"1,2": 840, ...},             # C[S] by sorted set
+        "is_valid": bool
+      }
+    }
+
+:func:`run_vector` executes the full pipeline over a vector and returns a
+list of human-readable check results; :func:`builtin_vectors` yields the
+vectors shipped with the library (generated from
+:mod:`repro.workloads.scenarios`, so they are themselves test-covered).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import SerializationError
+from repro.core.validator import GroupedValidator
+from repro.licenses.rel import license_from_dict, license_to_dict, pool_from_dict, pool_to_dict
+from repro.licenses.license import UsageLicense
+from repro.logstore.log import ValidationLog
+from repro.matching.matcher import BruteForceMatcher
+
+__all__ = ["CheckResult", "builtin_vectors", "make_vector", "run_vector"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One conformance check's outcome."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        status = "PASS" if self.passed else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{status}] {self.name}{suffix}"
+
+
+def _set_key(license_set) -> str:
+    return ",".join(str(i) for i in sorted(license_set))
+
+
+def make_vector(name: str, pool, schema, log: ValidationLog, usages=()) -> Dict:
+    """Build a conformance vector from live objects.
+
+    Expected values are *computed* by this library, so a vector is only as
+    authoritative as the tests pinning this library to the paper -- which
+    is exactly the point: `tests/test_scenarios.py` pins the library, the
+    vector exports that truth.
+    """
+    validator = GroupedValidator.from_pool(pool)
+    matcher = BruteForceMatcher(pool)
+    report = validator.validate(log)
+    expected = {
+        "overlap_edges": [list(edge) for edge in sorted(validator.graph.edges())],
+        "groups": [sorted(group) for group in validator.structure.groups],
+        "equations_baseline": validator.equations_baseline,
+        "equations_grouped": validator.equations_required,
+        "theoretical_gain": validator.theoretical_gain,
+        "set_counts": {
+            _set_key(license_set): count
+            for license_set, count in sorted(
+                log.counts_by_set().items(), key=lambda item: sorted(item[0])
+            )
+        },
+        "is_valid": report.is_valid,
+    }
+    if usages:
+        expected["match_sets"] = {
+            usage.license_id: sorted(matcher.match(usage)) for usage in usages
+        }
+    vector = {
+        "name": name,
+        "pool": pool_to_dict(pool, schema),
+        "log": [
+            {"set": sorted(record.license_set), "count": record.count}
+            for record in log
+        ],
+        "expected": expected,
+    }
+    if usages:
+        vector["usages"] = [license_to_dict(usage, schema) for usage in usages]
+    return vector
+
+
+def run_vector(vector: Dict) -> List[CheckResult]:
+    """Execute the pipeline over a vector; return per-check results."""
+    try:
+        pool, schema = pool_from_dict(vector["pool"])
+        expected = vector["expected"]
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed vector: {exc}") from exc
+    log = ValidationLog()
+    for entry in vector.get("log", []):
+        log.record(set(entry["set"]), int(entry["count"]))
+
+    validator = GroupedValidator.from_pool(pool)
+    results: List[CheckResult] = []
+
+    def check(name: str, actual, wanted) -> None:
+        passed = actual == wanted
+        detail = "" if passed else f"expected {wanted!r}, got {actual!r}"
+        results.append(CheckResult(name, passed, detail))
+
+    check(
+        "overlap_edges",
+        [list(edge) for edge in sorted(validator.graph.edges())],
+        expected["overlap_edges"],
+    )
+    check(
+        "groups",
+        [sorted(group) for group in validator.structure.groups],
+        expected["groups"],
+    )
+    check("equations_baseline", validator.equations_baseline,
+          expected["equations_baseline"])
+    check("equations_grouped", validator.equations_required,
+          expected["equations_grouped"])
+    gain_ok = abs(validator.theoretical_gain - expected["theoretical_gain"]) < 1e-9
+    results.append(
+        CheckResult(
+            "theoretical_gain",
+            gain_ok,
+            "" if gain_ok else f"expected {expected['theoretical_gain']}, "
+                               f"got {validator.theoretical_gain}",
+        )
+    )
+    check(
+        "set_counts",
+        {_set_key(s): c for s, c in log.counts_by_set().items()},
+        expected["set_counts"],
+    )
+    check("is_valid", validator.validate(log).is_valid, expected["is_valid"])
+
+    if "match_sets" in expected:
+        matcher = BruteForceMatcher(pool)
+        for usage_doc in vector.get("usages", []):
+            usage = license_from_dict(usage_doc, schema)
+            assert isinstance(usage, UsageLicense)
+            check(
+                f"match_set:{usage.license_id}",
+                sorted(matcher.match(usage)),
+                expected["match_sets"][usage.license_id],
+            )
+    return results
+
+
+def builtin_vectors() -> Iterator[Tuple[str, Dict]]:
+    """Yield the library's shipped vectors (paper Example 1 / Figure 2)."""
+    from repro.workloads.scenarios import (
+        example1,
+        example1_log,
+        figure2_pool,
+        figure2_usages,
+    )
+    from repro.licenses.schema import ConstraintSchema, DimensionSpec
+
+    scenario = example1()
+    yield "example1", make_vector(
+        "example1", scenario.pool, scenario.schema, example1_log(), scenario.usages
+    )
+    numeric_schema = ConstraintSchema(
+        [DimensionSpec.numeric("x"), DimensionSpec.numeric("y")]
+    )
+    yield "figure2", make_vector(
+        "figure2", figure2_pool(), numeric_schema, ValidationLog(), figure2_usages()
+    )
+
+
+def dumps_vector(vector: Dict, **json_kwargs) -> str:
+    """Serialize a vector to JSON."""
+    return json.dumps(vector, **json_kwargs)
+
+
+def loads_vector(text: str) -> Dict:
+    """Parse a vector from JSON."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid vector JSON: {exc}") from exc

@@ -1,0 +1,93 @@
+"""Division of the validation tree into per-group trees (Algorithm 4).
+
+Corollary 1.1 guarantees that no log record mixes licenses from two
+different groups, so every branch of the validation tree stays within one
+group, and in particular every *child of the root* belongs to exactly one
+group.  Algorithm 4 therefore only needs to re-link the root's children:
+child node ``T'`` with license index in group ``j`` becomes a child of the
+new root ``root_j``.  Subtrees are **shared, not copied** -- which is why
+the paper's Figure 10 finds the divided trees occupy essentially the same
+storage as the original.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import GroupingError
+from repro.core.grouping import GroupStructure
+from repro.validation.tree import TreeNode, ValidationTree
+
+__all__ = ["divide_tree", "verify_partition"]
+
+
+def divide_tree(
+    tree: ValidationTree, structure: GroupStructure
+) -> List[ValidationTree]:
+    """Split ``tree`` into one validation tree per group (Algorithm 4).
+
+    The input tree's root children are re-parented under fresh per-group
+    roots; subtree nodes are shared with the input tree (no copies).  The
+    input tree object should be considered consumed: its root keeps its old
+    child list, but subsequent index remapping (Algorithm 5) mutates the
+    shared nodes.
+
+    Returns
+    -------
+    list[ValidationTree]
+        One tree per group, in group order.  Groups with no log records
+        yield empty trees.
+
+    Raises
+    ------
+    GroupingError
+        If a root child's index is outside the structure's universe.
+    """
+    lookup = structure.group_lookup()
+    roots = [TreeNode() for _ in range(structure.count)]
+    for child in tree.root.children:
+        try:
+            group_id = lookup[child.index]
+        except KeyError:
+            raise GroupingError(
+                f"tree has license index {child.index} outside the "
+                f"group structure (N={structure.n})"
+            ) from None
+        roots[group_id].children.append(child)
+    # Children arrive in ascending index order from the ordered source
+    # tree, and ascending order is preserved under a stable re-partition.
+    return [ValidationTree(root) for root in roots]
+
+
+def verify_partition(tree: ValidationTree, structure: GroupStructure) -> None:
+    """Check Corollary 1.1 against an actual tree: no branch may contain
+    license indexes from two different groups.
+
+    This is the structural invariant Algorithm 4 relies on.  Logs produced
+    by instance matching always satisfy it (the licenses of a match set
+    mutually overlap, hence share a group); hand-crafted logs might not.
+
+    Raises
+    ------
+    GroupingError
+        On the first branch spanning two groups, or on an out-of-range
+        index.
+    """
+    lookup = structure.group_lookup()
+    stack = [(child, None) for child in tree.root.children]
+    while stack:
+        node, inherited_group = stack.pop()
+        try:
+            group_id = lookup[node.index]
+        except KeyError:
+            raise GroupingError(
+                f"tree has license index {node.index} outside the "
+                f"group structure (N={structure.n})"
+            ) from None
+        if inherited_group is not None and group_id != inherited_group:
+            raise GroupingError(
+                f"branch mixes groups {inherited_group + 1} and {group_id + 1} "
+                f"at license index {node.index}; such a set has C[S] = 0 by "
+                f"Corollary 1.1 and cannot come from instance matching"
+            )
+        stack.extend((child, group_id) for child in node.children)

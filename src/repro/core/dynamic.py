@@ -1,0 +1,143 @@
+"""Dynamic group maintenance as licenses are acquired (paper Section 5.A).
+
+The paper's Figure 6 discussion: when a distributor acquires a new
+redistribution license ``L_D^{N+1}``,
+
+* the group count **stays the same** if it overlaps licenses of exactly
+  one existing group,
+* **increases** if it overlaps no existing license,
+* **decreases** if it bridges two or more groups.
+
+:class:`DynamicGrouper` maintains the partition incrementally with a
+union-find: adding a license costs one overlap test per existing license
+plus near-constant-time unions, instead of recomputing components from the
+full adjacency matrix.  The resulting partition always equals a fresh
+Algorithm 3 run (property-tested), so the grouped validation pipeline can
+consume its :meth:`structure` directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import GroupingError
+from repro.core.grouping import GroupStructure
+from repro.core.unionfind import UnionFind
+from repro.geometry.box import Box
+from repro.licenses.license import RedistributionLicense
+from repro.licenses.pool import LicensePool
+
+__all__ = ["DynamicGrouper"]
+
+
+class DynamicGrouper:
+    """Incrementally maintained overlap groups over a growing license set.
+
+    Examples
+    --------
+    >>> from repro.workloads.scenarios import figure2_pool
+    >>> grouper = DynamicGrouper()
+    >>> for lic in figure2_pool():
+    ...     _ = grouper.add(lic.box)
+    >>> grouper.group_count
+    2
+    """
+
+    def __init__(self) -> None:
+        self._boxes: List[Box] = []
+        self._dsu = UnionFind()
+
+    @classmethod
+    def from_pool(cls, pool: LicensePool) -> "DynamicGrouper":
+        """Seed a grouper with every license already in a pool."""
+        grouper = cls()
+        for lic in pool:
+            grouper.add(lic.box)
+        return grouper
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, box: "Box | RedistributionLicense") -> Tuple[int, int]:
+        """Add a license (by box) and return ``(index, group_count)``.
+
+        ``index`` is the new license's 1-based index; ``group_count`` is
+        the partition size after the addition, so callers can observe the
+        paper's same/increase/decrease trichotomy directly.
+        """
+        if isinstance(box, RedistributionLicense):
+            box = box.box
+        if self._boxes and self._boxes[0].dimensions != box.dimensions:
+            raise GroupingError(
+                f"license has {box.dimensions} constraint axes, "
+                f"grouper tracks {self._boxes[0].dimensions}"
+            )
+        self._boxes.append(box)
+        index = len(self._boxes)
+        self._dsu.add(index)
+        for other_index, other_box in enumerate(self._boxes[:-1], start=1):
+            if box.overlaps(other_box):
+                self._dsu.union(index, other_index)
+        return index, self._dsu.component_count
+
+    def extend(self, pool: LicensePool) -> None:
+        """Add every license of a pool in order."""
+        for lic in pool:
+            self.add(lic.box)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Return the number of licenses tracked."""
+        return len(self._boxes)
+
+    @property
+    def group_count(self) -> int:
+        """Return the current number of groups."""
+        return self._dsu.component_count
+
+    def group_of(self, index: int) -> int:
+        """Return the 0-based group id of a 1-based license index
+        (consistent with :meth:`structure`'s ordering)."""
+        if not 1 <= index <= self.n:
+            raise GroupingError(f"license index {index} out of range 1..{self.n}")
+        representative = self._dsu.find(index)
+        for group_id, group in enumerate(self._dsu.sorted_components()):
+            if representative in group or index in group:
+                return group_id
+        raise GroupingError(f"internal error: index {index} not in any component")
+
+    def same_group(self, left: int, right: int) -> bool:
+        """Return ``True`` if two licenses currently share a group."""
+        for index in (left, right):
+            if not 1 <= index <= self.n:
+                raise GroupingError(
+                    f"license index {index} out of range 1..{self.n}"
+                )
+        return self._dsu.connected(left, right)
+
+    def structure(self) -> GroupStructure:
+        """Snapshot the partition as a :class:`GroupStructure` (ordered by
+        smallest member, like Algorithm 3)."""
+        if self.n == 0:
+            raise GroupingError("no licenses added yet")
+        return GroupStructure(tuple(self._dsu.sorted_components()), self.n)
+
+    def classify_addition(self, box: Box) -> str:
+        """Predict the paper's trichotomy for ``box`` WITHOUT adding it.
+
+        Returns ``"same"`` (connects into exactly one group),
+        ``"increase"`` (connects to none) or ``"decrease"`` (bridges
+        two or more groups).
+        """
+        touched = set()
+        for index, other_box in enumerate(self._boxes, start=1):
+            if box.overlaps(other_box):
+                touched.add(self._dsu.find(index))
+        if not touched:
+            return "increase"
+        if len(touched) == 1:
+            return "same"
+        return "decrease"

@@ -1,0 +1,66 @@
+"""Theoretical performance gain of the grouped validation (Equation 3).
+
+Without grouping, validation needs ``2^N - 1`` equations.  With groups of
+sizes ``N_1 .. N_g`` it needs ``Σ_k (2^{N_k} - 1)``.  The paper's
+approximate gain::
+
+    G ≈ (2^N - 1) / Σ_k (2^{N_k} - 1)
+
+ranges from 1 (a single group: no structure to exploit) up to
+``(2^N - 1) / N`` (N singleton groups).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import GroupingError
+from repro.core.grouping import GroupStructure
+
+__all__ = [
+    "equations_without_grouping",
+    "equations_with_grouping",
+    "theoretical_gain",
+    "gain_bounds",
+]
+
+
+def equations_without_grouping(n: int) -> int:
+    """Return ``2^N - 1``: equations the original validation tree checks."""
+    if n < 1:
+        raise GroupingError(f"need at least one license, got n={n}")
+    return (1 << n) - 1
+
+
+def equations_with_grouping(group_sizes: Sequence[int]) -> int:
+    """Return ``Σ_k (2^{N_k} - 1)``: equations after division."""
+    if not group_sizes:
+        raise GroupingError("need at least one group")
+    if any(size < 1 for size in group_sizes):
+        raise GroupingError(f"group sizes must be positive: {group_sizes!r}")
+    return sum((1 << size) - 1 for size in group_sizes)
+
+
+def theoretical_gain(group_sizes: Sequence[int]) -> float:
+    """Return the paper's Equation 3 gain for a partition into groups.
+
+    >>> round(theoretical_gain([3, 2]), 1)   # the paper's worked example
+    3.1
+    """
+    n = sum(group_sizes)
+    return equations_without_grouping(n) / equations_with_grouping(group_sizes)
+
+
+def gain_for_structure(structure: GroupStructure) -> float:
+    """Equation 3 evaluated on a concrete :class:`GroupStructure`."""
+    return theoretical_gain(structure.sizes)
+
+
+def gain_bounds(n: int) -> tuple:
+    """Return ``(min, max)`` achievable gains for ``n`` licenses.
+
+    The minimum is 1 (one connected group); the maximum is
+    ``(2^n - 1) / n`` (all licenses pairwise non-overlapping).
+    """
+    total = equations_without_grouping(n)
+    return (1.0, total / n)

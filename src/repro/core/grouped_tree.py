@@ -1,0 +1,167 @@
+"""The grouped validation structure: divided + remapped trees, ready to run.
+
+This bundles the outputs of Algorithms 3-5 into one object:
+
+* the :class:`~repro.core.grouping.GroupStructure` (who is in which group),
+* one remapped :class:`~repro.validation.tree.ValidationTree` per group,
+* the per-group aggregate arrays ``A_k``,
+
+and runs the standard Algorithm 2 validator
+(:class:`~repro.validation.tree_validator.TreeValidator`) on each tree,
+translating per-group violations back into global license indexes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import GroupingError
+from repro.core.division import divide_tree
+from repro.core.gain import equations_with_grouping, gain_for_structure
+from repro.core.grouping import GroupStructure
+from repro.core.remap import (
+    globalize_mask,
+    remap_tree_inplace,
+    remapped_aggregates,
+)
+from repro.validation.report import ValidationReport, Violation, make_report
+from repro.validation.tree import ValidationTree
+from repro.validation.tree_validator import TreeValidator
+
+__all__ = ["GroupedValidationTree"]
+
+
+class GroupedValidationTree:
+    """Per-group validation trees with their aggregate arrays.
+
+    Build with :meth:`from_tree` (consumes the original tree, as the
+    paper's division does) and run :meth:`validate`.
+    """
+
+    engine_name = "grouped-tree"
+
+    def __init__(
+        self,
+        structure: GroupStructure,
+        trees: Sequence[ValidationTree],
+        group_aggregates: Sequence[Sequence[int]],
+    ):
+        if len(trees) != structure.count or len(group_aggregates) != structure.count:
+            raise GroupingError(
+                f"expected {structure.count} trees/aggregate arrays, got "
+                f"{len(trees)}/{len(group_aggregates)}"
+            )
+        for group_id, (group, aggregates) in enumerate(
+            zip(structure.groups, group_aggregates)
+        ):
+            if len(aggregates) != len(group):
+                raise GroupingError(
+                    f"group {group_id + 1}: {len(aggregates)} aggregates for "
+                    f"{len(group)} licenses"
+                )
+        self._structure = structure
+        self._trees = list(trees)
+        self._aggregates = [list(aggregates) for aggregates in group_aggregates]
+
+    @classmethod
+    def from_tree(
+        cls,
+        tree: ValidationTree,
+        aggregates: Sequence[int],
+        structure: GroupStructure,
+    ) -> "GroupedValidationTree":
+        """Divide and remap an original validation tree (Algorithms 4 + 5).
+
+        The input ``tree`` is consumed: its nodes are shared with (and
+        mutated by) the produced per-group trees.
+        """
+        if structure.n != len(aggregates):
+            raise GroupingError(
+                f"structure covers {structure.n} licenses but "
+                f"{len(aggregates)} aggregates were provided"
+            )
+        parts = divide_tree(tree, structure)
+        group_aggregates: List[List[int]] = []
+        for group_id, part in enumerate(parts):
+            remap_tree_inplace(part, structure, group_id)
+            group_aggregates.append(remapped_aggregates(aggregates, structure, group_id))
+        return cls(structure, parts, group_aggregates)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def structure(self) -> GroupStructure:
+        """Return the group structure behind the division."""
+        return self._structure
+
+    @property
+    def trees(self) -> Tuple[ValidationTree, ...]:
+        """Return the per-group trees (local index space)."""
+        return tuple(self._trees)
+
+    @property
+    def group_aggregates(self) -> Tuple[Tuple[int, ...], ...]:
+        """Return the per-group aggregate arrays ``A_k``."""
+        return tuple(tuple(aggregates) for aggregates in self._aggregates)
+
+    def node_count(self) -> int:
+        """Return total stored nodes across all trees -- the storage metric
+        of Figure 10 (only ``g`` extra root nodes vs. the original)."""
+        return sum(tree.node_count() for tree in self._trees)
+
+    @property
+    def equations_required(self) -> int:
+        """Return ``Σ_k (2^{N_k} - 1)``."""
+        return equations_with_grouping(self._structure.sizes)
+
+    @property
+    def theoretical_gain(self) -> float:
+        """Return the paper's Equation 3 gain for this structure."""
+        return gain_for_structure(self._structure)
+
+    def subset_sum(self, global_mask: int) -> int:
+        """Return ``C⟨S⟩`` for a *global* mask through the divided trees.
+
+        Theorem 2 in executable form: the LHS of any equation equals the
+        sum of its per-group projections, so the divided structure can
+        answer every global query the original tree could --
+        ``C⟨S⟩ = Σ_k C⟨S ∩ G_k⟩`` with each term evaluated in its group's
+        local index space.
+        """
+        total = 0
+        for group_id, tree in enumerate(self._trees):
+            members = self._structure.sorted_members(group_id)
+            local_mask = 0
+            for position, global_index in enumerate(members):
+                if global_mask & (1 << (global_index - 1)):
+                    local_mask |= 1 << position
+            if local_mask:
+                total += tree.subset_sum(local_mask)
+        return total
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, stop_at_first: bool = False) -> ValidationReport:
+        """Run Algorithm 2 on every per-group tree.
+
+        Violations are translated back into **global** license indexes so
+        the report is directly comparable with the ungrouped engines'.
+        """
+        violations: List[Violation] = []
+        checked = 0
+        for group_id, (tree, aggregates) in enumerate(
+            zip(self._trees, self._aggregates)
+        ):
+            validator = TreeValidator(aggregates)
+            report = validator.validate(tree, stop_at_first=stop_at_first)
+            checked += report.equations_checked
+            for violation in report.violations:
+                global_mask = globalize_mask(
+                    self._structure, group_id, violation.mask
+                )
+                violations.append(Violation(global_mask, violation.lhs, violation.rhs))
+            if stop_at_first and violations:
+                break
+        return make_report(self.engine_name, checked, violations)

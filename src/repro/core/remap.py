@@ -1,0 +1,120 @@
+"""Index remapping of divided trees (Algorithm 5).
+
+After division, the ``k``-th tree still carries *global* license indexes,
+but Algorithm 2 requires indexes ``1..N_k`` (its equation counter encodes
+exactly ``N_k`` bit positions).  Algorithm 5 computes the ``position_k``
+array -- the ``p``-th smallest member of group ``k`` gets local index ``p``
+-- rewrites every node, and derives the per-group aggregate array ``A_k``
+from the global array ``A``.
+
+Because ``position_k`` is monotone over the group's (ascending) global
+indexes, the rewrite preserves the tree's ordered-children invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import GroupingError
+from repro.core.grouping import GroupStructure
+from repro.validation.tree import ValidationTree
+
+__all__ = [
+    "globalize_mask",
+    "local_to_global",
+    "position_array",
+    "remap_tree_inplace",
+    "remapped_aggregates",
+]
+
+
+def position_array(structure: GroupStructure, group_id: int) -> Dict[int, int]:
+    """Return the paper's ``position_k``: global index -> local index.
+
+    (The paper stores it as a length-N array with zeros for non-members;
+    a dict keyed by the members is the natural Python shape.)
+
+    >>> from repro.core.grouping import GroupStructure
+    >>> s = GroupStructure((frozenset({1, 2, 4}), frozenset({3, 5})), 5)
+    >>> position_array(s, 1)
+    {3: 1, 5: 2}
+    """
+    members = structure.sorted_members(group_id)
+    return {global_index: p for p, global_index in enumerate(members, start=1)}
+
+
+def local_to_global(structure: GroupStructure, group_id: int) -> Tuple[int, ...]:
+    """Return the inverse of ``position_k``: ``result[p-1]`` is the global
+    index of local index ``p``.  Used to translate per-group violations
+    back into global license sets."""
+    return structure.sorted_members(group_id)
+
+
+def globalize_mask(structure: GroupStructure, group_id: int, local_mask: int) -> int:
+    """Translate a group-local bitmask back into the global index space.
+
+    The inverse of the per-group remapping for equation masks: bit ``p-1``
+    of ``local_mask`` becomes bit ``j-1`` where ``j`` is the ``p``-th
+    smallest member of the group.  Used to report per-group violations in
+    global license indexes.
+
+    >>> from repro.core.grouping import GroupStructure
+    >>> s = GroupStructure((frozenset({1, 2, 4}), frozenset({3, 5})), 5)
+    >>> bin(globalize_mask(s, 1, 0b11))      # local {1,2} -> global {3,5}
+    '0b10100'
+    """
+    globals_of = structure.sorted_members(group_id)
+    if local_mask >> len(globals_of):
+        raise GroupingError(
+            f"local mask {local_mask:#b} exceeds group size {len(globals_of)}"
+        )
+    global_mask = 0
+    position = 0
+    while local_mask:
+        if local_mask & 1:
+            global_mask |= 1 << (globals_of[position] - 1)
+        local_mask >>= 1
+        position += 1
+    return global_mask
+
+
+def remapped_aggregates(
+    aggregates: Sequence[int], structure: GroupStructure, group_id: int
+) -> List[int]:
+    """Return ``A_k``: the aggregate array of group ``k`` in local order
+    (the ``A_k[p] = A[j]`` assignment inside Algorithm 5)."""
+    members = structure.sorted_members(group_id)
+    if members and members[-1] > len(aggregates):
+        raise GroupingError(
+            f"group references license {members[-1]} but only "
+            f"{len(aggregates)} aggregates were provided"
+        )
+    return [aggregates[global_index - 1] for global_index in members]
+
+
+def remap_tree_inplace(
+    tree: ValidationTree, structure: GroupStructure, group_id: int
+) -> None:
+    """Rewrite every node index of a divided tree to its local index.
+
+    Mutates ``tree`` (the nodes are shared with the pre-division tree, which
+    Algorithm 5 likewise consumes).  Idempotence is *not* guaranteed --
+    remapping twice would corrupt indexes -- so
+    :class:`repro.core.grouped_tree.GroupedValidationTree` performs it
+    exactly once at construction.
+
+    Raises
+    ------
+    GroupingError
+        If a node's index is not a member of the given group (the tree was
+        divided against a different structure).
+    """
+    position = position_array(structure, group_id)
+    for node in tree.iter_nodes():
+        try:
+            node.index = position[node.index]
+        except KeyError:
+            raise GroupingError(
+                f"node index {node.index} is not in group {group_id + 1} "
+                f"({sorted(structure.groups[group_id])})"
+            ) from None

@@ -1,0 +1,107 @@
+"""Disjoint-set union (union-find) substrate for dynamic grouping.
+
+Section 5.A of the paper discusses what happens to the group count when a
+new redistribution license arrives: it stays the same (connects into one
+group), increases (connects to none) or decreases (bridges several).
+Recomputing components from scratch on every arrival is O(N²); a
+union-find keeps additions nearly O(α(N)) per overlap edge, which
+:class:`repro.core.dynamic.DynamicGrouper` builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Set
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Union-find with path compression and union by size.
+
+    Elements are arbitrary hashables, created lazily on first use.
+
+    Examples
+    --------
+    >>> dsu = UnionFind()
+    >>> dsu.union(1, 2)
+    True
+    >>> dsu.connected(1, 2)
+    True
+    >>> dsu.union(1, 2)   # already together
+    False
+    """
+
+    def __init__(self) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+        self._components = 0
+
+    def add(self, element: Hashable) -> bool:
+        """Register an element as its own singleton set.
+
+        Returns ``True`` if the element was new.
+        """
+        if element in self._parent:
+            return False
+        self._parent[element] = element
+        self._size[element] = 1
+        self._components += 1
+        return True
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the canonical representative of ``element``'s set."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, left: Hashable, right: Hashable) -> bool:
+        """Merge the sets containing ``left`` and ``right``.
+
+        Returns ``True`` if a merge happened (they were separate).
+        """
+        root_left, root_right = self.find(left), self.find(right)
+        if root_left == root_right:
+            return False
+        if self._size[root_left] < self._size[root_right]:
+            root_left, root_right = root_right, root_left
+        self._parent[root_right] = root_left
+        self._size[root_left] += self._size[root_right]
+        self._components -= 1
+        return True
+
+    def connected(self, left: Hashable, right: Hashable) -> bool:
+        """Return ``True`` if both elements are in the same set."""
+        return self.find(left) == self.find(right)
+
+    def component_size(self, element: Hashable) -> int:
+        """Return the size of the set containing ``element``."""
+        return self._size[self.find(element)]
+
+    @property
+    def component_count(self) -> int:
+        """Return the number of disjoint sets."""
+        return self._components
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def components(self) -> Iterator[Set[Hashable]]:
+        """Yield every disjoint set (order: by first-seen representative)."""
+        by_root: Dict[Hashable, Set[Hashable]] = {}
+        for element in self._parent:
+            by_root.setdefault(self.find(element), set()).add(element)
+        yield from by_root.values()
+
+    def sorted_components(self) -> List[frozenset]:
+        """Return components as frozensets ordered by smallest member --
+        the same discovery order Algorithm 3 produces for 1-based license
+        indexes."""
+        return sorted((frozenset(c) for c in self.components()), key=min)

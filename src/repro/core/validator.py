@@ -1,0 +1,217 @@
+"""End-to-end grouped validation (the paper's proposed method).
+
+:class:`GroupedValidator` is the library's headline API.  Given a pool of
+redistribution licenses it runs, once, the geometric pipeline of Section 3:
+
+1. overlap graph over the license hyper-rectangles (Section 3.2),
+2. group formation by DFS (Algorithm 3),
+
+and then, per offline validation run over a log:
+
+3. build the original validation tree (Algorithm 1),
+4. divide it into per-group trees (Algorithm 4),
+5. remap indexes and aggregate arrays (Algorithm 5),
+6. validate each group with Algorithm 2.
+
+Total equations checked: ``Σ_k (2^{N_k} - 1)`` instead of ``2^N - 1``.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import GroupingError, ValidationError
+from repro.core.gain import (
+    equations_with_grouping,
+    equations_without_grouping,
+    gain_for_structure,
+)
+from repro.core.grouped_tree import GroupedValidationTree
+from repro.core.grouping import GroupStructure, form_groups
+from repro.core.overlap import OverlapGraph
+from repro.geometry.box import Box
+from repro.licenses.pool import LicensePool
+from repro.logstore.log import ValidationLog
+from repro.validation.capacity import headroom as _headroom
+from repro.validation.bitset import mask_from_indexes
+from repro.validation.report import ValidationReport
+from repro.validation.tree import ValidationTree
+
+__all__ = ["GroupedValidator"]
+
+logger = logging.getLogger(__name__)
+
+
+class GroupedValidator:
+    """Grouped (divided-tree) offline aggregate validation.
+
+    Examples
+    --------
+    >>> from repro.workloads.scenarios import example1, example1_log
+    >>> scenario = example1()
+    >>> validator = GroupedValidator.from_pool(scenario.pool)
+    >>> validator.structure.sizes       # groups {1,2,4} and {3,5}
+    (3, 2)
+    >>> round(validator.theoretical_gain, 1)
+    3.1
+    >>> validator.validate(example1_log()).is_valid
+    True
+    """
+
+    def __init__(self, boxes: Sequence[Box], aggregates: Sequence[int]):
+        if len(boxes) != len(aggregates):
+            raise ValidationError(
+                f"{len(boxes)} boxes but {len(aggregates)} aggregates"
+            )
+        if not boxes:
+            raise ValidationError("need at least one redistribution license")
+        self._aggregates = list(aggregates)
+        self._graph = OverlapGraph.from_boxes(boxes)
+        self._structure = form_groups(self._graph)
+        logger.debug(
+            "grouped validator: N=%d, %d overlap edge(s), %d group(s) %s",
+            len(aggregates),
+            self._graph.edge_count(),
+            self._structure.count,
+            list(self._structure.sizes),
+        )
+
+    @classmethod
+    def from_pool(cls, pool: LicensePool) -> "GroupedValidator":
+        """Build from a license pool (boxes + aggregate array)."""
+        return cls(pool.boxes(), pool.aggregate_array())
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Return the number of redistribution licenses ``N``."""
+        return len(self._aggregates)
+
+    @property
+    def graph(self) -> OverlapGraph:
+        """Return the overlap graph."""
+        return self._graph
+
+    @property
+    def structure(self) -> GroupStructure:
+        """Return the group partition (Algorithm 3 output)."""
+        return self._structure
+
+    @property
+    def aggregates(self) -> List[int]:
+        """Return a copy of the aggregate array ``A``."""
+        return list(self._aggregates)
+
+    @property
+    def equations_required(self) -> int:
+        """Return ``Σ_k (2^{N_k} - 1)`` -- the grouped equation count."""
+        return equations_with_grouping(self._structure.sizes)
+
+    @property
+    def equations_baseline(self) -> int:
+        """Return ``2^N - 1`` -- the ungrouped equation count."""
+        return equations_without_grouping(self.n)
+
+    @property
+    def theoretical_gain(self) -> float:
+        """Return the paper's Equation 3 gain."""
+        return gain_for_structure(self._structure)
+
+    # ------------------------------------------------------------------
+    # Validation pipeline
+    # ------------------------------------------------------------------
+    def build(self, log: ValidationLog) -> GroupedValidationTree:
+        """Build the original tree from ``log``, divide and remap it.
+
+        (Steps 3-5 of the pipeline; exposed separately so benchmarks can
+        time construction vs. division vs. validation, as Figures 7 and 9
+        of the paper do.)
+        """
+        tree = ValidationTree.from_log(log)
+        return self.divide(tree)
+
+    def divide(self, tree: ValidationTree) -> GroupedValidationTree:
+        """Divide and remap an already-built original tree (consumes it)."""
+        return GroupedValidationTree.from_tree(tree, self._aggregates, self._structure)
+
+    def validate(
+        self, log: ValidationLog, stop_at_first: bool = False
+    ) -> ValidationReport:
+        """Full offline validation of a log with the proposed method."""
+        report = self.build(log).validate(stop_at_first=stop_at_first)
+        if report.is_valid:
+            logger.info(
+                "validation OK: %d equations over %d records",
+                report.equations_checked,
+                len(log),
+            )
+        else:
+            logger.warning(
+                "validation FAILED: %d violation(s), worst excess %d",
+                len(report.violations),
+                max(v.excess for v in report.violations),
+            )
+        return report
+
+    def explain(self) -> str:
+        """Return a human-readable summary of the geometric analysis.
+
+        Covers the overlap graph, the discovered groups, and the equation
+        arithmetic of Eq. 3 -- the narrative of Section 3 for *this* pool.
+        """
+        lines = [
+            f"{self.n} redistribution licenses; overlap graph has "
+            f"{self._graph.edge_count()} edge(s)",
+            f"groups ({self._structure.count}): "
+            + ", ".join(
+                "{" + ", ".join(f"LD{i}" for i in sorted(group)) + "}"
+                for group in self._structure.groups
+            ),
+            f"validation equations: 2^{self.n} - 1 = "
+            f"{self.equations_baseline:,} without grouping; "
+            + " + ".join(
+                f"(2^{size} - 1)" for size in self._structure.sizes
+            )
+            + f" = {self.equations_required:,} with grouping",
+            f"theoretical gain (Eq. 3): {self.theoretical_gain:,.1f}x",
+        ]
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Headroom (group-restricted, per Theorem 2)
+    # ------------------------------------------------------------------
+    def headroom(self, log: ValidationLog, license_set: Iterable[int]) -> int:
+        """Return the largest count issuable against ``license_set`` now.
+
+        The superset enumeration is restricted to the set's own group: by
+        Theorem 2 the cross-group equations are sums of per-group ones, so
+        they can never be the binding constraint.  This turns an
+        ``O(2^(N-|S|))`` scan into ``O(2^(N_k-|S|))``.
+
+        Raises
+        ------
+        GroupingError
+            If ``license_set`` spans two groups -- such a set can never be
+            produced by instance matching (Corollary 1.1).
+        """
+        members = sorted(set(license_set))
+        if not members:
+            raise ValidationError("license set must be non-empty")
+        group_ids = {self._structure.group_of(index) for index in members}
+        if len(group_ids) != 1:
+            raise GroupingError(
+                f"set {members} spans groups "
+                f"{sorted(g + 1 for g in group_ids)}; instance matching can "
+                f"never produce a cross-group set (Corollary 1.1)"
+            )
+        group_id = group_ids.pop()
+        tree = ValidationTree.from_log(log)
+        return _headroom(
+            tree,
+            self._aggregates,
+            mask_from_indexes(members),
+            universe_mask=self._structure.masks()[group_id],
+        )

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GeometryError(ReproError):
+    """Raised for invalid geometric objects or operations.
+
+    Examples: an interval whose lower bound exceeds its upper bound, or a
+    box operation between boxes of different dimensionality.
+    """
+
+
+class DimensionMismatchError(GeometryError):
+    """Raised when two geometric objects have incompatible dimensions."""
+
+
+class SchemaError(ReproError):
+    """Raised when license constraints do not match their declared schema."""
+
+
+class LicenseError(ReproError):
+    """Raised for malformed licenses (bad counts, unknown permissions...)."""
+
+
+class RegionError(LicenseError):
+    """Raised for unknown region names or malformed region taxonomies."""
+
+
+class LogError(ReproError):
+    """Raised for malformed log records or inconsistent log operations."""
+
+
+class ValidationError(ReproError):
+    """Raised when a validation routine is invoked with inconsistent inputs.
+
+    Note: a *failed* validation (an aggregate constraint violation) is not an
+    error -- it is reported through :class:`repro.validation.report.ValidationReport`.
+    This exception covers misuse, e.g. an aggregate array whose length does
+    not match the number of licenses in the tree.
+    """
+
+
+class GroupingError(ReproError):
+    """Raised for inconsistent group structures (e.g. a log record whose
+    license set spans two disconnected groups, which Theorem 1 forbids)."""
+
+
+class SerializationError(ReproError):
+    """Raised when (de)serializing licenses or logs fails."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload-generator configurations."""

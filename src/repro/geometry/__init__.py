@@ -1,0 +1,19 @@
+"""Geometric substrate: intervals, discrete extents, and hyper-rectangles.
+
+The paper's Section 3.1 maps every license with ``M`` instance-based
+constraints onto an M-dimensional hyper-rectangle; this subpackage supplies
+that geometry.
+"""
+
+from repro.geometry.box import Box, Extent, common_region
+from repro.geometry.discrete import DiscreteSet, as_discrete
+from repro.geometry.interval import Interval
+
+__all__ = [
+    "Box",
+    "DiscreteSet",
+    "Extent",
+    "Interval",
+    "as_discrete",
+    "common_region",
+]

@@ -1,0 +1,176 @@
+"""M-dimensional boxes (hyper-rectangles) over mixed extents.
+
+Section 3.1 of the paper represents every license with ``M`` instance-based
+constraints as an M-dimensional hyper-rectangle.  Each axis of a
+:class:`Box` is either an :class:`~repro.geometry.interval.Interval`
+(ordered constraints: validity period, resolution, ...) or a
+:class:`~repro.geometry.discrete.DiscreteSet` (categorical constraints:
+regions, device classes, ...).  Both extent types expose the same
+``contains`` / ``overlaps`` / ``intersection`` protocol, so the box treats
+axes uniformly.
+
+The two predicates that drive the whole paper:
+
+* ``outer.contains(inner)`` — the geometric form of *instance-based
+  validation*: an issued license is instance-valid against a redistribution
+  license iff the redistribution box fully contains the issued box.
+* ``a.overlaps(b)`` — the *overlapping licenses* relation of Section 3.2:
+  two licenses overlap iff **all** their constraint axes overlap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.errors import DimensionMismatchError, GeometryError
+from repro.geometry.discrete import DiscreteSet
+from repro.geometry.interval import Interval
+
+__all__ = ["Box", "Extent"]
+
+#: A single axis of a box: ordered range or categorical set.
+Extent = Union[Interval, DiscreteSet]
+
+
+class Box:
+    """An axis-aligned hyper-rectangle with mixed interval/discrete axes.
+
+    Examples
+    --------
+    >>> outer = Box([Interval(0, 10), DiscreteSet({"asia", "europe"})])
+    >>> inner = Box([Interval(2, 5), DiscreteSet({"asia"})])
+    >>> outer.contains(inner)
+    True
+    >>> outer.overlaps(Box([Interval(9, 20), DiscreteSet({"europe"})]))
+    True
+    """
+
+    __slots__ = ("_extents",)
+
+    def __init__(self, extents: Sequence[Extent]):
+        if not extents:
+            raise GeometryError("a box needs at least one dimension")
+        for axis, extent in enumerate(extents):
+            if not isinstance(extent, (Interval, DiscreteSet)):
+                raise GeometryError(
+                    f"axis {axis}: expected Interval or DiscreteSet, "
+                    f"got {type(extent).__name__}"
+                )
+        self._extents: Tuple[Extent, ...] = tuple(extents)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def extents(self) -> Tuple[Extent, ...]:
+        """Return the per-axis extents in schema order."""
+        return self._extents
+
+    @property
+    def dimensions(self) -> int:
+        """Return the number of constraint axes ``M``."""
+        return len(self._extents)
+
+    def extent(self, axis: int) -> Extent:
+        """Return the extent on a single axis."""
+        return self._extents[axis]
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "Box") -> None:
+        if self.dimensions != other.dimensions:
+            raise DimensionMismatchError(
+                f"boxes have different dimensionality: "
+                f"{self.dimensions} vs {other.dimensions}"
+            )
+        for axis, (mine, theirs) in enumerate(zip(self._extents, other._extents)):
+            if type(mine) is not type(theirs):
+                raise DimensionMismatchError(
+                    f"axis {axis}: extent kinds differ "
+                    f"({type(mine).__name__} vs {type(theirs).__name__})"
+                )
+
+    def contains(self, other: "Box") -> bool:
+        """Return ``True`` if ``other`` lies entirely inside this box.
+
+        This is the instance-based validation predicate: every constraint of
+        the inner license must be within the corresponding constraint range
+        of the outer license.
+        """
+        self._check_compatible(other)
+        return all(
+            mine.contains(theirs)  # type: ignore[arg-type]
+            for mine, theirs in zip(self._extents, other._extents)
+        )
+
+    def overlaps(self, other: "Box") -> bool:
+        """Return ``True`` if the boxes overlap on **every** axis.
+
+        Definition from Section 3.2: licenses ``j`` and ``k`` overlap iff
+        ``I_m^j ∩ I_m^k ≠ ∅`` for all ``m ≤ M``.
+        """
+        self._check_compatible(other)
+        return all(
+            mine.overlaps(theirs)  # type: ignore[arg-type]
+            for mine, theirs in zip(self._extents, other._extents)
+        )
+
+    # ------------------------------------------------------------------
+    # Constructive operations
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Box") -> Optional["Box"]:
+        """Return the common region, or ``None`` if the boxes are disjoint.
+
+        Used to test Theorem 1: a set of licenses has a *common overlapping
+        region* iff the intersection of all their boxes is non-empty.
+        """
+        self._check_compatible(other)
+        pieces = []
+        for mine, theirs in zip(self._extents, other._extents):
+            piece = mine.intersection(theirs)  # type: ignore[arg-type]
+            if piece is None:
+                return None
+            pieces.append(piece)
+        return Box(pieces)
+
+    def union_hull(self, other: "Box") -> "Box":
+        """Return the smallest box containing both operands."""
+        self._check_compatible(other)
+        return Box(
+            [
+                mine.union_hull(theirs)  # type: ignore[arg-type]
+                for mine, theirs in zip(self._extents, other._extents)
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Box):
+            return NotImplemented
+        return self._extents == other._extents
+
+    def __hash__(self) -> int:
+        return hash(self._extents)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Box({list(self._extents)!r})"
+
+
+def common_region(boxes: Sequence[Box]) -> Optional[Box]:
+    """Return the region common to all ``boxes``, or ``None`` if there is none.
+
+    Theorem 1 of the paper: if the licenses of a set ``S`` have no common
+    region, then ``C[S]`` is identically zero, because no issued license box
+    can sit inside all of them simultaneously.
+    """
+    if not boxes:
+        raise GeometryError("common_region needs at least one box")
+    region: Optional[Box] = boxes[0]
+    for box in boxes[1:]:
+        region = region.intersection(box)
+        if region is None:
+            return None
+    return region

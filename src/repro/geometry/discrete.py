@@ -1,0 +1,131 @@
+"""Discrete (categorical) constraint extents.
+
+Constraints such as *region allowed for distribution* are not ranges over an
+ordered axis but sets of categories (``[Asia, Europe]``).  Geometrically the
+paper still treats them as one axis of the license hyper-rectangle; the
+containment and overlap predicates become subset and set-intersection tests.
+
+A :class:`DiscreteSet` stores an immutable frozenset of hashable atoms
+(typically integer leaf-region codes produced by
+:class:`repro.licenses.regions.RegionTaxonomy`).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Any, FrozenSet, Iterable, Iterator, Optional
+
+from repro.errors import GeometryError
+
+__all__ = ["DiscreteSet"]
+
+
+class DiscreteSet:
+    """An immutable set-valued extent on a categorical constraint axis.
+
+    Examples
+    --------
+    >>> asia = DiscreteSet(["india", "japan"])
+    >>> india = DiscreteSet(["india"])
+    >>> asia.contains(india)
+    True
+    >>> asia.overlaps(DiscreteSet(["japan", "france"]))
+    True
+    """
+
+    __slots__ = ("_atoms",)
+
+    def __init__(self, atoms: Iterable[Any]):
+        self._atoms: FrozenSet[Any] = frozenset(atoms)
+        if not self._atoms:
+            raise GeometryError("a discrete extent must contain at least one atom")
+
+    # ------------------------------------------------------------------
+    # Predicates (mirror the Interval API so Box can treat axes uniformly)
+    # ------------------------------------------------------------------
+    def contains_point(self, value: Any) -> bool:
+        """Return ``True`` if ``value`` is one of the allowed atoms."""
+        return value in self._atoms
+
+    def contains(self, other: "DiscreteSet") -> bool:
+        """Return ``True`` if every atom of ``other`` is allowed here."""
+        return other._atoms <= self._atoms
+
+    def overlaps(self, other: "DiscreteSet") -> bool:
+        """Return ``True`` if the two extents share at least one atom."""
+        # Iterate over the smaller set for speed on skewed sizes.
+        small, large = (
+            (self._atoms, other._atoms)
+            if len(self._atoms) <= len(other._atoms)
+            else (other._atoms, self._atoms)
+        )
+        return any(atom in large for atom in small)
+
+    def is_degenerate(self) -> bool:
+        """Return ``True`` for a single-atom extent."""
+        return len(self._atoms) == 1
+
+    # ------------------------------------------------------------------
+    # Constructive operations
+    # ------------------------------------------------------------------
+    def intersection(self, other: "DiscreteSet") -> Optional["DiscreteSet"]:
+        """Return the shared atoms as a new extent, or ``None`` if disjoint."""
+        common = self._atoms & other._atoms
+        if not common:
+            return None
+        return DiscreteSet(common)
+
+    def union_hull(self, other: "DiscreteSet") -> "DiscreteSet":
+        """Return the union of the two extents.
+
+        For discrete axes the smallest containing extent *is* the union
+        (there is no notion of in-between categories).
+        """
+        return DiscreteSet(self._atoms | other._atoms)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def atoms(self) -> FrozenSet[Any]:
+        """Return the underlying frozenset of allowed atoms."""
+        return self._atoms
+
+    @property
+    def length(self) -> int:
+        """Return the number of atoms (the discrete analogue of a measure)."""
+        return len(self._atoms)
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __contains__(self, value: Any) -> bool:
+        return self.contains_point(value)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiscreteSet):
+            return NotImplemented
+        return self._atoms == other._atoms
+
+    def __hash__(self) -> int:
+        return hash(self._atoms)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        shown = sorted(self._atoms, key=repr)
+        return f"DiscreteSet({shown!r})"
+
+
+def as_discrete(value: "DiscreteSet | AbstractSet[Any] | Iterable[Any]") -> DiscreteSet:
+    """Coerce plain iterables/sets into a :class:`DiscreteSet`.
+
+    Accepting raw sets at API boundaries keeps user code free of wrapper
+    noise: ``RedistributionLicense(..., region={"asia", "europe"})``.
+    """
+    if isinstance(value, DiscreteSet):
+        return value
+    return DiscreteSet(value)

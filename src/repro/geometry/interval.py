@@ -1,0 +1,139 @@
+"""Closed intervals over a totally ordered domain.
+
+Instance-based constraints such as a license validity period are ranges of
+allowed values.  The paper models each such constraint as one axis of an
+M-dimensional hyper-rectangle; this module provides the one-dimensional
+building block.
+
+Intervals are *closed* on both ends, matching the paper's semantics where a
+usage license with ``T = [15/03/09, 19/03/09]`` is contained in a
+redistribution license with ``T = [10/03/09, 20/03/09]`` (endpoints count).
+Endpoints may be any mutually comparable values: ints, floats, or
+:class:`datetime.date` ordinals produced by :mod:`repro.licenses.dates`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from repro.errors import GeometryError
+
+__all__ = ["Interval"]
+
+
+@dataclass(frozen=True, order=False)
+class Interval:
+    """A closed interval ``[low, high]``.
+
+    Parameters
+    ----------
+    low, high:
+        Inclusive bounds.  ``low`` must not exceed ``high``.
+
+    Examples
+    --------
+    >>> a = Interval(10, 20)
+    >>> b = Interval(15, 25)
+    >>> a.overlaps(b)
+    True
+    >>> a.contains(Interval(15, 19))
+    True
+    >>> a.intersection(b)
+    Interval(low=15, high=20)
+    """
+
+    low: Any
+    high: Any
+
+    def __post_init__(self) -> None:
+        try:
+            inverted = self.low > self.high
+        except TypeError as exc:
+            raise GeometryError(
+                f"interval bounds are not comparable: {self.low!r}, {self.high!r}"
+            ) from exc
+        if inverted:
+            raise GeometryError(
+                f"interval low bound {self.low!r} exceeds high bound {self.high!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, value: Any) -> bool:
+        """Return ``True`` if ``value`` lies in the closed interval."""
+        return self.low <= value <= self.high
+
+    def contains(self, other: "Interval") -> bool:
+        """Return ``True`` if ``other`` is entirely within this interval.
+
+        This is the instance-constraint check of the paper: the range in a
+        newly generated license must be *within* the corresponding range of
+        the redistribution license used to generate it.
+        """
+        return self.low <= other.low and other.high <= self.high
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Return ``True`` if the two closed intervals share any point."""
+        return self.low <= other.high and other.low <= self.high
+
+    def is_degenerate(self) -> bool:
+        """Return ``True`` if the interval is a single point."""
+        return self.low == self.high
+
+    # ------------------------------------------------------------------
+    # Constructive operations
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        """Return the overlapping sub-interval, or ``None`` if disjoint."""
+        if not self.overlaps(other):
+            return None
+        return Interval(max(self.low, other.low), min(self.high, other.high))
+
+    def union_hull(self, other: "Interval") -> "Interval":
+        """Return the smallest interval containing both operands."""
+        return Interval(min(self.low, other.low), max(self.high, other.high))
+
+    def expanded(self, amount: Any) -> "Interval":
+        """Return a copy widened by ``amount`` on each side."""
+        return Interval(self.low - amount, self.high + amount)
+
+    def clamped(self, outer: "Interval") -> "Interval":
+        """Return this interval clipped to lie inside ``outer``.
+
+        Raises
+        ------
+        GeometryError
+            If the two intervals are disjoint, so no clamped interval exists.
+        """
+        clipped = self.intersection(outer)
+        if clipped is None:
+            raise GeometryError(f"cannot clamp {self} into disjoint {outer}")
+        return clipped
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> Any:
+        """Return ``high - low`` (0 for degenerate intervals)."""
+        return self.high - self.low
+
+    @property
+    def midpoint(self) -> Any:
+        """Return the arithmetic midpoint of the bounds."""
+        return (self.low + self.high) / 2
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __contains__(self, value: Any) -> bool:
+        return self.contains_point(value)
+
+    def __iter__(self) -> Iterator[Any]:
+        yield self.low
+        yield self.high
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"[{self.low}, {self.high}]"

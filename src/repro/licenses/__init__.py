@@ -1,0 +1,31 @@
+"""License model: permissions, constraints, regions, license objects, pools."""
+
+from repro.licenses.dates import date_interval, format_date, parse_date, to_ordinal
+from repro.licenses.license import (
+    LicenseBase,
+    LicenseFactory,
+    RedistributionLicense,
+    UsageLicense,
+)
+from repro.licenses.permission import Permission
+from repro.licenses.pool import LicensePool
+from repro.licenses.regions import WORLD, RegionTaxonomy
+from repro.licenses.schema import ConstraintSchema, DimensionKind, DimensionSpec
+
+__all__ = [
+    "ConstraintSchema",
+    "DimensionKind",
+    "DimensionSpec",
+    "LicenseBase",
+    "LicenseFactory",
+    "LicensePool",
+    "Permission",
+    "RedistributionLicense",
+    "RegionTaxonomy",
+    "UsageLicense",
+    "WORLD",
+    "date_interval",
+    "format_date",
+    "parse_date",
+    "to_ordinal",
+]

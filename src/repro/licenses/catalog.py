@@ -1,0 +1,162 @@
+"""Multi-content license catalogs.
+
+A real distributor holds redistribution licenses for *many* contents and
+permissions.  Validation is always scoped to one ``(content, permission)``
+pair -- Section 2's whole apparatus assumes a single scope -- so a
+:class:`LicenseCatalog` simply routes licenses, issuances and validation
+requests to the right per-scope pool/log, building grouped validators
+lazily and invalidating them when a scope's pool grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import LicenseError, ValidationError
+from repro.core.validator import GroupedValidator
+from repro.licenses.license import RedistributionLicense, UsageLicense
+from repro.licenses.permission import Permission
+from repro.licenses.pool import LicensePool
+from repro.logstore.log import ValidationLog
+from repro.matching.index import IndexedMatcher
+from repro.validation.report import ValidationReport
+
+__all__ = ["LicenseCatalog", "Scope"]
+
+#: One validation scope: a content id plus a permission.
+Scope = Tuple[str, Permission]
+
+
+@dataclass
+class _ScopeState:
+    """Everything the catalog tracks for one (content, permission)."""
+
+    pool: LicensePool = field(default_factory=LicensePool)
+    log: ValidationLog = field(default_factory=ValidationLog)
+    matcher: Optional[IndexedMatcher] = None
+    validator: Optional[GroupedValidator] = None
+
+
+class LicenseCatalog:
+    """Routes multi-content license traffic to per-scope validation state.
+
+    Examples
+    --------
+    >>> from repro.workloads.scenarios import example1
+    >>> catalog = LicenseCatalog()
+    >>> for lic in example1().pool:
+    ...     _ = catalog.add_license(lic)
+    >>> catalog.scopes()
+    [('K', <Permission.PLAY: 'play'>)]
+    """
+
+    def __init__(self) -> None:
+        self._scopes: Dict[Scope, _ScopeState] = {}
+
+    # ------------------------------------------------------------------
+    # Scope management
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _scope_of(lic) -> Scope:
+        return (lic.content_id, lic.permission)
+
+    def scopes(self) -> list:
+        """Return every known scope, sorted for determinism."""
+        return sorted(self._scopes, key=lambda scope: (scope[0], scope[1].value))
+
+    def _state(self, scope: Scope) -> _ScopeState:
+        try:
+            return self._scopes[scope]
+        except KeyError:
+            raise LicenseError(f"no licenses for scope {scope!r}") from None
+
+    def pool(self, content_id: str, permission: "Permission | str") -> LicensePool:
+        """Return the pool for a scope."""
+        return self._state((content_id, Permission(permission))).pool
+
+    def log(self, content_id: str, permission: "Permission | str") -> ValidationLog:
+        """Return the issuance log for a scope."""
+        return self._state((content_id, Permission(permission))).log
+
+    def __len__(self) -> int:
+        return len(self._scopes)
+
+    def __iter__(self) -> Iterator[Scope]:
+        return iter(self.scopes())
+
+    # ------------------------------------------------------------------
+    # License intake
+    # ------------------------------------------------------------------
+    def add_license(self, lic: RedistributionLicense) -> int:
+        """File a received redistribution license; return its pool index."""
+        if not isinstance(lic, RedistributionLicense):
+            raise LicenseError(
+                f"catalog stores redistribution licenses, got {type(lic).__name__}"
+            )
+        state = self._scopes.setdefault(self._scope_of(lic), _ScopeState())
+        index = state.pool.add(lic)
+        state.matcher = None
+        state.validator = None
+        return index
+
+    # ------------------------------------------------------------------
+    # Issuance
+    # ------------------------------------------------------------------
+    def match(self, usage: UsageLicense) -> frozenset:
+        """Instance-match a usage license within its scope.
+
+        Unknown scopes simply match nothing (the distributor holds no
+        rights for that content/permission at all).
+        """
+        state = self._scopes.get(self._scope_of(usage))
+        if state is None:
+            return frozenset()
+        if state.matcher is None:
+            state.matcher = IndexedMatcher(state.pool)
+        return state.matcher.match(usage)
+
+    def record_issuance(self, usage: UsageLicense) -> frozenset:
+        """Match + append to the scope's log; returns the matched set.
+
+        Raises
+        ------
+        ValidationError
+            If the usage license matches nothing (it must not be logged).
+        """
+        matched = self.match(usage)
+        if not matched:
+            raise ValidationError(
+                f"usage {usage.license_id!r} matches no license in scope "
+                f"{self._scope_of(usage)!r}"
+            )
+        self._state(self._scope_of(usage)).log.record_issuance(usage, matched)
+        return matched
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validator(
+        self, content_id: str, permission: "Permission | str"
+    ) -> GroupedValidator:
+        """Return (building lazily) the grouped validator for a scope."""
+        state = self._state((content_id, Permission(permission)))
+        if state.validator is None:
+            state.validator = GroupedValidator.from_pool(state.pool)
+        return state.validator
+
+    def validate_scope(
+        self, content_id: str, permission: "Permission | str"
+    ) -> ValidationReport:
+        """Offline-validate one scope's log."""
+        permission = Permission(permission)
+        return self.validator(content_id, permission).validate(
+            self._state((content_id, permission)).log
+        )
+
+    def validate_all(self) -> Dict[Scope, ValidationReport]:
+        """Offline-validate every scope; returns reports keyed by scope."""
+        return {
+            scope: self.validate_scope(scope[0], scope[1])
+            for scope in self.scopes()
+        }

@@ -1,0 +1,102 @@
+"""Date helpers matching the paper's ``dd/mm/yy`` license notation.
+
+Example 1 of the paper writes validity periods like ``T = [10/03/09,
+20/03/09]``.  Internally we model a validity period as an
+:class:`~repro.geometry.interval.Interval` over *day ordinals*
+(:meth:`datetime.date.toordinal`), which keeps the geometry numeric and
+totally ordered while letting user-facing code speak in calendar dates.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from typing import Union
+
+from repro.errors import LicenseError
+from repro.geometry.interval import Interval
+
+__all__ = [
+    "DateLike",
+    "date_interval",
+    "format_date",
+    "interval_to_dates",
+    "parse_date",
+    "to_ordinal",
+]
+
+#: Anything accepted where a calendar date is expected.
+DateLike = Union[str, _dt.date, int]
+
+_DDMMYY = re.compile(r"^(\d{1,2})/(\d{1,2})/(\d{2}|\d{4})$")
+_ISO = re.compile(r"^(\d{4})-(\d{2})-(\d{2})$")
+
+
+def parse_date(text: str) -> _dt.date:
+    """Parse a date in the paper's ``dd/mm/yy`` notation (or ISO-8601).
+
+    Two-digit years are interpreted in 2000-2099, matching the paper's
+    ``10/03/09`` == 10 March 2009.
+
+    >>> parse_date("10/03/09")
+    datetime.date(2009, 3, 10)
+    >>> parse_date("2009-03-10")
+    datetime.date(2009, 3, 10)
+    """
+    match = _DDMMYY.match(text)
+    if match:
+        day, month, year = (int(part) for part in match.groups())
+        if year < 100:
+            year += 2000
+        try:
+            return _dt.date(year, month, day)
+        except ValueError as exc:
+            raise LicenseError(f"invalid calendar date: {text!r}") from exc
+    match = _ISO.match(text)
+    if match:
+        year, month, day = (int(part) for part in match.groups())
+        try:
+            return _dt.date(year, month, day)
+        except ValueError as exc:
+            raise LicenseError(f"invalid calendar date: {text!r}") from exc
+    raise LicenseError(f"unrecognized date format: {text!r} (want dd/mm/yy or ISO)")
+
+
+def to_ordinal(value: DateLike) -> int:
+    """Coerce a date-like value to its proleptic-Gregorian day ordinal.
+
+    Plain ints pass through, so geometry code can stay agnostic about
+    whether an axis is a date axis.
+    """
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise LicenseError(f"not a date-like value: {value!r}")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, _dt.date):
+        return value.toordinal()
+    if isinstance(value, str):
+        return parse_date(value).toordinal()
+    raise LicenseError(f"not a date-like value: {value!r}")
+
+
+def date_interval(start: DateLike, end: DateLike) -> Interval:
+    """Build a closed day-ordinal :class:`Interval` from two date-likes.
+
+    >>> date_interval("10/03/09", "20/03/09").length
+    10
+    """
+    return Interval(to_ordinal(start), to_ordinal(end))
+
+
+def format_date(ordinal: int) -> str:
+    """Render a day ordinal back into the paper's ``dd/mm/yy`` form."""
+    day = _dt.date.fromordinal(ordinal)
+    return f"{day.day:02d}/{day.month:02d}/{day.year % 100:02d}"
+
+
+def interval_to_dates(interval: Interval) -> tuple[_dt.date, _dt.date]:
+    """Convert a day-ordinal interval back into ``(start, end)`` dates."""
+    return (
+        _dt.date.fromordinal(int(interval.low)),
+        _dt.date.fromordinal(int(interval.high)),
+    )

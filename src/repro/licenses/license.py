@@ -1,0 +1,186 @@
+"""License objects: redistribution and usage licenses.
+
+The paper's license format is ``(K; P; I_1, I_2, ..., I_M; A)``:
+
+* ``K`` -- the content identifier,
+* ``P`` -- a permission (play, copy, ...),
+* ``I_1..I_M`` -- instance-based constraints, modelled here as an
+  M-dimensional :class:`~repro.geometry.box.Box`,
+* ``A`` -- the aggregate constraint: how many permission counts the license
+  may distribute (redistribution) or consume (usage).
+
+Licenses are immutable value objects; all bookkeeping about *remaining*
+counts lives in the validation layer, not on the license itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import LicenseError
+from repro.geometry.box import Box
+from repro.licenses.permission import Permission
+from repro.licenses.schema import ConstraintSchema
+
+__all__ = ["LicenseBase", "RedistributionLicense", "UsageLicense", "LicenseFactory"]
+
+
+@dataclass(frozen=True)
+class LicenseBase:
+    """Fields shared by redistribution and usage licenses."""
+
+    license_id: str
+    content_id: str
+    permission: Permission
+    box: Box
+
+    def __post_init__(self) -> None:
+        if not self.license_id:
+            raise LicenseError("license_id must be non-empty")
+        if not self.content_id:
+            raise LicenseError("content_id must be non-empty")
+        if not isinstance(self.permission, Permission):
+            object.__setattr__(self, "permission", Permission(self.permission))
+        if not isinstance(self.box, Box):
+            raise LicenseError(f"box must be a Box, got {type(self.box).__name__}")
+
+    def same_scope(self, other: "LicenseBase") -> bool:
+        """Return ``True`` if both licenses cover the same content/permission."""
+        return (
+            self.content_id == other.content_id
+            and self.permission is other.permission
+        )
+
+
+@dataclass(frozen=True)
+class RedistributionLicense(LicenseBase):
+    """A license allowing a distributor to generate further licenses.
+
+    ``aggregate`` is the aggregate constraint ``A``: the total permission
+    counts that may be distributed across all licenses generated from this
+    one.
+    """
+
+    aggregate: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not isinstance(self.aggregate, int) or isinstance(self.aggregate, bool):
+            raise LicenseError(f"aggregate must be an int, got {self.aggregate!r}")
+        if self.aggregate <= 0:
+            raise LicenseError(f"aggregate must be positive, got {self.aggregate}")
+
+    def can_instance_validate(self, issued: "LicenseBase") -> bool:
+        """Instance-based validation: does this license's hyper-rectangle
+        fully contain the issued license's hyper-rectangle?
+
+        (Section 3.1 -- the set ``S`` for an issued license is exactly the
+        set of redistribution licenses for which this returns ``True``.)
+        """
+        if not self.same_scope(issued):
+            return False
+        return self.box.contains(issued.box)
+
+    def overlaps_with(self, other: "RedistributionLicense") -> bool:
+        """Overlapping-licenses relation of Section 3.2 (same scope + all
+        constraint axes overlap)."""
+        return self.same_scope(other) and self.box.overlaps(other.box)
+
+
+@dataclass(frozen=True)
+class UsageLicense(LicenseBase):
+    """A license issued to a consumer (or sub-distributor).
+
+    ``count`` is the permission count carried by the license -- the amount
+    that is debited from the issuing redistribution licenses' aggregates.
+    """
+
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not isinstance(self.count, int) or isinstance(self.count, bool):
+            raise LicenseError(f"count must be an int, got {self.count!r}")
+        if self.count <= 0:
+            raise LicenseError(f"count must be positive, got {self.count}")
+
+
+class LicenseFactory:
+    """Builds licenses for one ``(content, permission, schema)`` scope.
+
+    Using a factory keeps constraint keywords symbolic and guarantees every
+    produced license shares the same schema -- a precondition of all
+    validation code.
+
+    Examples
+    --------
+    >>> from repro.licenses.schema import ConstraintSchema, DimensionSpec
+    >>> schema = ConstraintSchema([DimensionSpec.numeric("level")])
+    >>> factory = LicenseFactory(schema, content_id="K", permission="play")
+    >>> lic = factory.redistribution("LD1", aggregate=100, level=(0, 10))
+    >>> lic.aggregate
+    100
+    """
+
+    def __init__(
+        self,
+        schema: ConstraintSchema,
+        content_id: str,
+        permission: "Permission | str",
+    ):
+        self._schema = schema
+        self._content_id = content_id
+        self._permission = Permission(permission)
+        self._serial = 0
+
+    @property
+    def schema(self) -> ConstraintSchema:
+        """Return the constraint schema shared by produced licenses."""
+        return self._schema
+
+    @property
+    def content_id(self) -> str:
+        """Return the content identifier of this scope."""
+        return self._content_id
+
+    @property
+    def permission(self) -> Permission:
+        """Return the permission of this scope."""
+        return self._permission
+
+    def _next_id(self, prefix: str) -> str:
+        self._serial += 1
+        return f"{prefix}{self._serial}"
+
+    def redistribution(
+        self,
+        license_id: "str | None" = None,
+        *,
+        aggregate: int,
+        **constraints: Any,
+    ) -> RedistributionLicense:
+        """Create a redistribution license from keyword constraints."""
+        return RedistributionLicense(
+            license_id=license_id or self._next_id("LD"),
+            content_id=self._content_id,
+            permission=self._permission,
+            box=self._schema.box(**constraints),
+            aggregate=aggregate,
+        )
+
+    def usage(
+        self,
+        license_id: "str | None" = None,
+        *,
+        count: int,
+        **constraints: Any,
+    ) -> UsageLicense:
+        """Create a usage license from keyword constraints."""
+        return UsageLicense(
+            license_id=license_id or self._next_id("LU"),
+            content_id=self._content_id,
+            permission=self._permission,
+            box=self._schema.box(**constraints),
+            count=count,
+        )

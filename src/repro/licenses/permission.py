@@ -1,0 +1,35 @@
+"""DRM permissions.
+
+The license format of the paper is ``(K; P; I_1..I_M; A)`` where ``P`` is a
+permission such as *play*, *copy* or *rip*.  Validation is always performed
+within one ``(content, permission)`` scope: a redistribution license for
+*play* counts says nothing about *copy* counts.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Permission"]
+
+
+class Permission(str, enum.Enum):
+    """The permission verbs used throughout the DRM literature the paper
+    cites (MPEG-21 REL / ODRL-style action vocabulary).
+
+    The enum derives from :class:`str` so members serialize naturally and
+    compare equal to their lowercase names, which keeps JSON round-trips and
+    user-facing APIs simple (``Permission("play") is Permission.PLAY``).
+    """
+
+    PLAY = "play"
+    COPY = "copy"
+    RIP = "rip"
+    PRINT = "print"
+    EXPORT = "export"
+    STREAM = "stream"
+    DOWNLOAD = "download"
+    EMBED = "embed"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value

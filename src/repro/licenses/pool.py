@@ -1,0 +1,157 @@
+"""License pools: the ``N`` redistribution licenses held by a distributor.
+
+All validation machinery in this library is scoped to one pool -- the
+paper's set ``S^N = [L_D^1 .. L_D^N]`` of redistribution licenses a
+distributor has acquired for one content/permission.  The pool assigns the
+1-based indexes the paper uses throughout (``L_D^1`` is index 1) and exposes
+the aggregate-constraint array ``A`` of Section 2.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import LicenseError
+from repro.geometry.box import Box
+from repro.licenses.license import RedistributionLicense
+from repro.licenses.permission import Permission
+from repro.licenses.license import UsageLicense
+
+__all__ = ["LicensePool"]
+
+
+class LicensePool:
+    """An ordered, indexable collection of redistribution licenses.
+
+    Indexes are **1-based** to match the paper's ``L_D^i`` notation and the
+    bit positions of the validation-equation masks (bit ``i-1`` of a mask
+    corresponds to license ``i``).
+
+    Examples
+    --------
+    >>> from repro.licenses.schema import ConstraintSchema, DimensionSpec
+    >>> from repro.licenses.license import LicenseFactory
+    >>> schema = ConstraintSchema([DimensionSpec.numeric("x")])
+    >>> f = LicenseFactory(schema, "K", "play")
+    >>> pool = LicensePool([f.redistribution(aggregate=10, x=(0, 5))])
+    >>> len(pool)
+    1
+    >>> pool[1].aggregate
+    10
+    """
+
+    def __init__(self, licenses: Iterable[RedistributionLicense] = ()):
+        self._licenses: List[RedistributionLicense] = []
+        self._by_id: Dict[str, int] = {}
+        for lic in licenses:
+            self.add(lic)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, lic: RedistributionLicense) -> int:
+        """Append a license and return its 1-based index.
+
+        Raises
+        ------
+        LicenseError
+            On duplicate license ids or a content/permission/schema scope
+            mismatch with licenses already in the pool.
+        """
+        if not isinstance(lic, RedistributionLicense):
+            raise LicenseError(
+                f"pool accepts RedistributionLicense, got {type(lic).__name__}"
+            )
+        if lic.license_id in self._by_id:
+            raise LicenseError(f"duplicate license id: {lic.license_id!r}")
+        if self._licenses and not self._licenses[0].same_scope(lic):
+            first = self._licenses[0]
+            raise LicenseError(
+                f"scope mismatch: pool holds ({first.content_id}, "
+                f"{first.permission}) but got ({lic.content_id}, {lic.permission})"
+            )
+        if self._licenses and self._licenses[0].box.dimensions != lic.box.dimensions:
+            raise LicenseError(
+                f"dimension mismatch: pool uses {self._licenses[0].box.dimensions} "
+                f"constraint axes but got {lic.box.dimensions}"
+            )
+        self._licenses.append(lic)
+        index = len(self._licenses)
+        self._by_id[lic.license_id] = index
+        return index
+
+    # ------------------------------------------------------------------
+    # Indexed access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._licenses)
+
+    def __bool__(self) -> bool:
+        return bool(self._licenses)
+
+    def __iter__(self) -> Iterator[RedistributionLicense]:
+        return iter(self._licenses)
+
+    def __getitem__(self, index: int) -> RedistributionLicense:
+        """Return the license at a **1-based** index."""
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise LicenseError(f"pool index must be an int, got {index!r}")
+        if not 1 <= index <= len(self._licenses):
+            raise LicenseError(
+                f"pool index {index} out of range 1..{len(self._licenses)}"
+            )
+        return self._licenses[index - 1]
+
+    def index_of(self, license_id: str) -> int:
+        """Return the 1-based index for a license id."""
+        try:
+            return self._by_id[license_id]
+        except KeyError:
+            raise LicenseError(f"unknown license id: {license_id!r}") from None
+
+    def enumerate(self) -> Iterator[Tuple[int, RedistributionLicense]]:
+        """Yield ``(1-based index, license)`` pairs in pool order."""
+        for position, lic in enumerate(self._licenses, start=1):
+            yield position, lic
+
+    # ------------------------------------------------------------------
+    # Derived arrays used by validation
+    # ------------------------------------------------------------------
+    def aggregate_array(self) -> List[int]:
+        """Return the paper's array ``A``: ``A[j-1]`` is the aggregate of
+        the ``j``-th license (0-based list, 1-based license indexes)."""
+        return [lic.aggregate for lic in self._licenses]
+
+    def boxes(self) -> List[Box]:
+        """Return every license's constraint box in index order."""
+        return [lic.box for lic in self._licenses]
+
+    def matching_indexes(self, issued: UsageLicense) -> frozenset:
+        """Return the paper's set ``S`` for an issued license: the 1-based
+        indexes of all redistribution licenses that instance-validate it.
+
+        (Convenience wrapper; :mod:`repro.matching` offers indexed matchers
+        for bulk workloads.)
+        """
+        return frozenset(
+            index
+            for index, lic in self.enumerate()
+            if lic.can_instance_validate(issued)
+        )
+
+    @property
+    def content_id(self) -> str:
+        """Return the content id shared by pool licenses."""
+        if not self._licenses:
+            raise LicenseError("empty pool has no content id")
+        return self._licenses[0].content_id
+
+    @property
+    def permission(self) -> Permission:
+        """Return the permission shared by pool licenses."""
+        if not self._licenses:
+            raise LicenseError("empty pool has no permission")
+        return self._licenses[0].permission
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"LicensePool(n={len(self._licenses)})"

@@ -1,0 +1,202 @@
+"""Hierarchical region taxonomy for categorical region constraints.
+
+Example 1 of the paper issues a usage license for ``R = [India]`` against a
+redistribution license allowing ``R = [Asia, Europe]`` -- "India" must
+therefore be recognized as contained in "Asia".  We model regions as a tree
+(taxonomy); every region name expands to the *frozenset of leaf regions*
+beneath it, and constraint geometry then reduces to exact set operations on
+leaves (see :class:`repro.geometry.discrete.DiscreteSet`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple, Union
+
+from repro.errors import RegionError
+from repro.geometry.discrete import DiscreteSet
+
+__all__ = ["RegionTaxonomy", "WORLD"]
+
+#: A taxonomy node: either a list of leaf names or a nested mapping.
+TaxonomySpec = Mapping[str, Union[Sequence[str], "TaxonomySpec"]]
+
+
+class RegionTaxonomy:
+    """A tree of region names with leaf-set expansion.
+
+    Parameters
+    ----------
+    spec:
+        Nested mapping from region name to either a sequence of leaf names
+        or another mapping of sub-regions.  Names are case-insensitive and
+        must be globally unique within the taxonomy.
+
+    Examples
+    --------
+    >>> tax = RegionTaxonomy({"asia": ["india", "japan"], "europe": ["france"]})
+    >>> sorted(tax.leaves("asia"))
+    ['india', 'japan']
+    >>> tax.is_within("india", "asia")
+    True
+    """
+
+    def __init__(self, spec: TaxonomySpec):
+        self._leaf_sets: Dict[str, FrozenSet[str]] = {}
+        self._parents: Dict[str, str] = {}
+        self._roots: Tuple[str, ...] = tuple(self._normalize(name) for name in spec)
+        for name, children in spec.items():
+            self._build(self._normalize(name), children)
+
+    @staticmethod
+    def _normalize(name: str) -> str:
+        if not isinstance(name, str) or not name.strip():
+            raise RegionError(f"invalid region name: {name!r}")
+        return name.strip().lower()
+
+    def _build(self, name: str, children: Union[Sequence[str], TaxonomySpec]) -> FrozenSet[str]:
+        if name in self._leaf_sets:
+            raise RegionError(f"duplicate region name in taxonomy: {name!r}")
+        # Reserve the slot to detect cycles/duplicates during recursion.
+        self._leaf_sets[name] = frozenset()
+        if isinstance(children, Mapping):
+            leaves: set = set()
+            for child_name, grand_children in children.items():
+                child = self._normalize(child_name)
+                leaves |= self._build(child, grand_children)
+                self._parents[child] = name
+        else:
+            leaves = set()
+            for leaf_name in children:
+                leaf = self._normalize(leaf_name)
+                if leaf in self._leaf_sets:
+                    raise RegionError(f"duplicate region name in taxonomy: {leaf!r}")
+                self._leaf_sets[leaf] = frozenset({leaf})
+                self._parents[leaf] = name
+                leaves.add(leaf)
+            if not leaves:
+                # A region declared with no children is itself a leaf.
+                leaves = {name}
+        self._leaf_sets[name] = frozenset(leaves)
+        return self._leaf_sets[name]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def roots(self) -> Tuple[str, ...]:
+        """Return the top-level region names in declaration order."""
+        return self._roots
+
+    @property
+    def names(self) -> FrozenSet[str]:
+        """Return every region name in the taxonomy (internal and leaf)."""
+        return frozenset(self._leaf_sets)
+
+    @property
+    def all_leaves(self) -> FrozenSet[str]:
+        """Return the set of all leaf region names."""
+        return frozenset(
+            name for name, leaves in self._leaf_sets.items() if leaves == {name}
+        )
+
+    def leaves(self, name: str) -> FrozenSet[str]:
+        """Return the leaf regions beneath ``name`` (itself, if a leaf)."""
+        key = self._normalize(name)
+        try:
+            return self._leaf_sets[key]
+        except KeyError:
+            raise RegionError(f"unknown region: {name!r}") from None
+
+    def parent(self, name: str) -> Union[str, None]:
+        """Return the parent region name, or ``None`` for roots."""
+        key = self._normalize(name)
+        if key not in self._leaf_sets:
+            raise RegionError(f"unknown region: {name!r}")
+        return self._parents.get(key)
+
+    def expand(self, names: Union[str, Iterable[str]]) -> DiscreteSet:
+        """Expand region name(s) into a leaf-level :class:`DiscreteSet`.
+
+        This is the bridge between user-facing license constraints
+        (``R = [Asia, Europe]``) and the exact set geometry the validator
+        works with.
+        """
+        if isinstance(names, str):
+            names = [names]
+        leaves: set = set()
+        for name in names:
+            leaves |= self.leaves(name)
+        if not leaves:
+            raise RegionError("region constraint expanded to the empty set")
+        return DiscreteSet(leaves)
+
+    def is_within(self, inner: str, outer: str) -> bool:
+        """Return ``True`` if region ``inner`` lies entirely inside ``outer``."""
+        return self.leaves(inner) <= self.leaves(outer)
+
+    def overlap(self, left: str, right: str) -> bool:
+        """Return ``True`` if two regions share at least one leaf."""
+        return bool(self.leaves(left) & self.leaves(right))
+
+    def __contains__(self, name: object) -> bool:
+        if not isinstance(name, str):
+            return False
+        try:
+            return self._normalize(name) in self._leaf_sets
+        except RegionError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_spec(self) -> Dict[str, object]:
+        """Reconstruct the nested-mapping spec this taxonomy was built
+        from (leaf lists sorted for determinism)."""
+        children: Dict[str, list] = {}
+        for child, parent in self._parents.items():
+            children.setdefault(parent, []).append(child)
+
+        def build(name: str):
+            kids = sorted(children.get(name, []))
+            if not kids:
+                return []
+            if all(not children.get(kid) for kid in kids):
+                return kids
+            return {kid: build(kid) for kid in kids}
+
+        return {root: build(root) for root in self._roots}
+
+    def to_json(self, **json_kwargs: object) -> str:
+        """Serialize the taxonomy spec to JSON."""
+        import json
+
+        return json.dumps(self.to_spec(), **json_kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_json(cls, text: str) -> "RegionTaxonomy":
+        """Build a taxonomy from :meth:`to_json` output."""
+        import json
+
+        try:
+            spec = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise RegionError(f"invalid taxonomy JSON: {exc}") from exc
+        if not isinstance(spec, dict):
+            raise RegionError("taxonomy JSON must be an object")
+        return cls(spec)
+
+
+#: A compact default world taxonomy, sufficient for the paper's examples
+#: (Asia/Europe/America with the countries Example 1 mentions) plus enough
+#: breadth for synthetic workloads.
+WORLD = RegionTaxonomy(
+    {
+        "world": {
+            "asia": ["india", "japan", "china", "singapore", "korea", "thailand"],
+            "europe": ["france", "germany", "uk", "spain", "italy", "poland"],
+            "america": ["usa", "canada", "mexico", "brazil", "argentina", "chile"],
+            "africa": ["egypt", "nigeria", "kenya", "south-africa"],
+            "oceania": ["australia", "new-zealand", "fiji"],
+        }
+    }
+)

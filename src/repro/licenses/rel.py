@@ -1,0 +1,190 @@
+"""A small JSON rights-expression layer (serialization of licenses).
+
+Real DRM systems exchange licenses in a rights expression language (MPEG-21
+REL, ODRL, MPML).  For this reproduction a compact JSON dialect suffices; it
+round-trips schemas, redistribution/usage licenses and whole pools, so logs
+and experiments can be persisted and replayed.
+
+Document shapes::
+
+    schema   {"dimensions": [{"name": "validity", "kind": "interval",
+                              "is_date": true, "taxonomy": null}, ...]}
+    license  {"type": "redistribution", "license_id": "LD1", "content_id": "K",
+              "permission": "play", "aggregate": 2000,
+              "constraints": {"validity": ["10/03/09", "20/03/09"],
+                              "region": ["india", "japan", ...]}}
+    pool     {"schema": {...}, "licenses": [{...}, ...]}
+
+Discrete constraints are always serialized at *leaf* level, so documents can
+be loaded without the original taxonomy object.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import SerializationError
+from repro.licenses.license import (
+    LicenseBase,
+    RedistributionLicense,
+    UsageLicense,
+)
+from repro.licenses.permission import Permission
+from repro.licenses.pool import LicensePool
+from repro.licenses.regions import WORLD, RegionTaxonomy
+from repro.licenses.schema import ConstraintSchema, DimensionKind, DimensionSpec
+
+__all__ = [
+    "schema_to_dict",
+    "schema_from_dict",
+    "license_to_dict",
+    "license_from_dict",
+    "pool_to_dict",
+    "pool_from_dict",
+    "dumps_pool",
+    "loads_pool",
+]
+
+#: Taxonomies resolvable by name during deserialization.
+_KNOWN_TAXONOMIES: Dict[str, RegionTaxonomy] = {"world": WORLD}
+
+
+def schema_to_dict(schema: ConstraintSchema) -> Dict[str, Any]:
+    """Serialize a :class:`ConstraintSchema` into a JSON-friendly dict."""
+    dims = []
+    for spec in schema.dimensions:
+        taxonomy_name: Optional[str] = None
+        if spec.taxonomy is WORLD:
+            taxonomy_name = "world"
+        elif spec.taxonomy is not None:
+            taxonomy_name = "custom"
+        dims.append(
+            {
+                "name": spec.name,
+                "kind": spec.kind.value,
+                "is_date": spec.is_date,
+                "taxonomy": taxonomy_name,
+            }
+        )
+    return {"dimensions": dims}
+
+
+def schema_from_dict(
+    document: Mapping[str, Any],
+    taxonomies: Optional[Mapping[str, RegionTaxonomy]] = None,
+) -> ConstraintSchema:
+    """Rebuild a :class:`ConstraintSchema` from :func:`schema_to_dict` output.
+
+    ``taxonomies`` maps taxonomy names to live objects; the built-in
+    ``"world"`` taxonomy is always resolvable.  Unresolvable taxonomy names
+    degrade gracefully to plain categorical dimensions (documents carry
+    leaf-level values, so geometry is unaffected).
+    """
+    lookup = dict(_KNOWN_TAXONOMIES)
+    if taxonomies:
+        lookup.update(taxonomies)
+    try:
+        dims = document["dimensions"]
+    except KeyError as exc:
+        raise SerializationError("schema document missing 'dimensions'") from exc
+    specs = []
+    for dim in dims:
+        try:
+            kind = DimensionKind(dim["kind"])
+            name = dim["name"]
+        except (KeyError, ValueError) as exc:
+            raise SerializationError(f"malformed dimension entry: {dim!r}") from exc
+        taxonomy = lookup.get(dim.get("taxonomy") or "")
+        specs.append(
+            DimensionSpec(
+                name=name,
+                kind=kind,
+                is_date=bool(dim.get("is_date", False)),
+                taxonomy=taxonomy if kind is DimensionKind.DISCRETE else None,
+            )
+        )
+    return ConstraintSchema(specs)
+
+
+def license_to_dict(lic: LicenseBase, schema: ConstraintSchema) -> Dict[str, Any]:
+    """Serialize a license (either kind) against its schema."""
+    document: Dict[str, Any] = {
+        "license_id": lic.license_id,
+        "content_id": lic.content_id,
+        "permission": lic.permission.value,
+        "constraints": schema.describe(lic.box),
+    }
+    if isinstance(lic, RedistributionLicense):
+        document["type"] = "redistribution"
+        document["aggregate"] = lic.aggregate
+    elif isinstance(lic, UsageLicense):
+        document["type"] = "usage"
+        document["count"] = lic.count
+    else:  # pragma: no cover - defensive
+        raise SerializationError(f"unknown license type: {type(lic).__name__}")
+    return document
+
+
+def license_from_dict(
+    document: Mapping[str, Any], schema: ConstraintSchema
+) -> LicenseBase:
+    """Rebuild a license from :func:`license_to_dict` output."""
+    try:
+        kind = document["type"]
+        box = schema.box_from_mapping(document["constraints"])
+        common = {
+            "license_id": document["license_id"],
+            "content_id": document["content_id"],
+            "permission": Permission(document["permission"]),
+            "box": box,
+        }
+    except KeyError as exc:
+        raise SerializationError(f"license document missing field: {exc}") from exc
+    if kind == "redistribution":
+        return RedistributionLicense(aggregate=int(document["aggregate"]), **common)
+    if kind == "usage":
+        return UsageLicense(count=int(document["count"]), **common)
+    raise SerializationError(f"unknown license type: {kind!r}")
+
+
+def pool_to_dict(pool: LicensePool, schema: ConstraintSchema) -> Dict[str, Any]:
+    """Serialize a whole pool with its schema."""
+    return {
+        "schema": schema_to_dict(schema),
+        "licenses": [license_to_dict(lic, schema) for lic in pool],
+    }
+
+
+def pool_from_dict(
+    document: Mapping[str, Any],
+    taxonomies: Optional[Mapping[str, RegionTaxonomy]] = None,
+) -> tuple:
+    """Rebuild ``(pool, schema)`` from :func:`pool_to_dict` output."""
+    schema = schema_from_dict(document.get("schema", {}), taxonomies)
+    pool = LicensePool()
+    for entry in document.get("licenses", []):
+        lic = license_from_dict(entry, schema)
+        if not isinstance(lic, RedistributionLicense):
+            raise SerializationError(
+                f"pool documents may only contain redistribution licenses, "
+                f"found {entry.get('type')!r}"
+            )
+        pool.add(lic)
+    return pool, schema
+
+
+def dumps_pool(pool: LicensePool, schema: ConstraintSchema, **json_kwargs: Any) -> str:
+    """Serialize a pool to a JSON string."""
+    return json.dumps(pool_to_dict(pool, schema), **json_kwargs)
+
+
+def loads_pool(
+    text: str, taxonomies: Optional[Mapping[str, RegionTaxonomy]] = None
+) -> tuple:
+    """Load ``(pool, schema)`` from a JSON string."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid pool JSON: {exc}") from exc
+    return pool_from_dict(document, taxonomies)

@@ -1,0 +1,231 @@
+"""Constraint schemas: named, typed dimensions for license boxes.
+
+Every content/permission scope fixes an ordered list of instance-based
+constraint dimensions (the paper's ``I_1 .. I_M``).  A
+:class:`ConstraintSchema` declares those dimensions once -- their names,
+whether they are ordered ranges or categorical sets, and how raw user values
+(date strings, region names) are coerced -- and then manufactures
+:class:`~repro.geometry.box.Box` instances from keyword constraints.
+
+This keeps license construction readable::
+
+    schema = ConstraintSchema([
+        DimensionSpec.date("validity"),
+        DimensionSpec.region("region", taxonomy=WORLD),
+    ])
+    box = schema.box(validity=("10/03/09", "20/03/09"), region=["asia", "europe"])
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.geometry.box import Box, Extent
+from repro.geometry.discrete import DiscreteSet
+from repro.geometry.interval import Interval
+from repro.licenses.dates import format_date, to_ordinal
+from repro.licenses.regions import RegionTaxonomy
+
+__all__ = ["DimensionKind", "DimensionSpec", "ConstraintSchema"]
+
+
+class DimensionKind(enum.Enum):
+    """How a constraint dimension behaves geometrically."""
+
+    #: Ordered range (numbers, day ordinals): extent is an Interval.
+    INTERVAL = "interval"
+    #: Categorical set (regions, device classes): extent is a DiscreteSet.
+    DISCRETE = "discrete"
+
+
+@dataclass(frozen=True)
+class DimensionSpec:
+    """Declaration of one constraint dimension.
+
+    Attributes
+    ----------
+    name:
+        Keyword used when building boxes and in serialized licenses.
+    kind:
+        Geometric behaviour of the axis.
+    is_date:
+        For interval axes: coerce endpoint values through
+        :func:`repro.licenses.dates.to_ordinal` (accepting ``dd/mm/yy``
+        strings, :class:`datetime.date`, or raw ordinals).
+    taxonomy:
+        For discrete axes: optional region taxonomy used to expand names
+        such as ``"asia"`` into leaf sets.
+    """
+
+    name: str
+    kind: DimensionKind
+    is_date: bool = False
+    taxonomy: Optional[RegionTaxonomy] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"dimension name must be an identifier: {self.name!r}")
+        if self.is_date and self.kind is not DimensionKind.INTERVAL:
+            raise SchemaError(f"dimension {self.name!r}: only interval axes can be dates")
+        if self.taxonomy is not None and self.kind is not DimensionKind.DISCRETE:
+            raise SchemaError(
+                f"dimension {self.name!r}: only discrete axes can have a taxonomy"
+            )
+
+    # -- convenient constructors ---------------------------------------
+    @classmethod
+    def numeric(cls, name: str) -> "DimensionSpec":
+        """An ordered numeric range dimension."""
+        return cls(name, DimensionKind.INTERVAL)
+
+    @classmethod
+    def date(cls, name: str) -> "DimensionSpec":
+        """An ordered calendar-date dimension (stored as day ordinals)."""
+        return cls(name, DimensionKind.INTERVAL, is_date=True)
+
+    @classmethod
+    def categorical(cls, name: str) -> "DimensionSpec":
+        """A plain categorical set dimension."""
+        return cls(name, DimensionKind.DISCRETE)
+
+    @classmethod
+    def region(cls, name: str, taxonomy: RegionTaxonomy) -> "DimensionSpec":
+        """A categorical dimension whose values are taxonomy region names."""
+        return cls(name, DimensionKind.DISCRETE, taxonomy=taxonomy)
+
+    # -- coercion -------------------------------------------------------
+    def to_extent(self, raw: Any) -> Extent:
+        """Coerce a raw constraint value into this axis' extent type.
+
+        Interval axes accept an existing :class:`Interval`, a 2-tuple/list
+        ``(low, high)``, or a single point value.  Discrete axes accept an
+        existing :class:`DiscreteSet`, an iterable of atoms, or a single
+        atom; with a taxonomy attached, atoms are region names that get
+        expanded to leaf sets.
+        """
+        if self.kind is DimensionKind.INTERVAL:
+            return self._to_interval(raw)
+        return self._to_discrete(raw)
+
+    def _to_interval(self, raw: Any) -> Interval:
+        if isinstance(raw, Interval):
+            low, high = raw.low, raw.high
+        elif isinstance(raw, (tuple, list)):
+            if len(raw) != 2:
+                raise SchemaError(
+                    f"dimension {self.name!r}: interval needs (low, high), got {raw!r}"
+                )
+            low, high = raw
+        else:
+            low = high = raw  # degenerate single-value constraint
+        if self.is_date:
+            low, high = to_ordinal(low), to_ordinal(high)
+        return Interval(low, high)
+
+    def _to_discrete(self, raw: Any) -> DiscreteSet:
+        if isinstance(raw, DiscreteSet):
+            if self.taxonomy is None:
+                return raw
+            raw = raw.atoms
+        if isinstance(raw, str) or not isinstance(raw, Iterable):
+            raw = [raw]
+        if self.taxonomy is not None:
+            return self.taxonomy.expand([str(name) for name in raw])
+        return DiscreteSet(raw)
+
+    def describe_extent(self, extent: Extent) -> Any:
+        """Render an extent back into a JSON-friendly value."""
+        if isinstance(extent, Interval):
+            if self.is_date:
+                return [format_date(int(extent.low)), format_date(int(extent.high))]
+            return [extent.low, extent.high]
+        return sorted(extent.atoms, key=repr)
+
+
+class ConstraintSchema:
+    """An ordered collection of :class:`DimensionSpec` for one license scope.
+
+    All licenses validated against each other must share a schema -- the
+    paper assumes a fixed ``M`` per content.
+    """
+
+    def __init__(self, dimensions: Sequence[DimensionSpec]):
+        if not dimensions:
+            raise SchemaError("a schema needs at least one dimension")
+        names = [spec.name for spec in dimensions]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate dimension names in schema: {names}")
+        self._dimensions: Tuple[DimensionSpec, ...] = tuple(dimensions)
+        self._by_name: Dict[str, DimensionSpec] = {
+            spec.name: spec for spec in dimensions
+        }
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def dimensions(self) -> Tuple[DimensionSpec, ...]:
+        """Return the dimension specs in axis order."""
+        return self._dimensions
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Return dimension names in axis order."""
+        return tuple(spec.name for spec in self._dimensions)
+
+    def __len__(self) -> int:
+        return len(self._dimensions)
+
+    def __getitem__(self, name: str) -> DimensionSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"unknown dimension: {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Box construction / description
+    # ------------------------------------------------------------------
+    def box(self, **constraints: Any) -> Box:
+        """Build a :class:`Box` from one keyword argument per dimension.
+
+        Raises
+        ------
+        SchemaError
+            If any dimension is missing or an unknown keyword is supplied.
+        """
+        unknown = set(constraints) - set(self._by_name)
+        if unknown:
+            raise SchemaError(f"unknown constraint dimension(s): {sorted(unknown)}")
+        missing = [spec.name for spec in self._dimensions if spec.name not in constraints]
+        if missing:
+            raise SchemaError(f"missing constraint dimension(s): {missing}")
+        return Box([spec.to_extent(constraints[spec.name]) for spec in self._dimensions])
+
+    def box_from_mapping(self, constraints: Mapping[str, Any]) -> Box:
+        """Like :meth:`box` but taking a plain mapping (for deserialization)."""
+        return self.box(**dict(constraints))
+
+    def describe(self, box: Box) -> Dict[str, Any]:
+        """Render a box into a JSON-friendly ``{dimension: value}`` mapping."""
+        if box.dimensions != len(self._dimensions):
+            raise SchemaError(
+                f"box has {box.dimensions} axes, schema has {len(self._dimensions)}"
+            )
+        return {
+            spec.name: spec.describe_extent(extent)
+            for spec, extent in zip(self._dimensions, box.extents)
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConstraintSchema):
+            return NotImplemented
+        return self._dimensions == other._dimensions
+
+    def __hash__(self) -> int:
+        return hash(self._dimensions)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"ConstraintSchema({list(self.names)!r})"

@@ -1,0 +1,216 @@
+"""XML rights-expression serialization (MPML/ODRL-flavoured).
+
+Real DRM deployments exchange licenses as XML rights expressions; the
+paper's own architecture reference ([9], MPML) and the broader REL
+literature (ODRL, MPEG-21 REL) all use XML documents of roughly this
+shape.  This module provides a compact, self-contained XML dialect that
+round-trips everything the JSON layer (:mod:`repro.licenses.rel`) does::
+
+    <license type="redistribution" id="LD1" content="K" permission="play">
+      <constraint name="validity" kind="interval" date="true">
+        <low>10/03/09</low><high>20/03/09</high>
+      </constraint>
+      <constraint name="region" kind="discrete">
+        <atom>india</atom><atom>japan</atom>
+      </constraint>
+      <aggregate>2000</aggregate>
+    </license>
+
+    <pool content="K" permission="play">
+      <schema>...</schema>
+      <license .../>
+    </pool>
+
+Only the standard library's :mod:`xml.etree.ElementTree` is used.
+Discrete constraints are serialized at leaf level, so documents load
+without the original taxonomy (matching the JSON layer's convention).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional, Tuple
+
+from repro.errors import SerializationError
+from repro.geometry.discrete import DiscreteSet
+from repro.geometry.interval import Interval
+from repro.licenses.dates import format_date, to_ordinal
+from repro.licenses.license import (
+    LicenseBase,
+    RedistributionLicense,
+    UsageLicense,
+)
+from repro.licenses.permission import Permission
+from repro.licenses.pool import LicensePool
+from repro.licenses.schema import ConstraintSchema, DimensionKind, DimensionSpec
+from repro.geometry.box import Box
+
+__all__ = [
+    "license_to_xml",
+    "license_from_xml",
+    "pool_to_xml",
+    "pool_from_xml",
+]
+
+
+def _constraint_element(spec: DimensionSpec, extent) -> ET.Element:
+    element = ET.Element(
+        "constraint",
+        {"name": spec.name, "kind": spec.kind.value},
+    )
+    if isinstance(extent, Interval):
+        if spec.is_date:
+            element.set("date", "true")
+            low_text = format_date(int(extent.low))
+            high_text = format_date(int(extent.high))
+        else:
+            low_text, high_text = repr(extent.low), repr(extent.high)
+        ET.SubElement(element, "low").text = low_text
+        ET.SubElement(element, "high").text = high_text
+    else:
+        for atom in sorted(extent.atoms, key=repr):
+            ET.SubElement(element, "atom").text = str(atom)
+    return element
+
+
+def license_to_xml(lic: LicenseBase, schema: ConstraintSchema) -> ET.Element:
+    """Serialize a license into an ``<license>`` element."""
+    if isinstance(lic, RedistributionLicense):
+        kind, quantity_tag, quantity = "redistribution", "aggregate", lic.aggregate
+    elif isinstance(lic, UsageLicense):
+        kind, quantity_tag, quantity = "usage", "count", lic.count
+    else:  # pragma: no cover - defensive
+        raise SerializationError(f"unknown license type: {type(lic).__name__}")
+    element = ET.Element(
+        "license",
+        {
+            "type": kind,
+            "id": lic.license_id,
+            "content": lic.content_id,
+            "permission": lic.permission.value,
+        },
+    )
+    for spec, extent in zip(schema.dimensions, lic.box.extents):
+        element.append(_constraint_element(spec, extent))
+    ET.SubElement(element, quantity_tag).text = str(quantity)
+    return element
+
+
+def _parse_number(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            raise SerializationError(f"not a number: {text!r}") from None
+
+
+def _parse_constraint(element: ET.Element) -> Tuple[str, DimensionKind, bool, object]:
+    name = element.get("name")
+    kind_text = element.get("kind")
+    if not name or not kind_text:
+        raise SerializationError("constraint element needs name and kind")
+    try:
+        kind = DimensionKind(kind_text)
+    except ValueError:
+        raise SerializationError(f"unknown constraint kind: {kind_text!r}") from None
+    is_date = element.get("date") == "true"
+    if kind is DimensionKind.INTERVAL:
+        low_el, high_el = element.find("low"), element.find("high")
+        if low_el is None or high_el is None or low_el.text is None or high_el.text is None:
+            raise SerializationError(f"interval constraint {name!r} needs low/high")
+        if is_date:
+            extent = Interval(to_ordinal(low_el.text), to_ordinal(high_el.text))
+        else:
+            extent = Interval(_parse_number(low_el.text), _parse_number(high_el.text))
+    else:
+        atoms = [atom.text for atom in element.findall("atom") if atom.text]
+        if not atoms:
+            raise SerializationError(f"discrete constraint {name!r} has no atoms")
+        extent = DiscreteSet(atoms)
+    return name, kind, is_date, extent
+
+
+def license_from_xml(
+    element: ET.Element, schema: Optional[ConstraintSchema] = None
+) -> Tuple[LicenseBase, ConstraintSchema]:
+    """Rebuild a license from XML; returns ``(license, schema)``.
+
+    With ``schema=None``, a schema is inferred from the constraint
+    elements (names, kinds, date flags) -- sufficient because documents
+    always carry leaf-level discrete atoms.
+    """
+    if element.tag != "license":
+        raise SerializationError(f"expected <license>, got <{element.tag}>")
+    kind = element.get("type")
+    constraints = element.findall("constraint")
+    if not constraints:
+        raise SerializationError("license has no constraints")
+    specs = []
+    extents = []
+    for constraint in constraints:
+        name, dimension_kind, is_date, extent = _parse_constraint(constraint)
+        specs.append(DimensionSpec(name, dimension_kind, is_date=is_date))
+        extents.append(extent)
+    inferred = ConstraintSchema(specs)
+    if schema is not None:
+        if tuple((s.name, s.kind, s.is_date) for s in schema.dimensions) != tuple(
+            (s.name, s.kind, s.is_date) for s in inferred.dimensions
+        ):
+            raise SerializationError(
+                "license constraints do not match the provided schema"
+            )
+        inferred = schema
+    common = {
+        "license_id": element.get("id") or "",
+        "content_id": element.get("content") or "",
+        "permission": Permission(element.get("permission") or ""),
+        "box": Box(extents),
+    }
+    if kind == "redistribution":
+        quantity = element.findtext("aggregate")
+        if quantity is None:
+            raise SerializationError("redistribution license needs <aggregate>")
+        return RedistributionLicense(aggregate=int(quantity), **common), inferred
+    if kind == "usage":
+        quantity = element.findtext("count")
+        if quantity is None:
+            raise SerializationError("usage license needs <count>")
+        return UsageLicense(count=int(quantity), **common), inferred
+    raise SerializationError(f"unknown license type: {kind!r}")
+
+
+def pool_to_xml(pool: LicensePool, schema: ConstraintSchema) -> str:
+    """Serialize a pool into an XML document string."""
+    root = ET.Element(
+        "pool",
+        {"content": pool.content_id, "permission": pool.permission.value}
+        if pool
+        else {},
+    )
+    for lic in pool:
+        root.append(license_to_xml(lic, schema))
+    return ET.tostring(root, encoding="unicode")
+
+
+def pool_from_xml(text: str) -> Tuple[LicensePool, ConstraintSchema]:
+    """Load ``(pool, schema)`` from :func:`pool_to_xml` output."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise SerializationError(f"invalid pool XML: {exc}") from exc
+    if root.tag != "pool":
+        raise SerializationError(f"expected <pool>, got <{root.tag}>")
+    pool = LicensePool()
+    schema: Optional[ConstraintSchema] = None
+    for element in root.findall("license"):
+        lic, schema = license_from_xml(element, schema)
+        if not isinstance(lic, RedistributionLicense):
+            raise SerializationError(
+                "pool documents may only contain redistribution licenses"
+            )
+        pool.add(lic)
+    if schema is None:
+        raise SerializationError("pool document contains no licenses")
+    return pool, schema

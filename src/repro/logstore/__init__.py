@@ -1,0 +1,19 @@
+"""Issuance log storage (the paper's Table 2 as a data structure)."""
+
+from repro.logstore.compaction import compact, compaction_ratio
+from repro.logstore.io import dump_log, load_log, read_records, write_records
+from repro.logstore.log import ValidationLog
+from repro.logstore.record import LogRecord, mask_of, set_of
+
+__all__ = [
+    "LogRecord",
+    "ValidationLog",
+    "compact",
+    "compaction_ratio",
+    "dump_log",
+    "load_log",
+    "mask_of",
+    "read_records",
+    "set_of",
+    "write_records",
+]

@@ -1,0 +1,51 @@
+"""Log compaction.
+
+Aggregate validation only depends on the *aggregated* set counts ``C[S]``,
+not on individual issuance records (Equation 1 sums them anyway).  A
+validation authority that has archived the raw records elsewhere can
+therefore compact a log of tens of thousands of issuances into one record
+per distinct set -- typically a 100-1000x reduction at the paper's
+workload scale -- without changing any validation verdict.
+
+:func:`compact` is pure (returns a new log); per-issuance traceability
+(``issued_id``) is the price, so compaction is for archival/restart paths,
+not for live dispute resolution.
+"""
+
+from __future__ import annotations
+
+from repro.logstore.log import ValidationLog
+from repro.logstore.record import LogRecord
+
+__all__ = ["compact", "compaction_ratio"]
+
+
+def compact(log: ValidationLog) -> ValidationLog:
+    """Return a log with one record per distinct license set.
+
+    Records are emitted in ascending (mask) order for determinism.  The
+    compacted log has identical ``counts_by_set()`` / ``counts_by_mask()``
+    and therefore identical validation behaviour under every engine.
+
+    >>> log = ValidationLog()
+    >>> log.record({1, 2}, 800)
+    >>> log.record({1, 2}, 40)
+    >>> compacted = compact(log)
+    >>> len(compacted), compacted.set_count({1, 2})
+    (1, 840)
+    """
+    compacted = ValidationLog()
+    entries = sorted(
+        log.counts_by_set().items(),
+        key=lambda item: sorted(item[0]),
+    )
+    for license_set, count in entries:
+        compacted.append(LogRecord(license_set, count))
+    return compacted
+
+
+def compaction_ratio(log: ValidationLog) -> float:
+    """Return ``len(log) / distinct sets`` (1.0 for an empty log)."""
+    if log.distinct_sets == 0:
+        return 1.0
+    return len(log) / log.distinct_sets

@@ -1,0 +1,76 @@
+"""Persistence for validation logs (JSON Lines).
+
+One record per line keeps the format append-friendly, mirroring how a
+validation authority would accumulate issuance logs between offline
+validation runs::
+
+    {"set": [1, 2], "count": 800, "issued_id": "LU1"}
+    {"set": [2], "count": 400, "issued_id": "LU2"}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Union
+
+from repro.errors import LogError, SerializationError
+from repro.logstore.log import ValidationLog
+from repro.logstore.record import LogRecord
+
+__all__ = ["dump_log", "load_log", "write_records", "read_records"]
+
+PathLike = Union[str, Path]
+
+
+def _record_to_line(record: LogRecord) -> str:
+    payload = {"set": sorted(record.license_set), "count": record.count}
+    if record.issued_id is not None:
+        payload["issued_id"] = record.issued_id
+    return json.dumps(payload)
+
+
+def _line_to_record(line: str, line_number: int) -> LogRecord:
+    try:
+        payload = json.loads(line)
+        return LogRecord(
+            license_set=frozenset(int(i) for i in payload["set"]),
+            count=int(payload["count"]),
+            issued_id=payload.get("issued_id"),
+        )
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError, LogError) as exc:
+        raise SerializationError(
+            f"malformed log line {line_number}: {line!r}"
+        ) from exc
+
+
+def write_records(records: Iterable[LogRecord], stream: IO[str]) -> int:
+    """Write records to an open text stream; return the number written."""
+    written = 0
+    for record in records:
+        stream.write(_record_to_line(record))
+        stream.write("\n")
+        written += 1
+    return written
+
+
+def read_records(stream: IO[str]) -> Iterator[LogRecord]:
+    """Yield records from an open text stream, skipping blank lines."""
+    for line_number, line in enumerate(stream, start=1):
+        stripped = line.strip()
+        if stripped:
+            yield _line_to_record(stripped, line_number)
+
+
+def dump_log(log: ValidationLog, path: PathLike) -> int:
+    """Write a whole log to ``path``; return the record count."""
+    with open(path, "w", encoding="utf-8") as stream:
+        return write_records(log, stream)
+
+
+def load_log(path: PathLike) -> ValidationLog:
+    """Load a log previously written by :func:`dump_log`."""
+    log = ValidationLog()
+    with open(path, "r", encoding="utf-8") as stream:
+        log.extend(read_records(stream))
+    return log

@@ -1,0 +1,147 @@
+"""The validation log: an append-only sequence of issued-license records.
+
+This is the paper's Table 2 as a data structure.  Besides raw records the
+log maintains the aggregated *set counts* ``C[S]`` (sum of permission counts
+of all records whose set equals ``S``), which is what every validation
+engine consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional
+
+from repro.errors import LogError
+from repro.licenses.license import UsageLicense
+from repro.logstore.record import LogRecord
+
+__all__ = ["ValidationLog"]
+
+
+class ValidationLog:
+    """Append-only log of :class:`LogRecord` with incremental aggregation.
+
+    Examples
+    --------
+    >>> log = ValidationLog()
+    >>> log.record({1, 2}, 800)
+    >>> log.record({1, 2}, 40)
+    >>> log.set_count({1, 2})
+    840
+    >>> log.total_count
+    840
+    """
+
+    def __init__(self, records: Iterable[LogRecord] = ()):
+        self._records: List[LogRecord] = []
+        self._counts: Dict[FrozenSet[int], int] = {}
+        self._total = 0
+        for record in records:
+            self.append(record)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, record: LogRecord) -> None:
+        """Append one record, updating the aggregated counts."""
+        if not isinstance(record, LogRecord):
+            raise LogError(f"expected LogRecord, got {type(record).__name__}")
+        self._records.append(record)
+        self._counts[record.license_set] = (
+            self._counts.get(record.license_set, 0) + record.count
+        )
+        self._total += record.count
+
+    def record(
+        self,
+        license_set: Iterable[int],
+        count: int,
+        issued_id: Optional[str] = None,
+    ) -> None:
+        """Convenience: build and append a :class:`LogRecord`."""
+        self.append(LogRecord(frozenset(license_set), count, issued_id))
+
+    def record_issuance(self, issued: UsageLicense, license_set: Iterable[int]) -> None:
+        """Append a record for an issued usage license and its match set."""
+        self.record(license_set, issued.count, issued.license_id)
+
+    def extend(self, records: Iterable[LogRecord]) -> None:
+        """Append many records."""
+        for record in records:
+            self.append(record)
+
+    # ------------------------------------------------------------------
+    # Aggregated views
+    # ------------------------------------------------------------------
+    def set_count(self, license_set: Iterable[int]) -> int:
+        """Return ``C[S]``: total counts of records whose set equals ``S``.
+
+        (Not the validation-equation LHS ``C⟨S⟩`` -- that sums over all
+        subsets and lives in :mod:`repro.validation`.)
+        """
+        return self._counts.get(frozenset(license_set), 0)
+
+    def counts_by_set(self) -> Dict[FrozenSet[int], int]:
+        """Return a copy of the aggregated ``{S: C[S]}`` mapping."""
+        return dict(self._counts)
+
+    def counts_by_mask(self) -> Dict[int, int]:
+        """Return the aggregation keyed by bitmask (validation engines'
+        preferred representation)."""
+        masks: Dict[int, int] = {}
+        for license_set, count in self._counts.items():
+            mask = 0
+            for index in license_set:
+                mask |= 1 << (index - 1)
+            masks[mask] = count
+        return masks
+
+    @property
+    def total_count(self) -> int:
+        """Return the total permission counts across all records."""
+        return self._total
+
+    @property
+    def distinct_sets(self) -> int:
+        """Return the number of distinct license sets seen."""
+        return len(self._counts)
+
+    def max_index(self) -> int:
+        """Return the highest license index referenced, or 0 if empty."""
+        if not self._counts:
+            return 0
+        return max(max(license_set) for license_set in self._counts)
+
+    # ------------------------------------------------------------------
+    # Derived logs
+    # ------------------------------------------------------------------
+    def without(self, issued_ids: Iterable[str]) -> "ValidationLog":
+        """Return a new log with the given issuances removed (revoked).
+
+        Records without an ``issued_id`` can never be targeted.  Unknown
+        ids are ignored (revoking twice is a no-op), keeping the operation
+        idempotent for remediation replays.
+        """
+        revoked = set(issued_ids)
+        return ValidationLog(
+            record
+            for record in self._records
+            if record.issued_id is None or record.issued_id not in revoked
+        )
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, position: int) -> LogRecord:
+        return self._records[position]
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ValidationLog(records={len(self._records)}, "
+            f"distinct_sets={len(self._counts)}, total={self._total})"
+        )

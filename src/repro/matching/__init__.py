@@ -1,0 +1,7 @@
+"""Instance-based matching of issued licenses against a license pool."""
+
+from repro.matching.index import IndexedMatcher
+from repro.matching.matcher import BruteForceMatcher
+from repro.matching.sorted_index import SortedCandidateMatcher
+
+__all__ = ["BruteForceMatcher", "IndexedMatcher", "SortedCandidateMatcher"]

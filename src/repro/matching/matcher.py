@@ -1,0 +1,54 @@
+"""Brute-force instance matching.
+
+*Instance-based validation* (Section 3.1): for an issued license, find the
+set ``S`` of redistribution licenses whose constraint hyper-rectangles fully
+contain the issued license's hyper-rectangle.  An empty ``S`` means the
+issued license violates instance constraints and is invalid outright
+(like ``L_U^2`` in Figure 2 of the paper).
+
+This module is the reference implementation: test every pool license
+directly via box containment.  :mod:`repro.matching.index` offers a
+vectorized matcher for bulk workloads; both must agree (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.licenses.license import UsageLicense
+from repro.licenses.pool import LicensePool
+
+__all__ = ["BruteForceMatcher"]
+
+
+class BruteForceMatcher:
+    """Match issued licenses against a pool by direct containment tests.
+
+    Examples
+    --------
+    >>> from repro.workloads.scenarios import example1
+    >>> scenario = example1()
+    >>> matcher = BruteForceMatcher(scenario.pool)
+    >>> sorted(matcher.match(scenario.usages[0]))   # L_U^1 -> {L_D^1, L_D^2}
+    [1, 2]
+    """
+
+    def __init__(self, pool: LicensePool):
+        self._pool = pool
+
+    @property
+    def pool(self) -> LicensePool:
+        """Return the pool being matched against."""
+        return self._pool
+
+    def match(self, issued: UsageLicense) -> FrozenSet[int]:
+        """Return the paper's set ``S``: 1-based indexes of all pool
+        licenses that instance-validate ``issued``."""
+        return self._pool.matching_indexes(issued)
+
+    def is_instance_valid(self, issued: UsageLicense) -> bool:
+        """Return ``True`` if at least one redistribution license contains
+        the issued license (a necessary condition for validity)."""
+        return any(
+            lic.can_instance_validate(issued) for lic in self._pool
+        )

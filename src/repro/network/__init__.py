@@ -1,0 +1,6 @@
+"""Multi-level DRM distribution networks (owner -> distributors -> consumers)."""
+
+from repro.network.network import DistributionNetwork
+from repro.network.node import DistributorNode, NodeOutcome
+
+__all__ = ["DistributionNetwork", "DistributorNode", "NodeOutcome"]

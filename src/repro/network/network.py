@@ -1,0 +1,134 @@
+"""The multi-level distribution network: owner -> distributors -> consumers.
+
+Wires :class:`~repro.network.node.DistributorNode` objects into the
+owner-rooted tree of the paper's Section 1.  The owner is the licensor: it
+*grants* root redistribution licenses without validation (it owns the
+content).  Every downstream generation -- distributor to sub-distributor,
+distributor to consumer -- is validated at the generating node before the
+license is delivered.
+
+The network also exposes a global audit that runs the offline grouped
+validation at every node, which is how the rights-violation detection of
+the paper would be deployed across a real distribution hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import LicenseError, ValidationError
+from repro.licenses.license import RedistributionLicense, UsageLicense
+from repro.network.node import DistributorNode, NodeOutcome
+from repro.validation.report import ValidationReport
+
+__all__ = ["DistributionNetwork"]
+
+#: Reserved name for the content owner (the licensing root).
+OWNER = "owner"
+
+
+class DistributionNetwork:
+    """An owner-rooted tree of distributor nodes.
+
+    Examples
+    --------
+    >>> network = DistributionNetwork()
+    >>> network.add_distributor("emea")
+    >>> "emea" in network
+    True
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, DistributorNode] = {}
+        self._parent: Dict[str, str] = {}
+        self._deliveries: List[Tuple[str, str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_distributor(self, name: str, parent: str = OWNER) -> None:
+        """Register a distributor under ``parent`` (default: the owner)."""
+        if name == OWNER:
+            raise LicenseError(f"{OWNER!r} is reserved for the content owner")
+        if name in self._nodes:
+            raise LicenseError(f"duplicate distributor name: {name!r}")
+        if parent != OWNER and parent not in self._nodes:
+            raise LicenseError(f"unknown parent distributor: {parent!r}")
+        self._nodes[name] = DistributorNode(name)
+        self._parent[name] = parent
+
+    def node(self, name: str) -> DistributorNode:
+        """Return a distributor node by name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise LicenseError(f"unknown distributor: {name!r}") from None
+
+    def parent_of(self, name: str) -> str:
+        """Return the parent name (the owner for top-level distributors)."""
+        self.node(name)
+        return self._parent[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._nodes
+
+    def __iter__(self) -> Iterator[DistributorNode]:
+        return iter(self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # License movement
+    # ------------------------------------------------------------------
+    def grant(self, to: str, lic: RedistributionLicense) -> int:
+        """Owner grant: deliver a root license to a TOP-LEVEL distributor
+        without validation (the owner licenses its own content).
+
+        Returns the license's index in the receiving pool.
+        """
+        if self._parent.get(to) != OWNER:
+            raise ValidationError(
+                f"owner grants go to top-level distributors; {to!r} has "
+                f"parent {self._parent.get(to)!r}"
+            )
+        index = self.node(to).receive(lic)
+        self._deliveries.append((OWNER, to, lic.license_id))
+        return index
+
+    def redistribute(
+        self, sender: str, receiver: str, lic: RedistributionLicense
+    ) -> NodeOutcome:
+        """Validate ``lic`` at ``sender``; deliver to ``receiver`` if valid.
+
+        ``receiver`` must be a registered child of ``sender`` -- licenses
+        flow down the distribution tree.
+        """
+        if self._parent.get(receiver) != sender:
+            raise ValidationError(
+                f"{receiver!r} is not a registered sub-distributor of {sender!r}"
+            )
+        outcome = self.node(sender).issue_redistribution(lic)
+        if outcome.accepted:
+            self.node(receiver).receive(lic)
+            self._deliveries.append((sender, receiver, lic.license_id))
+        return outcome
+
+    def sell(self, seller: str, usage: UsageLicense) -> NodeOutcome:
+        """Validate a consumer usage license at ``seller``."""
+        return self.node(seller).issue_usage(usage)
+
+    # ------------------------------------------------------------------
+    # Audit
+    # ------------------------------------------------------------------
+    def audit_all(self) -> Dict[str, Optional[ValidationReport]]:
+        """Offline-validate every node's log; ``None`` for empty pools."""
+        results: Dict[str, Optional[ValidationReport]] = {}
+        for name, node in self._nodes.items():
+            results[name] = node.audit() if node.pool else None
+        return results
+
+    @property
+    def deliveries(self) -> Tuple[Tuple[str, str, str], ...]:
+        """Return every accepted delivery as ``(from, to, license_id)``."""
+        return tuple(self._deliveries)

@@ -1,0 +1,22 @@
+"""Online (per-issuance) validation: sessions and selection strategies."""
+
+from repro.online.session import IssuanceOutcome, IssuanceSession
+from repro.online.strategies import (
+    BestFit,
+    FirstFit,
+    GreedyMaxRemaining,
+    LastFit,
+    RandomPick,
+    SelectionStrategy,
+)
+
+__all__ = [
+    "BestFit",
+    "FirstFit",
+    "GreedyMaxRemaining",
+    "IssuanceOutcome",
+    "IssuanceSession",
+    "LastFit",
+    "RandomPick",
+    "SelectionStrategy",
+]

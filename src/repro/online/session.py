@@ -1,0 +1,206 @@
+"""Issuance sessions: online validation of a stream of usage licenses.
+
+An :class:`IssuanceSession` plays the role of the validation authority at
+issue time.  Two modes:
+
+* **strategy mode** -- each accepted license is charged to exactly one
+  redistribution license chosen by a
+  :class:`~repro.online.strategies.SelectionStrategy`; remaining capacities
+  are debited immediately.  Simple, but can strand capacity (Example 1).
+* **equation mode** -- no per-license assignment.  A license is accepted
+  iff the log *plus this license* still satisfies all validation
+  equations, checked via the group-restricted headroom query
+  (Theorem 2 guarantees cross-group equations are redundant).  This is the
+  exact policy: it accepts a stream iff some assignment exists.
+
+Both modes share instance matching (an empty match set is an instant
+reject, like ``L_U^2`` of Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ValidationError
+from repro.core.validator import GroupedValidator
+from repro.licenses.license import UsageLicense
+from repro.licenses.pool import LicensePool
+from repro.logstore.log import ValidationLog
+from repro.matching.index import IndexedMatcher
+from repro.online.strategies import SelectionStrategy
+from repro.validation.bitset import mask_from_indexes
+from repro.validation.capacity import headroom
+from repro.validation.tree import ValidationTree
+
+__all__ = ["IssuanceOutcome", "IssuanceSession"]
+
+
+@dataclass(frozen=True)
+class IssuanceOutcome:
+    """The session's verdict on one usage license."""
+
+    usage_id: str
+    count: int
+    license_set: Tuple[int, ...]
+    accepted: bool
+    #: "instance" (no containing license) or "aggregate" (capacity) on
+    #: rejection; None when accepted.
+    rejection_reason: Optional[str] = None
+    #: In strategy mode: the license the count was charged to.
+    charged_to: Optional[int] = None
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        if self.accepted:
+            charge = f" -> LD{self.charged_to}" if self.charged_to else ""
+            return f"{self.usage_id} ({self.count}): ACCEPTED{charge}"
+        return f"{self.usage_id} ({self.count}): REJECTED ({self.rejection_reason})"
+
+
+class IssuanceSession:
+    """Online validation over a stream of usage licenses.
+
+    Parameters
+    ----------
+    pool:
+        The distributor's redistribution licenses.
+    policy:
+        Either a :class:`SelectionStrategy` instance or the string
+        ``"equation"`` for the exact feasibility-preserving policy.
+
+    Examples
+    --------
+    >>> from repro.workloads.scenarios import example1
+    >>> from repro.online.strategies import LastFit
+    >>> scenario = example1()
+    >>> naive = IssuanceSession(scenario.pool, LastFit())
+    >>> exact = IssuanceSession(scenario.pool, "equation")
+    >>> [naive.issue(u).accepted for u in scenario.usages]
+    [True, False]
+    >>> [exact.issue(u).accepted for u in scenario.usages]
+    [True, True]
+    """
+
+    def __init__(
+        self,
+        pool: LicensePool,
+        policy: Union[SelectionStrategy, str],
+    ):
+        if not pool:
+            raise ValidationError("session needs a non-empty pool")
+        self._pool = pool
+        self._matcher = IndexedMatcher(pool)
+        self._log = ValidationLog()
+        self._outcomes: List[IssuanceOutcome] = []
+        if policy == "equation":
+            self._strategy: Optional[SelectionStrategy] = None
+            self._validator = GroupedValidator.from_pool(pool)
+            self._tree = ValidationTree()  # incrementally maintained
+            self._remaining: Dict[int, int] = {}
+        elif isinstance(policy, str):
+            raise ValidationError(
+                f"unknown policy {policy!r}; use a SelectionStrategy or 'equation'"
+            )
+        else:
+            self._strategy = policy
+            self._validator = None
+            self._tree = None
+            self._remaining = {
+                index: lic.aggregate for index, lic in pool.enumerate()
+            }
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def policy_name(self) -> str:
+        """Return the active policy's name."""
+        return self._strategy.name if self._strategy is not None else "equation"
+
+    @property
+    def log(self) -> ValidationLog:
+        """Return the log of *accepted* issuances."""
+        return self._log
+
+    @property
+    def outcomes(self) -> Tuple[IssuanceOutcome, ...]:
+        """Return every issuance outcome so far, in order."""
+        return tuple(self._outcomes)
+
+    @property
+    def accepted_counts(self) -> int:
+        """Return the total permission counts accepted so far."""
+        return self._log.total_count
+
+    @property
+    def remaining(self) -> Dict[int, int]:
+        """Strategy mode only: remaining capacity per license index."""
+        if self._strategy is None:
+            raise ValidationError(
+                "equation mode keeps no per-license balances; "
+                "use headroom queries instead"
+            )
+        return dict(self._remaining)
+
+    # ------------------------------------------------------------------
+    # Issuance
+    # ------------------------------------------------------------------
+    def issue(self, usage: UsageLicense) -> IssuanceOutcome:
+        """Validate one usage license online; record it if accepted."""
+        matched = tuple(sorted(self._matcher.match(usage)))
+        if not matched:
+            outcome = IssuanceOutcome(
+                usage.license_id, usage.count, matched, False, "instance"
+            )
+            self._outcomes.append(outcome)
+            return outcome
+        if self._strategy is not None:
+            outcome = self._issue_with_strategy(usage, matched)
+        else:
+            outcome = self._issue_with_equations(usage, matched)
+        self._outcomes.append(outcome)
+        return outcome
+
+    def _issue_with_strategy(
+        self, usage: UsageLicense, matched: Tuple[int, ...]
+    ) -> IssuanceOutcome:
+        assert self._strategy is not None
+        choice = self._strategy.select(matched, self._remaining, usage.count)
+        if choice is None:
+            return IssuanceOutcome(
+                usage.license_id, usage.count, matched, False, "aggregate"
+            )
+        if choice not in matched:
+            raise ValidationError(
+                f"strategy {self._strategy.name!r} selected license {choice} "
+                f"outside the match set {list(matched)}"
+            )
+        self._remaining[choice] -= usage.count
+        if self._remaining[choice] < 0:
+            raise ValidationError(
+                f"strategy {self._strategy.name!r} overdrew license {choice}"
+            )
+        self._log.record_issuance(usage, matched)
+        return IssuanceOutcome(
+            usage.license_id, usage.count, matched, True, charged_to=choice
+        )
+
+    def _issue_with_equations(
+        self, usage: UsageLicense, matched: Tuple[int, ...]
+    ) -> IssuanceOutcome:
+        assert self._validator is not None and self._tree is not None
+        structure = self._validator.structure
+        group_id = structure.group_of(matched[0])
+        slack = headroom(
+            self._tree,
+            self._validator.aggregates,
+            mask_from_indexes(matched),
+            universe_mask=structure.masks()[group_id],
+        )
+        if slack < usage.count:
+            return IssuanceOutcome(
+                usage.license_id, usage.count, matched, False, "aggregate"
+            )
+        self._tree.insert_set(matched, usage.count)
+        self._log.record_issuance(usage, matched)
+        return IssuanceOutcome(usage.license_id, usage.count, matched, True)

@@ -1,0 +1,148 @@
+"""Selection strategies for *online* (per-issuance) validation.
+
+Section 2.1 of the paper motivates the offline equation approach by showing
+that picking a single redistribution license per issuance can strand
+capacity: with licenses ``L_D^1 (2000)`` and ``L_D^2 (1000)``, charging
+``L_U^1`` (800 counts, matches both) to ``L_D^2`` leaves only 200 counts
+for a later ``L_U^2`` (400 counts, matches only ``L_D^2``) -- which then
+gets rejected even though charging ``L_U^1`` to ``L_D^1`` would have kept
+both valid.
+
+The strategies here are the "pick one license" policies such a naive
+validation authority might use.  They exist as baselines for
+:class:`repro.online.session.IssuanceSession`, which also offers the
+equation-based policy (accept iff the whole log stays feasible) that never
+strands capacity.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Optional, Protocol, Sequence
+
+__all__ = [
+    "BestFit",
+    "FirstFit",
+    "GreedyMaxRemaining",
+    "LastFit",
+    "RandomPick",
+    "SelectionStrategy",
+]
+
+
+class SelectionStrategy(Protocol):
+    """Policy choosing which matched license to debit for an issuance."""
+
+    #: Name used in reports and examples.
+    name: str
+
+    def select(
+        self,
+        candidates: Sequence[int],
+        remaining: Mapping[int, int],
+        count: int,
+    ) -> Optional[int]:
+        """Return the license index to debit, or ``None`` to reject.
+
+        Parameters
+        ----------
+        candidates:
+            The issued license's match set ``S`` (ascending 1-based
+            indexes, never empty).
+        remaining:
+            Remaining aggregate counts per license index.
+        count:
+            The permission count of the license being issued.
+        """
+        ...  # pragma: no cover - protocol
+
+
+def _eligible(
+    candidates: Sequence[int], remaining: Mapping[int, int], count: int
+) -> list:
+    """Return the candidates that still have capacity for ``count``."""
+    return [index for index in candidates if remaining.get(index, 0) >= count]
+
+
+class FirstFit:
+    """Debit the lowest-indexed license with enough remaining capacity."""
+
+    name = "first-fit"
+
+    def select(
+        self, candidates: Sequence[int], remaining: Mapping[int, int], count: int
+    ) -> Optional[int]:
+        eligible = _eligible(candidates, remaining, count)
+        return min(eligible) if eligible else None
+
+
+class LastFit:
+    """Debit the highest-indexed license with enough remaining capacity.
+
+    Deterministically reproduces the paper's Example 1 pathology: for
+    ``L_U^1`` (matches {1, 2}) it picks ``L_D^2``, stranding the capacity
+    that ``L_U^2`` later needs.
+    """
+
+    name = "last-fit"
+
+    def select(
+        self, candidates: Sequence[int], remaining: Mapping[int, int], count: int
+    ) -> Optional[int]:
+        eligible = _eligible(candidates, remaining, count)
+        return max(eligible) if eligible else None
+
+
+class RandomPick:
+    """Debit a uniformly random eligible license (the paper's "randomly
+    picks a license for validation" baseline)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def select(
+        self, candidates: Sequence[int], remaining: Mapping[int, int], count: int
+    ) -> Optional[int]:
+        eligible = _eligible(candidates, remaining, count)
+        if not eligible:
+            return None
+        return self._rng.choice(eligible)
+
+
+class BestFit:
+    """Debit the eligible license with the *least* remaining capacity
+    (classic best-fit): preserves large licenses for large future
+    requests, the mirror-image heuristic of
+    :class:`GreedyMaxRemaining`."""
+
+    name = "best-fit"
+
+    def select(
+        self, candidates: Sequence[int], remaining: Mapping[int, int], count: int
+    ) -> Optional[int]:
+        eligible = _eligible(candidates, remaining, count)
+        if not eligible:
+            return None
+        # Tie-break on the lower index for determinism.
+        return min(eligible, key=lambda index: (remaining.get(index, 0), index))
+
+
+class GreedyMaxRemaining:
+    """Debit the eligible license with the most remaining capacity.
+
+    A sensible heuristic -- it tends to preserve scarce licenses -- but
+    still suboptimal in general (only the equation policy is exact).
+    """
+
+    name = "greedy-max-remaining"
+
+    def select(
+        self, candidates: Sequence[int], remaining: Mapping[int, int], count: int
+    ) -> Optional[int]:
+        eligible = _eligible(candidates, remaining, count)
+        if not eligible:
+            return None
+        # Tie-break on the lower index for determinism.
+        return max(eligible, key=lambda index: (remaining.get(index, 0), -index))

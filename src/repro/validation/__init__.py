@@ -1,0 +1,88 @@
+"""Aggregate validation substrate: equations, the validation tree of [10],
+baseline engines, the zeta-transform engine, and the max-flow oracle."""
+
+from repro.validation.bitset import (
+    aggregate_sums,
+    indexes_of,
+    iter_masks,
+    iter_submasks,
+    iter_supersets,
+    mask_from_indexes,
+    popcount,
+)
+from repro.validation.capacity import headroom
+from repro.validation.complexity import (
+    equation_count,
+    equations_touched_by_issue,
+    expansion_terms,
+    grouped_equation_count,
+    grouped_equations_touched,
+    total_expansion_terms,
+)
+from repro.validation.diagnosis import (
+    apply_revocation,
+    min_revocation_total,
+    minimal_violations,
+    revocation_plan,
+    select_revocations,
+)
+from repro.validation.equations import (
+    ValidationEquation,
+    enumerate_equations,
+    equation_for_set,
+)
+from repro.validation.flow import FlowFeasibilityOracle
+from repro.validation.naive import ExpansionValidator, ScanValidator
+from repro.validation.report import ValidationReport, Violation
+from repro.validation.tree import TreeNode, ValidationTree
+from repro.validation.tree_io import (
+    dumps_grouped,
+    dumps_tree,
+    loads_grouped,
+    loads_tree,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.validation.tree_validator import TreeValidator
+from repro.validation.zeta import ZetaValidator, subset_sums_dense
+
+__all__ = [
+    "ExpansionValidator",
+    "FlowFeasibilityOracle",
+    "ScanValidator",
+    "TreeNode",
+    "TreeValidator",
+    "ValidationEquation",
+    "ValidationReport",
+    "ValidationTree",
+    "Violation",
+    "ZetaValidator",
+    "aggregate_sums",
+    "apply_revocation",
+    "enumerate_equations",
+    "equation_count",
+    "equation_for_set",
+    "equations_touched_by_issue",
+    "expansion_terms",
+    "grouped_equation_count",
+    "grouped_equations_touched",
+    "total_expansion_terms",
+    "headroom",
+    "min_revocation_total",
+    "minimal_violations",
+    "indexes_of",
+    "iter_masks",
+    "iter_submasks",
+    "iter_supersets",
+    "mask_from_indexes",
+    "popcount",
+    "revocation_plan",
+    "select_revocations",
+    "subset_sums_dense",
+    "dumps_grouped",
+    "dumps_tree",
+    "loads_grouped",
+    "loads_tree",
+    "tree_from_dict",
+    "tree_to_dict",
+]

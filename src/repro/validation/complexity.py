@@ -1,0 +1,99 @@
+"""Closed-form cost model of validation (Section 2.1, "Complexity of
+Validation", plus the grouped counterparts).
+
+The paper quantifies why naive validation is infeasible:
+
+* with ``N`` redistribution licenses there are ``2^N - 1`` validation
+  equations;
+* a newly issued license matching ``k`` of them appears in ``2^(N-k)``
+  equations (every superset of its match set);
+* the fully expanded Equation 1 has ``2^m - 1`` summation terms for an
+  ``m``-license set -- ``3^N - 2^N`` terms across all equations.
+
+These helpers expose those quantities (and their grouped counterparts) so
+tests, docs and examples can reason about costs without re-deriving them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "equation_count",
+    "equations_touched_by_issue",
+    "expansion_terms",
+    "total_expansion_terms",
+    "grouped_equation_count",
+    "grouped_equations_touched",
+]
+
+
+def equation_count(n: int) -> int:
+    """Return ``2^N - 1``: the number of validation equations.
+
+    >>> equation_count(5)
+    31
+    """
+    if n < 1:
+        raise ValidationError(f"need n >= 1, got {n}")
+    return (1 << n) - 1
+
+
+def equations_touched_by_issue(n: int, k: int) -> int:
+    """Return ``2^(N-k)``: equations affected by a license matching ``k``
+    of the ``N`` redistribution licenses (Section 2.1).
+
+    >>> equations_touched_by_issue(5, 2)
+    8
+    """
+    if not 1 <= k <= n:
+        raise ValidationError(f"need 1 <= k <= n, got k={k}, n={n}")
+    return 1 << (n - k)
+
+
+def expansion_terms(m: int) -> int:
+    """Return ``2^m - 1``: LHS summation terms of one equation over an
+    ``m``-license set (Equation 1's summation limit)."""
+    if m < 1:
+        raise ValidationError(f"need m >= 1, got {m}")
+    return (1 << m) - 1
+
+
+def total_expansion_terms(n: int) -> int:
+    """Return ``3^N - 2^N``: total LHS terms across all equations.
+
+    (Each pair ``∅ ≠ T ⊆ S`` is one term; there are ``3^N`` subset pairs
+    of which ``2^N`` have ``T = ∅``.)
+
+    >>> total_expansion_terms(2)
+    5
+    """
+    if n < 1:
+        raise ValidationError(f"need n >= 1, got {n}")
+    return 3**n - 2**n
+
+
+def grouped_equation_count(group_sizes: Sequence[int]) -> int:
+    """Return ``Σ_k (2^{N_k} - 1)`` (alias of
+    :func:`repro.core.gain.equations_with_grouping`, here for cost-model
+    completeness)."""
+    if not group_sizes or any(size < 1 for size in group_sizes):
+        raise ValidationError(f"invalid group sizes: {group_sizes!r}")
+    return sum((1 << size) - 1 for size in group_sizes)
+
+
+def grouped_equations_touched(group_size: int, k: int) -> int:
+    """Return ``2^(N_g - k)``: equations affected by an issue matching
+    ``k`` licenses, all inside a group of ``N_g`` licenses.
+
+    The grouped analogue of :func:`equations_touched_by_issue`: by
+    Theorem 2 only the issue's own group's equations can be affected, so
+    the superset enumeration shrinks from ``2^(N-k)`` to ``2^(N_g-k)``.
+    """
+    if not 1 <= k <= group_size:
+        raise ValidationError(
+            f"need 1 <= k <= group size, got k={k}, size={group_size}"
+        )
+    return 1 << (group_size - k)

@@ -1,0 +1,176 @@
+"""Violation diagnosis: minimal violated sets and revocation planning.
+
+When offline validation fails, the distributor (or the rights owner) needs
+more than a list of `2^k` violated subsets:
+
+* :func:`minimal_violations` -- the inclusion-minimal violated sets, the
+  actionable core of a report (every other violation contains one of
+  them).
+* :func:`min_revocation_total` -- the smallest total permission count that
+  must be revoked to restore validity.  By LP duality on the
+  transportation relaxation this equals ``total demand - max routable``
+  (the unroutable excess), computed with the max-flow oracle.
+* :func:`revocation_plan` -- a concrete per-set revocation achieving that
+  minimum: shave each demand set down to what a maximum flow managed to
+  route.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.validation.flow import FlowFeasibilityOracle
+from repro.validation.report import ValidationReport, Violation
+
+__all__ = [
+    "apply_revocation",
+    "min_revocation_total",
+    "minimal_violations",
+    "revocation_plan",
+    "select_revocations",
+]
+
+
+def minimal_violations(report: ValidationReport) -> List[Violation]:
+    """Return the inclusion-minimal violated sets of a report.
+
+    A violation for set ``S`` is *minimal* if no other violated set is a
+    strict subset of ``S``.  Sorted by mask for determinism.
+
+    >>> from repro.validation.report import make_report
+    >>> r = make_report("x", 3, [Violation(0b01, 5, 4), Violation(0b11, 9, 8)])
+    >>> [v.mask for v in minimal_violations(r)]
+    [1]
+    """
+    masks = [violation.mask for violation in report.violations]
+    minimal = []
+    for violation in report.violations:
+        if not any(
+            other != violation.mask and other & violation.mask == other
+            for other in masks
+        ):
+            minimal.append(violation)
+    return sorted(minimal, key=lambda violation: violation.mask)
+
+
+def min_revocation_total(
+    counts_by_mask: Dict[int, int], aggregates: Sequence[int]
+) -> int:
+    """Return the minimum total counts to revoke to restore validity.
+
+    Equal to ``total demand - max routable demand``: whatever a maximum
+    flow cannot place has to go, and shaving exactly the unrouted residue
+    restores feasibility (see :func:`revocation_plan`).
+    """
+    oracle = FlowFeasibilityOracle(aggregates)
+    demand = sum(counts_by_mask.values())
+    if demand == 0:
+        return 0
+    return demand - oracle.max_routable(counts_by_mask)
+
+
+def revocation_plan(
+    counts_by_mask: Dict[int, int], aggregates: Sequence[int]
+) -> Tuple[int, Dict[int, int]]:
+    """Return ``(total revoked, {mask: counts to revoke})``.
+
+    The plan shaves each demand set down to the amount a maximum flow
+    routed for it, so applying it yields a feasible log and the total
+    matches :func:`min_revocation_total`.
+    """
+    oracle = FlowFeasibilityOracle(aggregates)
+    feasible, routing = oracle.assignment(counts_by_mask)
+    routed: Dict[int, int] = {}
+    for (mask, _license_index), amount in routing.items():
+        routed[mask] = routed.get(mask, 0) + amount
+    plan: Dict[int, int] = {}
+    total = 0
+    for mask, demanded in counts_by_mask.items():
+        if demanded < 0:
+            raise ValidationError(f"negative count for mask {mask:#b}")
+        excess = demanded - routed.get(mask, 0)
+        if excess > 0:
+            plan[mask] = excess
+            total += excess
+    if feasible and plan:  # pragma: no cover - defensive consistency check
+        raise ValidationError("feasible log produced a non-empty revocation plan")
+    return total, plan
+
+
+def select_revocations(log, plan: Dict[int, int]) -> Tuple[List[str], int]:
+    """Pick concrete issuances to revoke that satisfy a count plan.
+
+    The flow-based :func:`revocation_plan` says how many *counts* to shave
+    per set; real remediation revokes whole issued licenses.  This helper
+    greedily picks, per set, the largest-count issuances first (fewest
+    licenses revoked) until the set's target is met -- possibly
+    over-shooting by at most one license's count per set, since licenses
+    are indivisible.
+
+    Parameters
+    ----------
+    log:
+        A :class:`repro.logstore.log.ValidationLog` whose records carry
+        ``issued_id`` values.
+    plan:
+        ``{mask: counts to revoke}`` from :func:`revocation_plan`.
+
+    Returns
+    -------
+    (ids, total):
+        License ids to revoke and the total counts they carry
+        (``>= sum(plan.values())``).
+
+    Raises
+    ------
+    ValidationError
+        If a set's revocable (id-carrying) records cannot cover its
+        target.
+    """
+    ids: List[str] = []
+    total = 0
+    for mask, target in plan.items():
+        candidates = sorted(
+            (
+                record
+                for record in log
+                if record.issued_id is not None and record.mask == mask
+            ),
+            key=lambda record: record.count,
+            reverse=True,
+        )
+        shaved = 0
+        for record in candidates:
+            if shaved >= target:
+                break
+            ids.append(record.issued_id)
+            shaved += record.count
+        if shaved < target:
+            raise ValidationError(
+                f"set mask {mask:#b} needs {target} counts revoked but only "
+                f"{shaved} are carried by identifiable issuances"
+            )
+        total += shaved
+    return ids, total
+
+
+def apply_revocation(
+    counts_by_mask: Dict[int, int], plan: Dict[int, int]
+) -> Dict[int, int]:
+    """Return a copy of the counts with a revocation plan applied.
+
+    Sets shaved to zero are dropped.
+    """
+    out = dict(counts_by_mask)
+    for mask, revoke in plan.items():
+        remaining = out.get(mask, 0) - revoke
+        if remaining < 0:
+            raise ValidationError(
+                f"plan revokes {revoke} from mask {mask:#b} holding {out.get(mask, 0)}"
+            )
+        if remaining:
+            out[mask] = remaining
+        else:
+            out.pop(mask, None)
+    return out

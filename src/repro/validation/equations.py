@@ -1,0 +1,130 @@
+"""Validation equations as first-class objects.
+
+Equation 1 of the paper, for a set ``S`` of redistribution licenses::
+
+    C⟨S⟩ = Σ_{∅ ≠ T ⊆ S} C[T]   ≤   A[S] = Σ_{j ∈ S} A_j
+
+This module materializes single equations (their full LHS term lists) for
+inspection, teaching, and the "expansion" baseline that evaluates each
+equation by enumerating all ``2^m - 1`` subset terms -- the
+computation-intensive form the paper sets out to avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.validation.bitset import (
+    indexes_of,
+    iter_masks,
+    iter_submasks,
+    mask_from_indexes,
+    popcount,
+)
+
+__all__ = ["ValidationEquation", "enumerate_equations", "equation_for_set"]
+
+
+@dataclass(frozen=True)
+class ValidationEquation:
+    """One fully expanded validation equation for a set ``S``.
+
+    Attributes
+    ----------
+    mask:
+        Bitmask of ``S``.
+    rhs:
+        ``A[S]`` -- the aggregate capacity of the set.
+    """
+
+    mask: int
+    rhs: int
+
+    @property
+    def license_set(self) -> FrozenSet[int]:
+        """Return ``S`` as 1-based indexes."""
+        return frozenset(indexes_of(self.mask))
+
+    @property
+    def term_count(self) -> int:
+        """Return the number of LHS summation terms: ``2^|S| - 1``."""
+        return (1 << popcount(self.mask)) - 1
+
+    def lhs_terms(self) -> Iterator[FrozenSet[int]]:
+        """Yield every subset ``T ⊆ S`` appearing on the LHS."""
+        for sub in iter_submasks(self.mask):
+            yield frozenset(indexes_of(sub))
+
+    def evaluate_lhs(self, counts_by_mask: Mapping[int, int]) -> int:
+        """Evaluate ``C⟨S⟩`` by brute-force subset enumeration.
+
+        This is the paper's "up to an exponential number of summation
+        terms" cost model: ``2^m - 1`` dictionary lookups per equation.
+        """
+        return sum(
+            counts_by_mask.get(sub, 0) for sub in iter_submasks(self.mask)
+        )
+
+    def holds(self, counts_by_mask: Mapping[int, int]) -> bool:
+        """Return ``True`` if the equation is satisfied for these counts."""
+        return self.evaluate_lhs(counts_by_mask) <= self.rhs
+
+    def render(self) -> str:
+        """Render the equation in the paper's notation (Example 2 style)."""
+        terms = sorted(
+            (tuple(sorted(term)) for term in self.lhs_terms()),
+            key=lambda term: (len(term), term),
+        )
+        lhs = " + ".join(
+            "C[{" + ", ".join(f"LD{i}" for i in term) + "}]" for term in terms
+        )
+        names = ", ".join(f"LD{i}" for i in sorted(self.license_set))
+        return f"{lhs} <= A[{{{names}}}] = {self.rhs}"
+
+
+def equation_for_set(
+    license_set: "Sequence[int] | frozenset", aggregates: Sequence[int]
+) -> ValidationEquation:
+    """Build the equation for one explicit set of 1-based license indexes."""
+    mask = mask_from_indexes(license_set)
+    if mask == 0:
+        raise ValidationError("validation equations require a non-empty set")
+    highest = max(license_set)
+    if highest > len(aggregates):
+        raise ValidationError(
+            f"set references license {highest} but only "
+            f"{len(aggregates)} aggregates given"
+        )
+    rhs = sum(aggregates[i - 1] for i in license_set)
+    return ValidationEquation(mask, rhs)
+
+
+def enumerate_equations(aggregates: Sequence[int]) -> Iterator[ValidationEquation]:
+    """Yield all ``2^N - 1`` validation equations for a pool's aggregates.
+
+    >>> equations = list(enumerate_equations([10, 20]))
+    >>> [(sorted(e.license_set), e.rhs) for e in equations]
+    [([1], 10), ([2], 20), ([1, 2], 30)]
+    """
+    n = len(aggregates)
+    if n == 0:
+        raise ValidationError("aggregate array must be non-empty")
+    # Reuse the subset-sum DP for the RHS values.
+    rhs: List[int] = [0] * (1 << n)
+    for mask in iter_masks(n):
+        low_bit = mask & -mask
+        rhs[mask] = rhs[mask ^ low_bit] + aggregates[low_bit.bit_length() - 1]
+        yield ValidationEquation(mask, rhs[mask])
+
+
+def total_term_count(n: int) -> int:
+    """Return the total LHS terms across all equations: ``3^n - 2^n``.
+
+    Each non-empty pair ``T ⊆ S`` is counted once; there are ``3^n``
+    pairs ``(T, S)`` with ``T ⊆ S`` over an n-element universe, of which
+    ``2^n`` have ``T = ∅``.  This quantifies the "exponential number of
+    summation terms" complexity of the fully expanded validation.
+    """
+    return 3**n - 2**n

@@ -1,0 +1,105 @@
+"""Naive validation baselines (no validation tree).
+
+Two reference engines, both operating on the aggregated ``{mask: C[S]}``
+log counts:
+
+* :class:`ScanValidator` -- for each of the ``2^N - 1`` equations, scan the
+  *distinct* stored sets and add those that are subsets
+  (``stored & mask == stored``).  Cost ``O(2^N · D)`` with ``D`` distinct
+  sets; a decent baseline when logs are much sparser than the subset
+  lattice.
+* :class:`ExpansionValidator` -- the fully expanded Equation 1: enumerate
+  all ``2^m - 1`` subset terms per equation (total ``3^N - 2^N`` lookups).
+  This is the computation model the paper calls prohibitively expensive and
+  that the validation tree of [10] was introduced to beat.
+
+Both exist as correctness oracles and as ablation points
+(``benchmarks/bench_ablation_engines.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ValidationError
+from repro.logstore.log import ValidationLog
+from repro.validation.bitset import aggregate_sums, iter_masks, iter_submasks
+from repro.validation.report import ValidationReport, Violation, make_report
+
+__all__ = ["ScanValidator", "ExpansionValidator"]
+
+
+class _NaiveBase:
+    """Shared setup for the log-scanning baselines."""
+
+    def __init__(self, aggregates: Sequence[int]):
+        if not aggregates:
+            raise ValidationError("aggregate array must be non-empty")
+        if any(a < 0 for a in aggregates):
+            raise ValidationError(f"aggregates must be non-negative: {aggregates!r}")
+        self._aggregates = list(aggregates)
+        self._n = len(aggregates)
+        self._rhs = aggregate_sums(self._aggregates)
+
+    @property
+    def n(self) -> int:
+        """Return the number of redistribution licenses ``N``."""
+        return self._n
+
+    def _check_counts(self, counts_by_mask: Dict[int, int]) -> None:
+        universe = (1 << self._n) - 1
+        for mask in counts_by_mask:
+            if mask == 0 or mask & ~universe:
+                raise ValidationError(
+                    f"log references mask {mask:#b} outside universe N={self._n}"
+                )
+
+
+class ScanValidator(_NaiveBase):
+    """Per-equation scan over the distinct stored sets."""
+
+    engine_name = "scan"
+
+    def validate_counts(self, counts_by_mask: Dict[int, int]) -> ValidationReport:
+        """Validate aggregated counts (``{mask: C[S]}``)."""
+        self._check_counts(counts_by_mask)
+        stored = list(counts_by_mask.items())
+        violations: List[Violation] = []
+        checked = 0
+        for mask in iter_masks(self._n):
+            checked += 1
+            lhs = 0
+            for stored_mask, count in stored:
+                if stored_mask & mask == stored_mask:
+                    lhs += count
+            if lhs > self._rhs[mask]:
+                violations.append(Violation(mask, lhs, self._rhs[mask]))
+        return make_report(self.engine_name, checked, violations)
+
+    def validate_log(self, log: ValidationLog) -> ValidationReport:
+        """Validate a raw log."""
+        return self.validate_counts(log.counts_by_mask())
+
+
+class ExpansionValidator(_NaiveBase):
+    """The fully expanded Equation 1 (``2^m - 1`` terms per equation)."""
+
+    engine_name = "expansion"
+
+    def validate_counts(self, counts_by_mask: Dict[int, int]) -> ValidationReport:
+        """Validate aggregated counts by full subset expansion."""
+        self._check_counts(counts_by_mask)
+        violations: List[Violation] = []
+        checked = 0
+        for mask in iter_masks(self._n):
+            checked += 1
+            lhs = 0
+            for sub in iter_submasks(mask):
+                lhs += counts_by_mask.get(sub, 0)
+            if lhs > self._rhs[mask]:
+                violations.append(Violation(mask, lhs, self._rhs[mask]))
+        return make_report(self.engine_name, checked, violations)
+
+    def validate_log(self, log: ValidationLog) -> ValidationReport:
+        """Validate a raw log."""
+        return self.validate_counts(log.counts_by_mask())

@@ -1,0 +1,102 @@
+"""Validation outcomes: violations and reports.
+
+A *failed* validation is a normal, reportable outcome (a distributor
+over-issued against some set of redistribution licenses), not an exception.
+Every engine returns a :class:`ValidationReport` so callers can compare
+engines, count checked equations, and inspect violated sets uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Tuple
+
+from repro.validation.bitset import indexes_of
+
+__all__ = ["Violation", "ValidationReport"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violated validation equation ``C⟨S⟩ > A[S]``.
+
+    Attributes
+    ----------
+    mask:
+        Bitmask of the violated set ``S`` (in the engine's local index
+        space; grouped engines translate back to global indexes before
+        reporting).
+    lhs:
+        The equation's left-hand side ``C⟨S⟩`` (issued counts).
+    rhs:
+        The right-hand side ``A[S]`` (aggregate capacity).
+    """
+
+    mask: int
+    lhs: int
+    rhs: int
+
+    @property
+    def license_set(self) -> FrozenSet[int]:
+        """Return the violated set as 1-based license indexes."""
+        return frozenset(indexes_of(self.mask))
+
+    @property
+    def excess(self) -> int:
+        """Return by how many counts the equation is violated."""
+        return self.lhs - self.rhs
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        names = ", ".join(f"LD{i}" for i in sorted(self.license_set))
+        return f"C<{{{names}}}> = {self.lhs} > A = {self.rhs}"
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """The outcome of running a validation engine over a log.
+
+    Attributes
+    ----------
+    engine:
+        Human-readable engine name ("tree", "grouped-tree", "zeta", ...).
+    equations_checked:
+        How many validation equations the engine actually evaluated --
+        the quantity the paper's performance gain (Eq. 3) is about.
+    violations:
+        Every violated equation, sorted by mask.  Empty iff valid.
+    """
+
+    engine: str
+    equations_checked: int
+    violations: Tuple[Violation, ...] = field(default_factory=tuple)
+
+    @property
+    def is_valid(self) -> bool:
+        """Return ``True`` if no validation equation was violated."""
+        return not self.violations
+
+    @property
+    def violated_sets(self) -> List[FrozenSet[int]]:
+        """Return the violated license sets (1-based indexes)."""
+        return [violation.license_set for violation in self.violations]
+
+    def summary(self) -> str:
+        """Return a one-line human-readable summary."""
+        verdict = "VALID" if self.is_valid else f"INVALID ({len(self.violations)} violations)"
+        return (
+            f"[{self.engine}] {verdict}; "
+            f"{self.equations_checked} equations checked"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        lines = [self.summary()]
+        lines.extend(f"  {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+def make_report(
+    engine: str, equations_checked: int, violations: List[Violation]
+) -> ValidationReport:
+    """Build a report with deterministically ordered violations."""
+    ordered = tuple(sorted(violations, key=lambda violation: violation.mask))
+    return ValidationReport(engine, equations_checked, ordered)

@@ -1,0 +1,130 @@
+"""Checkpointing validation trees (and divided tree bundles).
+
+Offline validation authorities accumulate logs between runs; persisting
+the *tree* rather than replaying the raw log makes restart cost
+proportional to the number of distinct sets instead of the number of
+issuances.  The format is plain JSON over the nested-dict rendering the
+tree already exposes::
+
+    {"version": 1, "tree": {"index": 0, "count": 0, "children": [...]}}
+
+Grouped bundles persist the structure alongside the per-group trees so a
+restart can resume incremental validation without re-deriving groups.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.errors import SerializationError
+from repro.core.grouping import GroupStructure
+from repro.validation.tree import TreeNode, ValidationTree
+
+__all__ = [
+    "tree_to_dict",
+    "tree_from_dict",
+    "dumps_tree",
+    "loads_tree",
+    "dumps_grouped",
+    "loads_grouped",
+]
+
+_VERSION = 1
+
+
+def tree_to_dict(tree: ValidationTree) -> Dict:
+    """Render a tree into a JSON-safe dict (versioned envelope)."""
+    return {"version": _VERSION, "tree": tree.to_nested_dict()}
+
+
+def _node_from_dict(payload: Dict) -> TreeNode:
+    try:
+        node = TreeNode(int(payload["index"]), int(payload["count"]))
+        children = payload["children"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed tree node: {payload!r}") from exc
+    previous = 0
+    for child_payload in children:
+        child = _node_from_dict(child_payload)
+        if child.index <= previous:
+            raise SerializationError(
+                f"children out of order under index {node.index}: "
+                f"{[c['index'] for c in children]}"
+            )
+        previous = child.index
+        node.children.append(child)
+    return node
+
+
+def tree_from_dict(payload: Dict) -> ValidationTree:
+    """Rebuild a tree from :func:`tree_to_dict` output."""
+    if payload.get("version") != _VERSION:
+        raise SerializationError(
+            f"unsupported tree checkpoint version: {payload.get('version')!r}"
+        )
+    root = _node_from_dict(payload["tree"])
+    if root.index != 0:
+        raise SerializationError("tree root must have index 0")
+    if root.count != 0:
+        raise SerializationError("tree root must carry no count")
+    return ValidationTree(root)
+
+
+def dumps_tree(tree: ValidationTree) -> str:
+    """Serialize a tree to a JSON string."""
+    return json.dumps(tree_to_dict(tree))
+
+
+def loads_tree(text: str) -> ValidationTree:
+    """Load a tree from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid tree JSON: {exc}") from exc
+    return tree_from_dict(payload)
+
+
+def dumps_grouped(
+    structure: GroupStructure, trees: List[ValidationTree]
+) -> str:
+    """Serialize a group structure plus its per-group (remapped) trees."""
+    if len(trees) != structure.count:
+        raise SerializationError(
+            f"{len(trees)} trees for {structure.count} groups"
+        )
+    payload = {
+        "version": _VERSION,
+        "n": structure.n,
+        "groups": [sorted(group) for group in structure.groups],
+        "trees": [tree.to_nested_dict() for tree in trees],
+    }
+    return json.dumps(payload)
+
+
+def loads_grouped(text: str):
+    """Load ``(structure, trees)`` from :func:`dumps_grouped` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid checkpoint JSON: {exc}") from exc
+    if payload.get("version") != _VERSION:
+        raise SerializationError(
+            f"unsupported checkpoint version: {payload.get('version')!r}"
+        )
+    try:
+        structure = GroupStructure(
+            tuple(frozenset(group) for group in payload["groups"]),
+            int(payload["n"]),
+        )
+        trees = [
+            tree_from_dict({"version": _VERSION, "tree": tree_payload})
+            for tree_payload in payload["trees"]
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed checkpoint: {exc}") from exc
+    if len(trees) != structure.count:
+        raise SerializationError(
+            f"{len(trees)} trees for {structure.count} groups"
+        )
+    return structure, trees

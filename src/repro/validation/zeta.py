@@ -1,0 +1,104 @@
+"""Fast all-equations validation via the subset-sum (zeta) transform.
+
+An extension beyond the paper: all ``2^N - 1`` LHS values ``C⟨S⟩`` can be
+computed *simultaneously* with the standard subset-sum dynamic program
+("zeta transform" / SOS DP) in ``O(N · 2^N)`` word operations::
+
+    f[mask] = C[set(mask)]                      # sparse init from the log
+    for each bit j:                             # N vectorized passes
+        f[mask with bit j] += f[mask without bit j]
+
+After the transform ``f[mask] == C⟨mask⟩``.  With numpy the N passes are
+array slices, so the engine validates N≈20 in milliseconds where the
+per-equation tree traversal takes seconds.  It serves as a strong modern
+baseline in the engine ablation and as a bulk correctness oracle.
+
+Memory is the limit: the DP table has ``2^N`` int64 entries (8·2^N bytes),
+so the engine refuses N beyond a configurable cap (default 26 ≈ 512 MiB).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.logstore.log import ValidationLog
+from repro.validation.report import ValidationReport, Violation, make_report
+
+__all__ = ["ZetaValidator", "subset_sums_dense"]
+
+#: Default refusal threshold for the dense DP table.
+DEFAULT_MAX_N = 26
+
+
+def subset_sums_dense(values: Dict[int, int], n: int) -> np.ndarray:
+    """Return the dense array ``g`` with ``g[mask] = Σ_{sub ⊆ mask} values[sub]``.
+
+    Parameters
+    ----------
+    values:
+        Sparse ``{mask: value}`` initialization.
+    n:
+        Universe size; masks must fit in ``n`` bits.
+    """
+    size = 1 << n
+    table = np.zeros(size, dtype=np.int64)
+    for mask, value in values.items():
+        if mask >= size or mask < 0:
+            raise ValidationError(f"mask {mask} outside universe N={n}")
+        table[mask] += value
+    # SOS DP, one vectorized pass per bit: view the table as
+    # (high, 2, low)-shaped and add the bit=0 plane into the bit=1 plane.
+    for bit in range(n):
+        shaped = table.reshape(1 << (n - bit - 1), 2, 1 << bit)
+        shaped[:, 1, :] += shaped[:, 0, :]
+    return table
+
+
+class ZetaValidator:
+    """All-equations validator using the dense subset-sum transform."""
+
+    engine_name = "zeta"
+
+    def __init__(self, aggregates: Sequence[int], max_n: int = DEFAULT_MAX_N):
+        if not aggregates:
+            raise ValidationError("aggregate array must be non-empty")
+        if any(a < 0 for a in aggregates):
+            raise ValidationError(f"aggregates must be non-negative: {aggregates!r}")
+        if len(aggregates) > max_n:
+            raise ValidationError(
+                f"N={len(aggregates)} exceeds the dense-table cap max_n={max_n} "
+                f"(8·2^N bytes of memory needed)"
+            )
+        self._aggregates = list(aggregates)
+        self._n = len(aggregates)
+        # RHS for every mask via the same dense DP over singleton masks.
+        singleton = {1 << j: aggregates[j] for j in range(self._n)}
+        self._rhs = subset_sums_dense(singleton, self._n)
+
+    @property
+    def n(self) -> int:
+        """Return the number of redistribution licenses ``N``."""
+        return self._n
+
+    def lhs_table(self, counts_by_mask: Dict[int, int]) -> np.ndarray:
+        """Return ``C⟨mask⟩`` for every mask as a dense array."""
+        return subset_sums_dense(counts_by_mask, self._n)
+
+    def validate_counts(self, counts_by_mask: Dict[int, int]) -> ValidationReport:
+        """Validate aggregated counts (``{mask: C[S]}``)."""
+        lhs = self.lhs_table(counts_by_mask)
+        bad = np.nonzero(lhs > self._rhs)[0]
+        violations: List[Violation] = [
+            Violation(int(mask), int(lhs[mask]), int(self._rhs[mask]))
+            for mask in bad
+            if mask  # mask 0 is the empty set; C<∅> = 0 ≤ 0 always, skip defensively
+        ]
+        checked = (1 << self._n) - 1
+        return make_report(self.engine_name, checked, violations)
+
+    def validate_log(self, log: ValidationLog) -> ValidationReport:
+        """Validate a raw log."""
+        return self.validate_counts(log.counts_by_mask())

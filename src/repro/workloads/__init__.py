@@ -1,0 +1,46 @@
+"""Synthetic workloads and the paper's canned scenarios."""
+
+from repro.workloads.adversarial import (
+    blocks_pool,
+    chain_pool,
+    clique_pool,
+    disjoint_pool,
+)
+from repro.workloads.config import DEFAULT_RECORDS_PER_LICENSE, WorkloadConfig
+from repro.workloads.generator import (
+    GeneratedWorkload,
+    WorkloadGenerator,
+    generate_workload,
+)
+from repro.workloads.temporal import (
+    AuditEvent,
+    PeriodicAuditResult,
+    simulate_periodic_audits,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    example1,
+    example1_log,
+    figure2_pool,
+    figure2_usages,
+)
+
+__all__ = [
+    "AuditEvent",
+    "DEFAULT_RECORDS_PER_LICENSE",
+    "PeriodicAuditResult",
+    "GeneratedWorkload",
+    "Scenario",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "blocks_pool",
+    "chain_pool",
+    "clique_pool",
+    "disjoint_pool",
+    "example1",
+    "example1_log",
+    "figure2_pool",
+    "figure2_usages",
+    "generate_workload",
+    "simulate_periodic_audits",
+]

@@ -1,0 +1,119 @@
+"""Adversarial / extremal workload shapes.
+
+The paper's gain (Eq. 3) spans from 1 (a single connected group -- the
+proposed method degenerates to the baseline) to ``(2^N - 1)/N`` (all
+licenses pairwise disjoint).  These constructors build pools that *pin*
+the group structure, for bound-checking tests and worst/best-case
+benchmarks the random generator cannot target reliably:
+
+* :func:`clique_pool` -- every license overlaps every other (one group;
+  gain exactly 1);
+* :func:`disjoint_pool` -- no two licenses overlap (N singleton groups;
+  maximum gain);
+* :func:`chain_pool` -- license ``i`` overlaps only ``i±1`` (one group,
+  but the sparsest connected overlap graph: N-1 edges);
+* :func:`blocks_pool` -- ``g`` cliques of equal size (exact group sizes,
+  the shape Eq. 3's intermediate points assume).
+
+All pools use one numeric constraint axis (overlap structure on a line is
+fully controllable); aggregates default to a constant.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import WorkloadError
+from repro.licenses.license import LicenseFactory, RedistributionLicense
+from repro.licenses.pool import LicensePool
+from repro.licenses.schema import ConstraintSchema, DimensionSpec
+
+__all__ = ["clique_pool", "disjoint_pool", "chain_pool", "blocks_pool"]
+
+#: Width of each license interval in the constructions below.
+_WIDTH = 10
+
+
+def _factory() -> LicenseFactory:
+    schema = ConstraintSchema([DimensionSpec.numeric("x")])
+    return LicenseFactory(schema, content_id="K", permission="play")
+
+
+def _pool(licenses: List[RedistributionLicense]) -> LicensePool:
+    return LicensePool(licenses)
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise WorkloadError(f"need at least one license, got n={n}")
+
+
+def clique_pool(n: int, aggregate: int = 1000) -> LicensePool:
+    """All licenses share the interval ``[0, WIDTH]``: one big group."""
+    _check_n(n)
+    factory = _factory()
+    return _pool(
+        [
+            factory.redistribution(f"LD{i}", aggregate=aggregate, x=(0, _WIDTH))
+            for i in range(1, n + 1)
+        ]
+    )
+
+
+def disjoint_pool(n: int, aggregate: int = 1000) -> LicensePool:
+    """License ``i`` occupies a private interval: N singleton groups."""
+    _check_n(n)
+    factory = _factory()
+    licenses = []
+    for i in range(1, n + 1):
+        start = (i - 1) * (2 * _WIDTH)  # gaps of WIDTH between intervals
+        licenses.append(
+            factory.redistribution(
+                f"LD{i}", aggregate=aggregate, x=(start, start + _WIDTH)
+            )
+        )
+    return _pool(licenses)
+
+
+def chain_pool(n: int, aggregate: int = 1000) -> LicensePool:
+    """License ``i`` overlaps exactly ``i-1`` and ``i+1`` (a path graph).
+
+    Intervals advance by ``WIDTH * 2/3`` so consecutive ones share a
+    third of their width while ``i`` and ``i+2`` are disjoint.
+    """
+    _check_n(n)
+    factory = _factory()
+    step = (2 * _WIDTH) // 3
+    licenses = []
+    for i in range(1, n + 1):
+        start = (i - 1) * step
+        licenses.append(
+            factory.redistribution(
+                f"LD{i}", aggregate=aggregate, x=(start, start + _WIDTH)
+            )
+        )
+    return _pool(licenses)
+
+
+def blocks_pool(group_sizes: List[int], aggregate: int = 1000) -> LicensePool:
+    """``len(group_sizes)`` cliques with the given sizes, pairwise disjoint.
+
+    Group ``k`` occupies its own slab; licenses within a slab all share
+    it.  Produces exactly the group structure ``group_sizes`` (ordered by
+    smallest member, licenses numbered slab by slab).
+    """
+    if not group_sizes or any(size < 1 for size in group_sizes):
+        raise WorkloadError(f"invalid group sizes: {group_sizes!r}")
+    factory = _factory()
+    licenses = []
+    serial = 0
+    for block, size in enumerate(group_sizes):
+        start = block * (2 * _WIDTH)
+        for _ in range(size):
+            serial += 1
+            licenses.append(
+                factory.redistribution(
+                    f"LD{serial}", aggregate=aggregate, x=(start, start + _WIDTH)
+                )
+            )
+    return _pool(licenses)

@@ -1,0 +1,141 @@
+"""Workload-generator configuration.
+
+Defaults follow Section 5 of the paper:
+
+* 4 instance-based constraints per license,
+* aggregate constraint counts uniform in [5000, 20000],
+* issued-license permission counts uniform in [10, 30],
+* log volume scaling from ~600 records at N=1 to ~22000 at N=35
+  (we use 630·N, which matches both endpoints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import WorkloadError
+
+__all__ = ["WorkloadConfig", "DEFAULT_RECORDS_PER_LICENSE"]
+
+#: Log records generated per redistribution license (630·35 = 22050 ≈ the
+#: paper's 22000 records at N = 35; 630·1 ≈ its 600 at N = 1).
+DEFAULT_RECORDS_PER_LICENSE = 630
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of a synthetic validation workload.
+
+    Attributes
+    ----------
+    n_licenses:
+        Number of redistribution licenses ``N`` in the pool.
+    n_dims:
+        Instance-based constraints per license ``M`` (paper: 4).
+    seed:
+        RNG seed; workloads are fully deterministic given the config.
+    n_records:
+        Issued-license log records to generate.  ``None`` means
+        ``DEFAULT_RECORDS_PER_LICENSE * n_licenses``.
+    aggregate_range:
+        Inclusive uniform range of aggregate constraint counts.
+    count_range:
+        Inclusive uniform range of issued-license permission counts.
+    target_groups:
+        Number of spatial clusters to scatter licenses into.  Clusters are
+        geometrically disjoint, so the final group count is *at least*
+        clusters-with-members and can exceed the target when licenses
+        within a cluster happen not to overlap -- the natural variation
+        Figure 6 of the paper shows.  ``None`` picks a heuristic in 1..5.
+    domain:
+        Numeric range of each constraint axis within a cluster slab.
+    license_extent_fraction:
+        (min, max) fraction of the available axis range a redistribution
+        license's constraint interval covers.
+    usage_extent_fraction:
+        (min, max) fraction of the *parent license's* interval an issued
+        license covers (issued licenses are shrunken copies of a random
+        pool license, so instance matching always succeeds).
+    n_categorical_dims:
+        How many of the ``n_dims`` constraint axes are categorical
+        (region-like) instead of numeric ranges.  Axis 0 stays numeric
+        (it carries the cluster separation), so this must be at most
+        ``n_dims - 1``.
+    atoms_per_dim:
+        Universe size of each categorical axis (e.g. number of leaf
+        regions).
+    license_atom_fraction:
+        (min, max) fraction of the atom universe a redistribution
+        license allows on each categorical axis.
+    """
+
+    n_licenses: int
+    n_dims: int = 4
+    seed: int = 0
+    n_records: Optional[int] = None
+    aggregate_range: Tuple[int, int] = (5000, 20000)
+    count_range: Tuple[int, int] = (10, 30)
+    target_groups: Optional[int] = None
+    domain: Tuple[float, float] = (0.0, 1000.0)
+    license_extent_fraction: Tuple[float, float] = (0.35, 0.85)
+    usage_extent_fraction: Tuple[float, float] = (0.02, 0.15)
+    n_categorical_dims: int = 0
+    atoms_per_dim: int = 12
+    license_atom_fraction: Tuple[float, float] = (0.3, 0.7)
+
+    def __post_init__(self) -> None:
+        if self.n_licenses < 1:
+            raise WorkloadError(f"n_licenses must be >= 1, got {self.n_licenses}")
+        if self.n_dims < 1:
+            raise WorkloadError(f"n_dims must be >= 1, got {self.n_dims}")
+        if self.n_records is not None and self.n_records < 0:
+            raise WorkloadError(f"n_records must be >= 0, got {self.n_records}")
+        for name in ("aggregate_range", "count_range"):
+            low, high = getattr(self, name)
+            if low < 1 or high < low:
+                raise WorkloadError(f"{name} must satisfy 1 <= low <= high")
+        low, high = self.domain
+        if not low < high:
+            raise WorkloadError(f"domain must be a non-empty range, got {self.domain}")
+        for name in ("license_extent_fraction", "usage_extent_fraction"):
+            low, high = getattr(self, name)
+            if not 0 < low <= high <= 1:
+                raise WorkloadError(f"{name} must satisfy 0 < low <= high <= 1")
+        if self.target_groups is not None and self.target_groups < 1:
+            raise WorkloadError(
+                f"target_groups must be >= 1, got {self.target_groups}"
+            )
+        if not 0 <= self.n_categorical_dims <= self.n_dims - 1:
+            raise WorkloadError(
+                f"n_categorical_dims must be in 0..n_dims-1 (axis 0 stays "
+                f"numeric for cluster separation), got {self.n_categorical_dims}"
+            )
+        if self.atoms_per_dim < 1:
+            raise WorkloadError(
+                f"atoms_per_dim must be >= 1, got {self.atoms_per_dim}"
+            )
+        low, high = self.license_atom_fraction
+        if not 0 < low <= high <= 1:
+            raise WorkloadError(
+                "license_atom_fraction must satisfy 0 < low <= high <= 1"
+            )
+
+    @property
+    def records(self) -> int:
+        """Return the effective number of log records."""
+        if self.n_records is not None:
+            return self.n_records
+        return DEFAULT_RECORDS_PER_LICENSE * self.n_licenses
+
+    @property
+    def clusters(self) -> int:
+        """Return the effective spatial cluster count.
+
+        The heuristic grows slowly with N and caps at 5, matching the 1-5
+        group counts of the paper's Figure 6.
+        """
+        if self.target_groups is not None:
+            return min(self.target_groups, self.n_licenses)
+        heuristic = max(1, round(self.n_licenses**0.5 / 1.2))
+        return min(heuristic, 5, self.n_licenses)

@@ -1,0 +1,260 @@
+"""Synthetic workload generation (Section 5 experimental setup).
+
+The paper's corpus is not published, so we synthesize one that exercises the
+same code paths:
+
+1. **Redistribution licenses** are axis-aligned boxes over ``M`` numeric
+   constraint axes.  Licenses are scattered into a configurable number of
+   spatial *clusters*; clusters occupy disjoint slabs of axis 0, so
+   licenses from different clusters can never overlap (groups are at least
+   as fine as clusters), while licenses inside a cluster overlap with high
+   -- but not certain -- probability, giving the natural group-count
+   variation of Figure 6.
+2. **Issued licenses** are shrunken copies of a randomly chosen pool
+   license, so each instance-matches at least its parent and often several
+   overlapping neighbours -- producing the multi-license sets ``S`` that
+   make aggregate validation interesting.
+3. Matching uses :class:`repro.matching.IndexedMatcher`; each issuance is
+   appended to a :class:`repro.logstore.ValidationLog` exactly as the
+   offline validation authority of Section 2.1 would record it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.geometry.box import Box
+from repro.geometry.discrete import DiscreteSet
+from repro.geometry.interval import Interval
+from repro.licenses.license import LicenseFactory, RedistributionLicense, UsageLicense
+from repro.licenses.pool import LicensePool
+from repro.licenses.schema import ConstraintSchema, DimensionSpec
+from repro.logstore.log import ValidationLog
+from repro.matching.index import IndexedMatcher
+from repro.workloads.config import WorkloadConfig
+
+__all__ = ["GeneratedWorkload", "WorkloadGenerator", "generate_workload"]
+
+
+@dataclass(frozen=True)
+class GeneratedWorkload:
+    """A complete synthetic scenario: pool + issuance log.
+
+    Attributes
+    ----------
+    config:
+        The configuration that produced this workload.
+    pool:
+        The distributor's redistribution licenses.
+    log:
+        The offline validation log (one record per issued license).
+    schema:
+        The constraint schema shared by all licenses.
+    """
+
+    config: WorkloadConfig
+    pool: LicensePool
+    log: ValidationLog
+    schema: ConstraintSchema
+
+    @property
+    def n(self) -> int:
+        """Return the number of redistribution licenses."""
+        return len(self.pool)
+
+    @property
+    def aggregates(self) -> List[int]:
+        """Return the aggregate array ``A``."""
+        return self.pool.aggregate_array()
+
+
+class WorkloadGenerator:
+    """Deterministic workload generator (see module docstring)."""
+
+    #: Gap between consecutive cluster slabs on axis 0, as a multiple of
+    #: the domain span -- large enough that clusters can never overlap.
+    _SLAB_GAP = 1.5
+
+    def __init__(self, config: WorkloadConfig):
+        self._config = config
+        self._rng = random.Random(config.seed)
+        numeric_dims = config.n_dims - config.n_categorical_dims
+        specs = [DimensionSpec.numeric(f"c{axis + 1}") for axis in range(numeric_dims)]
+        specs.extend(
+            DimensionSpec.categorical(f"c{axis + 1}")
+            for axis in range(numeric_dims, config.n_dims)
+        )
+        self._schema = ConstraintSchema(specs)
+        #: Atom universe shared by every categorical axis.
+        self._atoms = [f"a{k}" for k in range(config.atoms_per_dim)]
+
+    @property
+    def config(self) -> WorkloadConfig:
+        """Return the generator configuration."""
+        return self._config
+
+    @property
+    def schema(self) -> ConstraintSchema:
+        """Return the constraint schema used for generated licenses."""
+        return self._schema
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(self) -> GeneratedWorkload:
+        """Generate the pool and the issuance log."""
+        pool = self.generate_pool()
+        log = self.generate_log(pool)
+        return GeneratedWorkload(self._config, pool, log, self._schema)
+
+    def generate_pool(self) -> LicensePool:
+        """Generate the redistribution licenses."""
+        config = self._config
+        factory = LicenseFactory(self._schema, content_id="K", permission="play")
+        pool = LicensePool()
+        clusters = config.clusters
+        # Round-robin base assignment keeps every cluster inhabited; the
+        # shuffle decouples cluster id from license index so group
+        # memberships are interleaved (as in the paper's Figure 2, where
+        # group 1 is {1, 2, 4}).
+        assignment = [i % clusters for i in range(config.n_licenses)]
+        self._rng.shuffle(assignment)
+        for serial, cluster in enumerate(assignment, start=1):
+            box_kwargs = self._license_constraints(cluster)
+            pool.add(
+                factory.redistribution(
+                    f"LD{serial}",
+                    aggregate=self._rng.randint(*config.aggregate_range),
+                    **box_kwargs,
+                )
+            )
+        return pool
+
+    def generate_log(self, pool: LicensePool) -> ValidationLog:
+        """Issue shrunken-copy usage licenses and record their match sets."""
+        config = self._config
+        matcher = IndexedMatcher(pool)
+        log = ValidationLog()
+        for serial in range(1, config.records + 1):
+            usage = self._issue_usage(pool, serial)
+            matched = matcher.match(usage)
+            # A shrunken copy always fits its parent, so S is never empty.
+            log.record_issuance(usage, matched)
+        return log
+
+    def issue_stream(self, pool: LicensePool, count: int, skew: float = 0.0):
+        """Yield ``count`` fresh usage licenses drawn like the log's.
+
+        Useful for driving online sessions with the same distribution the
+        offline log was generated from.
+
+        Parameters
+        ----------
+        skew:
+            Popularity skew of the parent-license choice.  0 (default) is
+            uniform; larger values weight low-indexed licenses Zipf-style
+            (weight ``1 / index**skew``), concentrating traffic -- and
+            hence validation work -- on few groups.
+        """
+        if skew:
+            weights = [1.0 / (index**skew) for index in range(1, len(pool) + 1)]
+        else:
+            weights = None
+        for serial in range(1, count + 1):
+            if weights is None:
+                parent = pool[self._rng.randint(1, len(pool))]
+            else:
+                parent = pool[
+                    self._rng.choices(range(1, len(pool) + 1), weights=weights)[0]
+                ]
+            yield self._shrunken_usage(parent, serial)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _slab(self, cluster: int) -> Tuple[float, float]:
+        """Return the axis-0 range reserved for a cluster."""
+        low, high = self._config.domain
+        span = high - low
+        offset = cluster * span * (1 + self._SLAB_GAP)
+        return (low + offset, high + offset)
+
+    def _random_subinterval(
+        self, low: float, high: float, fraction: Tuple[float, float]
+    ) -> Interval:
+        """Return a random subinterval covering a uniform fraction of
+        ``[low, high]``."""
+        span = high - low
+        length = span * self._rng.uniform(*fraction)
+        start = low + self._rng.uniform(0.0, span - length)
+        # Clamp after rounding: a half-ulp bump past `high` would make a
+        # "shrunken copy" escape its parent and break instance matching.
+        left = min(max(round(start, 6), low), high)
+        right = min(max(round(start + length, 6), left), high)
+        return Interval(left, right)
+
+    def _random_atom_subset(self, fraction) -> list:
+        """Draw a non-empty random subset of the atom universe."""
+        size = max(1, round(len(self._atoms) * self._rng.uniform(*fraction)))
+        return self._rng.sample(self._atoms, size)
+
+    def _license_constraints(self, cluster: int) -> dict:
+        """Draw one license's constraint extents."""
+        config = self._config
+        fractions = config.license_extent_fraction
+        numeric_dims = config.n_dims - config.n_categorical_dims
+        constraints = {}
+        slab_low, slab_high = self._slab(cluster)
+        constraints["c1"] = self._random_subinterval(slab_low, slab_high, fractions)
+        for axis in range(1, numeric_dims):
+            constraints[f"c{axis + 1}"] = self._random_subinterval(
+                config.domain[0], config.domain[1], fractions
+            )
+        for axis in range(numeric_dims, config.n_dims):
+            constraints[f"c{axis + 1}"] = self._random_atom_subset(
+                config.license_atom_fraction
+            )
+        return constraints
+
+    def _issue_usage(self, pool: LicensePool, serial: int) -> UsageLicense:
+        """Issue one usage license as a shrunken copy of a random parent."""
+        parent: RedistributionLicense = pool[self._rng.randint(1, len(pool))]
+        return self._shrunken_usage(parent, serial)
+
+    def _shrunken_usage(
+        self, parent: RedistributionLicense, serial: int
+    ) -> UsageLicense:
+        """Build a usage license strictly inside ``parent``'s box."""
+        config = self._config
+        extents = []
+        for extent in parent.box.extents:
+            if isinstance(extent, Interval):
+                extents.append(
+                    self._random_subinterval(
+                        extent.low, extent.high, config.usage_extent_fraction
+                    )
+                )
+            else:
+                # Categorical axis: a small non-empty subset of the
+                # parent's allowed atoms (a consumer targets one or two
+                # regions, not the whole allowance).
+                atoms = sorted(extent.atoms)
+                size = self._rng.randint(1, min(2, len(atoms)))
+                extents.append(DiscreteSet(self._rng.sample(atoms, size)))
+        return UsageLicense(
+            license_id=f"LU{serial}",
+            content_id=parent.content_id,
+            permission=parent.permission,
+            box=Box(extents),
+            count=self._rng.randint(*config.count_range),
+        )
+
+
+def generate_workload(
+    n_licenses: int, seed: int = 0, **overrides: object
+) -> GeneratedWorkload:
+    """One-call convenience: configure, generate, return the workload."""
+    config = WorkloadConfig(n_licenses=n_licenses, seed=seed, **overrides)  # type: ignore[arg-type]
+    return WorkloadGenerator(config).generate()

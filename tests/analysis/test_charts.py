@@ -1,0 +1,72 @@
+"""Unit tests for ASCII charts."""
+
+import math
+
+from repro.analysis.charts import bar_chart, timing_chart
+from repro.analysis.experiments import Fig7Row
+
+
+class TestBarChart:
+    def test_renders_all_series(self):
+        chart = bar_chart(
+            {"fast": [(4, 1e-5), (8, 1e-4)], "slow": [(4, 1e-3), (8, 1e-1)]},
+            title="demo",
+        )
+        assert "demo (log scale)" in chart
+        assert chart.count("fast") == 2
+        assert chart.count("slow") == 2
+        assert "N=4" in chart and "N=8" in chart
+
+    def test_log_scale_orders_bar_lengths(self):
+        chart = bar_chart({"s": [(1, 1e-6), (2, 1e-2), (3, 1.0)]})
+        bars = [line.split("|")[1].split()[0] for line in chart.splitlines()[0:]]
+        lengths = [len(bar) for bar in bars]
+        assert lengths == sorted(lengths)
+
+    def test_max_value_gets_full_bar(self):
+        chart = bar_chart({"s": [(1, 1e-6), (2, 1.0)]})
+        longest = max(line.count("#") for line in chart.splitlines())
+        assert longest == 40
+
+    def test_nan_marked_not_run(self):
+        chart = bar_chart({"s": [(1, float("nan")), (2, 1.0)]})
+        assert "(not run)" in chart
+
+    def test_empty_series(self):
+        assert bar_chart({"s": []}, title="empty") == "empty"
+
+    def test_non_positive_values_render_minimal_bar(self):
+        chart = bar_chart(
+            {"s": [(1, 0.0), (2, 1.0)]},
+            value_format=lambda v: f"{v:g}",
+        )
+        zero_line = [line for line in chart.splitlines() if line.endswith(" 0")]
+        assert zero_line
+        assert zero_line[0].count("#") == 1
+
+    def test_custom_value_format(self):
+        chart = bar_chart(
+            {"s": [(1, 2.0)]}, value_format=lambda v: f"{v:.0f} units"
+        )
+        assert "2 units" in chart
+
+    def test_linear_scale(self):
+        chart = bar_chart({"s": [(1, 1.0), (2, 2.0)]}, title="t", log_scale=False)
+        assert "(linear scale)" in chart
+
+
+class TestTimingChart:
+    def test_figure7_rows(self):
+        rows = [
+            Fig7Row(8, 4.5e-4, 6.5e-5, 1.2e-4),
+            Fig7Row(18, 1.03, 1.7e-4, 4.0e-4),
+        ]
+        chart = timing_chart(rows)
+        assert "baseline V_T" in chart
+        assert "proposed V_T+D_T" in chart
+        assert "1.03 s" in chart
+
+    def test_nan_baseline_beyond_cap(self):
+        rows = [Fig7Row(24, math.nan, 1e-4, 2e-4)]
+        chart = timing_chart(rows)
+        assert "(not run)" in chart

@@ -1,0 +1,115 @@
+"""Unit tests for the figure-regeneration experiment suite.
+
+These use tiny sweeps so the whole module runs in seconds; the full-size
+runs live in ``benchmarks/``.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentSuite,
+    render_figure6,
+    render_figure7,
+    render_figure8,
+    render_figure9,
+    render_figure10,
+)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return ExperimentSuite(n_values=(2, 4, 6), seed=0, records_per_license=20)
+
+
+class TestWorkloadCache:
+    def test_workloads_cached(self, suite):
+        assert suite.workload(4) is suite.workload(4)
+
+    def test_record_scaling(self, suite):
+        assert len(suite.workload(4).log) == 80
+
+
+class TestFigure6(object):
+    def test_rows(self, suite):
+        rows = suite.figure6()
+        assert [row.n for row in rows] == [2, 4, 6]
+        for row in rows:
+            assert 1 <= row.groups <= row.n
+            assert sum(row.sizes) == row.n
+
+    def test_render(self, suite):
+        text = render_figure6(suite.figure6())
+        assert "Figure 6" in text
+        assert "groups" in text
+
+
+class TestFigure7:
+    def test_rows(self, suite):
+        rows = suite.figure7()
+        for row in rows:
+            assert row.baseline_vt > 0
+            assert row.grouped_vt > 0
+            assert row.division_dt > 0
+            assert row.grouped_total == pytest.approx(
+                row.grouped_vt + row.division_dt
+            )
+
+    def test_grouped_never_slower_at_scale(self):
+        # At N=12+ the 2^N baseline must be measurably slower than the
+        # grouped method (the Figure 7 separation).
+        suite = ExperimentSuite(n_values=(12,), seed=0, records_per_license=20)
+        row = suite.figure7()[0]
+        structure_groups = suite.workload(12)
+        if row.grouped_vt > 0:
+            assert row.baseline_vt >= row.grouped_vt
+
+    def test_baseline_cap(self):
+        suite = ExperimentSuite(
+            n_values=(4,), seed=0, records_per_license=10, baseline_cap=3
+        )
+        row = suite.figure7()[0]
+        assert math.isnan(row.baseline_vt)
+
+    def test_render(self, suite):
+        text = render_figure7(suite.figure7())
+        assert "Figure 7" in text
+
+
+class TestFigure8:
+    def test_rows(self, suite):
+        fig7 = suite.figure7()
+        rows = suite.figure8(fig7)
+        for row in rows:
+            assert row.theoretical_gain >= 1.0
+            assert row.experimental_gain > 0 or math.isnan(row.experimental_gain)
+
+    def test_render(self, suite):
+        text = render_figure8(suite.figure8(suite.figure7()))
+        assert "Figure 8" in text
+
+
+class TestFigure9:
+    def test_rows(self, suite):
+        rows = suite.figure9(insert_samples=50)
+        for row in rows:
+            assert row.insert_one > 0
+            assert row.division_dt > 0
+            assert row.ratio > 0
+
+    def test_render(self, suite):
+        text = render_figure9(suite.figure9(insert_samples=50))
+        assert "Figure 9" in text
+
+
+class TestFigure10:
+    def test_division_adds_only_group_roots(self, suite):
+        for row in suite.figure10():
+            extra = row.divided.total_nodes - row.original.total_nodes
+            assert extra == row.divided.roots - 1
+            assert row.divided.nodes == row.original.nodes
+
+    def test_render(self, suite):
+        text = render_figure10(suite.figure10())
+        assert "Figure 10" in text

@@ -1,0 +1,46 @@
+"""Additional ExperimentSuite behaviours: overrides, repeats, gain reuse."""
+
+import math
+
+from repro.analysis.experiments import ExperimentSuite
+
+
+class TestConfigOverrides:
+    def test_overrides_reach_the_generator(self):
+        suite = ExperimentSuite(
+            n_values=(6,),
+            seed=0,
+            records_per_license=0,
+            config_overrides={"target_groups": 3},
+        )
+        rows = suite.figure6()
+        # Disjoint cluster slabs guarantee at least the targeted groups.
+        assert rows[0].groups >= 3
+
+    def test_distinct_suites_do_not_share_workloads(self):
+        a = ExperimentSuite(n_values=(4,), seed=0, records_per_license=10)
+        b = ExperimentSuite(n_values=(4,), seed=1, records_per_license=10)
+        assert a.workload(4) is not b.workload(4)
+
+
+class TestFigure7Options:
+    def test_repeats_parameter(self):
+        suite = ExperimentSuite(n_values=(4,), seed=0, records_per_license=10)
+        rows = suite.figure7(repeats=2)
+        assert rows[0].baseline_vt > 0
+
+    def test_full_paper_volume_option(self):
+        # records_per_license=None -> the paper's 630*N records.
+        suite = ExperimentSuite(n_values=(2,), seed=0, records_per_license=None)
+        assert len(suite.workload(2).log) == 1260
+
+
+class TestFigure8Reuse:
+    def test_nan_propagates_beyond_cap(self):
+        suite = ExperimentSuite(
+            n_values=(4,), seed=0, records_per_license=10, baseline_cap=2
+        )
+        fig7 = suite.figure7()
+        rows = suite.figure8(fig7)
+        assert math.isnan(rows[0].experimental_gain)
+        assert rows[0].theoretical_gain >= 1.0

@@ -1,0 +1,69 @@
+"""Unit tests for CSV export of experiment series."""
+
+import csv
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSuite
+from repro.analysis.export import (
+    figure6_csv,
+    figure7_csv,
+    figure8_csv,
+    figure9_csv,
+    figure10_csv,
+    write_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return ExperimentSuite(n_values=(2, 4), seed=0, records_per_license=10)
+
+
+def read_back(path):
+    with open(path, newline="") as stream:
+        return list(csv.reader(stream))
+
+
+class TestWriteCsv:
+    def test_headers_and_rows(self, tmp_path):
+        path = tmp_path / "out.csv"
+        written = write_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+        assert written == 2
+        rows = read_back(path)
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2"]
+
+    def test_empty_rows(self, tmp_path):
+        path = tmp_path / "out.csv"
+        assert write_csv(path, ["x"], []) == 0
+        assert read_back(path) == [["x"]]
+
+
+class TestFigureWriters:
+    def test_figure6(self, suite, tmp_path):
+        path = tmp_path / "fig6.csv"
+        assert figure6_csv(suite.figure6(), path) == 2
+        rows = read_back(path)
+        assert rows[0] == ["n", "groups", "group_sizes"]
+        assert rows[1][0] == "2"
+
+    def test_figure7_and_8(self, suite, tmp_path):
+        fig7 = suite.figure7()
+        path7 = tmp_path / "fig7.csv"
+        assert figure7_csv(fig7, path7) == 2
+        assert read_back(path7)[0][1] == "baseline_vt_s"
+        path8 = tmp_path / "fig8.csv"
+        assert figure8_csv(suite.figure8(fig7), path8) == 2
+
+    def test_figure9(self, suite, tmp_path):
+        path = tmp_path / "fig9.csv"
+        assert figure9_csv(suite.figure9(insert_samples=20), path) == 2
+
+    def test_figure10(self, suite, tmp_path):
+        path = tmp_path / "fig10.csv"
+        assert figure10_csv(suite.figure10(), path) == 2
+        rows = read_back(path)
+        # Divided node count is original + (g - 1) extra roots.
+        for row in rows[1:]:
+            assert int(row[2]) >= int(row[1])

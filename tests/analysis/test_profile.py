@@ -1,0 +1,63 @@
+"""Unit tests for workload profiling."""
+
+import pytest
+
+from repro.analysis.profile import profile_workload
+from repro.logstore.log import ValidationLog
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.scenarios import example1, example1_log
+
+
+class TestExample1Profile:
+    @pytest.fixture
+    def profile(self):
+        return profile_workload(example1().pool, example1_log())
+
+    def test_basic_counts(self, profile):
+        assert profile.n_licenses == 5
+        assert profile.n_records == 6
+        assert profile.total_counts == 2090
+        assert profile.distinct_sets == 5
+
+    def test_histogram(self, profile):
+        # Table 2: two singleton... records are {1,2}x2, {2}, {1,2,4},
+        # {3,5}, {5}: sizes 2,1,2,3,2,1.
+        assert profile.set_size_histogram == {1: 2, 2: 3, 3: 1}
+
+    def test_group_shape(self, profile):
+        assert profile.group_sizes == (3, 2)
+        # Group 1 gets 840 + 400 + 30 = 1270; group 2 gets 820.
+        assert profile.counts_per_group == (1270, 820)
+
+    def test_mean_and_multi_fraction(self, profile):
+        assert profile.mean_set_size == pytest.approx((2 + 1 + 2 + 3 + 2 + 1) / 6)
+        assert profile.multi_license_fraction == pytest.approx(4 / 6)
+
+    def test_tree_stats(self, profile):
+        assert profile.tree_nodes == 7
+        assert profile.tree_depth == 3
+
+    def test_render(self, profile):
+        text = profile.render()
+        assert "groups: 2" in text
+        assert "|S|=2: 3" in text
+
+
+class TestEdgeCases:
+    def test_empty_log(self):
+        profile = profile_workload(example1().pool, ValidationLog())
+        assert profile.n_records == 0
+        assert profile.mean_set_size == 0.0
+        assert profile.multi_license_fraction == 0.0
+        assert profile.counts_per_group == (0, 0)
+
+    def test_generated_workload_consistency(self):
+        workload = WorkloadGenerator(
+            WorkloadConfig(n_licenses=9, seed=1, n_records=150)
+        ).generate()
+        profile = profile_workload(workload.pool, workload.log)
+        assert profile.n_records == 150
+        assert sum(profile.set_size_histogram.values()) == 150
+        assert sum(profile.counts_per_group) == workload.log.total_count
+        assert sum(profile.group_sizes) == 9

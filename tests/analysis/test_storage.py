@@ -1,0 +1,46 @@
+"""Unit tests for storage accounting (Figure 10 metric)."""
+
+from repro.analysis.storage import (
+    NODE_COST_BYTES,
+    StorageStats,
+    grouped_storage,
+    python_tree_bytes,
+    tree_storage,
+)
+from repro.core.grouped_tree import GroupedValidationTree
+from repro.core.grouping import GroupStructure
+from repro.validation.tree import ValidationTree
+from repro.workloads.scenarios import example1_log
+
+FIG2_STRUCTURE = GroupStructure((frozenset({1, 2, 4}), frozenset({3, 5})), 5)
+EXAMPLE1_AGGREGATES = [2000, 1000, 3000, 4000, 2000]
+
+
+class TestTreeStorage:
+    def test_table2_tree(self):
+        stats = tree_storage(ValidationTree.from_log(example1_log()))
+        assert stats == StorageStats(nodes=7, roots=1)
+        assert stats.total_nodes == 8
+        assert stats.model_bytes == 8 * NODE_COST_BYTES
+
+    def test_empty_tree(self):
+        stats = tree_storage(ValidationTree())
+        assert stats.nodes == 0
+        assert stats.roots == 1
+
+    def test_python_bytes_positive(self):
+        assert python_tree_bytes(ValidationTree.from_log(example1_log())) > 0
+
+
+class TestGroupedStorage:
+    def test_division_adds_only_roots(self):
+        # The paper's Figure 10 claim: same nodes, g extra roots.
+        tree = ValidationTree.from_log(example1_log())
+        original = tree_storage(tree)
+        grouped = GroupedValidationTree.from_tree(
+            tree, EXAMPLE1_AGGREGATES, FIG2_STRUCTURE
+        )
+        divided = grouped_storage(grouped)
+        assert divided.nodes == original.nodes
+        assert divided.roots == 2
+        assert divided.total_nodes == original.total_nodes + 1

@@ -1,0 +1,44 @@
+"""Unit tests for ASCII table rendering."""
+
+from repro.analysis.tables import format_seconds, render_table
+
+
+class TestFormatSeconds:
+    def test_seconds(self):
+        assert format_seconds(2.5) == "2.50 s"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.0025) == "2.50 ms"
+
+    def test_microseconds(self):
+        assert format_seconds(2.5e-6) == "2.5 µs"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        rendered = render_table(
+            ["N", "groups"], [[1, 1], [35, 5]], title="Figure 6"
+        )
+        lines = rendered.splitlines()
+        assert lines[0] == "Figure 6"
+        assert "N" in lines[1] and "groups" in lines[1]
+        assert "-+-" in lines[2]
+        assert lines[3].startswith("1")
+        assert lines[4].startswith("35")
+
+    def test_no_title(self):
+        rendered = render_table(["a"], [[1]])
+        assert rendered.splitlines()[0].startswith("a")
+
+    def test_empty_rows(self):
+        rendered = render_table(["a", "b"], [])
+        assert len(rendered.splitlines()) == 2
+
+    def test_float_formatting(self):
+        rendered = render_table(["gain"], [[3.100001]])
+        assert "3.1" in rendered
+
+    def test_column_widths_accommodate_long_values(self):
+        rendered = render_table(["x"], [["a-very-long-cell"]])
+        header, rule, row = rendered.splitlines()
+        assert len(rule) >= len("a-very-long-cell")

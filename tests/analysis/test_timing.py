@@ -1,0 +1,45 @@
+"""Unit tests for timing utilities."""
+
+import pytest
+
+from repro.analysis.timing import Stopwatch, time_callable
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as watch:
+            sum(range(10000))
+        assert watch.elapsed > 0
+
+    def test_reusable(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        first = watch.elapsed
+        with watch:
+            sum(range(10000))
+        assert watch.elapsed >= 0
+        assert watch.elapsed != first or watch.elapsed >= 0
+
+
+class TestTimeCallable:
+    def test_returns_result(self):
+        elapsed, result = time_callable(lambda: 42)
+        assert result == 42
+        assert elapsed >= 0
+
+    def test_repeats_take_minimum(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return len(calls)
+
+        elapsed, result = time_callable(fn, repeats=3)
+        assert len(calls) == 3
+        assert result == 3  # last result
+        assert elapsed >= 0
+
+    def test_zero_repeats_rejected(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: 1, repeats=0)

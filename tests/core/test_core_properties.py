@@ -1,0 +1,104 @@
+"""Property tests over the core pipeline's algebraic identities."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.grouped_tree import GroupedValidationTree
+from repro.core.grouping import (
+    GroupStructure,
+    form_groups,
+    form_groups_paper_literal,
+)
+from repro.core.overlap import OverlapGraph
+from repro.core.remap import globalize_mask, position_array
+from repro.validation.tree import ValidationTree
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    adjacency = [[0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                adjacency[i][j] = adjacency[j][i] = 1
+    return OverlapGraph(adjacency)
+
+
+@st.composite
+def structures_with_logs(draw):
+    """A random partition plus a partition-respecting random log."""
+    n = draw(st.integers(min_value=2, max_value=9))
+    # Random partition of 1..n.
+    group_count = draw(st.integers(min_value=1, max_value=n))
+    assignment = [draw(st.integers(0, group_count - 1)) for _ in range(n)]
+    # Ensure no empty group labels by collapsing.
+    labels = sorted(set(assignment))
+    remap = {label: i for i, label in enumerate(labels)}
+    assignment = [remap[a] for a in assignment]
+    groups = [
+        frozenset(i + 1 for i, a in enumerate(assignment) if a == g)
+        for g in range(len(labels))
+    ]
+    structure = GroupStructure(tuple(sorted(groups, key=min)), n)
+    # Log records within single groups only (Corollary 1.1).
+    tree = ValidationTree()
+    for _ in range(draw(st.integers(min_value=0, max_value=12))):
+        group = draw(st.sampled_from(structure.groups))
+        members = draw(
+            st.sets(st.sampled_from(sorted(group)), min_size=1)
+        )
+        tree.insert_set(tuple(sorted(members)), draw(st.integers(1, 50)))
+    aggregates = [draw(st.integers(0, 200)) for _ in range(n)]
+    return structure, tree, aggregates
+
+
+class TestLiteralAlgorithmProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(random_graphs())
+    def test_literal_refines_true_components(self, graph):
+        """The printed j>i scan can over-split but never merge: each of
+        its groups lies inside one true connected component."""
+        true_lookup = form_groups(graph).group_lookup()
+        literal = form_groups_paper_literal(graph)
+        for group in literal.groups:
+            assert len({true_lookup[v] for v in group}) == 1
+
+    @settings(max_examples=80, deadline=None)
+    @given(random_graphs())
+    def test_literal_group_count_at_least_true(self, graph):
+        assert form_groups_paper_literal(graph).count >= form_groups(graph).count
+
+
+class TestGlobalizeMaskProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(structures_with_logs(), st.data())
+    def test_globalize_inverts_position_array(self, scenario, data):
+        structure, _tree, _aggregates = scenario
+        group_id = data.draw(
+            st.integers(min_value=0, max_value=structure.count - 1)
+        )
+        position = position_array(structure, group_id)
+        # Build a random local mask and check the round trip.
+        members = sorted(structure.groups[group_id])
+        chosen = data.draw(st.sets(st.sampled_from(members), min_size=1))
+        local_mask = 0
+        for index in chosen:
+            local_mask |= 1 << (position[index] - 1)
+        global_mask = globalize_mask(structure, group_id, local_mask)
+        assert global_mask == sum(1 << (index - 1) for index in chosen)
+
+
+class TestDividedSubsetSumProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(structures_with_logs())
+    def test_divided_subset_sum_equals_original(self, scenario):
+        """Theorem 2's identity checked for every mask on random
+        partition-respecting trees."""
+        structure, tree, aggregates = scenario
+        reference = {
+            mask: tree.subset_sum(mask)
+            for mask in range(1, 1 << structure.n)
+        }
+        grouped = GroupedValidationTree.from_tree(tree, aggregates, structure)
+        for mask, expected in reference.items():
+            assert grouped.subset_sum(mask) == expected

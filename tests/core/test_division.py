@@ -1,0 +1,89 @@
+"""Unit tests for validation-tree division (Algorithm 4 / Figure 4)."""
+
+import pytest
+
+from repro.errors import GroupingError
+from repro.core.division import divide_tree, verify_partition
+from repro.core.grouping import GroupStructure
+from repro.validation.tree import ValidationTree
+from repro.workloads.scenarios import example1_log
+
+FIG2_STRUCTURE = GroupStructure((frozenset({1, 2, 4}), frozenset({3, 5})), 5)
+
+
+@pytest.fixture
+def table2_tree():
+    return ValidationTree.from_log(example1_log())
+
+
+class TestFigure4:
+    """Division of the Figure 1 tree into the two trees of Figure 4."""
+
+    def test_produces_one_tree_per_group(self, table2_tree):
+        parts = divide_tree(table2_tree, FIG2_STRUCTURE)
+        assert len(parts) == 2
+
+    def test_group1_tree_contents(self, table2_tree):
+        part = divide_tree(table2_tree, FIG2_STRUCTURE)[0]
+        # Tree 1 holds sets {1,2}, {2}, {1,2,4} (still global indexes).
+        assert part.counts_by_mask() == {0b00011: 840, 0b00010: 400, 0b01011: 30}
+
+    def test_group2_tree_contents(self, table2_tree):
+        part = divide_tree(table2_tree, FIG2_STRUCTURE)[1]
+        # Tree 2 holds sets {3,5} and {5}.
+        assert part.counts_by_mask() == {0b10100: 800, 0b10000: 20}
+
+    def test_nodes_are_shared_not_copied(self, table2_tree):
+        original_children = list(table2_tree.root.children)
+        parts = divide_tree(table2_tree, FIG2_STRUCTURE)
+        divided_children = [
+            child for part in parts for child in part.root.children
+        ]
+        # Same node objects, re-parented (the Figure 10 storage claim).
+        assert {id(c) for c in divided_children} == {id(c) for c in original_children}
+
+    def test_node_counts_preserved(self, table2_tree):
+        before = table2_tree.node_count()
+        parts = divide_tree(table2_tree, FIG2_STRUCTURE)
+        assert sum(part.node_count() for part in parts) == before
+
+    def test_child_order_preserved(self, table2_tree):
+        parts = divide_tree(table2_tree, FIG2_STRUCTURE)
+        assert [c.index for c in parts[0].root.children] == [1, 2]
+        assert [c.index for c in parts[1].root.children] == [3, 5]
+
+    def test_empty_group_yields_empty_tree(self):
+        tree = ValidationTree()
+        tree.insert_set((1,), 5)
+        structure = GroupStructure((frozenset({1}), frozenset({2})), 2)
+        parts = divide_tree(tree, structure)
+        assert parts[0].node_count() == 1
+        assert parts[1].node_count() == 0
+
+    def test_out_of_structure_index_rejected(self):
+        tree = ValidationTree()
+        tree.insert_set((7,), 5)
+        with pytest.raises(GroupingError):
+            divide_tree(tree, FIG2_STRUCTURE)
+
+
+class TestVerifyPartition:
+    def test_table2_tree_satisfies_corollary(self, table2_tree):
+        # Instance matching can never produce a cross-group set, so the
+        # Table 2 tree partitions cleanly (Corollary 1.1).
+        verify_partition(table2_tree, FIG2_STRUCTURE)
+
+    def test_cross_group_branch_detected(self):
+        tree = ValidationTree()
+        tree.insert_set((1, 3), 5)  # {1, 3} spans both groups
+        with pytest.raises(GroupingError, match="mixes groups"):
+            verify_partition(tree, FIG2_STRUCTURE)
+
+    def test_out_of_range_index_detected(self):
+        tree = ValidationTree()
+        tree.insert_set((9,), 5)
+        with pytest.raises(GroupingError):
+            verify_partition(tree, FIG2_STRUCTURE)
+
+    def test_empty_tree_ok(self):
+        verify_partition(ValidationTree(), FIG2_STRUCTURE)

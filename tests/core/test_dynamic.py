@@ -1,0 +1,133 @@
+"""Unit + property tests for dynamic group maintenance (Section 5.A)."""
+
+import pytest
+
+from repro.errors import GroupingError
+from repro.core.dynamic import DynamicGrouper
+from repro.core.grouping import form_groups
+from repro.core.overlap import OverlapGraph
+from repro.geometry.box import Box
+from repro.geometry.interval import Interval
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.scenarios import figure2_pool
+
+
+def box2(x, y):
+    return Box([Interval(*x), Interval(*y)])
+
+
+class TestFigure2:
+    def test_incremental_matches_batch(self):
+        pool = figure2_pool()
+        grouper = DynamicGrouper.from_pool(pool)
+        batch = form_groups(OverlapGraph.from_pool(pool))
+        assert grouper.structure() == batch
+
+    def test_group_count(self):
+        grouper = DynamicGrouper.from_pool(figure2_pool())
+        assert grouper.group_count == 2
+        assert grouper.n == 5
+
+    def test_same_group_queries(self):
+        grouper = DynamicGrouper.from_pool(figure2_pool())
+        assert grouper.same_group(1, 4)      # linked through 2
+        assert not grouper.same_group(1, 3)
+
+    def test_group_of(self):
+        grouper = DynamicGrouper.from_pool(figure2_pool())
+        assert grouper.group_of(1) == grouper.group_of(4) == 0
+        assert grouper.group_of(5) == 1
+        with pytest.raises(GroupingError):
+            grouper.group_of(6)
+
+
+class TestPaperTrichotomy:
+    """Section 5.A: adding L_D^6 keeps/raises/lowers the group count."""
+
+    @pytest.fixture
+    def grouper(self):
+        return DynamicGrouper.from_pool(figure2_pool())
+
+    def test_same_when_connected_to_one_group(self, grouper):
+        # Overlaps only L_D^1 (group 1).
+        new_box = box2((1, 3), (7, 9))
+        assert grouper.classify_addition(new_box) == "same"
+        _, count = grouper.add(new_box)
+        assert count == 2
+
+    def test_increase_when_isolated(self, grouper):
+        new_box = box2((100, 110), (100, 110))
+        assert grouper.classify_addition(new_box) == "increase"
+        _, count = grouper.add(new_box)
+        assert count == 3
+
+    def test_decrease_when_bridging(self, grouper):
+        # Spans both groups: overlaps L_D^2 (x 3..7) and L_D^3 (x 13..17).
+        new_box = box2((3, 17), (4, 10))
+        assert grouper.classify_addition(new_box) == "decrease"
+        _, count = grouper.add(new_box)
+        assert count == 1
+
+    def test_classify_does_not_mutate(self, grouper):
+        grouper.classify_addition(box2((100, 110), (100, 110)))
+        assert grouper.n == 5
+        assert grouper.group_count == 2
+
+
+class TestAgainstBatchOnWorkloads:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_incremental_equals_batch(self, seed):
+        workload = WorkloadGenerator(
+            WorkloadConfig(n_licenses=15, seed=seed, n_records=0)
+        ).generate()
+        grouper = DynamicGrouper()
+        for lic in workload.pool:
+            grouper.add(lic)
+        batch = form_groups(OverlapGraph.from_pool(workload.pool))
+        assert grouper.structure() == batch
+
+    def test_prefix_consistency(self):
+        """After every single addition the partition matches a batch run
+        over the licenses added so far."""
+        workload = WorkloadGenerator(
+            WorkloadConfig(n_licenses=10, seed=3, n_records=0)
+        ).generate()
+        grouper = DynamicGrouper()
+        boxes = []
+        for lic in workload.pool:
+            grouper.add(lic)
+            boxes.append(lic.box)
+            batch = form_groups(OverlapGraph.from_boxes(boxes))
+            assert grouper.structure() == batch
+
+
+class TestValidationOnDynamicStructure:
+    def test_structure_feeds_grouped_pipeline(self):
+        """A DynamicGrouper snapshot drives division/remap like Algorithm 3
+        output does."""
+        from repro.core.grouped_tree import GroupedValidationTree
+        from repro.validation.tree import ValidationTree
+        from repro.workloads.scenarios import example1, example1_log
+
+        pool = example1().pool
+        grouper = DynamicGrouper.from_pool(pool)
+        tree = ValidationTree.from_log(example1_log())
+        grouped = GroupedValidationTree.from_tree(
+            tree, pool.aggregate_array(), grouper.structure()
+        )
+        report = grouped.validate()
+        assert report.is_valid
+        assert report.equations_checked == 10
+
+
+class TestErrors:
+    def test_dimension_mismatch(self):
+        grouper = DynamicGrouper()
+        grouper.add(box2((0, 1), (0, 1)))
+        with pytest.raises(GroupingError):
+            grouper.add(Box([Interval(0, 1)]))
+
+    def test_structure_of_empty(self):
+        with pytest.raises(GroupingError):
+            DynamicGrouper().structure()

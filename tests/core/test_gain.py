@@ -1,0 +1,92 @@
+"""Unit + property tests for the Equation 3 performance gain."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GroupingError
+from repro.core.gain import (
+    equations_with_grouping,
+    equations_without_grouping,
+    gain_bounds,
+    theoretical_gain,
+)
+
+
+class TestEquationCounts:
+    def test_without_grouping(self):
+        assert equations_without_grouping(5) == 31
+
+    def test_with_grouping(self):
+        assert equations_with_grouping([3, 2]) == 10
+
+    def test_single_group_equals_baseline(self):
+        assert equations_with_grouping([7]) == equations_without_grouping(7)
+
+    def test_all_singletons(self):
+        assert equations_with_grouping([1] * 6) == 6
+
+    def test_invalid_inputs(self):
+        with pytest.raises(GroupingError):
+            equations_without_grouping(0)
+        with pytest.raises(GroupingError):
+            equations_with_grouping([])
+        with pytest.raises(GroupingError):
+            equations_with_grouping([3, 0])
+
+
+class TestGain:
+    def test_paper_worked_example(self):
+        # (2^5 - 1) / ((2^3 - 1) + (2^2 - 1)) = 3.1x.
+        assert theoretical_gain([3, 2]) == pytest.approx(3.1)
+
+    def test_single_group_gain_is_one(self):
+        assert theoretical_gain([8]) == 1.0
+
+    def test_max_gain_for_singletons(self):
+        # Paper: G reaches (2^N - 1)/N at g = N.
+        assert theoretical_gain([1] * 5) == pytest.approx(31 / 5)
+
+    def test_bounds(self):
+        low, high = gain_bounds(5)
+        assert low == 1.0
+        assert high == pytest.approx(31 / 5)
+
+
+@st.composite
+def partitions(draw):
+    """Random partitions of small n into group sizes."""
+    n = draw(st.integers(min_value=1, max_value=18))
+    sizes = []
+    remaining = n
+    while remaining:
+        size = draw(st.integers(min_value=1, max_value=remaining))
+        sizes.append(size)
+        remaining -= size
+    return sizes
+
+
+class TestGainProperties:
+    @given(partitions())
+    def test_gain_within_paper_bounds(self, sizes):
+        # "The performance gain always remains greater than or equal to 1"
+        # and at most (2^N - 1)/N.
+        n = sum(sizes)
+        gain = theoretical_gain(sizes)
+        low, high = gain_bounds(n)
+        assert low <= gain <= high + 1e-12
+
+    @given(partitions())
+    def test_grouped_equations_never_exceed_baseline(self, sizes):
+        n = sum(sizes)
+        assert equations_with_grouping(sizes) <= equations_without_grouping(n)
+
+    @given(partitions())
+    def test_splitting_a_group_never_hurts(self, sizes):
+        # Refining the partition (splitting any group of size >= 2) strictly
+        # reduces the equation count.
+        for position, size in enumerate(sizes):
+            if size >= 2:
+                refined = sizes[:position] + [1, size - 1] + sizes[position + 1:]
+                assert equations_with_grouping(refined) < equations_with_grouping(
+                    sizes
+                )

@@ -1,0 +1,120 @@
+"""Unit tests for the grouped validation structure."""
+
+import pytest
+
+from repro.errors import GroupingError
+from repro.core.grouped_tree import GroupedValidationTree
+from repro.core.grouping import GroupStructure
+from repro.validation.tree import ValidationTree
+from repro.workloads.scenarios import example1_log
+
+FIG2_STRUCTURE = GroupStructure((frozenset({1, 2, 4}), frozenset({3, 5})), 5)
+EXAMPLE1_AGGREGATES = [2000, 1000, 3000, 4000, 2000]
+
+
+def build_grouped(log=None, aggregates=None):
+    tree = ValidationTree.from_log(log if log is not None else example1_log())
+    return GroupedValidationTree.from_tree(
+        tree, aggregates or EXAMPLE1_AGGREGATES, FIG2_STRUCTURE
+    )
+
+
+class TestConstruction:
+    def test_from_tree(self):
+        grouped = build_grouped()
+        assert len(grouped.trees) == 2
+        assert grouped.group_aggregates == ((2000, 1000, 4000), (3000, 2000))
+
+    def test_equation_count(self):
+        grouped = build_grouped()
+        # (2^3 - 1) + (2^2 - 1) = 10 instead of 31.
+        assert grouped.equations_required == 10
+
+    def test_theoretical_gain_matches_paper(self):
+        grouped = build_grouped()
+        assert grouped.theoretical_gain == pytest.approx(31 / 10)
+
+    def test_node_count_preserved(self):
+        original = ValidationTree.from_log(example1_log())
+        before = original.node_count()
+        grouped = GroupedValidationTree.from_tree(
+            original, EXAMPLE1_AGGREGATES, FIG2_STRUCTURE
+        )
+        assert grouped.node_count() == before
+
+    def test_aggregate_length_mismatch_rejected(self):
+        tree = ValidationTree.from_log(example1_log())
+        with pytest.raises(GroupingError):
+            GroupedValidationTree.from_tree(tree, [1, 2, 3], FIG2_STRUCTURE)
+
+    def test_constructor_shape_checks(self):
+        with pytest.raises(GroupingError):
+            GroupedValidationTree(FIG2_STRUCTURE, [ValidationTree()], [[1, 2, 3]])
+        with pytest.raises(GroupingError):
+            GroupedValidationTree(
+                FIG2_STRUCTURE,
+                [ValidationTree(), ValidationTree()],
+                [[1, 2, 3], [1]],  # group 2 has 2 licenses
+            )
+
+
+class TestGlobalSubsetSum:
+    """Theorem 2 executable: divided trees answer global C<S> queries."""
+
+    def test_matches_original_tree_on_every_mask(self):
+        original = ValidationTree.from_log(example1_log())
+        reference = {
+            mask: original.subset_sum(mask) for mask in range(1, 1 << 5)
+        }
+        grouped = build_grouped()
+        for mask, expected in reference.items():
+            assert grouped.subset_sum(mask) == expected
+
+    def test_cross_group_mask_sums_projections(self):
+        grouped = build_grouped()
+        # {2, 3}: C<{2}> from group 1 plus C<{3}> from group 2.
+        assert grouped.subset_sum(0b00110) == 400 + 0
+        # Full set: all counts.
+        assert grouped.subset_sum(0b11111) == 2090
+
+    def test_empty_mask(self):
+        assert build_grouped().subset_sum(0) == 0
+
+
+class TestValidation:
+    def test_example1_valid(self):
+        report = build_grouped().validate()
+        assert report.is_valid
+        assert report.engine == "grouped-tree"
+        assert report.equations_checked == 10
+
+    def test_violation_translated_to_global_indexes(self):
+        from repro.logstore.log import ValidationLog
+
+        log = ValidationLog()
+        log.record({3, 5}, 5200)  # A_3 + A_5 = 5000
+        report = build_grouped(log).validate()
+        assert not report.is_valid
+        assert frozenset({3, 5}) in report.violated_sets
+
+    def test_violation_in_single_global_license(self):
+        from repro.logstore.log import ValidationLog
+
+        log = ValidationLog()
+        log.record({4}, 4500)  # A_4 = 4000; local index of 4 is 3
+        report = build_grouped(log).validate()
+        violated = set(report.violated_sets)
+        assert frozenset({4}) in violated
+        # No phantom violations involving other groups.
+        for violation_set in violated:
+            assert violation_set <= {1, 2, 4}
+
+    def test_stop_at_first(self):
+        from repro.logstore.log import ValidationLog
+
+        log = ValidationLog()
+        log.record({1}, 99999)
+        log.record({3}, 99999)
+        report = build_grouped(log).validate(stop_at_first=True)
+        assert len(report.violations) == 1
+        assert report.equations_checked < 10

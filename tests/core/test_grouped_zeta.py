@@ -1,0 +1,87 @@
+"""Unit tests for the grouped-zeta validator (grouping x dense DP)."""
+
+import pytest
+
+from repro.errors import GroupingError, ValidationError
+from repro.core.grouped_zeta import GroupedZetaValidator
+from repro.core.validator import GroupedValidator
+from repro.logstore.log import ValidationLog
+from repro.workloads.adversarial import blocks_pool, disjoint_pool
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.scenarios import example1, example1_log
+
+
+class TestBasics:
+    def test_example1_valid(self):
+        validator = GroupedZetaValidator.from_pool(example1().pool)
+        report = validator.validate(example1_log())
+        assert report.is_valid
+        assert report.engine == "grouped-zeta"
+        assert report.equations_checked == 10
+
+    def test_structure_matches_tree_variant(self):
+        pool = example1().pool
+        zeta = GroupedZetaValidator.from_pool(pool)
+        tree = GroupedValidator.from_pool(pool)
+        assert zeta.structure == tree.structure
+
+    def test_violation_translated_to_global(self):
+        log = ValidationLog()
+        log.record({3, 5}, 5200)  # A_3 + A_5 = 5000
+        report = GroupedZetaValidator.from_pool(example1().pool).validate(log)
+        assert not report.is_valid
+        assert frozenset({3, 5}) in report.violated_sets
+
+    def test_cross_group_counts_rejected(self):
+        validator = GroupedZetaValidator.from_pool(example1().pool)
+        with pytest.raises(GroupingError):
+            validator.validate_counts({frozenset({1, 3}): 5})
+
+    def test_construction_errors(self):
+        pool = example1().pool
+        with pytest.raises(ValidationError):
+            GroupedZetaValidator(pool.boxes(), [1])
+        with pytest.raises(ValidationError):
+            GroupedZetaValidator([], [])
+
+
+class TestAgainstGroupedTree:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_same_violations_on_workloads(self, seed):
+        workload = WorkloadGenerator(
+            WorkloadConfig(
+                n_licenses=12,
+                seed=seed,
+                n_records=250,
+                aggregate_range=(500, 2000),
+            )
+        ).generate()
+        zeta = GroupedZetaValidator.from_pool(workload.pool).validate(workload.log)
+        tree = GroupedValidator.from_pool(workload.pool).validate(workload.log)
+        assert set(zeta.violations) == set(tree.violations)
+        assert zeta.equations_checked == tree.equations_checked
+
+
+class TestBeyondDenseCap:
+    def test_many_licenses_many_groups(self):
+        """N = 40 is far beyond the ungrouped zeta cap (2^40 table), but
+        ten groups of four need only ten 16-entry tables."""
+        pool = blocks_pool([4] * 10, aggregate=100)
+        validator = GroupedZetaValidator.from_pool(pool)
+        log = ValidationLog()
+        log.record({1, 2}, 150)
+        log.record({5}, 30)
+        report = validator.validate(log)
+        assert report.equations_checked == 10 * 15
+        assert report.is_valid  # 150 <= 100 + 100 via {1, 2}
+
+    def test_disjoint_sixty(self):
+        pool = disjoint_pool(60, aggregate=10)
+        validator = GroupedZetaValidator.from_pool(pool)
+        log = ValidationLog()
+        log.record({60}, 11)
+        report = validator.validate(log)
+        assert not report.is_valid
+        assert report.violated_sets == [frozenset({60})]
+        assert report.equations_checked == 60

@@ -1,0 +1,173 @@
+"""Unit tests for group formation (Algorithm 3)."""
+
+import pytest
+
+from repro.errors import GroupingError
+from repro.core.grouping import (
+    GroupStructure,
+    form_groups,
+    form_groups_networkx,
+    form_groups_paper_literal,
+)
+from repro.core.overlap import OverlapGraph
+from repro.workloads.scenarios import figure2_pool
+
+
+@pytest.fixture
+def fig2_structure():
+    return form_groups(OverlapGraph.from_pool(figure2_pool()))
+
+
+class TestFigure2Groups:
+    def test_two_groups(self, fig2_structure):
+        # Paper: group 1 = {L1, L2, L4}, group 2 = {L3, L5}.
+        assert fig2_structure.count == 2
+        assert fig2_structure.groups == (frozenset({1, 2, 4}), frozenset({3, 5}))
+
+    def test_group_sizes(self, fig2_structure):
+        assert fig2_structure.sizes == (3, 2)
+
+    def test_membership_matrix_matches_paper(self, fig2_structure):
+        # Algorithm 3's Group array: rows (1,1,0,1,0) and (0,0,1,0,1),
+        # remaining rows all zero.
+        matrix = fig2_structure.membership_matrix()
+        assert matrix[0] == [1, 1, 0, 1, 0]
+        assert matrix[1] == [0, 0, 1, 0, 1]
+        assert matrix[2] == [0, 0, 0, 0, 0]
+        assert matrix[3] == [0, 0, 0, 0, 0]
+        assert matrix[4] == [0, 0, 0, 0, 0]
+
+    def test_group_of(self, fig2_structure):
+        assert fig2_structure.group_of(1) == 0
+        assert fig2_structure.group_of(4) == 0
+        assert fig2_structure.group_of(5) == 1
+        with pytest.raises(GroupingError):
+            fig2_structure.group_of(6)
+
+    def test_masks(self, fig2_structure):
+        assert fig2_structure.masks() == (0b01011, 0b10100)
+
+    def test_sorted_members(self, fig2_structure):
+        assert fig2_structure.sorted_members(0) == (1, 2, 4)
+        assert fig2_structure.sorted_members(1) == (3, 5)
+
+    def test_group_lookup(self, fig2_structure):
+        assert fig2_structure.group_lookup() == {1: 0, 2: 0, 4: 0, 3: 1, 5: 1}
+
+
+class TestDFSCorrectness:
+    def test_indirect_connection_through_higher_index(self):
+        # Edges {1-3, 2-3}: node 2 is reachable from 1 only through the
+        # higher-indexed 3.  The paper's j>i scan would miss it; ours must
+        # not (see repro.core.grouping module docstring).
+        adjacency = [
+            [0, 0, 1],
+            [0, 0, 1],
+            [1, 1, 0],
+        ]
+        structure = form_groups(OverlapGraph(adjacency))
+        assert structure.count == 1
+        assert structure.groups == (frozenset({1, 2, 3}),)
+
+    def test_all_isolated(self):
+        structure = form_groups(OverlapGraph([[0] * 4 for _ in range(4)]))
+        assert structure.count == 4
+        assert structure.sizes == (1, 1, 1, 1)
+
+    def test_fully_connected(self):
+        adjacency = [[int(i != j) for j in range(4)] for i in range(4)]
+        structure = form_groups(OverlapGraph(adjacency))
+        assert structure.count == 1
+
+    def test_chain(self):
+        # Path 1-2-3-4-5: one group despite no direct 1-5 edge.
+        n = 5
+        adjacency = [[0] * n for _ in range(n)]
+        for i in range(n - 1):
+            adjacency[i][i + 1] = adjacency[i + 1][i] = 1
+        structure = form_groups(OverlapGraph(adjacency))
+        assert structure.count == 1
+
+    def test_groups_discovered_in_ascending_order(self):
+        # Components {2,4} and {1,3}: group 1 must be the one holding
+        # license 1 (discovery order of the paper's outer loop).
+        adjacency = [
+            [0, 0, 1, 0],
+            [0, 0, 0, 1],
+            [1, 0, 0, 0],
+            [0, 1, 0, 0],
+        ]
+        structure = form_groups(OverlapGraph(adjacency))
+        assert structure.groups == (frozenset({1, 3}), frozenset({2, 4}))
+
+
+class TestPaperLiteralAlgorithm:
+    """The pseudocode of Algorithm 3 as printed vs the intended semantics."""
+
+    BACKWARD_EDGE_CASE = [
+        # Edges {1-3, 2-3}: 2 is reachable from 1 only via the
+        # higher-indexed 3, which the printed j>i scan never revisits.
+        [0, 0, 1],
+        [0, 0, 1],
+        [1, 1, 0],
+    ]
+
+    def test_literal_splits_a_connected_component(self):
+        graph = OverlapGraph(self.BACKWARD_EDGE_CASE)
+        literal = form_groups_paper_literal(graph)
+        assert literal.groups == (frozenset({1, 3}), frozenset({2}))
+
+    def test_fixed_version_keeps_it_connected(self):
+        graph = OverlapGraph(self.BACKWARD_EDGE_CASE)
+        assert form_groups(graph).groups == (frozenset({1, 2, 3}),)
+
+    def test_both_agree_on_paper_figures(self):
+        # On the paper's own Figure 2 graph the printed scan happens to
+        # be correct, which is presumably why the bug went unnoticed.
+        graph = OverlapGraph.from_pool(figure2_pool())
+        assert form_groups_paper_literal(graph) == form_groups(graph)
+
+    def test_literal_never_merges_separate_components(self):
+        # The literal scan can only OVER-split (it follows real edges),
+        # never merge: each of its groups sits inside a true component.
+        graph = OverlapGraph(self.BACKWARD_EDGE_CASE)
+        true_lookup = form_groups(graph).group_lookup()
+        for group in form_groups_paper_literal(graph).groups:
+            assert len({true_lookup[v] for v in group}) == 1
+
+
+class TestNetworkxCrossCheck:
+    @pytest.mark.parametrize(
+        "adjacency",
+        [
+            [[0]],
+            [[0, 1], [1, 0]],
+            [[0, 0, 1], [0, 0, 1], [1, 1, 0]],
+            [[0, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 0]],
+        ],
+    )
+    def test_agrees_with_networkx(self, adjacency):
+        graph = OverlapGraph(adjacency)
+        assert form_groups(graph) == form_groups_networkx(graph)
+
+    def test_agrees_on_figure2(self):
+        graph = OverlapGraph.from_pool(figure2_pool())
+        assert form_groups(graph) == form_groups_networkx(graph)
+
+
+class TestGroupStructureValidation:
+    def test_empty_group_rejected(self):
+        with pytest.raises(GroupingError):
+            GroupStructure((frozenset(), frozenset({1})), 1)
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(GroupingError):
+            GroupStructure((frozenset({1, 2}), frozenset({2, 3})), 3)
+
+    def test_non_covering_partition_rejected(self):
+        with pytest.raises(GroupingError):
+            GroupStructure((frozenset({1}),), 2)
+
+    def test_out_of_range_member_rejected(self):
+        with pytest.raises(GroupingError):
+            GroupStructure((frozenset({1, 5}),), 2)

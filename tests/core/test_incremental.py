@@ -1,0 +1,132 @@
+"""Unit tests for the incremental (dirty-group) validator."""
+
+import pytest
+
+from repro.errors import GroupingError, ValidationError
+from repro.core.incremental import IncrementalValidator
+from repro.core.validator import GroupedValidator
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.scenarios import example1, example1_log
+
+
+@pytest.fixture
+def incremental():
+    return IncrementalValidator.from_pool(example1().pool)
+
+
+class TestBasics:
+    def test_structure_matches_batch(self, incremental):
+        assert incremental.structure.groups == (
+            frozenset({1, 2, 4}),
+            frozenset({3, 5}),
+        )
+
+    def test_empty_is_valid(self, incremental):
+        report = incremental.validate()
+        assert report.is_valid
+        # First call evaluates every group once: 7 + 3 equations.
+        assert report.equations_checked == 10
+
+    def test_replay_matches_batch_validator(self, incremental):
+        log = example1_log()
+        incremental.replay(log)
+        incremental_report = incremental.validate()
+        batch = GroupedValidator.from_pool(example1().pool).validate(log)
+        assert incremental_report.is_valid == batch.is_valid
+        assert set(incremental_report.violations) == set(batch.violations)
+
+    def test_records_inserted_counter(self, incremental):
+        incremental.replay(example1_log())
+        assert incremental.records_inserted == 6
+
+
+class TestDirtyTracking:
+    def test_clean_validate_is_free(self, incremental):
+        incremental.replay(example1_log())
+        incremental.validate()
+        again = incremental.validate()
+        assert again.equations_checked == 0
+        assert again.is_valid
+
+    def test_only_touched_group_revalidated(self, incremental):
+        incremental.replay(example1_log())
+        incremental.validate()
+        # Group 2 = {3, 5} has 2 licenses -> 3 equations.
+        group_id = incremental.record({3, 5}, 10)
+        assert group_id == 1
+        assert incremental.dirty_groups == (1,)
+        report = incremental.validate()
+        assert report.equations_checked == 3
+
+    def test_group1_touch_costs_seven(self, incremental):
+        incremental.validate()
+        incremental.record({1, 2}, 5)
+        assert incremental.dirty_groups == (0,)
+        assert incremental.validate().equations_checked == 7
+
+    def test_cached_violations_survive(self, incremental):
+        incremental.record({5}, 99999)  # violate group 2
+        first = incremental.validate()
+        assert not first.is_valid
+        # Touch group 1 only; group 2's violation must still be reported.
+        incremental.record({1}, 1)
+        second = incremental.validate()
+        assert not second.is_valid
+        assert frozenset({5}) in second.violated_sets
+        assert second.equations_checked == 7  # only group 1 re-checked
+
+
+class TestErrors:
+    def test_cross_group_record_rejected(self, incremental):
+        with pytest.raises(GroupingError):
+            incremental.record({1, 3}, 5)
+
+    def test_empty_set_rejected(self, incremental):
+        with pytest.raises(ValidationError):
+            incremental.record(set(), 5)
+
+    def test_mismatched_construction(self):
+        pool = example1().pool
+        with pytest.raises(ValidationError):
+            IncrementalValidator(pool.boxes(), [1, 2])
+        with pytest.raises(ValidationError):
+            IncrementalValidator([], [])
+
+
+class TestAgainstBatchOnWorkloads:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_streamed_equals_batch(self, seed):
+        workload = WorkloadGenerator(
+            WorkloadConfig(
+                n_licenses=10,
+                seed=seed,
+                n_records=200,
+                aggregate_range=(500, 2000),
+            )
+        ).generate()
+        incremental = IncrementalValidator.from_pool(workload.pool)
+        batch = GroupedValidator.from_pool(workload.pool)
+        for record in workload.log:
+            incremental.append(record)
+        assert set(incremental.validate().violations) == set(
+            batch.validate(workload.log).violations
+        )
+
+    def test_interleaved_validate_consistent(self):
+        workload = WorkloadGenerator(
+            WorkloadConfig(n_licenses=8, seed=9, n_records=120)
+        ).generate()
+        incremental = IncrementalValidator.from_pool(workload.pool)
+        batch = GroupedValidator.from_pool(workload.pool)
+        from repro.logstore.log import ValidationLog
+
+        replayed = ValidationLog()
+        for position, record in enumerate(workload.log):
+            incremental.append(record)
+            replayed.append(record)
+            if position % 30 == 0:
+                assert (
+                    incremental.validate().is_valid
+                    == batch.validate(replayed).is_valid
+                )

@@ -1,0 +1,89 @@
+"""Unit tests for the overlap graph (Section 3.2 / Figure 3)."""
+
+import pytest
+
+from repro.errors import GroupingError
+from repro.core.overlap import OverlapGraph, overlap_adjacency
+from repro.workloads.scenarios import example1, figure2_pool
+
+
+class TestFigure3:
+    """The paper's Figure 3: graph + adjacency for the Figure 2 licenses."""
+
+    def test_adjacency_matrix(self):
+        graph = OverlapGraph.from_pool(figure2_pool())
+        # Edges exactly {1-2, 2-4, 3-5}: L1-L4 are NON-overlapping in
+        # Figure 2 (they connect only through L2).
+        assert graph.adjacency == [
+            [0, 1, 0, 0, 0],
+            [1, 0, 0, 1, 0],
+            [0, 0, 0, 0, 1],
+            [0, 1, 0, 0, 0],
+            [0, 0, 1, 0, 0],
+        ]
+
+    def test_edges(self):
+        graph = OverlapGraph.from_pool(figure2_pool())
+        assert sorted(graph.edges()) == [(1, 2), (2, 4), (3, 5)]
+        assert graph.edge_count() == 3
+
+    def test_neighbors(self):
+        graph = OverlapGraph.from_pool(figure2_pool())
+        assert sorted(graph.neighbors(2)) == [1, 4]
+        assert list(graph.neighbors(3)) == [5]
+
+    def test_are_overlapping(self):
+        graph = OverlapGraph.from_pool(figure2_pool())
+        assert graph.are_overlapping(1, 2)
+        assert not graph.are_overlapping(1, 4)
+        assert graph.are_overlapping(2, 1)  # symmetric
+
+
+class TestExample1Graph:
+    def test_example1_edges(self):
+        # Example 1 licenses: L1 overlaps L2 (Asia, dates) and L4
+        # (Europe, dates); L3 overlaps L5 (America, dates).
+        graph = OverlapGraph.from_pool(example1().pool)
+        assert sorted(graph.edges()) == [(1, 2), (1, 4), (3, 5)]
+
+
+class TestConstruction:
+    def test_adjacency_helper_zero_diagonal(self):
+        boxes = figure2_pool().boxes()
+        adjacency = overlap_adjacency(boxes)
+        assert all(adjacency[i][i] == 0 for i in range(5))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(GroupingError):
+            OverlapGraph([[0, 1], [1, 0], [0, 0]])
+
+    def test_nonzero_diagonal_rejected(self):
+        with pytest.raises(GroupingError):
+            OverlapGraph([[1]])
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(GroupingError):
+            OverlapGraph([[0, 1], [0, 0]])
+
+    def test_vertex_range_checked(self):
+        graph = OverlapGraph([[0]])
+        with pytest.raises(GroupingError):
+            graph.are_overlapping(0, 1)
+        with pytest.raises(GroupingError):
+            list(graph.neighbors(2))
+
+
+class TestNetworkxExport:
+    def test_nodes_and_edges(self):
+        graph = OverlapGraph.from_pool(figure2_pool())
+        nx_graph = graph.to_networkx()
+        assert sorted(nx_graph.nodes) == [1, 2, 3, 4, 5]
+        assert sorted(tuple(sorted(e)) for e in nx_graph.edges) == [
+            (1, 2),
+            (2, 4),
+            (3, 5),
+        ]
+
+    def test_isolated_vertices_kept(self):
+        graph = OverlapGraph([[0, 0], [0, 0]])
+        assert sorted(graph.to_networkx().nodes) == [1, 2]

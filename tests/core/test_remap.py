@@ -1,0 +1,92 @@
+"""Unit tests for index remapping (Algorithm 5 / Figure 5)."""
+
+import pytest
+
+from repro.errors import GroupingError
+from repro.core.division import divide_tree
+from repro.core.grouping import GroupStructure
+from repro.core.remap import (
+    local_to_global,
+    position_array,
+    remap_tree_inplace,
+    remapped_aggregates,
+)
+from repro.validation.tree import ValidationTree
+from repro.workloads.scenarios import example1_log
+
+FIG2_STRUCTURE = GroupStructure((frozenset({1, 2, 4}), frozenset({3, 5})), 5)
+EXAMPLE1_AGGREGATES = [2000, 1000, 3000, 4000, 2000]
+
+
+class TestPositionArray:
+    def test_paper_position2(self):
+        # Algorithm 5's worked example: position_2 = (0,0,1,0,2), i.e.
+        # global 3 -> local 1, global 5 -> local 2.
+        assert position_array(FIG2_STRUCTURE, 1) == {3: 1, 5: 2}
+
+    def test_position1(self):
+        assert position_array(FIG2_STRUCTURE, 0) == {1: 1, 2: 2, 4: 3}
+
+    def test_local_to_global_inverse(self):
+        for group_id in (0, 1):
+            position = position_array(FIG2_STRUCTURE, group_id)
+            inverse = local_to_global(FIG2_STRUCTURE, group_id)
+            for global_index, local_index in position.items():
+                assert inverse[local_index - 1] == global_index
+
+
+class TestRemappedAggregates:
+    def test_group1(self):
+        assert remapped_aggregates(EXAMPLE1_AGGREGATES, FIG2_STRUCTURE, 0) == [
+            2000,
+            1000,
+            4000,
+        ]
+
+    def test_group2(self):
+        assert remapped_aggregates(EXAMPLE1_AGGREGATES, FIG2_STRUCTURE, 1) == [
+            3000,
+            2000,
+        ]
+
+    def test_short_aggregate_array_rejected(self):
+        with pytest.raises(GroupingError):
+            remapped_aggregates([1, 2, 3], FIG2_STRUCTURE, 1)
+
+
+class TestRemapTree:
+    def test_figure5_group2(self):
+        # Figure 5: indexes 3 and 5 of the second tree become 1 and 2.
+        tree = ValidationTree.from_log(example1_log())
+        part = divide_tree(tree, FIG2_STRUCTURE)[1]
+        remap_tree_inplace(part, FIG2_STRUCTURE, 1)
+        assert part.counts_by_mask() == {0b11: 800, 0b10: 20}
+
+    def test_figure5_group1(self):
+        # Group 1: 1->1, 2->2, 4->3; {1,2,4} becomes local {1,2,3}.
+        tree = ValidationTree.from_log(example1_log())
+        part = divide_tree(tree, FIG2_STRUCTURE)[0]
+        remap_tree_inplace(part, FIG2_STRUCTURE, 0)
+        assert part.counts_by_mask() == {0b011: 840, 0b010: 400, 0b111: 30}
+
+    def test_child_order_still_ascending(self):
+        tree = ValidationTree.from_log(example1_log())
+        part = divide_tree(tree, FIG2_STRUCTURE)[1]
+        remap_tree_inplace(part, FIG2_STRUCTURE, 1)
+        for node in [part.root, *part.iter_nodes()]:
+            indexes = [child.index for child in node.children]
+            assert indexes == sorted(indexes)
+
+    def test_local_indexes_within_group_size(self):
+        tree = ValidationTree.from_log(example1_log())
+        for group_id, part in enumerate(divide_tree(tree, FIG2_STRUCTURE)):
+            remap_tree_inplace(part, FIG2_STRUCTURE, group_id)
+            size = FIG2_STRUCTURE.sizes[group_id]
+            for node in part.iter_nodes():
+                assert 1 <= node.index <= size
+
+    def test_wrong_group_rejected(self):
+        tree = ValidationTree.from_log(example1_log())
+        parts = divide_tree(tree, FIG2_STRUCTURE)
+        with pytest.raises(GroupingError):
+            remap_tree_inplace(parts[0], FIG2_STRUCTURE, 1)  # group-2 map

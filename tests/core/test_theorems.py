@@ -1,0 +1,166 @@
+"""Tests of the paper's Theorem 1, Corollary 1.1 and Theorem 2.
+
+These are the statements that make the grouped validation *correct* (not
+just fast); we verify them both on the paper's own examples and on
+randomized workloads.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.grouping import form_groups
+from repro.core.overlap import OverlapGraph
+from repro.core.validator import GroupedValidator
+from repro.geometry.box import common_region
+from repro.matching.index import IndexedMatcher
+from repro.validation.bitset import indexes_of, iter_masks
+from repro.validation.tree import ValidationTree
+from repro.validation.tree_validator import TreeValidator
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.scenarios import example1, figure2_pool
+
+
+class TestTheorem1:
+    """No common region => C[S] is identically 0."""
+
+    def test_figure2_l1_l2_l3_no_common_region(self):
+        # The paper's own instance of Theorem 1.
+        pool = figure2_pool()
+        boxes = [pool[1].box, pool[2].box, pool[3].box]
+        assert common_region(boxes) is None
+
+    def test_no_common_region_sets_never_logged(self):
+        # Generate many issuances; any set S whose licenses lack a common
+        # region must never appear in the log.
+        workload = WorkloadGenerator(
+            WorkloadConfig(n_licenses=10, seed=3, n_records=400)
+        ).generate()
+        boxes = workload.pool.boxes()
+        for license_set in workload.log.counts_by_set():
+            region = common_region([boxes[i - 1] for i in license_set])
+            assert region is not None, (
+                f"logged set {sorted(license_set)} has no common region"
+            )
+
+    def test_match_set_has_common_region(self):
+        # Directly: the issued box itself lies in the common region.
+        scenario = example1()
+        matcher = IndexedMatcher(scenario.pool)
+        for usage in scenario.usages:
+            matched = matcher.match(usage)
+            if matched:
+                region = common_region(
+                    [scenario.pool[i].box for i in sorted(matched)]
+                )
+                assert region is not None
+                assert region.contains(usage.box)
+
+
+class TestCorollary11:
+    """Sets mixing two disconnected groups can never appear in logs."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_logged_sets_stay_within_one_group(self, seed):
+        workload = WorkloadGenerator(
+            WorkloadConfig(n_licenses=12, seed=seed, n_records=300)
+        ).generate()
+        structure = form_groups(OverlapGraph.from_pool(workload.pool))
+        lookup = structure.group_lookup()
+        for license_set in workload.log.counts_by_set():
+            groups = {lookup[index] for index in license_set}
+            assert len(groups) == 1
+
+
+class TestTheorem2:
+    """Per-group equations imply all cross-group equations.
+
+    Exhaustive check: for every mask over the full universe, the equation
+    decomposes as the sum of its per-group projections, so if all
+    within-group equations hold, every equation holds.
+    """
+
+    def _decomposition_holds(self, pool, log):
+        validator = GroupedValidator.from_pool(pool)
+        structure = validator.structure
+        aggregates = validator.aggregates
+        tree = ValidationTree.from_log(log)
+        baseline = TreeValidator(aggregates)
+        group_masks = structure.masks()
+        for mask in iter_masks(len(aggregates)):
+            lhs = tree.subset_sum(mask)
+            rhs = baseline.rhs(mask)
+            # Project the set onto each group.
+            projected_lhs = sum(
+                tree.subset_sum(mask & group_mask)
+                for group_mask in group_masks
+                if mask & group_mask
+            )
+            projected_rhs = sum(
+                baseline.rhs(mask & group_mask)
+                for group_mask in group_masks
+                if mask & group_mask
+            )
+            # Equation 2 of the paper: C<S> = Σ C<S_i>, A[S] = Σ A[S_i].
+            assert lhs == projected_lhs, f"LHS decomposition fails for {indexes_of(mask)}"
+            assert rhs == projected_rhs
+
+    def test_decomposition_on_example1(self):
+        from repro.workloads.scenarios import example1_log
+
+        self._decomposition_holds(example1().pool, example1_log())
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_decomposition_on_generated_workloads(self, seed):
+        workload = WorkloadGenerator(
+            WorkloadConfig(n_licenses=9, seed=seed, n_records=200)
+        ).generate()
+        self._decomposition_holds(workload.pool, workload.log)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 7])
+    def test_grouped_verdict_equals_baseline_verdict(self, seed):
+        # The operational consequence: the grouped validator and the
+        # full 2^N - 1 equation validator always agree.
+        workload = WorkloadGenerator(
+            WorkloadConfig(n_licenses=11, seed=seed, n_records=250)
+        ).generate()
+        grouped = GroupedValidator.from_pool(workload.pool).validate(workload.log)
+        baseline = TreeValidator(workload.aggregates).validate(
+            ValidationTree.from_log(workload.log)
+        )
+        assert grouped.is_valid == baseline.is_valid
+        # Every grouped violation is also a baseline violation, and every
+        # baseline violation restricted to one group appears in grouped.
+        assert set(grouped.violations) <= set(baseline.violations)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_baseline_violations_are_implied_by_grouped(self, seed):
+        # Any violated cross-group equation decomposes into per-group
+        # equations of which at least one must be violated (Theorem 2).
+        workload = WorkloadGenerator(
+            WorkloadConfig(
+                n_licenses=8,
+                seed=seed,
+                n_records=400,
+                aggregate_range=(100, 400),  # force violations
+            )
+        ).generate()
+        validator = GroupedValidator.from_pool(workload.pool)
+        grouped = validator.validate(workload.log)
+        baseline = TreeValidator(workload.aggregates).validate(
+            ValidationTree.from_log(workload.log)
+        )
+        if baseline.is_valid:
+            pytest.skip("workload happened to be valid; no violations to check")
+        group_masks = validator.structure.masks()
+        grouped_masks = {violation.mask for violation in grouped.violations}
+        for violation in baseline.violations:
+            projections = [
+                violation.mask & group_mask
+                for group_mask in group_masks
+                if violation.mask & group_mask
+            ]
+            assert any(mask in grouped_masks for mask in projections), (
+                f"baseline violation {indexes_of(violation.mask)} not implied "
+                f"by any grouped violation"
+            )

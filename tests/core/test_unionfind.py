@@ -1,0 +1,99 @@
+"""Unit + property tests for the union-find substrate."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.unionfind import UnionFind
+
+
+class TestBasics:
+    def test_singletons(self):
+        dsu = UnionFind()
+        assert dsu.add("a")
+        assert not dsu.add("a")  # idempotent
+        assert dsu.component_count == 1
+        assert len(dsu) == 1
+
+    def test_find_creates_lazily(self):
+        dsu = UnionFind()
+        assert dsu.find(1) == 1
+        assert 1 in dsu
+
+    def test_union_merges(self):
+        dsu = UnionFind()
+        assert dsu.union(1, 2)
+        assert dsu.connected(1, 2)
+        assert dsu.component_count == 1
+
+    def test_union_idempotent(self):
+        dsu = UnionFind()
+        dsu.union(1, 2)
+        assert not dsu.union(2, 1)
+        assert dsu.component_count == 1
+
+    def test_transitivity(self):
+        dsu = UnionFind()
+        dsu.union(1, 2)
+        dsu.union(2, 3)
+        assert dsu.connected(1, 3)
+
+    def test_component_size(self):
+        dsu = UnionFind()
+        dsu.union(1, 2)
+        dsu.union(2, 3)
+        dsu.add(4)
+        assert dsu.component_size(1) == 3
+        assert dsu.component_size(4) == 1
+
+    def test_components_enumeration(self):
+        dsu = UnionFind()
+        dsu.union(1, 3)
+        dsu.union(2, 4)
+        dsu.add(5)
+        components = dsu.sorted_components()
+        assert components == [
+            frozenset({1, 3}),
+            frozenset({2, 4}),
+            frozenset({5}),
+        ]
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=20),
+                st.integers(min_value=1, max_value=20),
+            ),
+            max_size=40,
+        )
+    )
+    def test_matches_reference_connectivity(self, edges):
+        """Union-find connectivity == transitive closure via networkx."""
+        import networkx as nx
+
+        dsu = UnionFind()
+        graph = nx.Graph()
+        for left, right in edges:
+            dsu.union(left, right)
+            graph.add_edge(left, right)
+        for left, right in edges:
+            for other in (left, right):
+                assert dsu.connected(left, other) == nx.has_path(
+                    graph, left, other
+                )
+        reference = sorted(
+            (frozenset(c) for c in nx.connected_components(graph)), key=min
+        )
+        # Nodes never unioned appear in dsu only if added; edges cover all.
+        assert dsu.sorted_components() == reference
+
+    @given(st.lists(st.integers(min_value=1, max_value=30), max_size=30))
+    def test_component_count_invariant(self, elements):
+        """#components == #elements - #successful unions."""
+        dsu = UnionFind()
+        successful = 0
+        for position, element in enumerate(elements):
+            dsu.add(element)
+            if position:
+                successful += dsu.union(elements[0], element)
+        assert dsu.component_count == len(set(elements)) - successful

@@ -1,0 +1,107 @@
+"""Unit tests for the end-to-end GroupedValidator."""
+
+import pytest
+
+from repro.errors import GroupingError, ValidationError
+from repro.core.validator import GroupedValidator
+from repro.logstore.log import ValidationLog
+from repro.validation.tree import ValidationTree
+from repro.validation.tree_validator import TreeValidator
+from repro.workloads.scenarios import example1, example1_log
+
+
+@pytest.fixture
+def validator():
+    return GroupedValidator.from_pool(example1().pool)
+
+
+class TestStructure:
+    def test_groups_match_paper(self, validator):
+        assert validator.structure.groups == (
+            frozenset({1, 2, 4}),
+            frozenset({3, 5}),
+        )
+
+    def test_equation_counts(self, validator):
+        assert validator.equations_baseline == 31
+        assert validator.equations_required == 10
+
+    def test_theoretical_gain(self, validator):
+        assert validator.theoretical_gain == pytest.approx(3.1)
+
+    def test_n_and_aggregates(self, validator):
+        assert validator.n == 5
+        assert validator.aggregates == [2000, 1000, 3000, 4000, 2000]
+
+    def test_mismatched_inputs_rejected(self):
+        scenario = example1()
+        with pytest.raises(ValidationError):
+            GroupedValidator(scenario.pool.boxes(), [1, 2, 3])
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValidationError):
+            GroupedValidator([], [])
+
+
+class TestValidation:
+    def test_example1_log_valid(self, validator):
+        report = validator.validate(example1_log())
+        assert report.is_valid
+        assert report.equations_checked == 10
+
+    def test_agrees_with_ungrouped_validator(self, validator):
+        # Theorem 2 in action: same verdict, fewer equations.
+        log = example1_log()
+        grouped = validator.validate(log)
+        baseline = TreeValidator(validator.aggregates).validate(
+            ValidationTree.from_log(log)
+        )
+        assert grouped.is_valid == baseline.is_valid
+
+    def test_detects_group_local_violation(self, validator):
+        log = ValidationLog()
+        log.record({2}, 1500)  # A_2 = 1000
+        report = validator.validate(log)
+        assert not report.is_valid
+        assert frozenset({2}) in report.violated_sets
+
+    def test_build_exposes_grouped_tree(self, validator):
+        grouped = validator.build(example1_log())
+        assert grouped.equations_required == 10
+
+
+class TestExplain:
+    def test_explain_narrates_the_analysis(self, validator):
+        text = validator.explain()
+        assert "5 redistribution licenses" in text
+        assert "3 edge(s)" in text
+        assert "{LD1, LD2, LD4}" in text
+        assert "{LD3, LD5}" in text
+        assert "2^5 - 1 = 31" in text
+        assert "(2^3 - 1) + (2^2 - 1) = 10" in text
+        assert "3.1x" in text
+
+
+class TestHeadroom:
+    def test_headroom_for_lu2_scenario(self, validator):
+        # After Table 2, a {2}-only license can carry at most 600 more.
+        assert validator.headroom(example1_log(), {2}) == 600
+
+    def test_headroom_for_group2(self, validator):
+        # {3,5}: C<{3,5}> = 820, A = 5000 -> 4180.
+        assert validator.headroom(example1_log(), {3, 5}) == 4180
+
+    def test_cross_group_set_rejected(self, validator):
+        with pytest.raises(GroupingError):
+            validator.headroom(example1_log(), {1, 3})
+
+    def test_empty_set_rejected(self, validator):
+        with pytest.raises(ValidationError):
+            validator.headroom(example1_log(), set())
+
+    def test_headroom_shrinks_after_issuance(self, validator):
+        log = example1_log()
+        before = validator.headroom(log, {2})
+        log.record({2}, 100)
+        after = validator.headroom(log, {2})
+        assert after == before - 100

@@ -1,0 +1,123 @@
+"""Unit tests for hyper-rectangles (boxes) over mixed extents."""
+
+import pytest
+
+from repro.errors import DimensionMismatchError, GeometryError
+from repro.geometry.box import Box, common_region
+from repro.geometry.discrete import DiscreteSet
+from repro.geometry.interval import Interval
+
+
+def box2(x, y):
+    """Two numeric axes."""
+    return Box([Interval(*x), Interval(*y)])
+
+
+def mixed(interval, atoms):
+    """One numeric axis + one categorical axis."""
+    return Box([Interval(*interval), DiscreteSet(atoms)])
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        assert box2((0, 1), (0, 1)).dimensions == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            Box([])
+
+    def test_bad_extent_type_rejected(self):
+        with pytest.raises(GeometryError):
+            Box([Interval(0, 1), (0, 1)])
+
+    def test_extent_accessor(self):
+        box = mixed((0, 5), {"a"})
+        assert box.extent(0) == Interval(0, 5)
+        assert box.extent(1) == DiscreteSet({"a"})
+
+
+class TestContainment:
+    def test_contains_nested(self):
+        assert box2((0, 10), (0, 10)).contains(box2((2, 5), (3, 7)))
+
+    def test_contains_requires_all_axes(self):
+        outer = box2((0, 10), (0, 10))
+        assert not outer.contains(box2((2, 5), (3, 11)))
+
+    def test_contains_itself(self):
+        box = box2((0, 10), (0, 10))
+        assert box.contains(box)
+
+    def test_mixed_axes_containment(self):
+        outer = mixed((0, 10), {"asia", "europe"})
+        inner = mixed((2, 5), {"asia"})
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            box2((0, 1), (0, 1)).contains(Box([Interval(0, 1)]))
+
+    def test_extent_kind_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            mixed((0, 1), {"a"}).contains(box2((0, 1), (0, 1)))
+
+
+class TestOverlap:
+    def test_overlap_on_all_axes(self):
+        assert box2((0, 5), (0, 5)).overlaps(box2((4, 9), (4, 9)))
+
+    def test_no_overlap_if_one_axis_disjoint(self):
+        # Section 3.2: overlap requires ALL constraint axes to overlap.
+        assert not box2((0, 5), (0, 5)).overlaps(box2((4, 9), (6, 9)))
+
+    def test_containment_implies_overlap(self):
+        outer, inner = box2((0, 10), (0, 10)), box2((2, 5), (2, 5))
+        assert outer.overlaps(inner)
+
+    def test_mixed_overlap(self):
+        a = mixed((0, 5), {"asia", "europe"})
+        b = mixed((4, 9), {"asia"})
+        c = mixed((4, 9), {"america"})
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestOperations:
+    def test_intersection(self):
+        result = box2((0, 5), (0, 5)).intersection(box2((3, 9), (2, 4)))
+        assert result == box2((3, 5), (2, 4))
+
+    def test_intersection_disjoint_is_none(self):
+        assert box2((0, 1), (0, 1)).intersection(box2((2, 3), (0, 1))) is None
+
+    def test_union_hull(self):
+        result = box2((0, 1), (0, 1)).union_hull(box2((5, 6), (2, 3)))
+        assert result == box2((0, 6), (0, 3))
+
+    def test_equality_and_hash(self):
+        assert box2((0, 1), (2, 3)) == box2((0, 1), (2, 3))
+        assert hash(box2((0, 1), (2, 3))) == hash(box2((0, 1), (2, 3)))
+
+
+class TestCommonRegion:
+    def test_pairwise_overlap_without_common_region(self):
+        # Three intervals on a line: (0,4), (3,7), (6,10) -- each adjacent
+        # pair overlaps but all three share nothing (Theorem 1's setup).
+        boxes = [Box([Interval(0, 4)]), Box([Interval(3, 7)]), Box([Interval(6, 10)])]
+        assert boxes[0].overlaps(boxes[1])
+        assert boxes[1].overlaps(boxes[2])
+        assert common_region(boxes) is None
+
+    def test_common_region_exists(self):
+        boxes = [box2((0, 5), (0, 5)), box2((3, 9), (3, 9)), box2((4, 7), (4, 7))]
+        region = common_region(boxes)
+        assert region == box2((4, 5), (4, 5))
+
+    def test_single_box_is_its_own_region(self):
+        box = box2((0, 1), (0, 1))
+        assert common_region([box]) == box
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(GeometryError):
+            common_region([])

@@ -1,0 +1,89 @@
+"""Unit tests for discrete (categorical) extents."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.discrete import DiscreteSet, as_discrete
+
+
+class TestConstruction:
+    def test_from_list(self):
+        assert len(DiscreteSet(["a", "b"])) == 2
+
+    def test_duplicates_collapse(self):
+        assert len(DiscreteSet(["a", "a", "b"])) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            DiscreteSet([])
+
+    def test_atoms_frozen(self):
+        atoms = DiscreteSet(["a"]).atoms
+        assert isinstance(atoms, frozenset)
+
+    def test_single_atom_is_degenerate(self):
+        assert DiscreteSet(["a"]).is_degenerate()
+        assert not DiscreteSet(["a", "b"]).is_degenerate()
+
+
+class TestPredicates:
+    def test_contains_subset(self):
+        assert DiscreteSet(["a", "b", "c"]).contains(DiscreteSet(["a", "c"]))
+
+    def test_contains_itself(self):
+        extent = DiscreteSet(["a", "b"])
+        assert extent.contains(extent)
+
+    def test_does_not_contain_superset(self):
+        assert not DiscreteSet(["a"]).contains(DiscreteSet(["a", "b"]))
+
+    def test_overlaps_when_sharing_atom(self):
+        assert DiscreteSet(["a", "b"]).overlaps(DiscreteSet(["b", "c"]))
+
+    def test_no_overlap_when_disjoint(self):
+        assert not DiscreteSet(["a"]).overlaps(DiscreteSet(["b"]))
+
+    def test_overlap_symmetric(self):
+        a, b = DiscreteSet(["a", "b"]), DiscreteSet(["b"])
+        assert a.overlaps(b) == b.overlaps(a)
+
+    def test_contains_point(self):
+        assert DiscreteSet(["a"]).contains_point("a")
+        assert "a" in DiscreteSet(["a"])
+        assert "z" not in DiscreteSet(["a"])
+
+
+class TestOperations:
+    def test_intersection(self):
+        result = DiscreteSet(["a", "b"]).intersection(DiscreteSet(["b", "c"]))
+        assert result == DiscreteSet(["b"])
+
+    def test_intersection_disjoint_is_none(self):
+        assert DiscreteSet(["a"]).intersection(DiscreteSet(["b"])) is None
+
+    def test_union_hull(self):
+        result = DiscreteSet(["a"]).union_hull(DiscreteSet(["b"]))
+        assert result == DiscreteSet(["a", "b"])
+
+    def test_length(self):
+        assert DiscreteSet(["a", "b", "c"]).length == 3
+
+    def test_equality_and_hash(self):
+        assert DiscreteSet(["a", "b"]) == DiscreteSet(["b", "a"])
+        assert hash(DiscreteSet(["a"])) == hash(DiscreteSet(["a"]))
+        assert DiscreteSet(["a"]) != DiscreteSet(["b"])
+
+    def test_equality_against_other_types(self):
+        assert DiscreteSet(["a"]) != {"a"}
+
+
+class TestCoercion:
+    def test_as_discrete_passthrough(self):
+        extent = DiscreteSet(["a"])
+        assert as_discrete(extent) is extent
+
+    def test_as_discrete_from_set(self):
+        assert as_discrete({"a", "b"}) == DiscreteSet(["a", "b"])
+
+    def test_as_discrete_from_list(self):
+        assert as_discrete(["a"]) == DiscreteSet(["a"])

@@ -1,0 +1,113 @@
+"""Property-based tests on the geometric algebra (hypothesis)."""
+
+from hypothesis import given, strategies as st
+
+from repro.geometry.box import Box
+from repro.geometry.discrete import DiscreteSet
+from repro.geometry.interval import Interval
+
+
+@st.composite
+def intervals(draw):
+    low = draw(st.integers(min_value=-1000, max_value=1000))
+    length = draw(st.integers(min_value=0, max_value=500))
+    return Interval(low, low + length)
+
+
+@st.composite
+def discrete_sets(draw):
+    atoms = draw(st.sets(st.integers(min_value=0, max_value=12), min_size=1))
+    return DiscreteSet(atoms)
+
+
+@st.composite
+def boxes(draw, dims=2):
+    return Box([draw(intervals()) for _ in range(dims)])
+
+
+class TestIntervalProperties:
+    @given(intervals(), intervals())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(intervals(), intervals())
+    def test_overlap_iff_intersection(self, a, b):
+        assert a.overlaps(b) == (a.intersection(b) is not None)
+
+    @given(intervals(), intervals())
+    def test_containment_antisymmetric_up_to_equality(self, a, b):
+        if a.contains(b) and b.contains(a):
+            assert a == b
+
+    @given(intervals(), intervals(), intervals())
+    def test_containment_transitive(self, a, b, c):
+        if a.contains(b) and b.contains(c):
+            assert a.contains(c)
+
+    @given(intervals(), intervals())
+    def test_intersection_contained_in_both(self, a, b):
+        common = a.intersection(b)
+        if common is not None:
+            assert a.contains(common)
+            assert b.contains(common)
+
+    @given(intervals(), intervals())
+    def test_union_hull_contains_both(self, a, b):
+        hull = a.union_hull(b)
+        assert hull.contains(a)
+        assert hull.contains(b)
+
+
+class TestDiscreteProperties:
+    @given(discrete_sets(), discrete_sets())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(discrete_sets(), discrete_sets())
+    def test_overlap_iff_intersection(self, a, b):
+        assert a.overlaps(b) == (a.intersection(b) is not None)
+
+    @given(discrete_sets(), discrete_sets())
+    def test_containment_matches_subset(self, a, b):
+        assert a.contains(b) == (b.atoms <= a.atoms)
+
+    @given(discrete_sets(), discrete_sets())
+    def test_union_hull_contains_both(self, a, b):
+        hull = a.union_hull(b)
+        assert hull.contains(a)
+        assert hull.contains(b)
+
+
+class TestBoxProperties:
+    @given(boxes(), boxes())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(boxes(), boxes())
+    def test_overlap_iff_intersection(self, a, b):
+        assert a.overlaps(b) == (a.intersection(b) is not None)
+
+    @given(boxes(), boxes())
+    def test_containment_implies_overlap(self, a, b):
+        if a.contains(b):
+            assert a.overlaps(b)
+
+    @given(boxes(), boxes(), boxes())
+    def test_containment_transitive(self, a, b, c):
+        if a.contains(b) and b.contains(c):
+            assert a.contains(c)
+
+    @given(boxes(), boxes())
+    def test_intersection_is_largest_common_box(self, a, b):
+        common = a.intersection(b)
+        if common is not None:
+            assert a.contains(common)
+            assert b.contains(common)
+
+    @given(boxes(), boxes())
+    def test_overlap_requires_every_axis(self, a, b):
+        per_axis = all(
+            mine.overlaps(theirs)
+            for mine, theirs in zip(a.extents, b.extents)
+        )
+        assert a.overlaps(b) == per_axis

@@ -1,0 +1,122 @@
+"""Unit tests for closed intervals."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.interval import Interval
+
+
+class TestConstruction:
+    def test_valid_bounds(self):
+        interval = Interval(1, 5)
+        assert interval.low == 1
+        assert interval.high == 5
+
+    def test_degenerate_point(self):
+        assert Interval(3, 3).is_degenerate()
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(GeometryError):
+            Interval(5, 1)
+
+    def test_incomparable_bounds_rejected(self):
+        with pytest.raises(GeometryError):
+            Interval(1, "two")
+
+    def test_float_bounds(self):
+        interval = Interval(0.5, 2.5)
+        assert interval.length == 2.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Interval(1, 2).low = 0
+
+
+class TestContainment:
+    def test_contains_point_inside(self):
+        assert Interval(1, 5).contains_point(3)
+
+    def test_contains_point_on_endpoints(self):
+        interval = Interval(1, 5)
+        assert interval.contains_point(1)
+        assert interval.contains_point(5)
+
+    def test_contains_point_outside(self):
+        assert not Interval(1, 5).contains_point(6)
+
+    def test_in_operator(self):
+        assert 2 in Interval(1, 5)
+        assert 0 not in Interval(1, 5)
+
+    def test_contains_interval_strictly_inside(self):
+        assert Interval(1, 10).contains(Interval(3, 7))
+
+    def test_contains_itself(self):
+        interval = Interval(1, 10)
+        assert interval.contains(interval)
+
+    def test_contains_shares_endpoint(self):
+        # Closed semantics: paper's [15/03, 19/03] within [10/03, 20/03].
+        assert Interval(10, 20).contains(Interval(15, 20))
+
+    def test_does_not_contain_overhanging(self):
+        assert not Interval(1, 10).contains(Interval(5, 11))
+
+    def test_does_not_contain_disjoint(self):
+        assert not Interval(1, 5).contains(Interval(6, 9))
+
+
+class TestOverlap:
+    def test_overlapping(self):
+        assert Interval(1, 5).overlaps(Interval(4, 9))
+
+    def test_touching_endpoints_overlap(self):
+        # Closed intervals sharing one point overlap.
+        assert Interval(1, 5).overlaps(Interval(5, 9))
+
+    def test_disjoint(self):
+        assert not Interval(1, 5).overlaps(Interval(6, 9))
+
+    def test_overlap_is_symmetric(self):
+        a, b = Interval(1, 5), Interval(4, 9)
+        assert a.overlaps(b) == b.overlaps(a)
+
+    def test_nested_overlap(self):
+        assert Interval(1, 10).overlaps(Interval(4, 6))
+
+
+class TestOperations:
+    def test_intersection_of_overlapping(self):
+        assert Interval(1, 5).intersection(Interval(3, 9)) == Interval(3, 5)
+
+    def test_intersection_of_disjoint_is_none(self):
+        assert Interval(1, 2).intersection(Interval(3, 4)) is None
+
+    def test_intersection_touching_is_point(self):
+        result = Interval(1, 5).intersection(Interval(5, 9))
+        assert result == Interval(5, 5)
+
+    def test_union_hull(self):
+        assert Interval(1, 3).union_hull(Interval(7, 9)) == Interval(1, 9)
+
+    def test_expanded(self):
+        assert Interval(2, 4).expanded(1) == Interval(1, 5)
+
+    def test_clamped_inside(self):
+        assert Interval(0, 10).clamped(Interval(2, 5)) == Interval(2, 5)
+
+    def test_clamped_disjoint_raises(self):
+        with pytest.raises(GeometryError):
+            Interval(0, 1).clamped(Interval(5, 9))
+
+    def test_midpoint(self):
+        assert Interval(2, 6).midpoint == 4
+
+    def test_iter_unpacks(self):
+        low, high = Interval(1, 2)
+        assert (low, high) == (1, 2)
+
+    def test_equality_and_hash(self):
+        assert Interval(1, 2) == Interval(1, 2)
+        assert hash(Interval(1, 2)) == hash(Interval(1, 2))
+        assert Interval(1, 2) != Interval(1, 3)

@@ -1,0 +1,100 @@
+"""Unit tests for the multi-content license catalog."""
+
+import pytest
+
+from repro.errors import LicenseError, ValidationError
+from repro.licenses.catalog import LicenseCatalog
+from repro.licenses.license import LicenseFactory
+from repro.licenses.permission import Permission
+from repro.licenses.schema import ConstraintSchema, DimensionSpec
+
+
+@pytest.fixture
+def schema():
+    return ConstraintSchema([DimensionSpec.numeric("x")])
+
+
+@pytest.fixture
+def catalog(schema):
+    catalog = LicenseCatalog()
+    movie_play = LicenseFactory(schema, "movie", "play")
+    movie_copy = LicenseFactory(schema, "movie", "copy")
+    song_play = LicenseFactory(schema, "song", "play")
+    catalog.add_license(movie_play.redistribution("mp1", aggregate=100, x=(0, 10)))
+    catalog.add_license(movie_play.redistribution("mp2", aggregate=50, x=(5, 15)))
+    catalog.add_license(movie_copy.redistribution("mc1", aggregate=20, x=(0, 10)))
+    catalog.add_license(song_play.redistribution("sp1", aggregate=30, x=(0, 10)))
+    return catalog
+
+
+class TestScopes:
+    def test_scopes_sorted(self, catalog):
+        assert catalog.scopes() == [
+            ("movie", Permission.COPY),
+            ("movie", Permission.PLAY),
+            ("song", Permission.PLAY),
+        ]
+        assert len(catalog) == 3
+
+    def test_pool_routing(self, catalog):
+        assert len(catalog.pool("movie", "play")) == 2
+        assert len(catalog.pool("movie", "copy")) == 1
+        assert len(catalog.pool("song", Permission.PLAY)) == 1
+
+    def test_unknown_scope(self, catalog):
+        with pytest.raises(LicenseError):
+            catalog.pool("movie", "rip")
+
+    def test_usage_license_rejected_at_intake(self, catalog, schema):
+        factory = LicenseFactory(schema, "movie", "play")
+        with pytest.raises(LicenseError):
+            catalog.add_license(factory.usage("u", count=1, x=(0, 1)))
+
+
+class TestMatching:
+    def test_match_routes_by_scope(self, catalog, schema):
+        play = LicenseFactory(schema, "movie", "play")
+        copy = LicenseFactory(schema, "movie", "copy")
+        play_usage = play.usage("u1", count=1, x=(6, 9))
+        copy_usage = copy.usage("u2", count=1, x=(6, 9))
+        assert catalog.match(play_usage) == frozenset({1, 2})
+        assert catalog.match(copy_usage) == frozenset({1})
+
+    def test_unknown_scope_matches_nothing(self, catalog, schema):
+        factory = LicenseFactory(schema, "unknown", "play")
+        assert catalog.match(factory.usage("u", count=1, x=(0, 1))) == frozenset()
+
+    def test_record_issuance(self, catalog, schema):
+        factory = LicenseFactory(schema, "movie", "play")
+        usage = factory.usage("u1", count=7, x=(6, 9))
+        matched = catalog.record_issuance(usage)
+        assert matched == frozenset({1, 2})
+        assert catalog.log("movie", "play").total_count == 7
+        assert catalog.log("movie", "copy").total_count == 0
+
+    def test_unmatched_issuance_rejected(self, catalog, schema):
+        factory = LicenseFactory(schema, "movie", "play")
+        with pytest.raises(ValidationError):
+            catalog.record_issuance(factory.usage("u1", count=1, x=(90, 99)))
+
+
+class TestValidation:
+    def test_per_scope_validation(self, catalog, schema):
+        factory = LicenseFactory(schema, "movie", "copy")
+        catalog.record_issuance(factory.usage("u1", count=25, x=(0, 5)))  # > 20
+        copy_report = catalog.validate_scope("movie", "copy")
+        play_report = catalog.validate_scope("movie", "play")
+        assert not copy_report.is_valid
+        assert play_report.is_valid  # violation does not leak across scopes
+
+    def test_validate_all(self, catalog):
+        results = catalog.validate_all()
+        assert set(results) == set(catalog.scopes())
+        assert all(report.is_valid for report in results.values())
+
+    def test_validator_cache_invalidated_by_new_license(self, catalog, schema):
+        first = catalog.validator("movie", "play")
+        assert first.n == 2
+        factory = LicenseFactory(schema, "movie", "play")
+        catalog.add_license(factory.redistribution("mp3", aggregate=10, x=(20, 30)))
+        assert catalog.validator("movie", "play").n == 3

@@ -1,0 +1,86 @@
+"""Unit tests for date parsing/formatting helpers."""
+
+import datetime
+
+import pytest
+
+from repro.errors import LicenseError
+from repro.geometry.interval import Interval
+from repro.licenses.dates import (
+    date_interval,
+    format_date,
+    interval_to_dates,
+    parse_date,
+    to_ordinal,
+)
+
+
+class TestParseDate:
+    def test_ddmmyy(self):
+        assert parse_date("10/03/09") == datetime.date(2009, 3, 10)
+
+    def test_ddmmyyyy(self):
+        assert parse_date("10/03/2009") == datetime.date(2009, 3, 10)
+
+    def test_iso(self):
+        assert parse_date("2009-03-10") == datetime.date(2009, 3, 10)
+
+    def test_single_digit_day_month(self):
+        assert parse_date("1/3/09") == datetime.date(2009, 3, 1)
+
+    def test_invalid_calendar_date(self):
+        with pytest.raises(LicenseError):
+            parse_date("32/03/09")
+
+    def test_unrecognized_format(self):
+        with pytest.raises(LicenseError):
+            parse_date("March 10, 2009")
+
+
+class TestToOrdinal:
+    def test_int_passthrough(self):
+        assert to_ordinal(733000) == 733000
+
+    def test_date_object(self):
+        day = datetime.date(2009, 3, 10)
+        assert to_ordinal(day) == day.toordinal()
+
+    def test_string(self):
+        assert to_ordinal("10/03/09") == datetime.date(2009, 3, 10).toordinal()
+
+    def test_bool_rejected(self):
+        with pytest.raises(LicenseError):
+            to_ordinal(True)
+
+    def test_float_rejected(self):
+        with pytest.raises(LicenseError):
+            to_ordinal(1.5)
+
+
+class TestDateInterval:
+    def test_length_in_days(self):
+        # Paper Example 1: T = [10/03/09, 20/03/09] is a 10-day span.
+        assert date_interval("10/03/09", "20/03/09").length == 10
+
+    def test_mixed_inputs(self):
+        interval = date_interval(datetime.date(2009, 3, 10), "20/03/09")
+        assert interval.length == 10
+
+    def test_containment_matches_paper(self):
+        # L_U^1's T = [15/03, 19/03] within L_D^1's [10/03, 20/03].
+        outer = date_interval("10/03/09", "20/03/09")
+        inner = date_interval("15/03/09", "19/03/09")
+        assert outer.contains(inner)
+
+    def test_round_trip(self):
+        interval = date_interval("10/03/09", "20/03/09")
+        start, end = interval_to_dates(interval)
+        assert (start, end) == (datetime.date(2009, 3, 10), datetime.date(2009, 3, 20))
+
+
+class TestFormatDate:
+    def test_round_trip_via_ordinal(self):
+        assert format_date(to_ordinal("05/04/09")) == "05/04/09"
+
+    def test_zero_padding(self):
+        assert format_date(datetime.date(2009, 1, 2).toordinal()) == "02/01/09"

@@ -1,0 +1,135 @@
+"""Unit tests for license objects and the factory."""
+
+import pytest
+
+from repro.errors import LicenseError
+from repro.licenses.license import LicenseFactory, RedistributionLicense, UsageLicense
+from repro.licenses.permission import Permission
+from repro.licenses.schema import ConstraintSchema, DimensionSpec
+
+
+@pytest.fixture
+def factory():
+    schema = ConstraintSchema(
+        [DimensionSpec.numeric("x"), DimensionSpec.numeric("y")]
+    )
+    return LicenseFactory(schema, content_id="K", permission="play")
+
+
+class TestRedistributionLicense:
+    def test_construction(self, factory):
+        lic = factory.redistribution("LD1", aggregate=100, x=(0, 10), y=(0, 10))
+        assert lic.aggregate == 100
+        assert lic.permission is Permission.PLAY
+        assert lic.content_id == "K"
+
+    def test_zero_aggregate_rejected(self, factory):
+        with pytest.raises(LicenseError):
+            factory.redistribution("LD1", aggregate=0, x=(0, 10), y=(0, 10))
+
+    def test_negative_aggregate_rejected(self, factory):
+        with pytest.raises(LicenseError):
+            factory.redistribution("LD1", aggregate=-5, x=(0, 10), y=(0, 10))
+
+    def test_non_int_aggregate_rejected(self, factory):
+        with pytest.raises(LicenseError):
+            factory.redistribution("LD1", aggregate=10.5, x=(0, 10), y=(0, 10))
+
+    def test_bool_aggregate_rejected(self, factory):
+        with pytest.raises(LicenseError):
+            factory.redistribution("LD1", aggregate=True, x=(0, 10), y=(0, 10))
+
+    def test_instance_validation_containment(self, factory):
+        outer = factory.redistribution("LD1", aggregate=100, x=(0, 10), y=(0, 10))
+        inner = factory.usage("LU1", count=5, x=(2, 5), y=(2, 5))
+        assert outer.can_instance_validate(inner)
+
+    def test_instance_validation_fails_outside(self, factory):
+        outer = factory.redistribution("LD1", aggregate=100, x=(0, 10), y=(0, 10))
+        escaping = factory.usage("LU1", count=5, x=(2, 11), y=(2, 5))
+        assert not outer.can_instance_validate(escaping)
+
+    def test_instance_validation_requires_same_scope(self, factory):
+        outer = factory.redistribution("LD1", aggregate=100, x=(0, 10), y=(0, 10))
+        other_schema = ConstraintSchema(
+            [DimensionSpec.numeric("x"), DimensionSpec.numeric("y")]
+        )
+        other = LicenseFactory(other_schema, content_id="OTHER", permission="play")
+        foreign = other.usage("LU1", count=5, x=(2, 5), y=(2, 5))
+        assert not outer.can_instance_validate(foreign)
+
+    def test_overlaps_with(self, factory):
+        a = factory.redistribution("LD1", aggregate=10, x=(0, 5), y=(0, 5))
+        b = factory.redistribution("LD2", aggregate=10, x=(4, 9), y=(4, 9))
+        c = factory.redistribution("LD3", aggregate=10, x=(6, 9), y=(0, 5))
+        assert a.overlaps_with(b)
+        assert not a.overlaps_with(c)
+
+
+class TestUsageLicense:
+    def test_construction(self, factory):
+        lic = factory.usage("LU1", count=5, x=(0, 1), y=(0, 1))
+        assert lic.count == 5
+
+    def test_zero_count_rejected(self, factory):
+        with pytest.raises(LicenseError):
+            factory.usage("LU1", count=0, x=(0, 1), y=(0, 1))
+
+    def test_negative_count_rejected(self, factory):
+        with pytest.raises(LicenseError):
+            factory.usage("LU1", count=-1, x=(0, 1), y=(0, 1))
+
+
+class TestLicenseBase:
+    def test_empty_id_rejected(self, factory):
+        with pytest.raises(LicenseError):
+            UsageLicense(
+                license_id="",
+                content_id="K",
+                permission=Permission.PLAY,
+                box=factory.schema.box(x=(0, 1), y=(0, 1)),
+                count=1,
+            )
+
+    def test_permission_coercion_from_string(self, factory):
+        lic = RedistributionLicense(
+            license_id="LD1",
+            content_id="K",
+            permission="copy",
+            box=factory.schema.box(x=(0, 1), y=(0, 1)),
+            aggregate=10,
+        )
+        assert lic.permission is Permission.COPY
+
+    def test_bad_box_rejected(self):
+        with pytest.raises(LicenseError):
+            UsageLicense(
+                license_id="LU1",
+                content_id="K",
+                permission=Permission.PLAY,
+                box="not a box",
+                count=1,
+            )
+
+
+class TestFactory:
+    def test_auto_ids_increment(self, factory):
+        a = factory.redistribution(aggregate=10, x=(0, 1), y=(0, 1))
+        b = factory.usage(count=1, x=(0, 1), y=(0, 1))
+        assert a.license_id == "LD1"
+        assert b.license_id == "LU2"
+
+    def test_scope_attributes(self, factory):
+        assert factory.content_id == "K"
+        assert factory.permission is Permission.PLAY
+        assert len(factory.schema) == 2
+
+
+class TestPermission:
+    def test_string_round_trip(self):
+        assert Permission("play") is Permission.PLAY
+        assert str(Permission.PLAY) == "play"
+
+    def test_unknown_permission(self):
+        with pytest.raises(ValueError):
+            Permission("teleport")

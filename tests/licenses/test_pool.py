@@ -1,0 +1,114 @@
+"""Unit tests for license pools."""
+
+import pytest
+
+from repro.errors import LicenseError
+from repro.licenses.license import LicenseFactory
+from repro.licenses.pool import LicensePool
+from repro.licenses.schema import ConstraintSchema, DimensionSpec
+
+
+@pytest.fixture
+def factory():
+    schema = ConstraintSchema([DimensionSpec.numeric("x")])
+    return LicenseFactory(schema, content_id="K", permission="play")
+
+
+@pytest.fixture
+def pool(factory):
+    return LicensePool(
+        [
+            factory.redistribution("LD1", aggregate=100, x=(0, 10)),
+            factory.redistribution("LD2", aggregate=200, x=(5, 15)),
+            factory.redistribution("LD3", aggregate=300, x=(20, 30)),
+        ]
+    )
+
+
+class TestIndexing:
+    def test_one_based_access(self, pool):
+        assert pool[1].license_id == "LD1"
+        assert pool[3].license_id == "LD3"
+
+    def test_out_of_range(self, pool):
+        with pytest.raises(LicenseError):
+            pool[0]
+        with pytest.raises(LicenseError):
+            pool[4]
+
+    def test_non_int_index(self, pool):
+        with pytest.raises(LicenseError):
+            pool["LD1"]
+
+    def test_index_of(self, pool):
+        assert pool.index_of("LD2") == 2
+        with pytest.raises(LicenseError):
+            pool.index_of("LD9")
+
+    def test_enumerate_is_one_based(self, pool):
+        pairs = list(pool.enumerate())
+        assert pairs[0][0] == 1
+        assert pairs[-1][0] == 3
+
+    def test_len_iter_bool(self, pool):
+        assert len(pool) == 3
+        assert len(list(pool)) == 3
+        assert pool
+        assert not LicensePool()
+
+
+class TestAdd:
+    def test_add_returns_index(self, factory):
+        pool = LicensePool()
+        assert pool.add(factory.redistribution("A", aggregate=1, x=(0, 1))) == 1
+        assert pool.add(factory.redistribution("B", aggregate=1, x=(0, 1))) == 2
+
+    def test_duplicate_id_rejected(self, pool, factory):
+        with pytest.raises(LicenseError):
+            pool.add(factory.redistribution("LD1", aggregate=1, x=(0, 1)))
+
+    def test_usage_license_rejected(self, pool, factory):
+        with pytest.raises(LicenseError):
+            pool.add(factory.usage("LU1", count=1, x=(0, 1)))
+
+    def test_scope_mismatch_rejected(self, pool):
+        schema = ConstraintSchema([DimensionSpec.numeric("x")])
+        other = LicenseFactory(schema, content_id="OTHER", permission="play")
+        with pytest.raises(LicenseError):
+            pool.add(other.redistribution("X", aggregate=1, x=(0, 1)))
+
+    def test_dimension_mismatch_rejected(self, pool):
+        schema = ConstraintSchema(
+            [DimensionSpec.numeric("x"), DimensionSpec.numeric("y")]
+        )
+        other = LicenseFactory(schema, content_id="K", permission="play")
+        with pytest.raises(LicenseError):
+            pool.add(other.redistribution("X", aggregate=1, x=(0, 1), y=(0, 1)))
+
+
+class TestDerivedViews:
+    def test_aggregate_array(self, pool):
+        assert pool.aggregate_array() == [100, 200, 300]
+
+    def test_boxes_in_order(self, pool):
+        boxes = pool.boxes()
+        assert len(boxes) == 3
+        assert boxes[0].extent(0).low == 0
+
+    def test_matching_indexes(self, pool, factory):
+        usage = factory.usage("LU1", count=1, x=(6, 9))
+        assert pool.matching_indexes(usage) == frozenset({1, 2})
+
+    def test_matching_indexes_empty(self, pool, factory):
+        usage = factory.usage("LU1", count=1, x=(16, 19))
+        assert pool.matching_indexes(usage) == frozenset()
+
+    def test_scope_properties(self, pool):
+        assert pool.content_id == "K"
+        assert pool.permission.value == "play"
+
+    def test_empty_pool_scope_raises(self):
+        with pytest.raises(LicenseError):
+            LicensePool().content_id
+        with pytest.raises(LicenseError):
+            LicensePool().permission

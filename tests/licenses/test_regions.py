@@ -1,0 +1,144 @@
+"""Unit tests for the hierarchical region taxonomy."""
+
+import pytest
+
+from repro.errors import RegionError
+from repro.licenses.regions import WORLD, RegionTaxonomy
+
+
+@pytest.fixture
+def taxonomy():
+    return RegionTaxonomy(
+        {
+            "world": {
+                "asia": ["india", "japan"],
+                "europe": ["france", "germany"],
+            }
+        }
+    )
+
+
+class TestConstruction:
+    def test_roots(self, taxonomy):
+        assert taxonomy.roots == ("world",)
+
+    def test_names_include_all_levels(self, taxonomy):
+        assert {"world", "asia", "india", "europe"} <= taxonomy.names
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(RegionError):
+            RegionTaxonomy({"asia": ["india"], "europe": ["india"]})
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(RegionError):
+            RegionTaxonomy({"": ["x"]})
+
+    def test_region_with_no_children_is_leaf(self):
+        taxonomy = RegionTaxonomy({"zone": []})
+        assert taxonomy.leaves("zone") == {"zone"}
+
+
+class TestLeaves:
+    def test_leaf_of_leaf(self, taxonomy):
+        assert taxonomy.leaves("india") == {"india"}
+
+    def test_leaves_of_internal(self, taxonomy):
+        assert taxonomy.leaves("asia") == {"india", "japan"}
+
+    def test_leaves_of_root(self, taxonomy):
+        assert taxonomy.leaves("world") == {"india", "japan", "france", "germany"}
+
+    def test_case_insensitive(self, taxonomy):
+        assert taxonomy.leaves("Asia") == taxonomy.leaves("asia")
+
+    def test_unknown_region_raises(self, taxonomy):
+        with pytest.raises(RegionError):
+            taxonomy.leaves("atlantis")
+
+    def test_all_leaves(self, taxonomy):
+        assert taxonomy.all_leaves == {"india", "japan", "france", "germany"}
+
+
+class TestRelations:
+    def test_is_within_parent(self, taxonomy):
+        # Example 1: R=[India] within a license allowing R=[Asia].
+        assert taxonomy.is_within("india", "asia")
+
+    def test_is_within_root(self, taxonomy):
+        assert taxonomy.is_within("india", "world")
+
+    def test_not_within_sibling(self, taxonomy):
+        assert not taxonomy.is_within("india", "europe")
+
+    def test_overlap_between_ancestor_and_leaf(self, taxonomy):
+        assert taxonomy.overlap("asia", "japan")
+
+    def test_no_overlap_between_disjoint(self, taxonomy):
+        assert not taxonomy.overlap("asia", "europe")
+
+    def test_parent(self, taxonomy):
+        assert taxonomy.parent("india") == "asia"
+        assert taxonomy.parent("world") is None
+
+    def test_contains_operator(self, taxonomy):
+        assert "asia" in taxonomy
+        assert "atlantis" not in taxonomy
+        assert 42 not in taxonomy
+
+
+class TestExpand:
+    def test_expand_single_name(self, taxonomy):
+        assert taxonomy.expand("asia").atoms == frozenset({"india", "japan"})
+
+    def test_expand_multiple_names(self, taxonomy):
+        extent = taxonomy.expand(["asia", "europe"])
+        assert extent.atoms == frozenset({"india", "japan", "france", "germany"})
+
+    def test_expand_leaf(self, taxonomy):
+        assert taxonomy.expand("india").atoms == frozenset({"india"})
+
+
+class TestPersistence:
+    def test_spec_round_trip(self, taxonomy):
+        rebuilt = RegionTaxonomy(taxonomy.to_spec())
+        assert rebuilt.names == taxonomy.names
+        for name in taxonomy.names:
+            assert rebuilt.leaves(name) == taxonomy.leaves(name)
+
+    def test_json_round_trip(self, taxonomy):
+        rebuilt = RegionTaxonomy.from_json(taxonomy.to_json())
+        assert rebuilt.names == taxonomy.names
+        assert rebuilt.all_leaves == taxonomy.all_leaves
+
+    def test_world_round_trips(self):
+        rebuilt = RegionTaxonomy.from_json(WORLD.to_json())
+        assert rebuilt.leaves("asia") == WORLD.leaves("asia")
+        assert rebuilt.roots == WORLD.roots
+
+    def test_invalid_json(self):
+        import pytest as _pytest
+
+        with _pytest.raises(RegionError):
+            RegionTaxonomy.from_json("{broken")
+        with _pytest.raises(RegionError):
+            RegionTaxonomy.from_json("[1, 2]")
+
+
+class TestWorldTaxonomy:
+    def test_example1_regions_present(self):
+        for name in ("asia", "europe", "america", "india", "japan"):
+            assert name in WORLD
+
+    def test_india_inside_asia(self):
+        assert WORLD.is_within("india", "asia")
+
+    def test_asia_europe_disjoint(self):
+        assert not WORLD.overlap("asia", "europe")
+
+    def test_example1_overlap_structure(self):
+        # Region axis of Example 1: {Asia, Europe} overlaps {Asia} and
+        # {Europe} but not {America}.
+        asia_europe = WORLD.expand(["asia", "europe"])
+        assert asia_europe.overlaps(WORLD.expand("asia"))
+        assert asia_europe.overlaps(WORLD.expand("europe"))
+        assert not asia_europe.overlaps(WORLD.expand("america"))

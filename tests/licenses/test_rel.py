@@ -1,0 +1,107 @@
+"""Unit tests for the JSON rights-expression serialization layer."""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.licenses.license import RedistributionLicense, UsageLicense
+from repro.licenses.rel import (
+    dumps_pool,
+    license_from_dict,
+    license_to_dict,
+    loads_pool,
+    pool_from_dict,
+    pool_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.workloads.scenarios import example1
+
+
+@pytest.fixture
+def scenario():
+    return example1()
+
+
+class TestSchemaRoundTrip:
+    def test_round_trip_preserves_structure(self, scenario):
+        document = schema_to_dict(scenario.schema)
+        rebuilt = schema_from_dict(document)
+        assert rebuilt.names == scenario.schema.names
+        assert rebuilt["validity"].is_date
+
+    def test_world_taxonomy_resolved_by_name(self, scenario):
+        document = schema_to_dict(scenario.schema)
+        assert document["dimensions"][1]["taxonomy"] == "world"
+        rebuilt = schema_from_dict(document)
+        assert rebuilt["region"].taxonomy is not None
+
+    def test_missing_dimensions_key(self):
+        with pytest.raises(SerializationError):
+            schema_from_dict({})
+
+    def test_malformed_dimension(self):
+        with pytest.raises(SerializationError):
+            schema_from_dict({"dimensions": [{"name": "x", "kind": "banana"}]})
+
+
+class TestLicenseRoundTrip:
+    def test_redistribution_round_trip(self, scenario):
+        original = scenario.pool[1]
+        document = license_to_dict(original, scenario.schema)
+        assert document["type"] == "redistribution"
+        rebuilt = license_from_dict(document, scenario.schema)
+        assert isinstance(rebuilt, RedistributionLicense)
+        assert rebuilt == original
+
+    def test_usage_round_trip(self, scenario):
+        original = scenario.usages[0]
+        document = license_to_dict(original, scenario.schema)
+        assert document["type"] == "usage"
+        rebuilt = license_from_dict(document, scenario.schema)
+        assert isinstance(rebuilt, UsageLicense)
+        assert rebuilt == original
+
+    def test_document_is_json_safe(self, scenario):
+        document = license_to_dict(scenario.pool[1], scenario.schema)
+        assert json.loads(json.dumps(document)) == document
+
+    def test_unknown_type_rejected(self, scenario):
+        document = license_to_dict(scenario.pool[1], scenario.schema)
+        document["type"] = "mystery"
+        with pytest.raises(SerializationError):
+            license_from_dict(document, scenario.schema)
+
+    def test_missing_field_rejected(self, scenario):
+        document = license_to_dict(scenario.pool[1], scenario.schema)
+        del document["constraints"]
+        with pytest.raises(SerializationError):
+            license_from_dict(document, scenario.schema)
+
+
+class TestPoolRoundTrip:
+    def test_pool_round_trip(self, scenario):
+        document = pool_to_dict(scenario.pool, scenario.schema)
+        pool, schema = pool_from_dict(document)
+        assert len(pool) == len(scenario.pool)
+        assert pool.aggregate_array() == scenario.pool.aggregate_array()
+        # Geometry survives: same containment behaviour.
+        assert pool.matching_indexes(scenario.usages[0]) == frozenset({1, 2})
+
+    def test_usage_in_pool_document_rejected(self, scenario):
+        document = pool_to_dict(scenario.pool, scenario.schema)
+        document["licenses"].append(
+            license_to_dict(scenario.usages[0], scenario.schema)
+        )
+        with pytest.raises(SerializationError):
+            pool_from_dict(document)
+
+    def test_string_round_trip(self, scenario):
+        text = dumps_pool(scenario.pool, scenario.schema)
+        pool, _schema = loads_pool(text)
+        assert len(pool) == 5
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SerializationError):
+            loads_pool("{not json")

@@ -1,0 +1,143 @@
+"""Unit tests for constraint schemas and dimension specs."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.geometry.discrete import DiscreteSet
+from repro.geometry.interval import Interval
+from repro.licenses.dates import to_ordinal
+from repro.licenses.regions import WORLD
+from repro.licenses.schema import ConstraintSchema, DimensionKind, DimensionSpec
+
+
+@pytest.fixture
+def schema():
+    return ConstraintSchema(
+        [
+            DimensionSpec.date("validity"),
+            DimensionSpec.region("region", taxonomy=WORLD),
+            DimensionSpec.numeric("resolution"),
+            DimensionSpec.categorical("device"),
+        ]
+    )
+
+
+class TestDimensionSpec:
+    def test_numeric(self):
+        spec = DimensionSpec.numeric("x")
+        assert spec.kind is DimensionKind.INTERVAL
+        assert not spec.is_date
+
+    def test_date(self):
+        spec = DimensionSpec.date("validity")
+        assert spec.is_date
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            DimensionSpec.numeric("not a name")
+
+    def test_date_must_be_interval(self):
+        with pytest.raises(SchemaError):
+            DimensionSpec("x", DimensionKind.DISCRETE, is_date=True)
+
+    def test_taxonomy_only_on_discrete(self):
+        with pytest.raises(SchemaError):
+            DimensionSpec("x", DimensionKind.INTERVAL, taxonomy=WORLD)
+
+    def test_interval_coercion_from_tuple(self):
+        assert DimensionSpec.numeric("x").to_extent((1, 5)) == Interval(1, 5)
+
+    def test_interval_coercion_from_point(self):
+        assert DimensionSpec.numeric("x").to_extent(3) == Interval(3, 3)
+
+    def test_interval_coercion_from_interval(self):
+        interval = Interval(1, 2)
+        assert DimensionSpec.numeric("x").to_extent(interval) == interval
+
+    def test_interval_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            DimensionSpec.numeric("x").to_extent((1, 2, 3))
+
+    def test_date_coercion(self):
+        extent = DimensionSpec.date("t").to_extent(("10/03/09", "20/03/09"))
+        assert extent == Interval(to_ordinal("10/03/09"), to_ordinal("20/03/09"))
+
+    def test_region_coercion_expands(self):
+        extent = DimensionSpec.region("r", WORLD).to_extent("asia")
+        assert extent.atoms == WORLD.leaves("asia")
+
+    def test_plain_categorical_no_expansion(self):
+        extent = DimensionSpec.categorical("d").to_extent(["tv", "phone"])
+        assert extent == DiscreteSet(["tv", "phone"])
+
+    def test_single_atom_categorical(self):
+        assert DimensionSpec.categorical("d").to_extent("tv") == DiscreteSet(["tv"])
+
+
+class TestConstraintSchema:
+    def test_len_and_names(self, schema):
+        assert len(schema) == 4
+        assert schema.names == ("validity", "region", "resolution", "device")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            ConstraintSchema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            ConstraintSchema([DimensionSpec.numeric("x"), DimensionSpec.numeric("x")])
+
+    def test_getitem(self, schema):
+        assert schema["validity"].is_date
+        with pytest.raises(SchemaError):
+            schema["missing"]
+
+    def test_box_builds_all_axes(self, schema):
+        box = schema.box(
+            validity=("10/03/09", "20/03/09"),
+            region=["asia"],
+            resolution=(480, 1080),
+            device=["tv"],
+        )
+        assert box.dimensions == 4
+        assert box.extent(2) == Interval(480, 1080)
+
+    def test_box_missing_dimension(self, schema):
+        with pytest.raises(SchemaError, match="missing"):
+            schema.box(validity=("10/03/09", "20/03/09"))
+
+    def test_box_unknown_dimension(self, schema):
+        with pytest.raises(SchemaError, match="unknown"):
+            schema.box(
+                validity=("10/03/09", "20/03/09"),
+                region=["asia"],
+                resolution=(480, 1080),
+                device=["tv"],
+                extra=1,
+            )
+
+    def test_describe_round_trip(self, schema):
+        constraints = {
+            "validity": ("10/03/09", "20/03/09"),
+            "region": ["india", "japan"],
+            "resolution": (480, 1080),
+            "device": ["tv"],
+        }
+        box = schema.box(**constraints)
+        described = schema.describe(box)
+        assert described["validity"] == ["10/03/09", "20/03/09"]
+        assert set(described["region"]) >= {"india", "japan"}
+        rebuilt = schema.box_from_mapping(described)
+        assert rebuilt == box
+
+    def test_describe_wrong_dimensionality(self, schema):
+        from repro.geometry.box import Box
+
+        with pytest.raises(SchemaError):
+            schema.describe(Box([Interval(0, 1)]))
+
+    def test_equality(self):
+        a = ConstraintSchema([DimensionSpec.numeric("x")])
+        b = ConstraintSchema([DimensionSpec.numeric("x")])
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,92 @@
+"""Property tests: JSON and XML license serialization round-trip exactly."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.box import Box
+from repro.geometry.discrete import DiscreteSet
+from repro.geometry.interval import Interval
+from repro.licenses.license import RedistributionLicense, UsageLicense
+from repro.licenses.permission import Permission
+from repro.licenses.rel import license_from_dict, license_to_dict
+from repro.licenses.schema import ConstraintSchema, DimensionSpec
+from repro.licenses.xml_rel import license_from_xml, license_to_xml
+
+
+@st.composite
+def schema_and_license(draw):
+    """A random mixed schema with a matching random license."""
+    dims = []
+    extents = []
+    n_dims = draw(st.integers(min_value=1, max_value=4))
+    for axis in range(n_dims):
+        kind = draw(st.sampled_from(["numeric", "categorical"]))
+        name = f"d{axis}"
+        if kind == "numeric":
+            dims.append(DimensionSpec.numeric(name))
+            low = draw(st.integers(min_value=-500, max_value=500))
+            extents.append(Interval(low, low + draw(st.integers(0, 200))))
+        else:
+            dims.append(DimensionSpec.categorical(name))
+            atoms = draw(
+                st.sets(
+                    st.text(
+                        alphabet="abcdefghij", min_size=1, max_size=6
+                    ),
+                    min_size=1,
+                    max_size=5,
+                )
+            )
+            extents.append(DiscreteSet(atoms))
+    schema = ConstraintSchema(dims)
+    box = Box(extents)
+    permission = draw(st.sampled_from(list(Permission)))
+    if draw(st.booleans()):
+        lic = RedistributionLicense(
+            license_id=draw(st.text(alphabet="LD0123456789", min_size=1, max_size=8)),
+            content_id="K",
+            permission=permission,
+            box=box,
+            aggregate=draw(st.integers(min_value=1, max_value=10**6)),
+        )
+    else:
+        lic = UsageLicense(
+            license_id=draw(st.text(alphabet="LU0123456789", min_size=1, max_size=8)),
+            content_id="K",
+            permission=permission,
+            box=box,
+            count=draw(st.integers(min_value=1, max_value=10**6)),
+        )
+    return schema, lic
+
+
+@settings(max_examples=80, deadline=None)
+@given(schema_and_license())
+def test_json_round_trip(data):
+    schema, lic = data
+    rebuilt = license_from_dict(license_to_dict(lic, schema), schema)
+    assert rebuilt == lic
+
+
+@settings(max_examples=80, deadline=None)
+@given(schema_and_license())
+def test_xml_round_trip(data):
+    schema, lic = data
+    rebuilt, _schema = license_from_xml(license_to_xml(lic, schema))
+    assert rebuilt.box == lic.box
+    assert rebuilt.license_id == lic.license_id
+    assert rebuilt.permission is lic.permission
+    if isinstance(lic, RedistributionLicense):
+        assert rebuilt.aggregate == lic.aggregate
+    else:
+        assert rebuilt.count == lic.count
+
+
+@settings(max_examples=60, deadline=None)
+@given(schema_and_license())
+def test_json_and_xml_agree_on_geometry(data):
+    """Both formats must reconstruct the exact same box (containment and
+    overlap behaviour is what validation depends on)."""
+    schema, lic = data
+    via_json = license_from_dict(license_to_dict(lic, schema), schema)
+    via_xml, _schema = license_from_xml(license_to_xml(lic, schema))
+    assert via_json.box == via_xml.box == lic.box

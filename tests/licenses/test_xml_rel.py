@@ -1,0 +1,151 @@
+"""Unit tests for the XML rights-expression layer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.licenses.license import RedistributionLicense, UsageLicense
+from repro.licenses.xml_rel import (
+    license_from_xml,
+    license_to_xml,
+    pool_from_xml,
+    pool_to_xml,
+)
+from repro.workloads.scenarios import example1, figure2_pool
+
+
+@pytest.fixture
+def scenario():
+    return example1()
+
+
+class TestLicenseRoundTrip:
+    def test_redistribution_round_trip(self, scenario):
+        original = scenario.pool[1]
+        element = license_to_xml(original, scenario.schema)
+        assert element.get("type") == "redistribution"
+        rebuilt, _schema = license_from_xml(element)
+        assert isinstance(rebuilt, RedistributionLicense)
+        assert rebuilt.license_id == original.license_id
+        assert rebuilt.aggregate == original.aggregate
+        assert rebuilt.box == original.box
+
+    def test_usage_round_trip(self, scenario):
+        original = scenario.usages[0]
+        element = license_to_xml(original, scenario.schema)
+        rebuilt, _schema = license_from_xml(element)
+        assert isinstance(rebuilt, UsageLicense)
+        assert rebuilt.count == original.count
+        assert rebuilt.box == original.box
+
+    def test_dates_serialized_human_readable(self, scenario):
+        element = license_to_xml(scenario.pool[1], scenario.schema)
+        text = ET.tostring(element, encoding="unicode")
+        assert "10/03/09" in text
+        assert "20/03/09" in text
+
+    def test_numeric_round_trip(self):
+        pool = figure2_pool()
+        from repro.licenses.schema import ConstraintSchema, DimensionSpec
+
+        schema = ConstraintSchema(
+            [DimensionSpec.numeric("x"), DimensionSpec.numeric("y")]
+        )
+        element = license_to_xml(pool[1], schema)
+        rebuilt, _schema = license_from_xml(element)
+        assert rebuilt.box == pool[1].box
+
+    def test_schema_cross_check(self, scenario):
+        element = license_to_xml(scenario.pool[1], scenario.schema)
+        # Matching declared schema passes (same names/kinds/date flags)...
+        rebuilt, schema = license_from_xml(element)
+        again, _schema = license_from_xml(element, schema)
+        assert again.box == rebuilt.box
+        # ...a different schema is rejected.
+        from repro.licenses.schema import ConstraintSchema, DimensionSpec
+
+        wrong = ConstraintSchema([DimensionSpec.numeric("other")])
+        with pytest.raises(SerializationError):
+            license_from_xml(element, wrong)
+
+
+class TestMalformedDocuments:
+    def test_wrong_root_tag(self):
+        with pytest.raises(SerializationError):
+            license_from_xml(ET.Element("permit"))
+
+    def test_license_without_constraints(self):
+        element = ET.Element(
+            "license",
+            {"type": "usage", "id": "x", "content": "K", "permission": "play"},
+        )
+        with pytest.raises(SerializationError):
+            license_from_xml(element)
+
+    def test_interval_missing_bounds(self, scenario):
+        element = license_to_xml(scenario.pool[1], scenario.schema)
+        constraint = element.find("constraint")
+        constraint.remove(constraint.find("high"))
+        with pytest.raises(SerializationError):
+            license_from_xml(element)
+
+    def test_unknown_license_type(self, scenario):
+        element = license_to_xml(scenario.pool[1], scenario.schema)
+        element.set("type", "mystery")
+        with pytest.raises(SerializationError):
+            license_from_xml(element)
+
+    def test_missing_aggregate(self, scenario):
+        element = license_to_xml(scenario.pool[1], scenario.schema)
+        element.remove(element.find("aggregate"))
+        with pytest.raises(SerializationError):
+            license_from_xml(element)
+
+    def test_bad_number(self):
+        element = ET.fromstring(
+            '<license type="usage" id="x" content="K" permission="play">'
+            '<constraint name="v" kind="interval"><low>abc</low><high>1</high>'
+            "</constraint><count>1</count></license>"
+        )
+        with pytest.raises(SerializationError):
+            license_from_xml(element)
+
+
+class TestPoolRoundTrip:
+    def test_pool_round_trip_preserves_validation(self, scenario):
+        from repro.core.validator import GroupedValidator
+        from repro.workloads.scenarios import example1_log
+
+        text = pool_to_xml(scenario.pool, scenario.schema)
+        pool, _schema = pool_from_xml(text)
+        assert len(pool) == 5
+        assert pool.aggregate_array() == scenario.pool.aggregate_array()
+        original = GroupedValidator.from_pool(scenario.pool)
+        reloaded = GroupedValidator.from_pool(pool)
+        assert original.structure == reloaded.structure
+        log = example1_log()
+        assert original.validate(log).is_valid == reloaded.validate(log).is_valid
+
+    def test_instance_matching_preserved(self, scenario):
+        text = pool_to_xml(scenario.pool, scenario.schema)
+        pool, _schema = pool_from_xml(text)
+        assert pool.matching_indexes(scenario.usages[0]) == frozenset({1, 2})
+
+    def test_invalid_xml_rejected(self):
+        with pytest.raises(SerializationError):
+            pool_from_xml("<pool><broken")
+
+    def test_wrong_root(self):
+        with pytest.raises(SerializationError):
+            pool_from_xml("<catalog/>")
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(SerializationError):
+            pool_from_xml("<pool/>")
+
+    def test_usage_inside_pool_rejected(self, scenario):
+        element = ET.fromstring(pool_to_xml(scenario.pool, scenario.schema))
+        element.append(license_to_xml(scenario.usages[0], scenario.schema))
+        with pytest.raises(SerializationError):
+            pool_from_xml(ET.tostring(element, encoding="unicode"))

@@ -1,0 +1,83 @@
+"""Unit + property tests for log compaction."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logstore.compaction import compact, compaction_ratio
+from repro.logstore.log import ValidationLog
+from repro.workloads.scenarios import example1_log
+
+
+class TestCompact:
+    def test_table2_compacts_to_distinct_sets(self):
+        log = example1_log()
+        compacted = compact(log)
+        assert len(compacted) == 5  # 6 records, 5 distinct sets
+        assert compacted.counts_by_set() == log.counts_by_set()
+        assert compacted.total_count == log.total_count
+
+    def test_empty_log(self):
+        compacted = compact(ValidationLog())
+        assert len(compacted) == 0
+        assert compaction_ratio(ValidationLog()) == 1.0
+
+    def test_deterministic_order(self):
+        log = ValidationLog()
+        log.record({3}, 1)
+        log.record({1, 2}, 2)
+        log.record({1}, 3)
+        compacted = compact(log)
+        assert [sorted(r.license_set) for r in compacted] == [[1], [1, 2], [3]]
+
+    def test_ratio(self):
+        log = ValidationLog()
+        for _ in range(10):
+            log.record({1}, 1)
+        assert compaction_ratio(log) == 10.0
+
+    def test_issued_ids_dropped(self):
+        log = ValidationLog()
+        log.record({1}, 5, "LU1")
+        assert compact(log)[0].issued_id is None
+
+
+class TestValidationInvariance:
+    def test_all_engines_unchanged_by_compaction(self):
+        from repro.validation.naive import ScanValidator
+        from repro.validation.tree import ValidationTree
+        from repro.validation.tree_validator import TreeValidator
+
+        aggregates = [2000, 1000, 3000, 4000, 2000]
+        log = example1_log()
+        compacted = compact(log)
+        original = TreeValidator(aggregates).validate(ValidationTree.from_log(log))
+        after = TreeValidator(aggregates).validate(
+            ValidationTree.from_log(compacted)
+        )
+        assert original.violations == after.violations
+        assert (
+            ScanValidator(aggregates).validate_log(log).violations
+            == ScanValidator(aggregates).validate_log(compacted).violations
+        )
+
+
+@st.composite
+def random_logs(draw):
+    log = ValidationLog()
+    for _ in range(draw(st.integers(min_value=0, max_value=30))):
+        members = draw(
+            st.sets(st.integers(min_value=1, max_value=6), min_size=1, max_size=4)
+        )
+        log.record(members, draw(st.integers(min_value=1, max_value=50)))
+    return log
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_logs())
+def test_compaction_preserves_aggregates(log):
+    compacted = compact(log)
+    assert compacted.counts_by_set() == log.counts_by_set()
+    assert compacted.counts_by_mask() == log.counts_by_mask()
+    assert len(compacted) == log.distinct_sets
+    # Compacting twice is a fixed point.
+    assert compact(compacted).counts_by_set() == compacted.counts_by_set()
+    assert len(compact(compacted)) == len(compacted)

@@ -1,0 +1,59 @@
+"""Unit tests for log persistence (JSON Lines)."""
+
+import io
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.logstore.io import dump_log, load_log, read_records, write_records
+from repro.logstore.log import ValidationLog
+from repro.logstore.record import LogRecord
+from repro.workloads.scenarios import example1_log
+
+
+class TestStreams:
+    def test_write_then_read(self):
+        records = [
+            LogRecord(frozenset({1, 2}), 800, "LU1"),
+            LogRecord(frozenset({2}), 400),
+        ]
+        buffer = io.StringIO()
+        assert write_records(records, buffer) == 2
+        buffer.seek(0)
+        loaded = list(read_records(buffer))
+        assert loaded == records
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO('{"set": [1], "count": 5}\n\n\n')
+        assert len(list(read_records(buffer))) == 1
+
+    def test_malformed_json_rejected(self):
+        buffer = io.StringIO("{broken\n")
+        with pytest.raises(SerializationError, match="line 1"):
+            list(read_records(buffer))
+
+    def test_missing_field_rejected(self):
+        buffer = io.StringIO('{"set": [1]}\n')
+        with pytest.raises(SerializationError):
+            list(read_records(buffer))
+
+    def test_invalid_count_rejected(self):
+        buffer = io.StringIO('{"set": [1], "count": 0}\n')
+        with pytest.raises(SerializationError):
+            list(read_records(buffer))
+
+
+class TestFiles:
+    def test_dump_and_load_round_trip(self, tmp_path):
+        log = example1_log()
+        path = tmp_path / "log.jsonl"
+        assert dump_log(log, path) == 6
+        loaded = load_log(path)
+        assert len(loaded) == 6
+        assert loaded.counts_by_set() == log.counts_by_set()
+        assert loaded[0].issued_id == "LU1"
+
+    def test_empty_log_round_trip(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        dump_log(ValidationLog(), path)
+        assert len(load_log(path)) == 0

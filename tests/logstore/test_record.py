@@ -1,0 +1,78 @@
+"""Unit tests for log records and the mask encoding."""
+
+import pytest
+
+from repro.errors import LogError
+from repro.logstore.record import LogRecord, mask_of, set_of
+
+
+class TestMaskEncoding:
+    def test_mask_of_singleton(self):
+        assert mask_of({1}) == 0b1
+        assert mask_of({3}) == 0b100
+
+    def test_mask_of_set(self):
+        assert mask_of({1, 2, 4}) == 0b1011
+
+    def test_mask_of_empty(self):
+        assert mask_of(set()) == 0
+
+    def test_mask_rejects_zero_index(self):
+        with pytest.raises(LogError):
+            mask_of({0, 1})
+
+    def test_set_of_round_trip(self):
+        for mask in (0b1, 0b1011, 0b11111, 0):
+            assert mask_of(set_of(mask)) == mask
+
+    def test_set_of_negative_rejected(self):
+        with pytest.raises(LogError):
+            set_of(-1)
+
+
+class TestLogRecord:
+    def test_construction(self):
+        record = LogRecord(frozenset({1, 2}), 800, "LU1")
+        assert record.count == 800
+        assert record.issued_id == "LU1"
+
+    def test_set_is_coerced_to_frozenset(self):
+        record = LogRecord({2, 1}, 5)  # type: ignore[arg-type]
+        assert isinstance(record.license_set, frozenset)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(LogError):
+            LogRecord(frozenset(), 5)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(LogError):
+            LogRecord(frozenset({1}), 0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(LogError):
+            LogRecord(frozenset({1}), -5)
+
+    def test_non_int_count_rejected(self):
+        with pytest.raises(LogError):
+            LogRecord(frozenset({1}), 1.5)  # type: ignore[arg-type]
+
+    def test_bool_count_rejected(self):
+        with pytest.raises(LogError):
+            LogRecord(frozenset({1}), True)
+
+    def test_zero_index_rejected(self):
+        with pytest.raises(LogError):
+            LogRecord(frozenset({0, 1}), 5)
+
+    def test_non_int_index_rejected(self):
+        with pytest.raises(LogError):
+            LogRecord(frozenset({"1"}), 5)  # type: ignore[arg-type]
+
+    def test_mask_property(self):
+        assert LogRecord(frozenset({1, 2, 4}), 1).mask == 0b1011
+
+    def test_sorted_indexes(self):
+        assert LogRecord(frozenset({4, 1, 2}), 1).sorted_indexes == (1, 2, 4)
+
+    def test_str(self):
+        assert "LD1" in str(LogRecord(frozenset({1}), 5))

@@ -1,0 +1,86 @@
+"""Unit tests for the vectorized indexed matcher."""
+
+import pytest
+
+from repro.errors import DimensionMismatchError
+from repro.licenses.license import LicenseFactory
+from repro.licenses.pool import LicensePool
+from repro.licenses.regions import WORLD
+from repro.licenses.schema import ConstraintSchema, DimensionSpec
+from repro.matching.index import IndexedMatcher
+from repro.matching.matcher import BruteForceMatcher
+from repro.workloads.scenarios import example1, figure2_pool, figure2_usages
+
+
+class TestAgainstExamples:
+    def test_example1_match_sets(self):
+        scenario = example1()
+        matcher = IndexedMatcher(scenario.pool)
+        assert matcher.match(scenario.usages[0]) == frozenset({1, 2})
+        assert matcher.match(scenario.usages[1]) == frozenset({2})
+
+    def test_figure2_match_sets(self):
+        matcher = IndexedMatcher(figure2_pool())
+        usages = figure2_usages()
+        assert matcher.match(usages[0]) == frozenset({4})
+        assert matcher.match(usages[1]) == frozenset()
+
+    def test_agrees_with_brute_force_on_example1(self):
+        scenario = example1()
+        indexed = IndexedMatcher(scenario.pool)
+        brute = BruteForceMatcher(scenario.pool)
+        for usage in scenario.usages:
+            assert indexed.match(usage) == brute.match(usage)
+
+
+class TestEdgeCases:
+    def test_empty_pool(self):
+        scenario = example1()
+        matcher = IndexedMatcher(LicensePool())
+        assert matcher.match(scenario.usages[0]) == frozenset()
+
+    def test_scope_mismatch_returns_empty(self):
+        scenario = example1()
+        matcher = IndexedMatcher(scenario.pool)
+        other = LicenseFactory(scenario.schema, content_id="OTHER", permission="play")
+        foreign = other.usage(
+            "LU", count=1, validity=("16/03/09", "17/03/09"), region=["india"]
+        )
+        assert matcher.match(foreign) == frozenset()
+
+    def test_unknown_atom_returns_empty(self):
+        # A region no pool license allows at all short-circuits to empty.
+        scenario = example1()
+        matcher = IndexedMatcher(scenario.pool)
+        factory = LicenseFactory(scenario.schema, content_id="K", permission="play")
+        usage = factory.usage(
+            "LU", count=1, validity=("16/03/09", "17/03/09"), region=["australia"]
+        )
+        assert matcher.match(usage) == frozenset()
+
+    def test_dimension_mismatch_raises(self):
+        scenario = example1()
+        matcher = IndexedMatcher(scenario.pool)
+        one_dim = ConstraintSchema([DimensionSpec.numeric("x")])
+        factory = LicenseFactory(one_dim, content_id="K", permission="play")
+        with pytest.raises(DimensionMismatchError):
+            matcher.match(factory.usage("LU", count=1, x=(0, 1)))
+
+    def test_is_instance_valid(self):
+        scenario = example1()
+        matcher = IndexedMatcher(scenario.pool)
+        assert matcher.is_instance_valid(scenario.usages[0])
+
+    def test_discrete_superset_required(self):
+        # Usage region {india, france} needs a license allowing BOTH.
+        scenario = example1()
+        matcher = IndexedMatcher(scenario.pool)
+        factory = LicenseFactory(scenario.schema, content_id="K", permission="play")
+        usage = factory.usage(
+            "LU",
+            count=1,
+            validity=("16/03/09", "17/03/09"),
+            region=["india", "france"],
+        )
+        # Only L_D^1 ([Asia, Europe]) allows both leaves.
+        assert matcher.match(usage) == frozenset({1})

@@ -1,0 +1,48 @@
+"""Unit tests for the brute-force instance matcher."""
+
+import pytest
+
+from repro.matching.matcher import BruteForceMatcher
+from repro.workloads.scenarios import example1, figure2_pool, figure2_usages
+
+
+@pytest.fixture
+def scenario():
+    return example1()
+
+
+class TestExample1:
+    def test_lu1_matches_ld1_and_ld2(self, scenario):
+        # Paper: L_U^1 satisfies all instance constraints of L_D^1, L_D^2.
+        matcher = BruteForceMatcher(scenario.pool)
+        assert matcher.match(scenario.usages[0]) == frozenset({1, 2})
+
+    def test_lu2_matches_only_ld2(self, scenario):
+        # Paper: L_U^2 satisfies the instance constraints only of L_D^2.
+        matcher = BruteForceMatcher(scenario.pool)
+        assert matcher.match(scenario.usages[1]) == frozenset({2})
+
+    def test_instance_valid_flags(self, scenario):
+        matcher = BruteForceMatcher(scenario.pool)
+        assert matcher.is_instance_valid(scenario.usages[0])
+        assert matcher.is_instance_valid(scenario.usages[1])
+
+    def test_pool_accessor(self, scenario):
+        assert BruteForceMatcher(scenario.pool).pool is scenario.pool
+
+
+class TestFigure2:
+    def test_lu1_inside_ld4_only(self):
+        # Paper Figure 2: the hyper-rectangle of L_U^1 is completely
+        # within L_D^4 only.
+        matcher = BruteForceMatcher(figure2_pool())
+        usages = figure2_usages()
+        assert matcher.match(usages[0]) == frozenset({4})
+
+    def test_lu2_inside_nothing(self):
+        # Paper Figure 2: L_U^2 is not completely within any license and
+        # is therefore invalid.
+        matcher = BruteForceMatcher(figure2_pool())
+        usages = figure2_usages()
+        assert matcher.match(usages[1]) == frozenset()
+        assert not matcher.is_instance_valid(usages[1])

@@ -1,0 +1,79 @@
+"""Property tests: the two matchers agree on randomized pools/queries."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.box import Box
+from repro.geometry.interval import Interval
+from repro.licenses.license import RedistributionLicense, UsageLicense
+from repro.licenses.permission import Permission
+from repro.licenses.pool import LicensePool
+from repro.matching.index import IndexedMatcher
+from repro.matching.matcher import BruteForceMatcher
+
+
+@st.composite
+def interval_boxes(draw, dims):
+    extents = []
+    for _ in range(dims):
+        low = draw(st.integers(min_value=0, max_value=60))
+        length = draw(st.integers(min_value=0, max_value=40))
+        extents.append(Interval(low, low + length))
+    return Box(extents)
+
+
+@st.composite
+def pools_and_queries(draw):
+    dims = draw(st.integers(min_value=1, max_value=3))
+    n = draw(st.integers(min_value=1, max_value=10))
+    pool = LicensePool()
+    for serial in range(1, n + 1):
+        pool.add(
+            RedistributionLicense(
+                license_id=f"LD{serial}",
+                content_id="K",
+                permission=Permission.PLAY,
+                box=draw(interval_boxes(dims)),
+                aggregate=100,
+            )
+        )
+    queries = [
+        UsageLicense(
+            license_id=f"LU{i}",
+            content_id="K",
+            permission=Permission.PLAY,
+            box=draw(interval_boxes(dims)),
+            count=1,
+        )
+        for i in range(draw(st.integers(min_value=1, max_value=5)))
+    ]
+    return pool, queries
+
+
+@settings(max_examples=60, deadline=None)
+@given(pools_and_queries())
+def test_all_matchers_agree(pool_and_queries):
+    from repro.matching.sorted_index import SortedCandidateMatcher
+
+    pool, queries = pool_and_queries
+    indexed = IndexedMatcher(pool)
+    brute = BruteForceMatcher(pool)
+    pruned = SortedCandidateMatcher(pool)
+    for usage in queries:
+        expected = brute.match(usage)
+        assert indexed.match(usage) == expected
+        assert pruned.match(usage) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(pools_and_queries())
+def test_match_set_is_mutually_overlapping(pool_and_queries):
+    """Licenses of a match set all contain the query box, hence they all
+    pairwise overlap -- the clique property behind Corollary 1.1 (a match
+    set can never span two disconnected groups)."""
+    pool, queries = pool_and_queries
+    matcher = BruteForceMatcher(pool)
+    for usage in queries:
+        matched = sorted(matcher.match(usage))
+        for position, i in enumerate(matched):
+            for j in matched[position + 1:]:
+                assert pool[i].box.overlaps(pool[j].box)

@@ -1,0 +1,85 @@
+"""Matching over mixed interval/discrete pools: all three matchers agree
+and reject kind-mismatched queries consistently."""
+
+import pytest
+
+from repro.errors import DimensionMismatchError
+from repro.geometry.box import Box
+from repro.geometry.discrete import DiscreteSet
+from repro.geometry.interval import Interval
+from repro.licenses.license import LicenseFactory, UsageLicense
+from repro.licenses.permission import Permission
+from repro.licenses.pool import LicensePool
+from repro.licenses.schema import ConstraintSchema, DimensionSpec
+from repro.matching.index import IndexedMatcher
+from repro.matching.matcher import BruteForceMatcher
+from repro.matching.sorted_index import SortedCandidateMatcher
+
+
+@pytest.fixture
+def mixed_pool():
+    schema = ConstraintSchema(
+        [DimensionSpec.numeric("window"), DimensionSpec.categorical("device")]
+    )
+    factory = LicenseFactory(schema, "K", "play")
+    pool = LicensePool(
+        [
+            factory.redistribution(
+                "a", aggregate=10, window=(0, 50), device=["tv", "phone"]
+            ),
+            factory.redistribution(
+                "b", aggregate=10, window=(25, 100), device=["phone"]
+            ),
+            factory.redistribution(
+                "c", aggregate=10, window=(0, 100), device=["tv"]
+            ),
+        ]
+    )
+    return schema, factory, pool
+
+
+ALL_MATCHERS = [BruteForceMatcher, IndexedMatcher, SortedCandidateMatcher]
+
+
+@pytest.mark.parametrize("matcher_cls", ALL_MATCHERS)
+class TestMixedAxes:
+    def test_interval_and_discrete_both_constrain(self, mixed_pool, matcher_cls):
+        _schema, factory, pool = mixed_pool
+        matcher = matcher_cls(pool)
+        # window (30, 40) fits a, b, c; device phone fits a, b.
+        phone = factory.usage("u1", count=1, window=(30, 40), device=["phone"])
+        assert matcher.match(phone) == frozenset({1, 2})
+        # device tv fits a, c.
+        tv = factory.usage("u2", count=1, window=(30, 40), device=["tv"])
+        assert matcher.match(tv) == frozenset({1, 3})
+
+    def test_multi_atom_query_needs_superset(self, mixed_pool, matcher_cls):
+        _schema, factory, pool = mixed_pool
+        matcher = matcher_cls(pool)
+        both = factory.usage(
+            "u", count=1, window=(30, 40), device=["tv", "phone"]
+        )
+        assert matcher.match(both) == frozenset({1})
+
+    def test_unknown_device_matches_nothing(self, mixed_pool, matcher_cls):
+        _schema, factory, pool = mixed_pool
+        matcher = matcher_cls(pool)
+        vr = factory.usage("u", count=1, window=(30, 40), device=["vr-headset"])
+        assert matcher.match(vr) == frozenset()
+
+
+@pytest.mark.parametrize("matcher_cls", [IndexedMatcher, SortedCandidateMatcher])
+class TestKindMismatch:
+    def test_swapped_axis_kinds_raise(self, mixed_pool, matcher_cls):
+        _schema, _factory, pool = mixed_pool
+        matcher = matcher_cls(pool)
+        # Same dimensionality, wrong extent kinds (interval <-> discrete).
+        swapped = UsageLicense(
+            license_id="u",
+            content_id="K",
+            permission=Permission.PLAY,
+            box=Box([DiscreteSet({"tv"}), Interval(0, 1)]),
+            count=1,
+        )
+        with pytest.raises(DimensionMismatchError):
+            matcher.match(swapped)

@@ -1,0 +1,84 @@
+"""Unit tests for the sorted-candidate (selectivity-pruning) matcher."""
+
+import pytest
+
+from repro.errors import DimensionMismatchError
+from repro.licenses.license import LicenseFactory
+from repro.licenses.pool import LicensePool
+from repro.licenses.schema import ConstraintSchema, DimensionSpec
+from repro.matching.matcher import BruteForceMatcher
+from repro.matching.sorted_index import SortedCandidateMatcher
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.scenarios import example1, figure2_pool, figure2_usages
+
+
+class TestAgainstExamples:
+    def test_example1(self):
+        scenario = example1()
+        matcher = SortedCandidateMatcher(scenario.pool)
+        assert matcher.match(scenario.usages[0]) == frozenset({1, 2})
+        assert matcher.match(scenario.usages[1]) == frozenset({2})
+
+    def test_figure2(self):
+        matcher = SortedCandidateMatcher(figure2_pool())
+        usages = figure2_usages()
+        assert matcher.match(usages[0]) == frozenset({4})
+        assert matcher.match(usages[1]) == frozenset()
+        assert not matcher.is_instance_valid(usages[1])
+
+
+class TestEdgeCases:
+    def test_empty_pool(self):
+        scenario = example1()
+        assert SortedCandidateMatcher(LicensePool()).match(
+            scenario.usages[0]
+        ) == frozenset()
+
+    def test_scope_mismatch(self):
+        scenario = example1()
+        matcher = SortedCandidateMatcher(scenario.pool)
+        other = LicenseFactory(scenario.schema, content_id="OTHER", permission="play")
+        foreign = other.usage(
+            "LU", count=1, validity=("16/03/09", "17/03/09"), region=["india"]
+        )
+        assert matcher.match(foreign) == frozenset()
+
+    def test_unknown_atom_short_circuits(self):
+        scenario = example1()
+        matcher = SortedCandidateMatcher(scenario.pool)
+        factory = LicenseFactory(scenario.schema, content_id="K", permission="play")
+        usage = factory.usage(
+            "LU", count=1, validity=("16/03/09", "17/03/09"), region=["fiji"]
+        )
+        assert matcher.match(usage) == frozenset()
+
+    def test_dimension_mismatch(self):
+        scenario = example1()
+        matcher = SortedCandidateMatcher(scenario.pool)
+        one_dim = ConstraintSchema([DimensionSpec.numeric("x")])
+        factory = LicenseFactory(one_dim, content_id="K", permission="play")
+        with pytest.raises(DimensionMismatchError):
+            matcher.match(factory.usage("LU", count=1, x=(0, 1)))
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agrees_on_generated_workloads(self, seed):
+        config = WorkloadConfig(n_licenses=14, seed=seed, n_records=0)
+        generator = WorkloadGenerator(config)
+        pool = generator.generate_pool()
+        brute = BruteForceMatcher(pool)
+        pruned = SortedCandidateMatcher(pool)
+        for usage in generator.issue_stream(pool, 60):
+            assert pruned.match(usage) == brute.match(usage)
+
+    def test_query_outside_every_interval(self):
+        schema = ConstraintSchema([DimensionSpec.numeric("x")])
+        factory = LicenseFactory(schema, "K", "play")
+        pool = LicensePool(
+            [factory.redistribution("a", aggregate=1, x=(0, 10))]
+        )
+        matcher = SortedCandidateMatcher(pool)
+        assert matcher.match(factory.usage("u", count=1, x=(20, 30))) == frozenset()
+        assert matcher.match(factory.usage("u2", count=1, x=(-5, 5))) == frozenset()

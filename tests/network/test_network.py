@@ -1,0 +1,141 @@
+"""Unit tests for the multi-level distribution network."""
+
+import pytest
+
+from repro.errors import LicenseError, ValidationError
+from repro.licenses.license import LicenseFactory
+from repro.licenses.schema import ConstraintSchema, DimensionSpec
+from repro.network.network import DistributionNetwork
+
+
+@pytest.fixture
+def factory():
+    schema = ConstraintSchema(
+        [DimensionSpec.numeric("window"), DimensionSpec.numeric("zone")]
+    )
+    return LicenseFactory(schema, content_id="K", permission="play")
+
+
+@pytest.fixture
+def network(factory):
+    network = DistributionNetwork()
+    network.add_distributor("emea")
+    network.add_distributor("emea-south", parent="emea")
+    network.grant(
+        "emea",
+        factory.redistribution("root", aggregate=1000, window=(0, 100), zone=(0, 100)),
+    )
+    return network
+
+
+class TestTopology:
+    def test_membership(self, network):
+        assert "emea" in network
+        assert "apac" not in network
+        assert len(network) == 2
+
+    def test_parent_of(self, network):
+        assert network.parent_of("emea") == "owner"
+        assert network.parent_of("emea-south") == "emea"
+
+    def test_reserved_owner_name(self):
+        with pytest.raises(LicenseError):
+            DistributionNetwork().add_distributor("owner")
+
+    def test_duplicate_name_rejected(self, network):
+        with pytest.raises(LicenseError):
+            network.add_distributor("emea")
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(LicenseError):
+            DistributionNetwork().add_distributor("x", parent="ghost")
+
+    def test_unknown_node_lookup(self, network):
+        with pytest.raises(LicenseError):
+            network.node("ghost")
+
+
+class TestGrants:
+    def test_grant_records_delivery(self, network):
+        assert ("owner", "emea", "root") in network.deliveries
+
+    def test_grant_to_non_top_level_rejected(self, network, factory):
+        lic = factory.redistribution("x", aggregate=10, window=(0, 1), zone=(0, 1))
+        with pytest.raises(ValidationError):
+            network.grant("emea-south", lic)
+
+
+class TestRedistribution:
+    def test_valid_flow_down(self, network, factory):
+        sub = factory.redistribution(
+            "sub", aggregate=400, window=(10, 60), zone=(10, 60)
+        )
+        outcome = network.redistribute("emea", "emea-south", sub)
+        assert outcome.accepted
+        assert len(network.node("emea-south").pool) == 1
+        assert ("emea", "emea-south", "sub") in network.deliveries
+
+    def test_rejected_license_not_delivered(self, network, factory):
+        escaping = factory.redistribution(
+            "bad", aggregate=400, window=(50, 150), zone=(0, 50)
+        )
+        outcome = network.redistribute("emea", "emea-south", escaping)
+        assert not outcome.accepted
+        assert len(network.node("emea-south").pool) == 0
+
+    def test_redistribute_to_non_child_rejected(self, network, factory):
+        network.add_distributor("apac")
+        lic = factory.redistribution("x", aggregate=10, window=(0, 1), zone=(0, 1))
+        with pytest.raises(ValidationError):
+            network.redistribute("emea", "apac", lic)
+
+    def test_capacity_propagates_down_the_tree(self, network, factory):
+        """The chain owner -> emea -> emea-south enforces nested budgets."""
+        sub = factory.redistribution(
+            "sub", aggregate=400, window=(10, 60), zone=(10, 60)
+        )
+        assert network.redistribute("emea", "emea-south", sub).accepted
+        # emea-south can sell at most 400 counts within (10..60)^2.
+        big = factory.usage("u1", count=401, window=(20, 30), zone=(20, 30))
+        assert not network.sell("emea-south", big).accepted
+        ok = factory.usage("u2", count=400, window=(20, 30), zone=(20, 30))
+        assert network.sell("emea-south", ok).accepted
+        # And emea has 600 left.
+        remaining = factory.usage("u3", count=601, window=(0, 9), zone=(0, 9))
+        assert not network.sell("emea", remaining).accepted
+
+
+class TestAudit:
+    def test_audit_all(self, network, factory):
+        sub = factory.redistribution(
+            "sub", aggregate=300, window=(10, 60), zone=(10, 60)
+        )
+        network.redistribute("emea", "emea-south", sub)
+        network.sell(
+            "emea-south",
+            factory.usage("u1", count=50, window=(20, 30), zone=(20, 30)),
+        )
+        network.add_distributor("apac")  # empty pool
+        results = network.audit_all()
+        assert results["emea"].is_valid
+        assert results["emea-south"].is_valid
+        assert results["apac"] is None
+
+    def test_validated_network_has_no_violations_ever(self, network, factory):
+        """Because every issuance is headroom-gated, offline audits can
+        never find violations -- the end-to-end soundness property."""
+        import random
+
+        rng = random.Random(7)
+        for serial in range(60):
+            low = rng.randint(0, 80)
+            size = rng.randint(1, 15)
+            usage = factory.usage(
+                f"s{serial}",
+                count=rng.randint(1, 60),
+                window=(low, low + size),
+                zone=(low, low + size),
+            )
+            network.sell("emea", usage)
+        report = network.node("emea").audit()
+        assert report.is_valid

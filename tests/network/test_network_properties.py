@@ -1,0 +1,109 @@
+"""Property tests for the distribution network.
+
+The soundness claim: because every license generation is headroom-gated,
+*no sequence of operations* can drive any node's log into violation.
+Hypothesis generates random topologies and traffic to attack that claim.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.licenses.license import LicenseFactory
+from repro.licenses.schema import ConstraintSchema, DimensionSpec
+from repro.network.network import DistributionNetwork
+
+_SCHEMA = ConstraintSchema(
+    [DimensionSpec.numeric("window"), DimensionSpec.numeric("zone")]
+)
+
+
+@st.composite
+def network_scripts(draw):
+    """A random two-level network plus a random operation script."""
+    factory = LicenseFactory(_SCHEMA, content_id="K", permission="play")
+    n_top = draw(st.integers(min_value=1, max_value=3))
+    n_sub = draw(st.integers(min_value=0, max_value=3))
+    operations = []
+    for serial in range(draw(st.integers(min_value=0, max_value=25))):
+        low = draw(st.integers(min_value=0, max_value=80))
+        size = draw(st.integers(min_value=0, max_value=20))
+        kind = draw(st.sampled_from(["sell", "redistribute"]))
+        operations.append(
+            (
+                kind,
+                serial,
+                (low, low + size),
+                draw(st.integers(min_value=1, max_value=120)),
+            )
+        )
+    return factory, n_top, n_sub, operations
+
+
+@settings(max_examples=40, deadline=None)
+@given(network_scripts())
+def test_audits_never_fail_after_any_script(script):
+    factory, n_top, n_sub, operations = script
+    network = DistributionNetwork()
+    tops = [f"top{i}" for i in range(n_top)]
+    subs = []
+    for name in tops:
+        network.add_distributor(name)
+        network.grant(
+            name,
+            factory.redistribution(
+                f"grant-{name}", aggregate=500, window=(0, 100), zone=(0, 100)
+            ),
+        )
+    for i in range(n_sub):
+        parent = tops[i % n_top]
+        name = f"sub{i}"
+        network.add_distributor(name, parent=parent)
+        subs.append((name, parent))
+
+    accepted = rejected = 0
+    for kind, serial, window, counts in operations:
+        seller = tops[serial % n_top]
+        if kind == "sell" or not subs:
+            usage = factory.usage(
+                f"u{serial}", count=counts, window=window, zone=window
+            )
+            outcome = network.sell(seller, usage)
+        else:
+            sub_name, parent = subs[serial % len(subs)]
+            lic = factory.redistribution(
+                f"r{serial}", aggregate=counts, window=window, zone=window
+            )
+            outcome = network.redistribute(parent, sub_name, lic)
+        accepted += outcome.accepted
+        rejected += not outcome.accepted
+
+    # THE invariant: every node's offline audit passes, always.
+    for name, report in network.audit_all().items():
+        assert report is None or report.is_valid, f"node {name} violated"
+
+    # Accounting sanity: accepted counts never exceed granted capacity.
+    for name in tops:
+        node = network.node(name)
+        assert node.log.total_count <= sum(node.pool.aggregate_array())
+
+
+@settings(max_examples=30, deadline=None)
+@given(network_scripts())
+def test_rejections_are_justified(script):
+    """An 'aggregate' rejection means the count genuinely exceeded the
+    current headroom for its match set -- never a spurious refusal."""
+    factory, n_top, _n_sub, operations = script
+    network = DistributionNetwork()
+    network.add_distributor("d")
+    network.grant(
+        "d",
+        factory.redistribution(
+            "grant", aggregate=300, window=(0, 100), zone=(0, 100)
+        ),
+    )
+    node = network.node("d")
+    for _kind, serial, window, counts in operations:
+        usage = factory.usage(f"u{serial}", count=counts, window=window, zone=window)
+        outcome = network.sell("d", usage)
+        if not outcome.accepted and outcome.rejection_reason == "aggregate":
+            slack = node.validator().headroom(node.log, outcome.license_set)
+            assert slack < counts

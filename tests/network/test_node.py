@@ -1,0 +1,124 @@
+"""Unit tests for distributor nodes."""
+
+import pytest
+
+from repro.errors import LicenseError, ValidationError
+from repro.licenses.license import LicenseFactory
+from repro.licenses.schema import ConstraintSchema, DimensionSpec
+from repro.network.node import DistributorNode
+
+
+@pytest.fixture
+def factory():
+    schema = ConstraintSchema(
+        [DimensionSpec.numeric("window"), DimensionSpec.numeric("zone")]
+    )
+    return LicenseFactory(schema, content_id="K", permission="play")
+
+
+@pytest.fixture
+def node(factory):
+    node = DistributorNode("emea")
+    node.receive(
+        factory.redistribution("root", aggregate=1000, window=(0, 100), zone=(0, 100))
+    )
+    return node
+
+
+class TestConstruction:
+    def test_empty_name_rejected(self):
+        with pytest.raises(LicenseError):
+            DistributorNode("")
+
+    def test_validator_requires_pool(self):
+        with pytest.raises(ValidationError):
+            DistributorNode("x").validator()
+
+
+class TestUsageIssuance:
+    def test_accept_within_constraints(self, node, factory):
+        usage = factory.usage("u1", count=100, window=(10, 20), zone=(10, 20))
+        outcome = node.issue_usage(usage)
+        assert outcome.accepted
+        assert outcome.license_set == (1,)
+        assert node.log.total_count == 100
+
+    def test_instance_reject_outside_box(self, node, factory):
+        usage = factory.usage("u1", count=10, window=(90, 110), zone=(0, 10))
+        outcome = node.issue_usage(usage)
+        assert not outcome.accepted
+        assert outcome.rejection_reason == "instance"
+        assert len(node.log) == 0
+
+    def test_aggregate_reject_over_capacity(self, node, factory):
+        first = factory.usage("u1", count=900, window=(0, 50), zone=(0, 50))
+        second = factory.usage("u2", count=200, window=(0, 50), zone=(0, 50))
+        assert node.issue_usage(first).accepted
+        outcome = node.issue_usage(second)
+        assert not outcome.accepted
+        assert outcome.rejection_reason == "aggregate"
+
+    def test_exact_capacity_boundary(self, node, factory):
+        usage = factory.usage("u1", count=1000, window=(0, 50), zone=(0, 50))
+        assert node.issue_usage(usage).accepted
+        refill = factory.usage("u2", count=1, window=(0, 50), zone=(0, 50))
+        assert not node.issue_usage(refill).accepted
+
+
+class TestRedistributionIssuance:
+    def test_sub_license_consumes_its_aggregate(self, node, factory):
+        sub = factory.redistribution(
+            "sub1", aggregate=600, window=(0, 50), zone=(0, 50)
+        )
+        outcome = node.issue_redistribution(sub)
+        assert outcome.accepted
+        assert outcome.counts == 600
+        # Only 400 counts left for anything matching {1}.
+        usage = factory.usage("u1", count=500, window=(0, 10), zone=(0, 10))
+        assert not node.issue_usage(usage).accepted
+
+    def test_sub_license_instance_constraints_enforced(self, node, factory):
+        escaping = factory.redistribution(
+            "sub1", aggregate=10, window=(50, 150), zone=(0, 50)
+        )
+        outcome = node.issue_redistribution(escaping)
+        assert not outcome.accepted
+        assert outcome.rejection_reason == "instance"
+
+
+class TestMultiLicenseNode:
+    def test_flexible_charging_across_received_licenses(self, factory):
+        node = DistributorNode("apac")
+        node.receive(
+            factory.redistribution("a", aggregate=100, window=(0, 60), zone=(0, 60))
+        )
+        node.receive(
+            factory.redistribution("b", aggregate=50, window=(40, 100), zone=(40, 100))
+        )
+        # Matches both licenses (within the overlap region).
+        both = factory.usage("u1", count=120, window=(45, 55), zone=(45, 55))
+        assert node.issue_usage(both).accepted  # 120 <= 150 combined
+        only_b = factory.usage("u2", count=30, window=(70, 90), zone=(70, 90))
+        # 120 can route 100->a + 20->b, leaving 30 in b: accepted.
+        assert node.issue_usage(only_b).accepted
+        # Now b is full: 120 routed as 100a+20b plus 30b = 50b.
+        more_b = factory.usage("u3", count=1, window=(70, 90), zone=(70, 90))
+        assert not node.issue_usage(more_b).accepted
+
+    def test_receive_invalidates_validator_cache(self, factory):
+        node = DistributorNode("apac")
+        node.receive(
+            factory.redistribution("a", aggregate=100, window=(0, 60), zone=(0, 60))
+        )
+        assert node.validator().n == 1
+        node.receive(
+            factory.redistribution("b", aggregate=50, window=(40, 100), zone=(40, 100))
+        )
+        assert node.validator().n == 2
+
+
+class TestAudit:
+    def test_audit_clean_node(self, node, factory):
+        node.issue_usage(factory.usage("u1", count=10, window=(0, 5), zone=(0, 5)))
+        report = node.audit()
+        assert report.is_valid

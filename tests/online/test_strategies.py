@@ -1,0 +1,92 @@
+"""Unit tests for online selection strategies."""
+
+from repro.online.strategies import (
+    BestFit,
+    FirstFit,
+    GreedyMaxRemaining,
+    LastFit,
+    RandomPick,
+)
+
+REMAINING = {1: 100, 2: 50, 3: 75}
+
+
+class TestFirstFit:
+    def test_picks_lowest_eligible(self):
+        assert FirstFit().select((1, 2, 3), REMAINING, 40) == 1
+
+    def test_skips_exhausted(self):
+        assert FirstFit().select((1, 2, 3), REMAINING, 80) == 1
+        assert FirstFit().select((2, 3), REMAINING, 60) == 3
+
+    def test_none_when_no_capacity(self):
+        assert FirstFit().select((2,), REMAINING, 60) is None
+
+
+class TestLastFit:
+    def test_picks_highest_eligible(self):
+        assert LastFit().select((1, 2, 3), REMAINING, 40) == 3
+
+    def test_reproduces_example1_pathology(self):
+        # L_U^1 (800) matches {1, 2}; LastFit charges L_D^2...
+        remaining = {1: 2000, 2: 1000}
+        assert LastFit().select((1, 2), remaining, 800) == 2
+        remaining[2] -= 800
+        # ...so L_U^2 (400, matches only {2}) cannot be served.
+        assert LastFit().select((2,), remaining, 400) is None
+
+
+class TestRandomPick:
+    def test_deterministic_given_seed(self):
+        a = [RandomPick(seed=5).select((1, 2, 3), REMAINING, 10) for _ in range(5)]
+        b = [RandomPick(seed=5).select((1, 2, 3), REMAINING, 10) for _ in range(5)]
+        assert a == b
+
+    def test_only_eligible_choices(self):
+        strategy = RandomPick(seed=1)
+        for _ in range(50):
+            choice = strategy.select((1, 2, 3), REMAINING, 60)
+            assert choice in (1, 3)
+
+    def test_none_when_no_capacity(self):
+        assert RandomPick().select((2,), REMAINING, 999) is None
+
+
+class TestBestFit:
+    def test_picks_min_remaining_eligible(self):
+        assert BestFit().select((1, 2, 3), REMAINING, 40) == 2
+
+    def test_skips_too_small(self):
+        # count=60: only 1 (100) and 3 (75) are eligible; best fit is 3.
+        assert BestFit().select((1, 2, 3), REMAINING, 60) == 3
+
+    def test_tie_breaks_on_lower_index(self):
+        remaining = {1: 50, 2: 50}
+        assert BestFit().select((1, 2), remaining, 10) == 1
+
+    def test_none_when_no_capacity(self):
+        assert BestFit().select((2,), REMAINING, 999) is None
+
+    def test_example1_pathology_avoided_by_luck_of_sizes(self):
+        # Best-fit picks the SMALLER license (L_D^2) for L_U^1 -- the
+        # pathological choice in Example 1 -- showing heuristics are
+        # workload-dependent and only the equation policy is exact.
+        remaining = {1: 2000, 2: 1000}
+        assert BestFit().select((1, 2), remaining, 800) == 2
+
+
+class TestGreedyMaxRemaining:
+    def test_picks_max_remaining(self):
+        assert GreedyMaxRemaining().select((1, 2, 3), REMAINING, 10) == 1
+
+    def test_tie_breaks_on_lower_index(self):
+        remaining = {1: 50, 2: 50}
+        assert GreedyMaxRemaining().select((1, 2), remaining, 10) == 1
+
+    def test_none_when_no_capacity(self):
+        assert GreedyMaxRemaining().select((2,), REMAINING, 999) is None
+
+    def test_avoids_example1_pathology(self):
+        # Greedy charges L_U^1 to the larger L_D^1, keeping L_D^2 intact.
+        remaining = {1: 2000, 2: 1000}
+        assert GreedyMaxRemaining().select((1, 2), remaining, 800) == 1

@@ -1,0 +1,219 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(["generate", "-n", "5"])
+        assert args.command == "generate"
+        assert args.licenses == 5
+
+    def test_experiment_figure_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "11"])
+
+
+class TestDemo:
+    def test_demo_prints_paper_numbers(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "3.1" in output
+        assert "VALID" in output
+        assert "[1, 2, 4]" in output
+
+
+class TestGenerateAndValidate:
+    def test_round_trip(self, tmp_path, capsys):
+        pool_path = tmp_path / "pool.json"
+        log_path = tmp_path / "log.jsonl"
+        code = main(
+            [
+                "generate",
+                "-n",
+                "6",
+                "--records",
+                "80",
+                "--seed",
+                "3",
+                "--pool-out",
+                str(pool_path),
+                "--log-out",
+                str(log_path),
+            ]
+        )
+        assert code == 0
+        document = json.loads(pool_path.read_text())
+        assert len(document["licenses"]) == 6
+        assert len(log_path.read_text().splitlines()) == 80
+
+        for engine in ("grouped", "tree", "scan", "expansion", "zeta"):
+            code = main(
+                ["validate", "--pool", str(pool_path), "--log", str(log_path),
+                 "--engine", engine]
+            )
+            output = capsys.readouterr().out
+            assert f"[{ 'grouped-tree' if engine == 'grouped' else engine }]" in output
+            assert code in (0, 1)
+
+    def test_engines_agree_on_exit_code(self, tmp_path, capsys):
+        pool_path = tmp_path / "pool.json"
+        log_path = tmp_path / "log.jsonl"
+        main(
+            ["generate", "-n", "5", "--records", "60", "--seed", "1",
+             "--pool-out", str(pool_path), "--log-out", str(log_path)]
+        )
+        capsys.readouterr()
+        codes = {
+            engine: main(
+                ["validate", "--pool", str(pool_path), "--log", str(log_path),
+                 "--engine", engine]
+            )
+            for engine in ("grouped", "tree", "scan", "zeta")
+        }
+        capsys.readouterr()
+        assert len(set(codes.values())) == 1
+
+
+class TestHeadroomAndDiagnose:
+    @pytest.fixture
+    def artifacts(self, tmp_path):
+        pool_path = tmp_path / "pool.json"
+        log_path = tmp_path / "log.jsonl"
+        main(
+            ["generate", "-n", "6", "--records", "60", "--seed", "5",
+             "--pool-out", str(pool_path), "--log-out", str(log_path)]
+        )
+        return str(pool_path), str(log_path)
+
+    def test_headroom_prints_counts(self, artifacts, capsys):
+        pool_path, log_path = artifacts
+        capsys.readouterr()
+        code = main(
+            ["headroom", "--pool", pool_path, "--log", log_path, "--set", "1"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "headroom for" in output
+        assert "counts" in output
+
+    def test_diagnose_valid_log(self, artifacts, capsys):
+        pool_path, log_path = artifacts
+        capsys.readouterr()
+        code = main(["diagnose", "--pool", pool_path, "--log", log_path])
+        output = capsys.readouterr().out
+        if code == 0:
+            assert "VALID" in output
+        else:
+            assert "minimal violated sets" in output
+            assert "minimum counts to revoke" in output
+
+    def test_diagnose_invalid_log(self, tmp_path, capsys):
+        # Hand-build a violating scenario: 1 license of capacity small.
+        import json
+
+        from repro.licenses.rel import dumps_pool
+        from repro.licenses.schema import ConstraintSchema, DimensionSpec
+        from repro.licenses.license import LicenseFactory
+        from repro.licenses.pool import LicensePool
+
+        schema = ConstraintSchema([DimensionSpec.numeric("x")])
+        factory = LicenseFactory(schema, "K", "play")
+        pool = LicensePool([factory.redistribution("L", aggregate=100, x=(0, 10))])
+        pool_path = tmp_path / "pool.json"
+        pool_path.write_text(dumps_pool(pool, schema))
+        log_path = tmp_path / "log.jsonl"
+        log_path.write_text(json.dumps({"set": [1], "count": 150}) + "\n")
+        code = main(["diagnose", "--pool", str(pool_path), "--log", str(log_path)])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "minimum counts to revoke: 50" in output
+
+
+class TestConformanceCommand:
+    def test_all_builtin_checks_pass(self, capsys, tmp_path):
+        code = main(["conformance", "--export-dir", str(tmp_path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "example1: 9/9 checks passed" in output
+        assert "figure2: 9/9 checks passed" in output
+        assert (tmp_path / "example1.json").exists()
+        assert (tmp_path / "figure2.json").exists()
+
+
+class TestProfileCommand:
+    def test_profile_prints_shape_and_explanation(self, tmp_path, capsys):
+        pool_path = tmp_path / "pool.json"
+        log_path = tmp_path / "log.jsonl"
+        main(
+            ["generate", "-n", "6", "--records", "80", "--seed", "4",
+             "--pool-out", str(pool_path), "--log-out", str(log_path)]
+        )
+        capsys.readouterr()
+        code = main(["profile", "--pool", str(pool_path), "--log", str(log_path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "licenses: 6" in output
+        assert "match-set sizes" in output
+        assert "theoretical gain" in output
+
+
+class TestSimulateCommand:
+    def test_simulate_prints_policy_table(self, capsys):
+        code = main(["simulate", "-n", "5", "--stream", "60", "--seed", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        for policy in ("random", "last-fit", "first-fit",
+                       "greedy-max-remaining", "equation"):
+            assert policy in output
+
+    def test_equation_policy_serves_the_most(self, capsys):
+        main(["simulate", "-n", "6", "--stream", "250", "--seed", "3"])
+        output = capsys.readouterr().out
+        served = {}
+        for line in output.splitlines():
+            parts = [part.strip() for part in line.split("|")]
+            if len(parts) == 4 and parts[0] in (
+                "random", "last-fit", "first-fit",
+                "greedy-max-remaining", "equation",
+            ):
+                served[parts[0]] = int(parts[3])
+        assert served["equation"] == max(served.values())
+
+
+class TestExperimentCommand:
+    @pytest.mark.parametrize("figure", ["6", "10"])
+    def test_fast_figures(self, figure, capsys):
+        code = main(
+            ["experiment", figure, "--sweep", "2", "4",
+             "--records-per-license", "10"]
+        )
+        assert code == 0
+        assert f"Figure {figure}" in capsys.readouterr().out
+
+    def test_figure7_prints_table_and_chart(self, capsys):
+        code = main(
+            ["experiment", "7", "--sweep", "2", "4",
+             "--records-per-license", "10"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Figure 7" in output
+        assert "log scale" in output
+
+    @pytest.mark.parametrize("figure", ["8", "9"])
+    def test_timing_figures(self, figure, capsys):
+        code = main(
+            ["experiment", figure, "--sweep", "2", "4",
+             "--records-per-license", "10"]
+        )
+        assert code == 0
+        assert f"Figure {figure}" in capsys.readouterr().out

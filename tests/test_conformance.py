@@ -1,0 +1,97 @@
+"""Tests for the conformance-vector machinery."""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.conformance import (
+    builtin_vectors,
+    dumps_vector,
+    loads_vector,
+    make_vector,
+    run_vector,
+)
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    return dict(builtin_vectors())
+
+
+class TestBuiltinVectors:
+    def test_two_shipped_vectors(self, vectors):
+        assert set(vectors) == {"example1", "figure2"}
+
+    @pytest.mark.parametrize("name", ["example1", "figure2"])
+    def test_library_conforms_to_its_own_vectors(self, vectors, name):
+        results = run_vector(vectors[name])
+        failures = [r for r in results if not r.passed]
+        assert not failures, "\n".join(str(r) for r in failures)
+
+    def test_example1_expected_values_match_paper(self, vectors):
+        expected = vectors["example1"]["expected"]
+        assert expected["groups"] == [[1, 2, 4], [3, 5]]
+        assert expected["equations_baseline"] == 31
+        assert expected["equations_grouped"] == 10
+        assert expected["theoretical_gain"] == pytest.approx(3.1)
+        assert expected["set_counts"]["1,2"] == 840
+        assert expected["match_sets"]["LU1"] == [1, 2]
+        assert expected["match_sets"]["LU2"] == [2]
+        assert expected["is_valid"] is True
+
+    def test_figure2_expected_values_match_paper(self, vectors):
+        expected = vectors["figure2"]["expected"]
+        assert expected["overlap_edges"] == [[1, 2], [2, 4], [3, 5]]
+        assert expected["match_sets"]["LU1"] == [4]
+        assert expected["match_sets"]["LU2"] == []
+
+    def test_vectors_are_json_round_trippable(self, vectors):
+        for vector in vectors.values():
+            rebuilt = loads_vector(dumps_vector(vector))
+            assert rebuilt == json.loads(json.dumps(vector))
+            results = run_vector(rebuilt)
+            assert all(r.passed for r in results)
+
+
+class TestFailureDetection:
+    def test_tampered_expected_value_fails(self, vectors):
+        tampered = json.loads(dumps_vector(vectors["example1"]))
+        tampered["expected"]["equations_grouped"] = 11
+        results = run_vector(tampered)
+        failing = [r for r in results if not r.passed]
+        assert [r.name for r in failing] == ["equations_grouped"]
+        assert "expected 11" in failing[0].detail
+
+    def test_tampered_log_fails_set_counts(self, vectors):
+        tampered = json.loads(dumps_vector(vectors["example1"]))
+        tampered["log"][0]["count"] += 1
+        results = run_vector(tampered)
+        assert any(r.name == "set_counts" and not r.passed for r in results)
+
+    def test_malformed_vector_rejected(self):
+        with pytest.raises(SerializationError):
+            run_vector({"name": "broken"})
+        with pytest.raises(SerializationError):
+            loads_vector("{nope")
+
+
+class TestMakeVector:
+    def test_round_trip_through_files(self, tmp_path, vectors):
+        path = tmp_path / "example1.json"
+        path.write_text(dumps_vector(vectors["example1"], indent=2))
+        reloaded = loads_vector(path.read_text())
+        assert all(r.passed for r in run_vector(reloaded))
+
+    def test_vector_without_usages_has_no_match_sets(self):
+        from repro.licenses.schema import ConstraintSchema, DimensionSpec
+        from repro.licenses.license import LicenseFactory
+        from repro.licenses.pool import LicensePool
+        from repro.logstore.log import ValidationLog
+
+        schema = ConstraintSchema([DimensionSpec.numeric("x")])
+        factory = LicenseFactory(schema, "K", "play")
+        pool = LicensePool([factory.redistribution("L", aggregate=10, x=(0, 1))])
+        vector = make_vector("tiny", pool, schema, ValidationLog())
+        assert "match_sets" not in vector["expected"]
+        assert all(r.passed for r in run_vector(vector))

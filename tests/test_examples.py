@@ -1,0 +1,78 @@
+"""Smoke tests: every example script must run and print its key results.
+
+Examples are documentation that executes; these tests keep them honest as
+the library evolves.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestQuickstart:
+    def test_reproduces_paper_numbers(self):
+        output = run_example("quickstart.py")
+        assert "LU1 instance-matches: [1, 2]" in output
+        assert "LU2 instance-matches: [2]" in output
+        assert "[[1, 2, 4], [3, 5]]" in output
+        assert "31 -> 10" in output
+        assert "3.1x" in output
+        assert "VALID" in output
+        assert "headroom for a {LD2}-only license: 600" in output
+
+
+class TestMusicDistribution:
+    def test_detects_overissue_and_oracle_agrees(self):
+        output = run_example("music_distribution.py")
+        assert "INVALID" in output
+        assert "overdrawn set" in output
+        assert "flow-oracle agrees: True" in output
+
+
+class TestVideoPlatformAudit:
+    def test_all_methods_agree_at_scale(self):
+        output = run_example("video_platform_audit.py")
+        assert "all three methods agree: True" in output
+        assert "1,048,575 ungrouped" in output
+        assert "experimental gain" in output
+
+
+class TestOnlineStrategies:
+    def test_equation_policy_is_ceiling(self):
+        output = run_example("online_strategies.py")
+        assert "equation" in output
+        assert "100.0%" in output  # the exact policy defines the ceiling
+        for line in output.splitlines():
+            if line.startswith("offline re-validation"):
+                assert line.endswith("OK")
+
+
+class TestPeriodicAudit:
+    def test_modes_agree_and_incremental_saves(self):
+        output = run_example("periodic_audit.py")
+        assert "x fewer" in output
+        assert "by both modes: True" in output
+
+
+class TestSupplyChain:
+    def test_nested_budgets_enforced(self):
+        output = run_example("supply_chain.py")
+        assert "india-extra (600 counts) REJECTED (aggregate)" in output
+        assert "sold 50/60" in output
+        assert "REJECTED (instance)" in output
+        assert output.count("VALID") >= 4

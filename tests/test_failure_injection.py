@@ -1,0 +1,179 @@
+"""Failure-injection tests: corrupted inputs must fail loudly, not subtly.
+
+Offline validation is a rights-*enforcement* mechanism; silent
+misbehaviour on corrupt inputs (truncated logs, tampered checkpoints,
+cross-group records) would be worse than a crash.  These tests inject the
+corruption and assert the library raises the typed errors its API
+documents.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    GroupingError,
+    LogError,
+    SerializationError,
+    ValidationError,
+)
+from repro.core.division import verify_partition
+from repro.core.grouping import GroupStructure
+from repro.core.incremental import IncrementalValidator
+from repro.licenses.rel import loads_pool
+from repro.logstore.io import load_log
+from repro.logstore.record import LogRecord
+from repro.validation.tree import ValidationTree
+from repro.validation.tree_io import loads_grouped, loads_tree
+from repro.validation.tree_validator import TreeValidator
+from repro.workloads.scenarios import example1
+
+
+class TestCorruptedLogFiles:
+    def test_truncated_json_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"set": [1], "count": 5}\n{"set": [1, 2')
+        with pytest.raises(SerializationError, match="line 2"):
+            load_log(path)
+
+    def test_negative_count(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"set": [1], "count": -5}\n')
+        with pytest.raises(SerializationError):
+            load_log(path)
+
+    def test_empty_set(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"set": [], "count": 5}\n')
+        with pytest.raises(SerializationError):
+            load_log(path)
+
+    def test_zero_index(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"set": [0, 1], "count": 5}\n')
+        with pytest.raises(SerializationError):
+            load_log(path)
+
+    def test_non_integer_index(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"set": ["one"], "count": 5}\n')
+        with pytest.raises(SerializationError):
+            load_log(path)
+
+
+class TestCorruptedPoolDocuments:
+    def test_negative_aggregate(self):
+        document = {
+            "schema": {"dimensions": [{"name": "x", "kind": "interval"}]},
+            "licenses": [
+                {
+                    "type": "redistribution",
+                    "license_id": "L",
+                    "content_id": "K",
+                    "permission": "play",
+                    "aggregate": -5,
+                    "constraints": {"x": [0, 1]},
+                }
+            ],
+        }
+        # LicenseError surfaces from construction; any ReproError is fine
+        # as long as it is loud.
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            loads_pool(json.dumps(document))
+
+    def test_inverted_interval(self):
+        document = {
+            "schema": {"dimensions": [{"name": "x", "kind": "interval"}]},
+            "licenses": [
+                {
+                    "type": "redistribution",
+                    "license_id": "L",
+                    "content_id": "K",
+                    "permission": "play",
+                    "aggregate": 5,
+                    "constraints": {"x": [10, 1]},
+                }
+            ],
+        }
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            loads_pool(json.dumps(document))
+
+
+class TestCrossGroupCorruption:
+    """A log claiming a set that spans disconnected groups is physically
+    impossible (Corollary 1.1) and must be flagged, not silently divided."""
+
+    STRUCTURE = GroupStructure((frozenset({1, 2, 4}), frozenset({3, 5})), 5)
+
+    def test_verify_partition_detects_it(self):
+        tree = ValidationTree()
+        tree.insert_set((2, 3), 10)
+        with pytest.raises(GroupingError):
+            verify_partition(tree, self.STRUCTURE)
+
+    def test_incremental_validator_rejects_it(self):
+        incremental = IncrementalValidator.from_pool(example1().pool)
+        with pytest.raises(GroupingError):
+            incremental.record({2, 3}, 10)
+
+
+class TestTamperedCheckpoints:
+    def test_tree_checkpoint_with_shuffled_children(self):
+        tampered = json.dumps(
+            {
+                "version": 1,
+                "tree": {
+                    "index": 0,
+                    "count": 0,
+                    "children": [
+                        {"index": 5, "count": 1, "children": []},
+                        {"index": 2, "count": 1, "children": []},
+                    ],
+                },
+            }
+        )
+        with pytest.raises(SerializationError):
+            loads_tree(tampered)
+
+    def test_grouped_checkpoint_with_wrong_tree_count(self):
+        tampered = json.dumps(
+            {
+                "version": 1,
+                "n": 2,
+                "groups": [[1], [2]],
+                "trees": [{"index": 0, "count": 0, "children": []}],
+            }
+        )
+        with pytest.raises(SerializationError):
+            loads_grouped(tampered)
+
+    def test_grouped_checkpoint_with_overlapping_groups(self):
+        tampered = json.dumps(
+            {
+                "version": 1,
+                "n": 2,
+                "groups": [[1, 2], [2]],
+                "trees": [
+                    {"index": 0, "count": 0, "children": []},
+                    {"index": 0, "count": 0, "children": []},
+                ],
+            }
+        )
+        with pytest.raises((SerializationError, GroupingError)):
+            loads_grouped(tampered)
+
+
+class TestValidatorMisuse:
+    def test_tree_referencing_unknown_license(self):
+        tree = ValidationTree()
+        tree.insert_set((9,), 5)
+        with pytest.raises(ValidationError):
+            TreeValidator([10, 10]).validate(tree)
+
+    def test_record_with_bool_count(self):
+        with pytest.raises(LogError):
+            LogRecord(frozenset({1}), True)

@@ -1,0 +1,147 @@
+"""Integration tests: the full pipeline over synthetic workloads.
+
+license generation -> instance matching -> logging -> tree construction ->
+overlap grouping -> division/remap -> grouped validation, cross-checked
+against the ungrouped baseline and the flow oracle.
+"""
+
+import pytest
+
+from repro.core.division import verify_partition
+from repro.core.grouping import form_groups, form_groups_networkx
+from repro.core.overlap import OverlapGraph
+from repro.core.validator import GroupedValidator
+from repro.validation.flow import FlowFeasibilityOracle
+from repro.validation.naive import ScanValidator
+from repro.validation.tree import ValidationTree
+from repro.validation.tree_validator import TreeValidator
+from repro.validation.zeta import ZetaValidator
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import WorkloadGenerator
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_full_pipeline_all_engines_agree(seed):
+    """Every engine reaches the same verdict on realistic workloads."""
+    config = WorkloadConfig(
+        n_licenses=10,
+        seed=seed,
+        n_records=300,
+        aggregate_range=(1000, 4000),  # tight enough to see violations
+    )
+    workload = WorkloadGenerator(config).generate()
+    aggregates = workload.aggregates
+    counts = workload.log.counts_by_mask()
+
+    grouped = GroupedValidator.from_pool(workload.pool).validate(workload.log)
+    baseline = TreeValidator(aggregates).validate(
+        ValidationTree.from_log(workload.log)
+    )
+    scan = ScanValidator(aggregates).validate_counts(counts)
+    zeta = ZetaValidator(aggregates).validate_counts(counts)
+    flow_feasible = FlowFeasibilityOracle(aggregates).feasible(counts)
+
+    assert baseline.violations == scan.violations
+    assert baseline.violations == zeta.violations
+    assert grouped.is_valid == baseline.is_valid == flow_feasible
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_division_preserves_counts_and_partition(seed):
+    workload = WorkloadGenerator(
+        WorkloadConfig(n_licenses=14, seed=seed, n_records=250)
+    ).generate()
+    validator = GroupedValidator.from_pool(workload.pool)
+    structure = validator.structure
+
+    tree = ValidationTree.from_log(workload.log)
+    verify_partition(tree, structure)
+    total_before = tree.subset_sum((1 << len(workload.pool)) - 1)
+
+    grouped = validator.divide(tree)
+    total_after = sum(
+        part.subset_sum((1 << size) - 1)
+        for part, size in zip(grouped.trees, structure.sizes)
+    )
+    assert total_before == total_after == workload.log.total_count
+
+
+@pytest.mark.parametrize("n", [1, 2, 5, 9, 16, 23])
+def test_group_formation_matches_networkx_on_workloads(n):
+    workload = WorkloadGenerator(
+        WorkloadConfig(n_licenses=n, seed=n, n_records=0)
+    ).generate()
+    graph = OverlapGraph.from_pool(workload.pool)
+    assert form_groups(graph) == form_groups_networkx(graph)
+
+
+def test_equation_savings_on_clustered_workload():
+    """A clustered pool yields a strict equation-count reduction."""
+    workload = WorkloadGenerator(
+        WorkloadConfig(n_licenses=16, seed=2, n_records=0, target_groups=4)
+    ).generate()
+    validator = GroupedValidator.from_pool(workload.pool)
+    assert validator.structure.count >= 4
+    assert validator.equations_required < validator.equations_baseline
+    assert validator.theoretical_gain > 100  # 2^16-1 vs a few hundred
+
+
+def test_single_license_degenerate_case():
+    workload = WorkloadGenerator(
+        WorkloadConfig(n_licenses=1, seed=0, n_records=40)
+    ).generate()
+    validator = GroupedValidator.from_pool(workload.pool)
+    assert validator.structure.count == 1
+    assert validator.equations_required == 1
+    assert validator.theoretical_gain == 1.0
+    report = validator.validate(workload.log)
+    baseline = TreeValidator(workload.aggregates).validate(
+        ValidationTree.from_log(workload.log)
+    )
+    assert report.is_valid == baseline.is_valid
+
+
+def test_headroom_consistent_with_flow_on_workload():
+    workload = WorkloadGenerator(
+        WorkloadConfig(n_licenses=8, seed=5, n_records=150)
+    ).generate()
+    validator = GroupedValidator.from_pool(workload.pool)
+    if not validator.validate(workload.log).is_valid:
+        pytest.skip("workload not feasible; headroom semantics differ")
+    oracle = FlowFeasibilityOracle(workload.aggregates)
+    counts = workload.log.counts_by_mask()
+    # Probe headroom for a handful of logged sets.
+    for license_set in list(workload.log.counts_by_set())[:5]:
+        mask = 0
+        for index in license_set:
+            mask |= 1 << (index - 1)
+        assert validator.headroom(workload.log, license_set) == (
+            oracle.remaining_capacity(counts, mask)
+        )
+
+
+def test_serialization_round_trip_preserves_validation():
+    """Persist pool + log, reload, and get the identical report."""
+    import io
+
+    from repro.licenses.rel import dumps_pool, loads_pool
+    from repro.logstore.io import read_records, write_records
+    from repro.logstore.log import ValidationLog
+
+    workload = WorkloadGenerator(
+        WorkloadConfig(n_licenses=7, seed=8, n_records=120)
+    ).generate()
+    pool_json = dumps_pool(workload.pool, workload.schema)
+    buffer = io.StringIO()
+    write_records(workload.log, buffer)
+    buffer.seek(0)
+
+    pool, _schema = loads_pool(pool_json)
+    log = ValidationLog()
+    log.extend(read_records(buffer))
+
+    original = GroupedValidator.from_pool(workload.pool).validate(workload.log)
+    reloaded = GroupedValidator.from_pool(pool).validate(log)
+    assert original.is_valid == reloaded.is_valid
+    assert original.violations == reloaded.violations
+    assert original.equations_checked == reloaded.equations_checked

@@ -1,0 +1,55 @@
+"""Tests for the library's stdlib-logging integration."""
+
+import logging
+
+from repro.core.validator import GroupedValidator
+from repro.logstore.log import ValidationLog
+from repro.workloads.scenarios import example1, example1_log
+
+
+class TestValidatorLogging:
+    def test_construction_logs_structure_at_debug(self, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.core.validator"):
+            GroupedValidator.from_pool(example1().pool)
+        assert any("N=5" in record.message for record in caplog.records)
+        assert any("2 group(s)" in record.message for record in caplog.records)
+
+    def test_valid_run_logs_info(self, caplog):
+        validator = GroupedValidator.from_pool(example1().pool)
+        with caplog.at_level(logging.INFO, logger="repro.core.validator"):
+            validator.validate(example1_log())
+        assert any("validation OK" in record.message for record in caplog.records)
+
+    def test_failed_run_logs_warning(self, caplog):
+        validator = GroupedValidator.from_pool(example1().pool)
+        log = ValidationLog()
+        log.record({2}, 99999)
+        with caplog.at_level(logging.WARNING, logger="repro.core.validator"):
+            validator.validate(log)
+        warnings = [
+            record for record in caplog.records if record.levelno == logging.WARNING
+        ]
+        assert warnings
+        assert "validation FAILED" in warnings[0].message
+
+    def test_silent_by_default(self, capsys):
+        # No handler configured: library logging must not print anything.
+        validator = GroupedValidator.from_pool(example1().pool)
+        validator.validate(example1_log())
+        captured = capsys.readouterr()
+        assert captured.out == ""
+
+
+class TestNodeLogging:
+    def test_aggregate_rejection_logged(self, caplog):
+        from repro.licenses.license import LicenseFactory
+        from repro.licenses.schema import ConstraintSchema, DimensionSpec
+        from repro.network.node import DistributorNode
+
+        schema = ConstraintSchema([DimensionSpec.numeric("x")])
+        factory = LicenseFactory(schema, "K", "play")
+        node = DistributorNode("emea")
+        node.receive(factory.redistribution("r", aggregate=10, x=(0, 10)))
+        with caplog.at_level(logging.INFO, logger="repro.network.node"):
+            node.issue_usage(factory.usage("u", count=50, x=(0, 5)))
+        assert any("rejected" in record.message for record in caplog.records)

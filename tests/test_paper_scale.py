@@ -1,0 +1,69 @@
+"""Paper-scale integration: the full Section 5 workload sizes.
+
+The paper's largest experiment uses N = 35 redistribution licenses and
+~22,000 log records.  These tests run the complete pipeline at that scale
+(the grouped method handles it easily; only the 2^35-equation baseline is
+out of reach for any implementation) and check the end-to-end accounting.
+"""
+
+import pytest
+
+from repro.analysis.profile import profile_workload
+from repro.core.grouped_zeta import GroupedZetaValidator
+from repro.core.validator import GroupedValidator
+from repro.logstore.compaction import compact
+from repro.validation.tree import ValidationTree
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def paper_workload():
+    # Full paper parameters: defaults give 630 * 35 = 22050 records.
+    config = WorkloadConfig(n_licenses=35, seed=0)
+    return WorkloadGenerator(config).generate()
+
+
+class TestPaperScalePipeline:
+    def test_workload_matches_section5_parameters(self, paper_workload):
+        assert len(paper_workload.log) == 22050
+        for aggregate in paper_workload.aggregates:
+            assert 5000 <= aggregate <= 20000
+        for record in paper_workload.log:
+            assert 10 <= record.count <= 30
+        for box in paper_workload.pool.boxes():
+            assert box.dimensions == 4
+
+    def test_grouped_validation_runs(self, paper_workload):
+        validator = GroupedValidator.from_pool(paper_workload.pool)
+        assert validator.equations_baseline == 2**35 - 1
+        assert validator.equations_required < 10_000
+        report = validator.validate(paper_workload.log)
+        # With default aggregates the workload over-issues (22050 records
+        # x ~20 counts >> capacity) -- either verdict is fine, but both
+        # grouped engines must agree exactly.
+        zeta = GroupedZetaValidator.from_pool(paper_workload.pool).validate(
+            paper_workload.log
+        )
+        assert set(report.violations) == set(zeta.violations)
+
+    def test_tree_accounting(self, paper_workload):
+        tree = ValidationTree.from_log(paper_workload.log)
+        full_mask = (1 << 35) - 1
+        assert tree.subset_sum(full_mask) == paper_workload.log.total_count
+        assert tree.max_index() <= 35
+
+    def test_compaction_ratio_at_scale(self, paper_workload):
+        compacted = compact(paper_workload.log)
+        # Tens of thousands of records collapse into few distinct sets.
+        assert len(compacted) == paper_workload.log.distinct_sets
+        assert len(compacted) < len(paper_workload.log) / 20
+        assert compacted.total_count == paper_workload.log.total_count
+
+    def test_profile_consistency(self, paper_workload):
+        profile = profile_workload(paper_workload.pool, paper_workload.log)
+        assert profile.n_records == 22050
+        assert sum(profile.counts_per_group) == paper_workload.log.total_count
+        assert sum(profile.group_sizes) == 35
+        # The generator must produce genuinely multi-license sets.
+        assert profile.multi_license_fraction > 0.05

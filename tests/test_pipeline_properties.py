@@ -1,0 +1,147 @@
+"""End-to-end property tests: hypothesis drives the full pipeline.
+
+Random pools of interval-box licenses and random usage streams exercise
+license construction -> instance matching -> logging -> grouping ->
+division/remap -> validation, asserting the global invariants that tie
+the whole system together.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.grouping import form_groups, form_groups_networkx
+from repro.core.overlap import OverlapGraph
+from repro.core.validator import GroupedValidator
+from repro.geometry.box import Box, common_region
+from repro.geometry.interval import Interval
+from repro.licenses.license import RedistributionLicense, UsageLicense
+from repro.licenses.permission import Permission
+from repro.licenses.pool import LicensePool
+from repro.logstore.log import ValidationLog
+from repro.matching.matcher import BruteForceMatcher
+from repro.validation.flow import FlowFeasibilityOracle
+from repro.validation.naive import ScanValidator
+from repro.validation.tree import ValidationTree
+from repro.validation.tree_validator import TreeValidator
+
+
+@st.composite
+def pipelines(draw):
+    """A random pool plus a random stream of usage licenses."""
+    dims = draw(st.integers(min_value=1, max_value=3))
+    n = draw(st.integers(min_value=1, max_value=8))
+
+    def random_box():
+        extents = []
+        for _ in range(dims):
+            low = draw(st.integers(min_value=0, max_value=40))
+            length = draw(st.integers(min_value=0, max_value=25))
+            extents.append(Interval(low, low + length))
+        return Box(extents)
+
+    pool = LicensePool(
+        [
+            RedistributionLicense(
+                license_id=f"LD{i}",
+                content_id="K",
+                permission=Permission.PLAY,
+                box=random_box(),
+                aggregate=draw(st.integers(min_value=50, max_value=400)),
+            )
+            for i in range(1, n + 1)
+        ]
+    )
+    usages = [
+        UsageLicense(
+            license_id=f"LU{i}",
+            content_id="K",
+            permission=Permission.PLAY,
+            box=random_box(),
+            count=draw(st.integers(min_value=1, max_value=60)),
+        )
+        for i in range(draw(st.integers(min_value=0, max_value=12)))
+    ]
+    return pool, usages
+
+
+def build_log(pool, usages):
+    matcher = BruteForceMatcher(pool)
+    log = ValidationLog()
+    for usage in usages:
+        matched = matcher.match(usage)
+        if matched:
+            log.record_issuance(usage, matched)
+    return log
+
+
+@settings(max_examples=80, deadline=None)
+@given(pipelines())
+def test_grouped_equals_baseline_equals_flow(pipeline):
+    pool, usages = pipeline
+    log = build_log(pool, usages)
+    aggregates = pool.aggregate_array()
+
+    grouped = GroupedValidator.from_pool(pool).validate(log)
+    baseline = TreeValidator(aggregates).validate(ValidationTree.from_log(log))
+    scan = ScanValidator(aggregates).validate_log(log)
+    flow = FlowFeasibilityOracle(aggregates).feasible(log.counts_by_mask())
+
+    assert baseline.violations == scan.violations
+    assert grouped.is_valid == baseline.is_valid == flow
+    # Grouped checks at most as many equations as the baseline.
+    assert grouped.equations_checked <= baseline.equations_checked
+
+
+@settings(max_examples=80, deadline=None)
+@given(pipelines())
+def test_logged_sets_respect_geometry(pipeline):
+    """Every logged set is a clique with a common region containing the
+    usage box -- Theorem 1's precondition, established by matching."""
+    pool, usages = pipeline
+    matcher = BruteForceMatcher(pool)
+    for usage in usages:
+        matched = sorted(matcher.match(usage))
+        if not matched:
+            continue
+        region = common_region([pool[i].box for i in matched])
+        assert region is not None
+        assert region.contains(usage.box)
+        # Non-matched licenses genuinely fail containment somewhere.
+        for index, lic in pool.enumerate():
+            if index not in matched:
+                assert not lic.box.contains(usage.box)
+
+
+@settings(max_examples=80, deadline=None)
+@given(pipelines())
+def test_group_partition_invariants(pipeline):
+    pool, usages = pipeline
+    graph = OverlapGraph.from_pool(pool)
+    structure = form_groups(graph)
+    assert structure == form_groups_networkx(graph)
+    # Every overlap edge stays within one group; different groups never
+    # overlap (the definition of non-overlapping sets, Section 3.2).
+    lookup = structure.group_lookup()
+    for i, j in graph.edges():
+        assert lookup[i] == lookup[j]
+    for i in range(1, len(pool) + 1):
+        for j in range(i + 1, len(pool) + 1):
+            if lookup[i] != lookup[j]:
+                assert not pool[i].box.overlaps(pool[j].box)
+    # Logged sets stay within one group (Corollary 1.1).
+    log = build_log(pool, usages)
+    for license_set in log.counts_by_set():
+        assert len({lookup[index] for index in license_set}) == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(pipelines())
+def test_division_preserves_total_counts(pipeline):
+    pool, usages = pipeline
+    log = build_log(pool, usages)
+    validator = GroupedValidator.from_pool(pool)
+    grouped = validator.build(log)
+    per_group_total = sum(
+        tree.subset_sum((1 << size) - 1)
+        for tree, size in zip(grouped.trees, validator.structure.sizes)
+    )
+    assert per_group_total == log.total_count

@@ -1,0 +1,118 @@
+"""Paper-exact scenario tests: Example 1, Table 2, Figures 2-5 and the
+worked 3.1x gain, all in one place.
+
+These tests pin the reproduction to the numbers printed in the paper.
+"""
+
+import pytest
+
+from repro.core.validator import GroupedValidator
+from repro.matching.matcher import BruteForceMatcher
+from repro.validation.tree import ValidationTree
+from repro.workloads.scenarios import (
+    example1,
+    example1_log,
+    figure2_pool,
+    figure2_usages,
+)
+
+
+class TestExample1:
+    def test_license_parameters(self):
+        pool = example1().pool
+        assert pool.aggregate_array() == [2000, 1000, 3000, 4000, 2000]
+        assert pool[1].license_id == "LD1"
+        assert pool.permission.value == "play"
+
+    def test_lu1_satisfies_ld1_and_ld2(self):
+        scenario = example1()
+        matcher = BruteForceMatcher(scenario.pool)
+        assert matcher.match(scenario.usages[0]) == frozenset({1, 2})
+
+    def test_lu2_satisfies_only_ld2(self):
+        scenario = example1()
+        matcher = BruteForceMatcher(scenario.pool)
+        assert matcher.match(scenario.usages[1]) == frozenset({2})
+
+    def test_random_pick_loss_narrative(self):
+        # If L_U^1 (800) is charged to L_D^2, only 200 remain there and
+        # L_U^2 (400) fails; charging L_D^1 keeps both valid.
+        pool = example1().pool
+        assert pool[2].aggregate - 800 < 400
+        assert pool[1].aggregate >= 800 and pool[2].aggregate >= 400
+
+
+class TestTable2:
+    def test_aggregated_counts(self):
+        log = example1_log()
+        expected = {
+            frozenset({1, 2}): 840,
+            frozenset({2}): 400,
+            frozenset({1, 2, 4}): 30,
+            frozenset({3, 5}): 800,
+            frozenset({5}): 20,
+        }
+        assert log.counts_by_set() == expected
+
+    def test_a_of_sets(self):
+        # A[{L1,L2,L3}] = 2000 + 1000 + 3000 = 6000 (Section 2.1).
+        from repro.validation.bitset import aggregate_sums
+
+        sums = aggregate_sums([2000, 1000, 3000, 4000, 2000])
+        assert sums[0b00111] == 6000
+
+
+class TestFigure2:
+    def test_lu1_only_inside_ld4(self):
+        matcher = BruteForceMatcher(figure2_pool())
+        assert matcher.match(figure2_usages()[0]) == frozenset({4})
+
+    def test_lu2_invalid(self):
+        matcher = BruteForceMatcher(figure2_pool())
+        assert matcher.match(figure2_usages()[1]) == frozenset()
+
+    def test_ld1_ld2_overlap_ld1_ld4_do_not(self):
+        pool = figure2_pool()
+        assert pool[1].overlaps_with(pool[2])
+        assert not pool[1].overlaps_with(pool[4])
+
+    def test_nonoverlapping_sets_example(self):
+        # "The sets S1 = {L1, L2} and S2 = {L5} are non overlapping."
+        pool = figure2_pool()
+        for i in (1, 2):
+            assert not pool[i].overlaps_with(pool[5])
+
+
+class TestFigures3To5Pipeline:
+    def test_groups(self):
+        validator = GroupedValidator.from_pool(figure2_pool())
+        assert validator.structure.groups == (
+            frozenset({1, 2, 4}),
+            frozenset({3, 5}),
+        )
+
+    def test_worked_gain(self):
+        validator = GroupedValidator.from_pool(figure2_pool())
+        assert validator.theoretical_gain == pytest.approx(3.1)
+
+    def test_redundant_equations_eliminated(self):
+        # Sets like {L1, L3} or {L1, L2, L3} need not be evaluated.
+        validator = GroupedValidator.from_pool(figure2_pool())
+        assert validator.equations_baseline - validator.equations_required == 21
+
+    def test_full_pipeline_on_table2(self):
+        # Example 1's pool has the same group structure; validating the
+        # Table 2 log end to end succeeds with 10 equations.
+        validator = GroupedValidator.from_pool(example1().pool)
+        report = validator.validate(example1_log())
+        assert report.is_valid
+        assert report.equations_checked == 10
+
+    def test_figure1_tree_matches_figure4_division(self):
+        # The {1,2} node carries 840 in the divided structure, exactly as
+        # drawn in Figures 1 and 4.
+        validator = GroupedValidator.from_pool(example1().pool)
+        grouped = validator.build(example1_log())
+        tree1, tree2 = grouped.trees
+        assert tree1.counts_by_mask()[0b011] == 840   # {1,2} local == global
+        assert tree2.counts_by_mask()[0b11] == 800    # {3,5} -> local {1,2}

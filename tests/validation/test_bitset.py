@@ -1,0 +1,83 @@
+"""Unit tests for bitmask helpers."""
+
+from repro.validation.bitset import (
+    aggregate_sums,
+    indexes_of,
+    iter_masks,
+    iter_submasks,
+    iter_supersets,
+    mask_from_indexes,
+    popcount,
+)
+
+
+class TestBasics:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_indexes_of(self):
+        assert indexes_of(0b1011) == (1, 2, 4)
+        assert indexes_of(0) == ()
+
+    def test_mask_from_indexes_round_trip(self):
+        for mask in (0b1, 0b1011, 0b10101):
+            assert mask_from_indexes(indexes_of(mask)) == mask
+
+    def test_mask_from_frozenset(self):
+        assert mask_from_indexes(frozenset({1, 3})) == 0b101
+
+
+class TestIterators:
+    def test_iter_masks_count(self):
+        # The paper's 2^N - 1 equations, one per non-empty subset.
+        assert len(list(iter_masks(5))) == 31
+
+    def test_iter_masks_covers_all(self):
+        assert sorted(iter_masks(3)) == list(range(1, 8))
+
+    def test_iter_submasks_count(self):
+        # 2^m - 1 non-empty submasks of an m-bit set.
+        assert len(list(iter_submasks(0b10110))) == 7
+
+    def test_iter_submasks_are_subsets(self):
+        mask = 0b10110
+        for sub in iter_submasks(mask):
+            assert sub & mask == sub
+            assert sub != 0
+
+    def test_iter_submasks_of_zero_is_empty(self):
+        assert list(iter_submasks(0)) == []
+
+    def test_iter_supersets(self):
+        supersets = sorted(iter_supersets(0b001, 0b111))
+        assert supersets == [0b001, 0b011, 0b101, 0b111]
+
+    def test_iter_supersets_full_mask(self):
+        assert list(iter_supersets(0b111, 0b111)) == [0b111]
+
+    def test_iter_supersets_count(self):
+        # 2^(|universe| - |mask|) supersets.
+        assert len(list(iter_supersets(0b1, 0b11111))) == 16
+
+
+class TestAggregateSums:
+    def test_small_example(self):
+        assert aggregate_sums([5, 7]) == [0, 5, 7, 12]
+
+    def test_matches_direct_summation(self):
+        aggregates = [3, 1, 4, 1, 5]
+        sums = aggregate_sums(aggregates)
+        for mask in iter_masks(5):
+            expected = sum(aggregates[i - 1] for i in indexes_of(mask))
+            assert sums[mask] == expected
+
+    def test_example1_full_set(self):
+        # A[{all 5 licenses}] = 2000+1000+3000+4000+2000.
+        sums = aggregate_sums([2000, 1000, 3000, 4000, 2000])
+        assert sums[0b11111] == 12000
+
+    def test_example2_rhs(self):
+        # Paper Example 2: A[{L2, L3, L4}] = 1000 + 3000 + 4000 = 8000.
+        sums = aggregate_sums([2000, 1000, 3000, 4000, 2000])
+        assert sums[0b01110] == 8000

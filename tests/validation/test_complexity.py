@@ -1,0 +1,75 @@
+"""Unit tests for the closed-form validation cost model."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.validation.bitset import iter_masks, iter_supersets, popcount
+from repro.validation.complexity import (
+    equation_count,
+    equations_touched_by_issue,
+    expansion_terms,
+    grouped_equation_count,
+    grouped_equations_touched,
+    total_expansion_terms,
+)
+
+
+class TestPaperQuantities:
+    def test_equation_count_example(self):
+        # Example 2: five licenses -> 31 equations.
+        assert equation_count(5) == 31
+
+    def test_equations_touched(self):
+        # Section 2.1: a set of k licenses is a subset of 2^(N-k) sets.
+        assert equations_touched_by_issue(5, 5) == 1
+        assert equations_touched_by_issue(5, 1) == 16
+
+    def test_expansion_terms_example2(self):
+        # The {L2, L3, L4} equation has 2^3 - 1 = 7 terms.
+        assert expansion_terms(3) == 7
+
+    def test_grouped_counts_match_worked_example(self):
+        assert grouped_equation_count([3, 2]) == 10
+
+    def test_grouped_touched_shrinks(self):
+        # Match set of size 2 inside a 3-license group: 2 equations
+        # instead of 2^(5-2) = 8 without grouping.
+        assert grouped_equations_touched(3, 2) == 2
+        assert equations_touched_by_issue(5, 2) == 8
+
+
+class TestCrossChecks:
+    @pytest.mark.parametrize("n", range(1, 8))
+    def test_equation_count_matches_enumeration(self, n):
+        assert equation_count(n) == len(list(iter_masks(n)))
+
+    @pytest.mark.parametrize("n,k", [(4, 1), (4, 2), (5, 3), (6, 6)])
+    def test_touched_matches_superset_enumeration(self, n, k):
+        universe = (1 << n) - 1
+        mask = (1 << k) - 1  # the first k licenses
+        assert equations_touched_by_issue(n, k) == len(
+            list(iter_supersets(mask, universe))
+        )
+
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_total_terms_matches_summation(self, n):
+        direct = sum(expansion_terms(popcount(mask)) for mask in iter_masks(n))
+        assert total_expansion_terms(n) == direct
+
+
+class TestErrors:
+    def test_bad_inputs(self):
+        with pytest.raises(ValidationError):
+            equation_count(0)
+        with pytest.raises(ValidationError):
+            equations_touched_by_issue(3, 0)
+        with pytest.raises(ValidationError):
+            equations_touched_by_issue(3, 4)
+        with pytest.raises(ValidationError):
+            expansion_terms(0)
+        with pytest.raises(ValidationError):
+            total_expansion_terms(0)
+        with pytest.raises(ValidationError):
+            grouped_equation_count([])
+        with pytest.raises(ValidationError):
+            grouped_equations_touched(2, 3)

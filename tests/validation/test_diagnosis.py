@@ -1,0 +1,207 @@
+"""Unit + property tests for violation diagnosis and revocation planning."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.validation.diagnosis import (
+    apply_revocation,
+    min_revocation_total,
+    minimal_violations,
+    revocation_plan,
+    select_revocations,
+)
+from repro.validation.flow import FlowFeasibilityOracle
+from repro.validation.naive import ScanValidator
+from repro.validation.report import Violation, make_report
+
+
+class TestMinimalViolations:
+    def test_subset_shadows_superset(self):
+        report = make_report(
+            "x", 3, [Violation(0b01, 5, 4), Violation(0b11, 9, 8)]
+        )
+        assert [v.mask for v in minimal_violations(report)] == [0b01]
+
+    def test_incomparable_sets_both_kept(self):
+        report = make_report(
+            "x", 7, [Violation(0b011, 5, 4), Violation(0b110, 9, 8)]
+        )
+        assert [v.mask for v in minimal_violations(report)] == [0b011, 0b110]
+
+    def test_empty_report(self):
+        assert minimal_violations(make_report("x", 3, [])) == []
+
+    def test_every_violation_contains_a_minimal_one(self):
+        counts = {0b001: 500, 0b010: 300, 0b011: 400}
+        aggregates = [300, 200, 100]
+        report = ScanValidator(aggregates).validate_counts(counts)
+        minimal = minimal_violations(report)
+        assert minimal
+        for violation in report.violations:
+            assert any(
+                m.mask & violation.mask == m.mask for m in minimal
+            )
+
+
+class TestRevocation:
+    def test_zero_for_feasible(self):
+        assert min_revocation_total({0b1: 50}, [100]) == 0
+        total, plan = revocation_plan({0b1: 50}, [100])
+        assert total == 0 and plan == {}
+
+    def test_simple_excess(self):
+        assert min_revocation_total({0b1: 150}, [100]) == 50
+
+    def test_flexible_routing_reduces_revocation(self):
+        # 120 against {1,2}: routes 100->L1, 20->L2; nothing to revoke.
+        assert min_revocation_total({0b11: 120}, [100, 50]) == 0
+        # 200 against {1,2}: capacity 150 -> revoke 50.
+        assert min_revocation_total({0b11: 200}, [100, 50]) == 50
+
+    def test_plan_restores_feasibility(self):
+        counts = {0b01: 120, 0b10: 80, 0b11: 60}
+        aggregates = [100, 90]
+        total, plan = revocation_plan(counts, aggregates)
+        assert total == min_revocation_total(counts, aggregates)
+        repaired = apply_revocation(counts, plan)
+        assert FlowFeasibilityOracle(aggregates).feasible(repaired)
+
+    def test_apply_revocation_drops_empty_sets(self):
+        repaired = apply_revocation({0b1: 10}, {0b1: 10})
+        assert repaired == {}
+
+    def test_apply_revocation_overdraft_rejected(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            apply_revocation({0b1: 10}, {0b1: 20})
+
+
+class TestSelectRevocations:
+    def _log(self):
+        from repro.logstore.log import ValidationLog
+
+        log = ValidationLog()
+        log.record({1}, 60, "a")
+        log.record({1}, 40, "b")
+        log.record({1}, 30, "c")
+        log.record({2}, 50, "d")
+        return log
+
+    def test_picks_largest_first(self):
+        ids, total = select_revocations(self._log(), {0b1: 50})
+        assert ids == ["a"]  # 60 >= 50 in one revocation
+        assert total == 60
+
+    def test_multiple_needed(self):
+        ids, total = select_revocations(self._log(), {0b1: 90})
+        assert ids == ["a", "b"]
+        assert total == 100
+
+    def test_multiple_sets(self):
+        ids, total = select_revocations(self._log(), {0b1: 10, 0b10: 50})
+        assert set(ids) == {"a", "d"}
+        assert total == 110
+
+    def test_empty_plan(self):
+        assert select_revocations(self._log(), {}) == ([], 0)
+
+    def test_insufficient_revocable_records(self):
+        from repro.errors import ValidationError
+        from repro.logstore.log import ValidationLog
+
+        log = ValidationLog()
+        log.record({1}, 30, "a")
+        log.record({1}, 100)  # anonymous: cannot be revoked
+        with pytest.raises(ValidationError):
+            select_revocations(log, {0b1: 50})
+
+    def test_end_to_end_remediation(self):
+        """plan -> pick licenses -> log.without() -> valid again."""
+        from repro.logstore.log import ValidationLog
+        from repro.validation.naive import ScanValidator
+
+        aggregates = [100, 80]
+        log = ValidationLog()
+        log.record({1}, 70, "u1")
+        log.record({1, 2}, 90, "u2")
+        log.record({2}, 60, "u3")
+        log.record({1, 2}, 40, "u4")  # total 260 > 180 capacity
+        assert not ScanValidator(aggregates).validate_log(log).is_valid
+
+        total, plan = revocation_plan(log.counts_by_mask(), aggregates)
+        assert total > 0
+        ids, _revoked = select_revocations(log, plan)
+        repaired = log.without(ids)
+        assert ScanValidator(aggregates).validate_log(repaired).is_valid
+        # Idempotent: revoking again changes nothing.
+        assert len(repaired.without(ids)) == len(repaired)
+
+
+class TestLogWithout:
+    def test_without_removes_by_id(self):
+        from repro.logstore.log import ValidationLog
+
+        log = ValidationLog()
+        log.record({1}, 10, "a")
+        log.record({2}, 20, "b")
+        remaining = log.without(["a"])
+        assert len(remaining) == 1
+        assert remaining.set_count({2}) == 20
+        assert remaining.set_count({1}) == 0
+
+    def test_without_keeps_anonymous_records(self):
+        from repro.logstore.log import ValidationLog
+
+        log = ValidationLog()
+        log.record({1}, 10)
+        assert len(log.without(["anything"])) == 1
+
+    def test_original_unchanged(self):
+        from repro.logstore.log import ValidationLog
+
+        log = ValidationLog()
+        log.record({1}, 10, "a")
+        log.without(["a"])
+        assert len(log) == 1
+
+
+@st.composite
+def violating_scenarios(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    universe = (1 << n) - 1
+    counts = {}
+    for _ in range(draw(st.integers(min_value=1, max_value=8))):
+        mask = draw(st.integers(min_value=1, max_value=universe))
+        counts[mask] = counts.get(mask, 0) + draw(st.integers(1, 150))
+    aggregates = [draw(st.integers(0, 120)) for _ in range(n)]
+    return counts, aggregates
+
+
+class TestRevocationProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(violating_scenarios())
+    def test_plan_total_is_exact_and_sufficient(self, scenario):
+        counts, aggregates = scenario
+        total, plan = revocation_plan(counts, aggregates)
+        assert total == min_revocation_total(counts, aggregates)
+        assert total == sum(plan.values())
+        repaired = apply_revocation(counts, plan)
+        assert FlowFeasibilityOracle(aggregates).feasible(repaired)
+
+    @settings(max_examples=80, deadline=None)
+    @given(violating_scenarios())
+    def test_zero_revocation_iff_valid(self, scenario):
+        counts, aggregates = scenario
+        report = ScanValidator(aggregates).validate_counts(counts)
+        assert (min_revocation_total(counts, aggregates) == 0) == report.is_valid
+
+    @settings(max_examples=60, deadline=None)
+    @given(violating_scenarios())
+    def test_revocation_lower_bound_from_violations(self, scenario):
+        """Any violated equation's excess lower-bounds the revocation."""
+        counts, aggregates = scenario
+        report = ScanValidator(aggregates).validate_counts(counts)
+        total = min_revocation_total(counts, aggregates)
+        for violation in report.violations:
+            assert total >= violation.excess

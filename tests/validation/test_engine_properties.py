@@ -1,0 +1,129 @@
+"""Property tests: every validation engine agrees on random logs.
+
+This is the correctness backbone of the reproduction: the paper's tree
+engine, both naive baselines, the zeta engine and the max-flow oracle are
+independent implementations of the same mathematical object (the 2^N - 1
+validation equations / transportation feasibility), so they must agree on
+every input.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.validation.flow import FlowFeasibilityOracle
+from repro.validation.naive import ExpansionValidator, ScanValidator
+from repro.validation.tree import ValidationTree
+from repro.validation.tree_validator import TreeValidator
+from repro.validation.zeta import ZetaValidator
+
+
+@st.composite
+def counts_and_aggregates(draw):
+    n = draw(st.integers(min_value=1, max_value=7))
+    universe = (1 << n) - 1
+    n_sets = draw(st.integers(min_value=0, max_value=10))
+    counts = {}
+    for _ in range(n_sets):
+        mask = draw(st.integers(min_value=1, max_value=universe))
+        counts[mask] = counts.get(mask, 0) + draw(
+            st.integers(min_value=1, max_value=200)
+        )
+    aggregates = [
+        draw(st.integers(min_value=0, max_value=300)) for _ in range(n)
+    ]
+    return counts, aggregates
+
+
+def _tree_from_counts(counts):
+    tree = ValidationTree()
+    for mask, count in counts.items():
+        indexes = tuple(i + 1 for i in range(mask.bit_length()) if mask & (1 << i))
+        tree.insert_set(indexes, count)
+    return tree
+
+
+@settings(max_examples=120, deadline=None)
+@given(counts_and_aggregates())
+def test_all_equation_engines_agree(data):
+    counts, aggregates = data
+    tree_report = TreeValidator(aggregates).validate(_tree_from_counts(counts))
+    scan_report = ScanValidator(aggregates).validate_counts(counts)
+    expansion_report = ExpansionValidator(aggregates).validate_counts(counts)
+    zeta_report = ZetaValidator(aggregates).validate_counts(counts)
+
+    assert tree_report.violations == scan_report.violations
+    assert tree_report.violations == expansion_report.violations
+    assert tree_report.violations == zeta_report.violations
+
+
+@settings(max_examples=120, deadline=None)
+@given(counts_and_aggregates())
+def test_equations_iff_flow_feasible(data):
+    """Gale-Hoffman: all equations hold <=> demands are routable."""
+    counts, aggregates = data
+    report = TreeValidator(aggregates).validate(_tree_from_counts(counts))
+    oracle = FlowFeasibilityOracle(aggregates)
+    assert report.is_valid == oracle.feasible(counts)
+
+
+@settings(max_examples=80, deadline=None)
+@given(counts_and_aggregates())
+def test_tree_subset_sum_matches_zeta_table(data):
+    counts, aggregates = data
+    n = len(aggregates)
+    tree = _tree_from_counts(counts)
+    table = ZetaValidator(aggregates).lhs_table(counts)
+    for mask in range(1, 1 << n):
+        assert tree.subset_sum(mask) == table[mask]
+
+
+@settings(max_examples=60, deadline=None)
+@given(counts_and_aggregates(), st.integers(min_value=1, max_value=127))
+def test_headroom_matches_flow_remaining_capacity(data, raw_target):
+    """On feasible logs, the superset-enumeration headroom equals the
+    flow-based remaining capacity (the definitions only diverge on logs
+    that are already invalid -- see repro.validation.capacity)."""
+    from hypothesis import assume
+
+    from repro.validation.capacity import headroom
+
+    counts, aggregates = data
+    n = len(aggregates)
+    universe = (1 << n) - 1
+    target = raw_target & universe
+    if target == 0:
+        target = 1
+    oracle = FlowFeasibilityOracle(aggregates)
+    assume(oracle.feasible(counts))
+    tree = _tree_from_counts(counts)
+    expected = oracle.remaining_capacity(counts, target)
+    assert headroom(tree, aggregates, target) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(counts_and_aggregates(), st.integers(min_value=1, max_value=127))
+def test_issuing_headroom_keeps_log_feasible(data, raw_target):
+    """Issuing exactly headroom(S) more counts keeps every equation
+    satisfiable; issuing one more breaks a superset equation of S."""
+    from hypothesis import assume
+
+    from repro.validation.capacity import headroom
+
+    counts, aggregates = data
+    n = len(aggregates)
+    target = raw_target & ((1 << n) - 1)
+    if target == 0:
+        target = 1
+    oracle = FlowFeasibilityOracle(aggregates)
+    assume(oracle.feasible(counts))
+    tree = _tree_from_counts(counts)
+    slack = headroom(tree, aggregates, target)
+    if slack > 0:
+        probe = dict(counts)
+        probe[target] = probe.get(target, 0) + slack
+        assert oracle.feasible(probe)
+        probe[target] += 1
+        assert not oracle.feasible(probe)
+    else:
+        probe = dict(counts)
+        probe[target] = probe.get(target, 0) + 1
+        assert not oracle.feasible(probe)

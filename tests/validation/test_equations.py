@@ -1,0 +1,90 @@
+"""Unit tests for validation equations as first-class objects."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.validation.equations import (
+    ValidationEquation,
+    enumerate_equations,
+    equation_for_set,
+    total_term_count,
+)
+
+EXAMPLE1_AGGREGATES = [2000, 1000, 3000, 4000, 2000]
+
+
+class TestEquationForSet:
+    def test_example2_equation(self):
+        # Paper Example 2: the equation for {L2, L3, L4}.
+        equation = equation_for_set([2, 3, 4], EXAMPLE1_AGGREGATES)
+        assert equation.rhs == 8000
+        assert equation.term_count == 7
+        terms = set(equation.lhs_terms())
+        assert terms == {
+            frozenset({2}),
+            frozenset({3}),
+            frozenset({4}),
+            frozenset({2, 3}),
+            frozenset({2, 4}),
+            frozenset({3, 4}),
+            frozenset({2, 3, 4}),
+        }
+
+    def test_render_contains_all_terms(self):
+        equation = equation_for_set([2, 3], [10, 20, 30])
+        rendered = equation.render()
+        assert "C[{LD2}]" in rendered
+        assert "C[{LD2, LD3}]" in rendered
+        assert "A[{LD2, LD3}] = 50" in rendered
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValidationError):
+            equation_for_set([], [10])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            equation_for_set([3], [10, 20])
+
+
+class TestEvaluation:
+    def test_evaluate_lhs(self):
+        equation = equation_for_set([1, 2], [100, 100])
+        counts = {0b01: 10, 0b10: 20, 0b11: 5}
+        assert equation.evaluate_lhs(counts) == 35
+
+    def test_evaluate_ignores_non_subsets(self):
+        equation = equation_for_set([1], [100, 100])
+        counts = {0b01: 10, 0b10: 20, 0b11: 5}
+        assert equation.evaluate_lhs(counts) == 10
+
+    def test_holds(self):
+        equation = equation_for_set([1], [15])
+        assert equation.holds({0b1: 15})
+        assert not equation.holds({0b1: 16})
+
+
+class TestEnumeration:
+    def test_count_is_exponential(self):
+        assert len(list(enumerate_equations([1] * 5))) == 31
+
+    def test_rhs_values(self):
+        equations = {e.mask: e.rhs for e in enumerate_equations([10, 20])}
+        assert equations == {0b01: 10, 0b10: 20, 0b11: 30}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            list(enumerate_equations([]))
+
+    def test_license_sets(self):
+        sets = [e.license_set for e in enumerate_equations([1, 1])]
+        assert sets == [frozenset({1}), frozenset({2}), frozenset({1, 2})]
+
+
+class TestTermCount:
+    def test_formula(self):
+        # Σ over non-empty S of (2^|S| - 1) = 3^n - 2^n.
+        for n in range(1, 8):
+            direct = sum(
+                e.term_count for e in enumerate_equations([1] * n)
+            )
+            assert direct == total_term_count(n)

@@ -1,0 +1,125 @@
+"""Unit tests for the max-flow feasibility oracle."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.validation.flow import FlowFeasibilityOracle
+from repro.validation.tree_validator import TreeValidator
+from repro.validation.tree import ValidationTree
+from repro.workloads.scenarios import example1_log
+
+EXAMPLE1_AGGREGATES = [2000, 1000, 3000, 4000, 2000]
+
+
+class TestFeasibility:
+    def test_example1_feasible(self):
+        oracle = FlowFeasibilityOracle(EXAMPLE1_AGGREGATES)
+        assert oracle.feasible_log(example1_log())
+
+    def test_simple_infeasible(self):
+        oracle = FlowFeasibilityOracle([100])
+        assert not oracle.feasible({0b1: 150})
+
+    def test_flexible_demand_routes_around(self):
+        # 80 must go to license 1; 60 can go anywhere: fits in (100, 50).
+        oracle = FlowFeasibilityOracle([100, 50])
+        assert oracle.feasible({0b01: 80, 0b11: 60})
+
+    def test_paper_example1_pathology_is_feasible(self):
+        # L_U^1 (800, {1,2}) + L_U^2 (400, {2}) fit: 800->L1, 400->L2.
+        oracle = FlowFeasibilityOracle([2000, 1000])
+        assert oracle.feasible({0b11: 800, 0b10: 400})
+
+    def test_combined_infeasibility(self):
+        # Each singleton ok, union violated: 60+60 > 100.
+        oracle = FlowFeasibilityOracle([70, 70])
+        assert oracle.feasible({0b01: 60, 0b10: 60})
+        assert not oracle.feasible({0b01: 60, 0b10: 60, 0b11: 30})
+
+    def test_empty_demand_feasible(self):
+        assert FlowFeasibilityOracle([10]).feasible({})
+
+    def test_bad_mask_rejected(self):
+        with pytest.raises(ValidationError):
+            FlowFeasibilityOracle([10]).feasible({0b10: 5})
+
+
+class TestMaxRoutable:
+    def test_total_when_feasible(self):
+        oracle = FlowFeasibilityOracle([100, 50])
+        assert oracle.max_routable({0b01: 80, 0b11: 60}) == 140
+
+    def test_capped_when_infeasible(self):
+        oracle = FlowFeasibilityOracle([100])
+        assert oracle.max_routable({0b1: 150}) == 100
+
+
+class TestAssignment:
+    def test_assignment_respects_sets_and_capacities(self):
+        oracle = FlowFeasibilityOracle([100, 50, 80])
+        counts = {0b011: 90, 0b110: 60, 0b100: 40}
+        feasible, routing = oracle.assignment(counts)
+        assert feasible
+        # Every routed count goes to a license inside its demand set.
+        per_license = {1: 0, 2: 0, 3: 0}
+        per_set = {mask: 0 for mask in counts}
+        for (mask, license_index), amount in routing.items():
+            assert mask & (1 << (license_index - 1))
+            per_license[license_index] += amount
+            per_set[mask] += amount
+        for mask, demanded in counts.items():
+            assert per_set[mask] == demanded
+        assert per_license[1] <= 100
+        assert per_license[2] <= 50
+        assert per_license[3] <= 80
+
+    def test_infeasible_assignment_flagged(self):
+        oracle = FlowFeasibilityOracle([10])
+        feasible, _ = oracle.assignment({0b1: 20})
+        assert not feasible
+
+
+class TestRemainingCapacity:
+    def test_matches_slack_for_singleton(self):
+        oracle = FlowFeasibilityOracle([100])
+        assert oracle.remaining_capacity({0b1: 30}, 0b1) == 70
+
+    def test_flexible_set_uses_both_licenses(self):
+        oracle = FlowFeasibilityOracle([100, 50])
+        # Nothing issued: a {1,2} issuance can absorb 150.
+        assert oracle.remaining_capacity({}, 0b11) == 150
+
+    def test_zero_when_log_already_infeasible(self):
+        oracle = FlowFeasibilityOracle([10])
+        assert oracle.remaining_capacity({0b1: 20}, 0b1) == 0
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValidationError):
+            FlowFeasibilityOracle([10]).remaining_capacity({}, 0)
+
+
+class TestEquivalenceWithEquations:
+    """The Gale-Hoffman equivalence: all equations hold iff flow-feasible."""
+
+    @pytest.mark.parametrize(
+        "counts",
+        [
+            {0b011: 840, 0b010: 400, 0b01011: 30, 0b10100: 800, 0b10000: 20},
+            {0b01: 2000, 0b10: 1000},
+            {0b01: 2001},
+            {0b11: 2500, 0b10: 600},
+        ],
+    )
+    def test_verdicts_match(self, counts):
+        aggregates = EXAMPLE1_AGGREGATES
+        oracle = FlowFeasibilityOracle(aggregates)
+        tree = ValidationTree.from_counts(
+            {
+                frozenset(
+                    i + 1 for i in range(5) if mask & (1 << i)
+                ): count
+                for mask, count in counts.items()
+            }
+        )
+        report = TreeValidator(aggregates).validate(tree)
+        assert report.is_valid == oracle.feasible(counts)

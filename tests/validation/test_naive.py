@@ -1,0 +1,64 @@
+"""Unit tests for the naive validation baselines."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.validation.naive import ExpansionValidator, ScanValidator
+from repro.workloads.scenarios import example1_log
+
+EXAMPLE1_AGGREGATES = [2000, 1000, 3000, 4000, 2000]
+
+
+@pytest.mark.parametrize("engine_cls", [ScanValidator, ExpansionValidator])
+class TestBothBaselines:
+    def test_example1_valid(self, engine_cls):
+        report = engine_cls(EXAMPLE1_AGGREGATES).validate_log(example1_log())
+        assert report.is_valid
+        assert report.equations_checked == 31
+
+    def test_overissue_detected(self, engine_cls):
+        report = engine_cls([100]).validate_counts({0b1: 150})
+        assert not report.is_valid
+        assert report.violations[0].lhs == 150
+
+    def test_combined_overissue_detected(self, engine_cls):
+        # 60 + 60 <= each individually but {1,2} has 120 > 100.
+        report = engine_cls([50, 50]).validate_counts({0b01: 50, 0b10: 50, 0b11: 20})
+        assert not report.is_valid
+        assert frozenset({1, 2}) in report.violated_sets
+
+    def test_empty_counts_valid(self, engine_cls):
+        assert engine_cls([10, 10]).validate_counts({}).is_valid
+
+    def test_mask_out_of_universe_rejected(self, engine_cls):
+        with pytest.raises(ValidationError):
+            engine_cls([10]).validate_counts({0b10: 5})
+
+    def test_zero_mask_rejected(self, engine_cls):
+        with pytest.raises(ValidationError):
+            engine_cls([10]).validate_counts({0: 5})
+
+    def test_empty_aggregates_rejected(self, engine_cls):
+        with pytest.raises(ValidationError):
+            engine_cls([])
+
+    def test_negative_aggregate_rejected(self, engine_cls):
+        with pytest.raises(ValidationError):
+            engine_cls([-1])
+
+
+class TestAgreement:
+    def test_engines_agree_on_example1(self):
+        counts = example1_log().counts_by_mask()
+        scan = ScanValidator(EXAMPLE1_AGGREGATES).validate_counts(counts)
+        expansion = ExpansionValidator(EXAMPLE1_AGGREGATES).validate_counts(counts)
+        assert scan.is_valid == expansion.is_valid
+        assert scan.violations == expansion.violations
+
+    def test_engines_agree_on_violating_counts(self):
+        counts = {0b001: 900, 0b011: 500, 0b110: 700, 0b100: 100}
+        aggregates = [800, 400, 600]
+        scan = ScanValidator(aggregates).validate_counts(counts)
+        expansion = ExpansionValidator(aggregates).validate_counts(counts)
+        assert scan.violations == expansion.violations
+        assert not scan.is_valid

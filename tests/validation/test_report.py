@@ -1,0 +1,40 @@
+"""Unit tests for validation reports and violations."""
+
+from repro.validation.report import ValidationReport, Violation, make_report
+
+
+class TestViolation:
+    def test_license_set_from_mask(self):
+        violation = Violation(0b1011, 50, 40)
+        assert violation.license_set == frozenset({1, 2, 4})
+
+    def test_excess(self):
+        assert Violation(0b1, 50, 40).excess == 10
+
+    def test_str_mentions_licenses(self):
+        text = str(Violation(0b11, 50, 40))
+        assert "LD1" in text and "LD2" in text
+
+
+class TestReport:
+    def test_valid_report(self):
+        report = ValidationReport("tree", 31)
+        assert report.is_valid
+        assert "VALID" in report.summary()
+        assert "31 equations" in report.summary()
+
+    def test_invalid_report(self):
+        report = make_report("tree", 31, [Violation(0b1, 5, 4)])
+        assert not report.is_valid
+        assert "INVALID" in report.summary()
+        assert report.violated_sets == [frozenset({1})]
+
+    def test_make_report_orders_by_mask(self):
+        report = make_report(
+            "x", 3, [Violation(0b100, 1, 0), Violation(0b001, 1, 0)]
+        )
+        assert [v.mask for v in report.violations] == [0b001, 0b100]
+
+    def test_str_lists_violations(self):
+        report = make_report("x", 3, [Violation(0b1, 5, 4)])
+        assert "C<{LD1}>" in str(report)

@@ -1,0 +1,260 @@
+"""Unit tests for the validation tree (Algorithm 1 + subset-sum traversal)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.logstore.record import LogRecord
+from repro.validation.tree import TreeNode, ValidationTree
+from repro.workloads.scenarios import example1_log
+
+
+@pytest.fixture
+def table2_tree():
+    """The tree of the paper's Figure 1 (built from Table 2)."""
+    return ValidationTree.from_log(example1_log())
+
+
+class TestInsertion:
+    def test_single_record(self):
+        tree = ValidationTree()
+        tree.insert_set((1, 2), 800)
+        assert tree.node_count() == 2
+        assert tree.subset_sum(0b11) == 800
+
+    def test_same_set_accumulates(self):
+        tree = ValidationTree()
+        tree.insert_set((1, 2), 800)
+        tree.insert_set((1, 2), 40)
+        assert tree.subset_sum(0b11) == 840
+        assert tree.node_count() == 2  # no new nodes
+
+    def test_prefix_sharing(self):
+        tree = ValidationTree()
+        tree.insert_set((1, 2), 10)
+        tree.insert_set((1, 2, 4), 5)
+        # Path 1->2 is shared; only node 4 is added.
+        assert tree.node_count() == 3
+
+    def test_children_kept_ordered(self):
+        tree = ValidationTree()
+        tree.insert_set((3,), 1)
+        tree.insert_set((1,), 1)
+        tree.insert_set((2,), 1)
+        assert [child.index for child in tree.root.children] == [1, 2, 3]
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValidationError):
+            ValidationTree().insert_set((), 1)
+
+    def test_unsorted_set_rejected(self):
+        with pytest.raises(ValidationError):
+            ValidationTree().insert_set((2, 1), 1)
+
+    def test_duplicate_index_rejected(self):
+        with pytest.raises(ValidationError):
+            ValidationTree().insert_set((1, 1), 1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            ValidationTree().insert_set((1,), -1)
+
+    def test_insert_record(self):
+        tree = ValidationTree()
+        tree.insert(LogRecord(frozenset({4, 2, 1}), 30))
+        assert tree.subset_sum(0b1011) == 30
+
+
+class TestFigure1:
+    """The tree of Figure 1: structure and counts from Table 2."""
+
+    def test_root_children(self, table2_tree):
+        # Branches start at 1 (for {1,2}, {1,2,4}), 2 ({2}), 3 ({3,5}), 5 ({5}).
+        assert [child.index for child in table2_tree.root.children] == [1, 2, 3, 5]
+
+    def test_stored_counts(self, table2_tree):
+        counts = table2_tree.counts_by_mask()
+        assert counts == {
+            0b00011: 840,  # {1,2}
+            0b00010: 400,  # {2}
+            0b01011: 30,   # {1,2,4}
+            0b10100: 800,  # {3,5}
+            0b10000: 20,   # {5}
+        }
+
+    def test_node_count(self, table2_tree):
+        # Paths: 1-2, 1-2-4, 2, 3-5, 5 -> nodes {1,12,124,2,3,35,5} = 7.
+        assert table2_tree.node_count() == 7
+
+    def test_interior_node_count_is_zero(self, table2_tree):
+        # Node '1' (the prefix of {1,2}) carries no direct count.
+        node1 = table2_tree.root.children[0]
+        assert node1.index == 1
+        assert node1.count == 0
+
+    def test_depth(self, table2_tree):
+        assert table2_tree.depth() == 3  # root -> 1 -> 2 -> 4
+
+    def test_max_index(self, table2_tree):
+        assert table2_tree.max_index() == 5
+
+
+class TestSubsetSum:
+    def test_lhs_for_full_set(self, table2_tree):
+        # C<{1..5}> = sum of all stored counts.
+        assert table2_tree.subset_sum(0b11111) == 2090
+
+    def test_lhs_for_group1(self, table2_tree):
+        # C<{1,2,4}> = C[{1,2}] + C[{2}] + C[{1,2,4}] = 840+400+30.
+        assert table2_tree.subset_sum(0b01011) == 1270
+
+    def test_lhs_for_group2(self, table2_tree):
+        # C<{3,5}> = C[{3,5}] + C[{5}] = 820.
+        assert table2_tree.subset_sum(0b10100) == 820
+
+    def test_lhs_for_singleton(self, table2_tree):
+        assert table2_tree.subset_sum(0b00010) == 400  # C<{2}> = C[{2}]
+        assert table2_tree.subset_sum(0b00001) == 0    # C<{1}> : {1} never logged
+
+    def test_lhs_for_cross_group_set(self, table2_tree):
+        # C<{2,3}> = C[{2}] (no {3} or {2,3} records).
+        assert table2_tree.subset_sum(0b00110) == 400
+
+    def test_lhs_zero_mask(self, table2_tree):
+        assert table2_tree.subset_sum(0) == 0
+
+    def test_matches_brute_force_on_all_masks(self, table2_tree):
+        counts = table2_tree.counts_by_mask()
+        for mask in range(1, 1 << 5):
+            expected = sum(
+                count for stored, count in counts.items() if stored & mask == stored
+            )
+            assert table2_tree.subset_sum(mask) == expected
+
+
+class TestConstruction:
+    def test_from_counts(self):
+        tree = ValidationTree.from_counts({frozenset({1, 3}): 7, frozenset({2}): 5})
+        assert tree.subset_sum(0b111) == 12
+
+    def test_to_nested_dict(self):
+        tree = ValidationTree()
+        tree.insert_set((1, 2), 10)
+        rendered = tree.to_nested_dict()
+        assert rendered["index"] == 0
+        assert rendered["children"][0]["index"] == 1
+        assert rendered["children"][0]["children"][0]["count"] == 10
+
+    def test_deep_tree_no_recursion_limit(self):
+        # 2000-deep path: iterative traversals must not hit the
+        # interpreter recursion limit.
+        tree = ValidationTree()
+        tree.insert_set(tuple(range(1, 2001)), 1)
+        mask = (1 << 2000) - 1
+        assert tree.subset_sum(mask) == 1
+        assert tree.node_count() == 2000
+        assert tree.depth() == 2000
+
+
+class TestRecursiveInsert:
+    """The literal Algorithm 1 transcription equals the iterative insert."""
+
+    def test_matches_iterative_on_table2(self):
+        iterative = ValidationTree.from_log(example1_log())
+        recursive = ValidationTree()
+        for record in example1_log():
+            recursive.insert_recursive(record)
+        assert recursive.counts_by_mask() == iterative.counts_by_mask()
+        assert recursive.to_nested_dict() == iterative.to_nested_dict()
+
+    def test_accumulates_on_repeat(self):
+        tree = ValidationTree()
+        tree.insert_recursive(LogRecord(frozenset({1, 2}), 800))
+        tree.insert_recursive(LogRecord(frozenset({1, 2}), 40))
+        assert tree.subset_sum(0b11) == 840
+
+    def test_random_equivalence(self):
+        import random
+
+        rng = random.Random(5)
+        records = [
+            LogRecord(
+                frozenset(rng.sample(range(1, 9), rng.randint(1, 4))),
+                rng.randint(1, 50),
+            )
+            for _ in range(60)
+        ]
+        iterative = ValidationTree()
+        recursive = ValidationTree()
+        for record in records:
+            iterative.insert(record)
+            recursive.insert_recursive(record)
+        assert iterative.to_nested_dict() == recursive.to_nested_dict()
+
+
+class TestMerge:
+    def test_merge_equals_concatenated_log(self):
+        from repro.logstore.log import ValidationLog
+
+        first, second = ValidationLog(), ValidationLog()
+        first.record({1, 2}, 800)
+        first.record({2}, 400)
+        second.record({1, 2}, 40)
+        second.record({3, 5}, 800)
+        combined = ValidationLog()
+        for record in [*first, *second]:
+            combined.append(record)
+
+        merged = ValidationTree.from_log(first)
+        merged.merge(ValidationTree.from_log(second))
+        reference = ValidationTree.from_log(combined)
+        assert merged.counts_by_mask() == reference.counts_by_mask()
+        for mask in range(1, 32):
+            assert merged.subset_sum(mask) == reference.subset_sum(mask)
+
+    def test_merge_empty_is_noop(self, table2_tree):
+        before = table2_tree.counts_by_mask()
+        table2_tree.merge(ValidationTree())
+        assert table2_tree.counts_by_mask() == before
+
+    def test_merge_into_empty(self, table2_tree):
+        target = ValidationTree()
+        target.merge(table2_tree)
+        assert target.counts_by_mask() == table2_tree.counts_by_mask()
+
+    def test_merge_does_not_mutate_source(self, table2_tree):
+        source_before = table2_tree.counts_by_mask()
+        target = ValidationTree()
+        target.insert_set((1,), 5)
+        target.merge(table2_tree)
+        assert table2_tree.counts_by_mask() == source_before
+
+    def test_merge_is_commutative_on_counts(self):
+        a = ValidationTree()
+        a.insert_set((1, 3), 10)
+        b = ValidationTree()
+        b.insert_set((2,), 7)
+        b.insert_set((1, 3), 5)
+        ab = ValidationTree()
+        ab.merge(a)
+        ab.merge(b)
+        ba = ValidationTree()
+        ba.merge(b)
+        ba.merge(a)
+        assert ab.counts_by_mask() == ba.counts_by_mask()
+
+
+class TestTreeNode:
+    def test_child_with_index_stops_early(self):
+        node = TreeNode()
+        node.insert_child(2)
+        node.insert_child(5)
+        assert node.child_with_index(2).index == 2
+        assert node.child_with_index(3) is None
+        assert node.child_with_index(9) is None
+
+    def test_insert_child_is_idempotent(self):
+        node = TreeNode()
+        first = node.insert_child(3)
+        second = node.insert_child(3)
+        assert first is second
+        assert len(node.children) == 1

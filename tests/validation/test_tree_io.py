@@ -1,0 +1,153 @@
+"""Unit tests for validation-tree checkpointing."""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.core.grouping import GroupStructure
+from repro.core.validator import GroupedValidator
+from repro.validation.tree import ValidationTree
+from repro.validation.tree_io import (
+    dumps_grouped,
+    dumps_tree,
+    loads_grouped,
+    loads_tree,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.workloads.scenarios import example1, example1_log
+
+
+class TestTreeRoundTrip:
+    def test_table2_tree(self):
+        tree = ValidationTree.from_log(example1_log())
+        rebuilt = loads_tree(dumps_tree(tree))
+        assert rebuilt.counts_by_mask() == tree.counts_by_mask()
+        assert rebuilt.node_count() == tree.node_count()
+        # Subset sums identical over the whole lattice.
+        for mask in range(1, 32):
+            assert rebuilt.subset_sum(mask) == tree.subset_sum(mask)
+
+    def test_empty_tree(self):
+        rebuilt = loads_tree(dumps_tree(ValidationTree()))
+        assert rebuilt.node_count() == 0
+
+    def test_checkpoint_is_json(self):
+        payload = json.loads(dumps_tree(ValidationTree.from_log(example1_log())))
+        assert payload["version"] == 1
+
+    def test_child_order_enforced(self):
+        payload = {
+            "version": 1,
+            "tree": {
+                "index": 0,
+                "count": 0,
+                "children": [
+                    {"index": 3, "count": 1, "children": []},
+                    {"index": 1, "count": 1, "children": []},
+                ],
+            },
+        }
+        with pytest.raises(SerializationError):
+            tree_from_dict(payload)
+
+    def test_bad_version(self):
+        with pytest.raises(SerializationError):
+            tree_from_dict({"version": 99, "tree": {}})
+
+    def test_bad_root(self):
+        with pytest.raises(SerializationError):
+            tree_from_dict(
+                {"version": 1, "tree": {"index": 2, "count": 0, "children": []}}
+            )
+        with pytest.raises(SerializationError):
+            tree_from_dict(
+                {"version": 1, "tree": {"index": 0, "count": 5, "children": []}}
+            )
+
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError):
+            loads_tree("{broken")
+
+    def test_malformed_node(self):
+        with pytest.raises(SerializationError):
+            tree_from_dict({"version": 1, "tree": {"index": 0}})
+
+
+class TestCheckpointProperties:
+    """Property: arbitrary trees survive the checkpoint round-trip."""
+
+    def test_random_trees_round_trip(self):
+        from hypothesis import given, settings, strategies as st
+
+        @st.composite
+        def random_trees(draw):
+            tree = ValidationTree()
+            for _ in range(draw(st.integers(min_value=0, max_value=15))):
+                members = draw(
+                    st.sets(
+                        st.integers(min_value=1, max_value=8),
+                        min_size=1,
+                        max_size=5,
+                    )
+                )
+                tree.insert_set(
+                    tuple(sorted(members)), draw(st.integers(1, 100))
+                )
+            return tree
+
+        @settings(max_examples=60, deadline=None)
+        @given(random_trees())
+        def check(tree):
+            rebuilt = loads_tree(dumps_tree(tree))
+            assert rebuilt.counts_by_mask() == tree.counts_by_mask()
+            assert rebuilt.node_count() == tree.node_count()
+            for mask in range(1, 1 << 8):
+                assert rebuilt.subset_sum(mask) == tree.subset_sum(mask)
+
+        check()
+
+
+class TestGroupedRoundTrip:
+    def test_grouped_checkpoint(self):
+        pool = example1().pool
+        validator = GroupedValidator.from_pool(pool)
+        grouped = validator.build(example1_log())
+        text = dumps_grouped(grouped.structure, list(grouped.trees))
+        structure, trees = loads_grouped(text)
+        assert structure == grouped.structure
+        assert len(trees) == 2
+        for original, rebuilt in zip(grouped.trees, trees):
+            assert rebuilt.counts_by_mask() == original.counts_by_mask()
+
+    def test_restored_checkpoint_validates_identically(self):
+        from repro.core.grouped_tree import GroupedValidationTree
+
+        pool = example1().pool
+        validator = GroupedValidator.from_pool(pool)
+        grouped = validator.build(example1_log())
+        structure, trees = loads_grouped(
+            dumps_grouped(grouped.structure, list(grouped.trees))
+        )
+        restored = GroupedValidationTree(
+            structure,
+            trees,
+            [
+                [pool.aggregate_array()[i - 1] for i in sorted(group)]
+                for group in structure.groups
+            ],
+        )
+        assert restored.validate().is_valid == grouped.validate().is_valid
+        assert restored.equations_required == grouped.equations_required
+
+    def test_tree_count_mismatch(self):
+        structure = GroupStructure((frozenset({1}), frozenset({2})), 2)
+        with pytest.raises(SerializationError):
+            dumps_grouped(structure, [ValidationTree()])
+
+    def test_malformed_grouped_payload(self):
+        with pytest.raises(SerializationError):
+            loads_grouped('{"version": 1, "n": 2}')
+        with pytest.raises(SerializationError):
+            loads_grouped("{nope")

@@ -1,0 +1,137 @@
+"""Unit tests for Algorithm 2 (all-equations tree validation)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.validation.tree import ValidationTree
+from repro.validation.tree_validator import TreeValidator
+from repro.workloads.scenarios import example1, example1_log
+
+EXAMPLE1_AGGREGATES = [2000, 1000, 3000, 4000, 2000]
+
+
+@pytest.fixture
+def table2_tree():
+    return ValidationTree.from_log(example1_log())
+
+
+class TestConstruction:
+    def test_empty_aggregates_rejected(self):
+        with pytest.raises(ValidationError):
+            TreeValidator([])
+
+    def test_negative_aggregate_rejected(self):
+        with pytest.raises(ValidationError):
+            TreeValidator([10, -5])
+
+    def test_n_and_aggregates(self):
+        validator = TreeValidator(EXAMPLE1_AGGREGATES)
+        assert validator.n == 5
+        assert validator.aggregates == EXAMPLE1_AGGREGATES
+
+    def test_rhs_lookup(self):
+        validator = TreeValidator(EXAMPLE1_AGGREGATES)
+        assert validator.rhs(0b01110) == 8000  # paper Example 2
+
+
+class TestValidation:
+    def test_example1_log_is_valid(self, table2_tree):
+        report = TreeValidator(EXAMPLE1_AGGREGATES).validate(table2_tree)
+        assert report.is_valid
+        assert report.equations_checked == 31  # 2^5 - 1
+        assert report.engine == "tree"
+
+    def test_validate_log_convenience(self):
+        report = TreeValidator(EXAMPLE1_AGGREGATES).validate_log(example1_log())
+        assert report.is_valid
+
+    def test_overissue_single_license(self):
+        tree = ValidationTree()
+        tree.insert_set((2,), 1200)  # A_2 = 1000
+        report = TreeValidator(EXAMPLE1_AGGREGATES).validate(tree)
+        assert not report.is_valid
+        assert frozenset({2}) in report.violated_sets
+
+    def test_violation_lhs_rhs(self):
+        tree = ValidationTree()
+        tree.insert_set((1,), 150)
+        report = TreeValidator([100]).validate(tree)
+        violation = report.violations[0]
+        assert (violation.lhs, violation.rhs, violation.excess) == (150, 100, 50)
+
+    def test_combined_overissue_detected(self):
+        # Each license individually within bounds, but their union is not:
+        # C<{1,2}> = 900+900+900 = 2700 > 2000+1000? No: 2700 <= 3000.
+        # Use 1100 + 1100 + 1100 = 3300 > 3000.
+        tree = ValidationTree()
+        tree.insert_set((1,), 1100)
+        tree.insert_set((2,), 900)
+        tree.insert_set((1, 2), 1100)
+        report = TreeValidator(EXAMPLE1_AGGREGATES).validate(tree)
+        assert not report.is_valid
+        assert frozenset({1, 2}) in report.violated_sets
+        # Singletons alone are fine.
+        assert frozenset({1}) not in report.violated_sets
+        assert frozenset({2}) not in report.violated_sets
+
+    def test_violation_propagates_to_supersets(self):
+        # A violated set S also violates every superset T whose extra
+        # licenses have no spare capacity... not in general; but a
+        # violation of the FULL set means total issued > total capacity.
+        tree = ValidationTree()
+        tree.insert_set((1,), 99)
+        report = TreeValidator([10, 10]).validate(tree)
+        violated = set(report.violated_sets)
+        assert frozenset({1}) in violated
+        assert frozenset({1, 2}) in violated  # 99 > 20
+
+    def test_stop_at_first(self):
+        tree = ValidationTree()
+        tree.insert_set((1,), 99)
+        report = TreeValidator([10, 10]).validate(tree, stop_at_first=True)
+        assert len(report.violations) == 1
+        assert report.equations_checked < 3
+
+    def test_tree_with_out_of_range_index_rejected(self):
+        tree = ValidationTree()
+        tree.insert_set((7,), 1)
+        with pytest.raises(ValidationError):
+            TreeValidator([10, 10]).validate(tree)
+
+    def test_empty_tree_valid(self):
+        report = TreeValidator([10]).validate(ValidationTree())
+        assert report.is_valid
+        assert report.equations_checked == 1
+
+
+class TestCheckEquation:
+    def test_single_equation_ok(self, table2_tree):
+        validator = TreeValidator(EXAMPLE1_AGGREGATES)
+        assert validator.check_equation(table2_tree, 0b01011) is None
+
+    def test_single_equation_violated(self):
+        tree = ValidationTree()
+        tree.insert_set((1,), 150)
+        validator = TreeValidator([100])
+        violation = validator.check_equation(tree, 0b1)
+        assert violation is not None
+        assert violation.lhs == 150
+
+    def test_mask_out_of_range(self, table2_tree):
+        validator = TreeValidator(EXAMPLE1_AGGREGATES)
+        with pytest.raises(ValidationError):
+            validator.check_equation(table2_tree, 0)
+        with pytest.raises(ValidationError):
+            validator.check_equation(table2_tree, 1 << 5)
+
+
+class TestBoundaryExactness:
+    def test_exactly_at_capacity_is_valid(self):
+        tree = ValidationTree()
+        tree.insert_set((1,), 100)
+        assert TreeValidator([100]).validate(tree).is_valid
+
+    def test_one_over_capacity_is_invalid(self):
+        tree = ValidationTree()
+        tree.insert_set((1,), 101)
+        assert not TreeValidator([100]).validate(tree).is_valid

@@ -1,0 +1,69 @@
+"""Unit tests for the zeta-transform (SOS DP) validation engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.validation.naive import ScanValidator
+from repro.validation.zeta import ZetaValidator, subset_sums_dense
+from repro.workloads.scenarios import example1_log
+
+EXAMPLE1_AGGREGATES = [2000, 1000, 3000, 4000, 2000]
+
+
+class TestSubsetSumsDense:
+    def test_small_case(self):
+        table = subset_sums_dense({0b01: 10, 0b10: 20}, 2)
+        assert table.tolist() == [0, 10, 20, 30]
+
+    def test_value_on_its_own_mask(self):
+        table = subset_sums_dense({0b101: 7}, 3)
+        assert table[0b101] == 7
+        assert table[0b111] == 7
+        assert table[0b011] == 0
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        counts = {int(m): int(rng.integers(1, 50)) for m in rng.integers(1, 64, 12)}
+        table = subset_sums_dense(counts, 6)
+        for mask in range(64):
+            expected = sum(v for m, v in counts.items() if m & mask == m)
+            assert table[mask] == expected
+
+    def test_out_of_range_mask_rejected(self):
+        with pytest.raises(ValidationError):
+            subset_sums_dense({0b1000: 1}, 3)
+
+
+class TestZetaValidator:
+    def test_example1_valid(self):
+        report = ZetaValidator(EXAMPLE1_AGGREGATES).validate_log(example1_log())
+        assert report.is_valid
+        assert report.equations_checked == 31
+        assert report.engine == "zeta"
+
+    def test_overissue_detected(self):
+        report = ZetaValidator([100]).validate_counts({0b1: 150})
+        assert not report.is_valid
+        assert report.violations[0].lhs == 150
+        assert report.violations[0].rhs == 100
+
+    def test_agrees_with_scan_engine(self):
+        counts = {0b001: 900, 0b011: 500, 0b110: 700, 0b100: 100}
+        aggregates = [800, 400, 600]
+        zeta = ZetaValidator(aggregates).validate_counts(counts)
+        scan = ScanValidator(aggregates).validate_counts(counts)
+        assert zeta.violations == scan.violations
+
+    def test_max_n_cap(self):
+        with pytest.raises(ValidationError):
+            ZetaValidator([1] * 10, max_n=8)
+
+    def test_empty_counts_valid(self):
+        assert ZetaValidator([5, 5]).validate_counts({}).is_valid
+
+    def test_lhs_table_exposed(self):
+        validator = ZetaValidator([10, 10])
+        table = validator.lhs_table({0b01: 3, 0b11: 4})
+        assert table[0b01] == 3
+        assert table[0b11] == 7

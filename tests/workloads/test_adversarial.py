@@ -1,0 +1,100 @@
+"""Unit tests for extremal pool constructors and the Eq. 3 bounds."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.core.gain import gain_bounds
+from repro.core.validator import GroupedValidator
+from repro.workloads.adversarial import (
+    blocks_pool,
+    chain_pool,
+    clique_pool,
+    disjoint_pool,
+)
+
+
+class TestCliquePool:
+    @pytest.mark.parametrize("n", [1, 2, 7])
+    def test_single_group(self, n):
+        validator = GroupedValidator.from_pool(clique_pool(n))
+        assert validator.structure.count == 1
+        assert validator.theoretical_gain == 1.0  # Eq. 3 lower bound
+
+    def test_all_edges_present(self):
+        validator = GroupedValidator.from_pool(clique_pool(4))
+        assert validator.graph.edge_count() == 6
+
+
+class TestDisjointPool:
+    @pytest.mark.parametrize("n", [1, 2, 7])
+    def test_singleton_groups(self, n):
+        validator = GroupedValidator.from_pool(disjoint_pool(n))
+        assert validator.structure.count == n
+        # Eq. 3 upper bound: (2^n - 1)/n.
+        assert validator.theoretical_gain == pytest.approx(gain_bounds(n)[1])
+
+    def test_no_edges(self):
+        validator = GroupedValidator.from_pool(disjoint_pool(5))
+        assert validator.graph.edge_count() == 0
+
+
+class TestChainPool:
+    @pytest.mark.parametrize("n", [2, 5, 9])
+    def test_path_graph(self, n):
+        validator = GroupedValidator.from_pool(chain_pool(n))
+        edges = sorted(validator.graph.edges())
+        assert edges == [(i, i + 1) for i in range(1, n)]
+        assert validator.structure.count == 1
+
+    def test_single_license(self):
+        validator = GroupedValidator.from_pool(chain_pool(1))
+        assert validator.structure.count == 1
+
+
+class TestBlocksPool:
+    def test_exact_group_sizes(self):
+        validator = GroupedValidator.from_pool(blocks_pool([3, 2, 4]))
+        assert validator.structure.sizes == (3, 2, 4)
+
+    def test_gain_matches_eq3(self):
+        from repro.core.gain import theoretical_gain
+
+        validator = GroupedValidator.from_pool(blocks_pool([3, 2]))
+        assert validator.theoretical_gain == pytest.approx(theoretical_gain([3, 2]))
+        assert validator.theoretical_gain == pytest.approx(3.1)
+
+    def test_group_membership_is_slab_by_slab(self):
+        validator = GroupedValidator.from_pool(blocks_pool([2, 3]))
+        assert validator.structure.groups == (
+            frozenset({1, 2}),
+            frozenset({3, 4, 5}),
+        )
+
+
+class TestErrors:
+    def test_zero_licenses(self):
+        with pytest.raises(WorkloadError):
+            clique_pool(0)
+        with pytest.raises(WorkloadError):
+            disjoint_pool(0)
+        with pytest.raises(WorkloadError):
+            chain_pool(-1)
+
+    def test_bad_blocks(self):
+        with pytest.raises(WorkloadError):
+            blocks_pool([])
+        with pytest.raises(WorkloadError):
+            blocks_pool([2, 0])
+
+
+class TestGainBoundsTightness:
+    """The extremal pools realize both ends of the Eq. 3 range, proving
+    the bounds the paper states are tight."""
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_bounds_achieved(self, n):
+        low, high = gain_bounds(n)
+        assert GroupedValidator.from_pool(clique_pool(n)).theoretical_gain == low
+        assert GroupedValidator.from_pool(
+            disjoint_pool(n)
+        ).theoretical_gain == pytest.approx(high)

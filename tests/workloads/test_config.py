@@ -1,0 +1,75 @@
+"""Unit tests for workload configuration."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.config import DEFAULT_RECORDS_PER_LICENSE, WorkloadConfig
+
+
+class TestDefaults:
+    def test_paper_parameters(self):
+        config = WorkloadConfig(n_licenses=10)
+        assert config.n_dims == 4
+        assert config.aggregate_range == (5000, 20000)
+        assert config.count_range == (10, 30)
+
+    def test_default_records_scale(self):
+        # ~600 records at N=1 up to ~22000 at N=35 (paper Section 5).
+        assert WorkloadConfig(n_licenses=1).records == DEFAULT_RECORDS_PER_LICENSE
+        assert WorkloadConfig(n_licenses=35).records == pytest.approx(22000, rel=0.05)
+
+    def test_explicit_records_override(self):
+        assert WorkloadConfig(n_licenses=5, n_records=100).records == 100
+
+    def test_zero_records_allowed(self):
+        assert WorkloadConfig(n_licenses=5, n_records=0).records == 0
+
+
+class TestClusters:
+    def test_heuristic_bounds(self):
+        for n in range(1, 40):
+            clusters = WorkloadConfig(n_licenses=n).clusters
+            assert 1 <= clusters <= min(5, n)
+
+    def test_single_license_single_cluster(self):
+        assert WorkloadConfig(n_licenses=1).clusters == 1
+
+    def test_target_respected(self):
+        assert WorkloadConfig(n_licenses=20, target_groups=3).clusters == 3
+
+    def test_target_capped_by_n(self):
+        assert WorkloadConfig(n_licenses=2, target_groups=5).clusters == 2
+
+
+class TestValidation:
+    def test_bad_n_licenses(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(n_licenses=0)
+
+    def test_bad_dims(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(n_licenses=1, n_dims=0)
+
+    def test_negative_records(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(n_licenses=1, n_records=-1)
+
+    def test_bad_aggregate_range(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(n_licenses=1, aggregate_range=(100, 50))
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(n_licenses=1, aggregate_range=(0, 50))
+
+    def test_bad_domain(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(n_licenses=1, domain=(5.0, 5.0))
+
+    def test_bad_fractions(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(n_licenses=1, license_extent_fraction=(0.0, 0.5))
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(n_licenses=1, usage_extent_fraction=(0.5, 1.5))
+
+    def test_bad_target_groups(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(n_licenses=1, target_groups=0)

@@ -1,0 +1,190 @@
+"""Unit tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.core.grouping import form_groups
+from repro.core.overlap import OverlapGraph
+from repro.matching.matcher import BruteForceMatcher
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import WorkloadGenerator, generate_workload
+
+
+@pytest.fixture
+def workload():
+    return WorkloadGenerator(
+        WorkloadConfig(n_licenses=10, seed=4, n_records=150)
+    ).generate()
+
+
+class TestPoolGeneration:
+    def test_pool_size(self, workload):
+        assert len(workload.pool) == 10
+        assert workload.n == 10
+
+    def test_aggregates_in_range(self, workload):
+        for aggregate in workload.aggregates:
+            assert 5000 <= aggregate <= 20000
+
+    def test_dimensions(self, workload):
+        for box in workload.pool.boxes():
+            assert box.dimensions == 4
+
+    def test_deterministic_given_seed(self):
+        config = WorkloadConfig(n_licenses=6, seed=9, n_records=50)
+        a = WorkloadGenerator(config).generate()
+        b = WorkloadGenerator(config).generate()
+        assert a.pool.aggregate_array() == b.pool.aggregate_array()
+        assert a.log.counts_by_set() == b.log.counts_by_set()
+
+    def test_different_seeds_differ(self):
+        a = generate_workload(6, seed=1, n_records=50)
+        b = generate_workload(6, seed=2, n_records=50)
+        assert (
+            a.pool.aggregate_array() != b.pool.aggregate_array()
+            or a.log.counts_by_set() != b.log.counts_by_set()
+        )
+
+
+class TestClusterSeparation:
+    def test_clusters_are_disconnected(self):
+        # Licenses in different cluster slabs can never overlap, so the
+        # group count is at least the number of inhabited clusters.
+        config = WorkloadConfig(n_licenses=12, seed=0, n_records=0, target_groups=3)
+        workload = WorkloadGenerator(config).generate()
+        structure = form_groups(OverlapGraph.from_pool(workload.pool))
+        assert structure.count >= 3
+
+    def test_single_cluster_can_form_one_group(self):
+        config = WorkloadConfig(
+            n_licenses=8,
+            seed=0,
+            n_records=0,
+            target_groups=1,
+            license_extent_fraction=(0.9, 0.99),  # huge overlap probability
+        )
+        workload = WorkloadGenerator(config).generate()
+        structure = form_groups(OverlapGraph.from_pool(workload.pool))
+        assert structure.count == 1
+
+
+class TestLogGeneration:
+    def test_record_count(self, workload):
+        assert len(workload.log) == 150
+
+    def test_counts_in_range(self, workload):
+        for record in workload.log:
+            assert 10 <= record.count <= 30
+
+    def test_match_sets_are_correct(self, workload):
+        # Spot-check: each logged set matches brute-force instance
+        # matching of a reconstructed usage box is impossible (usages are
+        # transient), but every logged set must be non-empty and within
+        # the pool's index range.
+        n = len(workload.pool)
+        for record in workload.log:
+            assert record.license_set
+            assert all(1 <= index <= n for index in record.license_set)
+
+    def test_usage_boxes_instance_match_parent(self):
+        # Re-derive usages via the public stream and check the matcher
+        # agrees with pool.matching_indexes.
+        config = WorkloadConfig(n_licenses=5, seed=3, n_records=0)
+        generator = WorkloadGenerator(config)
+        pool = generator.generate_pool()
+        matcher = BruteForceMatcher(pool)
+        for usage in generator.issue_stream(pool, 30):
+            matched = matcher.match(usage)
+            assert matched, "generated usage must match at least its parent"
+
+    def test_zero_records(self):
+        workload = generate_workload(4, seed=0, n_records=0)
+        assert len(workload.log) == 0
+
+
+class TestCategoricalAxes:
+    @pytest.fixture
+    def mixed_workload(self):
+        config = WorkloadConfig(
+            n_licenses=10, seed=6, n_records=200, n_categorical_dims=2
+        )
+        return WorkloadGenerator(config).generate()
+
+    def test_schema_shape(self, mixed_workload):
+        from repro.licenses.schema import DimensionKind
+
+        kinds = [spec.kind for spec in mixed_workload.schema.dimensions]
+        assert kinds == [
+            DimensionKind.INTERVAL,
+            DimensionKind.INTERVAL,
+            DimensionKind.DISCRETE,
+            DimensionKind.DISCRETE,
+        ]
+
+    def test_license_atoms_within_universe(self, mixed_workload):
+        from repro.geometry.discrete import DiscreteSet
+
+        universe = {f"a{k}" for k in range(12)}
+        for box in mixed_workload.pool.boxes():
+            for extent in box.extents:
+                if isinstance(extent, DiscreteSet):
+                    assert extent.atoms <= universe
+                    assert extent.atoms
+
+    def test_usages_still_match(self, mixed_workload):
+        # Every record has a non-empty set: shrunken copies (including
+        # the atom subsets) fit their parent.
+        assert len(mixed_workload.log) == 200
+        for record in mixed_workload.log:
+            assert record.license_set
+
+    def test_full_pipeline_on_mixed_axes(self, mixed_workload):
+        from repro.core.validator import GroupedValidator
+        from repro.validation.naive import ScanValidator
+
+        grouped = GroupedValidator.from_pool(mixed_workload.pool).validate(
+            mixed_workload.log
+        )
+        baseline = ScanValidator(mixed_workload.aggregates).validate_log(
+            mixed_workload.log
+        )
+        assert grouped.is_valid == baseline.is_valid
+
+    def test_all_matchers_agree_on_mixed_workload(self):
+        from repro.matching.matcher import BruteForceMatcher
+        from repro.matching.sorted_index import SortedCandidateMatcher
+        from repro.matching.index import IndexedMatcher
+
+        config = WorkloadConfig(
+            n_licenses=8, seed=2, n_records=0, n_categorical_dims=2
+        )
+        generator = WorkloadGenerator(config)
+        pool = generator.generate_pool()
+        matchers = [
+            BruteForceMatcher(pool),
+            IndexedMatcher(pool),
+            SortedCandidateMatcher(pool),
+        ]
+        for usage in generator.issue_stream(pool, 50):
+            results = {m.match(usage) for m in matchers}
+            assert len(results) == 1
+
+    def test_too_many_categorical_dims_rejected(self):
+        import pytest as _pytest
+
+        from repro.errors import WorkloadError
+
+        with _pytest.raises(WorkloadError):
+            WorkloadConfig(n_licenses=3, n_dims=4, n_categorical_dims=4)
+        with _pytest.raises(WorkloadError):
+            WorkloadConfig(n_licenses=3, atoms_per_dim=0)
+        with _pytest.raises(WorkloadError):
+            WorkloadConfig(n_licenses=3, license_atom_fraction=(0.0, 0.5))
+
+
+class TestMultiLicenseSets:
+    def test_some_sets_have_multiple_licenses(self):
+        # The whole point of the paper: issued licenses often satisfy
+        # several redistribution licenses at once.
+        workload = generate_workload(10, seed=1, n_records=300, target_groups=2)
+        sizes = [len(s) for s in workload.log.counts_by_set()]
+        assert max(sizes) >= 2

@@ -1,0 +1,106 @@
+"""Unit tests for the periodic-audit simulation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.temporal import simulate_periodic_audits
+
+
+@pytest.fixture
+def setup():
+    generator = WorkloadGenerator(
+        WorkloadConfig(
+            n_licenses=8,
+            seed=4,
+            n_records=0,
+            aggregate_range=(500, 1500),
+        )
+    )
+    return generator, generator.generate_pool()
+
+
+class TestSchedules:
+    def test_audit_count(self, setup):
+        generator, pool = setup
+        result = simulate_periodic_audits(
+            generator, pool, n_issuances=100, audit_every=25
+        )
+        # 100 matched issuances (shrunken copies always match) -> audits
+        # at 25, 50, 75, 100 -- the final one coincides with the schedule.
+        assert [event.after_records for event in result.events] == [25, 50, 75, 100]
+        assert result.total_records == 100
+
+    def test_final_audit_always_runs(self, setup):
+        generator, pool = setup
+        result = simulate_periodic_audits(
+            generator, pool, n_issuances=10, audit_every=100
+        )
+        assert len(result.events) == 1
+        assert result.events[0].after_records == 10
+
+    def test_zero_issuances(self, setup):
+        generator, pool = setup
+        result = simulate_periodic_audits(
+            generator, pool, n_issuances=0, audit_every=5
+        )
+        assert result.total_records == 0
+        assert len(result.events) == 1
+
+    def test_bad_arguments(self, setup):
+        generator, pool = setup
+        with pytest.raises(WorkloadError):
+            simulate_periodic_audits(generator, pool, 10, 0)
+        with pytest.raises(WorkloadError):
+            simulate_periodic_audits(generator, pool, -1, 5)
+        with pytest.raises(WorkloadError):
+            simulate_periodic_audits(generator, pool, 10, 5, mode="magic")
+
+
+class TestModesAgree:
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_same_verdicts_both_modes(self, seed):
+        generator = WorkloadGenerator(
+            WorkloadConfig(
+                n_licenses=8,
+                seed=seed,
+                n_records=0,
+                aggregate_range=(300, 800),  # tight: violations occur
+            )
+        )
+        pool = generator.generate_pool()
+        # Two identically seeded generators give identical streams.
+        generator_b = WorkloadGenerator(
+            WorkloadConfig(
+                n_licenses=8,
+                seed=seed,
+                n_records=0,
+                aggregate_range=(300, 800),
+            )
+        )
+        pool_b = generator_b.generate_pool()
+        incremental = simulate_periodic_audits(
+            generator, pool, n_issuances=200, audit_every=40, mode="incremental"
+        )
+        full = simulate_periodic_audits(
+            generator_b, pool_b, n_issuances=200, audit_every=40, mode="full"
+        )
+        assert [e.is_valid for e in incremental.events] == [
+            e.is_valid for e in full.events
+        ]
+        assert incremental.first_violation_at == full.first_violation_at
+
+    def test_incremental_checks_fewer_equations(self, setup):
+        generator, pool = setup
+        generator_b = WorkloadGenerator(generator.config)
+        pool_b = generator_b.generate_pool()
+        incremental = simulate_periodic_audits(
+            generator, pool, n_issuances=200, audit_every=20, mode="incremental"
+        )
+        full = simulate_periodic_audits(
+            generator_b, pool_b, n_issuances=200, audit_every=20, mode="full"
+        )
+        # The full pipeline re-checks every group's equations each pass;
+        # the incremental one only dirty groups.
+        assert incremental.total_equations <= full.total_equations
