@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Smoke-check the serving layer end to end: unit/integration tests,
+# determinism sweep, and a shrunk throughput benchmark (~30s budget).
+# Used by CI and runnable locally from the repo root:
+#
+#   ./scripts/check_service_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
+export REPRO_BENCH_SMOKE=1
+
+echo "== service unit + integration + determinism tests =="
+python -m pytest tests/service tests/matching/test_boundary_consistency.py -q
+
+echo "== serve-bench CLI =="
+python -m repro serve-bench -n 12 --stream 300 --shards 2 --batch 16
+
+echo "== throughput benchmark (smoke sizes) =="
+python -m pytest benchmarks/bench_service_throughput.py -q -p no:cacheprovider
+
+echo "service smoke checks passed"

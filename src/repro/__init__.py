@@ -38,6 +38,8 @@ from repro.licenses.pool import LicensePool
 from repro.licenses.schema import ConstraintSchema, DimensionSpec
 from repro.logstore.log import ValidationLog
 from repro.logstore.record import LogRecord
+from repro.service.config import ServiceConfig
+from repro.service.service import ValidationService
 from repro.validation.report import ValidationReport, Violation
 from repro.validation.tree import ValidationTree
 from repro.validation.tree_validator import TreeValidator
@@ -56,10 +58,12 @@ __all__ = [
     "OverlapGraph",
     "Permission",
     "RedistributionLicense",
+    "ServiceConfig",
     "TreeValidator",
     "UsageLicense",
     "ValidationLog",
     "ValidationReport",
+    "ValidationService",
     "ValidationTree",
     "Violation",
     "form_groups",

@@ -12,6 +12,10 @@ Commands
     Query how many more counts a license set can absorb given a log.
 ``diagnose``
     On an invalid log: minimal violated sets + a minimal revocation plan.
+``serve-bench``
+    Drive a synthetic workload through the group-sharded validation
+    service and print its metrics report (throughput, latency
+    percentiles, rejection breakdown).
 ``demo``
     Walk through the paper's Example 1 end to end.
 """
@@ -103,6 +107,25 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("-n", "--licenses", type=int, default=8)
     simulate.add_argument("--stream", type=int, default=400)
     simulate.add_argument("--seed", type=int, default=0)
+
+    serve = commands.add_parser(
+        "serve-bench", help="drive a workload through the validation service"
+    )
+    serve.add_argument("-n", "--licenses", type=int, default=24)
+    serve.add_argument("--stream", type=int, default=1000)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument("--batch", type=int, default=32)
+    serve.add_argument(
+        "--executor", choices=["serial", "thread", "process"], default="serial"
+    )
+    serve.add_argument("--queue-capacity", type=int, default=256)
+    serve.add_argument("--clusters", type=int, default=8)
+    serve.add_argument("--skew", type=float, default=0.0)
+    serve.add_argument(
+        "--compare", action="store_true",
+        help="also sweep shard counts {1, 2, 4, 8} and print a table",
+    )
 
     conformance = commands.add_parser(
         "conformance", help="run the built-in conformance vectors"
@@ -273,6 +296,76 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.analysis.tables import render_table
+    from repro.service import ServiceConfig, ValidationService
+
+    config = WorkloadConfig(
+        n_licenses=args.licenses,
+        seed=args.seed,
+        n_records=0,
+        target_groups=min(args.clusters, args.licenses),
+        aggregate_range=(300, 900),
+    )
+    generator = WorkloadGenerator(config)
+    pool = generator.generate_pool()
+    stream = list(generator.issue_stream(pool, args.stream, skew=args.skew))
+
+    def run(shards: int, executor: str):
+        service = ValidationService(
+            pool,
+            ServiceConfig(
+                shards=shards,
+                batch_size=args.batch,
+                queue_capacity=args.queue_capacity,
+                executor=executor,
+            ),
+        )
+        started = time.perf_counter()
+        outcomes = service.process(stream)
+        elapsed = time.perf_counter() - started
+        service.close()
+        return service, outcomes, elapsed
+
+    service, outcomes, elapsed = run(args.shards, args.executor)
+    accepted = sum(outcome.accepted for outcome in outcomes)
+    print(service.report())
+    print()
+    print(
+        f"{len(stream)} requests in {elapsed:.3f}s -> "
+        f"{len(stream) / elapsed:,.0f} req/s "
+        f"({accepted} accepted, {len(stream) - accepted} rejected; "
+        f"{service.group_count} group(s) on {service.shard_count} shard(s))"
+    )
+    if args.compare:
+        rows = []
+        reference = [outcome.accepted for outcome in outcomes]
+        for shards in (1, 2, 4, 8):
+            swept_service, swept, swept_elapsed = run(shards, args.executor)
+            assert [outcome.accepted for outcome in swept] == reference, (
+                "verdict stream changed with shard count"
+            )
+            rows.append(
+                [
+                    shards,
+                    swept_service.shard_count,
+                    f"{len(stream) / swept_elapsed:,.0f}",
+                    f"{swept_elapsed:.3f}",
+                ]
+            )
+        print()
+        print(
+            render_table(
+                ["shards requested", "effective", "req/s", "seconds"],
+                rows,
+                title=f"Shard sweep ({args.executor} executor, verdicts identical)",
+            )
+        )
+    return 0
+
+
 def _cmd_conformance(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -325,6 +418,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "diagnose": _cmd_diagnose,
         "profile": _cmd_profile,
         "simulate": _cmd_simulate,
+        "serve-bench": _cmd_serve_bench,
         "conformance": _cmd_conformance,
         "demo": _cmd_demo,
     }

@@ -11,6 +11,13 @@ equations instead of even the grouped total.
 The cached verdicts of clean groups stay valid because their trees and
 aggregates are untouched.  Results always equal a from-scratch
 :class:`repro.core.validator.GroupedValidator` run (tested).
+
+:class:`GroupSlice` is the reusable unit of this design: one group's
+remapped tree, validator, and dirty flag behind insert / headroom /
+revalidate operations.  :class:`IncrementalValidator` composes one slice
+per group; the serving layer (:mod:`repro.service`) hands each shard the
+slices of its assigned groups so independent groups validate concurrently
+without sharing any mutable state.
 """
 
 from __future__ import annotations
@@ -25,11 +32,132 @@ from repro.geometry.box import Box
 from repro.licenses.pool import LicensePool
 from repro.logstore.log import ValidationLog
 from repro.logstore.record import LogRecord
+from repro.validation.capacity import headroom as _headroom
 from repro.validation.report import ValidationReport, Violation, make_report
 from repro.validation.tree import ValidationTree
 from repro.validation.tree_validator import TreeValidator
 
-__all__ = ["IncrementalValidator"]
+__all__ = ["GroupSlice", "IncrementalValidator"]
+
+
+class GroupSlice:
+    """One group's equation state: remapped tree + validator + dirty flag.
+
+    All public methods speak *global* license indexes; the slice owns the
+    global->local remapping (Algorithm 5) internally.  A slice never
+    touches state outside its group, so distinct slices can be mutated
+    from different threads or processes without synchronization
+    (Theorem 2: their equation systems are disjoint).
+
+    Examples
+    --------
+    >>> from repro.core.grouping import GroupStructure
+    >>> s = GroupStructure((frozenset({1, 2, 4}), frozenset({3, 5})), 5)
+    >>> gslice = GroupSlice(s, [100, 50, 60, 50, 25], 0)
+    >>> gslice.headroom([1, 2])
+    150
+    >>> gslice.insert([1, 2], 140)
+    >>> gslice.headroom([1, 2])
+    10
+    >>> report, checked = gslice.revalidate()
+    >>> report.is_valid, checked
+    (True, 7)
+    >>> gslice.revalidate()[1]      # clean slice: cached verdict, no work
+    0
+    """
+
+    def __init__(
+        self,
+        structure: GroupStructure,
+        aggregates: Sequence[int],
+        group_id: int,
+    ):
+        self.group_id = group_id
+        self._structure = structure
+        self._position: Dict[int, int] = position_array(structure, group_id)
+        self._local_aggregates = remapped_aggregates(aggregates, structure, group_id)
+        self._validator = TreeValidator(self._local_aggregates)
+        self._tree = ValidationTree()
+        self._universe = (1 << len(self._local_aggregates)) - 1
+        self._dirty = False
+        self._cached: Optional[ValidationReport] = None
+        self._records = 0
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Return ``N_k``, the number of licenses in this group."""
+        return len(self._local_aggregates)
+
+    @property
+    def dirty(self) -> bool:
+        """Return whether inserts arrived since the last revalidation."""
+        return self._dirty
+
+    @property
+    def records_inserted(self) -> int:
+        """Return how many records this slice has absorbed."""
+        return self._records
+
+    def localize(self, members: Iterable[int]) -> Tuple[int, ...]:
+        """Translate global license indexes to this group's local indexes.
+
+        Raises
+        ------
+        GroupingError
+            If any index lies outside the group (a cross-group set, which
+            instance matching can never produce -- Corollary 1.1).
+        """
+        try:
+            return tuple(sorted(self._position[index] for index in members))
+        except KeyError as exc:
+            raise GroupingError(
+                f"license {exc.args[0]} is not in group {self.group_id + 1} "
+                f"({sorted(self._structure.groups[self.group_id])})"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def insert(self, members: Iterable[int], count: int) -> None:
+        """Insert one record (global indexes); marks the slice dirty."""
+        self._tree.insert_set(self.localize(members), count)
+        self._dirty = True
+        self._cached = None
+        self._records += 1
+
+    def headroom(self, members: Iterable[int]) -> int:
+        """Return the largest count issuable against ``members`` now.
+
+        Superset enumeration runs over this group's local universe --
+        ``O(2^(N_k - |S|))`` equations, the group-restricted query of
+        Theorem 2.
+        """
+        local = self.localize(members)
+        mask = 0
+        for index in local:
+            mask |= 1 << (index - 1)
+        return _headroom(self._tree, self._local_aggregates, mask)
+
+    def revalidate(self) -> Tuple[ValidationReport, int]:
+        """Run Algorithm 2 over this group if dirty; else reuse the cache.
+
+        Returns ``(report, equations_checked_now)`` where the counter is 0
+        on a cache hit.  Violation masks are *local*; use
+        :meth:`globalize_violation` to translate them.
+        """
+        if self._dirty or self._cached is None:
+            self._cached = self._validator.validate(self._tree)
+            self._dirty = False
+            return self._cached, self._cached.equations_checked
+        return self._cached, 0
+
+    def globalize_violation(self, violation: Violation) -> Violation:
+        """Translate a local-mask violation into global license indexes."""
+        mask = globalize_mask(self._structure, self.group_id, violation.mask)
+        return Violation(mask, violation.lhs, violation.rhs)
 
 
 class IncrementalValidator:
@@ -60,17 +188,10 @@ class IncrementalValidator:
         self._structure: GroupStructure = form_groups(
             OverlapGraph.from_boxes(boxes)
         )
-        count = self._structure.count
-        self._positions: List[Dict[int, int]] = [
-            position_array(self._structure, k) for k in range(count)
+        self._slices: List[GroupSlice] = [
+            GroupSlice(self._structure, self._aggregates, k)
+            for k in range(self._structure.count)
         ]
-        self._validators: List[TreeValidator] = [
-            TreeValidator(remapped_aggregates(self._aggregates, self._structure, k))
-            for k in range(count)
-        ]
-        self._trees: List[ValidationTree] = [ValidationTree() for _ in range(count)]
-        self._dirty: List[bool] = [False] * count
-        self._cached: List[Optional[ValidationReport]] = [None] * count
         self._records = 0
 
     @classmethod
@@ -94,7 +215,14 @@ class IncrementalValidator:
     @property
     def dirty_groups(self) -> Tuple[int, ...]:
         """Return the 0-based ids of groups awaiting revalidation."""
-        return tuple(k for k, dirty in enumerate(self._dirty) if dirty)
+        return tuple(
+            k for k, gslice in enumerate(self._slices) if gslice.dirty
+        )
+
+    def slices(self) -> Tuple[GroupSlice, ...]:
+        """Return the per-group slices (shared, mutable -- callers taking
+        a slice take responsibility for serializing access to it)."""
+        return tuple(self._slices)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -119,11 +247,7 @@ class IncrementalValidator:
                 f"instance matching can never produce a cross-group set"
             )
         group_id = group_ids.pop()
-        position = self._positions[group_id]
-        local = tuple(sorted(position[index] for index in members))
-        self._trees[group_id].insert_set(local, count)
-        self._dirty[group_id] = True
-        self._cached[group_id] = None
+        self._slices[group_id].insert(members, count)
         self._records += 1
         return group_id
 
@@ -149,22 +273,14 @@ class IncrementalValidator:
         """
         checked_now = 0
         violations: List[Violation] = []
-        for group_id in range(self._structure.count):
-            if self._dirty[group_id] or self._cached[group_id] is None:
-                report = self._validators[group_id].validate(self._trees[group_id])
-                checked_now += report.equations_checked
-                self._cached[group_id] = report
-                self._dirty[group_id] = False
-            cached = self._cached[group_id]
-            assert cached is not None
+        for gslice in self._slices:
+            report, checked = gslice.revalidate()
+            checked_now += checked
             violations.extend(
-                self._globalize(violation, group_id) for violation in cached.violations
+                gslice.globalize_violation(violation)
+                for violation in report.violations
             )
         return make_report(self.engine_name, checked_now, violations)
-
-    def _globalize(self, violation: Violation, group_id: int) -> Violation:
-        global_mask = globalize_mask(self._structure, group_id, violation.mask)
-        return Violation(global_mask, violation.lhs, violation.rhs)
 
     def is_valid(self) -> bool:
         """Validate (incrementally) and return the verdict."""

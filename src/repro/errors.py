@@ -61,3 +61,26 @@ class SerializationError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised for invalid workload-generator configurations."""
+
+
+class ServiceError(ReproError):
+    """Raised for misconfigured or misused validation services
+    (:mod:`repro.service`): bad shard/batch parameters, submissions to a
+    closed service, unknown executor backends."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when a shard's bounded admission queue is full.
+
+    Explicit backpressure: the caller must drain (or slow down) and retry
+    rather than let queues grow without bound.  Carries the shard id and
+    its queue depth so clients and load-shedding policies can react.
+    """
+
+    def __init__(self, shard_id: int, depth: int):
+        super().__init__(
+            f"shard {shard_id} queue is full ({depth} pending requests); "
+            f"drain the service before submitting more"
+        )
+        self.shard_id = shard_id
+        self.depth = depth

@@ -1,7 +1,14 @@
 """Instance-based matching of issued licenses against a license pool."""
 
+from repro.matching.audit import MatcherDisagreement, cross_check
 from repro.matching.index import IndexedMatcher
 from repro.matching.matcher import BruteForceMatcher
 from repro.matching.sorted_index import SortedCandidateMatcher
 
-__all__ = ["BruteForceMatcher", "IndexedMatcher", "SortedCandidateMatcher"]
+__all__ = [
+    "BruteForceMatcher",
+    "IndexedMatcher",
+    "MatcherDisagreement",
+    "SortedCandidateMatcher",
+    "cross_check",
+]

@@ -1,0 +1,78 @@
+"""Cross-matcher consistency auditing.
+
+The library ships three instance matchers that must be extensionally
+identical -- :class:`~repro.matching.matcher.BruteForceMatcher` (the
+reference: direct closed-interval box containment),
+:class:`~repro.matching.index.IndexedMatcher` (vectorized numpy
+comparisons), and
+:class:`~repro.matching.sorted_index.SortedCandidateMatcher` (bisect
+pruning over sorted bounds).  The risky inputs are *boundary-touching*
+boxes: containment is closed (``lows <= q.low`` / ``q.high <= highs``),
+so a query edge exactly on a license edge must match, and each matcher
+realizes the comparison differently (Python ``<=``, numpy broadcast
+``<=``, ``bisect_right``/``bisect_left`` cut points).
+
+:func:`cross_check` runs all three on the same queries and reports every
+disagreement; the randomized regression test in
+``tests/matching/test_boundary_consistency.py`` drives it with grids of
+exactly-touching probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Tuple
+
+from repro.licenses.license import UsageLicense
+from repro.licenses.pool import LicensePool
+from repro.matching.index import IndexedMatcher
+from repro.matching.matcher import BruteForceMatcher
+from repro.matching.sorted_index import SortedCandidateMatcher
+
+__all__ = ["MatcherDisagreement", "cross_check"]
+
+
+@dataclass(frozen=True)
+class MatcherDisagreement:
+    """One query on which the matchers returned different sets."""
+
+    usage_id: str
+    brute_force: FrozenSet[int]
+    indexed: FrozenSet[int]
+    sorted_candidates: FrozenSet[int]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"{self.usage_id}: brute-force {sorted(self.brute_force)}, "
+            f"indexed {sorted(self.indexed)}, "
+            f"sorted {sorted(self.sorted_candidates)}"
+        )
+
+
+def cross_check(
+    pool: LicensePool, queries: Iterable[UsageLicense]
+) -> Tuple[int, List[MatcherDisagreement]]:
+    """Run every query through all three matchers; report disagreements.
+
+    Returns ``(queries_checked, disagreements)``; an empty disagreement
+    list is the audit passing.  The brute-force matcher is the semantic
+    reference, but the report keeps all three answers so a failure shows
+    *which* implementation diverged.
+    """
+    brute = BruteForceMatcher(pool)
+    indexed = IndexedMatcher(pool)
+    sorted_matcher = SortedCandidateMatcher(pool)
+    checked = 0
+    disagreements: List[MatcherDisagreement] = []
+    for usage in queries:
+        checked += 1
+        reference = brute.match(usage)
+        vectorized = indexed.match(usage)
+        pruned = sorted_matcher.match(usage)
+        if not (reference == vectorized == pruned):
+            disagreements.append(
+                MatcherDisagreement(
+                    usage.license_id, reference, vectorized, pruned
+                )
+            )
+    return checked, disagreements

@@ -51,7 +51,8 @@ class NodeOutcome:
     counts: int
     license_set: Tuple[int, ...]
     accepted: bool
-    #: "instance" or "aggregate" on rejection; None when accepted.
+    #: "instance" (no containing license) or "equation" (accepting would
+    #: violate a validation equation) on rejection; None when accepted.
     rejection_reason: Optional[str] = None
 
 
@@ -138,7 +139,7 @@ class DistributorNode:
                 list(matched),
             )
             return NodeOutcome(
-                generated.license_id, counts, matched, False, "aggregate"
+                generated.license_id, counts, matched, False, "equation"
             )
         self._log.record(matched, counts, generated.license_id)
         return NodeOutcome(generated.license_id, counts, matched, True)
@@ -156,6 +157,42 @@ class DistributorNode:
         constraint semantics for generated redistribution licenses).
         """
         return self._charge(lic, lic.aggregate)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve_stream(self, usages, config=None):
+        """Serve a stream of usage licenses through the validation service.
+
+        Builds a :class:`repro.service.ValidationService` over this node's
+        pool, replays the node's existing log into it (so service
+        decisions see everything already issued), runs the stream with
+        batched group-sharded admission, and folds the accepted
+        issuances back into the node's log.
+
+        Returns ``(outcomes, service)`` -- the per-request verdicts in
+        stream order plus the (closed) service, whose metrics registry
+        holds the traffic accounting.
+
+        For one-off licenses :meth:`issue_usage` stays the low-latency
+        path; this is the bulk/serving path a distributor fronting heavy
+        consumer traffic would run.
+        """
+        from repro.service.service import ValidationService
+
+        with ValidationService(
+            self._pool, config, initial_log=self._log
+        ) as service:
+            outcomes = service.process(usages)
+            for record in service.log:
+                self._log.append(record)
+        logger.info(
+            "node %s served %d request(s): %d accepted",
+            self.name,
+            len(outcomes),
+            sum(outcome.accepted for outcome in outcomes),
+        )
+        return outcomes, service
 
     # ------------------------------------------------------------------
     # Audit

@@ -1,6 +1,6 @@
 """Online (per-issuance) validation: sessions and selection strategies."""
 
-from repro.online.session import IssuanceOutcome, IssuanceSession
+from repro.online.session import IssuanceOutcome, IssuanceSession, ServiceSession
 from repro.online.strategies import (
     BestFit,
     FirstFit,
@@ -19,4 +19,5 @@ __all__ = [
     "LastFit",
     "RandomPick",
     "SelectionStrategy",
+    "ServiceSession",
 ]

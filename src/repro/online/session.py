@@ -15,6 +15,11 @@ issue time.  Two modes:
 
 Both modes share instance matching (an empty match set is an instant
 reject, like ``L_U^2`` of Figure 2).
+
+:class:`ServiceSession` is a third shape: the same ``issue``/``outcomes``
+surface, but delegating every decision to a
+:class:`repro.service.ValidationService` -- sessions become one client of
+the serving layer, gaining its caching, batching, and metrics for free.
 """
 
 from __future__ import annotations
@@ -33,7 +38,7 @@ from repro.validation.bitset import mask_from_indexes
 from repro.validation.capacity import headroom
 from repro.validation.tree import ValidationTree
 
-__all__ = ["IssuanceOutcome", "IssuanceSession"]
+__all__ = ["IssuanceOutcome", "IssuanceSession", "ServiceSession"]
 
 
 @dataclass(frozen=True)
@@ -44,17 +49,36 @@ class IssuanceOutcome:
     count: int
     license_set: Tuple[int, ...]
     accepted: bool
-    #: "instance" (no containing license) or "aggregate" (capacity) on
-    #: rejection; None when accepted.
+    #: Why a request was rejected (None when accepted):
+    #:
+    #: * ``"instance"`` -- no redistribution license contains the request
+    #:   (empty match set, like ``L_U^2`` of Figure 2);
+    #: * ``"equation"`` -- accepting would violate a validation equation
+    #:   (the exact policy's group-restricted headroom came up short);
+    #: * ``"capacity"`` -- strategy mode only: no single matched license
+    #:   has enough remaining balance to absorb the whole count;
+    #: * ``"overload"`` -- a serving layer shed the request under
+    #:   backpressure before any validation ran.
+    #:
+    #: The serving layer (:mod:`repro.service`) uses these codes verbatim
+    #: as metrics labels, so acceptance dashboards can split rejections
+    #: by cause.
     rejection_reason: Optional[str] = None
     #: In strategy mode: the license the count was charged to.
     charged_to: Optional[int] = None
+    #: Human-readable elaboration of the rejection (binding headroom,
+    #: remaining balances, ...); None when accepted.
+    rejection_detail: Optional[str] = None
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         if self.accepted:
             charge = f" -> LD{self.charged_to}" if self.charged_to else ""
             return f"{self.usage_id} ({self.count}): ACCEPTED{charge}"
-        return f"{self.usage_id} ({self.count}): REJECTED ({self.rejection_reason})"
+        detail = f": {self.rejection_detail}" if self.rejection_detail else ""
+        return (
+            f"{self.usage_id} ({self.count}): REJECTED "
+            f"({self.rejection_reason}{detail})"
+        )
 
 
 class IssuanceSession:
@@ -150,7 +174,12 @@ class IssuanceSession:
         matched = tuple(sorted(self._matcher.match(usage)))
         if not matched:
             outcome = IssuanceOutcome(
-                usage.license_id, usage.count, matched, False, "instance"
+                usage.license_id,
+                usage.count,
+                matched,
+                False,
+                "instance",
+                rejection_detail="no redistribution license contains the request",
             )
             self._outcomes.append(outcome)
             return outcome
@@ -167,8 +196,17 @@ class IssuanceSession:
         assert self._strategy is not None
         choice = self._strategy.select(matched, self._remaining, usage.count)
         if choice is None:
+            best = max(self._remaining[index] for index in matched)
             return IssuanceOutcome(
-                usage.license_id, usage.count, matched, False, "aggregate"
+                usage.license_id,
+                usage.count,
+                matched,
+                False,
+                "capacity",
+                rejection_detail=(
+                    f"no single matched license can absorb {usage.count} "
+                    f"(best remaining balance: {best})"
+                ),
             )
         if choice not in matched:
             raise ValidationError(
@@ -199,8 +237,87 @@ class IssuanceSession:
         )
         if slack < usage.count:
             return IssuanceOutcome(
-                usage.license_id, usage.count, matched, False, "aggregate"
+                usage.license_id,
+                usage.count,
+                matched,
+                False,
+                "equation",
+                rejection_detail=(
+                    f"headroom {slack} < requested {usage.count} in "
+                    f"group {group_id + 1}"
+                ),
             )
         self._tree.insert_set(matched, usage.count)
         self._log.record_issuance(usage, matched)
         return IssuanceOutcome(usage.license_id, usage.count, matched, True)
+
+
+class ServiceSession:
+    """An issuance session served by a :class:`ValidationService`.
+
+    Implements the same ``issue`` / ``outcomes`` / ``log`` surface as
+    :class:`IssuanceSession` in equation mode, but every decision runs
+    through the serving layer: cached instance matching, group-sharded
+    admission, and metrics.  Verdicts are identical to
+    ``IssuanceSession(pool, "equation")`` (property-tested) -- the service
+    *is* the equation policy, scaled out.
+
+    Parameters
+    ----------
+    pool:
+        The distributor's redistribution licenses.
+    config:
+        Optional :class:`repro.service.ServiceConfig`; defaults to a
+        single-shard serial service (the latency-optimal shape for
+        one-at-a-time issue calls).
+    service:
+        Alternatively, an existing service to attach to (sharing its
+        metrics and shard state with other clients).
+    """
+
+    def __init__(self, pool: LicensePool, config=None, *, service=None):
+        # Imported here: repro.service imports this module for
+        # IssuanceOutcome, so a top-level import would be circular.
+        from repro.service.service import ValidationService
+
+        if service is not None and config is not None:
+            raise ValidationError("pass either a config or a service, not both")
+        self._service = service or ValidationService(pool, config)
+        self._outcomes: List[IssuanceOutcome] = []
+
+    @property
+    def policy_name(self) -> str:
+        """Return the policy label (always the exact equation policy)."""
+        return "service"
+
+    @property
+    def service(self):
+        """Return the backing :class:`ValidationService`."""
+        return self._service
+
+    @property
+    def log(self) -> ValidationLog:
+        """Return the service's log of accepted issuances."""
+        return self._service.log
+
+    @property
+    def outcomes(self) -> Tuple[IssuanceOutcome, ...]:
+        """Return every outcome this session observed, in order."""
+        return tuple(self._outcomes)
+
+    @property
+    def accepted_counts(self) -> int:
+        """Return the total permission counts accepted so far."""
+        return self._service.log.total_count
+
+    def issue(self, usage: UsageLicense) -> IssuanceOutcome:
+        """Validate one usage license through the service."""
+        outcome = self._service.issue(usage)
+        self._outcomes.append(outcome)
+        return outcome
+
+    def issue_many(self, usages) -> Tuple[IssuanceOutcome, ...]:
+        """Batch path: serve a stream with coalesced admission batches."""
+        outcomes = tuple(self._service.process(usages))
+        self._outcomes.extend(outcomes)
+        return outcomes

@@ -1,0 +1,81 @@
+"""Configuration for the validation service.
+
+One frozen dataclass so a service's behaviour is fully determined by
+``(pool, initial log, config)`` -- the property the determinism tests
+lean on (the same workload must produce byte-identical verdict streams
+for every shard count and executor backend).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServiceError
+
+__all__ = ["ServiceConfig", "EXECUTOR_BACKENDS"]
+
+#: Recognized executor backends (see :mod:`repro.service.executor`).
+EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of a :class:`repro.service.ValidationService`.
+
+    Attributes
+    ----------
+    shards:
+        Number of worker lanes.  Groups are assigned round-robin
+        (``group_id % shards``); a shard count above the group count is
+        clamped, since a shard without groups has nothing to do.
+    batch_size:
+        Maximum requests coalesced into one admission batch.  Each batch
+        ends with a single incremental revalidation pass over the groups
+        it touched, so larger batches amortize the
+        ``Σ_dirty (2^{N_k} - 1)`` equation cost over more requests.
+    queue_capacity:
+        Bound on each shard's pending queue.  Submitting to a full shard
+        raises :class:`repro.errors.ServiceOverloadedError` -- explicit
+        backpressure instead of unbounded memory growth.
+    executor:
+        ``"serial"`` (in-caller, zero overhead), ``"thread"`` (one pool
+        thread per shard; concurrency across groups, true parallelism on
+        free-threaded builds), or ``"process"`` (per-drain fan-out to
+        worker processes; true parallelism under the GIL at the price of
+        shard-state round-trip serialization).
+    match_cache_size:
+        LRU entries for instance-match memoization; 0 disables caching.
+    latency_window:
+        Sample window of the latency histogram (exact quantiles are
+        computed over the most recent this-many requests).
+    """
+
+    shards: int = 1
+    batch_size: int = 32
+    queue_capacity: int = 1024
+    executor: str = "serial"
+    match_cache_size: int = 4096
+    latency_window: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ServiceError(f"shards must be >= 1, got {self.shards}")
+        if self.batch_size < 1:
+            raise ServiceError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.queue_capacity < 1:
+            raise ServiceError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.executor not in EXECUTOR_BACKENDS:
+            raise ServiceError(
+                f"unknown executor {self.executor!r}; "
+                f"choose from {', '.join(EXECUTOR_BACKENDS)}"
+            )
+        if self.match_cache_size < 0:
+            raise ServiceError(
+                f"match_cache_size must be >= 0, got {self.match_cache_size}"
+            )
+        if self.latency_window < 1:
+            raise ServiceError(
+                f"latency_window must be >= 1, got {self.latency_window}"
+            )

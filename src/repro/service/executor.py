@@ -1,0 +1,138 @@
+"""Executor backends: how shard drains are scheduled onto hardware.
+
+Every backend obeys the same contract: given the shards that currently
+have pending work, run each shard's :meth:`GroupShard.process_pending`
+exactly once, never running the same shard from two workers, and return
+``{shard_id: (results, stats)}``.  Because one drain of one shard is a
+single task, per-shard serialization is structural -- no locks needed.
+
+* :class:`SerialExecutor` -- runs shards in-caller, ascending shard id.
+  The reference backend: zero overhead, fully deterministic scheduling.
+* :class:`ThreadExecutor` -- a ``ThreadPoolExecutor`` with one task per
+  shard.  Concurrency across groups; true parallelism arrives on
+  free-threaded CPython builds (under the GIL it still overlaps any
+  releases inside numpy-backed matching).
+* :class:`ProcessExecutor` -- ships each busy shard to a worker process
+  and replaces the local shard object with the mutated copy that comes
+  back.  State round-trips by pickle each drain, so it pays off when the
+  per-drain equation work dominates the state size -- large groups, big
+  batches.
+
+All three produce identical verdict streams for identical inputs (the
+determinism tests pin this).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Tuple
+
+from repro.errors import ServiceError
+from repro.service.shard import GroupShard, ShardResult, ShardStats
+
+__all__ = [
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+]
+
+#: One shard's drain output.
+DrainOutput = Tuple[List[ShardResult], ShardStats]
+
+
+def _drain_shard(shard: GroupShard) -> DrainOutput:
+    return shard.process_pending()
+
+
+def _drain_shard_roundtrip(shard: GroupShard) -> Tuple[GroupShard, DrainOutput]:
+    # Process backend: the worker mutates its pickled copy of the shard,
+    # so the mutated object must travel back to the coordinator.
+    return shard, shard.process_pending()
+
+
+class SerialExecutor:
+    """Run busy shards one after another in the calling thread."""
+
+    name = "serial"
+
+    def drain(self, shards: List[GroupShard]) -> Dict[int, DrainOutput]:
+        """Drain each shard; return ``{shard_id: (results, stats)}``."""
+        return {shard.shard_id: _drain_shard(shard) for shard in shards}
+
+    def close(self) -> None:
+        """No resources to release."""
+
+
+class ThreadExecutor:
+    """Drain shards concurrently on a thread pool (one task per shard)."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: int):
+        if max_workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-shard"
+        )
+
+    def drain(self, shards: List[GroupShard]) -> Dict[int, DrainOutput]:
+        """Drain each shard on the pool; block until all complete."""
+        futures = {
+            shard.shard_id: self._pool.submit(_drain_shard, shard)
+            for shard in shards
+        }
+        return {shard_id: future.result() for shard_id, future in futures.items()}
+
+    def close(self) -> None:
+        """Shut the pool down, waiting for in-flight drains."""
+        self._pool.shutdown(wait=True)
+
+
+class ProcessExecutor:
+    """Drain shards on worker processes, round-tripping shard state.
+
+    Stateless workers: each drain pickles the shard out, processes it in
+    the worker, and pickles the mutated shard back.  The coordinator then
+    adopts the returned object as the shard's new state, so successive
+    drains compose exactly as in the serial backend.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int):
+        if max_workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        self._pool = ProcessPoolExecutor(max_workers=max_workers)
+
+    def drain(self, shards: List[GroupShard]) -> Dict[int, DrainOutput]:
+        """Drain each shard in a worker process; adopt returned state.
+
+        The mutated shard replaces the caller's copy **in place in the
+        provided list**, so the service's shard table stays current.
+        """
+        futures = {
+            position: self._pool.submit(_drain_shard_roundtrip, shard)
+            for position, shard in enumerate(shards)
+        }
+        outputs: Dict[int, DrainOutput] = {}
+        for position, future in futures.items():
+            mutated, output = future.result()
+            shards[position] = mutated
+            outputs[mutated.shard_id] = output
+        return outputs
+
+    def close(self) -> None:
+        """Shut the worker pool down."""
+        self._pool.shutdown(wait=True)
+
+
+def make_executor(backend: str, max_workers: int):
+    """Build the executor for a backend name (see module docstring)."""
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "thread":
+        return ThreadExecutor(max_workers)
+    if backend == "process":
+        return ProcessExecutor(max_workers)
+    raise ServiceError(f"unknown executor backend {backend!r}")

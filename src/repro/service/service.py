@@ -1,0 +1,364 @@
+"""The validation service: concurrent, batched, cached license serving.
+
+:class:`ValidationService` is the serving-architecture composition of the
+whole library -- the ROADMAP's "heavy traffic" layer built directly on
+Theorem 2:
+
+1. **match** -- the request's instance-match set is resolved against the
+   pool through an LRU memo (:class:`repro.service.cache.MatchCache`);
+   an empty set is an instant ``instance`` rejection, never queued;
+2. **route** -- the match set belongs to exactly one overlap group
+   (Corollary 1.1), and groups are assigned to shards round-robin, so
+   the request lands on a single shard's bounded queue (a full queue
+   raises :class:`repro.errors.ServiceOverloadedError` -- backpressure);
+3. **admit** -- :meth:`drain` runs every busy shard through the
+   configured executor; shards process their queues in FIFO batches with
+   exact group-restricted headroom admission and one incremental
+   revalidation pass per batch;
+4. **account** -- counters (accepted / rejected-by-reason / overload),
+   end-to-end latency histograms (p50/p95/p99), per-shard queue-depth
+   gauges, and cache statistics land in a
+   :class:`repro.service.metrics.MetricsRegistry` with pluggable hooks.
+
+Verdicts depend only on the per-group submission order, so the outcome
+stream (ordered by sequence number) is byte-identical for every shard
+count and executor backend -- the determinism property the test suite
+pins down.
+
+Examples
+--------
+>>> from repro.workloads.scenarios import example1
+>>> scenario = example1()
+>>> service = ValidationService(scenario.pool)
+>>> [service.issue(usage).accepted for usage in scenario.usages]
+[True, True]
+>>> service.metrics.counter("requests_total").value(("accepted",))
+2
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ServiceError, ServiceOverloadedError, ValidationError
+from repro.core.incremental import GroupSlice
+from repro.licenses.license import UsageLicense
+from repro.licenses.pool import LicensePool
+from repro.logstore.log import ValidationLog
+from repro.matching.index import IndexedMatcher
+from repro.online.session import IssuanceOutcome
+from repro.service.cache import GroupTables, MatchCache
+from repro.service.config import ServiceConfig
+from repro.service.executor import make_executor
+from repro.service.metrics import MetricsRegistry
+from repro.service.shard import GroupShard, ShardRequest, ShardResult
+
+__all__ = ["ValidationService"]
+
+#: Rejection reason for requests with an empty instance-match set.
+REASON_INSTANCE = "instance"
+#: Label used on the overload counter and outcome streams.
+REASON_OVERLOAD = "overload"
+
+
+class ValidationService:
+    """Group-sharded issuance/validation service over one license pool.
+
+    Parameters
+    ----------
+    pool:
+        The redistribution licenses being served.
+    config:
+        Tuning knobs; defaults to a single-shard serial service.
+    initial_log:
+        Previously accepted issuances to replay into the shard state
+        before serving (a restarting authority's journal).
+    metrics:
+        An externally owned registry (e.g. shared across services of one
+        distributor); a fresh one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        pool: LicensePool,
+        config: Optional[ServiceConfig] = None,
+        *,
+        initial_log: Optional[ValidationLog] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if not pool:
+            raise ValidationError("service needs a non-empty pool")
+        self.config = config or ServiceConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._pool = pool
+        self._tables = GroupTables(pool)
+        self._matcher = MatchCache(
+            IndexedMatcher(pool), self.config.match_cache_size
+        )
+        self._shard_count = min(self.config.shards, self._tables.group_count)
+        slices_by_shard: Dict[int, Dict[int, GroupSlice]] = {
+            shard_id: {} for shard_id in range(self._shard_count)
+        }
+        for group_id in range(self._tables.group_count):
+            slices_by_shard[group_id % self._shard_count][group_id] = GroupSlice(
+                self._tables.structure, self._tables.aggregates, group_id
+            )
+        self._shards: List[GroupShard] = [
+            GroupShard(
+                shard_id,
+                slices_by_shard[shard_id],
+                self.config.batch_size,
+                self.config.queue_capacity,
+            )
+            for shard_id in range(self._shard_count)
+        ]
+        self._executor = make_executor(self.config.executor, self._shard_count)
+        self._latency = self.metrics.histogram(
+            "latency_seconds", self.config.latency_window
+        )
+        self._seq = 0
+        self._pending_outcomes: Dict[int, IssuanceOutcome] = {}
+        self._log = ValidationLog()
+        self._closed = False
+        if initial_log is not None:
+            self._replay(initial_log)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> LicensePool:
+        """Return the pool being served."""
+        return self._pool
+
+    @property
+    def shard_count(self) -> int:
+        """Return the effective shard count (clamped to the group count)."""
+        return self._shard_count
+
+    @property
+    def group_count(self) -> int:
+        """Return the number of disconnected overlap groups."""
+        return self._tables.group_count
+
+    @property
+    def log(self) -> ValidationLog:
+        """Return the log of issuances *this service* accepted (replayed
+        initial records are not repeated here)."""
+        return self._log
+
+    @property
+    def pending(self) -> int:
+        """Return the number of queued, not-yet-drained requests."""
+        return sum(shard.depth for shard in self._shards)
+
+    def queue_depths(self) -> Dict[int, int]:
+        """Return ``{shard_id: depth}`` for all shards."""
+        return {shard.shard_id: shard.depth for shard in self._shards}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release executor resources.  Submitting afterwards raises."""
+        if not self._closed:
+            self._executor.close()
+            self._closed = True
+
+    def __enter__(self) -> "ValidationService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def submit(self, usage: UsageLicense) -> int:
+        """Match, route, and enqueue one request; return its sequence id.
+
+        Instance rejections are decided immediately (no shard owns them);
+        everything else waits for the next :meth:`drain`.
+
+        Raises
+        ------
+        ServiceOverloadedError
+            When the target shard's queue is full.  The request is NOT
+            recorded; the caller should drain and resubmit (which
+            :meth:`process` automates).
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        matched = tuple(sorted(self._matcher.match(usage)))
+        seq = self._seq
+        if not matched:
+            self._seq += 1
+            outcome = IssuanceOutcome(
+                usage.license_id,
+                usage.count,
+                matched,
+                False,
+                REASON_INSTANCE,
+                rejection_detail="no redistribution license contains the request",
+            )
+            self._pending_outcomes[seq] = outcome
+            self._count_outcome(outcome)
+            return seq
+        group_id = self._tables.group_of[matched[0]]
+        shard = self._shards[group_id % self._shard_count]
+        request = ShardRequest(
+            seq=seq,
+            usage_id=usage.license_id,
+            group_id=group_id,
+            members=matched,
+            count=usage.count,
+            submitted_at=time.perf_counter(),
+        )
+        try:
+            shard.enqueue(request)
+        except ServiceOverloadedError:
+            self.metrics.counter("overload_total").inc((f"shard{shard.shard_id}",))
+            raise
+        self._seq += 1
+        self.metrics.gauge("queue_depth").set(
+            shard.depth, (f"shard{shard.shard_id}",)
+        )
+        return seq
+
+    def drain(self) -> List[IssuanceOutcome]:
+        """Process every queued request; return all newly completed
+        outcomes (instant rejects included) in submission order."""
+        return [outcome for _seq, outcome in self._drain_completed()]
+
+    def issue(self, usage: UsageLicense) -> IssuanceOutcome:
+        """Single-request convenience: submit, drain, return the verdict.
+
+        Matches the :class:`repro.online.session.IssuanceSession.issue`
+        shape, so a session can delegate to a service one-for-one.  Any
+        outcomes of interleaved :meth:`submit` calls completed by the
+        same drain are re-buffered for the next :meth:`drain`.
+        """
+        seq = self.submit(usage)
+        target: Optional[IssuanceOutcome] = None
+        for completed_seq, outcome in self._drain_completed():
+            if completed_seq == seq:
+                target = outcome
+            else:
+                self._pending_outcomes[completed_seq] = outcome
+        assert target is not None  # its shard was just drained
+        return target
+
+    def process(
+        self, usages: Iterable[UsageLicense]
+    ) -> List[IssuanceOutcome]:
+        """Serve a whole stream with automatic backpressure handling.
+
+        Submits until a shard pushes back, drains, resubmits, and drains
+        the tail; returns outcomes in stream order.  Overload never drops
+        a request here -- it only forces an early drain -- so the verdict
+        stream is identical for every queue capacity.
+        """
+        outcomes: Dict[int, IssuanceOutcome] = {}
+        order: List[int] = []
+        for usage in usages:
+            while True:
+                try:
+                    order.append(self.submit(usage))
+                    break
+                except ServiceOverloadedError:
+                    outcomes.update(self._drain_completed())
+        outcomes.update(self._drain_completed())
+        return [outcomes[seq] for seq in order]
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """Return a human-readable metrics report for this service."""
+        self.metrics.gauge("match_cache_hits").set(self._matcher.hits)
+        self.metrics.gauge("match_cache_misses").set(self._matcher.misses)
+        return self.metrics.render(
+            title=(
+                f"validation service: {self.group_count} group(s) on "
+                f"{self._shard_count} shard(s), batch={self.config.batch_size}, "
+                f"executor={self.config.executor}"
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _drain_completed(self) -> List[tuple]:
+        """Run busy shards, then hand out ``(seq, outcome)`` pairs sorted
+        by sequence number, clearing the completion buffer."""
+        if self._closed:
+            raise ServiceError("service is closed")
+        busy = [shard for shard in self._shards if shard.depth]
+        if busy:
+            outputs = self._executor.drain(busy)
+            # The process backend hands back mutated shard copies via the
+            # `busy` list; re-adopt so the next drain sees current state.
+            for shard in busy:
+                self._shards[shard.shard_id] = shard
+                self.metrics.gauge("queue_depth").set(
+                    shard.depth, (f"shard{shard.shard_id}",)
+                )
+            now = time.perf_counter()
+            completed_results: List[ShardResult] = []
+            for _shard_id, (results, stats) in sorted(outputs.items()):
+                self.metrics.counter("batches_total").inc(amount=stats.batches)
+                self.metrics.counter("equations_checked_total").inc(
+                    amount=stats.equations_checked
+                )
+                if stats.audit_violations:
+                    self.metrics.counter("audit_violations_total").inc(
+                        amount=stats.audit_violations
+                    )
+                completed_results.extend(results)
+            # Complete in global submission order so the service log (and
+            # every metric derived from it) is independent of how groups
+            # were spread over shards.
+            for result in sorted(completed_results, key=lambda r: r.seq):
+                self._latency.observe(now - result.submitted_at)
+                self._complete(result)
+        completed = sorted(self._pending_outcomes.items())
+        self._pending_outcomes.clear()
+        return completed
+
+    def _replay(self, log: ValidationLog) -> None:
+        """Load previously accepted issuances into shard state unchecked
+        (they were validated when first accepted)."""
+        for record in log:
+            members = sorted(record.license_set)
+            group_id = self._tables.group_of[members[0]]
+            shard = self._shards[group_id % self._shard_count]
+            shard.preload(group_id, members, record.count)
+
+    def _complete(self, result: ShardResult) -> None:
+        if result.accepted:
+            detail = None
+            self._log.record(result.members, result.count, result.usage_id)
+        else:
+            detail = (
+                f"headroom {result.headroom} < requested {result.count} "
+                f"in group {result.group_id + 1}"
+            )
+        outcome = IssuanceOutcome(
+            result.usage_id,
+            result.count,
+            result.members,
+            result.accepted,
+            result.reason,
+            rejection_detail=detail,
+        )
+        self._pending_outcomes[result.seq] = outcome
+        self._count_outcome(outcome)
+
+    def _count_outcome(self, outcome: IssuanceOutcome) -> None:
+        if outcome.accepted:
+            self.metrics.counter("requests_total").inc(("accepted",))
+        else:
+            self.metrics.counter("requests_total").inc(
+                ("rejected", outcome.rejection_reason or "unknown")
+            )

@@ -81,3 +81,88 @@ def test_compaction_preserves_aggregates(log):
     # Compacting twice is a fixed point.
     assert compact(compacted).counts_by_set() == compacted.counts_by_set()
     assert len(compact(compacted)) == len(compacted)
+
+
+#: Example 1's overlap groups (licenses 1-based): {1, 2, 4} and {3, 5}.
+_GROUPS = [[1, 2, 4], [3, 5]]
+
+_records = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1),  # group choice
+        st.integers(min_value=0, max_value=6),  # subset selector (non-empty)
+        st.integers(min_value=1, max_value=400),  # count
+    ),
+    max_size=30,
+)
+
+
+def _build_log(records):
+    log = ValidationLog()
+    for group_choice, subset_selector, count in records:
+        members = _GROUPS[group_choice]
+        subset = [
+            member
+            for bit, member in enumerate(members)
+            if (subset_selector + 1) & (1 << bit)
+        ]
+        if subset:
+            log.record(set(subset), count)
+    return log
+
+
+class TestCompactionRoundtrip:
+    """Compacting a journal must never change any downstream verdict:
+    the grouped validator's report, every headroom query, and the
+    serving layer's decisions after a replay all have to be identical
+    for the raw and the compacted log."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(records=_records)
+    def test_grouped_verdicts_identical(self, records):
+        from repro.core.validator import GroupedValidator
+        from repro.workloads.scenarios import example1
+
+        pool = example1().pool
+        validator = GroupedValidator.from_pool(pool)
+        log = _build_log(records)
+        compacted = compact(log)
+        original = validator.validate(log)
+        replayed = validator.validate(compacted)
+        assert original.is_valid == replayed.is_valid
+        assert set(original.violations) == set(replayed.violations)
+
+    @settings(max_examples=60, deadline=None)
+    @given(records=_records)
+    def test_headroom_queries_identical(self, records):
+        from repro.core.validator import GroupedValidator
+        from repro.workloads.scenarios import example1
+
+        pool = example1().pool
+        validator = GroupedValidator.from_pool(pool)
+        log = _build_log(records)
+        compacted = compact(log)
+        for members in ([1], [2], [1, 2], [1, 2, 4], [3], [3, 5], [5]):
+            assert validator.headroom(log, members) == validator.headroom(
+                compacted, members
+            ), members
+
+    @settings(max_examples=25, deadline=None)
+    @given(records=_records)
+    def test_service_replay_verdicts_identical(self, records):
+        """Restarting the serving layer from a compacted journal must
+        leave every subsequent online verdict unchanged."""
+        from repro.service import ValidationService
+        from repro.workloads.scenarios import example1
+
+        scenario = example1()
+        log = _build_log(records)
+        compacted = compact(log)
+
+        def serve(initial):
+            with ValidationService(scenario.pool, initial_log=initial) as svc:
+                return [
+                    (o.accepted, o.rejection_reason, o.rejection_detail)
+                    for o in svc.process(scenario.usages)
+                ]
+
+        assert serve(log) == serve(compacted)

@@ -1,0 +1,126 @@
+"""Randomized boundary-touching cross-check of all three matchers.
+
+Satellite of the serving PR: containment is *closed* (``lows <= q.low``
+and ``q.high <= highs``), so a query edge exactly on a license edge must
+match -- and each matcher realizes the comparison differently (Python
+``<=``, numpy broadcast ``<=``, ``bisect_right``/``bisect_left`` cut
+points).  Off-by-one disagreements between them would silently desync
+the serving layer's cached match sets from the offline reference, so we
+fuzz exactly the risky inputs: probes whose bounds coincide with license
+bounds (full-box coincidence, single-edge touches, degenerate points on
+corners) plus probes nudged one unit outside, and require extensional
+agreement via :func:`repro.matching.audit.cross_check`.
+"""
+
+import random
+
+import pytest
+
+from repro.licenses.license import LicenseFactory
+from repro.licenses.pool import LicensePool
+from repro.licenses.schema import ConstraintSchema, DimensionSpec
+from repro.matching.audit import cross_check
+
+SEEDS = [1, 7, 23]
+
+
+def build_pool(rng, n_licenses=14, span=60):
+    """A pool of random integer boxes over two numeric dimensions."""
+    schema = ConstraintSchema(
+        [DimensionSpec.numeric("window"), DimensionSpec.numeric("zone")]
+    )
+    factory = LicenseFactory(schema, content_id="K", permission="play")
+    pool = LicensePool()
+    for serial in range(1, n_licenses + 1):
+        bounds = []
+        for _dim in range(2):
+            low = rng.randint(0, span - 1)
+            high = rng.randint(low, span)
+            bounds.append((low, high))
+        pool.add(
+            factory.redistribution(
+                f"LD{serial}",
+                aggregate=100,
+                window=bounds[0],
+                zone=bounds[1],
+            )
+        )
+    return factory, pool
+
+
+def boundary_probes(rng, factory, pool, per_license=6):
+    """Queries engineered to touch license edges exactly.
+
+    For each license: its exact box, degenerate corner points, probes
+    sharing one edge, and probes nudged one unit past an edge (which must
+    *not* match that edge's closed bound).
+    """
+    probes = []
+    serial = 0
+
+    def probe(window, zone):
+        nonlocal serial
+        if window[0] > window[1] or zone[0] > zone[1]:
+            return
+        serial += 1
+        probes.append(
+            factory.usage(f"q{serial}", count=1, window=window, zone=zone)
+        )
+
+    for _index, lic in pool.enumerate():
+        (w_low, w_high), (z_low, z_high) = (
+            (extent.low, extent.high) for extent in lic.box.extents
+        )
+        # Full coincidence: the license's own box must match itself.
+        probe((w_low, w_high), (z_low, z_high))
+        # Degenerate corner points sit on two closed bounds at once.
+        probe((w_low, w_low), (z_low, z_low))
+        probe((w_high, w_high), (z_high, z_high))
+        for _ in range(per_license):
+            # A random sub-box pinned to one randomly chosen edge.
+            pinned_low = rng.random() < 0.5
+            inner_w = sorted(rng.sample(range(w_low, w_high + 1), 1) * 2)
+            probe(
+                (w_low, inner_w[1]) if pinned_low else (inner_w[0], w_high),
+                (
+                    rng.randint(z_low, z_high),
+                    z_high,
+                ),
+            )
+        # One unit outside each window edge: closed containment by this
+        # license must fail, and all matchers must agree it fails.
+        probe((w_low - 1, w_low), (z_low, z_low))
+        probe((w_high, w_high + 1), (z_high, z_high))
+    return probes
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_matchers_agree_on_boundary_touching_probes(seed):
+    rng = random.Random(seed)
+    factory, pool = build_pool(rng)
+    probes = boundary_probes(rng, factory, pool)
+    assert len(probes) >= 100  # the fuzz actually generated coverage
+    checked, disagreements = cross_check(pool, probes)
+    assert checked == len(probes)
+    assert not disagreements, "\n".join(str(d) for d in disagreements)
+
+
+def test_exact_edge_is_a_match_and_one_past_is_not():
+    """Spot-check the closed-containment convention itself."""
+    rng = random.Random(0)
+    factory, _pool = build_pool(rng, n_licenses=0)
+    pool = LicensePool()
+    pool.add(
+        factory.redistribution(
+            "LD1", aggregate=10, window=(10, 20), zone=(30, 40)
+        )
+    )
+    on_edge = factory.usage("edge", count=1, window=(10, 20), zone=(30, 40))
+    past_edge = factory.usage("past", count=1, window=(10, 21), zone=(30, 40))
+    checked, disagreements = cross_check(pool, [on_edge, past_edge])
+    assert checked == 2 and not disagreements
+    from repro.matching.matcher import BruteForceMatcher
+
+    matcher = BruteForceMatcher(pool)
+    assert matcher.match(on_edge) == frozenset({1})
+    assert matcher.match(past_edge) == frozenset()

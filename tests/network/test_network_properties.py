@@ -104,6 +104,6 @@ def test_rejections_are_justified(script):
     for _kind, serial, window, counts in operations:
         usage = factory.usage(f"u{serial}", count=counts, window=window, zone=window)
         outcome = network.sell("d", usage)
-        if not outcome.accepted and outcome.rejection_reason == "aggregate":
+        if not outcome.accepted and outcome.rejection_reason == "equation":
             slack = node.validator().headroom(node.log, outcome.license_set)
             assert slack < counts

@@ -56,7 +56,7 @@ class TestUsageIssuance:
         assert node.issue_usage(first).accepted
         outcome = node.issue_usage(second)
         assert not outcome.accepted
-        assert outcome.rejection_reason == "aggregate"
+        assert outcome.rejection_reason == "equation"
 
     def test_exact_capacity_boundary(self, node, factory):
         usage = factory.usage("u1", count=1000, window=(0, 50), zone=(0, 50))
@@ -122,3 +122,49 @@ class TestAudit:
         node.issue_usage(factory.usage("u1", count=10, window=(0, 5), zone=(0, 5)))
         report = node.audit()
         assert report.is_valid
+
+
+class TestServeStream:
+    def test_serve_stream_matches_one_at_a_time(self, factory):
+        def fresh_node():
+            node = DistributorNode("emea")
+            node.receive(
+                factory.redistribution(
+                    "root", aggregate=1000, window=(0, 100), zone=(0, 100)
+                )
+            )
+            return node
+
+        stream = [
+            factory.usage(f"u{i}", count=90, window=(10, 20), zone=(10, 20))
+            for i in range(14)
+        ] + [
+            factory.usage("far", count=1, window=(200, 210), zone=(0, 10))
+        ]
+        reference = fresh_node()
+        expected = [
+            (o.accepted, o.rejection_reason)
+            for o in map(reference.issue_usage, stream)
+        ]
+        served_node = fresh_node()
+        outcomes, service = served_node.serve_stream(stream)
+        assert [(o.accepted, o.rejection_reason) for o in outcomes] == expected
+        # Accepted issuances were folded back into the node's log.
+        assert served_node.log.total_count == reference.log.total_count
+        # The (closed) service still reports traffic accounting.
+        assert service.metrics.counter("requests_total").total() == len(stream)
+
+    def test_serve_stream_sees_existing_log(self, node, factory):
+        node.issue_usage(
+            factory.usage("warm", count=950, window=(0, 50), zone=(0, 50))
+        )
+        outcomes, _service = node.serve_stream(
+            [
+                factory.usage("s1", count=40, window=(0, 50), zone=(0, 50)),
+                factory.usage("s2", count=40, window=(0, 50), zone=(0, 50)),
+            ]
+        )
+        # 950 already issued: 40 fits, the second 40 must be rejected.
+        assert [o.accepted for o in outcomes] == [True, False]
+        assert outcomes[1].rejection_reason == "equation"
+        assert node.log.total_count == 990

@@ -27,7 +27,7 @@ class TestExample1Pathology:
         second = session.issue(scenario.usages[1])
         assert first.accepted and first.charged_to == 2
         assert not second.accepted
-        assert second.rejection_reason == "aggregate"
+        assert second.rejection_reason == "capacity"
 
     def test_first_fit_accepts_both(self, scenario):
         # The paper's "better solution": L_U^1 via L_D^1, L_U^2 via L_D^2.

@@ -1,0 +1,142 @@
+"""Unit tests for the service metrics registry."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_unlabelled_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total")
+        counter.inc()
+        counter.inc(amount=4)
+        assert counter.value() == 5
+        assert counter.total() == 5
+
+    def test_labelled_cells_are_independent(self):
+        counter = MetricsRegistry().counter("requests_total")
+        counter.inc(("accepted",))
+        counter.inc(("rejected", "instance"), 2)
+        counter.inc(("rejected", "equation"))
+        assert counter.value(("accepted",)) == 1
+        assert counter.value(("rejected", "instance")) == 2
+        assert counter.total() == 4
+        assert counter.cells() == {
+            ("accepted",): 1,
+            ("rejected", "instance"): 2,
+            ("rejected", "equation"): 1,
+        }
+
+    def test_never_incremented_cell_reads_zero(self):
+        counter = MetricsRegistry().counter("overload_total")
+        assert counter.value(("shard0",)) == 0
+        assert counter.total() == 0
+
+    def test_negative_amount_rejected(self):
+        counter = MetricsRegistry().counter("requests_total")
+        with pytest.raises(ServiceError):
+            counter.inc(amount=-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = MetricsRegistry().gauge("queue_depth")
+        gauge.set(7, ("shard0",))
+        gauge.set(3, ("shard0",))
+        gauge.set(12, ("shard1",))
+        assert gauge.value(("shard0",)) == 3
+        assert gauge.value(("shard1",)) == 12
+        assert gauge.value(("shard9",)) == 0.0
+
+
+class TestHistogram:
+    def test_quantiles_nearest_rank(self):
+        hist = MetricsRegistry().histogram("latency_seconds")
+        for value in range(1, 101):  # 1..100
+            hist.observe(float(value))
+        assert hist.quantile(0.50) == 50.0
+        assert hist.quantile(0.95) == 95.0
+        assert hist.quantile(0.99) == 99.0
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(1.0) == 100.0
+
+    def test_empty_histogram_quantile_is_zero(self):
+        hist = MetricsRegistry().histogram("latency_seconds")
+        assert hist.quantile(0.5) == 0.0
+        assert hist.summary()["p99"] == 0.0
+
+    def test_quantile_outside_unit_interval_rejected(self):
+        hist = MetricsRegistry().histogram("latency_seconds")
+        with pytest.raises(ServiceError):
+            hist.quantile(1.5)
+
+    def test_sliding_window_evicts_oldest(self):
+        hist = MetricsRegistry().histogram("small", max_samples=3)
+        for value in (10.0, 1.0, 2.0, 3.0):
+            hist.observe(value)
+        # The window holds the last three samples; 10.0 was evicted, so
+        # the max quantile reflects the window, not all time.
+        assert hist.quantile(1.0) == 3.0
+        # Count and sum stay all-time.
+        summary = hist.summary()
+        assert summary["count"] == 4.0
+        assert summary["sum"] == 16.0
+
+    def test_summary_shape(self):
+        hist = MetricsRegistry().histogram("latency_seconds")
+        hist.observe(0.25)
+        summary = hist.summary()
+        assert set(summary) == {"count", "sum", "mean", "p50", "p95", "p99", "max"}
+        assert summary["mean"] == 0.25
+        assert summary["max"] == 0.25
+
+    def test_max_samples_validated(self):
+        with pytest.raises(ServiceError):
+            MetricsRegistry().histogram("bad", max_samples=0)
+
+
+class TestRegistry:
+    def test_create_or_lookup_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_hooks_see_every_observation(self):
+        registry = MetricsRegistry()
+        events = []
+        registry.add_hook(lambda name, labels, value: events.append((name, labels, value)))
+        registry.counter("requests_total").inc(("accepted",))
+        registry.gauge("queue_depth").set(4, ("shard0",))
+        registry.histogram("latency_seconds").observe(0.5)
+        assert events == [
+            ("requests_total", ("accepted",), 1.0),
+            ("queue_depth", ("shard0",), 4.0),
+            ("latency_seconds", (), 0.5),
+        ]
+
+    def test_snapshot_is_json_friendly(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("requests_total").inc(("accepted",), 3)
+        registry.gauge("queue_depth").set(2, ("shard0",))
+        registry.histogram("latency_seconds").observe(0.125)
+        snap = registry.snapshot()
+        assert snap["counters"]["requests_total"]["accepted"] == 3
+        assert snap["gauges"]["queue_depth"]["shard0"] == 2
+        assert snap["histograms"]["latency_seconds"]["count"] == 1.0
+        json.dumps(snap)  # must not raise
+
+    def test_render_lists_all_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total").inc(("accepted",), 3)
+        registry.gauge("queue_depth").set(2.0, ("shard1",))
+        registry.histogram("latency_seconds").observe(0.5)
+        text = registry.render(title="svc")
+        assert "svc" in text
+        assert "requests_total{accepted} 3" in text
+        assert "queue_depth{shard1} 2" in text
+        assert "latency_seconds count=1" in text

@@ -72,7 +72,7 @@ class TestPeriodicAudit:
 class TestSupplyChain:
     def test_nested_budgets_enforced(self):
         output = run_example("supply_chain.py")
-        assert "india-extra (600 counts) REJECTED (aggregate)" in output
+        assert "india-extra (600 counts) REJECTED (equation)" in output
         assert "sold 50/60" in output
         assert "REJECTED (instance)" in output
         assert output.count("VALID") >= 4
