@@ -102,7 +102,18 @@ def _run(pool, stream, shards, batch, executor, repeats=REPEATS):
     }
 
 
-def test_throughput_vs_shards(report):
+def _json_row(run):
+    """Strip a run dict to the scalar fields worth persisting as JSON."""
+    return {
+        key: run[key]
+        for key in (
+            "rps", "elapsed", "equations", "batches", "accepted",
+            "p50", "p95", "p99",
+        )
+    }
+
+
+def test_throughput_vs_shards(report, bench_json):
     """Shard sweep: req/s up, equations down, verdicts byte-identical."""
     pool, stream = _workload()
     runs = {}
@@ -143,12 +154,24 @@ def test_throughput_vs_shards(report):
     speedup = best_rps / runs[1]["rps"]
     lines.append(f"best multi-shard speedup over 1 shard: {speedup:.2f}x")
     report("service_throughput_shards", "\n".join(lines))
+    bench_json(
+        "throughput_vs_shards",
+        {
+            "smoke": SMOKE,
+            "stream": STREAM,
+            "licenses": N_LICENSES,
+            "batch": 32,
+            "executor": "serial",
+            "speedup_best_vs_1": speedup,
+            "runs": {str(s): _json_row(run) for s, run in runs.items()},
+        },
+    )
     # Wall-clock follows the equation reduction even on one core; keep a
     # generous margin so scheduler noise cannot flake the suite.
     assert speedup > 1.02, f"expected measurable multi-shard speedup, got {speedup:.3f}x"
 
 
-def test_throughput_vs_executor(report):
+def test_throughput_vs_executor(report, bench_json):
     """Executor backends must agree verdict-for-verdict; report their cost."""
     pool, stream = _workload()
     backends = ["serial", "thread"]
@@ -179,9 +202,20 @@ def test_throughput_vs_executor(report):
         "measure pure coordination overhead."
     )
     report("service_throughput_executors", "\n".join(lines))
+    bench_json(
+        "throughput_vs_executor",
+        {
+            "smoke": SMOKE,
+            "stream": STREAM,
+            "shards": 4,
+            "batch": 32,
+            "cpu_count": os.cpu_count(),
+            "runs": {backend: _json_row(run) for backend, run in runs.items()},
+        },
+    )
 
 
-def test_throughput_vs_batch(report):
+def test_throughput_vs_batch(report, bench_json):
     """Batch sweep: the per-batch revalidation pass amortizes."""
     pool, stream = _workload()
     runs = {
@@ -210,3 +244,13 @@ def test_throughput_vs_batch(report):
         "batching should amortize the revalidation pass"
     )
     report("service_throughput_batching", "\n".join(lines))
+    bench_json(
+        "throughput_vs_batch",
+        {
+            "smoke": SMOKE,
+            "stream": STREAM,
+            "shards": 4,
+            "executor": "serial",
+            "runs": {str(b): _json_row(run) for b, run in runs.items()},
+        },
+    )

@@ -8,6 +8,7 @@ regenerated figure table both to stdout (visible with ``pytest -s``) and to
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -20,6 +21,10 @@ from repro.analysis.experiments import ExperimentSuite
 TIMED_SWEEP = (4, 8, 12, 16, 18)
 GROUPED_ONLY_SWEEP = (22, 26, 30)
 RESULTS_DIR = Path(__file__).parent / "results"
+#: Machine-readable service benchmark results, written at the repo root so
+#: CI and downstream tooling can diff throughput/overhead without parsing
+#: the human-oriented tables.
+BENCH_JSON_PATH = Path(__file__).parent.parent / "BENCH_service.json"
 
 
 @pytest.fixture(scope="session")
@@ -51,3 +56,32 @@ def report():
         print(f"\n{text}\n")
 
     return _report
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Return a callable recording one machine-readable benchmark section.
+
+    Sections accumulate over the session and are merged into any existing
+    ``BENCH_service.json`` at teardown, so running a single benchmark file
+    refreshes its own sections without clobbering the others'.
+    """
+    sections = {}
+
+    def _record(name: str, payload) -> None:
+        sections[name] = payload
+
+    yield _record
+
+    if not sections:
+        return
+    merged = {}
+    if BENCH_JSON_PATH.exists():
+        try:
+            merged = json.loads(BENCH_JSON_PATH.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            merged = {}
+    merged.update(sections)
+    BENCH_JSON_PATH.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -11,12 +11,32 @@ export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
 export REPRO_BENCH_SMOKE=1
 
 echo "== service unit + integration + determinism tests =="
-python -m pytest tests/service tests/matching/test_boundary_consistency.py -q
+python -m pytest tests/service tests/obs tests/matching/test_boundary_consistency.py -q
 
 echo "== serve-bench CLI =="
 python -m repro serve-bench -n 12 --stream 300 --shards 2 --batch 16
 
-echo "== throughput benchmark (smoke sizes) =="
-python -m pytest benchmarks/bench_service_throughput.py -q -p no:cacheprovider
+echo "== serve-bench with tracing + event journal + Prometheus export =="
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+python -m repro serve-bench -n 12 --stream 300 --shards 2 --batch 16 \
+    --trace "$OBS_DIR/trace.jsonl" \
+    --events-out "$OBS_DIR/events.jsonl" \
+    --metrics-out "$OBS_DIR/metrics.prom"
+test -s "$OBS_DIR/trace.jsonl"
+test -s "$OBS_DIR/events.jsonl"
+grep -q "repro_requests_total" "$OBS_DIR/metrics.prom"
+
+echo "== obs-report over the exported run =="
+# grep without -q so it drains the whole stream (grep -q exits on the
+# first match and the early-closed pipe would kill obs-report).
+python -m repro obs-report --trace "$OBS_DIR/trace.jsonl" \
+    --events "$OBS_DIR/events.jsonl" --top 5 --max-traces 1 \
+    | grep "slowest spans" > /dev/null
+
+echo "== throughput + observability-overhead benchmarks (smoke sizes) =="
+python -m pytest benchmarks/bench_service_throughput.py \
+    benchmarks/bench_obs_overhead.py -q -p no:cacheprovider
+test -s BENCH_service.json
 
 echo "service smoke checks passed"

@@ -15,7 +15,12 @@ Commands
 ``serve-bench``
     Drive a synthetic workload through the group-sharded validation
     service and print its metrics report (throughput, latency
-    percentiles, rejection breakdown).
+    percentiles, rejection breakdown).  ``--trace``/``--events-out``/
+    ``--metrics-out`` export span JSONL, the structured event journal,
+    and Prometheus text for offline analysis.
+``obs-report``
+    Summarize a trace (span trees, slowest spans, per-name totals)
+    and/or a structured event log produced by ``serve-bench``.
 ``demo``
     Walk through the paper's Example 1 end to end.
 """
@@ -49,9 +54,14 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Geometric DRM license validation (paper reproduction).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -125,6 +135,43 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--compare", action="store_true",
         help="also sweep shard counts {1, 2, 4, 8} and print a table",
+    )
+    serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write the run's span tree as JSONL (enables tracing)",
+    )
+    serve.add_argument(
+        "--sample-rate", type=float, default=1.0,
+        help="head-sampling rate for traces (default 1.0 = keep all)",
+    )
+    serve.add_argument(
+        "--events-out", default=None, metavar="PATH",
+        help="write the structured event journal (admissions, rejections, "
+             "backpressure) as JSONL",
+    )
+    serve.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the final metrics registry in Prometheus text format",
+    )
+
+    obs_report = commands.add_parser(
+        "obs-report", help="summarize a trace and/or event file"
+    )
+    obs_report.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="span JSONL produced by serve-bench --trace",
+    )
+    obs_report.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="event JSONL produced by serve-bench --events-out",
+    )
+    obs_report.add_argument(
+        "--top", type=int, default=10,
+        help="how many slowest spans to list (default 10)",
+    )
+    obs_report.add_argument(
+        "--max-traces", type=int, default=3,
+        help="how many span trees to render, in start order (default 3)",
     )
 
     conformance = commands.add_parser(
@@ -313,7 +360,18 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     pool = generator.generate_pool()
     stream = list(generator.issue_stream(pool, args.stream, skew=args.skew))
 
-    def run(shards: int, executor: str):
+    tracer = None
+    events = None
+    if args.trace:
+        from repro.obs.trace import SamplingConfig, Tracer
+
+        tracer = Tracer(SamplingConfig(rate=args.sample_rate))
+    if args.events_out:
+        from repro.obs.events import EventLog
+
+        events = EventLog(args.events_out)
+
+    def run(shards: int, executor: str, *, observed: bool = False):
         service = ValidationService(
             pool,
             ServiceConfig(
@@ -322,6 +380,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 queue_capacity=args.queue_capacity,
                 executor=executor,
             ),
+            tracer=tracer if observed else None,
+            events=events if observed else None,
         )
         started = time.perf_counter()
         outcomes = service.process(stream)
@@ -329,7 +389,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         service.close()
         return service, outcomes, elapsed
 
-    service, outcomes, elapsed = run(args.shards, args.executor)
+    service, outcomes, elapsed = run(args.shards, args.executor, observed=True)
     accepted = sum(outcome.accepted for outcome in outcomes)
     print(service.report())
     print()
@@ -339,6 +399,22 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         f"({accepted} accepted, {len(stream) - accepted} rejected; "
         f"{service.group_count} group(s) on {service.shard_count} shard(s))"
     )
+    if tracer is not None:
+        tracer.write_jsonl(args.trace)
+        print(
+            f"wrote {len(tracer.records())} span(s) "
+            f"({tracer.roots_sampled}/{tracer.roots_started} roots sampled) "
+            f"to {args.trace}"
+        )
+    if events is not None:
+        events.close()
+        print(f"wrote {events.emitted} event(s) to {args.events_out}")
+    if args.metrics_out:
+        from repro.obs.export import render_prometheus
+
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(render_prometheus(service.metrics))
+        print(f"wrote Prometheus metrics to {args.metrics_out}")
     if args.compare:
         rows = []
         reference = [outcome.accepted for outcome in outcomes]
@@ -363,6 +439,40 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 title=f"Shard sweep ({args.executor} executor, verdicts identical)",
             )
         )
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.events import EventLog
+    from repro.obs.export import (
+        load_trace_jsonl,
+        render_span_tree,
+        summarize_events,
+        top_slowest,
+    )
+
+    if not args.trace and not args.events:
+        print("obs-report: provide --trace and/or --events", file=sys.stderr)
+        return 2
+    if args.trace:
+        records = load_trace_jsonl(args.trace)
+        traces = {record.trace_id for record in records}
+        per_name: dict = {}
+        for record in records:
+            count, total = per_name.get(record.name, (0, 0.0))
+            per_name[record.name] = (count + 1, total + record.duration)
+        print(f"{len(records)} span(s) across {len(traces)} trace(s)")
+        for name in sorted(per_name):
+            count, total = per_name[name]
+            print(f"  {name}: {count} span(s), {total * 1e3:.3f}ms total")
+        print()
+        print(top_slowest(records, args.top))
+        print()
+        print(render_span_tree(records, max_traces=args.max_traces))
+    if args.events:
+        if args.trace:
+            print()
+        print(summarize_events(EventLog.iter_file(args.events)))
     return 0
 
 
@@ -419,6 +529,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "profile": _cmd_profile,
         "simulate": _cmd_simulate,
         "serve-bench": _cmd_serve_bench,
+        "obs-report": _cmd_obs_report,
         "conformance": _cmd_conformance,
         "demo": _cmd_demo,
     }

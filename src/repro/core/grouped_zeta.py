@@ -99,19 +99,41 @@ class GroupedZetaValidator:
             bucket[local_mask] = bucket.get(local_mask, 0) + count
         return per_group
 
-    def validate(self, log: ValidationLog) -> ValidationReport:
+    def validate(self, log: ValidationLog, instrumentation=None) -> ValidationReport:
         """Validate a log: one dense DP per group."""
-        return self.validate_counts(log.counts_by_set())
+        return self.validate_counts(
+            log.counts_by_set(), instrumentation=instrumentation
+        )
 
     def validate_counts(
-        self, counts_by_set: Dict[frozenset, int]
+        self,
+        counts_by_set: Dict[frozenset, int],
+        instrumentation=None,
     ) -> ValidationReport:
-        """Validate aggregated ``{set: count}`` data."""
+        """Validate aggregated ``{set: count}`` data.
+
+        ``instrumentation`` (optional
+        :class:`repro.obs.instrument.Instrumentation`) receives one
+        ``group_validate`` span per group with its ``equations_checked``
+        count -- the per-group breakdown of the paper's Eq. 3 gain.
+        """
         per_group = self._split_counts(counts_by_set)
         violations: List[Violation] = []
         checked = 0
         for group_id, (engine, counts) in enumerate(zip(self._engines, per_group)):
-            report = engine.validate_counts(counts)
+            if instrumentation is None:
+                report = engine.validate_counts(counts)
+            else:
+                with instrumentation.span(
+                    "group_validate", group_id=group_id
+                ) as span:
+                    report = engine.validate_counts(counts)
+                    span.set_attr(
+                        "equations_checked", report.equations_checked
+                    )
+                instrumentation.count(
+                    "equations_checked", report.equations_checked
+                )
             checked += report.equations_checked
             for violation in report.violations:
                 global_mask = globalize_mask(

@@ -141,17 +141,37 @@ class GroupSlice:
             mask |= 1 << (index - 1)
         return _headroom(self._tree, self._local_aggregates, mask)
 
-    def revalidate(self) -> Tuple[ValidationReport, int]:
+    def revalidate(self, instrumentation=None) -> Tuple[ValidationReport, int]:
         """Run Algorithm 2 over this group if dirty; else reuse the cache.
 
         Returns ``(report, equations_checked_now)`` where the counter is 0
         on a cache hit.  Violation masks are *local*; use
         :meth:`globalize_violation` to translate them.
+
+        ``instrumentation`` (optional
+        :class:`repro.obs.instrument.Instrumentation`) gets one
+        ``revalidate`` span per actual Algorithm 2 run, attributed with
+        ``group_id``/``equations_checked``/``dirty``, plus a
+        ``revalidation_cache_hits`` counter for skipped clean passes.
         """
         if self._dirty or self._cached is None:
-            self._cached = self._validator.validate(self._tree)
+            if instrumentation is None:
+                self._cached = self._validator.validate(self._tree)
+            else:
+                with instrumentation.span(
+                    "revalidate", group_id=self.group_id, dirty=True
+                ) as span:
+                    self._cached = self._validator.validate(self._tree)
+                    span.set_attr(
+                        "equations_checked", self._cached.equations_checked
+                    )
+                instrumentation.count(
+                    "equations_checked", self._cached.equations_checked
+                )
             self._dirty = False
             return self._cached, self._cached.equations_checked
+        if instrumentation is not None:
+            instrumentation.count("revalidation_cache_hits")
         return self._cached, 0
 
     def globalize_violation(self, violation: Violation) -> Violation:
@@ -263,18 +283,19 @@ class IncrementalValidator:
     # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
-    def validate(self) -> ValidationReport:
+    def validate(self, instrumentation=None) -> ValidationReport:
         """Revalidate dirty groups, reuse cached verdicts for clean ones.
 
         The returned report's ``equations_checked`` counts only the
         equations evaluated by *this* call -- the incremental cost.
         Violations cover all groups (cached and fresh), translated to
-        global license indexes.
+        global license indexes.  ``instrumentation`` is forwarded to each
+        slice's :meth:`GroupSlice.revalidate`.
         """
         checked_now = 0
         violations: List[Violation] = []
         for gslice in self._slices:
-            report, checked = gslice.revalidate()
+            report, checked = gslice.revalidate(instrumentation)
             checked_now += checked
             violations.extend(
                 gslice.globalize_violation(violation)

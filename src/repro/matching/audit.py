@@ -29,7 +29,7 @@ from repro.matching.index import IndexedMatcher
 from repro.matching.matcher import BruteForceMatcher
 from repro.matching.sorted_index import SortedCandidateMatcher
 
-__all__ = ["MatcherDisagreement", "cross_check"]
+__all__ = ["EVENT_AUDIT_MISMATCH", "MatcherDisagreement", "cross_check"]
 
 
 @dataclass(frozen=True)
@@ -49,8 +49,13 @@ class MatcherDisagreement:
         )
 
 
+#: Event kind journaled for each matcher disagreement (see
+#: :mod:`repro.obs.events`).
+EVENT_AUDIT_MISMATCH = "audit_mismatch"
+
+
 def cross_check(
-    pool: LicensePool, queries: Iterable[UsageLicense]
+    pool: LicensePool, queries: Iterable[UsageLicense], events=None
 ) -> Tuple[int, List[MatcherDisagreement]]:
     """Run every query through all three matchers; report disagreements.
 
@@ -58,6 +63,11 @@ def cross_check(
     list is the audit passing.  The brute-force matcher is the semantic
     reference, but the report keeps all three answers so a failure shows
     *which* implementation diverged.
+
+    ``events`` (an optional :class:`repro.obs.events.EventLog`) receives
+    one ``audit_mismatch`` event per disagreement, so a production audit
+    sweep leaves a machine-readable trail even when nobody keeps the
+    returned list.
     """
     brute = BruteForceMatcher(pool)
     indexed = IndexedMatcher(pool)
@@ -75,4 +85,12 @@ def cross_check(
                     usage.license_id, reference, vectorized, pruned
                 )
             )
+            if events is not None:
+                events.emit(
+                    EVENT_AUDIT_MISMATCH,
+                    usage_id=usage.license_id,
+                    brute_force=sorted(reference),
+                    indexed=sorted(vectorized),
+                    sorted_candidates=sorted(pruned),
+                )
     return checked, disagreements

@@ -161,7 +161,7 @@ class DistributorNode:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def serve_stream(self, usages, config=None):
+    def serve_stream(self, usages, config=None, *, tracer=None, events=None):
         """Serve a stream of usage licenses through the validation service.
 
         Builds a :class:`repro.service.ValidationService` over this node's
@@ -169,6 +169,12 @@ class DistributorNode:
         decisions see everything already issued), runs the stream with
         batched group-sharded admission, and folds the accepted
         issuances back into the node's log.
+
+        ``tracer``/``events`` (optional
+        :class:`repro.obs.trace.Tracer` /
+        :class:`repro.obs.events.EventLog`) are handed to the service so
+        a node-level serve leaves the same span trees and structured
+        journal a standalone service would.
 
         Returns ``(outcomes, service)`` -- the per-request verdicts in
         stream order plus the (closed) service, whose metrics registry
@@ -181,7 +187,8 @@ class DistributorNode:
         from repro.service.service import ValidationService
 
         with ValidationService(
-            self._pool, config, initial_log=self._log
+            self._pool, config, initial_log=self._log,
+            tracer=tracer, events=events,
         ) as service:
             outcomes = service.process(usages)
             for record in service.log:

@@ -1,0 +1,78 @@
+"""Observability for the validation pipeline: tracing, events, exporters.
+
+The serving layer (:mod:`repro.service`) answers *what* happened --
+counters, gauges, latency quantiles.  This package answers *why* and
+*where*:
+
+* :mod:`repro.obs.trace` -- hierarchical span tracing
+  (:class:`Tracer`/:class:`Span`): monotonic-clock timings, parent/child
+  nesting, per-span attributes (``group_id``, ``equations_checked``,
+  ``cache_hit``), deterministic span ids from a seeded counter, and
+  head-based sampling so heavy traffic can keep a representative slice;
+* :mod:`repro.obs.events` -- an append-only structured JSONL event log
+  (admissions, rejections with reason codes, backpressure, cache
+  evictions, group epoch changes) with bounded-size rotation;
+* :mod:`repro.obs.export` -- renderers: the
+  :class:`repro.service.metrics.MetricsRegistry` to Prometheus text
+  format or JSON, finished traces to JSONL / ASCII span trees /
+  top-N-slowest reports;
+* :mod:`repro.obs.instrument` -- the tiny no-op-by-default
+  :class:`Instrumentation` protocol the core validators accept, so
+  un-instrumented runs pay (almost) nothing.
+
+The contract with the serving layer: observability is strictly
+*out-of-band*.  Verdict streams are byte-identical with tracing enabled
+or disabled (pinned by ``tests/obs/test_service_tracing.py``), and the
+disabled-instrumentation overhead is benchmarked in
+``benchmarks/bench_obs_overhead.py``.
+"""
+
+from repro.obs.events import (
+    EVENT_ADMISSION,
+    EVENT_BACKPRESSURE,
+    EVENT_CACHE_EVICTION,
+    EVENT_EPOCH_CHANGE,
+    EVENT_REJECTION,
+    EventLog,
+)
+from repro.obs.export import (
+    load_trace_jsonl,
+    parse_prometheus,
+    registry_to_json,
+    render_prometheus,
+    render_span_tree,
+    summarize_events,
+    top_slowest,
+)
+from repro.obs.instrument import (
+    NOOP,
+    CountingInstrumentation,
+    Instrumentation,
+    TracingInstrumentation,
+)
+from repro.obs.trace import NULL_SPAN, SamplingConfig, Span, SpanRecord, Tracer
+
+__all__ = [
+    "EVENT_ADMISSION",
+    "EVENT_BACKPRESSURE",
+    "EVENT_CACHE_EVICTION",
+    "EVENT_EPOCH_CHANGE",
+    "EVENT_REJECTION",
+    "CountingInstrumentation",
+    "EventLog",
+    "Instrumentation",
+    "NOOP",
+    "NULL_SPAN",
+    "SamplingConfig",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "TracingInstrumentation",
+    "load_trace_jsonl",
+    "parse_prometheus",
+    "registry_to_json",
+    "render_prometheus",
+    "render_span_tree",
+    "summarize_events",
+    "top_slowest",
+]

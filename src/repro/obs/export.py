@@ -1,0 +1,261 @@
+"""Exporters: metrics to Prometheus/JSON, traces to trees and reports.
+
+The service's :class:`~repro.service.metrics.MetricsRegistry` keeps label
+*values* as plain tuples (``("rejected", "equation")``); the Prometheus
+renderer assigns positional label names (``label0``, ``label1``, ...) so
+any registry exports without per-metric schema knowledge.  Histograms
+render as Prometheus summaries (``quantile`` series + ``_sum`` +
+``_count``).
+
+:func:`parse_prometheus` is the deliberately minimal inverse -- enough to
+round-trip what :func:`render_prometheus` produces, which the exporter
+tests use to prove no sample is lost or mangled in text form.
+
+Trace-side, :func:`render_span_tree` turns a flat list of
+:class:`~repro.obs.trace.SpanRecord` back into ASCII parent/child trees
+and :func:`top_slowest` ranks spans by duration -- the two reports behind
+``repro obs-report``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+from repro.obs.trace import SpanRecord
+
+if TYPE_CHECKING:  # duck-typed at runtime, so repro.obs never imports
+    from repro.service.metrics import MetricsRegistry  # the service layer
+
+__all__ = [
+    "load_trace_jsonl",
+    "parse_prometheus",
+    "registry_to_json",
+    "render_prometheus",
+    "render_span_tree",
+    "summarize_events",
+    "top_slowest",
+]
+
+#: Parsed Prometheus samples: ``{metric: {((label, value), ...): sample}}``.
+PromSamples = Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]
+
+
+def _format_value(value: float) -> str:
+    """Format a sample so ``float()`` parses it back exactly."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(pairs: Sequence[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+def render_prometheus(
+    registry: "MetricsRegistry", namespace: str = "repro"
+) -> str:
+    """Render a metrics registry in the Prometheus text exposition format.
+
+    Counters keep their registered names (the repo convention already
+    suffixes them ``_total``), gauges render as-is, histograms render as
+    summaries with ``quantile`` labels plus ``_sum``/``_count``/``_max``
+    series.  Label values are emitted under positional names ``label0``,
+    ``label1``, ...
+    """
+    prefix = f"{namespace}_" if namespace else ""
+    lines: List[str] = []
+    for name, counter in sorted(registry.counters().items()):
+        metric = f"{prefix}{name}"
+        lines.append(f"# TYPE {metric} counter")
+        for labels, count in sorted(counter.cells().items()):
+            pairs = [(f"label{i}", value) for i, value in enumerate(labels)]
+            lines.append(
+                f"{metric}{_format_labels(pairs)} {_format_value(count)}"
+            )
+    for name, gauge in sorted(registry.gauges().items()):
+        metric = f"{prefix}{name}"
+        lines.append(f"# TYPE {metric} gauge")
+        for labels, value in sorted(gauge.cells().items()):
+            pairs = [(f"label{i}", atom) for i, atom in enumerate(labels)]
+            lines.append(
+                f"{metric}{_format_labels(pairs)} {_format_value(value)}"
+            )
+    for name, histogram in sorted(registry.histograms().items()):
+        metric = f"{prefix}{name}"
+        summary = histogram.summary()
+        lines.append(f"# TYPE {metric} summary")
+        for quantile in ("0.5", "0.95", "0.99"):
+            key = "p" + quantile.replace("0.", "").ljust(2, "0")
+            lines.append(
+                f'{metric}{{quantile="{quantile}"}} '
+                f"{_format_value(summary[key])}"
+            )
+        lines.append(f"{metric}_sum {_format_value(summary['sum'])}")
+        lines.append(f"{metric}_count {_format_value(summary['count'])}")
+        lines.append(f"{metric}_max {_format_value(summary['max'])}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> PromSamples:
+    """Parse Prometheus text format (the subset this package emits).
+
+    Returns ``{metric_name: {labels: value}}`` with labels as a sorted
+    tuple of ``(name, value)`` pairs.  Comment and blank lines are
+    skipped; anything else that fails to parse raises
+    :class:`~repro.errors.ServiceError`.
+    """
+    samples: PromSamples = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            name_part, value_part = line.rsplit(" ", 1)
+            value = float(value_part)
+            if "{" in name_part:
+                metric, label_body = name_part.split("{", 1)
+                if not label_body.endswith("}"):
+                    raise ValueError("unterminated label set")
+                pairs = []
+                for item in label_body[:-1].split(","):
+                    key, quoted = item.split("=", 1)
+                    if not (quoted.startswith('"') and quoted.endswith('"')):
+                        raise ValueError(f"unquoted label value {quoted!r}")
+                    pairs.append((key, quoted[1:-1]))
+                labels = tuple(sorted(pairs))
+            else:
+                metric, labels = name_part, ()
+        except ValueError as exc:
+            raise ServiceError(f"malformed Prometheus line: {raw!r}") from exc
+        samples.setdefault(metric, {})[labels] = value
+    return samples
+
+
+def registry_to_json(registry: "MetricsRegistry", indent: int = 2) -> str:
+    """Render a metrics registry as deterministic JSON."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Trace reports
+# ----------------------------------------------------------------------
+def load_trace_jsonl(path: str) -> List[SpanRecord]:
+    """Load span records from a JSONL trace file."""
+    records: List[SpanRecord] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ServiceError(
+                    f"malformed trace line: {line[:80]!r}"
+                ) from exc
+            records.append(SpanRecord.from_dict(payload))
+    return records
+
+
+def _attr_text(attrs: Dict[str, object]) -> str:
+    if not attrs:
+        return ""
+    body = " ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+    return f"  [{body}]"
+
+
+def render_span_tree(
+    records: Iterable[SpanRecord],
+    *,
+    max_traces: Optional[int] = None,
+) -> str:
+    """Render finished spans as one ASCII tree per trace.
+
+    Traces are ordered by their root's start time; children are ordered
+    by start time (span id breaks ties).  Spans whose parent never
+    finished (sampling races, crashes) are promoted to roots rather than
+    dropped.
+    """
+    by_trace: Dict[str, List[SpanRecord]] = {}
+    for record in records:
+        by_trace.setdefault(record.trace_id, []).append(record)
+    lines: List[str] = []
+    ordered_traces = sorted(
+        by_trace.items(),
+        key=lambda item: min(r.start for r in item[1]),
+    )
+    if max_traces is not None:
+        ordered_traces = ordered_traces[:max_traces]
+    for trace_id, spans in ordered_traces:
+        ids = {span.span_id for span in spans}
+        children: Dict[Optional[str], List[SpanRecord]] = {}
+        for span in spans:
+            parent = span.parent_id if span.parent_id in ids else None
+            children.setdefault(parent, []).append(span)
+        for bucket in children.values():
+            bucket.sort(key=lambda r: (r.start, r.span_id))
+        lines.append(f"trace {trace_id}")
+
+        def walk(span: SpanRecord, prefix: str, is_last: bool) -> None:
+            branch = "└─ " if is_last else "├─ "
+            lines.append(
+                f"{prefix}{branch}{span.name} "
+                f"{span.duration * 1e3:.3f}ms{_attr_text(span.attrs)}"
+            )
+            extension = "   " if is_last else "│  "
+            kids = children.get(span.span_id, [])
+            for index, kid in enumerate(kids):
+                walk(kid, prefix + extension, index == len(kids) - 1)
+
+        roots = children.get(None, [])
+        for index, root in enumerate(roots):
+            walk(root, "", index == len(roots) - 1)
+    return "\n".join(lines)
+
+
+def top_slowest(
+    records: Iterable[SpanRecord],
+    n: int = 10,
+    *,
+    name: Optional[str] = None,
+) -> str:
+    """Return a table of the ``n`` slowest spans (optionally one name)."""
+    pool = [r for r in records if name is None or r.name == name]
+    pool.sort(key=lambda r: (-r.duration, r.trace_id, r.span_id))
+    title = f"top {min(n, len(pool))} slowest spans" + (
+        f" (name={name})" if name else ""
+    )
+    lines = [title, "duration ms | trace      | span", "-" * 44]
+    for record in pool[:n]:
+        lines.append(
+            f"{record.duration * 1e3:11.3f} | {record.trace_id} | "
+            f"{record.name}{_attr_text(record.attrs)}"
+        )
+    return "\n".join(lines)
+
+
+def summarize_events(events: Iterable[Dict[str, object]]) -> str:
+    """Summarize a structured event stream: counts per kind + reasons."""
+    kinds: Dict[str, int] = {}
+    reasons: Dict[str, int] = {}
+    total = 0
+    for event in events:
+        total += 1
+        kind = str(event.get("kind", "?"))
+        kinds[kind] = kinds.get(kind, 0) + 1
+        if kind == "rejection":
+            reason = str(event.get("reason", "unknown"))
+            reasons[reason] = reasons.get(reason, 0) + 1
+    lines = [f"{total} event(s)"]
+    for kind in sorted(kinds):
+        lines.append(f"  {kind}: {kinds[kind]}")
+    if reasons:
+        lines.append("rejection reasons:")
+        for reason in sorted(reasons):
+            lines.append(f"  {reason}: {reasons[reason]}")
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""The ``Instrumentation`` protocol: no-op by default, pluggable depth.
+
+The core validators (:mod:`repro.validation.tree_validator`,
+:mod:`repro.core.grouped_zeta`, :mod:`repro.core.incremental`) accept an
+optional instrumentation object and report bulk counters (equations
+checked, tree nodes visited) and coarse spans through it.  Three
+implementations:
+
+* :class:`Instrumentation` -- the base class doubles as the no-op: every
+  method does nothing and :meth:`span` returns the shared
+  :data:`~repro.obs.trace.NULL_SPAN`.  Call sites pass ``None`` (and the
+  validators skip the calls entirely) or :data:`NOOP`; either way the
+  un-instrumented hot path stays fast -- pinned by
+  ``benchmarks/bench_obs_overhead.py``.
+* :class:`CountingInstrumentation` -- accumulates named counters in a
+  dict; what the validator tests use to assert equation/node budgets.
+* :class:`TracingInstrumentation` -- counts *and* opens real spans on a
+  :class:`~repro.obs.trace.Tracer`, attaching each counter as a span
+  attribute when a span is active.
+
+Counters are reported in bulk (once per validate call / per group), not
+per equation, so even live instrumentation adds O(groups) work, never
+O(2^N).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Union
+
+from repro.obs.trace import NULL_SPAN, Span, Tracer, _NullSpan
+
+__all__ = [
+    "NOOP",
+    "CountingInstrumentation",
+    "Instrumentation",
+    "TracingInstrumentation",
+]
+
+
+class Instrumentation:
+    """No-op base implementation *and* the protocol call sites rely on."""
+
+    __slots__ = ()
+
+    def count(self, name: str, amount: Union[int, float] = 1) -> None:
+        """Record ``amount`` occurrences of a named counter."""
+
+    def span(self, name: str, **attrs: object) -> Union[Span, _NullSpan]:
+        """Open a span context manager around a unit of work."""
+        return NULL_SPAN
+
+    def counters(self) -> Dict[str, Union[int, float]]:
+        """Return accumulated counters (empty for the no-op)."""
+        return {}
+
+
+#: Shared stateless no-op instance.
+NOOP = Instrumentation()
+
+
+class CountingInstrumentation(Instrumentation):
+    """Accumulate counters in memory; spans stay no-ops.
+
+    Examples
+    --------
+    >>> instr = CountingInstrumentation()
+    >>> instr.count("equations_checked", 7)
+    >>> instr.count("equations_checked", 3)
+    >>> instr.counters()
+    {'equations_checked': 10}
+    """
+
+    __slots__ = ("_lock", "_counts")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts: Dict[str, Union[int, float]] = {}
+
+    def count(self, name: str, amount: Union[int, float] = 1) -> None:
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + amount
+
+    def counters(self) -> Dict[str, Union[int, float]]:
+        with self._lock:
+            return dict(self._counts)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        with self._lock:
+            self._counts.clear()
+
+
+class TracingInstrumentation(CountingInstrumentation):
+    """Counting plus real spans on a tracer.
+
+    Each :meth:`count` call also increments a same-named attribute on the
+    tracer's current span (when one is active), so per-group spans carry
+    their own equation budgets.
+    """
+
+    __slots__ = ("tracer",)
+
+    def __init__(self, tracer: Tracer):
+        super().__init__()
+        self.tracer = tracer
+
+    def count(self, name: str, amount: Union[int, float] = 1) -> None:
+        super().count(name, amount)
+        current = self.tracer.current()
+        if current is not None:
+            current.inc_attr(name, amount)
+
+    def span(self, name: str, **attrs: object):
+        return self.tracer.span(name, **attrs)

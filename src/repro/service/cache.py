@@ -18,7 +18,16 @@ Two cache kinds with very different lifetimes:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, FrozenSet, Generic, Hashable, Optional, Tuple, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Generic,
+    Hashable,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
 from repro.errors import ServiceError
 from repro.core.grouping import GroupStructure, form_groups
@@ -49,13 +58,19 @@ class LRUCache(Generic[K, V]):
     (1, 1)
     """
 
-    def __init__(self, maxsize: int):
+    def __init__(
+        self,
+        maxsize: int,
+        on_evict: Optional[Callable[[K, V], None]] = None,
+    ):
         if maxsize < 1:
             raise ServiceError(f"LRU cache needs maxsize >= 1, got {maxsize}")
         self.maxsize = maxsize
         self._data: "OrderedDict[K, V]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._on_evict = on_evict
 
     def get(self, key: K) -> Optional[V]:
         """Return the cached value (refreshing recency), or ``None``."""
@@ -69,11 +84,18 @@ class LRUCache(Generic[K, V]):
         return value
 
     def put(self, key: K, value: V) -> None:
-        """Insert a value, evicting the least-recently-used on overflow."""
+        """Insert a value, evicting the least-recently-used on overflow.
+
+        Evictions invoke the ``on_evict(key, value)`` callback (when one
+        was configured) *after* the entry is gone, so the callback sees a
+        consistent cache."""
         self._data[key] = value
         self._data.move_to_end(key)
         if len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+            evicted_key, evicted_value = self._data.popitem(last=False)
+            self.evictions += 1
+            if self._on_evict is not None:
+                self._on_evict(evicted_key, evicted_value)
 
     def clear(self) -> None:
         """Drop every entry (accounting is preserved)."""
@@ -106,10 +128,15 @@ class MatchCache:
     so callers can keep one code path for both configurations.
     """
 
-    def __init__(self, matcher: IndexedMatcher, maxsize: int = 4096):
+    def __init__(
+        self,
+        matcher: IndexedMatcher,
+        maxsize: int = 4096,
+        on_evict: Optional[Callable[[Tuple, FrozenSet[int]], None]] = None,
+    ):
         self._matcher = matcher
         self._cache: Optional[LRUCache[Tuple, FrozenSet[int]]] = (
-            LRUCache(maxsize) if maxsize else None
+            LRUCache(maxsize, on_evict) if maxsize else None
         )
 
     @property
@@ -121,6 +148,11 @@ class MatchCache:
     def misses(self) -> int:
         """Return cache misses (0 when caching is disabled)."""
         return self._cache.misses if self._cache else 0
+
+    @property
+    def evictions(self) -> int:
+        """Return LRU evictions (0 when caching is disabled)."""
+        return self._cache.evictions if self._cache else 0
 
     def match(self, usage: UsageLicense) -> FrozenSet[int]:
         """Return the match set, memoized by request geometry."""
@@ -153,6 +185,10 @@ class GroupTables:
     def __init__(self, pool: LicensePool):
         self._pool = pool
         self.epoch = 0
+        #: Optional ``callback(old_group_count, new_group_count, epoch)``
+        #: invoked after :meth:`refresh` -- the hook the observability
+        #: layer uses to journal group split/merge events.
+        self.on_refresh: Optional[Callable[[int, int, int], None]] = None
         self._build()
 
     def _build(self) -> None:
@@ -173,6 +209,9 @@ class GroupTables:
 
     def refresh(self) -> int:
         """Recompute all tables from the pool; return the new epoch."""
+        old_count = self.group_count
         self._build()
         self.epoch += 1
+        if self.on_refresh is not None:
+            self.on_refresh(old_count, self.group_count, self.epoch)
         return self.epoch

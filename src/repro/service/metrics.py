@@ -31,7 +31,8 @@ Examples
 from __future__ import annotations
 
 from bisect import bisect_left, insort
-from typing import Callable, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import ServiceError
 
@@ -116,7 +117,9 @@ class Histogram:
         self._emit = emit
         self._max = max_samples
         self._sorted: List[float] = []
-        self._order: List[float] = []  # insertion order, for window eviction
+        # Insertion order for window eviction; a deque so evicting the
+        # oldest sample is O(1) instead of list.pop(0)'s O(n).
+        self._order: Deque[float] = deque()
         self.count = 0
         self.sum = 0.0
 
@@ -127,7 +130,7 @@ class Histogram:
         insort(self._sorted, float(value))
         self._order.append(float(value))
         if len(self._order) > self._max:
-            oldest = self._order.pop(0)
+            oldest = self._order.popleft()
             self._sorted.pop(bisect_left(self._sorted, oldest))
         self._emit(self.name, _NO_LABELS, float(value))
 
@@ -188,6 +191,18 @@ class MetricsRegistry:
         if name not in self._histograms:
             self._histograms[name] = Histogram(name, self._fanout, max_samples)
         return self._histograms[name]
+
+    def counters(self) -> Dict[str, Counter]:
+        """Return a copy of the registered counters by name."""
+        return dict(self._counters)
+
+    def gauges(self) -> Dict[str, Gauge]:
+        """Return a copy of the registered gauges by name."""
+        return dict(self._gauges)
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """Return a copy of the registered histograms by name."""
+        return dict(self._histograms)
 
     # ------------------------------------------------------------------
     # Hooks

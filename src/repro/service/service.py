@@ -47,6 +47,15 @@ from repro.licenses.license import UsageLicense
 from repro.licenses.pool import LicensePool
 from repro.logstore.log import ValidationLog
 from repro.matching.index import IndexedMatcher
+from repro.obs.events import (
+    EVENT_ADMISSION,
+    EVENT_BACKPRESSURE,
+    EVENT_CACHE_EVICTION,
+    EVENT_EPOCH_CHANGE,
+    EVENT_REJECTION,
+    EventLog,
+)
+from repro.obs.trace import NULL_SPAN, Tracer
 from repro.online.session import IssuanceOutcome
 from repro.service.cache import GroupTables, MatchCache
 from repro.service.config import ServiceConfig
@@ -77,6 +86,16 @@ class ValidationService:
     metrics:
         An externally owned registry (e.g. shared across services of one
         distributor); a fresh one is created when omitted.
+    tracer:
+        Optional :class:`repro.obs.trace.Tracer`.  When given, every
+        request grows a span tree (request -> match/queue_wait/admission)
+        and every drain one (drain -> shard_batch -> revalidate with
+        ``equations_checked``).  Tracing is strictly out-of-band: verdict
+        streams are byte-identical with it on or off.
+    events:
+        Optional :class:`repro.obs.events.EventLog` receiving the
+        structured admission/rejection/backpressure/cache-eviction/
+        epoch-change journal.
     """
 
     def __init__(
@@ -86,15 +105,23 @@ class ValidationService:
         *,
         initial_log: Optional[ValidationLog] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        events: Optional[EventLog] = None,
     ):
         if not pool:
             raise ValidationError("service needs a non-empty pool")
         self.config = config or ServiceConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.events = events
         self._pool = pool
         self._tables = GroupTables(pool)
+        if events is not None:
+            self._tables.on_refresh = self._on_epoch_change
         self._matcher = MatchCache(
-            IndexedMatcher(pool), self.config.match_cache_size
+            IndexedMatcher(pool),
+            self.config.match_cache_size,
+            on_evict=self._on_cache_evict if events is not None else None,
         )
         self._shard_count = min(self.config.shards, self._tables.group_count)
         slices_by_shard: Dict[int, Dict[int, GroupSlice]] = {
@@ -113,11 +140,15 @@ class ValidationService:
             )
             for shard_id in range(self._shard_count)
         ]
+        if tracer is not None:
+            for shard in self._shards:
+                shard.collect_timings = True
         self._executor = make_executor(self.config.executor, self._shard_count)
         self._latency = self.metrics.histogram(
             "latency_seconds", self.config.latency_window
         )
         self._seq = 0
+        self._request_spans: Dict[int, object] = {}
         self._pending_outcomes: Dict[int, IssuanceOutcome] = {}
         self._log = ValidationLog()
         self._closed = False
@@ -190,8 +221,24 @@ class ValidationService:
         """
         if self._closed:
             raise ServiceError("service is closed")
-        matched = tuple(sorted(self._matcher.match(usage)))
+        tracer = self.tracer
+        span = (
+            tracer.start_span("request", usage_id=usage.license_id)
+            if tracer is not None
+            else NULL_SPAN
+        )
+        if tracer is not None:
+            hits_before = self._matcher.hits
+            with tracer.span("match", parent=span) as match_span:
+                matched = tuple(sorted(self._matcher.match(usage)))
+                match_span.set_attr(
+                    "cache_hit", self._matcher.hits > hits_before
+                )
+                match_span.set_attr("matched", len(matched))
+        else:
+            matched = tuple(sorted(self._matcher.match(usage)))
         seq = self._seq
+        span.set_attr("seq", seq)
         if not matched:
             self._seq += 1
             outcome = IssuanceOutcome(
@@ -204,6 +251,10 @@ class ValidationService:
             )
             self._pending_outcomes[seq] = outcome
             self._count_outcome(outcome)
+            self._emit_outcome_event(seq, outcome)
+            span.set_attr("outcome", "rejected")
+            span.set_attr("reason", REASON_INSTANCE)
+            span.end()
             return seq
         group_id = self._tables.group_of[matched[0]]
         shard = self._shards[group_id % self._shard_count]
@@ -219,8 +270,21 @@ class ValidationService:
             shard.enqueue(request)
         except ServiceOverloadedError:
             self.metrics.counter("overload_total").inc((f"shard{shard.shard_id}",))
+            if self.events is not None:
+                self.events.emit(
+                    EVENT_BACKPRESSURE,
+                    usage_id=usage.license_id,
+                    shard=shard.shard_id,
+                    depth=shard.depth,
+                )
+            span.set_attr("outcome", REASON_OVERLOAD)
+            span.end()
             raise
         self._seq += 1
+        if span:
+            span.set_attr("group_id", group_id)
+            span.set_attr("shard", shard.shard_id)
+            self._request_spans[seq] = span
         self.metrics.gauge("queue_depth").set(
             shard.depth, (f"shard{shard.shard_id}",)
         )
@@ -278,6 +342,7 @@ class ValidationService:
         """Return a human-readable metrics report for this service."""
         self.metrics.gauge("match_cache_hits").set(self._matcher.hits)
         self.metrics.gauge("match_cache_misses").set(self._matcher.misses)
+        self.metrics.gauge("match_cache_evictions").set(self._matcher.evictions)
         return self.metrics.render(
             title=(
                 f"validation service: {self.group_count} group(s) on "
@@ -294,8 +359,14 @@ class ValidationService:
         by sequence number, clearing the completion buffer."""
         if self._closed:
             raise ServiceError("service is closed")
+        tracer = self.tracer
         busy = [shard for shard in self._shards if shard.depth]
         if busy:
+            drain_span = (
+                tracer.start_span("drain", shards=len(busy))
+                if tracer is not None
+                else NULL_SPAN
+            )
             outputs = self._executor.drain(busy)
             # The process backend hands back mutated shard copies via the
             # `busy` list; re-adopt so the next drain sees current state.
@@ -315,6 +386,8 @@ class ValidationService:
                     self.metrics.counter("audit_violations_total").inc(
                         amount=stats.audit_violations
                     )
+                if tracer is not None and drain_span:
+                    self._record_batch_spans(drain_span, stats)
                 completed_results.extend(results)
             # Complete in global submission order so the service log (and
             # every metric derived from it) is independent of how groups
@@ -322,6 +395,7 @@ class ValidationService:
             for result in sorted(completed_results, key=lambda r: r.seq):
                 self._latency.observe(now - result.submitted_at)
                 self._complete(result)
+            drain_span.end()
         completed = sorted(self._pending_outcomes.items())
         self._pending_outcomes.clear()
         return completed
@@ -334,6 +408,33 @@ class ValidationService:
             group_id = self._tables.group_of[members[0]]
             shard = self._shards[group_id % self._shard_count]
             shard.preload(group_id, members, record.count)
+
+    def _record_batch_spans(self, drain_span, stats) -> None:
+        """Stitch shard-side batch/revalidation timings under the drain
+        span (they arrive as plain picklable data -- see
+        :class:`repro.service.shard.BatchTiming`)."""
+        for timing in stats.batch_timings:
+            batch_record = self.tracer.record(
+                "shard_batch",
+                start=timing.started,
+                duration=timing.duration,
+                parent=drain_span,
+                attrs={"shard": timing.shard_id, "batch_size": timing.size},
+            )
+            if batch_record is None:
+                continue
+            for reval in timing.revalidations:
+                self.tracer.record(
+                    "revalidate",
+                    start=reval.started,
+                    duration=reval.duration,
+                    parent=batch_record,
+                    attrs={
+                        "group_id": reval.group_id,
+                        "equations_checked": reval.equations_checked,
+                        "violations": reval.violations,
+                    },
+                )
 
     def _complete(self, result: ShardResult) -> None:
         if result.accepted:
@@ -354,6 +455,30 @@ class ValidationService:
         )
         self._pending_outcomes[result.seq] = outcome
         self._count_outcome(outcome)
+        self._emit_outcome_event(result.seq, outcome, group_id=result.group_id)
+        span = self._request_spans.pop(result.seq, None)
+        if span is not None:
+            self.tracer.record(
+                "queue_wait",
+                start=result.submitted_at,
+                duration=max(0.0, result.processed_at - result.submitted_at),
+                parent=span,
+            )
+            self.tracer.record(
+                "admission",
+                start=result.processed_at,
+                duration=result.service_time,
+                parent=span,
+                attrs={
+                    "group_id": result.group_id,
+                    "headroom": result.headroom,
+                    "accepted": result.accepted,
+                },
+            )
+            span.set_attr("outcome", "accepted" if result.accepted else "rejected")
+            if result.reason:
+                span.set_attr("reason", result.reason)
+            span.end()
 
     def _count_outcome(self, outcome: IssuanceOutcome) -> None:
         if outcome.accepted:
@@ -362,3 +487,55 @@ class ValidationService:
             self.metrics.counter("requests_total").inc(
                 ("rejected", outcome.rejection_reason or "unknown")
             )
+
+    # ------------------------------------------------------------------
+    # Observability plumbing (all strictly out-of-band)
+    # ------------------------------------------------------------------
+    def _emit_outcome_event(
+        self,
+        seq: int,
+        outcome: IssuanceOutcome,
+        group_id: Optional[int] = None,
+    ) -> None:
+        if self.events is None:
+            return
+        if outcome.accepted:
+            self.events.emit(
+                EVENT_ADMISSION,
+                seq_no=seq,
+                usage_id=outcome.usage_id,
+                count=outcome.count,
+                group_id=group_id,
+            )
+        else:
+            self.events.emit(
+                EVENT_REJECTION,
+                seq_no=seq,
+                usage_id=outcome.usage_id,
+                count=outcome.count,
+                group_id=group_id,
+                reason=outcome.rejection_reason,
+                detail=outcome.rejection_detail,
+            )
+
+    def _on_cache_evict(self, key, _value) -> None:
+        self.metrics.counter("match_cache_evictions_total").inc()
+        self.events.emit(
+            EVENT_CACHE_EVICTION,
+            cache="match",
+            content_id=key[0] if key else None,
+        )
+
+    def _on_epoch_change(self, old_groups: int, new_groups: int, epoch: int) -> None:
+        change = (
+            "split" if new_groups > old_groups
+            else "merge" if new_groups < old_groups
+            else "none"
+        )
+        self.events.emit(
+            EVENT_EPOCH_CHANGE,
+            epoch=epoch,
+            old_groups=old_groups,
+            new_groups=new_groups,
+            change=change,
+        )

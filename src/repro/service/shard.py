@@ -27,7 +27,14 @@ from typing import Deque, Dict, List, Sequence, Tuple
 from repro.errors import ServiceError, ServiceOverloadedError
 from repro.core.incremental import GroupSlice
 
-__all__ = ["GroupShard", "ShardRequest", "ShardResult", "ShardStats"]
+__all__ = [
+    "BatchTiming",
+    "GroupShard",
+    "RevalidationTiming",
+    "ShardRequest",
+    "ShardResult",
+    "ShardStats",
+]
 
 #: Rejection reason reported for headroom shortfalls at admission.
 REASON_EQUATION = "equation"
@@ -68,6 +75,32 @@ class ShardResult:
     service_time: float
     #: Submission timestamp, echoed back for latency accounting.
     submitted_at: float
+    #: When in-shard processing of this request began (monotonic clock);
+    #: ``processed_at - submitted_at`` is the queue wait.
+    processed_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class RevalidationTiming:
+    """Timing of one per-group incremental revalidation (plain data, so
+    it survives the pickle round-trip of the process executor)."""
+
+    group_id: int
+    equations_checked: int
+    violations: int
+    started: float
+    duration: float
+
+
+@dataclass(frozen=True)
+class BatchTiming:
+    """Timing of one admission batch plus its revalidation passes."""
+
+    shard_id: int
+    size: int
+    started: float
+    duration: float
+    revalidations: Tuple[RevalidationTiming, ...]
 
 
 @dataclass
@@ -81,6 +114,9 @@ class ShardStats:
     equations_checked: int = 0
     audit_violations: int = 0
     per_group: Dict[int, int] = field(default_factory=dict)
+    #: Batch/revalidation timings, collected only when the owning shard
+    #: has ``collect_timings`` set (i.e. the service is tracing).
+    batch_timings: List[BatchTiming] = field(default_factory=list)
 
 
 class GroupShard:
@@ -102,6 +138,10 @@ class GroupShard:
         self._batch_size = batch_size
         self._capacity = queue_capacity
         self._pending: Deque[ShardRequest] = deque()
+        #: When True, :meth:`process_pending` fills
+        #: :attr:`ShardStats.batch_timings` (set by a tracing service;
+        #: costs one extra clock read per batch + per revalidation).
+        self.collect_timings = False
 
     # ------------------------------------------------------------------
     # Queue management (called from the service coordinator only)
@@ -158,11 +198,13 @@ class GroupShard:
         """
         results: List[ShardResult] = []
         stats = ShardStats()
+        collect = self.collect_timings
         while self._pending:
             batch = [
                 self._pending.popleft()
                 for _ in range(min(self._batch_size, len(self._pending)))
             ]
+            batch_started = time.perf_counter()
             touched: Dict[int, GroupSlice] = {}
             for request in batch:
                 started = time.perf_counter()
@@ -191,13 +233,36 @@ class GroupShard:
                         headroom=slack,
                         service_time=time.perf_counter() - started,
                         submitted_at=request.submitted_at,
+                        processed_at=started,
                     )
                 )
             # One incremental revalidation pass per batch: the audit cost
             # is paid once for every slice the batch dirtied.
             stats.batches += 1
+            revalidations: List[RevalidationTiming] = []
             for gslice in touched.values():
+                reval_started = time.perf_counter()
                 report, checked = gslice.revalidate()
                 stats.equations_checked += checked
                 stats.audit_violations += len(report.violations)
+                if collect:
+                    revalidations.append(
+                        RevalidationTiming(
+                            group_id=gslice.group_id,
+                            equations_checked=checked,
+                            violations=len(report.violations),
+                            started=reval_started,
+                            duration=time.perf_counter() - reval_started,
+                        )
+                    )
+            if collect:
+                stats.batch_timings.append(
+                    BatchTiming(
+                        shard_id=self.shard_id,
+                        size=len(batch),
+                        started=batch_started,
+                        duration=time.perf_counter() - batch_started,
+                        revalidations=tuple(revalidations),
+                    )
+                )
         return results, stats

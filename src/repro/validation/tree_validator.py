@@ -71,6 +71,7 @@ class TreeValidator:
         self,
         tree: ValidationTree,
         stop_at_first: bool = False,
+        instrumentation=None,
     ) -> ValidationReport:
         """Run every validation equation against ``tree``.
 
@@ -83,6 +84,11 @@ class TreeValidator:
             If ``True``, return as soon as one violation is found (useful
             for feasibility-only queries); ``equations_checked`` then
             reflects the early exit.
+        instrumentation:
+            Optional :class:`repro.obs.instrument.Instrumentation`.  When
+            given, ``equations_checked``/``node_visits``/``violations``
+            counters are reported in bulk after the sweep (the default
+            ``None`` leaves the hot loop untouched).
         """
         if tree.max_index() > self._n:
             raise ValidationError(
@@ -91,19 +97,47 @@ class TreeValidator:
             )
         violations: List[Violation] = []
         checked = 0
-        for mask in iter_masks(self._n):
-            checked += 1
-            lhs = tree.subset_sum(mask)
-            rhs = self._rhs[mask]
-            if lhs > rhs:
-                violations.append(Violation(mask, lhs, rhs))
-                if stop_at_first:
-                    break
+        if instrumentation is None:
+            for mask in iter_masks(self._n):
+                checked += 1
+                lhs = tree.subset_sum(mask)
+                rhs = self._rhs[mask]
+                if lhs > rhs:
+                    violations.append(Violation(mask, lhs, rhs))
+                    if stop_at_first:
+                        break
+        else:
+            node_visits = 0
+            with instrumentation.span("validate_all", n=self._n) as span:
+                for mask in iter_masks(self._n):
+                    checked += 1
+                    lhs, visited = tree.subset_sum_counting(mask)
+                    node_visits += visited
+                    rhs = self._rhs[mask]
+                    if lhs > rhs:
+                        violations.append(Violation(mask, lhs, rhs))
+                        if stop_at_first:
+                            break
+                span.set_attr("equations_checked", checked)
+                span.set_attr("node_visits", node_visits)
+            instrumentation.count("equations_checked", checked)
+            instrumentation.count("node_visits", node_visits)
+            if violations:
+                instrumentation.count("violations", len(violations))
         return make_report(self.engine_name, checked, violations)
 
-    def validate_log(self, log: ValidationLog, stop_at_first: bool = False) -> ValidationReport:
+    def validate_log(
+        self,
+        log: ValidationLog,
+        stop_at_first: bool = False,
+        instrumentation=None,
+    ) -> ValidationReport:
         """Convenience: build the tree from ``log`` and validate."""
-        return self.validate(ValidationTree.from_log(log), stop_at_first=stop_at_first)
+        return self.validate(
+            ValidationTree.from_log(log),
+            stop_at_first=stop_at_first,
+            instrumentation=instrumentation,
+        )
 
     def check_equation(self, tree: ValidationTree, mask: int) -> Optional[Violation]:
         """Evaluate a single validation equation; return the violation or

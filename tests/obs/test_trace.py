@@ -1,0 +1,240 @@
+"""Tracer/Span unit tests: determinism, nesting, sampling, threading."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.obs.trace import NULL_SPAN, SamplingConfig, Span, SpanRecord, Tracer
+
+
+def _fake_clock(step=1.0):
+    """Deterministic monotonic clock advancing ``step`` per call."""
+    state = {"now": 0.0}
+
+    def clock():
+        value = state["now"]
+        state["now"] += step
+        return value
+
+    return clock
+
+
+class TestSpanBasics:
+    def test_root_span_has_no_parent(self):
+        tracer = Tracer(clock=_fake_clock())
+        with tracer.span("request") as span:
+            assert span.parent_id is None
+        (record,) = tracer.records()
+        assert record.name == "request"
+        assert record.parent_id is None
+
+    def test_nested_spans_parent_implicitly(self):
+        tracer = Tracer(clock=_fake_clock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        names = [r.name for r in tracer.records()]
+        assert names == ["inner", "outer"]  # finish order
+
+    def test_explicit_parent_overrides_context(self):
+        tracer = Tracer(clock=_fake_clock())
+        root = tracer.start_span("root")
+        with tracer.span("other"):
+            child = tracer.start_span("child", parent=root)
+            assert child.parent_id == root.span_id
+            child.end()
+        root.end()
+
+    def test_attrs_and_inc_attr(self):
+        tracer = Tracer(clock=_fake_clock())
+        with tracer.span("s", group_id=3) as span:
+            span.set_attr("flag", True)
+            span.inc_attr("count", 2)
+            span.inc_attr("count")
+        (record,) = tracer.records()
+        assert record.attrs == {"group_id": 3, "flag": True, "count": 3}
+
+    def test_double_end_is_harmless(self):
+        tracer = Tracer(clock=_fake_clock())
+        span = tracer.start_span("once")
+        span.end()
+        span.end()
+        assert len(tracer.records()) == 1
+
+    def test_durations_use_injected_clock(self):
+        tracer = Tracer(clock=_fake_clock(step=0.5))
+        span = tracer.start_span("timed")  # start=0.0
+        span.end()  # end=0.5
+        (record,) = tracer.records()
+        assert record.start == 0.0
+        assert record.duration == 0.5
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        tracer = Tracer(seed=seed, clock=_fake_clock())
+        for _ in range(3):
+            with tracer.span("request"):
+                with tracer.span("match"):
+                    pass
+        return tracer
+
+    def test_same_seed_same_ids(self):
+        first = [(r.trace_id, r.span_id, r.parent_id, r.name)
+                 for r in self._run(0).records()]
+        second = [(r.trace_id, r.span_id, r.parent_id, r.name)
+                  for r in self._run(0).records()]
+        assert first == second
+
+    def test_jsonl_is_byte_deterministic(self, tmp_path):
+        paths = []
+        for index in range(2):
+            path = tmp_path / f"trace{index}.jsonl"
+            self._run(7).write_jsonl(str(path))
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_jsonl_round_trips_via_from_dict(self, tmp_path):
+        tracer = self._run(0)
+        path = tmp_path / "trace.jsonl"
+        written = tracer.write_jsonl(str(path))
+        loaded = [
+            SpanRecord.from_dict(json.loads(line))
+            for line in path.read_text().splitlines()
+        ]
+        assert written == len(loaded) == 6
+        assert sorted(loaded, key=lambda r: (r.trace_id, r.span_id)) == loaded
+        by_key = {(r.trace_id, r.span_id): r for r in tracer.records()}
+        for record in loaded:
+            assert by_key[(record.trace_id, record.span_id)] == record
+
+    def test_malformed_record_raises_service_error(self):
+        with pytest.raises(ServiceError):
+            SpanRecord.from_dict({"trace_id": "t0"})
+
+
+class TestSampling:
+    def test_rate_validation(self):
+        with pytest.raises(ServiceError):
+            SamplingConfig(rate=1.5)
+        with pytest.raises(ServiceError):
+            SamplingConfig(rate=-0.1)
+
+    @pytest.mark.parametrize("rate,expected", [(1.0, 8), (0.5, 4), (0.25, 2), (0.0, 0)])
+    def test_stride_keeps_exact_fraction(self, rate, expected):
+        config = SamplingConfig(rate=rate)
+        assert sum(config.keep(i) for i in range(8)) == expected
+
+    def test_unsampled_root_suppresses_children(self):
+        tracer = Tracer(SamplingConfig(rate=0.5), clock=_fake_clock())
+        kept = []
+        for index in range(4):
+            with tracer.span("request") as span:
+                with tracer.span("child") as child:
+                    assert bool(child) == bool(span)
+                kept.append(bool(span))
+        # floor((i+1)r) > floor(ir) keeps the *second* of each pair.
+        assert kept == [False, True, False, True]
+        assert tracer.roots_started == 4
+        assert tracer.roots_sampled == 2
+        # Only the sampled half produced records (root + child each).
+        assert len(tracer.records()) == 4
+
+    def test_null_span_is_falsy_sink(self):
+        assert not NULL_SPAN
+        NULL_SPAN.set_attr("k", 1)
+        NULL_SPAN.inc_attr("k")
+        NULL_SPAN.end()
+        with NULL_SPAN as span:
+            assert span is NULL_SPAN
+
+    def test_null_parent_propagates_through_start_span(self):
+        tracer = Tracer(SamplingConfig(rate=0.0), clock=_fake_clock())
+        root = tracer.start_span("request")
+        assert root is NULL_SPAN
+        assert tracer.start_span("child", parent=root) is NULL_SPAN
+        assert tracer.records() == ()
+
+
+class TestOutOfBand:
+    def test_record_parents_to_live_span(self):
+        tracer = Tracer(clock=_fake_clock())
+        with tracer.span("drain") as drain:
+            batch = tracer.record(
+                "shard_batch", start=1.0, duration=0.25, parent=drain,
+                attrs={"shard": 0},
+            )
+            reval = tracer.record(
+                "revalidate", start=1.1, duration=0.05, parent=batch,
+                attrs={"group_id": 2, "equations_checked": 7},
+            )
+        assert batch.trace_id == drain.trace_id
+        assert reval.parent_id == batch.span_id
+        assert reval.attrs["equations_checked"] == 7
+
+    def test_record_under_null_parent_returns_none(self):
+        tracer = Tracer(clock=_fake_clock())
+        assert tracer.record(
+            "shard_batch", start=0.0, duration=1.0, parent=NULL_SPAN
+        ) is None
+        assert tracer.records() == ()
+
+    def test_clear_keeps_id_counter_monotone(self):
+        tracer = Tracer(clock=_fake_clock())
+        with tracer.span("a"):
+            pass
+        ids_before = {r.span_id for r in tracer.records()}
+        tracer.clear()
+        with tracer.span("b"):
+            pass
+        ids_after = {r.span_id for r in tracer.records()}
+        assert not ids_before & ids_after
+
+
+class TestThreading:
+    def test_threads_nest_independently(self):
+        tracer = Tracer(clock=_fake_clock())
+        errors = []
+
+        def worker(index):
+            try:
+                with tracer.span(f"root{index}") as root:
+                    with tracer.span("child") as child:
+                        assert child.trace_id == root.trace_id
+                        assert child.parent_id == root.span_id
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        records = tracer.records()
+        assert len(records) == 16
+        # Every span id is unique even under concurrent allocation.
+        assert len({r.span_id for r in records}) == 16
+        # Each child parents to its own thread's root, never another's.
+        roots = {r.trace_id: r for r in records if r.parent_id is None}
+        for child in (r for r in records if r.parent_id is not None):
+            assert roots[child.trace_id].span_id == child.parent_id
+
+    def test_activate_carries_span_across_threads(self):
+        tracer = Tracer(clock=_fake_clock())
+        root = tracer.start_span("request")
+        seen = {}
+
+        def worker():
+            with tracer.activate(root):
+                with tracer.span("remote") as span:
+                    seen["parent"] = span.parent_id
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        root.end()
+        assert seen["parent"] == root.span_id

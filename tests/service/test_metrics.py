@@ -96,6 +96,36 @@ class TestHistogram:
         with pytest.raises(ServiceError):
             MetricsRegistry().histogram("bad", max_samples=0)
 
+    def test_window_eviction_is_constant_time(self):
+        """Regression: eviction must pop from a deque, not a list head.
+
+        ``list.pop(0)`` on the insertion-order buffer made every observe
+        beyond the window O(window).  The structural check (the buffer
+        really is a deque with O(1) popleft) is what pins the fix; the
+        behavioural sweep alongside it proves eviction order survived
+        the data-structure swap.
+        """
+        from collections import deque
+
+        hist = MetricsRegistry().histogram("windowed", max_samples=5)
+        assert isinstance(hist._order, deque)
+        for value in range(100):
+            hist.observe(float(value))
+        # Window holds exactly the 5 newest samples, in order.
+        assert list(hist._order) == [95.0, 96.0, 97.0, 98.0, 99.0]
+        assert hist._sorted == [95.0, 96.0, 97.0, 98.0, 99.0]
+        assert hist.quantile(0.0) == 95.0
+        assert hist.quantile(1.0) == 99.0
+        assert hist.summary()["count"] == 100.0
+
+    def test_window_eviction_with_duplicate_samples(self):
+        """Duplicates: evicting one copy must leave the others counted."""
+        hist = MetricsRegistry().histogram("dups", max_samples=3)
+        for value in (7.0, 7.0, 7.0, 1.0):
+            hist.observe(value)
+        assert sorted(hist._sorted) == [1.0, 7.0, 7.0]
+        assert hist.quantile(0.0) == 1.0
+
 
 class TestRegistry:
     def test_create_or_lookup_returns_same_object(self):

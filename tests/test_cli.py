@@ -217,3 +217,106 @@ class TestExperimentCommand:
         )
         assert code == 0
         assert f"Figure {figure}" in capsys.readouterr().out
+
+
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+class TestServeBenchObservability:
+    def _run(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        events_path = tmp_path / "events.jsonl"
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(
+            ["serve-bench", "-n", "12", "--stream", "80", "--seed", "5",
+             "--shards", "2",
+             "--trace", str(trace_path),
+             "--events-out", str(events_path),
+             "--metrics-out", str(metrics_path)]
+        )
+        assert code == 0
+        return trace_path, events_path, metrics_path, capsys.readouterr().out
+
+    def test_exports_all_three_artifacts(self, tmp_path, capsys):
+        trace_path, events_path, metrics_path, output = self._run(
+            tmp_path, capsys
+        )
+        assert "wrote" in output
+        assert trace_path.exists()
+        assert events_path.exists()
+        assert metrics_path.exists()
+
+    def test_trace_file_covers_the_pipeline(self, tmp_path, capsys):
+        from repro.obs.export import load_trace_jsonl
+
+        trace_path, _, _, _ = self._run(tmp_path, capsys)
+        names = {record.name for record in load_trace_jsonl(str(trace_path))}
+        assert names >= {
+            "request", "match", "queue_wait", "admission",
+            "drain", "shard_batch", "revalidate",
+        }
+
+    def test_metrics_file_parses_as_prometheus(self, tmp_path, capsys):
+        from repro.obs.export import parse_prometheus
+
+        _, _, metrics_path, _ = self._run(tmp_path, capsys)
+        samples = parse_prometheus(metrics_path.read_text())
+        assert "repro_requests_total" in samples
+        assert "repro_latency_seconds" in samples
+
+    def test_events_file_journals_every_verdict(self, tmp_path, capsys):
+        from repro.obs.events import EventLog
+
+        _, events_path, _, _ = self._run(tmp_path, capsys)
+        kinds = [
+            event["kind"] for event in EventLog.iter_file(str(events_path))
+        ]
+        assert sum(k in ("admission", "rejection") for k in kinds) == 80
+
+
+class TestObsReportCommand:
+    def test_requires_an_input(self, capsys):
+        assert main(["obs-report"]) == 2
+        assert "provide --trace" in capsys.readouterr().err
+
+    def test_reports_trace_and_events(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        events_path = tmp_path / "events.jsonl"
+        main(
+            ["serve-bench", "-n", "12", "--stream", "60", "--seed", "5",
+             "--trace", str(trace_path), "--events-out", str(events_path)]
+        )
+        capsys.readouterr()
+        code = main(
+            ["obs-report", "--trace", str(trace_path),
+             "--events", str(events_path), "--top", "4", "--max-traces", "2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "span(s) across" in output
+        assert "top 4 slowest spans" in output
+        assert output.count("trace t") == 2
+        assert "event(s)" in output
+        assert "admission" in output
+
+    def test_sample_rate_thins_the_trace(self, tmp_path, capsys):
+        from repro.obs.export import load_trace_jsonl
+
+        full_path = tmp_path / "full.jsonl"
+        thin_path = tmp_path / "thin.jsonl"
+        for path, rate in ((full_path, "1.0"), (thin_path, "0.25")):
+            main(
+                ["serve-bench", "-n", "12", "--stream", "60", "--seed", "5",
+                 "--trace", str(path), "--sample-rate", rate]
+            )
+        capsys.readouterr()
+        full = load_trace_jsonl(str(full_path))
+        thin = load_trace_jsonl(str(thin_path))
+        assert 0 < len(thin) < len(full)
