@@ -26,6 +26,7 @@ Set ``REPRO_BENCH_SMOKE=1`` to shrink the workload for CI smoke runs.
 import os
 import time
 
+from repro.obs.monitor import Monitor
 from repro.obs.trace import SamplingConfig, Tracer
 from repro.service import ServiceConfig, ValidationService
 from repro.validation.tree import ValidationTree
@@ -88,11 +89,12 @@ def _time_min_interleaved(fns, repeats=REPEATS):
     return best
 
 
-def _service_run(pool, stream, tracer):
+def _service_run(pool, stream, tracer, monitor=None):
     service = ValidationService(
         pool,
         ServiceConfig(shards=4, batch_size=32, queue_capacity=512),
         tracer=tracer,
+        monitor=monitor,
     )
     outcomes = service.process(stream)
     service.close()
@@ -204,4 +206,80 @@ def test_disabled_service_overhead(report, bench_json):
     # small constant factor of the untraced run on this workload.
     assert enabled_ratio < 3.0, (
         f"full tracing unexpectedly expensive: {enabled_ratio:.2f}x"
+    )
+
+
+def test_monitor_overhead(report, bench_json):
+    """Service with ``monitor=None`` vs. a live monitor ticking per drain.
+
+    Same contract as tracing: the ``monitor=None`` hot path is one ``is
+    None`` branch (covered by the disabled-margin assertion against the
+    plain legacy run), a live monitor is drain-frequency work -- not
+    per-request -- so even its enabled cost stays modest, and verdict
+    streams are byte-identical either way.
+    """
+    pool, stream = _workload()
+
+    baseline_outcomes = _service_run(pool, stream, tracer=None)
+
+    def plain():
+        return _service_run(pool, stream, tracer=None)
+
+    def disabled():
+        return _service_run(pool, stream, tracer=None, monitor=None)
+
+    monitors = []
+
+    def monitored():
+        monitor = Monitor()
+        monitors.append(monitor)
+        return _service_run(pool, stream, tracer=None, monitor=monitor)
+
+    monitored_outcomes = monitored()
+    assert [o.accepted for o in monitored_outcomes] == [
+        o.accepted for o in baseline_outcomes
+    ], "monitoring changed the verdict stream"
+    assert [o.rejection_reason for o in monitored_outcomes] == [
+        o.rejection_reason for o in baseline_outcomes
+    ], "monitoring changed rejection reasons"
+
+    plain_s, disabled_s = _time_min_interleaved(
+        [plain, disabled], repeats=2 * REPEATS
+    )
+    monitored_s = _time_min(monitored)
+    disabled_ratio = disabled_s / plain_s
+    monitored_ratio = monitored_s / disabled_s
+    ticks = monitors[-1].ticks
+    lines = [
+        f"service monitoring overhead ({STREAM} requests, 4 shards, "
+        f"batch=32, min of {REPEATS})",
+        "",
+        f"no monitor kwarg: {plain_s * 1e3:8.1f} ms",
+        f"monitor=None:     {disabled_s * 1e3:8.1f} ms  "
+        f"({disabled_ratio:.3f}x, ceiling {DISABLED_MARGIN}x)",
+        f"live monitor:     {monitored_s * 1e3:8.1f} ms  "
+        f"({monitored_ratio:.3f}x, {ticks} tick(s)/run)",
+        "",
+        "verdict stream byte-identical with monitoring on/off: yes",
+    ]
+    report("obs_overhead_monitor", "\n".join(lines))
+    bench_json(
+        "obs_overhead_monitor",
+        {
+            "smoke": SMOKE,
+            "stream": STREAM,
+            "plain_s": plain_s,
+            "disabled_s": disabled_s,
+            "monitored_s": monitored_s,
+            "disabled_ratio": disabled_ratio,
+            "monitored_ratio": monitored_ratio,
+            "ticks_per_run": ticks,
+        },
+    )
+    assert disabled_ratio < DISABLED_MARGIN, (
+        f"monitor=None should be free, measured {disabled_ratio:.3f}x"
+    )
+    # Informational bound: per-drain evaluation, not per-request.
+    assert monitored_ratio < 3.0, (
+        f"live monitoring unexpectedly expensive: {monitored_ratio:.2f}x"
     )

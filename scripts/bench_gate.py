@@ -1,0 +1,276 @@
+#!/usr/bin/env python
+"""CI perf-regression gate over ``BENCH_service.json``.
+
+Compares a freshly produced benchmark JSON against a committed baseline
+(``benchmarks/baselines/``) under a declarative tolerance policy and
+exits non-zero when a gated metric regresses -- the job that stops a
+"small refactor" from silently re-inflating the equation count the
+paper's grouping decomposition exists to shrink.
+
+Policy file (``benchmarks/baselines/tolerances.json``)::
+
+    {
+      "default": {"mode": "informational"},
+      "rules": [
+        {"pattern": "*.runs.*.equations", "mode": "exact"},
+        {"pattern": "obs_overhead_*.disabled_ratio",
+         "mode": "max", "limit": 1.5},
+        {"pattern": "*.rps", "mode": "min", "limit_ratio": 0.4},
+        ...
+      ]
+    }
+
+Rules are matched with :func:`fnmatch.fnmatch` against the dotted path
+of every numeric/boolean leaf (e.g. ``throughput_vs_shards.runs.4.
+equations``); the first matching rule wins, the ``default`` applies
+otherwise.  Modes:
+
+* ``exact`` -- value must equal the baseline.  Used for deterministic
+  counters (equations checked, batches, accepted verdicts, smoke flags):
+  these cannot flake, so any drift is a real behavior change.
+* ``max`` -- value must stay under ``limit`` (absolute) and/or
+  ``baseline * limit_ratio``.  Used for overhead ratios.
+* ``min`` -- value must stay above ``limit`` and/or
+  ``baseline * limit_ratio``.  Used for throughput floors.
+* ``informational`` -- reported, never failing.  Used for raw
+  wall-clock seconds, which CI runners cannot reproduce faithfully.
+
+A metric present in the baseline but missing from the current run is a
+failure (a silently dropped benchmark is itself a regression); new
+metrics absent from the baseline are reported informationally.
+
+Exit codes: 0 clean, 1 regression(s), 2 usage/IO error.  Importable:
+the test suite drives :func:`compare` with synthetic regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "compare",
+    "flatten",
+    "load_json",
+    "main",
+    "render_report",
+]
+
+#: Verdicts a finding can carry.
+PASS = "pass"
+FAIL = "fail"
+INFO = "info"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One compared metric (or structural mismatch)."""
+
+    path: str
+    verdict: str
+    mode: str
+    baseline: Optional[float]
+    current: Optional[float]
+    detail: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "verdict": self.verdict,
+            "mode": self.mode,
+            "baseline": self.baseline,
+            "current": self.current,
+            "detail": self.detail,
+        }
+
+
+def load_json(path: str) -> Dict[str, object]:
+    """Load one JSON file (raises on missing/malformed -- caller maps to
+    exit code 2)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def flatten(
+    payload: object, prefix: str = ""
+) -> Iterator[Tuple[str, object]]:
+    """Yield ``(dotted path, leaf value)`` for every scalar leaf."""
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            inner = f"{prefix}.{key}" if prefix else str(key)
+            yield from flatten(payload[key], inner)
+    elif isinstance(payload, (list, tuple)):
+        for index, item in enumerate(payload):
+            yield from flatten(item, f"{prefix}.{index}")
+    else:
+        yield prefix, payload
+
+
+def _match_rule(
+    path: str, rules: Sequence[Dict[str, object]], default: Dict[str, object]
+) -> Dict[str, object]:
+    for rule in rules:
+        if fnmatch(path, str(rule.get("pattern", ""))):
+            return rule
+    return default
+
+
+def _check(
+    path: str, rule: Dict[str, object], base: object, cur: object
+) -> Finding:
+    mode = str(rule.get("mode", "informational"))
+    if mode == "exact":
+        ok = base == cur
+        return Finding(
+            path, PASS if ok else FAIL, mode,
+            base if isinstance(base, (int, float)) else None,
+            cur if isinstance(cur, (int, float)) else None,
+            "matches baseline" if ok
+            else f"expected {base!r}, got {cur!r}",
+        )
+    if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
+        return Finding(
+            path, INFO, mode, None, None,
+            f"non-numeric ({base!r} -> {cur!r}), not gated",
+        )
+    if mode == "informational":
+        delta = cur - base
+        return Finding(
+            path, INFO, mode, float(base), float(cur),
+            f"{base:g} -> {cur:g} ({delta:+g})",
+        )
+    if mode in ("max", "min"):
+        bounds: List[float] = []
+        if "limit" in rule:
+            bounds.append(float(rule["limit"]))
+        if "limit_ratio" in rule:
+            bounds.append(float(base) * float(rule["limit_ratio"]))
+        if not bounds:
+            return Finding(
+                path, FAIL, mode, float(base), float(cur),
+                "rule has neither 'limit' nor 'limit_ratio'",
+            )
+        if mode == "max":
+            bound = min(bounds)
+            ok = cur <= bound
+            relation = "<="
+        else:
+            bound = max(bounds)
+            ok = cur >= bound
+            relation = ">="
+        return Finding(
+            path, PASS if ok else FAIL, mode, float(base), float(cur),
+            f"{cur:g} {relation} bound {bound:g}" if ok
+            else f"{cur:g} violates bound {bound:g} (baseline {base:g})",
+        )
+    return Finding(
+        path, FAIL, mode, None, None, f"unknown tolerance mode {mode!r}"
+    )
+
+
+def compare(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    tolerances: Dict[str, object],
+) -> List[Finding]:
+    """Compare two benchmark payloads under a tolerance policy."""
+    rules = list(tolerances.get("rules", []))
+    default = dict(tolerances.get("default", {"mode": "informational"}))
+    base_leaves = dict(flatten(baseline))
+    cur_leaves = dict(flatten(current))
+    findings: List[Finding] = []
+    for path, base in base_leaves.items():
+        rule = _match_rule(path, rules, default)
+        if path not in cur_leaves:
+            findings.append(
+                Finding(
+                    path, FAIL, str(rule.get("mode", "informational")),
+                    base if isinstance(base, (int, float)) else None, None,
+                    "metric missing from current run",
+                )
+            )
+            continue
+        findings.append(_check(path, rule, base, cur_leaves[path]))
+    for path, cur in cur_leaves.items():
+        if path not in base_leaves:
+            findings.append(
+                Finding(
+                    path, INFO, "new",
+                    None, cur if isinstance(cur, (int, float)) else None,
+                    "not in baseline (new metric)",
+                )
+            )
+    return findings
+
+
+def render_report(findings: Sequence[Finding]) -> str:
+    """Return the human-readable comparison report."""
+    counts = {PASS: 0, FAIL: 0, INFO: 0}
+    lines: List[str] = []
+    for finding in findings:
+        counts[finding.verdict] += 1
+        if finding.verdict == FAIL:
+            lines.append(
+                f"FAIL [{finding.mode}] {finding.path}: {finding.detail}"
+            )
+    for finding in findings:
+        if finding.verdict == INFO and finding.mode != "new":
+            lines.append(
+                f"info [{finding.mode}] {finding.path}: {finding.detail}"
+            )
+    lines.append(
+        f"bench gate: {counts[PASS]} gated pass, {counts[FAIL]} fail, "
+        f"{counts[INFO]} informational"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare benchmark JSON against a committed baseline."
+    )
+    parser.add_argument(
+        "--baseline", required=True, help="committed baseline JSON"
+    )
+    parser.add_argument(
+        "--current", required=True, help="freshly produced benchmark JSON"
+    )
+    parser.add_argument(
+        "--tolerances", required=True, help="tolerance policy JSON"
+    )
+    parser.add_argument(
+        "--report-out", default=None,
+        help="also write the findings as JSON (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_json(args.baseline)
+        current = load_json(args.current)
+        tolerances = load_json(args.tolerances)
+    except (OSError, ValueError) as exc:
+        print(f"bench_gate: {exc}", file=sys.stderr)
+        return 2
+    findings = compare(baseline, current, tolerances)
+    print(render_report(findings))
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "baseline": args.baseline,
+                    "current": args.current,
+                    "failures": sum(f.verdict == FAIL for f in findings),
+                    "findings": [f.to_dict() for f in findings],
+                },
+                handle, indent=2, sort_keys=True,
+            )
+            handle.write("\n")
+    return 1 if any(f.verdict == FAIL for f in findings) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,10 @@ Commands
 ``obs-report``
     Summarize a trace (span trees, slowest spans, per-name totals)
     and/or a structured event log produced by ``serve-bench``.
+``monitor-report``
+    Render monitoring artifacts: the alert timeline from an event
+    journal, a health snapshot written by ``serve-bench --health-out``,
+    and/or alert/SLO gauges from an exported Prometheus file.
 ``demo``
     Walk through the paper's Example 1 end to end.
 """
@@ -153,6 +157,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None, metavar="PATH",
         help="write the final metrics registry in Prometheus text format",
     )
+    serve.add_argument(
+        "--slo", action="append", default=None, metavar="SPEC",
+        help="attach a monitor with this SLO; SPEC is "
+             "'availability:OBJECTIVE' or 'latency:OBJECTIVE:TARGET_SECONDS' "
+             "(repeatable)",
+    )
+    serve.add_argument(
+        "--health-out", default=None, metavar="PATH",
+        help="attach a monitor and write its final snapshot "
+             "(health/SLOs/alerts) as JSON",
+    )
 
     obs_report = commands.add_parser(
         "obs-report", help="summarize a trace and/or event file"
@@ -172,6 +187,23 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.add_argument(
         "--max-traces", type=int, default=3,
         help="how many span trees to render, in start order (default 3)",
+    )
+
+    monitor_report = commands.add_parser(
+        "monitor-report", help="render monitoring artifacts"
+    )
+    monitor_report.add_argument(
+        "--health", default=None, metavar="PATH",
+        help="health snapshot JSON from serve-bench --health-out",
+    )
+    monitor_report.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="event JSONL (the alert timeline is extracted)",
+    )
+    monitor_report.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="Prometheus text from serve-bench --metrics-out "
+             "(alert/SLO gauges are extracted)",
     )
 
     conformance = commands.add_parser(
@@ -343,6 +375,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_slo_spec(spec: str):
+    """Parse a ``--slo`` spec: ``availability:OBJ`` / ``latency:OBJ:TARGET``."""
+    from repro.errors import ServiceError
+    from repro.obs.monitor import Slo
+
+    parts = spec.split(":")
+    if parts[0] == "availability" and len(parts) == 2:
+        return Slo("availability", objective=float(parts[1]))
+    if parts[0] == "latency" and len(parts) == 3:
+        return Slo(
+            "latency",
+            objective=float(parts[1]),
+            kind="latency",
+            latency_target=float(parts[2]),
+        )
+    raise ServiceError(
+        f"bad --slo spec {spec!r}: expected 'availability:OBJECTIVE' or "
+        "'latency:OBJECTIVE:TARGET_SECONDS'"
+    )
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     import time
 
@@ -370,6 +423,16 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         from repro.obs.events import EventLog
 
         events = EventLog(args.events_out)
+    monitor = None
+    if args.slo or args.health_out:
+        from repro.obs.monitor import Monitor, MonitorConfig
+
+        config_kwargs = {}
+        if args.slo:
+            config_kwargs["slos"] = tuple(
+                _parse_slo_spec(spec) for spec in args.slo
+            )
+        monitor = Monitor(MonitorConfig(**config_kwargs), events=events)
 
     def run(shards: int, executor: str, *, observed: bool = False):
         service = ValidationService(
@@ -382,6 +445,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             ),
             tracer=tracer if observed else None,
             events=events if observed else None,
+            monitor=monitor if observed else None,
         )
         started = time.perf_counter()
         outcomes = service.process(stream)
@@ -399,6 +463,16 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         f"({accepted} accepted, {len(stream) - accepted} rejected; "
         f"{service.group_count} group(s) on {service.shard_count} shard(s))"
     )
+    if monitor is not None:
+        print()
+        print(monitor.report())
+    if args.health_out:
+        import json
+
+        with open(args.health_out, "w", encoding="utf-8") as handle:
+            json.dump(monitor.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote health snapshot to {args.health_out}")
     if tracer is not None:
         tracer.write_jsonl(args.trace)
         print(
@@ -476,6 +550,84 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor_report(args: argparse.Namespace) -> int:
+    import json
+
+    if not args.health and not args.events and not args.metrics:
+        print(
+            "monitor-report: provide --health, --events, and/or --metrics",
+            file=sys.stderr,
+        )
+        return 2
+    sections: List[str] = []
+    if args.health:
+        with open(args.health, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        lines = [f"health: {snapshot['status']} ({snapshot['ticks']} tick(s))"]
+        for ind in snapshot.get("indicators", ()):
+            lines.append(
+                f"  [{ind['status']:8s}] {ind['name']}: {ind['value']:.4g}  "
+                f"({ind['detail']})"
+            )
+        for slo in snapshot.get("slos", ()):
+            verdict = "met" if slo["met"] else "VIOLATED"
+            lines.append(
+                f"  slo {slo['name']} ({slo['kind']}): {verdict}, "
+                f"compliance {slo['compliance']:.6f} vs {slo['objective']:.6f}, "
+                f"burn {slo['burn_rate']:.3f}"
+            )
+        for rule, state in snapshot.get("alerts", {}).items():
+            lines.append(f"  alert {rule}: {state}")
+        sections.append("\n".join(lines))
+    if args.events:
+        from repro.obs.events import EVENT_ALERT, EventLog
+
+        transitions = [
+            event for event in EventLog.iter_file(args.events)
+            if event.get("kind") == EVENT_ALERT
+        ]
+        lines = [f"alert timeline: {len(transitions)} transition(s)"]
+        by_rule: dict = {}
+        for event in transitions:
+            by_rule.setdefault(event["rule"], []).append(event)
+            lines.append(
+                f"  seq={event['seq']} at={event['at']:.3f} "
+                f"{event['rule']}: {event['from_state']} -> "
+                f"{event['to_state']} (value {event['value']:.4g})"
+            )
+        for rule in sorted(by_rule):
+            fired = sum(
+                1 for event in by_rule[rule] if event["to_state"] == "firing"
+            )
+            lines.append(
+                f"  {rule}: {len(by_rule[rule])} transition(s), {fired} firing"
+            )
+        sections.append("\n".join(lines))
+    if args.metrics:
+        from repro.obs.export import parse_prometheus
+
+        with open(args.metrics, "r", encoding="utf-8") as handle:
+            samples = parse_prometheus(handle.read())
+        wanted = (
+            "alert_state", "slo_compliance", "slo_burn_rate",
+            "alert_transitions_total",
+        )
+        monitoring = [
+            (name, labels, value)
+            for name, series in sorted(samples.items())
+            # Exported names may carry a namespace prefix (repro_...).
+            if any(name == k or name.endswith(f"_{k}") for k in wanted)
+            for labels, value in sorted(series.items())
+        ]
+        lines = [f"monitoring gauges: {len(monitoring)} series"]
+        for name, labels, value in monitoring:
+            label_text = ",".join(f"{k}={v}" for k, v in labels) or "-"
+            lines.append(f"  {name}{{{label_text}}} = {value:g}")
+        sections.append("\n".join(lines))
+    print("\n\n".join(sections))
+    return 0
+
+
 def _cmd_conformance(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -530,6 +682,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "serve-bench": _cmd_serve_bench,
         "obs-report": _cmd_obs_report,
+        "monitor-report": _cmd_monitor_report,
         "conformance": _cmd_conformance,
         "demo": _cmd_demo,
     }

@@ -119,6 +119,21 @@ class DistributionNetwork:
         return self.node(seller).issue_usage(usage)
 
     # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def probe_all(self) -> Dict[str, dict]:
+        """Health-probe every node (see
+        :meth:`~repro.network.node.DistributorNode.health_probe`).
+
+        Returns ``{node name: probe dict}``; nodes without a monitored
+        serve history answer ``status="unknown"`` rather than failing,
+        so the fleet-wide sweep always completes.
+        """
+        return {
+            name: node.health_probe() for name, node in self._nodes.items()
+        }
+
+    # ------------------------------------------------------------------
     # Audit
     # ------------------------------------------------------------------
     def audit_all(self) -> Dict[str, Optional[ValidationReport]]:

@@ -67,6 +67,8 @@ class DistributorNode:
         self._log = ValidationLog()
         self._matcher: Optional[IndexedMatcher] = None
         self._validator: Optional[GroupedValidator] = None
+        #: Monitor of the most recent monitored serve_stream (if any).
+        self._monitor = None
 
     # ------------------------------------------------------------------
     # Pool management
@@ -161,7 +163,9 @@ class DistributorNode:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def serve_stream(self, usages, config=None, *, tracer=None, events=None):
+    def serve_stream(
+        self, usages, config=None, *, tracer=None, events=None, monitor=None
+    ):
         """Serve a stream of usage licenses through the validation service.
 
         Builds a :class:`repro.service.ValidationService` over this node's
@@ -174,7 +178,10 @@ class DistributorNode:
         :class:`repro.obs.trace.Tracer` /
         :class:`repro.obs.events.EventLog`) are handed to the service so
         a node-level serve leaves the same span trees and structured
-        journal a standalone service would.
+        journal a standalone service would.  ``monitor`` (optional
+        :class:`repro.obs.monitor.Monitor`) likewise rides along; the
+        node remembers it so :meth:`health_probe` can answer from its
+        latest state after the serve finishes.
 
         Returns ``(outcomes, service)`` -- the per-request verdicts in
         stream order plus the (closed) service, whose metrics registry
@@ -188,11 +195,13 @@ class DistributorNode:
 
         with ValidationService(
             self._pool, config, initial_log=self._log,
-            tracer=tracer, events=events,
+            tracer=tracer, events=events, monitor=monitor,
         ) as service:
             outcomes = service.process(usages)
             for record in service.log:
                 self._log.append(record)
+        if monitor is not None:
+            self._monitor = monitor
         logger.info(
             "node %s served %d request(s): %d accepted",
             self.name,
@@ -200,6 +209,36 @@ class DistributorNode:
             sum(outcome.accepted for outcome in outcomes),
         )
         return outcomes, service
+
+    def health_probe(self) -> dict:
+        """Answer a health-probe message from the latest monitor state.
+
+        Returns a JSON-friendly dict an operator (or
+        :meth:`repro.network.network.DistributionNetwork.probe_all`) can
+        aggregate across the tree::
+
+            {"node": ..., "status": ..., "monitored": ...,
+             "pool_size": ..., "log_size": ...,
+             "indicators": [...], "slos": [...], "alerts": {...}}
+
+        Nodes that have never run a monitored :meth:`serve_stream`
+        answer ``status="unknown"`` with the pool/log basics only --
+        probing is always safe, never an error.
+        """
+        probe: dict = {
+            "node": self.name,
+            "status": "unknown",
+            "monitored": self._monitor is not None,
+            "pool_size": len(self._pool),
+            "log_size": len(self._log),
+        }
+        if self._monitor is not None:
+            snapshot = self._monitor.snapshot()
+            probe["status"] = snapshot["status"]
+            probe["indicators"] = snapshot["indicators"]
+            probe["slos"] = snapshot["slos"]
+            probe["alerts"] = snapshot["alerts"]
+        return probe
 
     # ------------------------------------------------------------------
     # Audit

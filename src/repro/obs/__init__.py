@@ -18,7 +18,12 @@ counters, gauges, latency quantiles.  This package answers *why* and
   top-N-slowest reports;
 * :mod:`repro.obs.instrument` -- the tiny no-op-by-default
   :class:`Instrumentation` protocol the core validators accept, so
-  un-instrumented runs pay (almost) nothing.
+  un-instrumented runs pay (almost) nothing;
+* :mod:`repro.obs.monitor` -- the consumption layer: windowed metric
+  streams, derived health indicators (including the Equation-3
+  efficiency-drift signal), SLO error-budget tracking, and an alert
+  engine (static thresholds + EWMA anomaly detection) behind one
+  :class:`Monitor` object a service accepts via ``monitor=``.
 
 The contract with the serving layer: observability is strictly
 *out-of-band*.  Verdict streams are byte-identical with tracing enabled
@@ -29,6 +34,7 @@ disabled-instrumentation overhead is benchmarked in
 
 from repro.obs.events import (
     EVENT_ADMISSION,
+    EVENT_ALERT,
     EVENT_BACKPRESSURE,
     EVENT_CACHE_EVICTION,
     EVENT_EPOCH_CHANGE,
@@ -50,22 +56,37 @@ from repro.obs.instrument import (
     Instrumentation,
     TracingInstrumentation,
 )
+from repro.obs.monitor import (
+    EwmaRule,
+    HealthThresholds,
+    Monitor,
+    MonitorConfig,
+    Slo,
+    ThresholdRule,
+)
 from repro.obs.trace import NULL_SPAN, SamplingConfig, Span, SpanRecord, Tracer
 
 __all__ = [
     "EVENT_ADMISSION",
+    "EVENT_ALERT",
     "EVENT_BACKPRESSURE",
     "EVENT_CACHE_EVICTION",
     "EVENT_EPOCH_CHANGE",
     "EVENT_REJECTION",
     "CountingInstrumentation",
     "EventLog",
+    "EwmaRule",
+    "HealthThresholds",
     "Instrumentation",
+    "Monitor",
+    "MonitorConfig",
     "NOOP",
     "NULL_SPAN",
     "SamplingConfig",
+    "Slo",
     "Span",
     "SpanRecord",
+    "ThresholdRule",
     "Tracer",
     "TracingInstrumentation",
     "load_trace_jsonl",

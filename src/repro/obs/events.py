@@ -11,7 +11,9 @@ decision:
   (``instance``/``equation``/``capacity``) *and* the human detail string;
 * ``backpressure`` -- a shard queue pushed back (shard id, depth);
 * ``cache_eviction`` -- the match cache dropped an entry;
-* ``epoch_change`` -- the pool's group partition changed (split/merge).
+* ``epoch_change`` -- the pool's group partition changed (split/merge);
+* ``alert`` -- a monitor alert rule changed lifecycle state
+  (``pending`` -> ``firing`` -> ``resolved``).
 
 The log is bounded: when the active file would exceed ``max_bytes`` the
 existing files rotate (``events.jsonl`` -> ``events.jsonl.1`` -> ...)
@@ -37,6 +39,7 @@ from repro.errors import ServiceError
 
 __all__ = [
     "EVENT_ADMISSION",
+    "EVENT_ALERT",
     "EVENT_BACKPRESSURE",
     "EVENT_CACHE_EVICTION",
     "EVENT_EPOCH_CHANGE",
@@ -49,6 +52,9 @@ EVENT_REJECTION = "rejection"
 EVENT_BACKPRESSURE = "backpressure"
 EVENT_CACHE_EVICTION = "cache_eviction"
 EVENT_EPOCH_CHANGE = "epoch_change"
+#: Alert lifecycle transition (rule, from_state, to_state, value, at)
+#: appended by :class:`repro.obs.monitor.Monitor`.
+EVENT_ALERT = "alert"
 
 #: The event kinds this package emits itself (user code may add more).
 KNOWN_KINDS = (
@@ -57,6 +63,7 @@ KNOWN_KINDS = (
     EVENT_BACKPRESSURE,
     EVENT_CACHE_EVICTION,
     EVENT_EPOCH_CHANGE,
+    EVENT_ALERT,
 )
 
 

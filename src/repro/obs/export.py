@@ -49,11 +49,72 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+#: Prometheus label-value escapes: backslash, double quote, newline.
+_LABEL_UNESCAPES = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _format_labels(pairs: Sequence[Tuple[str, str]]) -> str:
     if not pairs:
         return ""
-    body = ",".join(f'{key}="{value}"' for key, value in pairs)
+    body = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in pairs
+    )
     return "{" + body + "}"
+
+
+def _parse_label_body(body: str) -> List[Tuple[str, str]]:
+    """Parse the inside of a ``{...}`` label set, honouring escapes.
+
+    A naive ``split(",")`` breaks on label values containing ``,``, ``=``,
+    ``"`` or ``\\`` -- this scanner walks the quoted values character by
+    character instead, undoing the three Prometheus escapes
+    (``\\\\``, ``\\"``, ``\\n``) as it goes.
+    """
+    pairs: List[Tuple[str, str]] = []
+    i, n = 0, len(body)
+    while i < n:
+        eq = body.find("=", i)
+        if eq < 0:
+            raise ValueError(f"label pair without '=': {body[i:]!r}")
+        key = body[i:eq]
+        if not key:
+            raise ValueError("empty label name")
+        if eq + 1 >= n or body[eq + 1] != '"':
+            raise ValueError(f"unquoted label value for {key!r}")
+        i = eq + 2
+        chars: List[str] = []
+        while True:
+            if i >= n:
+                raise ValueError(f"unterminated label value for {key!r}")
+            char = body[i]
+            if char == "\\":
+                if i + 1 >= n or body[i + 1] not in _LABEL_UNESCAPES:
+                    raise ValueError(
+                        f"bad escape in label value for {key!r}"
+                    )
+                chars.append(_LABEL_UNESCAPES[body[i + 1]])
+                i += 2
+            elif char == '"':
+                i += 1
+                break
+            else:
+                chars.append(char)
+                i += 1
+        pairs.append((key, "".join(chars)))
+        if i < n:
+            if body[i] != ",":
+                raise ValueError(f"expected ',' between labels, got {body[i]!r}")
+            i += 1
+            if i >= n:
+                raise ValueError("trailing ',' in label set")
+    return pairs
 
 
 def render_prometheus(
@@ -95,8 +156,14 @@ def render_prometheus(
                 f'{metric}{{quantile="{quantile}"}} '
                 f"{_format_value(summary[key])}"
             )
+        # _sum/_count follow the Prometheus convention (all-time totals);
+        # quantiles and _max are window-scoped, so the window size is
+        # exported alongside them to make that scope explicit.
         lines.append(f"{metric}_sum {_format_value(summary['sum'])}")
         lines.append(f"{metric}_count {_format_value(summary['count'])}")
+        lines.append(
+            f"{metric}_window_count {_format_value(summary['window_count'])}"
+        )
         lines.append(f"{metric}_max {_format_value(summary['max'])}")
     return "\n".join(lines) + "\n"
 
@@ -110,7 +177,9 @@ def parse_prometheus(text: str) -> PromSamples:
     :class:`~repro.errors.ServiceError`.
     """
     samples: PromSamples = {}
-    for raw in text.splitlines():
+    # The exposition format is "\n"-delimited; str.splitlines would also
+    # break on stray Unicode separators inside quoted label values.
+    for raw in text.split("\n"):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
@@ -121,13 +190,7 @@ def parse_prometheus(text: str) -> PromSamples:
                 metric, label_body = name_part.split("{", 1)
                 if not label_body.endswith("}"):
                     raise ValueError("unterminated label set")
-                pairs = []
-                for item in label_body[:-1].split(","):
-                    key, quoted = item.split("=", 1)
-                    if not (quoted.startswith('"') and quoted.endswith('"')):
-                        raise ValueError(f"unquoted label value {quoted!r}")
-                    pairs.append((key, quoted[1:-1]))
-                labels = tuple(sorted(pairs))
+                labels = tuple(sorted(_parse_label_body(label_body[:-1])))
             else:
                 metric, labels = name_part, ()
         except ValueError as exc:

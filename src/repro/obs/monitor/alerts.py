@@ -1,0 +1,264 @@
+"""Alert rules: static thresholds and EWMA anomaly detection.
+
+The :class:`AlertEngine` evaluates declarative rules against a *signal
+map* (``{signal name: value}`` -- built by the monitor each tick from
+indicators, SLO burn rates, and raw stream views) and drives each rule
+through the standard alert lifecycle::
+
+    inactive ──breach──> pending ──held for_seconds──> firing
+       ^                    │                             │
+       └────────clear───────┘                  clear──> resolved
+                                                          │
+                                               breach──> pending
+
+Every state change is returned as an :class:`AlertTransition`; the
+monitor appends them to the structured event journal (kind ``alert``)
+and mirrors rule states into ``alert_state`` gauges so Prometheus/JSON
+exports carry the live alert picture.
+
+Two rule kinds:
+
+* :class:`ThresholdRule` -- breach when ``value <op> threshold``;
+* :class:`EwmaRule` -- breach when the z-score of the value against an
+  exponentially weighted running mean/variance exceeds ``z_threshold``
+  (after ``warmup`` observations).  The EWMA state updates on every
+  evaluation from deterministic inputs only, so identical signal
+  sequences produce identical alert timelines -- the property the
+  determinism tests pin byte-for-byte.
+
+Both support ``for_seconds``: the breach must hold that long (measured
+on the injected clock) before ``pending`` escalates to ``firing``, the
+usual guard against one-sample flaps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Tuple, Union
+
+from repro.errors import ServiceError
+
+__all__ = [
+    "ALERT_STATE_VALUES",
+    "AlertEngine",
+    "AlertRule",
+    "AlertTransition",
+    "EwmaRule",
+    "STATE_FIRING",
+    "STATE_INACTIVE",
+    "STATE_PENDING",
+    "STATE_RESOLVED",
+    "ThresholdRule",
+]
+
+STATE_INACTIVE = "inactive"
+STATE_PENDING = "pending"
+STATE_FIRING = "firing"
+STATE_RESOLVED = "resolved"
+
+#: Gauge encoding of rule states (``alert_state{rule}``); firing is the
+#: maximum so ``max()`` over the gauge is "worst alert state".
+ALERT_STATE_VALUES = {
+    STATE_INACTIVE: 0.0,
+    STATE_RESOLVED: 0.0,
+    STATE_PENDING: 1.0,
+    STATE_FIRING: 2.0,
+}
+
+_COMPARATORS: Dict[str, Callable[[float, float], bool]] = {
+    ">": lambda value, threshold: value > threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "<": lambda value, threshold: value < threshold,
+    "<=": lambda value, threshold: value <= threshold,
+}
+
+
+@dataclass(frozen=True)
+class ThresholdRule:
+    """Breach while ``signal <op> threshold``."""
+
+    name: str
+    source: str
+    threshold: float
+    op: str = ">"
+    for_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServiceError("alert rule name must be non-empty")
+        if self.op not in _COMPARATORS:
+            raise ServiceError(
+                f"unknown comparator {self.op!r}; "
+                f"choose from {sorted(_COMPARATORS)}"
+            )
+        if self.for_seconds < 0:
+            raise ServiceError("for_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class EwmaRule:
+    """Breach while the signal's EWMA z-score exceeds ``z_threshold``.
+
+    The detector keeps an exponentially weighted mean and variance
+    (smoothing ``alpha``); each observation is scored against the stats
+    *before* it is folded in, so a spike is judged against history.  The
+    first ``warmup`` observations never breach (the stats are still
+    settling).
+    """
+
+    name: str
+    source: str
+    z_threshold: float = 4.0
+    alpha: float = 0.3
+    warmup: int = 5
+    for_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServiceError("alert rule name must be non-empty")
+        if self.z_threshold <= 0:
+            raise ServiceError("z_threshold must be > 0")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ServiceError(f"alpha must be in (0, 1], got {self.alpha}")
+        if self.warmup < 1:
+            raise ServiceError("warmup must be >= 1")
+        if self.for_seconds < 0:
+            raise ServiceError("for_seconds must be >= 0")
+
+
+AlertRule = Union[ThresholdRule, EwmaRule]
+
+
+@dataclass(frozen=True)
+class AlertTransition:
+    """One lifecycle state change of one rule."""
+
+    rule: str
+    from_state: str
+    to_state: str
+    #: Signal value that caused (or cleared) the breach.
+    value: float
+    #: Clock time of the evaluation that produced the transition.
+    at: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-friendly dict."""
+        return {
+            "rule": self.rule,
+            "from_state": self.from_state,
+            "to_state": self.to_state,
+            "value": self.value,
+            "at": self.at,
+        }
+
+
+class _EwmaState:
+    """Running EWMA mean/variance for one :class:`EwmaRule`."""
+
+    __slots__ = ("mean", "var", "count")
+
+    def __init__(self) -> None:
+        self.mean = 0.0
+        self.var = 0.0
+        self.count = 0
+
+    def score_and_update(self, value: float, alpha: float) -> float:
+        """Return the z-score of ``value`` against the prior stats, then
+        fold it into the running mean/variance."""
+        if self.count == 0:
+            z = 0.0
+            self.mean = value
+        else:
+            diff = value - self.mean
+            std = math.sqrt(self.var)
+            if std > 0.0:
+                z = diff / std
+            else:
+                z = 0.0 if diff == 0.0 else math.inf
+            increment = alpha * diff
+            self.mean += increment
+            self.var = (1.0 - alpha) * (self.var + diff * increment)
+        self.count += 1
+        return z
+
+
+class AlertEngine:
+    """Drive a rule set through the alert lifecycle (see module doc)."""
+
+    def __init__(self, rules: Tuple[AlertRule, ...]):
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ServiceError(f"duplicate alert rule names: {names}")
+        self.rules = tuple(rules)
+        self._states: Dict[str, str] = {
+            rule.name: STATE_INACTIVE for rule in rules
+        }
+        self._pending_since: Dict[str, float] = {}
+        self._ewma: Dict[str, _EwmaState] = {
+            rule.name: _EwmaState()
+            for rule in rules
+            if isinstance(rule, EwmaRule)
+        }
+
+    def states(self) -> Dict[str, str]:
+        """Return ``{rule name: current lifecycle state}``."""
+        return dict(self._states)
+
+    def state(self, rule_name: str) -> str:
+        """Return one rule's current lifecycle state."""
+        try:
+            return self._states[rule_name]
+        except KeyError:
+            raise ServiceError(f"unknown alert rule {rule_name!r}") from None
+
+    def _breached(self, rule: AlertRule, value: float) -> bool:
+        if isinstance(rule, ThresholdRule):
+            return _COMPARATORS[rule.op](value, rule.threshold)
+        state = self._ewma[rule.name]
+        z = state.score_and_update(value, rule.alpha)
+        return state.count > rule.warmup and abs(z) > rule.z_threshold
+
+    def evaluate(
+        self, signals: Mapping[str, float], now: float
+    ) -> List[AlertTransition]:
+        """Evaluate every rule against the signal map; return transitions.
+
+        Rules whose source signal is absent are skipped entirely (their
+        state is held, and EWMA stats see no observation) -- "no data" is
+        not a breach.
+        """
+        transitions: List[AlertTransition] = []
+
+        def move(rule_name: str, to_state: str, value: float) -> None:
+            transitions.append(
+                AlertTransition(
+                    rule_name, self._states[rule_name], to_state, value, now
+                )
+            )
+            self._states[rule_name] = to_state
+
+        for rule in self.rules:
+            value = signals.get(rule.source)
+            if value is None:
+                continue
+            breached = self._breached(rule, float(value))
+            state = self._states[rule.name]
+            if breached:
+                if state in (STATE_INACTIVE, STATE_RESOLVED):
+                    move(rule.name, STATE_PENDING, value)
+                    self._pending_since[rule.name] = now
+                    state = STATE_PENDING
+                if state == STATE_PENDING:
+                    held = now - self._pending_since[rule.name]
+                    if held >= rule.for_seconds:
+                        move(rule.name, STATE_FIRING, value)
+            else:
+                if state == STATE_PENDING:
+                    # Cleared before it fired: not worth a "resolved".
+                    move(rule.name, STATE_INACTIVE, value)
+                    self._pending_since.pop(rule.name, None)
+                elif state == STATE_FIRING:
+                    move(rule.name, STATE_RESOLVED, value)
+                    self._pending_since.pop(rule.name, None)
+        return transitions

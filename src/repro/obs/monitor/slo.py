@@ -1,0 +1,148 @@
+"""Service-level objectives with error budgets and burn rates.
+
+Following the OMA-DRM framing that license-admission availability is a
+first-class service objective, an :class:`Slo` declares a target over
+the monitoring window and :class:`SloTracker` grades the observed
+traffic against it each evaluation:
+
+* ``availability`` -- admitted requests over admitted plus *capacity*
+  rejections (shard-queue overload).  Business rejections -- ``instance``
+  and ``equation`` verdicts -- are *correct* outcomes, not
+  unavailability, so they never consume error budget;
+* ``latency`` -- the fraction of windowed ``latency_seconds`` samples at
+  or under ``latency_target`` seconds.
+
+Error-budget math is the standard SRE formulation: with objective ``o``
+the budget is ``1 - o``; the burn rate is the observed bad fraction
+divided by the budget, so burn 1.0 means "spending exactly the whole
+budget", and burn > 1.0 means the objective will be violated if the
+window's traffic pattern continues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.obs.monitor.streams import MetricStreams
+
+__all__ = ["Slo", "SloStatus", "SloTracker", "SLO_KINDS"]
+
+SLO_KINDS = ("availability", "latency")
+
+
+@dataclass(frozen=True)
+class Slo:
+    """One declarative objective.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier (used in gauges, alerts, and reports).
+    objective:
+        Target good fraction in ``(0, 1)`` (e.g. ``0.999``).
+    kind:
+        ``"availability"`` or ``"latency"``.
+    latency_target:
+        Seconds; a latency sample is *good* iff it is <= this.  Required
+        for latency SLOs, ignored otherwise.
+    """
+
+    name: str
+    objective: float
+    kind: str = "availability"
+    latency_target: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ServiceError("SLO name must be non-empty")
+        if not 0.0 < self.objective < 1.0:
+            raise ServiceError(
+                f"SLO objective must be in (0, 1), got {self.objective}"
+            )
+        if self.kind not in SLO_KINDS:
+            raise ServiceError(
+                f"unknown SLO kind {self.kind!r}; choose from {SLO_KINDS}"
+            )
+        if self.kind == "latency" and self.latency_target <= 0:
+            raise ServiceError(
+                "latency SLOs need a positive latency_target (seconds)"
+            )
+
+
+@dataclass(frozen=True)
+class SloStatus:
+    """One SLO's grading over the current window."""
+
+    name: str
+    kind: str
+    objective: float
+    #: Observed good fraction (1.0 with no traffic: an idle service is
+    #: not violating its objective).
+    compliance: float
+    #: ``good + bad`` events the grade was computed over.
+    events: float
+    #: ``(1 - compliance) / (1 - objective)``; 0.0 with no traffic.
+    burn_rate: float
+    met: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-friendly dict."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "objective": self.objective,
+            "compliance": self.compliance,
+            "events": self.events,
+            "burn_rate": self.burn_rate,
+            "met": self.met,
+        }
+
+
+class SloTracker:
+    """Grade a set of SLOs against the windowed stream state."""
+
+    def __init__(self, slos: Tuple[Slo, ...], streams: MetricStreams):
+        names = [slo.name for slo in slos]
+        if len(set(names)) != len(names):
+            raise ServiceError(f"duplicate SLO names: {names}")
+        self.slos = tuple(slos)
+        self.streams = streams
+
+    def _availability(self, slo: Slo) -> SloStatus:
+        good = self.streams.delta("requests_total", ("accepted",))
+        bad = self.streams.delta("overload_total")
+        return self._status(slo, good, bad)
+
+    def _latency(self, slo: Slo) -> SloStatus:
+        samples = self.streams.values("latency_seconds")
+        good = float(sum(1 for s in samples if s <= slo.latency_target))
+        bad = float(len(samples)) - good
+        return self._status(slo, good, bad)
+
+    @staticmethod
+    def _status(slo: Slo, good: float, bad: float) -> SloStatus:
+        total = good + bad
+        compliance = good / total if total else 1.0
+        budget = 1.0 - slo.objective
+        burn_rate = (1.0 - compliance) / budget if total else 0.0
+        return SloStatus(
+            name=slo.name,
+            kind=slo.kind,
+            objective=slo.objective,
+            compliance=compliance,
+            events=total,
+            burn_rate=burn_rate,
+            met=compliance >= slo.objective,
+        )
+
+    def evaluate(self) -> List[SloStatus]:
+        """Return one :class:`SloStatus` per declared SLO."""
+        statuses = []
+        for slo in self.slos:
+            if slo.kind == "availability":
+                statuses.append(self._availability(slo))
+            else:
+                statuses.append(self._latency(slo))
+        return statuses

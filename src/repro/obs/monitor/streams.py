@@ -1,0 +1,214 @@
+"""Time-windowed metric streams fed by :class:`MetricsRegistry` hooks.
+
+The registry keeps *state* (current totals, last gauge values, quantile
+windows); monitoring needs *movement* -- how fast a counter is climbing,
+what a gauge looked like over the last minute, where the rolling p99
+sits.  :class:`MetricStreams` subscribes to a registry's hook fan-out
+(``registry.add_hook(streams.observe)``) and keeps one time-stamped ring
+buffer per ``(metric, labels)`` cell, pruned to a sliding time window.
+
+Three views, matching the three metric kinds:
+
+* counters -- :meth:`MetricStreams.delta` (increments inside the window)
+  and :meth:`MetricStreams.rate` (delta / window seconds);
+* gauges -- :meth:`MetricStreams.last` and per-cell
+  :meth:`MetricStreams.last_by_labels`;
+* histograms -- :meth:`MetricStreams.quantile` / :meth:`MetricStreams.mean`
+  over the samples that landed inside the window.
+
+The clock is injectable (``clock=...``), so monitor tests drive a fake
+monotonic clock and get byte-identical stream states on every run; the
+default is :func:`time.monotonic`.  Everything is plain deques and
+floats -- no threads, no background work; cost is paid on ``observe``
+(amortized O(1)) and on reads (O(points in window)).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import ServiceError
+
+__all__ = ["MetricStreams"]
+
+#: One buffered observation: ``(timestamp, value)``.
+_Point = Tuple[float, float]
+
+
+class MetricStreams:
+    """Windowed ring buffers over a metrics registry's hook stream.
+
+    Parameters
+    ----------
+    window:
+        Sliding window length in clock seconds.
+    clock:
+        Monotonic clock; injectable so tests can pin stream contents.
+    max_points:
+        Per-cell ring capacity; the oldest points are dropped first, so a
+        cell hot enough to overflow degrades to a shorter effective
+        window instead of growing without bound.
+
+    Examples
+    --------
+    >>> from repro.service.metrics import MetricsRegistry
+    >>> ticks = iter(range(100))
+    >>> streams = MetricStreams(window=10.0, clock=lambda: float(next(ticks)))
+    >>> registry = MetricsRegistry()
+    >>> streams.attach(registry)
+    >>> for _ in range(3):
+    ...     registry.counter("requests_total").inc(("accepted",))
+    >>> streams.delta("requests_total")
+    3.0
+    """
+
+    def __init__(
+        self,
+        *,
+        window: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+        max_points: int = 8192,
+    ):
+        if window <= 0:
+            raise ServiceError(f"stream window must be > 0, got {window}")
+        if max_points < 1:
+            raise ServiceError(f"max_points must be >= 1, got {max_points}")
+        self.window = float(window)
+        self._clock = clock
+        self._max_points = max_points
+        self._series: Dict[Tuple[str, Tuple[str, ...]], Deque[_Point]] = {}
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def attach(self, registry) -> None:
+        """Subscribe to a registry's hook fan-out (at most once)."""
+        if self._attached:
+            raise ServiceError("streams are already attached to a registry")
+        registry.add_hook(self.observe)
+        self._attached = True
+
+    def observe(
+        self, name: str, labels: Tuple[str, ...], value: float
+    ) -> None:
+        """Record one hook event (the :data:`MetricHook` signature)."""
+        now = self._clock()
+        series = self._series.get((name, labels))
+        if series is None:
+            series = deque()
+            self._series[(name, labels)] = series
+        series.append((now, float(value)))
+        if len(series) > self._max_points:
+            series.popleft()
+        self._prune(series, now)
+
+    def _prune(self, series: Deque[_Point], now: float) -> None:
+        horizon = now - self.window
+        while series and series[0][0] < horizon:
+            series.popleft()
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def _cells(
+        self, name: str, labels: Optional[Tuple[str, ...]]
+    ) -> List[Deque[_Point]]:
+        if labels is not None:
+            series = self._series.get((name, labels))
+            return [series] if series is not None else []
+        return [
+            series
+            for (cell_name, _cell_labels), series in self._series.items()
+            if cell_name == name
+        ]
+
+    def points(
+        self, name: str, labels: Optional[Tuple[str, ...]] = None
+    ) -> List[_Point]:
+        """Return the windowed ``(timestamp, value)`` points of a metric.
+
+        ``labels=None`` merges every label cell of the metric (sorted by
+        timestamp); pass a label tuple for one cell.
+        """
+        now = self._clock()
+        merged: List[_Point] = []
+        for series in self._cells(name, labels):
+            self._prune(series, now)
+            merged.extend(series)
+        merged.sort(key=lambda point: point[0])
+        return merged
+
+    def values(
+        self, name: str, labels: Optional[Tuple[str, ...]] = None
+    ) -> List[float]:
+        """Return just the windowed values (see :meth:`points`)."""
+        return [value for _at, value in self.points(name, labels)]
+
+    # ------------------------------------------------------------------
+    # Counter views
+    # ------------------------------------------------------------------
+    def delta(
+        self, name: str, labels: Optional[Tuple[str, ...]] = None
+    ) -> float:
+        """Sum of observed values inside the window (counter increments)."""
+        return sum(self.values(name, labels))
+
+    def rate(
+        self, name: str, labels: Optional[Tuple[str, ...]] = None
+    ) -> float:
+        """Return :meth:`delta` divided by the window length (per second)."""
+        return self.delta(name, labels) / self.window
+
+    # ------------------------------------------------------------------
+    # Gauge views
+    # ------------------------------------------------------------------
+    def last(
+        self, name: str, labels: Optional[Tuple[str, ...]] = None
+    ) -> Optional[float]:
+        """Most recent windowed value, or ``None`` if the window is empty."""
+        points = self.points(name, labels)
+        return points[-1][1] if points else None
+
+    def last_by_labels(self, name: str) -> Dict[Tuple[str, ...], float]:
+        """Return ``{labels: most recent value}`` for every cell of a
+        metric with at least one point inside the window."""
+        now = self._clock()
+        result: Dict[Tuple[str, ...], float] = {}
+        for (cell_name, cell_labels), series in self._series.items():
+            if cell_name != name:
+                continue
+            self._prune(series, now)
+            if series:
+                result[cell_labels] = series[-1][1]
+        return result
+
+    # ------------------------------------------------------------------
+    # Histogram views
+    # ------------------------------------------------------------------
+    def quantile(
+        self,
+        name: str,
+        q: float,
+        labels: Optional[Tuple[str, ...]] = None,
+    ) -> float:
+        """Nearest-rank ``q``-quantile of the windowed samples (0.0 when
+        the window is empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ServiceError(f"quantile {q} outside [0, 1]")
+        values = sorted(self.values(name, labels))
+        if not values:
+            return 0.0
+        if q == 0.0:
+            return values[0]
+        rank = min(len(values) - 1, max(0, round(q * len(values)) - 1))
+        return values[rank]
+
+    def mean(
+        self, name: str, labels: Optional[Tuple[str, ...]] = None
+    ) -> float:
+        """Mean of the windowed samples (0.0 when the window is empty)."""
+        values = self.values(name, labels)
+        return sum(values) / len(values) if values else 0.0

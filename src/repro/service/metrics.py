@@ -106,8 +106,18 @@ class Histogram:
 
     Samples are kept sorted (insertion via ``bisect``); beyond
     ``max_samples`` the *earliest-inserted* samples are forgotten, making
-    the summary a sliding window rather than an all-time aggregate.  The
-    count and sum remain all-time totals.
+    quantiles/``max`` a sliding window rather than an all-time aggregate.
+    The histogram therefore carries **two scopes** and :meth:`summary`
+    reports both explicitly:
+
+    * all-time: ``count``, ``sum``, ``mean`` -- monotone totals over every
+      sample ever observed (what Prometheus ``_count``/``_sum`` series
+      mean);
+    * window: ``window_count``, ``window_sum``, ``p50``/``p95``/``p99``,
+      ``max`` -- computed over at most the ``max_samples`` most recent
+      samples.
+
+    The two scopes coincide until the window first overflows.
     """
 
     def __init__(self, name: str, emit: MetricHook, max_samples: int = 65536):
@@ -122,17 +132,25 @@ class Histogram:
         self._order: Deque[float] = deque()
         self.count = 0
         self.sum = 0.0
+        self.window_sum = 0.0
 
     def observe(self, value: float) -> None:
         """Record one sample."""
         self.count += 1
         self.sum += float(value)
+        self.window_sum += float(value)
         insort(self._sorted, float(value))
         self._order.append(float(value))
         if len(self._order) > self._max:
             oldest = self._order.popleft()
             self._sorted.pop(bisect_left(self._sorted, oldest))
+            self.window_sum -= oldest
         self._emit(self.name, _NO_LABELS, float(value))
+
+    @property
+    def window_count(self) -> int:
+        """Return how many samples the sliding window currently holds."""
+        return len(self._order)
 
     def quantile(self, q: float) -> float:
         """Return the ``q``-quantile (nearest-rank) of the current window.
@@ -149,12 +167,19 @@ class Histogram:
         return self._sorted[rank]
 
     def summary(self) -> Dict[str, float]:
-        """Return ``{count, sum, mean, p50, p95, p99, max}``."""
+        """Return both scopes of the histogram in one flat dict.
+
+        All-time: ``count``, ``sum``, ``mean``.  Window-scoped (the most
+        recent ``max_samples`` samples): ``window_count``, ``window_sum``,
+        ``p50``/``p95``/``p99``, ``max``.
+        """
         mean = self.sum / self.count if self.count else 0.0
         return {
             "count": float(self.count),
             "sum": self.sum,
             "mean": mean,
+            "window_count": float(self.window_count),
+            "window_sum": self.window_sum,
             "p50": self.quantile(0.50),
             "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
@@ -254,7 +279,9 @@ class MetricsRegistry:
         for name, histogram in sorted(self._histograms.items()):
             summary = histogram.summary()
             lines.append(
-                f"{name} count={int(summary['count'])} mean={summary['mean']:.6f} "
+                f"{name} count={int(summary['count'])} "
+                f"window={int(summary['window_count'])} "
+                f"mean={summary['mean']:.6f} "
                 f"p50={summary['p50']:.6f} p95={summary['p95']:.6f} "
                 f"p99={summary['p99']:.6f} max={summary['max']:.6f}"
             )

@@ -96,6 +96,13 @@ class ValidationService:
         Optional :class:`repro.obs.events.EventLog` receiving the
         structured admission/rejection/backpressure/cache-eviction/
         epoch-change journal.
+    monitor:
+        Optional :class:`repro.obs.monitor.Monitor`.  When given, it is
+        attached to this service's registry at construction and ticked
+        once per drain, turning the raw telemetry into health
+        indicators, SLO grades, and alerts.  Like tracing, monitoring
+        is strictly out-of-band: verdict streams are byte-identical
+        with a monitor attached or ``monitor=None``.
     """
 
     def __init__(
@@ -107,6 +114,7 @@ class ValidationService:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         events: Optional[EventLog] = None,
+        monitor=None,
     ):
         if not pool:
             raise ValidationError("service needs a non-empty pool")
@@ -154,6 +162,9 @@ class ValidationService:
         self._closed = False
         if initial_log is not None:
             self._replay(initial_log)
+        self.monitor = monitor
+        if monitor is not None:
+            monitor.attach(self)
 
     # ------------------------------------------------------------------
     # Accessors
@@ -172,6 +183,16 @@ class ValidationService:
     def group_count(self) -> int:
         """Return the number of disconnected overlap groups."""
         return self._tables.group_count
+
+    @property
+    def group_sizes(self) -> List[int]:
+        """Return the member count of each overlap group (the ``N_k`` of
+        the paper's Equation 3 denominator)."""
+        return list(self._tables.structure.sizes)
+
+    def match_cache_stats(self) -> tuple:
+        """Return ``(hits, misses, evictions)`` of the match cache."""
+        return (self._matcher.hits, self._matcher.misses, self._matcher.evictions)
 
     @property
     def log(self) -> ValidationLog:
@@ -396,6 +417,8 @@ class ValidationService:
                 self._latency.observe(now - result.submitted_at)
                 self._complete(result)
             drain_span.end()
+        if self.monitor is not None:
+            self.monitor.tick()
         completed = sorted(self._pending_outcomes.items())
         self._pending_outcomes.clear()
         return completed

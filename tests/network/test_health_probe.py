@@ -1,0 +1,101 @@
+"""Node health probes and fleet-wide probe sweeps."""
+
+import pytest
+
+from repro.licenses.license import LicenseFactory
+from repro.licenses.schema import ConstraintSchema, DimensionSpec
+from repro.network.network import DistributionNetwork
+from repro.network.node import DistributorNode
+from repro.obs.monitor import Monitor
+
+
+@pytest.fixture
+def factory():
+    schema = ConstraintSchema(
+        [DimensionSpec.numeric("window"), DimensionSpec.numeric("zone")]
+    )
+    return LicenseFactory(schema, content_id="K", permission="play")
+
+
+@pytest.fixture
+def node(factory):
+    node = DistributorNode("emea")
+    node.receive(
+        factory.redistribution(
+            "root", aggregate=1000, window=(0, 100), zone=(0, 100)
+        )
+    )
+    return node
+
+
+def stream_for(factory, n=8):
+    return [
+        factory.usage(f"u{i}", count=10, window=(10, 20), zone=(10, 20))
+        for i in range(n)
+    ]
+
+
+class TestNodeProbe:
+    def test_unmonitored_node_answers_unknown(self, node):
+        probe = node.health_probe()
+        assert probe["node"] == "emea"
+        assert probe["status"] == "unknown"
+        assert probe["monitored"] is False
+        assert probe["pool_size"] == 1
+        assert probe["log_size"] == 0
+        assert "indicators" not in probe
+
+    def test_unmonitored_serve_keeps_probe_unknown(self, node, factory):
+        node.serve_stream(stream_for(factory))
+        assert node.health_probe()["status"] == "unknown"
+
+    def test_monitored_serve_populates_probe(self, node, factory):
+        monitor = Monitor()
+        outcomes, _service = node.serve_stream(
+            stream_for(factory), monitor=monitor
+        )
+        assert all(o.accepted for o in outcomes)
+        probe = node.health_probe()
+        assert probe["monitored"] is True
+        assert probe["status"] in ("ok", "warn", "critical")
+        assert {i["name"] for i in probe["indicators"]} >= {
+            "queue_saturation", "efficiency_ratio",
+        }
+        assert probe["slos"][0]["name"] == "availability"
+        assert "queue-saturation" in probe["alerts"]
+        assert probe["log_size"] == len(outcomes)
+
+    def test_probe_reflects_latest_monitored_serve(self, node, factory):
+        first = Monitor()
+        node.serve_stream(stream_for(factory, 4), monitor=first)
+        second = Monitor()
+        node.serve_stream(
+            [
+                factory.usage(
+                    "late", count=10, window=(30, 40), zone=(30, 40)
+                )
+            ],
+            monitor=second,
+        )
+        assert node.health_probe()["log_size"] == 5
+        assert second.ticks >= 1
+
+
+class TestNetworkSweep:
+    def test_probe_all_covers_every_node(self, factory):
+        network = DistributionNetwork()
+        network.add_distributor("emea")
+        network.add_distributor("emea-south", parent="emea")
+        network.grant(
+            "emea",
+            factory.redistribution(
+                "root", aggregate=1000, window=(0, 100), zone=(0, 100)
+            ),
+        )
+        network.node("emea").serve_stream(
+            stream_for(factory), monitor=Monitor()
+        )
+        probes = network.probe_all()
+        assert set(probes) == {"emea", "emea-south"}
+        assert probes["emea"]["monitored"] is True
+        assert probes["emea-south"]["status"] == "unknown"

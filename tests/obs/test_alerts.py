@@ -1,0 +1,148 @@
+"""Alert engine: lifecycle transitions, for_seconds holds, EWMA anomalies."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.obs.monitor import (
+    AlertEngine,
+    EwmaRule,
+    STATE_FIRING,
+    STATE_INACTIVE,
+    STATE_PENDING,
+    STATE_RESOLVED,
+    ThresholdRule,
+)
+
+
+def transitions_of(engine, signals, now):
+    return [
+        (t.rule, t.from_state, t.to_state)
+        for t in engine.evaluate(signals, now)
+    ]
+
+
+class TestRuleValidation:
+    def test_threshold_rule_rejects_bad_specs(self):
+        with pytest.raises(ServiceError):
+            ThresholdRule("", "sig", 1.0)
+        with pytest.raises(ServiceError):
+            ThresholdRule("r", "sig", 1.0, op="!=")
+        with pytest.raises(ServiceError):
+            ThresholdRule("r", "sig", 1.0, for_seconds=-1.0)
+
+    def test_ewma_rule_rejects_bad_specs(self):
+        with pytest.raises(ServiceError):
+            EwmaRule("r", "sig", z_threshold=0.0)
+        with pytest.raises(ServiceError):
+            EwmaRule("r", "sig", alpha=0.0)
+        with pytest.raises(ServiceError):
+            EwmaRule("r", "sig", warmup=0)
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(ServiceError):
+            AlertEngine(
+                (ThresholdRule("r", "a", 1.0), ThresholdRule("r", "b", 2.0))
+            )
+
+    def test_unknown_rule_state_raises(self):
+        engine = AlertEngine((ThresholdRule("r", "sig", 1.0),))
+        with pytest.raises(ServiceError):
+            engine.state("nope")
+
+
+class TestThresholdLifecycle:
+    def test_breach_goes_pending_then_firing_immediately(self):
+        engine = AlertEngine((ThresholdRule("hot", "temp", 10.0),))
+        moves = transitions_of(engine, {"temp": 11.0}, now=0.0)
+        assert moves == [
+            ("hot", STATE_INACTIVE, STATE_PENDING),
+            ("hot", STATE_PENDING, STATE_FIRING),
+        ]
+        assert engine.state("hot") == STATE_FIRING
+
+    def test_for_seconds_holds_pending(self):
+        engine = AlertEngine(
+            (ThresholdRule("hot", "temp", 10.0, for_seconds=5.0),)
+        )
+        assert transitions_of(engine, {"temp": 11.0}, now=0.0) == [
+            ("hot", STATE_INACTIVE, STATE_PENDING)
+        ]
+        assert transitions_of(engine, {"temp": 12.0}, now=3.0) == []
+        assert engine.state("hot") == STATE_PENDING
+        assert transitions_of(engine, {"temp": 12.0}, now=5.0) == [
+            ("hot", STATE_PENDING, STATE_FIRING)
+        ]
+
+    def test_cleared_pending_goes_inactive_not_resolved(self):
+        engine = AlertEngine(
+            (ThresholdRule("hot", "temp", 10.0, for_seconds=5.0),)
+        )
+        engine.evaluate({"temp": 11.0}, 0.0)
+        assert transitions_of(engine, {"temp": 1.0}, now=1.0) == [
+            ("hot", STATE_PENDING, STATE_INACTIVE)
+        ]
+
+    def test_firing_resolves_then_can_re_fire(self):
+        engine = AlertEngine((ThresholdRule("hot", "temp", 10.0),))
+        engine.evaluate({"temp": 11.0}, 0.0)
+        assert transitions_of(engine, {"temp": 1.0}, now=1.0) == [
+            ("hot", STATE_FIRING, STATE_RESOLVED)
+        ]
+        moves = transitions_of(engine, {"temp": 20.0}, now=2.0)
+        assert moves[0] == ("hot", STATE_RESOLVED, STATE_PENDING)
+        assert engine.state("hot") == STATE_FIRING
+
+    def test_missing_signal_holds_state(self):
+        engine = AlertEngine((ThresholdRule("hot", "temp", 10.0),))
+        engine.evaluate({"temp": 11.0}, 0.0)
+        assert transitions_of(engine, {}, now=1.0) == []
+        assert engine.state("hot") == STATE_FIRING
+
+    def test_comparators(self):
+        engine = AlertEngine(
+            (
+                ThresholdRule("low", "sig", 5.0, op="<"),
+                ThresholdRule("le", "sig", 5.0, op="<="),
+                ThresholdRule("ge", "sig", 5.0, op=">="),
+            )
+        )
+        engine.evaluate({"sig": 5.0}, 0.0)
+        assert engine.state("low") == STATE_INACTIVE
+        assert engine.state("le") == STATE_FIRING
+        assert engine.state("ge") == STATE_FIRING
+
+
+class TestEwmaLifecycle:
+    def test_steady_signal_never_breaches(self):
+        engine = AlertEngine((EwmaRule("anom", "lat", warmup=3),))
+        for tick in range(20):
+            assert engine.evaluate({"lat": 0.01}, float(tick)) == []
+
+    def test_spike_after_warmup_fires(self):
+        engine = AlertEngine(
+            (EwmaRule("anom", "lat", z_threshold=4.0, warmup=3),)
+        )
+        # A little jitter gives the EWMA variance a non-zero floor.
+        baseline = [0.010, 0.011, 0.009, 0.010, 0.011, 0.009]
+        for tick, value in enumerate(baseline):
+            assert engine.evaluate({"lat": value}, float(tick)) == []
+        moves = transitions_of(engine, {"lat": 0.5}, now=10.0)
+        assert ("anom", STATE_PENDING, STATE_FIRING) in moves
+
+    def test_spike_during_warmup_is_ignored(self):
+        engine = AlertEngine((EwmaRule("anom", "lat", warmup=10),))
+        for tick, value in enumerate((0.01, 0.011, 5.0)):
+            assert engine.evaluate({"lat": value}, float(tick)) == []
+
+    def test_transitions_carry_value_and_time(self):
+        engine = AlertEngine((ThresholdRule("hot", "temp", 10.0),))
+        (pending, firing) = engine.evaluate({"temp": 42.0}, 7.5)
+        assert pending.value == 42.0
+        assert pending.at == 7.5
+        assert firing.to_dict() == {
+            "rule": "hot",
+            "from_state": STATE_PENDING,
+            "to_state": STATE_FIRING,
+            "value": 42.0,
+            "at": 7.5,
+        }

@@ -3,6 +3,8 @@
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ServiceError
 from repro.obs.export import (
@@ -64,9 +66,68 @@ class TestPrometheus:
         assert "repro_" not in text
 
     def test_parse_rejects_malformed_lines(self):
-        for bad in ("no_value_here", "metric{unterminated 1", "m{k=v} 1"):
+        for bad in (
+            "no_value_here",
+            "metric{unterminated 1",
+            "m{k=v} 1",
+            'm{k="trailing",} 1',
+            'm{k="bad escape \\x"} 1',
+            'm{k="unclosed} 1',
+        ):
             with pytest.raises(ServiceError):
                 parse_prometheus(bad)
+
+    def test_hostile_label_values_round_trip(self):
+        """Regression: label values containing ``"``, ``,``, ``=``, or
+        ``\\`` used to render unescaped and shred the parser."""
+        hostile = ('he said "hi"', "a,b=c", "back\\slash", "new\nline", "}")
+        registry = MetricsRegistry()
+        for value in hostile:
+            registry.counter("hostile_total").inc((value,), amount=3)
+        samples = parse_prometheus(render_prometheus(registry))
+        cells = samples["repro_hostile_total"]
+        assert len(cells) == len(hostile)
+        for value in hostile:
+            assert cells[(("label0", value),)] == 3.0
+
+    @given(
+        values=st.lists(
+            st.text(
+                alphabet=st.characters(
+                    blacklist_categories=("Cs",),
+                    # The sample separator is a space-split; keep label
+                    # values printable-ish but include every escape-relevant
+                    # character explicitly below.
+                ),
+                max_size=12,
+            ).map(lambda s: s + '",\\=\n'),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_label_round_trip_property(self, values):
+        registry = MetricsRegistry()
+        for index, value in enumerate(values):
+            registry.counter("prop_total").inc((value, f"v{index}"))
+        samples = parse_prometheus(render_prometheus(registry))
+        cells = samples["repro_prop_total"]
+        assert len(cells) == len(values)
+        for index, value in enumerate(values):
+            labels = tuple(sorted([("label0", value), ("label1", f"v{index}")]))
+            assert cells[labels] == 1.0
+
+    def test_histogram_exports_both_scopes(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", max_samples=2)
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        samples = parse_prometheus(render_prometheus(registry))
+        assert samples["repro_lat_count"][()] == 3.0
+        assert samples["repro_lat_sum"][()] == 6.0
+        assert samples["repro_lat_window_count"][()] == 2.0
+        assert samples["repro_lat_max"][()] == 3.0
 
     def test_registry_to_json_is_deterministic(self):
         first = registry_to_json(_populated_registry())

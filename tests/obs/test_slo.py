@@ -1,0 +1,110 @@
+"""SLO grading: availability, latency, and error-budget burn rates."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.obs.monitor import MetricStreams, Slo, SloTracker
+
+from tests.obs.test_streams import FakeClock
+
+
+@pytest.fixture
+def streams():
+    return MetricStreams(window=10.0, clock=FakeClock())
+
+
+def track(streams, *slos):
+    (status,) = SloTracker(tuple(slos), streams).evaluate()[:1] or (None,)
+    return status
+
+
+class TestSloValidation:
+    def test_objective_must_be_fractional(self):
+        with pytest.raises(ServiceError):
+            Slo("a", objective=1.0)
+        with pytest.raises(ServiceError):
+            Slo("a", objective=0.0)
+
+    def test_name_and_kind_validated(self):
+        with pytest.raises(ServiceError):
+            Slo("", objective=0.99)
+        with pytest.raises(ServiceError):
+            Slo("a", objective=0.99, kind="durability")
+
+    def test_latency_needs_target(self):
+        with pytest.raises(ServiceError):
+            Slo("lat", objective=0.99, kind="latency")
+
+    def test_duplicate_names_rejected(self, streams):
+        with pytest.raises(ServiceError):
+            SloTracker(
+                (Slo("a", objective=0.9), Slo("a", objective=0.99)), streams
+            )
+
+
+class TestAvailability:
+    def test_idle_service_is_compliant(self, streams):
+        status = track(streams, Slo("avail", objective=0.999))
+        assert status.compliance == 1.0
+        assert status.burn_rate == 0.0
+        assert status.met
+
+    def test_overloads_burn_the_budget(self, streams):
+        for _ in range(99):
+            streams.observe("requests_total", ("accepted",), 1.0)
+        streams.observe("overload_total", ("shard0",), 1.0)
+        status = track(streams, Slo("avail", objective=0.99))
+        assert status.compliance == pytest.approx(0.99)
+        assert status.events == 100.0
+        # Bad fraction 0.01 over a 0.01 budget: burning exactly 1.0x.
+        assert status.burn_rate == pytest.approx(1.0)
+        assert status.met
+
+    def test_violation_detected(self, streams):
+        for _ in range(9):
+            streams.observe("requests_total", ("accepted",), 1.0)
+        streams.observe("overload_total", ("shard0",), 1.0)
+        status = track(streams, Slo("avail", objective=0.999))
+        assert not status.met
+        assert status.burn_rate == pytest.approx(100.0)
+
+    def test_business_rejections_do_not_burn(self, streams):
+        streams.observe("requests_total", ("accepted",), 1.0)
+        for _ in range(50):
+            streams.observe("requests_total", ("rejected", "equation"), 1.0)
+            streams.observe("requests_total", ("rejected", "instance"), 1.0)
+        status = track(streams, Slo("avail", objective=0.999))
+        assert status.compliance == 1.0
+        assert status.met
+
+
+class TestLatency:
+    def test_fraction_under_target(self, streams):
+        for value in (0.001, 0.002, 0.003, 0.050):
+            streams.observe("latency_seconds", (), value)
+        status = track(
+            streams,
+            Slo("lat", objective=0.7, kind="latency", latency_target=0.01),
+        )
+        assert status.compliance == pytest.approx(0.75)
+        assert status.events == 4.0
+        assert status.met
+        assert status.burn_rate == pytest.approx(0.25 / 0.3)
+
+    def test_no_samples_is_compliant(self, streams):
+        status = track(
+            streams,
+            Slo("lat", objective=0.99, kind="latency", latency_target=0.01),
+        )
+        assert status.compliance == 1.0
+        assert status.met
+
+    def test_to_dict_round_trips_fields(self, streams):
+        status = track(
+            streams,
+            Slo("lat", objective=0.99, kind="latency", latency_target=0.01),
+        )
+        payload = status.to_dict()
+        assert payload["name"] == "lat"
+        assert payload["kind"] == "latency"
+        assert payload["met"] is True

@@ -1,0 +1,118 @@
+"""MetricStreams: windowed ring buffers over registry hooks."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.obs.monitor import MetricStreams
+from repro.service.metrics import MetricsRegistry
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock."""
+
+    def __init__(self, start=0.0):
+        self.now = float(start)
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def streams(clock):
+    return MetricStreams(window=10.0, clock=clock)
+
+
+class TestIngest:
+    def test_registry_hooks_feed_the_streams(self, streams, clock):
+        registry = MetricsRegistry()
+        streams.attach(registry)
+        registry.counter("requests_total").inc(("accepted",))
+        registry.counter("requests_total").inc(("accepted",))
+        registry.gauge("queue_depth").set(7, ("shard0",))
+        assert streams.delta("requests_total", ("accepted",)) == 2.0
+        assert streams.last("queue_depth", ("shard0",)) == 7.0
+
+    def test_double_attach_raises(self, streams):
+        streams.attach(MetricsRegistry())
+        with pytest.raises(ServiceError):
+            streams.attach(MetricsRegistry())
+
+    def test_old_points_fall_out_of_the_window(self, streams, clock):
+        streams.observe("hits", (), 1.0)
+        clock.advance(5.0)
+        streams.observe("hits", (), 1.0)
+        assert streams.delta("hits") == 2.0
+        clock.advance(6.0)  # first point is now 11s old, window is 10s
+        assert streams.delta("hits") == 1.0
+        clock.advance(10.0)
+        assert streams.delta("hits") == 0.0
+
+    def test_max_points_bounds_each_cell(self, clock):
+        streams = MetricStreams(window=100.0, clock=clock, max_points=3)
+        for value in range(5):
+            streams.observe("m", (), float(value))
+        assert streams.values("m") == [2.0, 3.0, 4.0]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ServiceError):
+            MetricStreams(window=0.0)
+        with pytest.raises(ServiceError):
+            MetricStreams(max_points=0)
+
+
+class TestViews:
+    def test_rate_is_delta_over_window(self, streams):
+        for _ in range(5):
+            streams.observe("overload_total", (), 1.0)
+        assert streams.rate("overload_total") == pytest.approx(0.5)
+
+    def test_labels_none_merges_cells_in_time_order(self, streams, clock):
+        streams.observe("requests_total", ("accepted",), 1.0)
+        clock.advance(1.0)
+        streams.observe("requests_total", ("rejected", "equation"), 1.0)
+        clock.advance(1.0)
+        streams.observe("requests_total", ("accepted",), 1.0)
+        assert streams.delta("requests_total") == 3.0
+        assert [at for at, _ in streams.points("requests_total")] == [
+            0.0, 1.0, 2.0,
+        ]
+        assert streams.delta("requests_total", ("accepted",)) == 2.0
+
+    def test_last_by_labels_reports_each_cell(self, streams):
+        streams.observe("queue_depth", ("shard0",), 3.0)
+        streams.observe("queue_depth", ("shard1",), 9.0)
+        streams.observe("queue_depth", ("shard0",), 1.0)
+        assert streams.last_by_labels("queue_depth") == {
+            ("shard0",): 1.0,
+            ("shard1",): 9.0,
+        }
+
+    def test_last_is_none_when_empty(self, streams):
+        assert streams.last("nope") is None
+
+    def test_quantiles_nearest_rank(self, streams):
+        for value in range(1, 101):
+            streams.observe("latency_seconds", (), value / 100.0)
+        assert streams.quantile("latency_seconds", 0.5) == pytest.approx(0.5)
+        assert streams.quantile("latency_seconds", 0.99) == pytest.approx(0.99)
+        assert streams.quantile("latency_seconds", 1.0) == pytest.approx(1.0)
+        assert streams.quantile("latency_seconds", 0.0) == pytest.approx(0.01)
+
+    def test_quantile_empty_and_bad_q(self, streams):
+        assert streams.quantile("latency_seconds", 0.99) == 0.0
+        with pytest.raises(ServiceError):
+            streams.quantile("latency_seconds", 1.5)
+
+    def test_mean(self, streams):
+        assert streams.mean("m") == 0.0
+        streams.observe("m", (), 2.0)
+        streams.observe("m", (), 4.0)
+        assert streams.mean("m") == pytest.approx(3.0)

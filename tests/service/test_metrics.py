@@ -79,18 +79,47 @@ class TestHistogram:
         # The window holds the last three samples; 10.0 was evicted, so
         # the max quantile reflects the window, not all time.
         assert hist.quantile(1.0) == 3.0
-        # Count and sum stay all-time.
+        # Count and sum stay all-time; the window scope is reported
+        # separately so the two can never be confused.
         summary = hist.summary()
         assert summary["count"] == 4.0
         assert summary["sum"] == 16.0
+        assert summary["window_count"] == 3.0
+        assert summary["window_sum"] == 6.0
 
     def test_summary_shape(self):
         hist = MetricsRegistry().histogram("latency_seconds")
         hist.observe(0.25)
         summary = hist.summary()
-        assert set(summary) == {"count", "sum", "mean", "p50", "p95", "p99", "max"}
+        assert set(summary) == {
+            "count", "sum", "mean", "window_count", "window_sum",
+            "p50", "p95", "p99", "max",
+        }
         assert summary["mean"] == 0.25
         assert summary["max"] == 0.25
+        # Window not yet overflowed: the two scopes coincide.
+        assert summary["window_count"] == summary["count"]
+        assert summary["window_sum"] == summary["sum"]
+
+    def test_summary_scopes_diverge_after_window_overflow(self):
+        """Regression: max/quantiles were window-scoped while count/sum
+        were all-time, with nothing in the summary saying so.  With
+        ``max_samples`` smaller than the sample count the summary must
+        report both scopes explicitly and keep them self-consistent."""
+        hist = MetricsRegistry().histogram("windowed", max_samples=4)
+        for value in range(1, 11):  # 1..10; window ends as {7, 8, 9, 10}
+            hist.observe(float(value))
+        summary = hist.summary()
+        assert summary["count"] == 10.0
+        assert summary["sum"] == 55.0
+        assert summary["mean"] == 5.5
+        assert summary["window_count"] == 4.0
+        assert summary["window_sum"] == 34.0
+        # Quantiles and max are window-scoped: 10 is the window max, and
+        # nothing below 7 can appear in any quantile.
+        assert summary["max"] == 10.0
+        assert summary["p50"] >= 7.0
+        assert hist.quantile(0.0) == 7.0
 
     def test_max_samples_validated(self):
         with pytest.raises(ServiceError):

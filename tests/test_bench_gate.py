@@ -1,0 +1,243 @@
+"""Perf-regression gate: tolerance policy, verdicts, and CLI exit codes."""
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+_GATE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "scripts",
+    "bench_gate.py",
+)
+_spec = importlib.util.spec_from_file_location("bench_gate", _GATE_PATH)
+bench_gate = importlib.util.module_from_spec(_spec)
+sys.modules["bench_gate"] = bench_gate
+_spec.loader.exec_module(bench_gate)
+
+FAIL = bench_gate.FAIL
+INFO = bench_gate.INFO
+PASS = bench_gate.PASS
+
+
+BASELINE = {
+    "throughput": {
+        "runs": {"batch16": {"accepted": 120, "equations": 360}},
+        "elapsed": 1.5,
+        "rps": 800.0,
+    },
+    "overhead": {"ratio": 1.02, "n": 1000},
+}
+
+TOLERANCES = {
+    "default": {"mode": "informational"},
+    "rules": [
+        {"pattern": "*.runs.*.accepted", "mode": "exact"},
+        {"pattern": "*.runs.*.equations", "mode": "exact"},
+        {"pattern": "overhead.n", "mode": "exact"},
+        {"pattern": "overhead.ratio", "mode": "max", "limit": 1.5},
+        {"pattern": "*.elapsed", "mode": "informational"},
+    ],
+}
+
+
+def verdicts(findings):
+    return {f.path: f.verdict for f in findings}
+
+
+def write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestCompare:
+    def test_identical_runs_pass(self):
+        findings = bench_gate.compare(BASELINE, BASELINE, TOLERANCES)
+        assert all(f.verdict != FAIL for f in findings)
+        assert verdicts(findings)["throughput.runs.batch16.accepted"] == PASS
+
+    def test_exact_mismatch_fails(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["throughput"]["runs"]["batch16"]["equations"] = 372
+        findings = bench_gate.compare(BASELINE, current, TOLERANCES)
+        assert verdicts(findings)["throughput.runs.batch16.equations"] == FAIL
+
+    def test_max_mode_gates_on_absolute_limit(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["overhead"]["ratio"] = 1.49
+        findings = bench_gate.compare(BASELINE, current, TOLERANCES)
+        assert verdicts(findings)["overhead.ratio"] == PASS
+        current["overhead"]["ratio"] = 1.51
+        findings = bench_gate.compare(BASELINE, current, TOLERANCES)
+        assert verdicts(findings)["overhead.ratio"] == FAIL
+
+    def test_max_mode_ratio_bound_combines_with_limit(self):
+        tolerances = {
+            "default": {"mode": "informational"},
+            "rules": [
+                {
+                    "pattern": "overhead.ratio",
+                    "mode": "max",
+                    "limit": 2.0,
+                    "limit_ratio": 1.1,
+                }
+            ],
+        }
+        current = json.loads(json.dumps(BASELINE))
+        current["overhead"]["ratio"] = 1.20  # > 1.02 * 1.1, < 2.0
+        findings = bench_gate.compare(BASELINE, current, tolerances)
+        assert verdicts(findings)["overhead.ratio"] == FAIL
+
+    def test_min_mode_gates_low_values(self):
+        tolerances = {
+            "default": {"mode": "informational"},
+            "rules": [
+                {"pattern": "throughput.rps", "mode": "min", "limit_ratio": 0.5}
+            ],
+        }
+        current = json.loads(json.dumps(BASELINE))
+        current["throughput"]["rps"] = 300.0  # < 800 * 0.5
+        findings = bench_gate.compare(BASELINE, current, tolerances)
+        assert verdicts(findings)["throughput.rps"] == FAIL
+
+    def test_informational_never_fails(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["throughput"]["elapsed"] = 99.0
+        current["throughput"]["rps"] = 1.0
+        findings = bench_gate.compare(BASELINE, current, TOLERANCES)
+        assert verdicts(findings)["throughput.elapsed"] == INFO
+        assert verdicts(findings)["throughput.rps"] == INFO
+        assert not any(f.verdict == FAIL for f in findings)
+
+    def test_missing_metric_fails(self):
+        current = json.loads(json.dumps(BASELINE))
+        del current["overhead"]
+        findings = bench_gate.compare(BASELINE, current, TOLERANCES)
+        assert verdicts(findings)["overhead.n"] == FAIL
+        assert verdicts(findings)["overhead.ratio"] == FAIL
+
+    def test_new_metric_is_informational(self):
+        current = json.loads(json.dumps(BASELINE))
+        current["overhead"]["extra"] = 7
+        findings = bench_gate.compare(BASELINE, current, TOLERANCES)
+        finding = {f.path: f for f in findings}["overhead.extra"]
+        assert finding.verdict == INFO
+        assert finding.mode == "new"
+
+    def test_first_matching_rule_wins(self):
+        tolerances = {
+            "default": {"mode": "informational"},
+            "rules": [
+                {"pattern": "overhead.*", "mode": "exact"},
+                {"pattern": "overhead.ratio", "mode": "max", "limit": 99.0},
+            ],
+        }
+        current = json.loads(json.dumps(BASELINE))
+        current["overhead"]["ratio"] = 1.03
+        findings = bench_gate.compare(BASELINE, current, tolerances)
+        assert verdicts(findings)["overhead.ratio"] == FAIL  # exact won
+
+    def test_non_numeric_leaves(self):
+        base = {"meta": {"host": "a", "count": 3}}
+        tolerances = {
+            "default": {"mode": "informational"},
+            "rules": [{"pattern": "meta.*", "mode": "exact"}],
+        }
+        findings = bench_gate.compare(
+            base, {"meta": {"host": "b", "count": 3}}, tolerances
+        )
+        assert verdicts(findings)["meta.host"] == FAIL
+        assert verdicts(findings)["meta.count"] == PASS
+
+    def test_flatten_handles_lists(self):
+        flat = dict(bench_gate.flatten({"a": [1, {"b": 2}], "c": True}))
+        assert flat == {"a.0": 1, "a.1.b": 2, "c": True}
+
+
+class TestMain:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        baseline = write(tmp_path, "base.json", BASELINE)
+        current = write(tmp_path, "cur.json", BASELINE)
+        tolerances = write(tmp_path, "tol.json", TOLERANCES)
+        report = tmp_path / "report.json"
+        code = bench_gate.main(
+            [
+                "--baseline", baseline,
+                "--current", current,
+                "--tolerances", tolerances,
+                "--report-out", str(report),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 fail" in out
+        payload = json.loads(report.read_text())
+        assert payload["failures"] == 0
+        assert payload["findings"]
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        current_payload = json.loads(json.dumps(BASELINE))
+        current_payload["throughput"]["runs"]["batch16"]["accepted"] = 1
+        baseline = write(tmp_path, "base.json", BASELINE)
+        current = write(tmp_path, "cur.json", current_payload)
+        tolerances = write(tmp_path, "tol.json", TOLERANCES)
+        code = bench_gate.main(
+            ["--baseline", baseline, "--current", current,
+             "--tolerances", tolerances]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "throughput.runs.batch16.accepted" in out
+
+    def test_unreadable_input_exits_two(self, tmp_path, capsys):
+        baseline = write(tmp_path, "base.json", BASELINE)
+        tolerances = write(tmp_path, "tol.json", TOLERANCES)
+        code = bench_gate.main(
+            ["--baseline", baseline,
+             "--current", str(tmp_path / "missing.json"),
+             "--tolerances", tolerances]
+        )
+        assert code == 2
+        assert "bench_gate:" in capsys.readouterr().err
+
+    def test_malformed_json_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        baseline = write(tmp_path, "base.json", BASELINE)
+        tolerances = write(tmp_path, "tol.json", TOLERANCES)
+        code = bench_gate.main(
+            ["--baseline", baseline, "--current", str(bad),
+             "--tolerances", tolerances]
+        )
+        assert code == 2
+        assert "bench_gate:" in capsys.readouterr().err
+
+
+class TestCommittedBaseline:
+    """The committed tolerance policy must parse and gate itself cleanly."""
+
+    REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+    def test_committed_tolerances_parse(self):
+        path = os.path.join(
+            self.REPO, "benchmarks", "baselines", "tolerances.json"
+        )
+        tolerances = bench_gate.load_json(path)
+        assert tolerances["default"]["mode"] == "informational"
+        assert tolerances["rules"]
+
+    def test_committed_baseline_gates_itself(self):
+        baselines = os.path.join(self.REPO, "benchmarks", "baselines")
+        baseline = bench_gate.load_json(
+            os.path.join(baselines, "BENCH_service.smoke.json")
+        )
+        tolerances = bench_gate.load_json(
+            os.path.join(baselines, "tolerances.json")
+        )
+        findings = bench_gate.compare(baseline, baseline, tolerances)
+        assert findings
+        assert not any(f.verdict == FAIL for f in findings)

@@ -320,3 +320,123 @@ class TestObsReportCommand:
         full = load_trace_jsonl(str(full_path))
         thin = load_trace_jsonl(str(thin_path))
         assert 0 < len(thin) < len(full)
+
+
+class TestServeBenchMonitoring:
+    def _run(self, tmp_path, capsys, extra=()):
+        health_path = tmp_path / "health.json"
+        events_path = tmp_path / "events.jsonl"
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(
+            ["serve-bench", "-n", "12", "--stream", "80", "--seed", "5",
+             "--shards", "2",
+             "--slo", "availability:0.999",
+             "--slo", "latency:0.95:0.05",
+             "--health-out", str(health_path),
+             "--events-out", str(events_path),
+             "--metrics-out", str(metrics_path),
+             *extra]
+        )
+        assert code == 0
+        return health_path, events_path, metrics_path, capsys.readouterr().out
+
+    def test_monitored_run_reports_and_snapshots(self, tmp_path, capsys):
+        health_path, _, _, output = self._run(tmp_path, capsys)
+        assert "slos:" in output
+        assert "wrote health snapshot" in output
+        snapshot = json.loads(health_path.read_text())
+        assert snapshot["status"] in ("ok", "warn", "critical")
+        assert {s["name"] for s in snapshot["slos"]} == {
+            "availability", "latency",
+        }
+        assert snapshot["ticks"] >= 1
+
+    def test_monitor_gauges_land_in_metrics_export(self, tmp_path, capsys):
+        from repro.obs.export import parse_prometheus
+
+        _, _, metrics_path, _ = self._run(tmp_path, capsys)
+        samples = parse_prometheus(metrics_path.read_text())
+        assert "repro_alert_state" in samples
+        assert "repro_slo_compliance" in samples
+        assert "repro_slo_burn_rate" in samples
+
+    def test_health_out_alone_enables_monitoring(self, tmp_path, capsys):
+        health_path = tmp_path / "health.json"
+        code = main(
+            ["serve-bench", "-n", "8", "--stream", "40", "--seed", "1",
+             "--health-out", str(health_path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert json.loads(health_path.read_text())["ticks"] >= 1
+
+    def test_monitored_compare_sweep_still_works(self, tmp_path, capsys):
+        self._run(tmp_path, capsys, extra=("--compare",))
+
+    def test_bad_slo_spec_is_rejected(self, tmp_path):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError):
+            main(
+                ["serve-bench", "-n", "8", "--stream", "10",
+                 "--slo", "durability:0.9"]
+            )
+
+
+class TestMonitorReport:
+    def _artifacts(self, tmp_path, capsys):
+        health_path = tmp_path / "health.json"
+        events_path = tmp_path / "events.jsonl"
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(
+            ["serve-bench", "-n", "12", "--stream", "80", "--seed", "5",
+             "--slo", "availability:0.999",
+             "--health-out", str(health_path),
+             "--events-out", str(events_path),
+             "--metrics-out", str(metrics_path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return health_path, events_path, metrics_path
+
+    def test_no_inputs_exits_two(self, capsys):
+        assert main(["monitor-report"]) == 2
+        assert "provide --health" in capsys.readouterr().err
+
+    def test_health_section(self, tmp_path, capsys):
+        health_path, _, _ = self._artifacts(tmp_path, capsys)
+        assert main(["monitor-report", "--health", str(health_path)]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("health:")
+        assert "efficiency_ratio" in output
+        assert "slo availability" in output
+        assert "alert queue-saturation" in output
+
+    def test_events_section(self, tmp_path, capsys):
+        _, events_path, _ = self._artifacts(tmp_path, capsys)
+        assert main(["monitor-report", "--events", str(events_path)]) == 0
+        assert "alert timeline:" in capsys.readouterr().out
+
+    def test_metrics_section(self, tmp_path, capsys):
+        _, _, metrics_path = self._artifacts(tmp_path, capsys)
+        assert main(["monitor-report", "--metrics", str(metrics_path)]) == 0
+        output = capsys.readouterr().out
+        assert "monitoring gauges:" in output
+        assert "repro_alert_state" in output
+        assert "queue-saturation" in output
+
+    def test_all_sections_together(self, tmp_path, capsys):
+        health_path, events_path, metrics_path = self._artifacts(
+            tmp_path, capsys
+        )
+        code = main(
+            ["monitor-report",
+             "--health", str(health_path),
+             "--events", str(events_path),
+             "--metrics", str(metrics_path)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "health:" in output
+        assert "alert timeline:" in output
+        assert "monitoring gauges:" in output
