@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Run the repro.lint invariant checker (CI entry point).
+
+Equivalent to ``repro lint``; kept as a script so CI and pre-commit
+hooks can invoke it without installing the package:
+
+    PYTHONPATH=src python scripts/run_lint.py src
+
+Exit codes: 0 clean, 1 findings, 2 usage/parse errors.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.lint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

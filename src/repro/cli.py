@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.analysis.experiments import (
     ExperimentSuite,
@@ -52,6 +52,11 @@ from repro.validation.tree_validator import TreeValidator
 from repro.validation.zeta import ZetaValidator
 from repro.workloads.config import WorkloadConfig
 from repro.workloads.generator import WorkloadGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - imports for annotations only
+    from repro.licenses.pool import LicensePool
+    from repro.logstore.log import ValidationLog
+    from repro.obs.monitor import Slo
 
 __all__ = ["main", "build_parser"]
 
@@ -214,6 +219,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the vectors as JSON files into this directory",
     )
 
+    lint = commands.add_parser(
+        "lint", help="run the repository's AST-based invariant checker"
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+
     commands.add_parser("demo", help="walk through the paper's Example 1")
     return parser
 
@@ -282,7 +294,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_pool_and_log(args: argparse.Namespace):
+def _load_pool_and_log(
+    args: argparse.Namespace,
+) -> "Tuple[LicensePool, ValidationLog]":
     with open(args.pool, "r", encoding="utf-8") as stream:
         pool, _schema = loads_pool(stream.read())
     return pool, load_log(args.log)
@@ -375,7 +389,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_slo_spec(spec: str):
+def _parse_slo_spec(spec: str) -> "Slo":
     """Parse a ``--slo`` spec: ``availability:OBJ`` / ``latency:OBJ:TARGET``."""
     from repro.errors import ServiceError
     from repro.obs.monitor import Slo
@@ -650,6 +664,12 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run as run_lint
+
+    return run_lint(args)
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     # Imported lazily to keep CLI startup light.
     from repro.workloads.scenarios import example1, example1_log
@@ -684,6 +704,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "obs-report": _cmd_obs_report,
         "monitor-report": _cmd_monitor_report,
         "conformance": _cmd_conformance,
+        "lint": _cmd_lint,
         "demo": _cmd_demo,
     }
     return handlers[args.command](args)

@@ -63,6 +63,18 @@ class WorkloadError(ReproError):
     """Raised for invalid workload-generator configurations."""
 
 
+class AnalysisError(ReproError):
+    """Raised for misused analysis/experiment utilities (bad repeat
+    counts, malformed experiment sweeps)."""
+
+
+class LintError(ReproError):
+    """Raised by :mod:`repro.lint` for misconfiguration: malformed
+    ``[tool.reprolint]`` tables, unknown rule ids, duplicate rule
+    registrations.  Rule *violations* are not errors -- they are
+    reported as :class:`repro.lint.findings.Finding` records."""
+
+
 class ServiceError(ReproError):
     """Raised for misconfigured or misused validation services
     (:mod:`repro.service`): bad shard/batch parameters, submissions to a

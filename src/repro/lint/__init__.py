@@ -1,0 +1,42 @@
+"""repro.lint -- the repository's own static-analysis layer.
+
+An AST-based invariant checker for the validation stack: a rule
+registry (:mod:`repro.lint.registry`), a per-file visitor dispatcher
+(:mod:`repro.lint.engine`), ``[tool.reprolint]`` configuration with
+per-path allowlists (:mod:`repro.lint.config`), inline
+``# reprolint: disable=RULE`` suppressions, and stable text/JSON
+reporters.  The built-in rules (REP001-REP007,
+:mod:`repro.lint.rules`) encode invariants the codebase previously
+guaranteed only by convention: deterministic time/randomness seams,
+zero-cost disabled telemetry on hot paths, exact geometry, the
+``ReproError`` exception contract, no mutable defaults, lock
+discipline, and Eq. 3's confinement of ``2^N`` subset enumeration.
+
+Run it as ``repro lint [paths...]`` or ``python scripts/run_lint.py``;
+exit codes: 0 clean, 1 findings, 2 usage/parse errors.  Formal-methods
+treatments of DRM licensing (Halpern & Weissman's XrML semantics; the
+algebraic OMA DRM specifications) motivate machine-checking exactly
+this kind of license-validation logic.
+"""
+
+from repro.lint.config import LintConfig, find_pyproject
+from repro.lint.engine import LintResult, lint_file, lint_paths
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, all_rules, get_rule, register, rule_ids
+from repro.lint.report import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "find_pyproject",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "register",
+    "render_json",
+    "render_text",
+    "rule_ids",
+]

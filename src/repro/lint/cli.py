@@ -1,0 +1,108 @@
+"""Command-line front end for :mod:`repro.lint`.
+
+Reached as ``repro lint ...`` (a subcommand of the main CLI) or via
+``scripts/run_lint.py``.  Exit codes: 0 clean, 1 findings, 2 usage or
+parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence, TextIO
+
+from repro.errors import LintError
+from repro.lint.config import LintConfig, find_pyproject
+from repro.lint.engine import lint_paths
+from repro.lint.registry import all_rules, get_rule
+from repro.lint.report import render_json, render_text
+
+__all__ = ["add_lint_arguments", "main", "run"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to a parser (shared with the main CLI)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--config", default=None, metavar="PYPROJECT",
+        help="pyproject.toml to read [tool.reprolint] from "
+             "(default: nearest one above the first path)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _list_rules(stream: TextIO) -> int:
+    for rule in all_rules():
+        stream.write(f"{rule.rule_id}  {rule.title}\n")
+        stream.write(f"        {rule.rationale}\n")
+        if rule.default_scope:
+            stream.write(f"        scope: {', '.join(rule.default_scope)}\n")
+        if rule.default_allow:
+            stream.write(f"        allow: {', '.join(rule.default_allow)}\n")
+    return 0
+
+
+def run(args: argparse.Namespace, stream: Optional[TextIO] = None) -> int:
+    """Execute a parsed lint invocation; return the exit code."""
+    out = stream if stream is not None else sys.stdout
+    if args.list_rules:
+        return _list_rules(out)
+    try:
+        paths = [Path(raw) for raw in args.paths]
+        if args.config is not None:
+            config = LintConfig.from_pyproject(Path(args.config))
+        else:
+            anchor = paths[0] if paths else Path.cwd()
+            pyproject = find_pyproject(anchor if anchor.exists() else Path.cwd())
+            config = (
+                LintConfig.from_pyproject(pyproject)
+                if pyproject is not None
+                else LintConfig()
+            )
+        rules = None
+        if args.select:
+            rules = [
+                get_rule(rule_id.strip().upper())
+                for rule_id in args.select.split(",")
+                if rule_id.strip()
+            ]
+            if not rules:
+                raise LintError("--select named no rules")
+    except LintError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    result = lint_paths(paths, config, rules)
+    if args.format == "json":
+        out.write(render_json(result))
+    else:
+        out.write(render_text(result) + "\n")
+    return result.exit_code
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint.cli`` / scripts)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based invariant checker for the validation stack.",
+    )
+    add_lint_arguments(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

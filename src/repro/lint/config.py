@@ -1,0 +1,137 @@
+"""Lint configuration: the ``[tool.reprolint]`` table of pyproject.toml.
+
+Three knobs, all optional (rules ship usable defaults):
+
+``select``
+    List of rule ids to run; omitted/empty means every registered rule.
+``scopes``
+    ``{rule_id: [fnmatch pattern, ...]}`` -- the rule applies *only* to
+    files matching a pattern.  Overrides the rule's ``default_scope``.
+``allow``
+    ``{rule_id: [fnmatch pattern, ...]}`` -- files exempt from the rule
+    (the per-path allowlist for sanctioned seams, e.g. the seeded-RNG
+    modules for REP001).  Overrides the rule's ``default_allow``.
+``exclude``
+    File patterns skipped entirely (virtualenvs, build output).
+
+Patterns match module paths (``repro/core/incremental.py``) and POSIX
+path suffixes -- see :func:`repro.lint.context.path_matches`.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Tuple, Type
+
+from repro.errors import LintError
+from repro.lint.context import path_matches
+from repro.lint.registry import Rule
+
+__all__ = ["LintConfig", "find_pyproject"]
+
+
+def _pattern_tuple(value: object, where: str) -> Tuple[str, ...]:
+    if not isinstance(value, (list, tuple)) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise LintError(f"{where} must be a list of strings, got {value!r}")
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved lint configuration (see module docstring)."""
+
+    select: Tuple[str, ...] = ()
+    scopes: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+    allow: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+    exclude: Tuple[str, ...] = ()
+
+    @classmethod
+    def from_mapping(cls, table: Mapping[str, object]) -> "LintConfig":
+        """Build from a ``[tool.reprolint]``-shaped mapping."""
+        known = {"select", "scopes", "allow", "exclude"}
+        unknown = sorted(set(table) - known)
+        if unknown:
+            raise LintError(
+                f"unknown [tool.reprolint] keys: {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        select = _pattern_tuple(table.get("select", ()), "[tool.reprolint] select")
+        exclude = _pattern_tuple(table.get("exclude", ()), "[tool.reprolint] exclude")
+        scopes = {}
+        allow = {}
+        for key, sink in (("scopes", scopes), ("allow", allow)):
+            raw = table.get(key, {})
+            if not isinstance(raw, Mapping):
+                raise LintError(f"[tool.reprolint.{key}] must be a table")
+            for rule_id, patterns in raw.items():
+                sink[str(rule_id)] = _pattern_tuple(
+                    patterns, f"[tool.reprolint.{key}] {rule_id}"
+                )
+        return cls(select=select, scopes=scopes, allow=allow, exclude=exclude)
+
+    @classmethod
+    def from_pyproject(cls, path: Path) -> "LintConfig":
+        """Load from one pyproject.toml (missing table -> defaults)."""
+        try:
+            with open(path, "rb") as stream:
+                payload = tomllib.load(stream)
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from exc
+        except tomllib.TOMLDecodeError as exc:
+            raise LintError(f"malformed TOML in {path}: {exc}") from exc
+        tool = payload.get("tool", {})
+        table = tool.get("reprolint", {}) if isinstance(tool, Mapping) else {}
+        if not isinstance(table, Mapping):
+            raise LintError(f"[tool.reprolint] in {path} must be a table")
+        return cls.from_mapping(table)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def selected(self, rule: Type[Rule]) -> bool:
+        """Return whether the rule is enabled at all."""
+        return not self.select or rule.rule_id in self.select
+
+    def file_excluded(self, module_path: str, posix_path: str) -> bool:
+        """Return whether a file is skipped entirely."""
+        return any(
+            path_matches(pattern, module_path, posix_path)
+            for pattern in self.exclude
+        )
+
+    def rule_applies(
+        self, rule: Type[Rule], module_path: str, posix_path: str
+    ) -> bool:
+        """Return whether one rule runs on one file.
+
+        The config's ``scopes``/``allow`` entries override the rule's
+        built-in defaults when present (even with an empty list, which
+        re-opens a scoped rule to every file).
+        """
+        if not self.selected(rule):
+            return False
+        scope: Sequence[str] = self.scopes.get(rule.rule_id, rule.default_scope)
+        if scope and not any(
+            path_matches(pattern, module_path, posix_path) for pattern in scope
+        ):
+            return False
+        allowed: Sequence[str] = self.allow.get(rule.rule_id, rule.default_allow)
+        return not any(
+            path_matches(pattern, module_path, posix_path) for pattern in allowed
+        )
+
+
+def find_pyproject(start: Path) -> Optional[Path]:
+    """Walk up from ``start`` to the first directory with a pyproject.toml."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for directory in (current, *current.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None

@@ -1,0 +1,168 @@
+"""Per-file analysis context shared by all rules.
+
+One :class:`FileContext` is built per linted file.  It owns the parsed
+tree, a parent/field map filled during the engine's single depth-first
+walk (so any rule can ask "which ``if`` branch am I in?"), the module's
+import alias table for resolving dotted call names, and the finding
+sink.
+
+Module identity
+---------------
+Rules scope themselves by *module path*: the file's path from its
+top-most package directory down, in POSIX form --
+``repro/core/incremental.py`` regardless of where the repository is
+checked out or which directory the linter was invoked from.  Files
+outside any package (fixture snippets, scripts) use their bare file
+name.  Patterns match with :func:`fnmatch.fnmatch` against the module
+path, the full POSIX path, and any suffix of it.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+
+__all__ = ["FileContext", "module_path_of", "path_matches"]
+
+
+def module_path_of(path: Path) -> str:
+    """Return the package-rooted POSIX path of ``path`` (see module doc)."""
+    resolved = path.resolve()
+    top = resolved.parent
+    package_root: Optional[Path] = None
+    while (top / "__init__.py").exists():
+        package_root = top
+        top = top.parent
+    if package_root is None:
+        return resolved.name
+    return resolved.relative_to(package_root.parent).as_posix()
+
+
+def path_matches(pattern: str, module_path: str, posix_path: str) -> bool:
+    """Return whether one fnmatch pattern hits a file's identity."""
+    return (
+        fnmatch(module_path, pattern)
+        or fnmatch(posix_path, pattern)
+        or fnmatch(posix_path, f"*/{pattern}")
+    )
+
+
+class FileContext:
+    """Everything a rule can see while walking one file."""
+
+    def __init__(self, path: Path, display_path: str, source: str, tree: ast.Module):
+        self.path = path
+        #: Path string used in findings (as the caller spelled it).
+        self.display_path = display_path
+        self.source = source
+        self.tree = tree
+        self.module_path = module_path_of(path)
+        self.findings: List[Finding] = []
+        #: ``node -> (parent, field)`` filled by the engine's walk before
+        #: any rule sees the node, so ancestors are always available.
+        self._parents: Dict[ast.AST, Tuple[ast.AST, str]] = {}
+        self._imports = _import_aliases(tree)
+
+    # ------------------------------------------------------------------
+    # Tree navigation
+    # ------------------------------------------------------------------
+    def set_parent(self, node: ast.AST, parent: ast.AST, field: str) -> None:
+        """Record one parent link (engine use only)."""
+        self._parents[node] = (parent, field)
+
+    def parent_of(self, node: ast.AST) -> Optional[Tuple[ast.AST, str]]:
+        """Return ``(parent, field)`` or ``None`` at the module root."""
+        return self._parents.get(node)
+
+    def ancestry(self, node: ast.AST) -> Iterator[Tuple[ast.AST, ast.AST, str]]:
+        """Yield ``(ancestor, child_on_path, field)`` from the node up.
+
+        ``field`` is the ancestor's field holding ``child_on_path``
+        (e.g. ``"body"`` / ``"orelse"`` for an ``ast.If``).
+        """
+        current = node
+        link = self._parents.get(current)
+        while link is not None:
+            parent, field = link
+            yield parent, current, field
+            current = parent
+            link = self._parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[ast.AST]:
+        """Return the nearest enclosing function/lambda node, if any."""
+        for ancestor, _child, _field in self.ancestry(node):
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                return ancestor
+        return None
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+    def qualified_name(self, node: ast.AST) -> Optional[str]:
+        """Resolve an expression to a dotted name through import aliases.
+
+        ``_dt.datetime.now`` with ``import datetime as _dt`` resolves to
+        ``datetime.datetime.now``; ``randint`` with ``from random import
+        randint`` resolves to ``random.randint``.  Returns ``None`` for
+        expressions that are not plain name/attribute chains.
+        """
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        parts.append(current.id)
+        parts.reverse()
+        root = self._imports.get(parts[0])
+        if root is not None:
+            parts[0:1] = root.split(".")
+        return ".".join(parts)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self, rule_id: str, node: ast.AST, message: str) -> None:
+        """Emit one finding anchored at ``node``."""
+        self.findings.append(
+            Finding(
+                path=self.display_path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule_id=rule_id,
+                message=message,
+            )
+        )
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted things they import.
+
+    ``import x.y as z`` -> ``{"z": "x.y"}``; ``from a.b import c`` ->
+    ``{"c": "a.b.c"}``.  Relative imports are skipped (they can only
+    name in-package modules, never the stdlib modules the rules ban).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or not node.module:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases

@@ -1,0 +1,182 @@
+"""The lint driver: file discovery, the AST walk, rule dispatch.
+
+One depth-first, source-ordered walk per file.  Parent/field links are
+recorded in the :class:`~repro.lint.context.FileContext` *before* a node
+is dispatched, so rules can inspect full ancestry (guard analysis needs
+to know which branch of an ``if`` a call sits in).  After the walk,
+findings on suppressed lines are dropped and the remainder sorted.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import LintError
+from repro.lint.config import LintConfig
+from repro.lint.context import FileContext, module_path_of
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, all_rules
+from repro.lint.suppress import ALL_RULES, suppressed_lines
+
+__all__ = ["LintResult", "iter_python_files", "lint_file", "lint_paths"]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    #: Per-file counts of findings suppressed by inline comments.
+    suppressed: int = 0
+    #: Hard errors (unreadable/unparseable files) -- exit code 2.
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        """Return the process exit code: 0 clean, 1 findings, 2 errors."""
+        if self.errors:
+            return 2
+        return 1 if self.findings else 0
+
+
+def iter_python_files(
+    paths: Sequence[Path], config: LintConfig
+) -> List[Tuple[Path, str]]:
+    """Expand files/directories into a sorted ``(path, display)`` list.
+
+    Directories are searched recursively for ``*.py``.  Nonexistent
+    paths raise :class:`~repro.errors.LintError` (a usage error, exit
+    code 2).
+    """
+    out: List[Tuple[Path, str]] = []
+    seen = set()
+    for given in paths:
+        if given.is_dir():
+            candidates = sorted(given.rglob("*.py"))
+        elif given.is_file():
+            candidates = [given]
+        else:
+            raise LintError(f"no such file or directory: {given}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            module_path = module_path_of(candidate)
+            if config.file_excluded(module_path, candidate.as_posix()):
+                continue
+            out.append((candidate, candidate.as_posix()))
+    out.sort(key=lambda pair: pair[1])
+    return out
+
+
+def _walk_dispatch(
+    ctx: FileContext, dispatch: Dict[Type[Rule], Rule]
+) -> None:
+    """Depth-first walk recording parents and dispatching to rules."""
+    by_node_type: List[Tuple[Tuple[type, ...], Rule]] = [
+        (type(rule).node_types, rule) for rule in dispatch.values()
+    ]
+
+    def visit(node: ast.AST) -> None:
+        for types, rule in by_node_type:
+            if types and isinstance(node, types):
+                rule.visit(node, ctx)
+        for field_name, value in ast.iter_fields(node):
+            if isinstance(value, ast.AST):
+                ctx.set_parent(value, node, field_name)
+                visit(value)
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.AST):
+                        ctx.set_parent(item, node, field_name)
+                        visit(item)
+
+    visit(ctx.tree)
+
+
+def lint_file(
+    path: Path,
+    config: LintConfig,
+    rules: Optional[Iterable[Type[Rule]]] = None,
+    display_path: Optional[str] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint one file; return ``(findings, suppressed_count)``.
+
+    Raises
+    ------
+    LintError
+        If the file cannot be read or parsed (exit code 2 territory;
+        :func:`lint_paths` converts this into a result error entry).
+    """
+    display = display_path or path.as_posix()
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        raise LintError(f"cannot read {display}: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        raise LintError(
+            f"cannot parse {display}: {exc.msg} (line {exc.lineno})"
+        ) from exc
+    ctx = FileContext(path, display, source, tree)
+    active: Dict[Type[Rule], Rule] = {}
+    for rule_cls in rules if rules is not None else all_rules():
+        if config.rule_applies(rule_cls, ctx.module_path, path.as_posix()):
+            active[rule_cls] = rule_cls()
+    if not active:
+        return [], 0
+    for rule in active.values():
+        rule.start(ctx)
+    _walk_dispatch(ctx, active)
+    for rule in active.values():
+        rule.finish(ctx)
+    suppressions = suppressed_lines(source)
+    kept: List[Finding] = []
+    dropped = 0
+    for finding in ctx.findings:
+        rules_off = suppressions.get(finding.line, frozenset())
+        if ALL_RULES in rules_off or finding.rule_id in rules_off:
+            dropped += 1
+        else:
+            kept.append(finding)
+    kept.sort()
+    return kept, dropped
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    config: Optional[LintConfig] = None,
+    rules: Optional[Iterable[Type[Rule]]] = None,
+) -> LintResult:
+    """Lint files/directories; return the aggregated, sorted result.
+
+    Unreadable or unparseable files become ``errors`` entries (exit
+    code 2) rather than aborting the whole run, so one bad file never
+    hides the findings of the rest.
+    """
+    config = config if config is not None else LintConfig()
+    result = LintResult()
+    rule_list = list(rules) if rules is not None else all_rules()
+    try:
+        files = iter_python_files(paths, config)
+    except LintError as exc:
+        result.errors.append(str(exc))
+        return result
+    for path, display in files:
+        try:
+            findings, dropped = lint_file(path, config, rule_list, display)
+        except LintError as exc:
+            result.errors.append(str(exc))
+            continue
+        result.findings.extend(findings)
+        result.suppressed += dropped
+        result.files_checked += 1
+    result.findings.sort()
+    result.errors.sort()
+    return result

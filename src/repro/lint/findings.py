@@ -1,0 +1,44 @@
+"""Finding records produced by lint rules.
+
+A :class:`Finding` is one rule hit at one source location.  Findings
+order lexicographically by ``(path, line, col, rule_id, message)`` so
+every reporter emits them in a stable, input-order-independent sequence
+-- the property the reporter-stability tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: Display path of the offending file (as given on the command line).
+    path: str
+    #: 1-based source line.
+    line: int
+    #: 0-based source column.
+    col: int
+    #: The rule that fired (``REP001`` ...).
+    rule_id: str
+    #: Human-readable explanation of the violation.
+    message: str
+
+    def render(self) -> str:
+        """Return the one-line text form ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return the JSON payload of this finding."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }

@@ -1,0 +1,101 @@
+"""Rule base class and the global rule registry.
+
+Every rule is a class deriving from :class:`Rule`, decorated with
+:func:`register`.  The engine instantiates one rule object per file, so
+rules may keep per-file state freely.  Dispatch is type-directed: a rule
+declares the AST node types it wants in :attr:`Rule.node_types` and the
+engine's single depth-first walk calls :meth:`Rule.visit` for each
+matching node, in source order.
+
+Rules carry their *default* applicability (``default_scope`` /
+``default_allow`` fnmatch patterns over module paths) so the linter
+enforces this repository's invariants even with no configuration; a
+``[tool.reprolint]`` table overrides both per rule id.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, ClassVar, Dict, List, Tuple, Type
+
+from repro.errors import LintError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.context import FileContext
+
+__all__ = ["Rule", "register", "all_rules", "get_rule", "rule_ids"]
+
+
+class Rule:
+    """Base class for one lint rule (see module docstring).
+
+    Subclasses set the class attributes and implement :meth:`visit`
+    (and optionally :meth:`start` / :meth:`finish` for per-file setup
+    and whole-module checks).
+    """
+
+    #: Unique id, ``REPnnn``.
+    rule_id: ClassVar[str] = ""
+    #: One-line summary shown by ``repro lint --list-rules``.
+    title: ClassVar[str] = ""
+    #: The invariant this rule encodes and where it comes from.
+    rationale: ClassVar[str] = ""
+    #: AST node types dispatched to :meth:`visit`.
+    node_types: ClassVar[Tuple[type, ...]] = ()
+    #: fnmatch patterns of module paths the rule applies to (empty = all).
+    default_scope: ClassVar[Tuple[str, ...]] = ()
+    #: fnmatch patterns of module paths exempt from the rule.
+    default_allow: ClassVar[Tuple[str, ...]] = ()
+
+    def start(self, ctx: "FileContext") -> None:
+        """Called once before the walk of one file."""
+
+    def visit(self, node: ast.AST, ctx: "FileContext") -> None:
+        """Called for every node matching :attr:`node_types`."""
+
+    def finish(self, ctx: "FileContext") -> None:
+        """Called once after the walk of one file."""
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise LintError(f"rule class {cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise LintError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Return every registered rule class, sorted by rule id."""
+    # Importing the rules package populates the registry on first use.
+    import repro.lint.rules  # noqa: F401  (side-effect import)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def rule_ids() -> Tuple[str, ...]:
+    """Return the sorted ids of all registered rules."""
+    return tuple(rule.rule_id for rule in all_rules())
+
+
+def get_rule(rule_id: str) -> Type[Rule]:
+    """Return one rule class by id.
+
+    Raises
+    ------
+    LintError
+        If no rule with that id is registered.
+    """
+    import repro.lint.rules  # noqa: F401  (side-effect import)
+
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise LintError(
+            f"unknown rule id {rule_id!r} (known: {', '.join(sorted(_REGISTRY))})"
+        ) from None

@@ -1,0 +1,52 @@
+"""Lint reporters: stable text and JSON renderings of a result.
+
+Both formats are deterministic functions of the finding *set*: findings
+are sorted by ``(path, line, col, rule, message)``, JSON keys are
+sorted, and no timestamps or absolute paths leak in -- two runs over the
+same tree produce byte-identical reports (tested).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.engine import LintResult
+
+__all__ = ["render_json", "render_text"]
+
+#: Version stamp of the JSON report schema.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Render ``path:line:col: RULE message`` lines plus a summary."""
+    lines: List[str] = [finding.render() for finding in sorted(result.findings)]
+    for error in result.errors:
+        lines.append(f"error: {error}")
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    summary = (
+        f"{len(result.findings)} {noun} in {result.files_checked} file(s)"
+    )
+    if result.suppressed:
+        summary += f", {result.suppressed} suppressed"
+    if result.errors:
+        summary += f", {len(result.errors)} error(s)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Render the machine-readable report (sorted, newline-terminated)."""
+    counts: Dict[str, int] = {}
+    for finding in result.findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "errors": sorted(result.errors),
+        "counts": counts,
+        "findings": [finding.to_dict() for finding in sorted(result.findings)],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,24 @@
+"""The built-in rule set: importing this package registers every rule.
+
+Each module encodes one repository invariant (its docstring cites the
+paper section or PR that introduced it); see ``repro lint --list-rules``
+or the "Static analysis & typing" section of DESIGN.md for the catalog.
+"""
+
+from repro.lint.rules.rep001_entropy import EntropyRule
+from repro.lint.rules.rep002_telemetry import GuardedTelemetryRule
+from repro.lint.rules.rep003_float_eq import ExactGeometryRule
+from repro.lint.rules.rep004_errors import ErrorDisciplineRule
+from repro.lint.rules.rep005_mutable_defaults import MutableDefaultRule
+from repro.lint.rules.rep006_locks import LockDisciplineRule
+from repro.lint.rules.rep007_powerset import PowersetRule
+
+__all__ = [
+    "EntropyRule",
+    "GuardedTelemetryRule",
+    "ExactGeometryRule",
+    "ErrorDisciplineRule",
+    "MutableDefaultRule",
+    "LockDisciplineRule",
+    "PowersetRule",
+]

@@ -1,0 +1,98 @@
+"""REP001: wall-clock and ambient randomness stay behind the seams.
+
+Grouped validation (Theorem 2 / Eq. 3) is only auditable because every
+run is a deterministic function of its inputs: verdict streams must be
+byte-identical across shard counts, executors, and observability
+settings (PR 1-3).  Ambient entropy -- wall-clock reads, the global
+``random`` module, ``os.urandom`` -- breaks that silently.  Time must
+flow through injectable clocks (``time.perf_counter``/``monotonic`` are
+fine: they measure, they don't decide) and randomness through seeded
+``random.Random`` instances owned by the configured seams
+(``repro/workloads/generator.py``, ``repro/online/strategies.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import FileContext
+from repro.lint.registry import Rule, register
+
+__all__ = ["EntropyRule"]
+
+#: Fully-qualified callables banned outside the allowlisted seams.
+BANNED_CALLS = frozenset(
+    {
+        # Wall-clock reads (monotonic/perf_counter stay legal everywhere).
+        "time.time",
+        "time.time_ns",
+        "time.ctime",
+        "time.localtime",
+        "time.gmtime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        # Ambient entropy (seeded random.Random instances stay legal).
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+    | {
+        f"random.{name}"
+        for name in (
+            "random", "randint", "randrange", "randbytes", "choice",
+            "choices", "shuffle", "sample", "uniform", "seed",
+            "getrandbits", "gauss", "normalvariate", "lognormvariate",
+            "expovariate", "betavariate", "gammavariate", "triangular",
+            "vonmisesvariate", "paretovariate", "weibullvariate",
+        )
+    }
+    | {
+        f"numpy.random.{name}"
+        for name in (
+            "seed", "rand", "randn", "randint", "random", "random_sample",
+            "shuffle", "permutation", "choice", "uniform", "normal",
+        )
+    }
+)
+
+#: Any call into these modules is banned (CSPRNG entropy).
+BANNED_MODULES = ("secrets",)
+
+
+@register
+class EntropyRule(Rule):
+    """Ban wall-clock/ambient-RNG calls outside the configured seams."""
+
+    rule_id = "REP001"
+    title = "wall-clock/ambient randomness outside the injectable seams"
+    rationale = (
+        "Determinism of verdict streams (PR 1-3): time flows through "
+        "injectable clocks, randomness through seeded random.Random "
+        "instances owned by the workload/strategy seams."
+    )
+    node_types = (ast.Call,)
+    default_allow = (
+        "repro/workloads/generator.py",
+        "repro/online/strategies.py",
+    )
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.Call)
+        name = ctx.qualified_name(node.func)
+        if name is None:
+            return
+        banned = name in BANNED_CALLS or any(
+            name.startswith(f"{module}.") for module in BANNED_MODULES
+        )
+        if banned:
+            ctx.report(
+                self.rule_id,
+                node,
+                f"call to {name}() injects ambient time/entropy; route it "
+                f"through an injectable clock or a seeded random.Random in "
+                f"a configured seam",
+            )

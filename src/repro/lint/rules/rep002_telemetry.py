@@ -1,0 +1,159 @@
+"""REP002: hot paths guard every telemetry call behind a ``None`` check.
+
+The observability layer (PR 2) promises the disabled path is free:
+with ``instrumentation=None`` / ``tracer=None`` the validation hot loops
+(``core.incremental``, ``core.grouped_zeta``, ``validation.
+tree_validator``, ``service.shard``, ``service.service``) execute no
+telemetry code and allocate no spans or attribute dicts -- the <5%
+overhead bound ``bench_obs_overhead.py`` enforces.  This rule makes the
+convention mechanical: any call on a telemetry receiver (a name ending
+in ``tracer``/``instrumentation``/``instr``/``events``/``monitor``/
+``telemetry``) must sit lexically inside a branch that established the
+receiver family is live -- ``if x is not None:``, the ``else`` of
+``if x is None:``, a ``... if x is not None else ...`` conditional, or
+after an early ``if x is None: return``.
+
+The falsy ``NULL_SPAN`` no-op object is the *other* sanctioned pattern:
+calls on ``span``-named values are exempt because unsampled spans
+no-op by construction (see :mod:`repro.obs.trace`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.context import FileContext
+from repro.lint.registry import Rule, register
+
+__all__ = ["GuardedTelemetryRule"]
+
+#: Terminal receiver names treated as telemetry objects.
+TELEMETRY_NAMES = frozenset(
+    {"tracer", "instrumentation", "instr", "events", "monitor", "telemetry"}
+)
+
+
+def _terminal_name(expr: ast.AST) -> Optional[str]:
+    """Return the last name segment of a name/attribute chain."""
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _mentions_telemetry(expr: ast.AST) -> bool:
+    name = _terminal_name(expr)
+    return name is not None and name.lower() in TELEMETRY_NAMES
+
+
+def _is_positive_guard(test: ast.AST) -> bool:
+    """Does this test being true establish a telemetry receiver is live?"""
+    if _mentions_telemetry(test):  # plain truthiness: ``if tracer:``
+        return True
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        left, (op,), (right,) = test.left, test.ops, test.comparators
+        if isinstance(op, (ast.IsNot, ast.NotEq)):
+            if isinstance(right, ast.Constant) and right.value is None:
+                return _mentions_telemetry(left)
+            if isinstance(left, ast.Constant) and left.value is None:
+                return _mentions_telemetry(right)
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_is_positive_guard(value) for value in test.values)
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return _is_negative_guard(test.operand)
+    return False
+
+
+def _is_negative_guard(test: ast.AST) -> bool:
+    """Does this test being *false* establish the receiver is live?"""
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        left, (op,), (right,) = test.left, test.ops, test.comparators
+        if isinstance(op, (ast.Is, ast.Eq)):
+            if isinstance(right, ast.Constant) and right.value is None:
+                return _mentions_telemetry(left)
+            if isinstance(left, ast.Constant) and left.value is None:
+                return _mentions_telemetry(right)
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+        return any(_is_negative_guard(value) for value in test.values)
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return _is_positive_guard(test.operand)
+    return False
+
+
+def _bails_out(body: list) -> bool:
+    """Does a block unconditionally leave the enclosing flow?"""
+    return bool(body) and all(
+        isinstance(stmt, (ast.Return, ast.Raise, ast.Continue, ast.Break))
+        for stmt in body
+    )
+
+
+@register
+class GuardedTelemetryRule(Rule):
+    """Require a live-receiver guard around hot-path telemetry calls."""
+
+    rule_id = "REP002"
+    title = "unguarded instrumentation/tracer call on a hot path"
+    rationale = (
+        "Disabled telemetry must cost nothing on validation hot paths "
+        "(bench_obs_overhead.py's <5% bound): every call on a telemetry "
+        "receiver needs a lexical None/no-op guard."
+    )
+    node_types = (ast.Call,)
+    default_scope = (
+        "repro/core/incremental.py",
+        "repro/core/grouped_zeta.py",
+        "repro/validation/tree_validator.py",
+        "repro/service/shard.py",
+        "repro/service/service.py",
+    )
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.Call)
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        receiver = func.value
+        if not _mentions_telemetry(receiver):
+            return
+        if self._guarded(node, ctx):
+            return
+        ctx.report(
+            self.rule_id,
+            node,
+            f"call on telemetry receiver "
+            f"'{_terminal_name(receiver)}' has no enclosing "
+            f"None-check; disabled telemetry must cost nothing on this "
+            f"hot path (guard with 'if {_terminal_name(receiver)} is "
+            f"not None:' or bail out early)",
+        )
+
+    # ------------------------------------------------------------------
+    # Guard search
+    # ------------------------------------------------------------------
+    def _guarded(self, node: ast.Call, ctx: FileContext) -> bool:
+        for ancestor, child, field in ctx.ancestry(node):
+            if isinstance(ancestor, (ast.If, ast.IfExp)):
+                if field == "body" and _is_positive_guard(ancestor.test):
+                    return True
+                if field == "orelse" and _is_negative_guard(ancestor.test):
+                    return True
+            # Early bail-out: a preceding sibling in any enclosing block
+            # of the form ``if x is None: return``.
+            for field_name, value in ast.iter_fields(ancestor):
+                if not isinstance(value, list) or child not in value:
+                    continue
+                for sibling in value[: value.index(child)]:
+                    if (
+                        isinstance(sibling, ast.If)
+                        and _is_negative_guard(sibling.test)
+                        and _bails_out(sibling.body)
+                    ):
+                        return True
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Guards established outside the defining function do not
+                # travel into it; stop at the function boundary.
+                return False
+        return False

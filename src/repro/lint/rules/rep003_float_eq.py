@@ -1,0 +1,80 @@
+"""REP003: geometry compares exactly -- no float equality, no tolerances.
+
+The paper's geometric model (Section 3.1) builds licenses from
+*discrete* instance dimensions: interval endpoints, region atoms, date
+ordinals, counts.  Overlap detection (Section 3.2) and grouping
+(Theorem 1) are therefore exact set computations; a tolerance-based
+comparison (``math.isclose``) or an equality test against a float
+literal would make "overlaps" answers depend on epsilon choices and
+could split or merge groups nondeterministically -- corrupting the very
+partition Eq. 3's gain is computed from.  Inside ``repro/geometry/*``
+this rule bans ``==``/``!=`` against float literals and every
+approximate-comparison helper.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import FileContext
+from repro.lint.registry import Rule, register
+
+__all__ = ["ExactGeometryRule"]
+
+#: Approximate-comparison callables banned in geometry modules.
+APPROX_CALLS = frozenset(
+    {
+        "math.isclose",
+        "numpy.isclose",
+        "numpy.allclose",
+        "pytest.approx",
+    }
+)
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # Unary minus on a float literal: ``x == -1.5``.
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, (ast.USub, ast.UAdd))
+        and _is_float_literal(node.operand)
+    )
+
+
+@register
+class ExactGeometryRule(Rule):
+    """Ban float equality and tolerance comparisons in geometry."""
+
+    rule_id = "REP003"
+    title = "inexact comparison in geometry (endpoints are exact)"
+    rationale = (
+        "Overlap/grouping (Sections 3.1-3.2, Theorem 1) are exact set "
+        "computations over discrete endpoints; epsilon comparisons would "
+        "make the group partition nondeterministic."
+    )
+    node_types = (ast.Compare, ast.Call)
+    default_scope = ("repro/geometry/*",)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            has_eq = any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
+            if has_eq and any(_is_float_literal(arm) for arm in operands):
+                ctx.report(
+                    self.rule_id,
+                    node,
+                    "equality comparison against a float literal; interval "
+                    "endpoints are exact -- compare discrete values",
+                )
+        elif isinstance(node, ast.Call):
+            name = ctx.qualified_name(node.func)
+            if name in APPROX_CALLS:
+                ctx.report(
+                    self.rule_id,
+                    node,
+                    f"{name}() introduces an epsilon tolerance; geometry "
+                    f"comparisons must be exact (Theorem 1's grouping "
+                    f"depends on it)",
+                )

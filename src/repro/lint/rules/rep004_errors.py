@@ -1,0 +1,69 @@
+"""REP004: the library raises only :mod:`repro.errors` exceptions.
+
+The package contract (see :mod:`repro.errors`) is that every failure a
+caller can observe derives from ``ReproError``, so one ``except
+ReproError`` catches everything the library does on purpose.  A bare
+``raise ValueError`` deep in a helper silently escapes that net the day
+a public code path reaches it.  This rule bans raising builtin
+exception types anywhere under ``repro/`` (re-raises and exception
+*handling* are untouched; ``NotImplementedError`` stays legal for
+abstract methods).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import FileContext
+from repro.lint.registry import Rule, register
+
+__all__ = ["ErrorDisciplineRule"]
+
+#: Builtin exception types that must not be raised by library code.
+BANNED_EXCEPTIONS = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "ValueError",
+        "TypeError",
+        "RuntimeError",
+        "KeyError",
+        "IndexError",
+        "AttributeError",
+        "LookupError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "OSError",
+        "IOError",
+        "AssertionError",
+        "StopIteration",
+    }
+)
+
+
+@register
+class ErrorDisciplineRule(Rule):
+    """Ban ``raise <builtin exception>`` in library code."""
+
+    rule_id = "REP004"
+    title = "builtin exception raised instead of a repro.errors type"
+    rationale = (
+        "Public API functions raise only ReproError subclasses so callers "
+        "can catch the whole library with one except clause."
+    )
+    node_types = (ast.Raise,)
+    default_scope = ("repro/*",)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.Raise)
+        exc = node.exc
+        if exc is None:  # bare ``raise`` re-raise is fine
+            return
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        if isinstance(target, ast.Name) and target.id in BANNED_EXCEPTIONS:
+            ctx.report(
+                self.rule_id,
+                node,
+                f"raise of builtin {target.id}; raise a repro.errors type "
+                f"so the exception stays inside the ReproError hierarchy",
+            )

@@ -1,0 +1,73 @@
+"""REP005: no mutable default arguments.
+
+A ``def f(items=[])`` default is evaluated once at import and shared by
+every call -- state leaks across requests, which in a validation
+authority means verdicts that depend on call history rather than on the
+log.  The rule flags list/dict/set displays, comprehensions, and calls
+to the mutable constructors (``list``/``dict``/``set``/``bytearray``/
+``collections.deque``/``collections.defaultdict``/``Counter``/
+``OrderedDict``) used as parameter defaults.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import FileContext
+from repro.lint.registry import Rule, register
+
+__all__ = ["MutableDefaultRule"]
+
+#: Constructor calls that produce a fresh mutable object.
+MUTABLE_CONSTRUCTORS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "collections.deque",
+        "collections.defaultdict",
+        "collections.Counter",
+        "collections.OrderedDict",
+    }
+)
+
+
+def _is_mutable_default(node: ast.AST, ctx: FileContext) -> bool:
+    if isinstance(
+        node,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        name = ctx.qualified_name(node.func)
+        return name in MUTABLE_CONSTRUCTORS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """Flag mutable objects used as parameter defaults."""
+
+    rule_id = "REP005"
+    title = "mutable default argument"
+    rationale = (
+        "Defaults evaluate once at import; shared mutable defaults leak "
+        "state across calls and make verdicts history-dependent."
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        args = node.args  # type: ignore[attr-defined]
+        defaults = list(args.defaults) + [
+            default for default in args.kw_defaults if default is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default, ctx):
+                label = getattr(node, "name", "<lambda>")
+                ctx.report(
+                    self.rule_id,
+                    default,
+                    f"mutable default argument in {label}(); use None and "
+                    f"create the object inside the function",
+                )

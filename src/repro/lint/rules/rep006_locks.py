@@ -1,0 +1,138 @@
+"""REP006: lock-owning classes write shared attributes under the lock.
+
+Service and observability objects are shared across shard worker
+threads (PR 1-2).  The repo's convention: a class that owns a
+``self._lock = threading.Lock()`` does *all* writes to its other
+instance attributes inside ``with self._lock:`` -- except in
+``__init__`` (no concurrent access before construction completes) and
+in helper methods named ``*_locked`` (documented as called with the
+lock already held, e.g. ``EventLog._rotate_locked``).  This rule makes
+the convention mechanical for ``repro/service/*`` and ``repro/obs/*``.
+
+Classes without a ``_lock`` are exempt: shard/slice state is
+single-writer by Theorem 2 (disconnected groups share no equations,
+hence no state, hence no locks) and the coordinator serializes the
+rest.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.context import FileContext
+from repro.lint.registry import Rule, register
+
+__all__ = ["LockDisciplineRule"]
+
+
+def _lock_attr_assigned(init: ast.FunctionDef) -> Optional[str]:
+    """Return the lock attribute name if ``__init__`` creates one."""
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and target.attr.endswith("_lock")
+                and isinstance(node.value, ast.Call)
+            ):
+                func = node.value.func
+                callee = func.attr if isinstance(func, ast.Attribute) else (
+                    func.id if isinstance(func, ast.Name) else ""
+                )
+                if callee in {"Lock", "RLock"}:
+                    return target.attr
+    return None
+
+
+def _is_self_attr(node: ast.AST, attr: Optional[str] = None) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+def _under_lock(node: ast.AST, method: ast.AST, ctx: FileContext, lock: str) -> bool:
+    """Is the node inside a ``with self.<lock>:`` block of this method?"""
+    for ancestor, _child, _field in ctx.ancestry(node):
+        if isinstance(ancestor, ast.With):
+            for item in ancestor.items:
+                if _is_self_attr(item.context_expr, lock):
+                    return True
+        if ancestor is method:
+            return False
+    return False
+
+
+@register
+class LockDisciplineRule(Rule):
+    """Require ``with self._lock`` around shared attribute writes."""
+
+    rule_id = "REP006"
+    title = "shared attribute written outside the owning lock"
+    rationale = (
+        "Objects shared across shard workers serialize attribute writes "
+        "through their lock; unlocked writes race under the thread "
+        "executor."
+    )
+    node_types = (ast.ClassDef,)
+    default_scope = ("repro/service/*", "repro/obs/*")
+
+    def start(self, ctx: FileContext) -> None:
+        self._classes: list = []
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        # Parent links for a node's descendants are recorded as the
+        # engine walks *into* them, so the lock analysis (which needs
+        # ancestry of the writes inside method bodies) runs in finish().
+        self._classes.append(node)
+
+    def finish(self, ctx: FileContext) -> None:
+        for node in self._classes:
+            self._check_class(node, ctx)
+
+    def _check_class(self, node: ast.ClassDef, ctx: FileContext) -> None:
+        init = next(
+            (
+                stmt
+                for stmt in node.body
+                if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return
+        lock = _lock_attr_assigned(init)
+        if lock is None:
+            return
+        for method in node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__" or method.name.endswith("_locked"):
+                continue
+            for stmt in ast.walk(method):
+                targets = []
+                if isinstance(stmt, ast.Assign):
+                    targets = stmt.targets
+                elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [stmt.target]
+                for target in targets:
+                    if (
+                        _is_self_attr(target)
+                        and target.attr != lock  # type: ignore[union-attr]
+                        and not _under_lock(stmt, method, ctx, lock)
+                    ):
+                        ctx.report(
+                            self.rule_id,
+                            stmt,
+                            f"write to self.{target.attr} outside "  # type: ignore[union-attr]
+                            f"'with self.{lock}:' in {node.name}."
+                            f"{method.name}(); this class shares state "
+                            f"across threads (suffix the method _locked "
+                            f"if the caller already holds the lock)",
+                        )

@@ -1,0 +1,94 @@
+"""REP007: no ``2^N``-shaped enumeration outside the sanctioned engines.
+
+The paper's whole contribution (Eq. 3 / Theorem 2) is replacing one
+``2^N - 1`` equation sweep with ``Σ_k (2^{N_k} - 1)`` per-group sweeps.
+A stray ``for mask in range(1 << n)`` in serving or matching code
+silently reintroduces the exponential blow-up the grouping removed --
+correctness tests never notice, throughput falls off a cliff at high N.
+Exhaustive subset enumeration is therefore confined to the modules
+whose *job* is the exponential sweep: the naive baselines
+(``validation/naive.py``), the complexity accounting
+(``validation/complexity.py``), and the shared enumeration/DP
+primitives they and the grouped engines delegate to (``bitset``,
+``zeta``, ``equations``, ``capacity``, ``flow``).
+
+Flagged shapes: ``range(...)`` whose bound contains ``1 << x`` /
+``2 ** x`` with a non-constant ``x``, and the itertools powerset idiom
+``chain.from_iterable(combinations(s, r) for r in ...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import FileContext
+from repro.lint.registry import Rule, register
+
+__all__ = ["PowersetRule"]
+
+
+def _is_exponential_expr(node: ast.AST) -> bool:
+    """Match ``1 << x`` / ``2 ** x`` with non-constant ``x``."""
+    if not isinstance(node, ast.BinOp):
+        return False
+    if isinstance(node.op, ast.LShift):
+        base_ok = isinstance(node.left, ast.Constant)
+    elif isinstance(node.op, ast.Pow):
+        base_ok = isinstance(node.left, ast.Constant) and node.left.value == 2
+    else:
+        return False
+    return base_ok and not isinstance(node.right, ast.Constant)
+
+
+def _contains_exponential(node: ast.AST) -> bool:
+    return any(_is_exponential_expr(sub) for sub in ast.walk(node))
+
+
+@register
+class PowersetRule(Rule):
+    """Confine exhaustive subset enumeration to the sanctioned modules."""
+
+    rule_id = "REP007"
+    title = "2^N subset enumeration outside the sanctioned engines"
+    rationale = (
+        "Eq. 3's gain exists because only the naive baselines sweep all "
+        "2^N - 1 equations; exponential loops anywhere else silently "
+        "defeat the grouping."
+    )
+    node_types = (ast.Call,)
+    default_allow = (
+        "repro/validation/naive.py",
+        "repro/validation/complexity.py",
+        "repro/validation/bitset.py",
+        "repro/validation/zeta.py",
+        "repro/validation/equations.py",
+        "repro/validation/capacity.py",
+        "repro/validation/flow.py",
+    )
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        assert isinstance(node, ast.Call)
+        name = ctx.qualified_name(node.func)
+        if name == "range":
+            if any(_contains_exponential(arg) for arg in node.args):
+                ctx.report(
+                    self.rule_id,
+                    node,
+                    "range() over a 2^N-shaped bound enumerates every "
+                    "subset; only the naive baselines and shared "
+                    "enumeration primitives may do this (Eq. 3)",
+                )
+        elif name in {"itertools.chain.from_iterable", "chain.from_iterable"}:
+            for arg in node.args:
+                if isinstance(arg, ast.GeneratorExp) and any(
+                    isinstance(sub, ast.Call)
+                    and ctx.qualified_name(sub.func)
+                    in {"itertools.combinations", "combinations"}
+                    for sub in ast.walk(arg)
+                ):
+                    ctx.report(
+                        self.rule_id,
+                        node,
+                        "itertools powerset idiom enumerates every subset; "
+                        "only the naive baselines may do this (Eq. 3)",
+                    )

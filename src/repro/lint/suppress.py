@@ -1,0 +1,61 @@
+"""Inline suppression comments.
+
+Two spellings, both line-scoped:
+
+* ``x = foo()  # reprolint: disable=REP001`` -- suppress the named
+  rule(s) on this line;
+* ``# reprolint: disable-next-line=REP001,REP005`` -- suppress on the
+  following line (for statements too long to carry a trailing comment).
+
+``disable=all`` suppresses every rule.  Comments are found with
+:mod:`tokenize`, so ``# reprolint:`` text inside string literals never
+counts as a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet
+
+__all__ = ["ALL_RULES", "suppressed_lines"]
+
+#: Sentinel rule id meaning "every rule" in a suppression set.
+ALL_RULES = "all"
+
+_PATTERN = re.compile(
+    r"#\s*reprolint:\s*disable(?P<next>-next-line)?\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s]+)"
+)
+
+
+def suppressed_lines(source: str) -> Dict[int, FrozenSet[str]]:
+    """Return ``{line: suppressed rule ids}`` for one file's source.
+
+    Unparseable source yields no suppressions (the engine reports the
+    syntax error separately).  Rule ids are normalized to upper case;
+    the :data:`ALL_RULES` sentinel stays lower case.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PATTERN.search(token.string)
+            if match is None:
+                continue
+            rules = frozenset(
+                ALL_RULES if atom.strip().lower() == ALL_RULES
+                else atom.strip().upper()
+                for atom in match.group("rules").split(",")
+                if atom.strip()
+            )
+            if not rules:
+                continue
+            line = token.start[0] + (1 if match.group("next") else 0)
+            suppressions[line] = suppressions.get(line, frozenset()) | rules
+    except tokenize.TokenizeError:
+        return {}
+    return suppressions
