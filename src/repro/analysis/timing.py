@@ -11,6 +11,8 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Tuple
 
+from repro.errors import AnalysisError
+
 __all__ = ["Stopwatch", "time_callable"]
 
 
@@ -46,7 +48,7 @@ def time_callable(
     practice for wall-clock micro-timing.
     """
     if repeats < 1:
-        raise ValueError(f"repeats must be >= 1, got {repeats}")
+        raise AnalysisError(f"repeats must be >= 1, got {repeats}")
     best = float("inf")
     result: Any = None
     for _ in range(repeats):

@@ -22,7 +22,7 @@ from __future__ import annotations
 import json
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import ServiceError
+from repro.errors import SerializationError, ServiceError
 from repro.obs.trace import SpanRecord
 
 if TYPE_CHECKING:  # duck-typed at runtime, so repro.obs never imports
@@ -82,21 +82,21 @@ def _parse_label_body(body: str) -> List[Tuple[str, str]]:
     while i < n:
         eq = body.find("=", i)
         if eq < 0:
-            raise ValueError(f"label pair without '=': {body[i:]!r}")
+            raise SerializationError(f"label pair without '=': {body[i:]!r}")
         key = body[i:eq]
         if not key:
-            raise ValueError("empty label name")
+            raise SerializationError("empty label name")
         if eq + 1 >= n or body[eq + 1] != '"':
-            raise ValueError(f"unquoted label value for {key!r}")
+            raise SerializationError(f"unquoted label value for {key!r}")
         i = eq + 2
         chars: List[str] = []
         while True:
             if i >= n:
-                raise ValueError(f"unterminated label value for {key!r}")
+                raise SerializationError(f"unterminated label value for {key!r}")
             char = body[i]
             if char == "\\":
                 if i + 1 >= n or body[i + 1] not in _LABEL_UNESCAPES:
-                    raise ValueError(
+                    raise SerializationError(
                         f"bad escape in label value for {key!r}"
                     )
                 chars.append(_LABEL_UNESCAPES[body[i + 1]])
@@ -110,10 +110,10 @@ def _parse_label_body(body: str) -> List[Tuple[str, str]]:
         pairs.append((key, "".join(chars)))
         if i < n:
             if body[i] != ",":
-                raise ValueError(f"expected ',' between labels, got {body[i]!r}")
+                raise SerializationError(f"expected ',' between labels, got {body[i]!r}")
             i += 1
             if i >= n:
-                raise ValueError("trailing ',' in label set")
+                raise SerializationError("trailing ',' in label set")
     return pairs
 
 
@@ -189,11 +189,11 @@ def parse_prometheus(text: str) -> PromSamples:
             if "{" in name_part:
                 metric, label_body = name_part.split("{", 1)
                 if not label_body.endswith("}"):
-                    raise ValueError("unterminated label set")
+                    raise SerializationError("unterminated label set")
                 labels = tuple(sorted(_parse_label_body(label_body[:-1])))
             else:
                 metric, labels = name_part, ()
-        except ValueError as exc:
+        except (ValueError, SerializationError) as exc:
             raise ServiceError(f"malformed Prometheus line: {raw!r}") from exc
         samples.setdefault(metric, {})[labels] = value
     return samples

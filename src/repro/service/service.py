@@ -39,7 +39,7 @@ Examples
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ServiceError, ServiceOverloadedError, ValidationError
 from repro.core.incremental import GroupSlice
@@ -62,6 +62,9 @@ from repro.service.config import ServiceConfig
 from repro.service.executor import make_executor
 from repro.service.metrics import MetricsRegistry
 from repro.service.shard import GroupShard, ShardRequest, ShardResult
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.obs.monitor import Monitor
 
 __all__ = ["ValidationService"]
 
@@ -114,7 +117,7 @@ class ValidationService:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         events: Optional[EventLog] = None,
-        monitor=None,
+        monitor: Optional["Monitor"] = None,
     ):
         if not pool:
             raise ValidationError("service needs a non-empty pool")
@@ -190,7 +193,7 @@ class ValidationService:
         the paper's Equation 3 denominator)."""
         return list(self._tables.structure.sizes)
 
-    def match_cache_stats(self) -> tuple:
+    def match_cache_stats(self) -> Tuple[int, int, int]:
         """Return ``(hits, misses, evictions)`` of the match cache."""
         return (self._matcher.hits, self._matcher.misses, self._matcher.evictions)
 
@@ -375,7 +378,7 @@ class ValidationService:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _drain_completed(self) -> List[tuple]:
+    def _drain_completed(self) -> List[Tuple[int, IssuanceOutcome]]:
         """Run busy shards, then hand out ``(seq, outcome)`` pairs sorted
         by sequence number, clearing the completion buffer."""
         if self._closed:
@@ -436,8 +439,11 @@ class ValidationService:
         """Stitch shard-side batch/revalidation timings under the drain
         span (they arrive as plain picklable data -- see
         :class:`repro.service.shard.BatchTiming`)."""
+        tracer = self.tracer
+        if tracer is None:  # pragma: no cover - callers already check
+            return
         for timing in stats.batch_timings:
-            batch_record = self.tracer.record(
+            batch_record = tracer.record(
                 "shard_batch",
                 start=timing.started,
                 duration=timing.duration,
@@ -447,7 +453,7 @@ class ValidationService:
             if batch_record is None:
                 continue
             for reval in timing.revalidations:
-                self.tracer.record(
+                tracer.record(
                     "revalidate",
                     start=reval.started,
                     duration=reval.duration,
@@ -480,14 +486,17 @@ class ValidationService:
         self._count_outcome(outcome)
         self._emit_outcome_event(result.seq, outcome, group_id=result.group_id)
         span = self._request_spans.pop(result.seq, None)
-        if span is not None:
-            self.tracer.record(
+        tracer = self.tracer
+        # A span only exists for this seq if the tracer was live at
+        # submit time, but the guard keeps the invariant lexical.
+        if span is not None and tracer is not None:
+            tracer.record(
                 "queue_wait",
                 start=result.submitted_at,
                 duration=max(0.0, result.processed_at - result.submitted_at),
                 parent=span,
             )
-            self.tracer.record(
+            tracer.record(
                 "admission",
                 start=result.processed_at,
                 duration=result.service_time,
@@ -543,7 +552,10 @@ class ValidationService:
 
     def _on_cache_evict(self, key, _value) -> None:
         self.metrics.counter("match_cache_evictions_total").inc()
-        self.events.emit(
+        events = self.events
+        if events is None:  # pragma: no cover - hook registered iff events
+            return
+        events.emit(
             EVENT_CACHE_EVICTION,
             cache="match",
             content_id=key[0] if key else None,
@@ -555,7 +567,10 @@ class ValidationService:
             else "merge" if new_groups < old_groups
             else "none"
         )
-        self.events.emit(
+        events = self.events
+        if events is None:  # pragma: no cover - hook registered iff events
+            return
+        events.emit(
             EVENT_EPOCH_CHANGE,
             epoch=epoch,
             old_groups=old_groups,

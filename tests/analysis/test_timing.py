@@ -3,6 +3,7 @@
 import pytest
 
 from repro.analysis.timing import Stopwatch, time_callable
+from repro.errors import AnalysisError
 
 
 class TestStopwatch:
@@ -41,5 +42,5 @@ class TestTimeCallable:
         assert elapsed >= 0
 
     def test_zero_repeats_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(AnalysisError):
             time_callable(lambda: 1, repeats=0)
