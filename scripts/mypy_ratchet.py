@@ -1,0 +1,227 @@
+#!/usr/bin/env python
+"""The mypy baseline ratchet: the permissive typing tier can only shrink.
+
+Two typing tiers are configured in pyproject.toml (see the ``[tool.mypy]``
+comment block): the strict packages (``repro.geometry`` / ``repro.core`` /
+``repro.validation``) must hold zero errors, and every other package may
+carry at most the per-package error count recorded in ``mypy-baseline.json``.
+This script runs mypy, buckets its errors per package, and compares:
+
+* count above baseline (or any strict-package error) -> exit 1;
+* counts at/below baseline -> exit 0 (with a hint to ratchet down when
+  some count shrank -- rerun with ``--write-baseline``);
+* ``--write-baseline`` rewrites the baseline, refusing to *grow* any
+  count of an enforcing baseline (that is the ratchet).
+
+The committed baseline starts in ``"mode": "bootstrap"``: counts are
+measured and reported but nothing fails, because this repository's
+environment cannot run mypy to certify an initial state.  The first run
+of ``--write-baseline`` on a machine with mypy flips it to
+``"mode": "enforce"`` and arms the gate.  When mypy itself is not
+installed the script skips with exit 0 (CI passes ``--require-mypy`` to
+turn that into a hard error instead).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "mypy-baseline.json"
+
+#: Packages that must stay at zero errors once the gate is armed.
+STRICT_PACKAGES = ("repro.geometry", "repro.core", "repro.validation")
+
+_ERROR_LINE = re.compile(r"^(?P<path>[^:]+\.py):\d+(?::\d+)?: error: ")
+
+
+def mypy_available() -> bool:
+    """Return whether mypy can be imported by this interpreter."""
+    try:
+        import mypy  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+def run_mypy(target: str = "src/repro") -> Tuple[int, str]:
+    """Run mypy over ``target``; return ``(exit_code, stdout)``."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary", target],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def package_of(path: str) -> str:
+    """Map an error path to its package bucket (``repro.core`` ...)."""
+    parts = Path(path.replace("\\", "/")).with_suffix("").parts
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    dotted = ".".join(parts)
+    segments = dotted.split(".")
+    return ".".join(segments[:2]) if len(segments) > 1 else dotted
+
+
+def bucket_errors(output: str) -> Dict[str, int]:
+    """Count mypy error lines per package bucket."""
+    counts: Dict[str, int] = {}
+    for line in output.splitlines():
+        match = _ERROR_LINE.match(line.strip())
+        if match is None:
+            continue
+        bucket = package_of(match.group("path"))
+        counts[bucket] = counts.get(bucket, 0) + 1
+    return counts
+
+
+def load_baseline(path: Path) -> Dict[str, object]:
+    if not path.exists():
+        return {"mode": "bootstrap", "strict_packages": list(STRICT_PACKAGES),
+                "counts": {}}
+    with open(path, "r", encoding="utf-8") as stream:
+        return json.load(stream)
+
+
+def write_baseline(path: Path, counts: Dict[str, int]) -> None:
+    payload = {
+        "mode": "enforce",
+        "strict_packages": list(STRICT_PACKAGES),
+        "counts": {key: counts[key] for key in sorted(counts)},
+    }
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def compare(
+    counts: Dict[str, int], baseline: Dict[str, object]
+) -> Tuple[List[str], List[str]]:
+    """Return ``(failures, improvements)`` vs the baseline."""
+    failures: List[str] = []
+    improvements: List[str] = []
+    strict = tuple(baseline.get("strict_packages", STRICT_PACKAGES))
+    allowed: Dict[str, int] = dict(baseline.get("counts", {}))  # type: ignore[arg-type]
+    for package in sorted(set(counts) | set(allowed)):
+        observed = counts.get(package, 0)
+        if package in strict or any(
+            package.startswith(f"{s}.") for s in strict
+        ):
+            if observed:
+                failures.append(
+                    f"{package}: {observed} error(s) in a strict package "
+                    f"(must be 0)"
+                )
+            continue
+        ceiling = allowed.get(package, 0)
+        if observed > ceiling:
+            failures.append(
+                f"{package}: {observed} error(s) > baseline {ceiling}"
+            )
+        elif observed < ceiling:
+            improvements.append(
+                f"{package}: {observed} error(s) < baseline {ceiling}"
+            )
+    return failures, improvements
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help=f"baseline JSON path (default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--target", default="src/repro", help="what to type-check"
+    )
+    parser.add_argument(
+        "--require-mypy", action="store_true",
+        help="fail (exit 2) when mypy is not installed instead of skipping",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from this run (shrink-only ratchet)",
+    )
+    parser.add_argument(
+        "--report-out", type=Path, default=None,
+        help="also write the per-package counts as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    if not mypy_available():
+        if args.require_mypy:
+            print("mypy-ratchet: mypy is not installed (required)", file=sys.stderr)
+            return 2
+        print("mypy-ratchet: mypy not installed; skipping (install mypy "
+              "from requirements-dev.txt to arm the typing gate)")
+        return 0
+
+    code, output = run_mypy(args.target)
+    if code not in (0, 1):  # 2 = usage/config error
+        sys.stderr.write(output)
+        print("mypy-ratchet: mypy failed to run", file=sys.stderr)
+        return 2
+    counts = bucket_errors(output)
+    total = sum(counts.values())
+    baseline = load_baseline(args.baseline)
+
+    if args.report_out is not None:
+        with open(args.report_out, "w", encoding="utf-8") as stream:
+            json.dump(
+                {"counts": {k: counts[k] for k in sorted(counts)},
+                 "total": total, "mode": baseline.get("mode")},
+                stream, indent=2, sort_keys=True,
+            )
+            stream.write("\n")
+
+    if args.write_baseline:
+        previous: Dict[str, int] = dict(baseline.get("counts", {}))  # type: ignore[arg-type]
+        if baseline.get("mode") == "enforce":
+            grew = [
+                f"{pkg}: {counts.get(pkg, 0)} > {previous.get(pkg, 0)}"
+                for pkg in sorted(set(counts) | set(previous))
+                if counts.get(pkg, 0) > previous.get(pkg, 0)
+            ]
+            if grew:
+                print("mypy-ratchet: refusing to grow an enforcing baseline:")
+                for line in grew:
+                    print(f"  {line}")
+                return 1
+        write_baseline(args.baseline, counts)
+        print(f"mypy-ratchet: wrote {args.baseline} ({total} error(s) "
+              f"across {len(counts)} package(s); mode=enforce)")
+        return 0
+
+    print(f"mypy-ratchet: {total} error(s) across {len(counts)} package(s)")
+    for package in sorted(counts):
+        print(f"  {package}: {counts[package]}")
+
+    if baseline.get("mode") == "bootstrap":
+        print("mypy-ratchet: baseline is in bootstrap mode -- reporting only.")
+        print("  Arm the gate with: python scripts/mypy_ratchet.py --write-baseline")
+        return 0
+
+    failures, improvements = compare(counts, baseline)
+    for line in improvements:
+        print(f"  improved -- {line}")
+    if improvements and not failures:
+        print("mypy-ratchet: counts shrank; ratchet down with --write-baseline")
+    if failures:
+        print("mypy-ratchet: typing regressions:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

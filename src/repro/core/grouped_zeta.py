@@ -19,7 +19,7 @@ Verdicts always match the grouped tree validator (tested).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence
 
 from repro.errors import GroupingError, ValidationError
 from repro.core.grouping import GroupStructure, form_groups
@@ -30,6 +30,9 @@ from repro.licenses.pool import LicensePool
 from repro.logstore.log import ValidationLog
 from repro.validation.report import ValidationReport, Violation, make_report
 from repro.validation.zeta import ZetaValidator
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.obs.instrument import Instrumentation
 
 __all__ = ["GroupedZetaValidator"]
 
@@ -78,7 +81,9 @@ class GroupedZetaValidator:
     # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
-    def _split_counts(self, counts_by_set: Dict[frozenset, int]) -> List[Dict[int, int]]:
+    def _split_counts(
+        self, counts_by_set: Dict[FrozenSet[int], int]
+    ) -> List[Dict[int, int]]:
         """Remap global set counts into per-group local-mask counts."""
         per_group: List[Dict[int, int]] = [
             {} for _ in range(self._structure.count)
@@ -99,7 +104,11 @@ class GroupedZetaValidator:
             bucket[local_mask] = bucket.get(local_mask, 0) + count
         return per_group
 
-    def validate(self, log: ValidationLog, instrumentation=None) -> ValidationReport:
+    def validate(
+        self,
+        log: ValidationLog,
+        instrumentation: Optional["Instrumentation"] = None,
+    ) -> ValidationReport:
         """Validate a log: one dense DP per group."""
         return self.validate_counts(
             log.counts_by_set(), instrumentation=instrumentation
@@ -107,8 +116,8 @@ class GroupedZetaValidator:
 
     def validate_counts(
         self,
-        counts_by_set: Dict[frozenset, int],
-        instrumentation=None,
+        counts_by_set: Dict[FrozenSet[int], int],
+        instrumentation: Optional["Instrumentation"] = None,
     ) -> ValidationReport:
         """Validate aggregated ``{set: count}`` data.
 

@@ -22,7 +22,7 @@ without sharing any mutable state.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import GroupingError, ValidationError
 from repro.core.grouping import GroupStructure, form_groups
@@ -36,6 +36,9 @@ from repro.validation.capacity import headroom as _headroom
 from repro.validation.report import ValidationReport, Violation, make_report
 from repro.validation.tree import ValidationTree
 from repro.validation.tree_validator import TreeValidator
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.obs.instrument import Instrumentation
 
 __all__ = ["GroupSlice", "IncrementalValidator"]
 
@@ -141,7 +144,9 @@ class GroupSlice:
             mask |= 1 << (index - 1)
         return _headroom(self._tree, self._local_aggregates, mask)
 
-    def revalidate(self, instrumentation=None) -> Tuple[ValidationReport, int]:
+    def revalidate(
+        self, instrumentation: Optional["Instrumentation"] = None
+    ) -> Tuple[ValidationReport, int]:
         """Run Algorithm 2 over this group if dirty; else reuse the cache.
 
         Returns ``(report, equations_checked_now)`` where the counter is 0
@@ -283,7 +288,9 @@ class IncrementalValidator:
     # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
-    def validate(self, instrumentation=None) -> ValidationReport:
+    def validate(
+        self, instrumentation: Optional["Instrumentation"] = None
+    ) -> ValidationReport:
         """Revalidate dirty groups, reuse cached verdicts for clean ones.
 
         The returned report's ``equations_checked`` counts only the

@@ -14,13 +14,16 @@ paper's proposed method is measured against (Figure 7).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.errors import ValidationError
 from repro.logstore.log import ValidationLog
 from repro.validation.bitset import aggregate_sums, iter_masks
 from repro.validation.report import ValidationReport, Violation, make_report
 from repro.validation.tree import ValidationTree
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from repro.obs.instrument import Instrumentation
 
 __all__ = ["TreeValidator"]
 
@@ -71,7 +74,7 @@ class TreeValidator:
         self,
         tree: ValidationTree,
         stop_at_first: bool = False,
-        instrumentation=None,
+        instrumentation: Optional["Instrumentation"] = None,
     ) -> ValidationReport:
         """Run every validation equation against ``tree``.
 
@@ -130,7 +133,7 @@ class TreeValidator:
         self,
         log: ValidationLog,
         stop_at_first: bool = False,
-        instrumentation=None,
+        instrumentation: Optional["Instrumentation"] = None,
     ) -> ValidationReport:
         """Convenience: build the tree from ``log`` and validate."""
         return self.validate(
