@@ -1,18 +1,50 @@
 #!/usr/bin/env python
-"""Regenerate docs/API.md from module docstrings and __all__ exports."""
+"""Regenerate docs/API.md from module docstrings and __all__ exports.
 
+Default mode rewrites ``docs/API.md``.  ``--check`` renders the document
+in memory and exits 1 (with a unified diff) when the committed file has
+drifted from the actual modules -- a public symbol added, a signature
+changed, a docstring summary edited -- without regenerating the doc.
+CI runs the check so the reference can never silently go stale.
+"""
+
+import argparse
+import difflib
 import importlib
+import inspect
 import pkgutil
+import re
+import sys
 from pathlib import Path
 
-import repro
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import repro  # noqa: E402
+
+TARGET = REPO_ROOT / "docs" / "API.md"
+
+#: Memory addresses and other run-dependent repr noise must never reach
+#: the committed document (they would make --check flap).
+_ADDR = re.compile(r" at 0x[0-9a-fA-F]+")
 
 
-def main() -> None:
+def _signature_of(obj: object) -> str:
+    """Return ``name(params)`` for callables, ``name`` otherwise."""
+    try:
+        sig = str(inspect.signature(obj))  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return ""
+    return _ADDR.sub("", sig)
+
+
+def build_api_markdown() -> str:
+    """Render the full API reference document as a string."""
     lines = [
         "# API Reference",
         "",
-        "Generated from module docstrings (`python scripts/gen_api_doc.py` to refresh).",
+        "Generated from module docstrings (`python scripts/gen_api_doc.py` "
+        "to refresh; `--check` to verify without writing).",
         "",
     ]
     modules = sorted(
@@ -29,12 +61,49 @@ def main() -> None:
         exported = getattr(module, "__all__", None)
         if exported:
             lines.append("")
-            lines.append("Public: " + ", ".join(f"`{name}`" for name in exported))
+            for name in exported:
+                obj = getattr(module, name, None)
+                sig = _signature_of(obj) if obj is not None else ""
+                if sig and (inspect.isfunction(obj) or inspect.isclass(obj)):
+                    lines.append(f"- `{name}{sig}`")
+                else:
+                    lines.append(f"- `{name}`")
         lines.append("")
-    target = Path(__file__).parent.parent / "docs" / "API.md"
-    target.write_text("\n".join(lines) + "\n", encoding="utf-8")
-    print(f"wrote {target}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 with a diff if docs/API.md is stale; write nothing",
+    )
+    args = parser.parse_args(argv)
+
+    rendered = build_api_markdown()
+    if args.check:
+        committed = TARGET.read_text(encoding="utf-8") if TARGET.exists() else ""
+        if committed == rendered:
+            print(f"{TARGET.relative_to(REPO_ROOT)} is up to date")
+            return 0
+        diff = difflib.unified_diff(
+            committed.splitlines(keepends=True),
+            rendered.splitlines(keepends=True),
+            fromfile="docs/API.md (committed)",
+            tofile="docs/API.md (regenerated)",
+        )
+        sys.stdout.writelines(diff)
+        print(
+            "\ndocs/API.md is stale; run `python scripts/gen_api_doc.py` "
+            "and commit the result",
+            file=sys.stderr,
+        )
+        return 1
+    TARGET.write_text(rendered, encoding="utf-8")
+    print(f"wrote {TARGET}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

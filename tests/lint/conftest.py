@@ -1,0 +1,58 @@
+"""Harness for the golden lint fixtures.
+
+Each ``fixtures/repNNN_bad.py`` file marks every line the rule must flag
+with a trailing ``# expect: REPNNN`` comment; the harness lints the file
+with only that rule (scope opened, allowlist cleared) and compares the
+``(line, rule_id)`` sets exactly -- missing findings and extra findings
+both fail.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Optional, Set, Tuple
+
+import pytest
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import lint_file
+from repro.lint.findings import Finding
+from repro.lint.registry import get_rule
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_EXPECT = re.compile(r"#\s*expect:\s*(?P<rule>REP\d{3})")
+
+
+def open_scope_config(rule_id: str) -> LintConfig:
+    """A config that applies ``rule_id`` to *every* file (fixtures live
+    outside the repro package, so default scopes would skip them)."""
+    return LintConfig(scopes={rule_id: ()}, allow={rule_id: ()})
+
+
+def expected_findings(fixture: Path, rule_id: str) -> Set[Tuple[int, str]]:
+    """Parse ``# expect: REPNNN`` markers into ``{(line, rule_id)}``."""
+    out: Set[Tuple[int, str]] = set()
+    for lineno, line in enumerate(
+        fixture.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        match = _EXPECT.search(line)
+        if match:
+            out.add((lineno, match.group("rule")))
+    assert out, f"{fixture.name} carries no # expect markers"
+    return {pair for pair in out if pair[1] == rule_id}
+
+
+def lint_fixture(
+    name: str, rule_id: str, config: Optional[LintConfig] = None
+) -> Tuple[List[Finding], int]:
+    """Lint one fixture with one rule; return ``(findings, suppressed)``."""
+    if config is None:
+        config = open_scope_config(rule_id)
+    return lint_file(FIXTURES / name, config, rules=[get_rule(rule_id)])
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return FIXTURES

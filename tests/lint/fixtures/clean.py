@@ -1,0 +1,18 @@
+"""A file every rule accepts (with scopes opened to all files)."""
+
+import time
+
+from repro.errors import ValidationError
+
+
+def measure(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def checked_add(a: int, b: int, limit: int) -> int:
+    total = a + b
+    if total > limit:
+        raise ValidationError(f"{total} exceeds {limit}")
+    return total

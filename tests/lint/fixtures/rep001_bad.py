@@ -1,0 +1,37 @@
+"""REP001 fixture: ambient time/entropy calls (all flagged)."""
+
+import datetime as _dt
+import os
+import random
+import secrets
+import time
+from random import randint
+
+
+def stamp():
+    return time.time()  # expect: REP001
+
+
+def when():
+    return _dt.datetime.now()  # expect: REP001
+
+
+def roll():
+    return randint(1, 6)  # expect: REP001
+
+
+def jitter():
+    return random.random()  # expect: REP001
+
+
+def token():
+    return os.urandom(8)  # expect: REP001
+
+
+def csprng():
+    return secrets.token_bytes(8)  # expect: REP001
+
+
+def fine():
+    # Monotonic clocks measure, they don't decide -- always legal.
+    return time.perf_counter()

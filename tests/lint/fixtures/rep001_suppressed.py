@@ -1,0 +1,11 @@
+"""REP001 fixture: same calls, every finding suppressed inline."""
+
+import time
+
+
+def stamp():
+    return time.time()  # reprolint: disable=REP001
+
+
+def stamp_all():
+    return time.time()  # reprolint: disable=all

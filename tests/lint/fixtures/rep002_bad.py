@@ -1,0 +1,53 @@
+"""REP002 fixture: unguarded vs guarded telemetry calls."""
+
+
+class Engine:
+    def __init__(self, tracer=None, instrumentation=None):
+        self.tracer = tracer
+        self.instrumentation = instrumentation
+
+    def unguarded(self):
+        self.tracer.record("step")  # expect: REP002
+        return 1
+
+    def wrong_branch(self):
+        if self.tracer is None:
+            self.tracer.record("dead")  # expect: REP002
+        return 2
+
+    def guarded_is_not_none(self):
+        if self.tracer is not None:
+            self.tracer.record("ok")
+        return 3
+
+    def guarded_truthiness(self, instr=None):
+        if instr:
+            instr.count("ok")
+        return 4
+
+    def guarded_else(self):
+        if self.tracer is None:
+            pass
+        else:
+            self.tracer.record("ok")
+        return 5
+
+    def guarded_bailout(self):
+        tracer = self.tracer
+        if tracer is None:
+            return 0
+        tracer.record("ok")
+        return 6
+
+    def guard_does_not_cross_function(self):
+        if self.tracer is not None:
+            def inner():
+                return self.tracer.record("x")  # expect: REP002
+
+            return inner()
+        return 7
+
+    def span_calls_are_exempt(self, span):
+        # NULL_SPAN no-ops by construction; span receivers need no guard.
+        span.set_attr("k", 1)
+        return 8

@@ -1,0 +1,10 @@
+"""REP002 fixture: unguarded call, suppressed inline."""
+
+
+class Engine:
+    def __init__(self, tracer=None):
+        self.tracer = tracer
+
+    def unguarded(self):
+        self.tracer.record("step")  # reprolint: disable=REP002
+        return 1

@@ -1,0 +1,25 @@
+"""REP003 fixture: float equality and approximate comparisons."""
+
+import math
+import numpy as np
+
+
+def literal_eq(x):
+    return x == 1.0  # expect: REP003
+
+
+def literal_ne(x):
+    return 0.5 != x  # expect: REP003
+
+
+def isclose(x):
+    return math.isclose(x, 1.0)  # expect: REP003
+
+
+def np_isclose(x):
+    return np.isclose(x, 1.0)  # expect: REP003
+
+
+def integer_eq_is_fine(x):
+    # Coordinates are integers in this codebase; int compares are exact.
+    return x == 1

@@ -1,0 +1,5 @@
+"""REP003 fixture: float equality, suppressed inline."""
+
+
+def literal_eq(x):
+    return x == 1.0  # reprolint: disable=REP003

@@ -1,0 +1,26 @@
+"""REP004 fixture: builtin exceptions raised from library code."""
+
+from repro.errors import ValidationError
+
+
+def bad_value():
+    raise ValueError("builtin")  # expect: REP004
+
+
+def bad_runtime():
+    raise RuntimeError("builtin")  # expect: REP004
+
+
+def good_domain():
+    raise ValidationError("domain error")
+
+
+def good_reraise():
+    try:
+        good_domain()
+    except ValidationError:
+        raise
+
+
+def good_not_implemented():
+    raise NotImplementedError

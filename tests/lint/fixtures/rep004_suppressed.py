@@ -1,0 +1,5 @@
+"""REP004 fixture: builtin raise, suppressed inline."""
+
+
+def bad_value():
+    raise ValueError("builtin")  # reprolint: disable=REP004

@@ -1,0 +1,23 @@
+"""REP005 fixture: mutable default arguments."""
+
+import collections
+
+
+def list_default(items=[]):  # expect: REP005
+    return items
+
+
+def dict_default(table={}):  # expect: REP005
+    return table
+
+
+def ctor_default(bag=collections.defaultdict(int)):  # expect: REP005
+    return bag
+
+
+def kwonly_default(*, seen=set()):  # expect: REP005
+    return seen
+
+
+def none_default(items=None):
+    return items if items is not None else []

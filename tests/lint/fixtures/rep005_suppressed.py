@@ -1,0 +1,5 @@
+"""REP005 fixture: mutable default, suppressed inline."""
+
+
+def list_default(items=[]):  # reprolint: disable=REP005
+    return items

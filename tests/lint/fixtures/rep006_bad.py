@@ -1,0 +1,32 @@
+"""REP006 fixture: lock-owning class writing state outside the lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def unlocked_add(self, n):
+        self.total = self.total + n  # expect: REP006
+
+    def unlocked_aug(self, n):
+        self.total += n  # expect: REP006
+
+    def locked_add(self, n):
+        with self._lock:
+            self.total = self.total + n
+
+    def rotate_locked(self, n):
+        # *_locked methods run with the lock already held by the caller.
+        self.total = n
+
+
+class NoLock:
+    def __init__(self):
+        self.total = 0
+
+    def add(self, n):
+        # No lock attribute: single-writer by construction, exempt.
+        self.total += n

@@ -1,0 +1,12 @@
+"""REP006 fixture: unlocked write, suppressed inline."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def unlocked_add(self, n):
+        self.total = self.total + n  # reprolint: disable=REP006

@@ -1,0 +1,30 @@
+"""REP007 fixture: 2^N subset enumeration shapes."""
+
+from itertools import chain, combinations
+
+
+def sweep_shift(n):
+    total = 0
+    for mask in range(1, 1 << n):  # expect: REP007
+        total += mask
+    return total
+
+
+def sweep_pow(n):
+    return sum(range(2 ** n))  # expect: REP007
+
+
+def powerset(items):
+    return list(
+        chain.from_iterable(  # expect: REP007
+            combinations(items, r) for r in range(len(items) + 1)
+        )
+    )
+
+
+def constant_bound_is_fine():
+    return sum(range(1 << 8))
+
+
+def linear_is_fine(n):
+    return sum(range(n))

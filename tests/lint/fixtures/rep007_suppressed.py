@@ -1,0 +1,8 @@
+"""REP007 fixture: exponential sweep, suppressed inline."""
+
+
+def sweep_shift(n):
+    total = 0
+    for mask in range(1, 1 << n):  # reprolint: disable=REP007
+        total += mask
+    return total

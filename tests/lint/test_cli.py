@@ -1,0 +1,104 @@
+"""CLI exit codes (0 clean / 1 findings / 2 errors) and the self-lint
+acceptance check: ``repro lint src`` is clean on this tree."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _fixture_pyproject(tmp_path: Path, body: str = "") -> Path:
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(f"[tool.reprolint]\n{body}", encoding="utf-8")
+    return pyproject
+
+
+def test_exit_zero_on_clean_file(tmp_path, capsys):
+    target = tmp_path / "ok.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    assert lint_main([str(target), "--config", str(_fixture_pyproject(tmp_path))]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(tmp_path, capsys):
+    config = _fixture_pyproject(tmp_path)
+    code = lint_main(
+        [str(FIXTURES / "rep005_bad.py"), "--config", str(config)]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "REP005" in out and "mutable default" in out
+
+
+def test_exit_two_on_missing_path(tmp_path, capsys):
+    code = lint_main(
+        [str(tmp_path / "nope.py"), "--config", str(_fixture_pyproject(tmp_path))]
+    )
+    assert code == 2
+
+
+def test_exit_two_on_bad_select():
+    assert lint_main(["--select", "REP999"]) == 2
+
+
+def test_json_format_is_machine_readable(tmp_path):
+    stream = io.StringIO()
+    from argparse import Namespace
+
+    from repro.lint.cli import run
+
+    args = Namespace(
+        paths=[str(FIXTURES / "rep005_bad.py")],
+        format="json",
+        config=str(_fixture_pyproject(tmp_path)),
+        select="REP005",
+        list_rules=False,
+    )
+    assert run(args, stream) == 1
+    payload = json.loads(stream.getvalue())
+    assert payload["counts"] == {"REP005": 4}
+
+
+def test_list_rules_catalog(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("REP001", "REP004", "REP007"):
+        assert rule_id in out
+
+
+def test_self_lint_src_is_clean():
+    """Acceptance: the merged tree lints clean with the repo config."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "src"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 findings" in proc.stdout
+
+
+def test_seeded_fixture_exits_one_via_script():
+    """Acceptance: scripts/run_lint.py exits 1 on a seeded violation."""
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "scripts" / "run_lint.py"),
+            str(FIXTURES / "rep005_bad.py"),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "REP005" in proc.stdout

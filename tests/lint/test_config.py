@@ -1,0 +1,101 @@
+"""[tool.reprolint] parsing and scope/allow override semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint.config import LintConfig, find_pyproject
+from repro.lint.registry import get_rule
+
+
+def test_unknown_keys_rejected():
+    with pytest.raises(LintError, match="unknown \\[tool.reprolint\\] keys"):
+        LintConfig.from_mapping({"scope": {}})
+
+
+def test_non_list_patterns_rejected():
+    with pytest.raises(LintError, match="list of strings"):
+        LintConfig.from_mapping({"select": "REP001"})
+    with pytest.raises(LintError, match="list of strings"):
+        LintConfig.from_mapping({"scopes": {"REP001": "repro/*"}})
+
+
+def test_select_disables_other_rules():
+    config = LintConfig.from_mapping({"select": ["REP001"]})
+    assert config.selected(get_rule("REP001"))
+    assert not config.selected(get_rule("REP004"))
+
+
+def test_scope_override_reopens_rule_everywhere():
+    rep002 = get_rule("REP002")
+    assert not LintConfig().rule_applies(rep002, "foo.py", "foo.py")
+    opened = LintConfig(scopes={"REP002": ()})
+    assert opened.rule_applies(rep002, "foo.py", "foo.py")
+
+
+def test_allow_override_replaces_rule_default():
+    rep001 = get_rule("REP001")
+    default = LintConfig()
+    assert not default.rule_applies(
+        rep001,
+        "repro/workloads/generator.py",
+        "src/repro/workloads/generator.py",
+    )
+    # An explicit empty allowlist revokes the built-in seam exemption.
+    closed = LintConfig(allow={"REP001": ()})
+    assert closed.rule_applies(
+        rep001,
+        "repro/workloads/generator.py",
+        "src/repro/workloads/generator.py",
+    )
+
+
+def test_exclude_skips_files_entirely():
+    config = LintConfig.from_mapping({"exclude": ["*/generated/*"]})
+    assert config.file_excluded("pkg/generated/x.py", "src/pkg/generated/x.py")
+    assert not config.file_excluded("pkg/x.py", "src/pkg/x.py")
+
+
+def test_from_pyproject_roundtrip(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        '[tool.reprolint]\nselect = ["REP003"]\n'
+        '[tool.reprolint.scopes]\nREP003 = ["pkg/*"]\n',
+        encoding="utf-8",
+    )
+    config = LintConfig.from_pyproject(pyproject)
+    assert config.select == ("REP003",)
+    assert config.scopes["REP003"] == ("pkg/*",)
+
+
+def test_from_pyproject_missing_table_gives_defaults(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text('[project]\nname = "x"\n', encoding="utf-8")
+    assert LintConfig.from_pyproject(pyproject) == LintConfig()
+
+
+def test_from_pyproject_malformed_toml(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text("[tool.reprolint\n", encoding="utf-8")
+    with pytest.raises(LintError, match="malformed TOML"):
+        LintConfig.from_pyproject(pyproject)
+
+
+def test_find_pyproject_walks_up(tmp_path):
+    (tmp_path / "pyproject.toml").write_text("", encoding="utf-8")
+    nested = tmp_path / "a" / "b"
+    nested.mkdir(parents=True)
+    assert find_pyproject(nested) == tmp_path / "pyproject.toml"
+
+
+def test_repo_pyproject_parses_and_mirrors_rule_defaults():
+    from pathlib import Path
+
+    repo_pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    config = LintConfig.from_pyproject(repo_pyproject)
+    # The committed table mirrors the built-in defaults so the policy is
+    # reviewable in one place; keep them in sync.
+    assert tuple(config.scopes["REP002"]) == get_rule("REP002").default_scope
+    assert tuple(config.allow["REP001"]) == get_rule("REP001").default_allow
+    assert tuple(config.allow["REP007"]) == get_rule("REP007").default_allow

@@ -1,0 +1,60 @@
+"""The API-reference generator: determinism and drift detection."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def gen():
+    spec = importlib.util.spec_from_file_location(
+        "gen_api_doc", REPO_ROOT / "scripts" / "gen_api_doc.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_rendering_is_deterministic_and_address_free(gen):
+    first = gen.build_api_markdown()
+    second = gen.build_api_markdown()
+    assert first == second
+    assert " at 0x" not in first
+
+
+def test_rendered_doc_covers_key_modules_with_signatures(gen):
+    doc = gen.build_api_markdown()
+    assert "## `repro.lint`" in doc
+    assert "## `repro.core.incremental`" in doc
+    # Signatures come from inspect.signature, so drift is detectable.
+    assert "lint_paths(" in doc
+
+
+def test_check_mode_passes_on_committed_doc(gen, capsys):
+    """Acceptance: docs/API.md in this tree matches the modules."""
+    assert gen.main(["--check"]) == 0
+    assert "up to date" in capsys.readouterr().out
+
+
+def test_check_mode_fails_on_drift_with_diff(gen, tmp_path, monkeypatch, capsys):
+    stale = tmp_path / "API.md"
+    stale.write_text("# API Reference\n\nstale\n", encoding="utf-8")
+    monkeypatch.setattr(gen, "TARGET", stale)
+    assert gen.main(["--check"]) == 1
+    captured = capsys.readouterr()
+    assert "--- docs/API.md (committed)" in captured.out
+    assert "stale" in captured.err
+    # --check must never rewrite the file.
+    assert stale.read_text(encoding="utf-8") == "# API Reference\n\nstale\n"
+
+
+def test_default_mode_writes_target(gen, tmp_path, monkeypatch, capsys):
+    target = tmp_path / "API.md"
+    monkeypatch.setattr(gen, "TARGET", target)
+    assert gen.main([]) == 0
+    assert target.read_text(encoding="utf-8") == gen.build_api_markdown()

@@ -1,0 +1,134 @@
+"""Unit tests for the mypy baseline ratchet (pure logic; no mypy run)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def ratchet():
+    spec = importlib.util.spec_from_file_location(
+        "mypy_ratchet", REPO_ROOT / "scripts" / "mypy_ratchet.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_package_of_buckets(ratchet):
+    assert ratchet.package_of("src/repro/core/incremental.py") == "repro.core"
+    assert ratchet.package_of("src/repro/cli.py") == "repro.cli"
+    assert ratchet.package_of("src/repro/obs/monitor/monitor.py") == "repro.obs"
+    assert ratchet.package_of("setup.py") == "setup"
+
+
+def test_bucket_errors_parses_mypy_output(ratchet):
+    output = (
+        "src/repro/cli.py:10: error: Incompatible return value  [return-value]\n"
+        "src/repro/cli.py:20:5: error: Missing annotation  [no-untyped-def]\n"
+        "src/repro/obs/trace.py:3: error: X  [misc]\n"
+        "src/repro/obs/trace.py:3: note: See docs\n"
+        "Found 3 errors in 2 files (checked 109 source files)\n"
+    )
+    assert ratchet.bucket_errors(output) == {"repro.cli": 2, "repro.obs": 1}
+
+
+def test_compare_flags_strict_packages_regardless_of_baseline(ratchet):
+    baseline = {
+        "mode": "enforce",
+        "strict_packages": list(ratchet.STRICT_PACKAGES),
+        "counts": {"repro.core": 5},
+    }
+    failures, _ = ratchet.compare({"repro.core": 1}, baseline)
+    assert failures == ["repro.core: 1 error(s) in a strict package (must be 0)"]
+
+
+def test_compare_enforces_ceiling_and_reports_improvements(ratchet):
+    baseline = {
+        "mode": "enforce",
+        "strict_packages": list(ratchet.STRICT_PACKAGES),
+        "counts": {"repro.obs": 3, "repro.cli": 2},
+    }
+    failures, improvements = ratchet.compare(
+        {"repro.obs": 4, "repro.cli": 1}, baseline
+    )
+    assert failures == ["repro.obs: 4 error(s) > baseline 3"]
+    assert improvements == ["repro.cli: 1 error(s) < baseline 2"]
+
+
+def test_compare_new_package_has_zero_ceiling(ratchet):
+    baseline = {"mode": "enforce", "strict_packages": [], "counts": {}}
+    failures, _ = ratchet.compare({"repro.workloads": 1}, baseline)
+    assert failures == ["repro.workloads: 1 error(s) > baseline 0"]
+
+
+def test_write_and_load_baseline_roundtrip(ratchet, tmp_path):
+    target = tmp_path / "baseline.json"
+    ratchet.write_baseline(target, {"repro.obs": 2, "repro.cli": 1})
+    loaded = ratchet.load_baseline(target)
+    assert loaded["mode"] == "enforce"
+    assert loaded["counts"] == {"repro.cli": 1, "repro.obs": 2}
+
+
+def test_missing_baseline_defaults_to_bootstrap(ratchet, tmp_path):
+    loaded = ratchet.load_baseline(tmp_path / "absent.json")
+    assert loaded["mode"] == "bootstrap"
+    assert loaded["counts"] == {}
+
+
+def test_main_skips_without_mypy(ratchet, monkeypatch, capsys):
+    monkeypatch.setattr(ratchet, "mypy_available", lambda: False)
+    assert ratchet.main([]) == 0
+    assert "skipping" in capsys.readouterr().out
+    assert ratchet.main(["--require-mypy"]) == 2
+
+
+def test_main_enforce_flow_with_stubbed_runner(ratchet, monkeypatch, tmp_path):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(
+        json.dumps(
+            {
+                "mode": "enforce",
+                "strict_packages": list(ratchet.STRICT_PACKAGES),
+                "counts": {"repro.cli": 1},
+            }
+        ),
+        encoding="utf-8",
+    )
+    monkeypatch.setattr(ratchet, "mypy_available", lambda: True)
+    output = "src/repro/cli.py:1: error: A  [misc]\nsrc/repro/cli.py:2: error: B  [misc]\n"
+    monkeypatch.setattr(ratchet, "run_mypy", lambda target: (1, output))
+    assert ratchet.main(["--baseline", str(baseline)]) == 1
+
+    clean = "src/repro/cli.py:1: error: A  [misc]\n"
+    monkeypatch.setattr(ratchet, "run_mypy", lambda target: (1, clean))
+    assert ratchet.main(["--baseline", str(baseline)]) == 0
+
+
+def test_write_baseline_refuses_to_grow(ratchet, monkeypatch, tmp_path):
+    baseline = tmp_path / "baseline.json"
+    ratchet.write_baseline(baseline, {"repro.cli": 1})
+    monkeypatch.setattr(ratchet, "mypy_available", lambda: True)
+    grown = "src/repro/cli.py:1: error: A  [misc]\nsrc/repro/cli.py:2: error: B  [misc]\n"
+    monkeypatch.setattr(ratchet, "run_mypy", lambda target: (1, grown))
+    code = ratchet.main(["--baseline", str(baseline), "--write-baseline"])
+    assert code == 1
+    assert ratchet.load_baseline(baseline)["counts"] == {"repro.cli": 1}
+
+    shrunk = ""
+    monkeypatch.setattr(ratchet, "run_mypy", lambda target: (0, shrunk))
+    assert ratchet.main(["--baseline", str(baseline), "--write-baseline"]) == 0
+    assert ratchet.load_baseline(baseline)["counts"] == {}
+
+
+def test_committed_baseline_is_valid(ratchet):
+    committed = ratchet.load_baseline(REPO_ROOT / "mypy-baseline.json")
+    assert committed["mode"] in {"bootstrap", "enforce"}
+    assert committed["strict_packages"] == list(ratchet.STRICT_PACKAGES)

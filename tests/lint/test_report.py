@@ -1,0 +1,67 @@
+"""Reporter determinism: byte-identical output across runs, stable
+schema, no run-dependent noise."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import lint_paths
+from repro.lint.report import JSON_SCHEMA_VERSION, render_json, render_text
+
+from tests.lint.conftest import FIXTURES, open_scope_config
+
+
+def _result():
+    return lint_paths([FIXTURES / "rep001_bad.py"], open_scope_config("REP001"))
+
+
+def test_json_is_byte_identical_across_runs():
+    assert render_json(_result()) == render_json(_result())
+
+
+def test_json_schema_and_counts():
+    payload = json.loads(render_json(_result()))
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["files_checked"] == 1
+    assert payload["errors"] == []
+    assert payload["counts"] == {"REP001": len(payload["findings"])}
+    assert payload["counts"]["REP001"] >= 5
+    for finding in payload["findings"]:
+        assert set(finding) == {"path", "line", "col", "rule", "message"}
+        # Paths render exactly as the caller spelled them (no resolution).
+        assert finding["path"].endswith("rep001_bad.py")
+
+
+def test_json_findings_sorted_by_location():
+    payload = json.loads(render_json(_result()))
+    keys = [(f["path"], f["line"], f["col"], f["rule"]) for f in payload["findings"]]
+    assert keys == sorted(keys)
+
+
+def test_text_report_lines_and_summary():
+    result = _result()
+    text = render_text(result)
+    lines = text.splitlines()
+    assert lines[-1].startswith(f"{len(result.findings)} findings in 1 file(s)")
+    for line, finding in zip(lines, sorted(result.findings)):
+        assert line == finding.render()
+        assert f": REP001 " in line
+
+
+def test_suppressed_count_surfaces_in_both_formats():
+    result = lint_paths(
+        [FIXTURES / "rep001_suppressed.py"], open_scope_config("REP001")
+    )
+    assert result.findings == []
+    assert result.suppressed == 2
+    assert ", 2 suppressed" in render_text(result)
+    assert json.loads(render_json(result))["suppressed"] == 2
+
+
+def test_parse_error_becomes_result_error_not_crash(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n", encoding="utf-8")
+    result = lint_paths([bad], LintConfig())
+    assert result.exit_code == 2
+    assert any("cannot parse" in err for err in result.errors)

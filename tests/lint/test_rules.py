@@ -1,0 +1,69 @@
+"""Golden-fixture tests: one positive + suppressed + allowlisted case
+per rule, with exact ``(line, rule)`` matching against ``# expect``
+markers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.config import LintConfig
+from repro.lint.registry import all_rules, rule_ids
+
+from tests.lint.conftest import FIXTURES, expected_findings, lint_fixture
+
+ALL_RULE_IDS = (
+    "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
+)
+
+
+def test_registry_catalog_complete():
+    assert rule_ids() == ALL_RULE_IDS
+    for rule in all_rules():
+        assert rule.title and rule.rationale
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
+def test_rule_flags_exactly_the_marked_lines(rule_id):
+    fixture = f"{rule_id.lower()}_bad.py"
+    findings, suppressed = lint_fixture(fixture, rule_id)
+    actual = {(finding.line, finding.rule_id) for finding in findings}
+    assert actual == expected_findings(FIXTURES / fixture, rule_id)
+    assert suppressed == 0
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
+def test_inline_suppression_drops_every_finding(rule_id):
+    fixture = f"{rule_id.lower()}_suppressed.py"
+    findings, suppressed = lint_fixture(fixture, rule_id)
+    assert findings == []
+    assert suppressed >= 1
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
+def test_allowlisted_file_is_exempt(rule_id):
+    fixture = f"{rule_id.lower()}_bad.py"
+    config = LintConfig(scopes={rule_id: ()}, allow={rule_id: (fixture,)})
+    findings, suppressed = lint_fixture(fixture, rule_id, config)
+    assert findings == []
+    assert suppressed == 0
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
+def test_clean_fixture_stays_clean(rule_id):
+    findings, suppressed = lint_fixture("clean.py", rule_id)
+    assert findings == []
+    assert suppressed == 0
+
+
+def test_default_scope_skips_out_of_scope_files():
+    # With rule defaults (no config override), the hot-path-scoped REP002
+    # does not apply to a fixture outside the repro package at all.
+    findings, _ = lint_fixture("rep002_bad.py", "REP002", LintConfig())
+    assert findings == []
+
+
+def test_findings_are_sorted_and_stable():
+    findings, _ = lint_fixture("rep001_bad.py", "REP001")
+    assert findings == sorted(findings)
+    again, _ = lint_fixture("rep001_bad.py", "REP001")
+    assert findings == again
