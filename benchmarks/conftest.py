@@ -25,6 +25,9 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: CI and downstream tooling can diff throughput/overhead without parsing
 #: the human-oriented tables.
 BENCH_JSON_PATH = Path(__file__).parent.parent / "BENCH_service.json"
+#: Machine-readable dense-kernel benchmark results (same merge protocol,
+#: separate file so the kernel gate can run without the service sweep).
+BENCH_KERNEL_JSON_PATH = Path(__file__).parent.parent / "BENCH_kernel.json"
 
 
 @pytest.fixture(scope="session")
@@ -58,13 +61,12 @@ def report():
     return _report
 
 
-@pytest.fixture(scope="session")
-def bench_json():
-    """Return a callable recording one machine-readable benchmark section.
+def _json_recorder(path: Path):
+    """Session-scoped section recorder merging into ``path`` at teardown.
 
     Sections accumulate over the session and are merged into any existing
-    ``BENCH_service.json`` at teardown, so running a single benchmark file
-    refreshes its own sections without clobbering the others'.
+    file, so running a single benchmark file refreshes its own sections
+    without clobbering the others'.
     """
     sections = {}
 
@@ -76,12 +78,24 @@ def bench_json():
     if not sections:
         return
     merged = {}
-    if BENCH_JSON_PATH.exists():
+    if path.exists():
         try:
-            merged = json.loads(BENCH_JSON_PATH.read_text(encoding="utf-8"))
+            merged = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
             merged = {}
     merged.update(sections)
-    BENCH_JSON_PATH.write_text(
+    path.write_text(
         json.dumps(merged, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Return a callable recording one ``BENCH_service.json`` section."""
+    yield from _json_recorder(BENCH_JSON_PATH)
+
+
+@pytest.fixture(scope="session")
+def kernel_bench_json():
+    """Return a callable recording one ``BENCH_kernel.json`` section."""
+    yield from _json_recorder(BENCH_KERNEL_JSON_PATH)

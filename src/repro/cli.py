@@ -139,6 +139,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", choices=["serial", "thread", "process"], default="serial"
     )
     serve.add_argument("--queue-capacity", type=int, default=256)
+    serve.add_argument(
+        "--kernel", choices=["tree", "dense"], default="tree",
+        help="per-group equation engine: 'tree' walks the validation tree "
+             "of [10]; 'dense' keeps resident headroom tables for O(1) "
+             "admission (identical verdicts, different cost model)",
+    )
+    serve.add_argument(
+        "--kernel-cap", type=int, default=None, metavar="N",
+        help="largest group size served by the dense kernel; bigger "
+             "groups fall back to the tree walk (default 20)",
+    )
     serve.add_argument("--clusters", type=int, default=8)
     serve.add_argument("--skew", type=float, default=0.0)
     serve.add_argument(
@@ -448,6 +459,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             )
         monitor = Monitor(MonitorConfig(**config_kwargs), events=events)
 
+    kernel_kwargs = {"kernel": args.kernel}
+    if args.kernel_cap is not None:
+        kernel_kwargs["kernel_cap"] = args.kernel_cap
+
     def run(shards: int, executor: str, *, observed: bool = False):
         service = ValidationService(
             pool,
@@ -456,6 +471,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 batch_size=args.batch,
                 queue_capacity=args.queue_capacity,
                 executor=executor,
+                **kernel_kwargs,
             ),
             tracer=tracer if observed else None,
             events=events if observed else None,

@@ -12,6 +12,12 @@ from repro.core.gain import (
     theoretical_gain,
 )
 from repro.core.grouped_tree import GroupedValidationTree
+from repro.core.kernel import (
+    KERNEL_DENSE,
+    KERNEL_NAMES,
+    KERNEL_TREE,
+    DenseHeadroomKernel,
+)
 from repro.core.grouped_zeta import GroupedZetaValidator
 from repro.core.grouping import (
     GroupStructure,
@@ -31,12 +37,16 @@ from repro.core.remap import (
 from repro.core.validator import GroupedValidator
 
 __all__ = [
+    "DenseHeadroomKernel",
     "DynamicGrouper",
     "GroupStructure",
     "GroupedValidationTree",
     "GroupedValidator",
     "GroupedZetaValidator",
     "IncrementalValidator",
+    "KERNEL_DENSE",
+    "KERNEL_NAMES",
+    "KERNEL_TREE",
     "OverlapGraph",
     "UnionFind",
     "divide_tree",

@@ -26,6 +26,12 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro.errors import GroupingError, ValidationError
 from repro.core.grouping import GroupStructure, form_groups
+from repro.core.kernel import (
+    KERNEL_DENSE,
+    KERNEL_NAMES,
+    KERNEL_TREE,
+    DenseHeadroomKernel,
+)
 from repro.core.overlap import OverlapGraph
 from repro.core.remap import globalize_mask, position_array, remapped_aggregates
 from repro.geometry.box import Box
@@ -33,6 +39,7 @@ from repro.licenses.pool import LicensePool
 from repro.logstore.log import ValidationLog
 from repro.logstore.record import LogRecord
 from repro.validation.capacity import headroom as _headroom
+from repro.validation.limits import DEFAULT_KERNEL_CAP
 from repro.validation.report import ValidationReport, Violation, make_report
 from repro.validation.tree import ValidationTree
 from repro.validation.tree_validator import TreeValidator
@@ -51,6 +58,20 @@ class GroupSlice:
     touches state outside its group, so distinct slices can be mutated
     from different threads or processes without synchronization
     (Theorem 2: their equation systems are disjoint).
+
+    ``kernel`` selects the equation-state engine behind the slice:
+
+    * ``"tree"`` (default) -- the validation tree of [10] with
+      enumerated headroom queries and Algorithm 2 revalidation;
+    * ``"dense"`` -- the resident-table
+      :class:`repro.core.kernel.DenseHeadroomKernel` (O(1) admission
+      lookups, delta revalidation), *when* ``N_k <= kernel_cap``.
+      Larger groups fall back to the tree walk -- dense tables cost
+      ``3 * 8 * 2^{N_k}`` bytes -- and :attr:`kernel_fallback` reports
+      the downgrade so the serving layer can count it.
+
+    Verdicts, headroom values, and violation masks are identical for
+    both engines (property-tested); only the cost model differs.
 
     Examples
     --------
@@ -74,17 +95,35 @@ class GroupSlice:
         structure: GroupStructure,
         aggregates: Sequence[int],
         group_id: int,
+        kernel: str = KERNEL_TREE,
+        kernel_cap: int = DEFAULT_KERNEL_CAP,
     ):
+        if kernel not in KERNEL_NAMES:
+            raise ValidationError(
+                f"unknown kernel {kernel!r}; choose from "
+                f"{', '.join(KERNEL_NAMES)}"
+            )
         self.group_id = group_id
         self._structure = structure
         self._position: Dict[int, int] = position_array(structure, group_id)
         self._local_aggregates = remapped_aggregates(aggregates, structure, group_id)
-        self._validator = TreeValidator(self._local_aggregates)
-        self._tree = ValidationTree()
         self._universe = (1 << len(self._local_aggregates)) - 1
+        self._requested_kernel = kernel
+        self._kernel: Optional[DenseHeadroomKernel] = None
+        self._validator: Optional[TreeValidator] = None
+        self._tree: Optional[ValidationTree] = None
+        if kernel == KERNEL_DENSE and len(self._local_aggregates) <= kernel_cap:
+            self._kernel = DenseHeadroomKernel(
+                self._local_aggregates, max_n=kernel_cap
+            )
+        else:
+            self._validator = TreeValidator(self._local_aggregates)
+            self._tree = ValidationTree()
         self._dirty = False
         self._cached: Optional[ValidationReport] = None
         self._records = 0
+        self._version = 0
+        self._touched_since_reval = 0
 
     # ------------------------------------------------------------------
     # Accessors
@@ -104,6 +143,37 @@ class GroupSlice:
         """Return how many records this slice has absorbed."""
         return self._records
 
+    @property
+    def kernel_name(self) -> str:
+        """Return the *active* engine: ``"dense"`` or ``"tree"``."""
+        return KERNEL_DENSE if self._kernel is not None else KERNEL_TREE
+
+    @property
+    def kernel_fallback(self) -> bool:
+        """Return whether the dense kernel was requested but the group
+        exceeded the cap, downgrading this slice to the tree walk."""
+        return (
+            self._requested_kernel == KERNEL_DENSE and self._kernel is None
+        )
+
+    @property
+    def version(self) -> int:
+        """Return the mutation counter (bumped by every insert).
+
+        Lets batch admission reuse a vectorized headroom prefetch for as
+        long as the slice is untouched, re-querying only after an
+        interleaved insert -- verdicts stay byte-identical to strictly
+        sequential processing.
+        """
+        return self._version
+
+    @property
+    def masks_touched(self) -> int:
+        """Return dense-table masks rewritten since the last
+        revalidation (0 on the tree path) -- the per-update work the
+        revalidate span attributes report."""
+        return self._touched_since_reval
+
     def localize(self, members: Iterable[int]) -> Tuple[int, ...]:
         """Translate global license indexes to this group's local indexes.
 
@@ -111,38 +181,81 @@ class GroupSlice:
         ------
         GroupingError
             If any index lies outside the group (a cross-group set, which
-            instance matching can never produce -- Corollary 1.1).
+            instance matching can never produce -- Corollary 1.1).  The
+            message lists *every* out-of-group index, not just the first
+            one the lookup tripped over.
         """
         try:
             return tuple(sorted(self._position[index] for index in members))
-        except KeyError as exc:
+        except KeyError:
+            missing = sorted(
+                {index for index in members if index not in self._position}
+            )
             raise GroupingError(
-                f"license {exc.args[0]} is not in group {self.group_id + 1} "
+                f"licenses {missing} are not in group {self.group_id + 1} "
                 f"({sorted(self._structure.groups[self.group_id])})"
             ) from None
+
+    def _local_mask(self, local: Sequence[int]) -> int:
+        """Return the local bitmask of already-localized indexes."""
+        mask = 0
+        for index in local:
+            mask |= 1 << (index - 1)
+        return mask
 
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
     def insert(self, members: Iterable[int], count: int) -> None:
         """Insert one record (global indexes); marks the slice dirty."""
-        self._tree.insert_set(self.localize(members), count)
+        local = self.localize(members)
+        if self._kernel is not None:
+            if not local:
+                raise ValidationError("cannot insert an empty license set")
+            touched = self._kernel.insert(self._local_mask(local), count)
+            self._touched_since_reval += touched
+        else:
+            assert self._tree is not None
+            self._tree.insert_set(local, count)
         self._dirty = True
         self._cached = None
         self._records += 1
+        self._version += 1
 
     def headroom(self, members: Iterable[int]) -> int:
         """Return the largest count issuable against ``members`` now.
 
-        Superset enumeration runs over this group's local universe --
-        ``O(2^(N_k - |S|))`` equations, the group-restricted query of
-        Theorem 2.
+        On the dense kernel this is a single ``H``-table lookup (O(1));
+        on the tree path the superset enumeration runs over this group's
+        local universe -- ``O(2^(N_k - |S|))`` equations, the
+        group-restricted query of Theorem 2.  Both return the same
+        value.
         """
         local = self.localize(members)
-        mask = 0
-        for index in local:
-            mask |= 1 << (index - 1)
+        mask = self._local_mask(local)
+        if self._kernel is not None:
+            return self._kernel.headroom(mask)
+        assert self._tree is not None
         return _headroom(self._tree, self._local_aggregates, mask)
+
+    def headroom_batch(
+        self, members_batch: Sequence[Iterable[int]]
+    ) -> List[int]:
+        """Return :meth:`headroom` for many sets against the *current*
+        state, positionally.
+
+        On the dense kernel the whole batch is answered by one
+        vectorized ``H`` gather; the tree path degrades to a per-set
+        loop.  Callers interleaving inserts must invalidate against
+        :attr:`version` to preserve sequential semantics.
+        """
+        if self._kernel is not None:
+            masks = [
+                self._local_mask(self.localize(members))
+                for members in members_batch
+            ]
+            return self._kernel.headroom_many(masks)
+        return [self.headroom(members) for members in members_batch]
 
     def revalidate(
         self, instrumentation: Optional["Instrumentation"] = None
@@ -155,29 +268,60 @@ class GroupSlice:
 
         ``instrumentation`` (optional
         :class:`repro.obs.instrument.Instrumentation`) gets one
-        ``revalidate`` span per actual Algorithm 2 run, attributed with
-        ``group_id``/``equations_checked``/``dirty``, plus a
-        ``revalidation_cache_hits`` counter for skipped clean passes.
+        ``revalidate`` span per actual validation run, attributed with
+        ``group_id``/``equations_checked``/``dirty``/``kernel`` (plus
+        ``masks_touched`` on the dense path -- the kernel's real
+        incremental work since the last pass, so the Eq.-3 efficiency
+        telemetry stays truthful), and a ``revalidation_cache_hits``
+        counter for skipped clean passes.
         """
         if self._dirty or self._cached is None:
             if instrumentation is None:
-                self._cached = self._validator.validate(self._tree)
+                self._cached = self._run_validation()
             else:
+                touched_before = self._touched_since_reval
                 with instrumentation.span(
-                    "revalidate", group_id=self.group_id, dirty=True
+                    "revalidate",
+                    group_id=self.group_id,
+                    dirty=True,
+                    kernel=self.kernel_name,
                 ) as span:
-                    self._cached = self._validator.validate(self._tree)
+                    self._cached = self._run_validation()
                     span.set_attr(
                         "equations_checked", self._cached.equations_checked
                     )
+                    if self._kernel is not None:
+                        span.set_attr("masks_touched", touched_before)
                 instrumentation.count(
                     "equations_checked", self._cached.equations_checked
                 )
+                if self._kernel is not None:
+                    instrumentation.count(
+                        "kernel_masks_touched", touched_before
+                    )
             self._dirty = False
+            self._touched_since_reval = 0
             return self._cached, self._cached.equations_checked
         if instrumentation is not None:
             instrumentation.count("revalidation_cache_hits")
         return self._cached, 0
+
+    def _run_validation(self) -> ValidationReport:
+        """Run the active engine's full-group check and report it.
+
+        Tree path: Algorithm 2 over every ``2^{N_k} - 1`` equation.
+        Dense path: an ``N_k``-probe feasibility check against the
+        resident ``H`` table, with the exact offending masks recovered
+        from the ``A - C`` plane only when the probe fails.  Violations
+        (masks, LHS, RHS) are identical either way; only
+        ``equations_checked`` differs, reporting each engine's real
+        work.
+        """
+        if self._kernel is not None:
+            violations, examined = self._kernel.validate()
+            return make_report(self._kernel.engine_name, examined, violations)
+        assert self._validator is not None and self._tree is not None
+        return self._validator.validate(self._tree)
 
     def globalize_violation(self, violation: Violation) -> Violation:
         """Translate a local-mask violation into global license indexes."""
@@ -202,7 +346,13 @@ class IncrementalValidator:
 
     engine_name = "incremental-grouped"
 
-    def __init__(self, boxes: Sequence[Box], aggregates: Sequence[int]):
+    def __init__(
+        self,
+        boxes: Sequence[Box],
+        aggregates: Sequence[int],
+        kernel: str = KERNEL_TREE,
+        kernel_cap: int = DEFAULT_KERNEL_CAP,
+    ):
         if len(boxes) != len(aggregates):
             raise ValidationError(
                 f"{len(boxes)} boxes but {len(aggregates)} aggregates"
@@ -214,15 +364,32 @@ class IncrementalValidator:
             OverlapGraph.from_boxes(boxes)
         )
         self._slices: List[GroupSlice] = [
-            GroupSlice(self._structure, self._aggregates, k)
+            GroupSlice(
+                self._structure,
+                self._aggregates,
+                k,
+                kernel=kernel,
+                kernel_cap=kernel_cap,
+            )
             for k in range(self._structure.count)
         ]
         self._records = 0
 
     @classmethod
-    def from_pool(cls, pool: LicensePool) -> "IncrementalValidator":
-        """Build from a license pool."""
-        return cls(pool.boxes(), pool.aggregate_array())
+    def from_pool(
+        cls,
+        pool: LicensePool,
+        kernel: str = KERNEL_TREE,
+        kernel_cap: int = DEFAULT_KERNEL_CAP,
+    ) -> "IncrementalValidator":
+        """Build from a license pool (``kernel`` selects each slice's
+        equation engine -- see :class:`GroupSlice`)."""
+        return cls(
+            pool.boxes(),
+            pool.aggregate_array(),
+            kernel=kernel,
+            kernel_cap=kernel_cap,
+        )
 
     # ------------------------------------------------------------------
     # Accessors

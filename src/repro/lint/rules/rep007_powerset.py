@@ -8,9 +8,11 @@ correctness tests never notice, throughput falls off a cliff at high N.
 Exhaustive subset enumeration is therefore confined to the modules
 whose *job* is the exponential sweep: the naive baselines
 (``validation/naive.py``), the complexity accounting
-(``validation/complexity.py``), and the shared enumeration/DP
-primitives they and the grouped engines delegate to (``bitset``,
-``zeta``, ``equations``, ``capacity``, ``flow``).
+(``validation/complexity.py``), the shared enumeration/DP primitives
+they and the grouped engines delegate to (``bitset``, ``zeta``,
+``equations``, ``capacity``, ``flow``), and the dense headroom kernel
+(``core/kernel.py``), whose resident per-mask tables and
+``check_invariants`` oracle are full-lattice by definition.
 
 Flagged shapes: ``range(...)`` whose bound contains ``1 << x`` /
 ``2 ** x`` with a non-constant ``x``, and the itertools powerset idiom
@@ -64,6 +66,7 @@ class PowersetRule(Rule):
         "repro/validation/equations.py",
         "repro/validation/capacity.py",
         "repro/validation/flow.py",
+        "repro/core/kernel.py",
     )
 
     def visit(self, node: ast.AST, ctx: FileContext) -> None:

@@ -140,7 +140,11 @@ class ValidationService:
         }
         for group_id in range(self._tables.group_count):
             slices_by_shard[group_id % self._shard_count][group_id] = GroupSlice(
-                self._tables.structure, self._tables.aggregates, group_id
+                self._tables.structure,
+                self._tables.aggregates,
+                group_id,
+                kernel=self.config.kernel,
+                kernel_cap=self.config.kernel_cap,
             )
         self._shards: List[GroupShard] = [
             GroupShard(
@@ -409,6 +413,17 @@ class ValidationService:
                 if stats.audit_violations:
                     self.metrics.counter("audit_violations_total").inc(
                         amount=stats.audit_violations
+                    )
+                # Kernel counters stay silent on pure-tree configs so the
+                # metrics surface (and its golden renders) is unchanged
+                # unless the dense kernel is actually in play.
+                if stats.kernel_fast_path_hits:
+                    self.metrics.counter("kernel_fast_path_hits").inc(
+                        amount=stats.kernel_fast_path_hits
+                    )
+                if stats.kernel_fallback:
+                    self.metrics.counter("kernel_fallback").inc(
+                        amount=stats.kernel_fallback
                     )
                 if tracer is not None and drain_span:
                     self._record_batch_spans(drain_span, stats)

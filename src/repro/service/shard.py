@@ -26,6 +26,7 @@ from typing import Deque, Dict, List, Sequence, Tuple
 
 from repro.errors import ServiceError, ServiceOverloadedError
 from repro.core.incremental import GroupSlice
+from repro.core.kernel import KERNEL_DENSE
 
 __all__ = [
     "BatchTiming",
@@ -113,6 +114,11 @@ class ShardStats:
     batches: int = 0
     equations_checked: int = 0
     audit_violations: int = 0
+    #: Admissions answered by a dense headroom kernel (O(1) table probes).
+    kernel_fast_path_hits: int = 0
+    #: Admissions that *asked* for the dense kernel but were answered by
+    #: the tree walk because the group exceeded the kernel cap.
+    kernel_fallback: int = 0
     per_group: Dict[int, int] = field(default_factory=dict)
     #: Batch/revalidation timings, collected only when the owning shard
     #: has ``collect_timings`` set (i.e. the service is tracing).
@@ -206,10 +212,41 @@ class GroupShard:
             ]
             batch_started = time.perf_counter()
             touched: Dict[int, GroupSlice] = {}
-            for request in batch:
+            # Dense-kernel batch prefetch: answer every headroom query of
+            # the batch with one vectorized H-table gather per group.  A
+            # prefetched value is only *used* while the slice's mutation
+            # counter still matches the gather -- an interleaved insert
+            # (accepted earlier request in the same group) invalidates the
+            # rest of that group's prefetch, which falls back to fresh O(1)
+            # lookups.  Verdicts are therefore byte-identical to strictly
+            # sequential processing.
+            prefetched: Dict[int, Tuple[int, Dict[int, int]]] = {}
+            by_group: Dict[int, List[int]] = {}
+            for position, request in enumerate(batch):
+                by_group.setdefault(request.group_id, []).append(position)
+            for group_id, positions in by_group.items():
+                gslice = self._slices[group_id]
+                if gslice.kernel_name != KERNEL_DENSE or len(positions) < 2:
+                    continue
+                slacks = gslice.headroom_batch(
+                    [batch[position].members for position in positions]
+                )
+                prefetched[group_id] = (
+                    gslice.version,
+                    dict(zip(positions, slacks)),
+                )
+            for position, request in enumerate(batch):
                 started = time.perf_counter()
                 gslice = self._slices[request.group_id]
-                slack = gslice.headroom(request.members)
+                cached = prefetched.get(request.group_id)
+                if cached is not None and cached[0] == gslice.version:
+                    slack = cached[1][position]
+                else:
+                    slack = gslice.headroom(request.members)
+                if gslice.kernel_name == KERNEL_DENSE:
+                    stats.kernel_fast_path_hits += 1
+                elif gslice.kernel_fallback:
+                    stats.kernel_fallback += 1
                 accepted = slack >= request.count
                 if accepted:
                     gslice.insert(request.members, request.count)

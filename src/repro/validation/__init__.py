@@ -32,6 +32,11 @@ from repro.validation.equations import (
     equation_for_set,
 )
 from repro.validation.flow import FlowFeasibilityOracle
+from repro.validation.limits import (
+    DEFAULT_KERNEL_CAP,
+    DENSE_TABLE_MAX_N,
+    dense_table_bytes,
+)
 from repro.validation.naive import ExpansionValidator, ScanValidator
 from repro.validation.report import ValidationReport, Violation
 from repro.validation.tree import TreeNode, ValidationTree
@@ -47,6 +52,8 @@ from repro.validation.tree_validator import TreeValidator
 from repro.validation.zeta import ZetaValidator, subset_sums_dense
 
 __all__ = [
+    "DEFAULT_KERNEL_CAP",
+    "DENSE_TABLE_MAX_N",
     "ExpansionValidator",
     "FlowFeasibilityOracle",
     "ScanValidator",
@@ -76,6 +83,7 @@ __all__ = [
     "iter_supersets",
     "mask_from_indexes",
     "popcount",
+    "dense_table_bytes",
     "revocation_plan",
     "select_revocations",
     "subset_sums_dense",

@@ -1,0 +1,54 @@
+"""Shared memory caps for the dense ``2^N``-table engines.
+
+Two engines materialize per-mask int64 arrays over a local universe of
+``N`` licenses: the bulk :class:`repro.validation.zeta.ZetaValidator`
+(one subset-sum table per validation) and the incremental
+:class:`repro.core.kernel.DenseHeadroomKernel` (three resident tables
+per group).  Both are exponential in memory -- ``8 * 2^N`` bytes per
+table -- so each carries a refusal threshold.  Before this module the
+two caps were independent literals that could silently drift apart;
+they now share one home, and the serving layer surfaces the kernel cap
+through :class:`repro.service.config.ServiceConfig` so a deployment can
+tune it without touching engine code.
+
+Constants
+---------
+``DENSE_TABLE_MAX_N``
+    The absolute refusal threshold for *any* dense per-mask table
+    (default 26: one table is ``8 * 2^26`` = 512 MiB).  ``ZetaValidator``
+    uses it as its default ``max_n``; nothing may raise a cap above it.
+``DEFAULT_KERNEL_CAP``
+    The default per-group opt-in threshold for the resident
+    :class:`~repro.core.kernel.DenseHeadroomKernel` (default 20: about
+    8 MiB per table, ~24 MiB per group for the three resident tables).
+    Groups larger than the cap fall back to the validation-tree walk.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DENSE_TABLE_MAX_N",
+    "DEFAULT_KERNEL_CAP",
+    "dense_table_bytes",
+]
+
+#: Absolute refusal threshold for any dense per-mask int64 table
+#: (``8 * 2^26`` bytes = 512 MiB per table).
+DENSE_TABLE_MAX_N = 26
+
+#: Default per-group universe cap for the resident dense headroom
+#: kernel (``8 * 2^20`` bytes = 8 MiB per table; the kernel keeps
+#: three).  Must never exceed :data:`DENSE_TABLE_MAX_N`.
+DEFAULT_KERNEL_CAP = 20
+
+
+def dense_table_bytes(n: int, tables: int = 1) -> int:
+    """Return the resident size of ``tables`` dense int64 tables over an
+    ``n``-license universe (``tables * 8 * 2^n`` bytes).
+
+    >>> dense_table_bytes(20)
+    8388608
+    >>> dense_table_bytes(20, tables=3)
+    25165824
+    """
+    return tables * (8 << n)

@@ -14,7 +14,10 @@ per-equation tree traversal takes seconds.  It serves as a strong modern
 baseline in the engine ablation and as a bulk correctness oracle.
 
 Memory is the limit: the DP table has ``2^N`` int64 entries (8·2^N bytes),
-so the engine refuses N beyond a configurable cap (default 26 ≈ 512 MiB).
+so the engine refuses N beyond a configurable cap (default
+:data:`repro.validation.limits.DENSE_TABLE_MAX_N` = 26 ≈ 512 MiB -- the
+shared ceiling for every dense per-mask table, including the serving
+kernel's; see :mod:`repro.validation.limits`).
 """
 
 from __future__ import annotations
@@ -25,12 +28,15 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.logstore.log import ValidationLog
+from repro.validation.limits import DENSE_TABLE_MAX_N
 from repro.validation.report import ValidationReport, Violation, make_report
 
 __all__ = ["ZetaValidator", "subset_sums_dense"]
 
-#: Default refusal threshold for the dense DP table.
-DEFAULT_MAX_N = 26
+#: Default refusal threshold for the dense DP table.  An alias of the
+#: shared :data:`repro.validation.limits.DENSE_TABLE_MAX_N` so this cap
+#: and the incremental kernel's cannot drift apart.
+DEFAULT_MAX_N = DENSE_TABLE_MAX_N
 
 
 def subset_sums_dense(values: Dict[int, int], n: int) -> np.ndarray:

@@ -82,6 +82,16 @@ class TestErrors:
         with pytest.raises(GroupingError):
             incremental.record({1, 3}, 5)
 
+    def test_localize_reports_every_foreign_index(self, incremental):
+        """The error names ALL out-of-group indexes, not just the first
+        one the lookup tripped over (message pinned)."""
+        gslice = incremental.slices()[0]  # group 1 = {1, 2, 4}
+        with pytest.raises(GroupingError) as excinfo:
+            gslice.localize([5, 1, 3, 2])
+        assert str(excinfo.value) == (
+            "licenses [3, 5] are not in group 1 ([1, 2, 4])"
+        )
+
     def test_empty_set_rejected(self, incremental):
         with pytest.raises(ValidationError):
             incremental.record(set(), 5)
@@ -92,6 +102,81 @@ class TestErrors:
             IncrementalValidator(pool.boxes(), [1, 2])
         with pytest.raises(ValidationError):
             IncrementalValidator([], [])
+
+
+class TestKernelSeam:
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValidationError):
+            IncrementalValidator.from_pool(example1().pool, kernel="gpu")
+
+    def test_dense_slices_report_engine(self):
+        validator = IncrementalValidator.from_pool(
+            example1().pool, kernel="dense"
+        )
+        assert all(
+            gslice.kernel_name == "dense" and not gslice.kernel_fallback
+            for gslice in validator.slices()
+        )
+
+    def test_cap_zero_falls_back_to_tree(self):
+        validator = IncrementalValidator.from_pool(
+            example1().pool, kernel="dense", kernel_cap=0
+        )
+        assert all(
+            gslice.kernel_name == "tree" and gslice.kernel_fallback
+            for gslice in validator.slices()
+        )
+        # The downgraded validator still validates normally.
+        validator.replay(example1_log())
+        assert validator.validate().is_valid
+
+    def test_version_counter_tracks_inserts(self):
+        validator = IncrementalValidator.from_pool(
+            example1().pool, kernel="dense"
+        )
+        gslice = validator.slices()[0]
+        assert gslice.version == 0
+        gslice.insert([1, 2], 3)
+        gslice.insert([4], 1)
+        assert gslice.version == 2
+
+    def test_dense_revalidate_spans_report_kernel_work(self):
+        from repro.obs.instrument import TracingInstrumentation
+        from repro.obs.trace import Tracer
+
+        validator = IncrementalValidator.from_pool(
+            example1().pool, kernel="dense"
+        )
+        validator.record({1, 2}, 5)
+        tracer = Tracer()
+        instrumentation = TracingInstrumentation(tracer)
+        validator.validate(instrumentation)
+        spans = [r for r in tracer.records() if r.name == "revalidate"]
+        assert len(spans) == 2  # both groups ran their first validation
+        touched = spans[0] if spans[0].attrs["group_id"] == 0 else spans[1]
+        assert touched.attrs["kernel"] == "dense"
+        # {1, 2} in group {1, 2, 4}: cone 2^(3-2) = 2 masks rewritten.
+        assert touched.attrs["masks_touched"] == 2
+        assert instrumentation.counters()["kernel_masks_touched"] == 2
+        # A clean second pass is a cache hit and resets nothing new.
+        validator.validate(instrumentation)
+        assert instrumentation.counters()["revalidation_cache_hits"] == 2
+
+    def test_dense_matches_tree_on_workloads(self):
+        workload = WorkloadGenerator(
+            WorkloadConfig(
+                n_licenses=12, seed=5, n_records=150,
+                aggregate_range=(200, 900),
+            )
+        ).generate()
+        dense = IncrementalValidator.from_pool(workload.pool, kernel="dense")
+        tree = IncrementalValidator.from_pool(workload.pool, kernel="tree")
+        dense.replay(workload.log)
+        tree.replay(workload.log)
+        dense_report = dense.validate()
+        tree_report = tree.validate()
+        assert dense_report.is_valid == tree_report.is_valid
+        assert set(dense_report.violations) == set(tree_report.violations)
 
 
 class TestAgainstBatchOnWorkloads:

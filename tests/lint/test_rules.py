@@ -55,6 +55,40 @@ def test_clean_fixture_stays_clean(rule_id):
     assert suppressed == 0
 
 
+def test_rep007_kernel_allowlist_is_surgical(tmp_path):
+    """Under the COMMITTED config, the dense kernel's module path is
+    exempt from REP007 -- but the identical 2^N loop at any other path
+    still fires.  Guards against the allowlist entry silently widening."""
+    from pathlib import Path
+
+    from repro.lint.config import find_pyproject
+    from repro.lint.engine import lint_file
+    from repro.lint.registry import get_rule
+
+    config = LintConfig.from_pyproject(
+        find_pyproject(Path(__file__).resolve())
+    )
+    source = (
+        "def sweep(n):\n"
+        "    return sum(range(1, 1 << n))\n"
+    )
+    allowed = tmp_path / "repro" / "core" / "kernel.py"
+    flagged = tmp_path / "repro" / "service" / "hotpath.py"
+    for target in (allowed, flagged):
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+
+    kernel_findings, _ = lint_file(
+        allowed, config, rules=[get_rule("REP007")]
+    )
+    assert kernel_findings == []
+
+    other_findings, _ = lint_file(
+        flagged, config, rules=[get_rule("REP007")]
+    )
+    assert [finding.rule_id for finding in other_findings] == ["REP007"]
+
+
 def test_default_scope_skips_out_of_scope_files():
     # With rule defaults (no config override), the hot-path-scoped REP002
     # does not apply to a fixture outside the repro package at all.

@@ -241,3 +241,51 @@ class TestCommittedBaseline:
         findings = bench_gate.compare(baseline, baseline, tolerances)
         assert findings
         assert not any(f.verdict == FAIL for f in findings)
+
+    def test_committed_kernel_baseline_gates_itself(self):
+        baselines = os.path.join(self.REPO, "benchmarks", "baselines")
+        baseline = bench_gate.load_json(
+            os.path.join(baselines, "BENCH_kernel.smoke.json")
+        )
+        tolerances = bench_gate.load_json(
+            os.path.join(baselines, "tolerances.json")
+        )
+        findings = bench_gate.compare(baseline, baseline, tolerances)
+        assert not any(f.verdict == FAIL for f in findings)
+
+    def test_kernel_speedup_floor_is_gated(self):
+        """A dense kernel that degrades to ~1x admission latency must
+        trip the committed min-mode floor, not pass informationally."""
+        baselines = os.path.join(self.REPO, "benchmarks", "baselines")
+        baseline = bench_gate.load_json(
+            os.path.join(baselines, "BENCH_kernel.smoke.json")
+        )
+        tolerances = bench_gate.load_json(
+            os.path.join(baselines, "tolerances.json")
+        )
+        import copy
+
+        degraded = copy.deepcopy(baseline)
+        degraded["kernel_admission"]["sizes"]["14"]["speedup_p99"] = 1.2
+        findings = bench_gate.compare(baseline, degraded, tolerances)
+        failed = [f for f in findings if f.verdict == FAIL]
+        assert [f.path for f in failed] == [
+            "kernel_admission.sizes.14.speedup_p99"
+        ]
+
+    def test_kernel_verdict_parity_is_gated_exactly(self):
+        """Flipping a crossover 'identical' flag is a hard failure."""
+        baselines = os.path.join(self.REPO, "benchmarks", "baselines")
+        baseline = bench_gate.load_json(
+            os.path.join(baselines, "BENCH_kernel.smoke.json")
+        )
+        tolerances = bench_gate.load_json(
+            os.path.join(baselines, "tolerances.json")
+        )
+        import copy
+
+        diverged = copy.deepcopy(baseline)
+        diverged["kernel_crossover"]["sizes"]["12"]["identical"] = False
+        findings = bench_gate.compare(baseline, diverged, tolerances)
+        failed = {f.path for f in findings if f.verdict == FAIL}
+        assert failed == {"kernel_crossover.sizes.12.identical"}

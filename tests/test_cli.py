@@ -281,6 +281,49 @@ class TestServeBenchObservability:
         assert sum(k in ("admission", "rejection") for k in kinds) == 80
 
 
+class TestServeBenchKernel:
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-bench", "--kernel", "gpu"])
+
+    def test_dense_run_reports_fast_path_metric(self, capsys):
+        code = main(
+            ["serve-bench", "-n", "12", "--stream", "60", "--seed", "5",
+             "--kernel", "dense"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "kernel_fast_path_hits" in output
+        assert "kernel_fallback" not in output
+
+    def test_dense_and_tree_verdicts_agree(self, capsys):
+        tallies = []
+        for kernel in ("tree", "dense"):
+            assert main(
+                ["serve-bench", "-n", "12", "--stream", "90", "--seed", "7",
+                 "--kernel", kernel]
+            ) == 0
+            output = capsys.readouterr().out
+            tallies.append(
+                next(
+                    line.split("(")[1]
+                    for line in output.splitlines()
+                    if "accepted," in line
+                )
+            )
+        assert tallies[0] == tallies[1]
+
+    def test_kernel_cap_zero_forces_fallback(self, capsys):
+        code = main(
+            ["serve-bench", "-n", "12", "--stream", "40", "--seed", "5",
+             "--kernel", "dense", "--kernel-cap", "0"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "kernel_fallback" in output
+        assert "kernel_fast_path_hits" not in output
+
+
 class TestObsReportCommand:
     def test_requires_an_input(self, capsys):
         assert main(["obs-report"]) == 2
