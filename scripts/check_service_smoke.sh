@@ -11,7 +11,7 @@ export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
 export REPRO_BENCH_SMOKE=1
 
 echo "== service unit + integration + determinism tests =="
-python -m pytest tests/service tests/obs tests/matching/test_boundary_consistency.py -q
+python -m pytest tests/service tests/net tests/obs tests/matching/test_boundary_consistency.py -q
 
 echo "== serve-bench CLI =="
 python -m repro serve-bench -n 12 --stream 300 --shards 2 --batch 16
@@ -34,9 +34,47 @@ python -m repro obs-report --trace "$OBS_DIR/trace.jsonl" \
     --events "$OBS_DIR/events.jsonl" --top 5 --max-traces 1 \
     | grep "slowest spans" > /dev/null
 
+echo "== wire smoke: serve on an ephemeral port, loadgen against it, drain =="
+WIRE_DIR="$(mktemp -d)"
+python -m repro serve -n 12 --seed 3 --clusters 4 --port 0 \
+    --port-file "$WIRE_DIR/port" > "$WIRE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$WIRE_DIR/port" ] && break
+    sleep 0.1
+done
+test -s "$WIRE_DIR/port" || { echo "serve never published its port"; cat "$WIRE_DIR/serve.log"; exit 1; }
+WIRE_PORT="$(cat "$WIRE_DIR/port")"
+python -m repro loadgen --port "$WIRE_PORT" -n 12 --seed 3 --clusters 4 \
+    --stream 200 --mode closed --concurrency 4 --warmup 20 \
+    --json-out "$WIRE_DIR/load.json"
+python -m repro loadgen --port "$WIRE_PORT" -n 12 --seed 3 --clusters 4 \
+    --stream 100 --mode open --rate 2000
+# Graceful drain: SIGTERM must exit 0 with nothing left in flight...
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q "drained:" "$WIRE_DIR/serve.log"
+grep -q " 0 in flight" "$WIRE_DIR/serve.log"
+# ...and leave no stray listener behind on the port.
+if python - "$WIRE_PORT" <<'PY'
+import socket, sys
+probe = socket.socket()
+probe.settimeout(1.0)
+code = probe.connect_ex(("127.0.0.1", int(sys.argv[1])))
+probe.close()
+sys.exit(0 if code == 0 else 1)
+PY
+then
+    echo "stray listener still alive on port $WIRE_PORT after drain"
+    exit 1
+fi
+test -s "$WIRE_DIR/load.json"
+rm -rf "$WIRE_DIR"
+
 echo "== throughput + observability-overhead benchmarks (smoke sizes) =="
 python -m pytest benchmarks/bench_service_throughput.py \
-    benchmarks/bench_obs_overhead.py -q -p no:cacheprovider
+    benchmarks/bench_obs_overhead.py benchmarks/bench_wire.py \
+    -q -p no:cacheprovider
 test -s BENCH_service.json
 
 echo "service smoke checks passed"

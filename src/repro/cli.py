@@ -18,6 +18,17 @@ Commands
     percentiles, rejection breakdown).  ``--trace``/``--events-out``/
     ``--metrics-out`` export span JSONL, the structured event journal,
     and Prometheus text for offline analysis.
+``serve``
+    Run the wire-level admission server (:mod:`repro.net`): a framed
+    TCP front end over the validation service with bounded in-flight
+    backpressure and graceful drain on SIGTERM/SIGINT.  ``--port 0``
+    binds an ephemeral port; ``--port-file`` publishes it for scripts.
+``loadgen``
+    Drive an async open-loop or closed-loop usage stream at a running
+    ``serve`` instance and print accepted/rejected counts, throughput,
+    and nearest-rank latency percentiles.  The workload knobs
+    (``-n``/``--seed``/``--clusters``/``--stream``/``--skew``) must
+    match the server's so the regenerated stream matches its pool.
 ``obs-report``
     Summarize a trace (span trees, slowest spans, per-name totals)
     and/or a structured event log produced by ``serve-bench``.
@@ -183,6 +194,76 @@ def build_parser() -> argparse.ArgumentParser:
         "--health-out", default=None, metavar="PATH",
         help="attach a monitor and write its final snapshot "
              "(health/SLOs/alerts) as JSON",
+    )
+
+    wire = commands.add_parser(
+        "serve", help="run the wire-level admission server"
+    )
+    wire.add_argument("-n", "--licenses", type=int, default=24)
+    wire.add_argument("--seed", type=int, default=0)
+    wire.add_argument("--clusters", type=int, default=8)
+    wire.add_argument("--shards", type=int, default=4)
+    wire.add_argument("--batch", type=int, default=32)
+    wire.add_argument(
+        "--executor", choices=["serial", "thread", "process"], default="serial"
+    )
+    wire.add_argument("--queue-capacity", type=int, default=256)
+    wire.add_argument("--kernel", choices=["tree", "dense"], default="tree")
+    wire.add_argument("--kernel-cap", type=int, default=None, metavar="N")
+    wire.add_argument("--host", default="127.0.0.1")
+    wire.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to bind (default 0 = ephemeral)",
+    )
+    wire.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port number here once listening "
+             "(ephemeral-port discovery for scripts)",
+    )
+    wire.add_argument(
+        "--max-inflight", type=int, default=256,
+        help="bounded in-flight admission window; excess requests get "
+             "wire-level OVERLOADED responses (default 256)",
+    )
+    wire.add_argument(
+        "--events-out", default=None, metavar="PATH",
+        help="write the structured event journal (conn_open/conn_close/"
+             "drain plus admission events) as JSONL",
+    )
+    wire.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the final metrics registry in Prometheus text format",
+    )
+
+    loadgen = commands.add_parser(
+        "loadgen", help="drive async load at a running serve instance"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument("-n", "--licenses", type=int, default=24)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--clusters", type=int, default=8)
+    loadgen.add_argument("--stream", type=int, default=1000)
+    loadgen.add_argument("--skew", type=float, default=0.0)
+    loadgen.add_argument(
+        "--mode", choices=["closed", "open"], default="closed",
+        help="closed = fixed concurrency, back-to-back; "
+             "open = fixed arrival rate (default closed)",
+    )
+    loadgen.add_argument("--concurrency", type=int, default=4)
+    loadgen.add_argument(
+        "--rate", type=float, default=500.0,
+        help="open-loop arrival rate in requests/second (default 500)",
+    )
+    loadgen.add_argument(
+        "--warmup", type=int, default=0,
+        help="leading responses excluded from the measured window",
+    )
+    loadgen.add_argument("--timeout", type=float, default=10.0)
+    loadgen.add_argument("--retries", type=int, default=4)
+    loadgen.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="also write the report summary as JSON",
     )
 
     obs_report = commands.add_parser(
@@ -546,6 +627,123 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _wire_workload(args: argparse.Namespace) -> "Tuple[WorkloadGenerator, LicensePool]":
+    """Regenerate the shared serve/loadgen workload deterministically.
+
+    Both commands build the same :class:`WorkloadConfig` from the same
+    knobs, so a ``loadgen`` run pointed at a ``serve`` run with matching
+    ``-n``/``--seed``/``--clusters`` issues exactly the stream the
+    server's pool was generated for.
+    """
+    config = WorkloadConfig(
+        n_licenses=args.licenses,
+        seed=args.seed,
+        n_records=0,
+        target_groups=min(args.clusters, args.licenses),
+        aggregate_range=(300, 900),
+    )
+    generator = WorkloadGenerator(config)
+    return generator, generator.generate_pool()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.net.server import AdmissionServer, WireServerConfig
+    from repro.service import ServiceConfig, ValidationService
+
+    _generator, pool = _wire_workload(args)
+    events = None
+    if args.events_out:
+        from repro.obs.events import EventLog
+
+        events = EventLog(args.events_out)
+    kernel_kwargs = {"kernel": args.kernel}
+    if args.kernel_cap is not None:
+        kernel_kwargs["kernel_cap"] = args.kernel_cap
+    service = ValidationService(
+        pool,
+        ServiceConfig(
+            shards=args.shards,
+            batch_size=args.batch,
+            queue_capacity=args.queue_capacity,
+            executor=args.executor,
+            **kernel_kwargs,
+        ),
+        events=events,
+    )
+    server = AdmissionServer(
+        service,
+        WireServerConfig(
+            host=args.host, port=args.port, max_inflight=args.max_inflight
+        ),
+    )
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{port}\n")
+        print(
+            f"serving {len(pool)} license(s) on {host}:{port} "
+            f"(max in-flight {args.max_inflight}); "
+            "SIGTERM/SIGINT drains and exits",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        await server.shutdown()
+
+    asyncio.run(_serve())
+    print(
+        f"drained: {server.requests_served} request(s) served, "
+        f"{server.in_flight} in flight",
+        flush=True,
+    )
+    service.close()
+    if events is not None:
+        events.close()
+        print(f"wrote {events.emitted} event(s) to {args.events_out}")
+    if args.metrics_out:
+        from repro.obs.export import render_prometheus
+
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(render_prometheus(service.metrics))
+        print(f"wrote Prometheus metrics to {args.metrics_out}")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.net.loadgen import LoadGenerator, LoadgenConfig
+
+    generator, pool = _wire_workload(args)
+    stream = list(generator.issue_stream(pool, args.stream, skew=args.skew))
+    load = LoadGenerator(
+        LoadgenConfig(
+            mode=args.mode,
+            concurrency=args.concurrency,
+            rate=args.rate,
+            warmup=args.warmup,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+    )
+    report = load.run_sync(args.host, args.port, stream)
+    print(report.render())
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote report to {args.json_out}")
+    return 0
+
+
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     from repro.obs.events import EventLog
     from repro.obs.export import (
@@ -717,6 +915,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "profile": _cmd_profile,
         "simulate": _cmd_simulate,
         "serve-bench": _cmd_serve_bench,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
         "obs-report": _cmd_obs_report,
         "monitor-report": _cmd_monitor_report,
         "conformance": _cmd_conformance,

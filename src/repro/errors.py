@@ -81,6 +81,52 @@ class ServiceError(ReproError):
     closed service, unknown executor backends."""
 
 
+class ProtocolError(ReproError):
+    """Raised by :mod:`repro.net.protocol` for malformed wire traffic:
+    bad magic bytes, truncated or oversized frames, unsupported protocol
+    versions, undecodable payloads.  A peer speaking the protocol
+    correctly never triggers this -- it marks byte-level corruption or a
+    version mismatch, both of which poison the framing and require the
+    connection to be torn down."""
+
+
+class TransportError(ReproError):
+    """Raised by :mod:`repro.net.client` for transport-level failures:
+    the connection dropped mid-request, the server closed during drain,
+    or a request could not be completed after the configured retries."""
+
+
+class RequestTimeoutError(TransportError):
+    """Raised when a wire request exceeded its client-side deadline.
+
+    Carries the request id and the timeout so callers (and the load
+    generator's accounting) can distinguish a slow server from a dead
+    one."""
+
+    def __init__(self, request_id: int, timeout: float):
+        super().__init__(
+            f"request {request_id} timed out after {timeout:.3f}s"
+        )
+        self.request_id = request_id
+        self.timeout = timeout
+
+
+class WireOverloadedError(TransportError):
+    """Raised when the server answered ``OVERLOADED`` on every attempt.
+
+    The wire-level face of :class:`ServiceOverloadedError`: the server
+    kept the connection alive but refused admission because its in-flight
+    window (or a shard queue) was full, and the client's bounded
+    retry-with-jitter budget ran out."""
+
+    def __init__(self, request_id: int, attempts: int):
+        super().__init__(
+            f"request {request_id} still overloaded after {attempts} attempt(s)"
+        )
+        self.request_id = request_id
+        self.attempts = attempts
+
+
 class ServiceOverloadedError(ServiceError):
     """Raised when a shard's bounded admission queue is full.
 

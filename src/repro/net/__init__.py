@@ -1,0 +1,49 @@
+"""Wire-level serving: a framed admission protocol over asyncio TCP.
+
+Everything below :mod:`repro.service` is in-process; this package puts a
+real request/response surface in front of it -- the paper's distributor
+node as an *online admission server* (Section 2 topology) rather than a
+Python iterable:
+
+* :mod:`repro.net.protocol` -- the framed, versioned binary protocol.
+  Pure encode/decode functions plus an incremental :class:`FrameDecoder`;
+  no sockets, fully unit-testable.
+* :mod:`repro.net.server` -- :class:`AdmissionServer`, an asyncio TCP
+  front end wrapping a :class:`repro.service.ValidationService` with a
+  bounded in-flight window, wire-level ``OVERLOADED`` backpressure
+  (never a dropped connection), and graceful drain.
+* :mod:`repro.net.client` -- :class:`AdmissionClient`, an asyncio client
+  with deadlines, bounded retry-with-jitter on ``OVERLOADED``, and
+  request pipelining.
+* :mod:`repro.net.loadgen` -- :class:`LoadGenerator`, an open-loop /
+  closed-loop async load harness with nearest-rank latency histograms on
+  an injectable clock.
+
+The wire layer is a pure transport: for the same request stream the
+verdicts are byte-identical to in-process admission (the parity tests
+pin this down), so every guarantee of the engine seam -- determinism
+across shard counts, executors, and kernels -- survives the socket.
+"""
+
+from repro.net.client import AdmissionClient
+from repro.net.loadgen import LoadGenerator, LoadgenConfig, LoadReport
+from repro.net.protocol import (
+    Frame,
+    FrameDecoder,
+    PROTOCOL_VERSION,
+    encode_frame,
+)
+from repro.net.server import AdmissionServer, WireServerConfig
+
+__all__ = [
+    "AdmissionClient",
+    "AdmissionServer",
+    "Frame",
+    "FrameDecoder",
+    "LoadGenerator",
+    "LoadReport",
+    "LoadgenConfig",
+    "PROTOCOL_VERSION",
+    "WireServerConfig",
+    "encode_frame",
+]

@@ -1,0 +1,374 @@
+"""Asyncio admission client: deadlines, bounded retry, pipelining.
+
+:class:`AdmissionClient` speaks the :mod:`repro.net.protocol` framing to
+an :class:`~repro.net.server.AdmissionServer`:
+
+* **Handshake.**  :meth:`connect` sends HELLO with every locally
+  supported protocol version and records the negotiated one.
+* **Deadlines.**  Every request carries a client-side timeout; a server
+  that never answers raises :class:`repro.errors.RequestTimeoutError`.
+* **Bounded retry with jitter.**  A wire ``OVERLOADED`` error is
+  backpressure, not failure: the client sleeps
+  ``min(cap, base * 2^attempt) * (0.5 + u)`` with ``u`` drawn from a
+  *seeded* ``random.Random`` (the repository's REP001 determinism
+  discipline -- no ambient entropy) and retries up to ``retries`` times
+  before raising :class:`repro.errors.WireOverloadedError`.  The sleep
+  function is injectable so tests run the whole ladder in microseconds.
+* **Pipelining.**  :meth:`request_many` keeps up to ``window`` requests
+  in flight on one connection; responses are matched back by request id,
+  so the server can batch one read chunk's worth of requests through a
+  single service drain.
+
+The client is a pure transport too: it never reorders the stream it is
+given, so per-group submission order -- the thing verdicts depend on --
+is exactly the caller's order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Awaitable, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import (
+    ProtocolError,
+    RequestTimeoutError,
+    TransportError,
+    WireOverloadedError,
+)
+from repro.net import protocol
+from repro.net.protocol import Frame, FrameDecoder
+from repro.online.session import IssuanceOutcome
+
+__all__ = ["AdmissionClient", "RequestStats"]
+
+#: Injectable sleeper type (tests swap in a no-op recorder).
+SleepFn = Callable[[float], Awaitable[None]]
+
+
+class RequestStats:
+    """Mutable counters of one client's traffic (attempts, retries)."""
+
+    __slots__ = ("requests", "responses", "retries", "overloaded", "timeouts")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.responses = 0
+        self.retries = 0
+        self.overloaded = 0
+        self.timeouts = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the counters as a plain dict."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class AdmissionClient:
+    """One connection to an admission server (see module docstring).
+
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    timeout:
+        Per-attempt deadline in seconds.
+    retries:
+        Extra attempts after the first when the server answers
+        ``OVERLOADED`` (so ``retries=4`` makes at most 5 attempts).
+    backoff_base, backoff_cap:
+        Exponential backoff parameters (seconds).
+    jitter_seed:
+        Seed of the backoff jitter's ``random.Random``.
+    sleep:
+        Awaitable sleeper used between retries (default
+        ``asyncio.sleep``; tests inject a recorder).
+    client_name:
+        Advertised in HELLO, echoed in server logs.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 5.0,
+        retries: int = 4,
+        backoff_base: float = 0.02,
+        backoff_cap: float = 0.5,
+        jitter_seed: int = 0,
+        sleep: Optional[SleepFn] = None,
+        client_name: str = "repro-client",
+    ):
+        if timeout <= 0:
+            raise TransportError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise TransportError(f"retries must be >= 0, got {retries}")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.client_name = client_name
+        self.stats = RequestStats()
+        self._sleep: SleepFn = sleep if sleep is not None else asyncio.sleep
+        self._jitter = random.Random(jitter_seed)
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._waiters: Dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._negotiated: Optional[int] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def connect(self) -> Dict[str, object]:
+        """Open the connection and negotiate; return the HELLO_OK payload."""
+        if self._writer is not None:
+            raise TransportError("client is already connected")
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        request_id = self._allocate_id()
+        future = self._register(request_id)
+        await self._send(
+            protocol.encode_frame(
+                protocol.MSG_HELLO,
+                request_id,
+                protocol.hello_payload(client=self.client_name),
+            )
+        )
+        frame = await self._await_frame(future, request_id)
+        if frame.msg_type == protocol.MSG_ERROR:
+            raise ProtocolError(
+                f"handshake refused: {frame.payload.get('detail')}"
+            )
+        if frame.msg_type != protocol.MSG_HELLO_OK:
+            raise ProtocolError(
+                f"expected HELLO_OK, got message type {frame.msg_type:#x}"
+            )
+        version = frame.payload.get("version")
+        if not isinstance(version, int) or version not in protocol.SUPPORTED_VERSIONS:
+            raise ProtocolError(f"server negotiated unusable version {version!r}")
+        self._negotiated = version
+        return dict(frame.payload)
+
+    @property
+    def negotiated_version(self) -> Optional[int]:
+        """Return the negotiated protocol version (None before connect)."""
+        return self._negotiated
+
+    async def close(self) -> None:
+        """Close the connection; outstanding requests fail fast."""
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+        self._fail_waiters(TransportError("client closed"))
+
+    async def __aenter__(self) -> "AdmissionClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    async def ping(self) -> None:
+        """Round-trip a PING frame (liveness probe)."""
+        request_id = self._allocate_id()
+        future = self._register(request_id)
+        await self._send(protocol.encode_frame(protocol.MSG_PING, request_id))
+        frame = await self._await_frame(future, request_id)
+        if frame.msg_type != protocol.MSG_PONG:
+            raise ProtocolError(
+                f"expected PONG, got message type {frame.msg_type:#x}"
+            )
+
+    async def request(self, usage) -> IssuanceOutcome:
+        """Submit one usage license; return the server's verdict.
+
+        Retries (with jittered exponential backoff) when the server
+        answers ``OVERLOADED``; raises
+        :class:`repro.errors.WireOverloadedError` once the retry budget
+        is spent and :class:`repro.errors.RequestTimeoutError` when an
+        attempt's deadline passes with no response at all.
+        """
+        payload = protocol.usage_to_payload(usage)
+        attempts = self.retries + 1
+        last_id = 0
+        for attempt in range(attempts):
+            request_id = self._allocate_id()
+            last_id = request_id
+            future = self._register(request_id)
+            self.stats.requests += 1
+            await self._send(
+                protocol.encode_frame(protocol.MSG_REQUEST, request_id, payload)
+            )
+            frame = await self._await_frame(future, request_id)
+            outcome = self._interpret(frame)
+            if outcome is not None:
+                self.stats.responses += 1
+                return outcome
+            # OVERLOADED: back off and retry on the same connection.
+            self.stats.overloaded += 1
+            if attempt + 1 < attempts:
+                self.stats.retries += 1
+                await self._sleep(self._backoff_delay(attempt))
+        raise WireOverloadedError(last_id, attempts)
+
+    async def request_many(
+        self, usages: Sequence[object], *, window: int = 64
+    ) -> List[IssuanceOutcome]:
+        """Pipeline a stream; return verdicts in stream order.
+
+        Keeps up to ``window`` requests outstanding.  Requests that come
+        back ``OVERLOADED`` are retried (with the same backoff budget as
+        :meth:`request`) *after* the main sweep, so one saturated window
+        does not head-of-line-block the rest of the stream.
+        """
+        if window < 1:
+            raise TransportError(f"window must be >= 1, got {window}")
+        results: List[Optional[IssuanceOutcome]] = [None] * len(usages)
+        retry_queue: List[int] = []
+        in_flight: Dict[int, int] = {}  # request id -> stream index
+        futures: Dict[int, asyncio.Future] = {}
+
+        async def _collect_one() -> None:
+            done, _ = await asyncio.wait(
+                set(futures.values()),
+                return_when=asyncio.FIRST_COMPLETED,
+                timeout=self.timeout,
+            )
+            if not done:
+                raise RequestTimeoutError(next(iter(in_flight)), self.timeout)
+            for future in done:
+                frame = future.result()
+                index = in_flight.pop(frame.request_id)
+                futures.pop(frame.request_id, None)
+                outcome = self._interpret(frame)
+                if outcome is None:
+                    self.stats.overloaded += 1
+                    retry_queue.append(index)
+                else:
+                    self.stats.responses += 1
+                    results[index] = outcome
+
+        for index in range(len(usages)):
+            while len(in_flight) >= window:
+                await _collect_one()
+            request_id = self._allocate_id()
+            futures[request_id] = self._register(request_id)
+            in_flight[request_id] = index
+            self.stats.requests += 1
+            await self._send(
+                protocol.encode_frame(
+                    protocol.MSG_REQUEST,
+                    request_id,
+                    protocol.usage_to_payload(usages[index]),
+                )
+            )
+        while in_flight:
+            await _collect_one()
+        for index in retry_queue:
+            results[index] = await self.request(usages[index])
+        missing = sum(1 for outcome in results if outcome is None)
+        if missing:
+            raise TransportError(
+                f"{missing} request(s) completed with no verdict"
+            )
+        return [outcome for outcome in results if outcome is not None]
+
+    def _backoff_delay(self, attempt: int) -> float:
+        base = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        return base * (0.5 + self._jitter.random())
+
+    def _interpret(self, frame: Frame) -> Optional[IssuanceOutcome]:
+        """Map a response frame to a verdict; ``None`` means retryable."""
+        if frame.msg_type == protocol.MSG_RESPONSE:
+            return protocol.outcome_from_payload(frame.payload)
+        if frame.msg_type == protocol.MSG_ERROR:
+            code = frame.payload.get("code")
+            if code == protocol.ERR_OVERLOADED:
+                return None
+            raise TransportError(
+                f"server error {frame.payload.get('error')!r}: "
+                f"{frame.payload.get('detail')}"
+            )
+        raise ProtocolError(
+            f"unexpected message type {frame.msg_type:#x} in response"
+        )
+
+    def _allocate_id(self) -> int:
+        self._next_id = (self._next_id + 1) % 0xFFFFFFFF
+        return self._next_id
+
+    def _register(self, request_id: int) -> asyncio.Future:
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._waiters[request_id] = future
+        return future
+
+    async def _await_frame(
+        self, future: asyncio.Future, request_id: int
+    ) -> Frame:
+        try:
+            return await asyncio.wait_for(future, self.timeout)
+        except asyncio.TimeoutError:
+            self._waiters.pop(request_id, None)
+            self.stats.timeouts += 1
+            raise RequestTimeoutError(request_id, self.timeout) from None
+
+    async def _send(self, data: bytes) -> None:
+        if self._writer is None or self._closed:
+            raise TransportError("client is not connected")
+        try:
+            self._writer.write(data)
+            await self._writer.drain()
+        except ConnectionError as exc:
+            raise TransportError(f"connection lost mid-send: {exc}") from exc
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = await self._reader.read(1 << 16)
+                if not chunk:
+                    decoder.finish()
+                    self._fail_waiters(
+                        TransportError("server closed the connection")
+                    )
+                    return
+                for frame in decoder.feed(chunk):
+                    waiter = self._waiters.pop(frame.request_id, None)
+                    if waiter is not None and not waiter.done():
+                        waiter.set_result(frame)
+        except asyncio.CancelledError:
+            raise
+        except ProtocolError as exc:
+            self._fail_waiters(exc)
+        except (ConnectionError, OSError) as exc:
+            self._fail_waiters(TransportError(f"connection lost: {exc}"))
+
+    def _fail_waiters(self, exc: Exception) -> None:
+        for waiter in self._waiters.values():
+            if not waiter.done():
+                waiter.set_exception(exc)
+        self._waiters.clear()

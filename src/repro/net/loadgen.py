@@ -1,0 +1,384 @@
+"""Async load harness: open-loop / closed-loop traffic over the wire.
+
+:class:`LoadGenerator` drives a usage-license stream at an
+:class:`~repro.net.server.AdmissionServer` and measures end-to-end
+latency the way serving papers do:
+
+* **Closed-loop** -- ``concurrency`` workers, each on its own
+  connection, issue back-to-back requests: a worker sends the next
+  request only after its previous verdict arrives.  Throughput is
+  limited by latency (Little's law); this is the classic saturation
+  probe.
+* **Open-loop** -- requests are *scheduled* at a fixed arrival rate
+  (request ``i`` fires at ``i / rate`` seconds) independent of response
+  times, the shape real traffic has.  Slow servers accumulate in-flight
+  work instead of silently slowing the generator down, so tail latencies
+  include coordinated-omission-free queueing delay.
+
+Measurement discipline (the repository's REP001 rule): the measurement
+path reads time only through the injectable ``clock`` callable
+(``time.perf_counter`` by default -- monotonic, never wall clock), and
+latency percentiles are exact nearest-rank over the recorded samples,
+matching :meth:`repro.service.metrics.Histogram.quantile`.  The first
+``warmup`` responses are excluded from latency/throughput accounting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import TransportError, WireOverloadedError
+from repro.net.client import AdmissionClient
+
+__all__ = ["LoadGenerator", "LoadReport", "LoadgenConfig", "nearest_rank"]
+
+#: Injectable monotonic clock type.
+ClockFn = Callable[[], float]
+
+#: Loadgen traffic modes.
+MODE_CLOSED = "closed"
+MODE_OPEN = "open"
+MODES = (MODE_CLOSED, MODE_OPEN)
+
+
+def nearest_rank(samples: Sequence[float], q: float) -> float:
+    """Exact nearest-rank quantile (the paper-reproduction discipline:
+    no interpolation, identical to ``Histogram.quantile``)."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise TransportError(f"quantile {q} outside [0, 1]")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Tuning knobs of a :class:`LoadGenerator` run.
+
+    Attributes
+    ----------
+    mode:
+        ``"closed"`` (fixed concurrency, back-to-back) or ``"open"``
+        (fixed arrival rate, response-time independent).
+    concurrency:
+        Worker/connection count (closed loop) or connection-pool size
+        (open loop).
+    rate:
+        Open-loop arrival rate in requests/second (ignored closed-loop).
+    warmup:
+        Leading responses excluded from the measured window.
+    timeout, retries:
+        Per-request client deadline and ``OVERLOADED`` retry budget
+        (see :class:`~repro.net.client.AdmissionClient`).
+    window:
+        Max outstanding open-loop requests per pooled connection before
+        the scheduler awaits completions (bounds generator memory).
+    """
+
+    mode: str = MODE_CLOSED
+    concurrency: int = 4
+    rate: float = 500.0
+    warmup: int = 0
+    timeout: float = 10.0
+    retries: int = 4
+    window: int = 256
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise TransportError(
+                f"unknown loadgen mode {self.mode!r}; "
+                f"choose from {', '.join(MODES)}"
+            )
+        if self.concurrency < 1:
+            raise TransportError(
+                f"concurrency must be >= 1, got {self.concurrency}"
+            )
+        if self.rate <= 0:
+            raise TransportError(f"rate must be positive, got {self.rate}")
+        if self.warmup < 0:
+            raise TransportError(f"warmup must be >= 0, got {self.warmup}")
+        if self.window < 1:
+            raise TransportError(f"window must be >= 1, got {self.window}")
+
+
+@dataclass
+class LoadReport:
+    """Results of one load run (measured window only, warmup excluded)."""
+
+    mode: str
+    concurrency: int
+    requests: int
+    measured: int
+    warmup: int
+    accepted: int
+    rejected_by_reason: Dict[str, int]
+    overloaded_failures: int
+    retries: int
+    elapsed: float
+    rps: float
+    latencies: List[float] = field(default_factory=list, repr=False)
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank latency quantile over the measured window."""
+        return nearest_rank(self.latencies, q)
+
+    def to_json(self) -> Dict[str, object]:
+        """Return the machine-readable summary (no raw samples)."""
+        return {
+            "mode": self.mode,
+            "concurrency": self.concurrency,
+            "requests": self.requests,
+            "measured": self.measured,
+            "warmup": self.warmup,
+            "accepted": self.accepted,
+            "rejected": dict(sorted(self.rejected_by_reason.items())),
+            "overloaded_failures": self.overloaded_failures,
+            "retries": self.retries,
+            "elapsed": self.elapsed,
+            "rps": self.rps,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def render(self) -> str:
+        """Return a human-readable summary block."""
+        rejected = sum(self.rejected_by_reason.values())
+        lines = [
+            f"loadgen ({self.mode}-loop, concurrency={self.concurrency}): "
+            f"{self.requests} request(s), {self.measured} measured "
+            f"({self.warmup} warmup)",
+            f"  accepted {self.accepted}, rejected {rejected} "
+            + (
+                "("
+                + ", ".join(
+                    f"{reason}={count}"
+                    for reason, count in sorted(self.rejected_by_reason.items())
+                )
+                + ")"
+                if rejected
+                else ""
+            ),
+            f"  {self.elapsed:.3f}s elapsed -> {self.rps:,.0f} req/s",
+            f"  latency p50 {self.quantile(0.5) * 1e3:.3f}ms, "
+            f"p95 {self.quantile(0.95) * 1e3:.3f}ms, "
+            f"p99 {self.quantile(0.99) * 1e3:.3f}ms",
+            f"  retries {self.retries}, "
+            f"overload failures {self.overloaded_failures}",
+        ]
+        return "\n".join(lines)
+
+
+class _Recorder:
+    """Shared accounting across workers (single event loop: no locks)."""
+
+    def __init__(self, warmup: int):
+        self.warmup = warmup
+        self.seen = 0
+        self.accepted = 0
+        self.rejected: Dict[str, int] = {}
+        self.overloaded_failures = 0
+        self.latencies: List[float] = []
+        self.measured_started: Optional[float] = None
+        self.measured_ended: Optional[float] = None
+
+    def record(self, outcome, latency: float, started: float, ended: float) -> None:
+        self.seen += 1
+        if self.seen <= self.warmup:
+            return
+        if self.measured_started is None:
+            self.measured_started = started
+        self.measured_ended = ended
+        self.latencies.append(latency)
+        if outcome.accepted:
+            self.accepted += 1
+        else:
+            reason = outcome.rejection_reason or "unknown"
+            self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+    def record_overload_failure(self) -> None:
+        self.seen += 1
+        self.overloaded_failures += 1
+
+
+class LoadGenerator:
+    """Drive a usage stream at a wire server; see module docstring.
+
+    Parameters
+    ----------
+    config:
+        The traffic shape.
+    clock:
+        Injectable monotonic clock for every latency measurement
+        (default ``time.perf_counter``).
+    """
+
+    def __init__(
+        self,
+        config: Optional[LoadgenConfig] = None,
+        *,
+        clock: ClockFn = time.perf_counter,
+    ):
+        self.config = config or LoadgenConfig()
+        self.clock = clock
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    async def run(self, host: str, port: int, usages: Sequence[object]) -> LoadReport:
+        """Run the configured load shape; return the measured report."""
+        if self.config.mode == MODE_CLOSED:
+            return await self._run_closed(host, port, usages)
+        return await self._run_open(host, port, usages)
+
+    def run_sync(self, host: str, port: int, usages: Sequence[object]) -> LoadReport:
+        """Blocking convenience wrapper around :meth:`run`."""
+        return asyncio.run(self.run(host, port, usages))
+
+    # ------------------------------------------------------------------
+    # Closed loop
+    # ------------------------------------------------------------------
+    async def _run_closed(
+        self, host: str, port: int, usages: Sequence[object]
+    ) -> LoadReport:
+        config = self.config
+        recorder = _Recorder(config.warmup)
+        clients = [
+            self._make_client(host, port, seed_offset)
+            for seed_offset in range(config.concurrency)
+        ]
+        for client in clients:
+            await client.connect()
+        queue: asyncio.Queue = asyncio.Queue()
+        for usage in usages:
+            queue.put_nowait(usage)
+
+        async def _worker(client: AdmissionClient) -> None:
+            while True:
+                try:
+                    usage = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                started = self.clock()
+                try:
+                    outcome = await client.request(usage)
+                except WireOverloadedError:
+                    recorder.record_overload_failure()
+                    continue
+                ended = self.clock()
+                recorder.record(outcome, ended - started, started, ended)
+
+        run_started = self.clock()
+        try:
+            await asyncio.gather(*(_worker(client) for client in clients))
+        finally:
+            for client in clients:
+                await client.close()
+        run_ended = self.clock()
+        retries = sum(client.stats.retries for client in clients)
+        return self._report(recorder, len(usages), retries, run_started, run_ended)
+
+    # ------------------------------------------------------------------
+    # Open loop
+    # ------------------------------------------------------------------
+    async def _run_open(
+        self, host: str, port: int, usages: Sequence[object]
+    ) -> LoadReport:
+        config = self.config
+        recorder = _Recorder(config.warmup)
+        clients = [
+            self._make_client(host, port, seed_offset)
+            for seed_offset in range(config.concurrency)
+        ]
+        for client in clients:
+            await client.connect()
+        max_outstanding = config.window * config.concurrency
+        outstanding: set = set()
+
+        async def _fire(index: int, usage: object) -> None:
+            client = clients[index % len(clients)]
+            started = self.clock()
+            try:
+                outcome = await client.request(usage)
+            except WireOverloadedError:
+                recorder.record_overload_failure()
+                return
+            ended = self.clock()
+            recorder.record(outcome, ended - started, started, ended)
+
+        run_started = self.clock()
+        try:
+            for index, usage in enumerate(usages):
+                # Open-loop schedule: request i departs at i / rate.
+                target = run_started + index / config.rate
+                delay = target - self.clock()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                while len(outstanding) >= max_outstanding:
+                    done, outstanding = await asyncio.wait(
+                        outstanding, return_when=asyncio.FIRST_COMPLETED
+                    )
+                task = asyncio.ensure_future(_fire(index, usage))
+                outstanding.add(task)
+            if outstanding:
+                await asyncio.gather(*outstanding)
+        finally:
+            for client in clients:
+                await client.close()
+        run_ended = self.clock()
+        retries = sum(client.stats.retries for client in clients)
+        return self._report(recorder, len(usages), retries, run_started, run_ended)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _make_client(self, host: str, port: int, seed_offset: int) -> AdmissionClient:
+        return AdmissionClient(
+            host,
+            port,
+            timeout=self.config.timeout,
+            retries=self.config.retries,
+            jitter_seed=seed_offset,
+            client_name=f"repro-loadgen-{seed_offset}",
+        )
+
+    def _report(
+        self,
+        recorder: _Recorder,
+        requests: int,
+        retries: int,
+        run_started: float,
+        run_ended: float,
+    ) -> LoadReport:
+        started = (
+            recorder.measured_started
+            if recorder.measured_started is not None
+            else run_started
+        )
+        ended = (
+            recorder.measured_ended
+            if recorder.measured_ended is not None
+            else run_ended
+        )
+        elapsed = max(ended - started, 1e-9)
+        measured = len(recorder.latencies)
+        return LoadReport(
+            mode=self.config.mode,
+            concurrency=self.config.concurrency,
+            requests=requests,
+            measured=measured,
+            warmup=self.config.warmup,
+            accepted=recorder.accepted,
+            rejected_by_reason=dict(recorder.rejected),
+            overloaded_failures=recorder.overloaded_failures,
+            retries=retries,
+            elapsed=elapsed,
+            rps=measured / elapsed if measured else 0.0,
+            latencies=recorder.latencies,
+        )

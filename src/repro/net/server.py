@@ -1,0 +1,466 @@
+"""Asyncio TCP admission server over a :class:`ValidationService`.
+
+:class:`AdmissionServer` is the wire-level face of the serving layer --
+the paper's distributor node answering online admission checks over a
+real socket.  Design points:
+
+* **Pure transport.**  The server decodes requests, calls
+  :meth:`ValidationService.submit`, and batches completions through
+  :meth:`ValidationService.drain`.  It never makes an admission decision
+  itself, so verdicts are byte-identical to in-process admission for the
+  same per-group request order (the parity tests pin this down).
+* **Bounded in-flight window.**  At most ``max_inflight`` requests may
+  be submitted-but-unanswered; past that, the server answers a wire
+  ``OVERLOADED`` error -- the same shape a full shard queue
+  (:class:`repro.errors.ServiceOverloadedError`) produces -- and keeps
+  the connection alive.  Backpressure is always an explicit response,
+  never a dropped connection or an unbounded buffer.
+* **Read-side backpressure.**  Connections are read in bounded chunks
+  through asyncio's flow-controlled streams (``limit=`` on the reader),
+  so one firehosing client cannot balloon server memory.
+* **Batched flushes.**  Requests parsed from one TCP read chunk are
+  submitted together and completed by a single service drain, so
+  pipelining clients get the same batch-amortized revalidation the
+  in-process :meth:`ValidationService.process` loop enjoys.
+* **Graceful drain.**  :meth:`shutdown` (also armed for SIGTERM/SIGINT
+  by the ``repro serve`` CLI) stops accepting, flushes every in-flight
+  request, emits a ``drain`` event, and only then closes connections.
+* **Telemetry.**  Connection/request counters land in the service's
+  :class:`~repro.service.metrics.MetricsRegistry` (``wire_*`` names) and
+  ``conn_open``/``conn_close``/``drain`` events in the optional
+  :class:`~repro.obs.events.EventLog` -- strictly out-of-band, like all
+  observability in this repository.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import (
+    ProtocolError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.net import protocol
+from repro.net.protocol import Frame, FrameDecoder
+from repro.obs.events import (
+    EVENT_CONN_CLOSE,
+    EVENT_CONN_OPEN,
+    EVENT_DRAIN,
+    EventLog,
+)
+from repro.service.service import ValidationService
+
+__all__ = ["AdmissionServer", "WireServerConfig"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class WireServerConfig:
+    """Tuning knobs of an :class:`AdmissionServer`.
+
+    Attributes
+    ----------
+    host, port:
+        Listen address.  Port ``0`` binds an ephemeral port; read the
+        actual one from :attr:`AdmissionServer.address` after
+        :meth:`AdmissionServer.start`.
+    max_inflight:
+        Bound on submitted-but-unanswered requests across all
+        connections.  Arrivals beyond it get a wire ``OVERLOADED``
+        error (retryable; the connection stays alive).
+    read_limit:
+        High-water mark of each connection's stream reader -- the
+        per-connection read-side backpressure bound, in bytes.
+    auto_flush:
+        When ``True`` (default), requests are flushed through the
+        service as soon as the batch parsed from one read chunk has been
+        submitted.  Tests set ``False`` to drive :meth:`flush` manually
+        and observe window saturation deterministically.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_inflight: int = 256
+    read_limit: int = 1 << 16
+    auto_flush: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ServiceError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.read_limit < protocol.HEADER_SIZE:
+            raise ServiceError(
+                f"read_limit must cover at least one frame header "
+                f"({protocol.HEADER_SIZE} bytes), got {self.read_limit}"
+            )
+
+
+class _Connection:
+    """Per-connection bookkeeping (writer + counters)."""
+
+    __slots__ = ("writer", "peer", "requests", "negotiated")
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        peername = writer.get_extra_info("peername")
+        self.peer = (
+            f"{peername[0]}:{peername[1]}"
+            if isinstance(peername, tuple) and len(peername) >= 2
+            else str(peername)
+        )
+        self.requests = 0
+        self.negotiated: Optional[int] = None
+
+
+class AdmissionServer:
+    """Wire admission front end over one :class:`ValidationService`.
+
+    The server assumes it is the service's only submitter while running
+    (drains map completions back to wire requests by sequence number).
+
+    Examples
+    --------
+    ::
+
+        service = ValidationService(pool, ServiceConfig(shards=4))
+        server = AdmissionServer(service, WireServerConfig(port=0))
+        host, port = await server.start()
+        ...
+        await server.shutdown()   # graceful drain
+    """
+
+    def __init__(
+        self,
+        service: ValidationService,
+        config: Optional[WireServerConfig] = None,
+        *,
+        events: Optional[EventLog] = None,
+    ):
+        self.service = service
+        self.config = config or WireServerConfig()
+        self.events = events if events is not None else service.events
+        self.metrics = service.metrics
+        self._server: Optional[asyncio.base_events.Server] = None
+        #: seq -> (connection, request id) for submitted, unanswered requests.
+        self._pending: Dict[int, Tuple[_Connection, int]] = {}
+        self._connections: Set[_Connection] = set()
+        self._flush_mutex = asyncio.Lock()
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._requests_served = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; return the actual ``(host, port)``."""
+        if self._started:
+            raise ServiceError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=self.config.read_limit,
+        )
+        self._started = True
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        logger.info("admission server listening on %s:%d", host, port)
+        return host, port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """Return the bound ``(host, port)`` (after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise ServiceError("server is not listening")
+        sock = self._server.sockets[0]
+        return tuple(sock.getsockname()[:2])  # type: ignore[return-value]
+
+    @property
+    def in_flight(self) -> int:
+        """Return submitted-but-unanswered request count."""
+        return len(self._pending)
+
+    @property
+    def requests_served(self) -> int:
+        """Return how many wire requests have been answered."""
+        return self._requests_served
+
+    @property
+    def connections_open(self) -> int:
+        """Return the number of currently open connections."""
+        return len(self._connections)
+
+    async def wait_drained(self) -> None:
+        """Block until a graceful :meth:`shutdown` has completed."""
+        await self._drained.wait()
+
+    async def shutdown(self) -> None:
+        """Gracefully drain: stop accepting, flush in-flight, close.
+
+        Idempotent.  New requests arriving on still-open connections
+        while the drain flushes get a ``SHUTTING_DOWN`` error response.
+        Emits one ``drain`` event with the flushed in-flight count.
+        """
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        flushed = len(self._pending)
+        await self.flush()
+        if self.events is not None:
+            self.events.emit(
+                EVENT_DRAIN,
+                in_flight_flushed=flushed,
+                requests_served=self._requests_served,
+                connections=len(self._connections),
+            )
+        self.metrics.counter("wire_drains_total").inc()
+        for connection in list(self._connections):
+            await self._close_connection(connection)
+        logger.info(
+            "admission server drained: %d in-flight flushed, %d served",
+            flushed,
+            self._requests_served,
+        )
+        self._drained.set()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(writer)
+        self._connections.add(connection)
+        self.metrics.counter("wire_connections_total").inc()
+        self.metrics.gauge("wire_connections_open").set(len(self._connections))
+        if self.events is not None:
+            self.events.emit(EVENT_CONN_OPEN, peer=connection.peer)
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = await reader.read(self.config.read_limit)
+                if not chunk:
+                    decoder.finish()
+                    break
+                frames = decoder.feed(chunk)
+                submitted = 0
+                for frame in frames:
+                    submitted += await self._handle_frame(connection, frame)
+                if submitted and self.config.auto_flush:
+                    await self.flush()
+        except ProtocolError as exc:
+            logger.warning(
+                "protocol error from %s: %s", connection.peer, exc
+            )
+            self.metrics.counter("wire_protocol_errors_total").inc()
+            await self._send_error(
+                connection, 0, protocol.ERR_BAD_REQUEST, str(exc)
+            )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            logger.info("connection from %s dropped", connection.peer)
+        finally:
+            await self._close_connection(connection)
+
+    async def _handle_frame(self, connection: _Connection, frame: Frame) -> int:
+        """Process one frame; return 1 if a request was submitted."""
+        if frame.msg_type == protocol.MSG_HELLO:
+            await self._handle_hello(connection, frame)
+            return 0
+        if frame.msg_type == protocol.MSG_PING:
+            await self._send(
+                connection,
+                protocol.encode_frame(protocol.MSG_PONG, frame.request_id),
+            )
+            return 0
+        if frame.msg_type != protocol.MSG_REQUEST:
+            await self._send_error(
+                connection,
+                frame.request_id,
+                protocol.ERR_BAD_REQUEST,
+                f"unexpected message type {frame.msg_type:#x} on the "
+                f"server side of the connection",
+            )
+            return 0
+        return await self._handle_request(connection, frame)
+
+    async def _handle_hello(self, connection: _Connection, frame: Frame) -> None:
+        offered = frame.payload.get("versions")
+        try:
+            if not isinstance(offered, list):
+                raise ProtocolError(
+                    f"HELLO payload must list offered versions, got "
+                    f"{offered!r}"
+                )
+            version = protocol.negotiate_version(offered)
+        except ProtocolError as exc:
+            await self._send_error(
+                connection,
+                frame.request_id,
+                protocol.ERR_UNSUPPORTED_VERSION,
+                str(exc),
+            )
+            return
+        connection.negotiated = version
+        await self._send(
+            connection,
+            protocol.encode_frame(
+                protocol.MSG_HELLO_OK,
+                frame.request_id,
+                {
+                    "version": version,
+                    "server": "repro",
+                    "groups": self.service.group_count,
+                    "licenses": len(self.service.pool),
+                    "shards": self.service.shard_count,
+                },
+            ),
+        )
+
+    async def _handle_request(self, connection: _Connection, frame: Frame) -> int:
+        if connection.negotiated is None:
+            await self._send_error(
+                connection,
+                frame.request_id,
+                protocol.ERR_BAD_REQUEST,
+                "REQUEST before HELLO: negotiate a version first",
+            )
+            return 0
+        if self._draining:
+            await self._send_error(
+                connection,
+                frame.request_id,
+                protocol.ERR_SHUTTING_DOWN,
+                "server is draining; no new admissions",
+            )
+            return 0
+        try:
+            usage = protocol.usage_from_payload(frame.payload)
+        except ProtocolError as exc:
+            self.metrics.counter("wire_requests_total").inc(("bad_request",))
+            await self._send_error(
+                connection, frame.request_id, protocol.ERR_BAD_REQUEST, str(exc)
+            )
+            return 0
+        if len(self._pending) >= self.config.max_inflight:
+            self.metrics.counter("wire_requests_total").inc(("overloaded",))
+            await self._send_error(
+                connection,
+                frame.request_id,
+                protocol.ERR_OVERLOADED,
+                f"in-flight window full ({self.config.max_inflight} "
+                f"submitted, none drained yet); retry with backoff",
+            )
+            return 0
+        try:
+            seq = self.service.submit(usage)
+        except ServiceOverloadedError as exc:
+            self.metrics.counter("wire_requests_total").inc(("overloaded",))
+            await self._send_error(
+                connection, frame.request_id, protocol.ERR_OVERLOADED, str(exc)
+            )
+            return 0
+        except ServiceError as exc:
+            self.metrics.counter("wire_requests_total").inc(("internal",))
+            await self._send_error(
+                connection, frame.request_id, protocol.ERR_INTERNAL, str(exc)
+            )
+            return 0
+        self._pending[seq] = (connection, frame.request_id)
+        connection.requests += 1
+        self.metrics.counter("wire_requests_total").inc(("submitted",))
+        return 1
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+    async def flush(self) -> int:
+        """Drain the service; answer every completed request.
+
+        Returns how many responses were written.  Concurrent callers are
+        serialized; a second caller whose requests were already flushed
+        by the first simply finds nothing pending.
+        """
+        async with self._flush_mutex:
+            if not self._pending:
+                # Nothing of ours in flight -- nothing to map back.
+                return 0
+            ordered_seqs = sorted(self._pending)
+            outcomes = self.service.drain()
+            if len(outcomes) != len(ordered_seqs):
+                # The server must be the service's only submitter; a
+                # mismatch means that contract broke and responses can
+                # no longer be routed trustworthily.
+                raise ServiceError(
+                    f"drain returned {len(outcomes)} outcome(s) for "
+                    f"{len(ordered_seqs)} wire request(s); the service "
+                    f"has another submitter"
+                )
+            self.metrics.counter("wire_flushes_total").inc()
+            written = 0
+            for seq, outcome in zip(ordered_seqs, outcomes):
+                connection, request_id = self._pending.pop(seq)
+                self._requests_served += 1
+                payload = protocol.outcome_to_payload(outcome)
+                frame = protocol.encode_frame(
+                    protocol.MSG_RESPONSE, request_id, payload
+                )
+                await self._send(connection, frame)
+                written += 1
+            self.metrics.gauge("wire_in_flight").set(len(self._pending))
+            return written
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    async def _send(self, connection: _Connection, data: bytes) -> None:
+        writer = connection.writer
+        if writer.is_closing():
+            return
+        try:
+            writer.write(data)
+            await writer.drain()
+        except ConnectionError:  # peer vanished mid-write
+            logger.info("write to %s failed; closing", connection.peer)
+
+    async def _send_error(
+        self, connection: _Connection, request_id: int, code: int, detail: str
+    ) -> None:
+        await self._send(
+            connection,
+            protocol.encode_frame(
+                protocol.MSG_ERROR,
+                request_id,
+                protocol.error_payload(code, detail),
+            ),
+        )
+
+    async def _close_connection(self, connection: _Connection) -> None:
+        if connection not in self._connections:
+            return
+        self._connections.discard(connection)
+        self.metrics.gauge("wire_connections_open").set(len(self._connections))
+        if self.events is not None:
+            self.events.emit(
+                EVENT_CONN_CLOSE,
+                peer=connection.peer,
+                requests=connection.requests,
+            )
+        writer = connection.writer
+        if not writer.is_closing():
+            writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:  # pragma: no cover - racy peer teardown
+            pass

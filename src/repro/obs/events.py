@@ -13,7 +13,13 @@ decision:
 * ``cache_eviction`` -- the match cache dropped an entry;
 * ``epoch_change`` -- the pool's group partition changed (split/merge);
 * ``alert`` -- a monitor alert rule changed lifecycle state
-  (``pending`` -> ``firing`` -> ``resolved``).
+  (``pending`` -> ``firing`` -> ``resolved``);
+* ``conn_open`` / ``conn_close`` -- a wire client connected to /
+  disconnected from the :class:`repro.net.server.AdmissionServer`
+  (peer address, and on close the per-connection request count);
+* ``drain`` -- the wire server completed a graceful drain: it stopped
+  accepting, flushed every in-flight request, and is about to close its
+  remaining connections (in-flight count flushed, totals served).
 
 The log is bounded: when the active file would exceed ``max_bytes`` the
 existing files rotate (``events.jsonl`` -> ``events.jsonl.1`` -> ...)
@@ -42,6 +48,9 @@ __all__ = [
     "EVENT_ALERT",
     "EVENT_BACKPRESSURE",
     "EVENT_CACHE_EVICTION",
+    "EVENT_CONN_CLOSE",
+    "EVENT_CONN_OPEN",
+    "EVENT_DRAIN",
     "EVENT_EPOCH_CHANGE",
     "EVENT_REJECTION",
     "EventLog",
@@ -55,6 +64,13 @@ EVENT_EPOCH_CHANGE = "epoch_change"
 #: Alert lifecycle transition (rule, from_state, to_state, value, at)
 #: appended by :class:`repro.obs.monitor.Monitor`.
 EVENT_ALERT = "alert"
+#: Wire connection opened (peer) -- emitted by
+#: :class:`repro.net.server.AdmissionServer`.
+EVENT_CONN_OPEN = "conn_open"
+#: Wire connection closed (peer, requests served on it).
+EVENT_CONN_CLOSE = "conn_close"
+#: Wire server graceful drain completed (in-flight flushed, totals).
+EVENT_DRAIN = "drain"
 
 #: The event kinds this package emits itself (user code may add more).
 KNOWN_KINDS = (
@@ -64,6 +80,9 @@ KNOWN_KINDS = (
     EVENT_CACHE_EVICTION,
     EVENT_EPOCH_CHANGE,
     EVENT_ALERT,
+    EVENT_CONN_OPEN,
+    EVENT_CONN_CLOSE,
+    EVENT_DRAIN,
 )
 
 

@@ -1,0 +1,28 @@
+"""Shared fixtures for the wire-layer tests.
+
+Everything here runs on plain ``asyncio.run`` (the repository has no
+async test plugin); each test owns one short-lived event loop in which
+it starts a real localhost server, drives it, and shuts it down.
+"""
+
+import pytest
+
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A small pool plus a stream tight enough to include rejections."""
+    config = WorkloadConfig(
+        n_licenses=12,
+        seed=5,
+        n_records=0,
+        target_groups=3,
+        aggregate_range=(60, 150),
+        count_range=(10, 30),
+    )
+    generator = WorkloadGenerator(config)
+    pool = generator.generate_pool()
+    stream = tuple(generator.issue_stream(pool, 120))
+    return pool, stream

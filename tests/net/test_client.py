@@ -1,0 +1,356 @@
+"""AdmissionClient behaviour against scripted (misbehaving) servers.
+
+A tiny hand-rolled asyncio server speaks just enough of the protocol to
+script exact failure sequences -- N ``OVERLOADED`` answers before a
+success, or total silence -- so the client's retry ladder and deadline
+handling are tested deterministically, with an injected no-op sleeper
+recording every backoff delay.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import (
+    ProtocolError,
+    RequestTimeoutError,
+    TransportError,
+    WireOverloadedError,
+)
+from repro.net import protocol
+from repro.net.client import AdmissionClient
+from repro.net.protocol import FrameDecoder, encode_frame
+from repro.online.session import IssuanceOutcome
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class ScriptedServer:
+    """Protocol-speaking server whose REQUEST behaviour is scripted.
+
+    ``script`` is a list consumed one entry per REQUEST frame:
+    ``"overloaded"`` answers a wire OVERLOADED error, ``"accept"``
+    answers a canned acceptance verdict, ``"silence"`` answers nothing.
+    An exhausted script keeps answering ``"accept"``.
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests_seen = 0
+        self._server = None
+
+    async def start(self):
+        self._server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def stop(self):
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _handle(self, reader, writer):
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    return
+                for frame in decoder.feed(chunk):
+                    await self._answer(frame, writer)
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _answer(self, frame, writer):
+        if frame.msg_type == protocol.MSG_HELLO:
+            writer.write(
+                encode_frame(
+                    protocol.MSG_HELLO_OK,
+                    frame.request_id,
+                    {"version": protocol.PROTOCOL_VERSION},
+                )
+            )
+            await writer.drain()
+            return
+        if frame.msg_type != protocol.MSG_REQUEST:
+            return
+        self.requests_seen += 1
+        action = self.script.pop(0) if self.script else "accept"
+        if action == "silence":
+            return
+        if action == "overloaded":
+            writer.write(
+                encode_frame(
+                    protocol.MSG_ERROR,
+                    frame.request_id,
+                    protocol.error_payload(
+                        protocol.ERR_OVERLOADED, "scripted backpressure"
+                    ),
+                )
+            )
+        elif action == "internal":
+            writer.write(
+                encode_frame(
+                    protocol.MSG_ERROR,
+                    frame.request_id,
+                    protocol.error_payload(
+                        protocol.ERR_INTERNAL, "scripted failure"
+                    ),
+                )
+            )
+        else:
+            writer.write(
+                encode_frame(
+                    protocol.MSG_RESPONSE,
+                    frame.request_id,
+                    protocol.outcome_to_payload(
+                        IssuanceOutcome(
+                            frame.payload["usage_id"],
+                            frame.payload["count"],
+                            (1,),
+                            True,
+                        )
+                    ),
+                )
+            )
+        await writer.drain()
+
+
+class RecordingSleeper:
+    """No-op async sleeper that records every requested delay."""
+
+    def __init__(self):
+        self.delays = []
+
+    async def __call__(self, delay):
+        self.delays.append(delay)
+
+
+async def _client(host, port, **kwargs):
+    client = AdmissionClient(host, port, **kwargs)
+    await client.connect()
+    return client
+
+
+class TestRetry:
+    def test_retries_through_scripted_overload_then_succeeds(self, workload):
+        _pool, stream = workload
+
+        async def scenario():
+            server = ScriptedServer(["overloaded", "overloaded", "accept"])
+            host, port = await server.start()
+            sleeper = RecordingSleeper()
+            try:
+                client = await _client(
+                    host, port, retries=4, sleep=sleeper, jitter_seed=7
+                )
+                outcome = await client.request(stream[0])
+                assert outcome.accepted
+                assert outcome.usage_id == stream[0].license_id
+                assert server.requests_seen == 3
+                assert client.stats.retries == 2
+                assert client.stats.overloaded == 2
+                await client.close()
+            finally:
+                await server.stop()
+            return sleeper.delays
+
+        delays = run(scenario())
+        assert len(delays) == 2
+        # Exponential ladder: attempt 1's ceiling is base*2, attempt 2's
+        # is base*4; jitter keeps each in [0.5, 1.5) of its ceiling.
+        assert 0.5 * 0.02 <= delays[0] <= 1.5 * 0.02
+        assert 0.5 * 0.04 <= delays[1] <= 1.5 * 0.04
+
+    def test_retry_budget_exhaustion_raises_wire_overloaded(self, workload):
+        _pool, stream = workload
+
+        async def scenario():
+            server = ScriptedServer(["overloaded"] * 10)
+            host, port = await server.start()
+            sleeper = RecordingSleeper()
+            try:
+                client = await _client(host, port, retries=2, sleep=sleeper)
+                with pytest.raises(WireOverloadedError) as excinfo:
+                    await client.request(stream[0])
+                assert excinfo.value.attempts == 3
+                assert server.requests_seen == 3
+                assert len(sleeper.delays) == 2
+                await client.close()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_jitter_is_deterministic_per_seed(self, workload):
+        _pool, stream = workload
+
+        async def ladder(seed):
+            server = ScriptedServer(["overloaded"] * 3 + ["accept"])
+            host, port = await server.start()
+            sleeper = RecordingSleeper()
+            try:
+                client = await _client(
+                    host, port, retries=5, sleep=sleeper, jitter_seed=seed
+                )
+                await client.request(stream[0])
+                await client.close()
+            finally:
+                await server.stop()
+            return sleeper.delays
+
+        assert run(ladder(3)) == run(ladder(3))
+        assert run(ladder(3)) != run(ladder(4))
+
+
+class TestDeadlines:
+    def test_silent_server_raises_timeout(self, workload):
+        _pool, stream = workload
+
+        async def scenario():
+            server = ScriptedServer(["silence"])
+            host, port = await server.start()
+            try:
+                client = await _client(host, port, timeout=0.1, retries=0)
+                with pytest.raises(RequestTimeoutError) as excinfo:
+                    await client.request(stream[0])
+                assert excinfo.value.timeout == pytest.approx(0.1)
+                assert client.stats.timeouts == 1
+                await client.close()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_request_many_times_out_on_silence(self, workload):
+        _pool, stream = workload
+
+        async def scenario():
+            server = ScriptedServer(["accept", "silence", "accept"])
+            host, port = await server.start()
+            try:
+                client = await _client(host, port, timeout=0.1, retries=0)
+                with pytest.raises(RequestTimeoutError):
+                    await client.request_many(list(stream[:3]), window=1)
+                await client.close()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+
+class TestErrors:
+    def test_internal_error_is_not_retried(self, workload):
+        _pool, stream = workload
+
+        async def scenario():
+            server = ScriptedServer(["internal"])
+            host, port = await server.start()
+            try:
+                client = await _client(host, port, retries=3)
+                with pytest.raises(TransportError, match="internal"):
+                    await client.request(stream[0])
+                assert server.requests_seen == 1
+                await client.close()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_double_connect_rejected(self, workload):
+        async def scenario():
+            server = ScriptedServer([])
+            host, port = await server.start()
+            try:
+                client = await _client(host, port)
+                with pytest.raises(TransportError, match="already connected"):
+                    await client.connect()
+                await client.close()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_send_after_close_rejected(self, workload):
+        _pool, stream = workload
+
+        async def scenario():
+            server = ScriptedServer([])
+            host, port = await server.start()
+            try:
+                client = await _client(host, port)
+                await client.close()
+                with pytest.raises(TransportError, match="not connected"):
+                    await client.request(stream[0])
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(TransportError, match="timeout"):
+            AdmissionClient("h", 1, timeout=0)
+        with pytest.raises(TransportError, match="retries"):
+            AdmissionClient("h", 1, retries=-1)
+
+    def test_handshake_against_unsupported_server(self, workload):
+        async def scenario():
+            # A scripted server that negotiates a version the client
+            # cannot use must fail the handshake loudly.
+            class BadVersionServer(ScriptedServer):
+                async def _answer(self, frame, writer):
+                    if frame.msg_type == protocol.MSG_HELLO:
+                        writer.write(
+                            encode_frame(
+                                protocol.MSG_HELLO_OK,
+                                frame.request_id,
+                                {"version": 99},
+                            )
+                        )
+                        await writer.drain()
+
+            server = BadVersionServer([])
+            host, port = await server.start()
+            try:
+                client = AdmissionClient(host, port)
+                with pytest.raises(ProtocolError, match="version"):
+                    await client.connect()
+                await client.close()
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+
+class TestPipelining:
+    def test_request_many_preserves_stream_order_with_retries(self, workload):
+        _pool, stream = workload
+
+        async def scenario():
+            # Every third request is overloaded once before success: the
+            # retry sweep must still return verdicts in stream order.
+            script = []
+            for index in range(12):
+                if index % 3 == 0:
+                    script.append("overloaded")
+                script.append("accept")
+            server = ScriptedServer(script)
+            host, port = await server.start()
+            try:
+                client = await _client(host, port, sleep=RecordingSleeper())
+                outcomes = await client.request_many(
+                    list(stream[:12]), window=4
+                )
+                assert [outcome.usage_id for outcome in outcomes] == [
+                    usage.license_id for usage in stream[:12]
+                ]
+                await client.close()
+            finally:
+                await server.stop()
+
+        run(scenario())

@@ -1,0 +1,114 @@
+"""LoadGenerator: config validation, quantiles, and clock injection."""
+
+import asyncio
+import itertools
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net.loadgen import (
+    LoadGenerator,
+    LoadgenConfig,
+    LoadReport,
+    nearest_rank,
+)
+from repro.net.server import AdmissionServer, WireServerConfig
+from repro.service import ServiceConfig, ValidationService
+
+
+class TestNearestRank:
+    def test_empty_is_zero(self):
+        assert nearest_rank([], 0.99) == 0.0
+
+    def test_exact_nearest_rank_semantics(self):
+        samples = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert nearest_rank(samples, 0.0) == 1.0
+        assert nearest_rank(samples, 0.5) == 3.0
+        assert nearest_rank(samples, 0.9) == 5.0
+        assert nearest_rank(samples, 1.0) == 5.0
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(TransportError):
+            nearest_rank([1.0], 1.5)
+
+    def test_matches_histogram_quantile(self):
+        from repro.service.metrics import Histogram
+
+        histogram = Histogram("h", lambda *_: None)
+        samples = [float(value) for value in range(1, 101)]
+        for sample in samples:
+            histogram.observe(sample)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            assert nearest_rank(samples, q) == histogram.quantile(q)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode": "half-open"},
+            {"concurrency": 0},
+            {"rate": 0},
+            {"warmup": -1},
+            {"window": 0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(TransportError):
+            LoadgenConfig(**kwargs)
+
+
+class TestMeasurement:
+    def test_injected_clock_drives_all_latency_math(self, workload):
+        """With a scripted clock the report's numbers are exact."""
+        pool, stream = workload
+        # Monotone fake time: every clock() call advances 10ms.
+        ticker = itertools.count()
+        clock = lambda: next(ticker) * 0.010  # noqa: E731
+
+        async def scenario():
+            service = ValidationService(pool, ServiceConfig())
+            server = AdmissionServer(service, WireServerConfig())
+            host, port = await server.start()
+            try:
+                generator = LoadGenerator(
+                    LoadgenConfig(mode="closed", concurrency=1, warmup=2),
+                    clock=clock,
+                )
+                return await generator.run(host, port, list(stream[:10]))
+            finally:
+                await server.shutdown()
+                service.close()
+
+        report = asyncio.run(scenario())
+        assert report.requests == 10
+        assert report.warmup == 2
+        assert report.measured == 8
+        # One worker: clock() is called exactly twice per request
+        # (start, end), so every latency is exactly one 10ms tick.
+        assert report.latencies == pytest.approx([0.010] * 8)
+        assert report.quantile(0.5) == pytest.approx(0.010)
+        assert report.quantile(0.99) == pytest.approx(0.010)
+
+    def test_report_render_and_json_are_consistent(self):
+        report = LoadReport(
+            mode="open",
+            concurrency=2,
+            requests=10,
+            measured=8,
+            warmup=2,
+            accepted=6,
+            rejected_by_reason={"equation": 2},
+            overloaded_failures=0,
+            retries=1,
+            elapsed=2.0,
+            rps=4.0,
+            latencies=[0.001, 0.002, 0.003, 0.004],
+        )
+        blob = report.to_json()
+        assert blob["p50"] == report.quantile(0.50)
+        assert blob["p99"] == report.quantile(0.99)
+        assert blob["rejected"] == {"equation": 2}
+        text = report.render()
+        assert "open-loop" in text
+        assert "equation=2" in text

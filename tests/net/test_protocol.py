@@ -1,0 +1,311 @@
+"""Unit and property tests for the pure wire-protocol codec layer."""
+
+import json
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ProtocolError
+from repro.geometry.box import Box
+from repro.geometry.discrete import DiscreteSet
+from repro.geometry.interval import Interval
+from repro.licenses.license import UsageLicense
+from repro.licenses.permission import Permission
+from repro.net import protocol
+from repro.net.protocol import (
+    Frame,
+    FrameDecoder,
+    decode_frame,
+    encode_frame,
+    outcome_from_payload,
+    outcome_to_payload,
+    usage_from_payload,
+    usage_to_payload,
+)
+from repro.online.session import IssuanceOutcome
+
+ALL_TYPES = (
+    protocol.MSG_HELLO,
+    protocol.MSG_HELLO_OK,
+    protocol.MSG_REQUEST,
+    protocol.MSG_RESPONSE,
+    protocol.MSG_ERROR,
+    protocol.MSG_PING,
+    protocol.MSG_PONG,
+)
+
+
+class TestFraming:
+    def test_round_trip_every_message_type(self):
+        for msg_type in ALL_TYPES:
+            wire = encode_frame(msg_type, 42, {"k": [1, 2.5, "x"]})
+            frame, consumed = decode_frame(wire)
+            assert consumed == len(wire)
+            assert frame == Frame(
+                protocol.PROTOCOL_VERSION, msg_type, 42, {"k": [1, 2.5, "x"]}
+            )
+
+    def test_empty_payload_defaults_to_object(self):
+        frame, _ = decode_frame(encode_frame(protocol.MSG_PING, 1))
+        assert frame.payload == {}
+
+    def test_request_id_bounds(self):
+        wire = encode_frame(protocol.MSG_PING, 0xFFFFFFFF)
+        frame, _ = decode_frame(wire)
+        assert frame.request_id == 0xFFFFFFFF
+        with pytest.raises(ProtocolError):
+            encode_frame(protocol.MSG_PING, 0xFFFFFFFF + 1)
+        with pytest.raises(ProtocolError):
+            encode_frame(protocol.MSG_PING, -1)
+
+    def test_unknown_type_rejected_both_ways(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(0x7F, 1)
+        wire = bytearray(encode_frame(protocol.MSG_PING, 1))
+        wire[3] = 0x7F
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            decode_frame(bytes(wire))
+
+    def test_incomplete_frame_is_not_an_error(self):
+        wire = encode_frame(protocol.MSG_REQUEST, 9, {"a": 1})
+        for cut in range(len(wire)):
+            frame, consumed = decode_frame(wire[:cut])
+            assert frame is None and consumed == 0
+
+    def test_bad_magic_raises(self):
+        wire = b"XX" + encode_frame(protocol.MSG_PING, 1)[2:]
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_frame(wire)
+
+    def test_unsupported_version_raises(self):
+        wire = bytearray(encode_frame(protocol.MSG_PING, 1))
+        wire[2] = 99
+        with pytest.raises(ProtocolError, match="version"):
+            decode_frame(bytes(wire))
+        with pytest.raises(ProtocolError):
+            encode_frame(protocol.MSG_PING, 1, version=99)
+
+    def test_oversized_length_field_is_corruption(self):
+        header = struct.Struct(">2sBBII").pack(
+            protocol.MAGIC,
+            protocol.PROTOCOL_VERSION,
+            protocol.MSG_PING,
+            1,
+            protocol.MAX_PAYLOAD_BYTES + 1,
+        )
+        with pytest.raises(ProtocolError, match="ceiling"):
+            decode_frame(header)
+
+    def test_payload_over_ceiling_rejected_on_encode(self):
+        with pytest.raises(ProtocolError, match="ceiling"):
+            encode_frame(
+                protocol.MSG_REQUEST,
+                1,
+                {"blob": "x" * (protocol.MAX_PAYLOAD_BYTES + 1)},
+            )
+
+    def test_undecodable_json_payload_raises(self):
+        body = b"{not json"
+        header = struct.Struct(">2sBBII").pack(
+            protocol.MAGIC,
+            protocol.PROTOCOL_VERSION,
+            protocol.MSG_PING,
+            1,
+            len(body),
+        )
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_frame(header + body)
+
+    def test_non_object_payload_raises(self):
+        body = json.dumps([1, 2]).encode()
+        header = struct.Struct(">2sBBII").pack(
+            protocol.MAGIC,
+            protocol.PROTOCOL_VERSION,
+            protocol.MSG_PING,
+            1,
+            len(body),
+        )
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame(header + body)
+
+    def test_unserializable_payload_raises(self):
+        with pytest.raises(ProtocolError, match="unserializable"):
+            encode_frame(protocol.MSG_REQUEST, 1, {"bad": object()})
+
+
+class TestFrameDecoder:
+    def test_byte_by_byte_feed(self):
+        frames_in = [
+            encode_frame(protocol.MSG_PING, i, {"i": i}) for i in range(5)
+        ]
+        wire = b"".join(frames_in)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(wire)):
+            out.extend(decoder.feed(wire[i : i + 1]))
+        assert [frame.request_id for frame in out] == [0, 1, 2, 3, 4]
+        decoder.finish()
+        assert decoder.pending_bytes == 0
+
+    def test_truncated_stream_raises_at_eof(self):
+        wire = encode_frame(protocol.MSG_REQUEST, 3, {"a": 1})
+        decoder = FrameDecoder()
+        assert decoder.feed(wire[:-2]) == []
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            decoder.finish()
+
+    def test_corruption_mid_stream_raises_on_feed(self):
+        good = encode_frame(protocol.MSG_PING, 1)
+        decoder = FrameDecoder()
+        assert len(decoder.feed(good)) == 1
+        with pytest.raises(ProtocolError):
+            decoder.feed(b"XX" + good[2:])
+
+
+class TestNegotiation:
+    def test_picks_highest_mutual(self):
+        assert protocol.negotiate_version([1, 0, 99]) == 1
+
+    def test_no_mutual_version_raises(self):
+        with pytest.raises(ProtocolError, match="no mutually supported"):
+            protocol.negotiate_version([99, "x", None])
+
+    def test_hello_payload_sorts_and_dedups(self):
+        payload = protocol.hello_payload(versions=(1, 1))
+        assert payload["versions"] == [1]
+
+
+def _usage(count=3, atoms=("a", "b")):
+    return UsageLicense(
+        license_id="LU1",
+        content_id="K",
+        permission=Permission("play"),
+        box=Box([Interval(0.0, 10.0), DiscreteSet(atoms)]),
+        count=count,
+    )
+
+
+class TestUsageCodec:
+    def test_round_trip_mixed_box(self):
+        usage = _usage()
+        rebuilt = usage_from_payload(usage_to_payload(usage))
+        assert rebuilt.license_id == usage.license_id
+        assert rebuilt.content_id == usage.content_id
+        assert rebuilt.permission == usage.permission
+        assert rebuilt.count == usage.count
+        assert rebuilt.box == usage.box
+
+    def test_json_round_trip_through_frame(self):
+        usage = _usage(count=7)
+        wire = encode_frame(protocol.MSG_REQUEST, 1, usage_to_payload(usage))
+        frame, _ = decode_frame(wire)
+        assert usage_from_payload(frame.payload).box == usage.box
+
+    @pytest.mark.parametrize("missing", ["usage_id", "permission", "box"])
+    def test_missing_field_raises(self, missing):
+        payload = usage_to_payload(_usage())
+        del payload[missing]
+        with pytest.raises(ProtocolError):
+            usage_from_payload(payload)
+
+    def test_bad_permission_raises(self):
+        payload = usage_to_payload(_usage())
+        payload["permission"] = "teleport"
+        with pytest.raises(ProtocolError, match="permission"):
+            usage_from_payload(payload)
+
+    def test_bool_count_rejected(self):
+        payload = usage_to_payload(_usage())
+        payload["count"] = True
+        with pytest.raises(ProtocolError, match="count"):
+            usage_from_payload(payload)
+
+    def test_bad_extent_kind_raises(self):
+        payload = usage_to_payload(_usage())
+        payload["box"][0] = {"kind": "sphere"}
+        with pytest.raises(ProtocolError, match="extent kind"):
+            usage_from_payload(payload)
+
+    def test_invalid_geometry_wrapped_as_protocol_error(self):
+        payload = usage_to_payload(_usage())
+        payload["box"][0] = {"kind": "interval", "low": 10, "high": 0}
+        with pytest.raises(ProtocolError):
+            usage_from_payload(payload)
+
+
+class TestOutcomeCodec:
+    def test_round_trip_accepted_and_rejected(self):
+        for outcome in (
+            IssuanceOutcome("u1", 3, (1, 2), True),
+            IssuanceOutcome(
+                "u2", 5, (), False, "instance", rejection_detail="no match"
+            ),
+        ):
+            assert outcome_from_payload(outcome_to_payload(outcome)) == outcome
+
+    def test_bad_license_set_raises(self):
+        payload = outcome_to_payload(IssuanceOutcome("u", 1, (1,), True))
+        payload["license_set"] = [1, True]
+        with pytest.raises(ProtocolError, match="license_set"):
+            outcome_from_payload(payload)
+
+    def test_non_bool_accepted_raises(self):
+        payload = outcome_to_payload(IssuanceOutcome("u", 1, (1,), True))
+        payload["accepted"] = 1
+        with pytest.raises(ProtocolError, match="accepted"):
+            outcome_from_payload(payload)
+
+
+json_scalars = st.one_of(
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+    st.booleans(),
+    st.none(),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+
+
+class TestFramingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        msg_type=st.sampled_from(ALL_TYPES),
+        request_id=st.integers(min_value=0, max_value=0xFFFFFFFF),
+        payload=st.dictionaries(st.text(max_size=10), json_values, max_size=5),
+    )
+    def test_encode_decode_round_trip(self, msg_type, request_id, payload):
+        frame, consumed = decode_frame(encode_frame(msg_type, request_id, payload))
+        assert frame.msg_type == msg_type
+        assert frame.request_id == request_id
+        assert frame.payload == json.loads(json.dumps(payload))
+        assert consumed == len(encode_frame(msg_type, request_id, payload))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ids=st.lists(
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+            min_size=1,
+            max_size=8,
+        ),
+        chunk=st.integers(min_value=1, max_value=40),
+    )
+    def test_chunked_stream_reassembles_in_order(self, ids, chunk):
+        wire = b"".join(
+            encode_frame(protocol.MSG_PING, request_id, {"n": i})
+            for i, request_id in enumerate(ids)
+        )
+        decoder = FrameDecoder()
+        out = []
+        for offset in range(0, len(wire), chunk):
+            out.extend(decoder.feed(wire[offset : offset + chunk]))
+        decoder.finish()
+        assert [frame.request_id for frame in out] == ids
+        assert [frame.payload["n"] for frame in out] == list(range(len(ids)))
