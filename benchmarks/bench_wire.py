@@ -13,6 +13,12 @@ streams, bounded in-flight window -- wrapped around the same
   issue back-to-back requests (saturation probe).
 * **Open-loop latency**: requests depart on a fixed arrival schedule,
   so percentiles include queueing delay without coordinated omission.
+* **Tracing overhead**: the same closed-loop run three ways -- a
+  protocol-v1 client against a no-timing-echo server (the legacy
+  baseline), a v2 client with tracing disabled (contexts absent, timing
+  echo present), and a fully traced run (client + server tracers).  The
+  disabled-path ratio is gated: v2 support must stay essentially free
+  when nobody traces.
 
 RPS and percentile numbers are informational in the perf gate (CI
 runners cannot reproduce absolute timings); the deterministic shape
@@ -31,6 +37,7 @@ from repro.net import protocol
 from repro.net.client import AdmissionClient
 from repro.net.loadgen import LoadGenerator, LoadgenConfig
 from repro.net.server import AdmissionServer, WireServerConfig
+from repro.obs.trace import Tracer
 from repro.service import ServiceConfig, ValidationService
 from repro.workloads.config import WorkloadConfig
 from repro.workloads.generator import WorkloadGenerator
@@ -70,14 +77,18 @@ def _signature(outcomes):
     ]
 
 
-async def _with_server(pool, run):
+async def _with_server(pool, run, *, tracer=None, timing_echo=True):
     """Start a fresh service+server, run ``run(host, port)``, drain."""
-    service = ValidationService(pool, ServiceConfig(shards=4, batch_size=32))
+    service = ValidationService(
+        pool, ServiceConfig(shards=4, batch_size=32), tracer=tracer
+    )
     server = AdmissionServer(
         service,
         # Window sized to the whole stream: backpressure never triggers,
         # so request counts below are deterministic and gateable.
-        WireServerConfig(max_inflight=max(STREAM, 256)),
+        WireServerConfig(
+            max_inflight=max(STREAM, 256), timing_echo=timing_echo
+        ),
     )
     host, port = await server.start()
     try:
@@ -149,6 +160,40 @@ def test_wire_end_to_end(report, bench_json):
     open_report = asyncio.run(_with_server(pool, open_loop))
     assert open_report.overloaded_failures == 0
 
+    # ------------------------------------------------------------------
+    # Tracing overhead: legacy v1 baseline vs v2-disabled vs fully traced
+    # ------------------------------------------------------------------
+    def closed_run(*, tracer=None, protocol_versions=protocol.SUPPORTED_VERSIONS):
+        async def scenario(host, port):
+            generator = LoadGenerator(
+                LoadgenConfig(
+                    mode="closed",
+                    concurrency=CONCURRENCY,
+                    warmup=min(50, STREAM // 10),
+                ),
+                tracer=tracer,
+                protocol_versions=protocol_versions,
+            )
+            return await generator.run(host, port, stream)
+
+        return scenario
+
+    baseline_report = asyncio.run(
+        _with_server(
+            pool, closed_run(protocol_versions=(1,)), timing_echo=False
+        )
+    )
+    untraced_report = asyncio.run(_with_server(pool, closed_run()))
+    traced_report = asyncio.run(
+        _with_server(pool, closed_run(tracer=Tracer()), tracer=Tracer())
+    )
+    for tracing_run in (baseline_report, untraced_report, traced_report):
+        assert tracing_run.overloaded_failures == 0
+    assert baseline_report.timed == 0  # v1: no timing echo on the wire
+    assert untraced_report.timed == untraced_report.measured
+    disabled_ratio = baseline_report.rps / max(untraced_report.rps, 1e-9)
+    traced_ratio = baseline_report.rps / max(traced_report.rps, 1e-9)
+
     lines = [
         f"wire end-to-end serving ({N_LICENSES} licenses, {STREAM} requests, "
         f"4 shards, batch=32)",
@@ -170,6 +215,15 @@ def test_wire_end_to_end(report, bench_json):
             f"{run_report.quantile(0.95) * 1e3:7.3f} | "
             f"{run_report.quantile(0.99) * 1e3:7.3f}"
         )
+    lines += [
+        "",
+        "tracing overhead (closed loop, same stream):",
+        f"  v1 baseline (no echo)   {baseline_report.rps:8,.0f} req/s",
+        f"  v2, tracing disabled    {untraced_report.rps:8,.0f} req/s "
+        f"(ratio {disabled_ratio:.3f})",
+        f"  v2, fully traced        {traced_report.rps:8,.0f} req/s "
+        f"(ratio {traced_ratio:.3f})",
+    ]
     report("wire_end_to_end", "\n".join(lines))
 
     bench_json(
@@ -182,5 +236,13 @@ def test_wire_end_to_end(report, bench_json):
             "accepted": accepted_reference,
             "closed": _loadgen_row(closed_report),
             "open": _loadgen_row(open_report),
+            "tracing": {
+                "measured": untraced_report.measured,
+                "baseline_rps": baseline_report.rps,
+                "untraced_rps": untraced_report.rps,
+                "traced_rps": traced_report.rps,
+                "disabled_ratio": disabled_ratio,
+                "traced_ratio": traced_ratio,
+            },
         },
     )

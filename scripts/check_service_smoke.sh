@@ -37,7 +37,9 @@ python -m repro obs-report --trace "$OBS_DIR/trace.jsonl" \
 echo "== wire smoke: serve on an ephemeral port, loadgen against it, drain =="
 WIRE_DIR="$(mktemp -d)"
 python -m repro serve -n 12 --seed 3 --clusters 4 --port 0 \
-    --port-file "$WIRE_DIR/port" > "$WIRE_DIR/serve.log" 2>&1 &
+    --port-file "$WIRE_DIR/port" --monitor \
+    --trace "$WIRE_DIR/server-trace.jsonl" \
+    --events-out "$WIRE_DIR/server-events.jsonl" > "$WIRE_DIR/serve.log" 2>&1 &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
     [ -s "$WIRE_DIR/port" ] && break
@@ -47,9 +49,24 @@ test -s "$WIRE_DIR/port" || { echo "serve never published its port"; cat "$WIRE_
 WIRE_PORT="$(cat "$WIRE_DIR/port")"
 python -m repro loadgen --port "$WIRE_PORT" -n 12 --seed 3 --clusters 4 \
     --stream 200 --mode closed --concurrency 4 --warmup 20 \
-    --json-out "$WIRE_DIR/load.json"
+    --json-out "$WIRE_DIR/load.json" \
+    --trace "$WIRE_DIR/client-trace.jsonl"
 python -m repro loadgen --port "$WIRE_PORT" -n 12 --seed 3 --clusters 4 \
     --stream 100 --mode open --rate 2000
+
+echo "== admin channel: live metrics/health/slo over the serving port =="
+# grep without -q here too: -q exits on the first match and the
+# early-closed pipe would kill the admin CLI with BrokenPipeError.
+python -m repro admin metrics --port "$WIRE_PORT" \
+    | grep "wire_requests_total" > /dev/null
+python -m repro admin health --port "$WIRE_PORT" \
+    | grep "wire_saturation" > /dev/null
+python -m repro admin slo --port "$WIRE_PORT" > /dev/null
+python -m repro admin slowest --port "$WIRE_PORT" --limit 3 \
+    | grep '"name": "request"' > /dev/null
+python -m repro admin events --port "$WIRE_PORT" \
+    | grep "conn_open" > /dev/null
+
 # Graceful drain: SIGTERM must exit 0 with nothing left in flight...
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
@@ -69,6 +86,21 @@ then
     exit 1
 fi
 test -s "$WIRE_DIR/load.json"
+
+echo "== cross-process trace assembly from the two journals =="
+test -s "$WIRE_DIR/server-trace.jsonl"
+test -s "$WIRE_DIR/client-trace.jsonl"
+python -m repro trace-assemble \
+    --client "$WIRE_DIR/client-trace.jsonl" \
+    --server "$WIRE_DIR/server-trace.jsonl" \
+    --max-traces 1 --json-out "$WIRE_DIR/merged.json" \
+    | grep "cross-process trace(s)" > /dev/null
+python - "$WIRE_DIR/merged.json" <<'PY'
+import json, sys
+merged = json.load(open(sys.argv[1]))
+assert merged["matched_pairs"] > 0, merged
+assert merged["cross_traces"] == merged["matched_pairs"], merged
+PY
 rm -rf "$WIRE_DIR"
 
 echo "== throughput + observability-overhead benchmarks (smoke sizes) =="

@@ -29,6 +29,16 @@ Commands
     and nearest-rank latency percentiles.  The workload knobs
     (``-n``/``--seed``/``--clusters``/``--stream``/``--skew``) must
     match the server's so the regenerated stream matches its pool.
+    ``--trace`` writes the client span journal for ``trace-assemble``.
+``admin``
+    Query a *live* ``serve`` instance over the wire's ADMIN message
+    family (protocol v2): metrics snapshot, graded health, SLO
+    statuses, top-N slowest server spans, or the event-log tail.
+``trace-assemble``
+    Merge a client (``loadgen --trace``) and a server (``serve
+    --trace``) span journal into one clock-aligned cross-process span
+    tree: the server's request subtree parents under the client's
+    ``wire_request`` span.
 ``obs-report``
     Summarize a trace (span trees, slowest spans, per-name totals)
     and/or a structured event log produced by ``serve-bench``.
@@ -234,6 +244,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None, metavar="PATH",
         help="write the final metrics registry in Prometheus text format",
     )
+    wire.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write the server span journal as JSONL on drain; spans of "
+             "v2 requests parent under the client's wire_request span "
+             "(merge with the client journal via trace-assemble)",
+    )
+    wire.add_argument(
+        "--sample-rate", type=float, default=1.0,
+        help="head-sampling rate for server traces (default 1.0); "
+             "remote-parented request spans are always kept",
+    )
+    wire.add_argument(
+        "--monitor", action="store_true",
+        help="attach a default monitor so admin health/slo queries "
+             "answer with graded indicators",
+    )
 
     loadgen = commands.add_parser(
         "loadgen", help="drive async load at a running serve instance"
@@ -264,6 +290,54 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--json-out", default=None, metavar="PATH",
         help="also write the report summary as JSON",
+    )
+    loadgen.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write the client span journal (one wire_request span per "
+             "request, context propagated to the server) as JSONL",
+    )
+
+    admin = commands.add_parser(
+        "admin", help="query a live serve instance over the ADMIN channel"
+    )
+    admin.add_argument(
+        "query",
+        choices=["metrics", "health", "slo", "slowest", "events"],
+        help="metrics = registry snapshot; health = wire window + graded "
+             "indicators; slo = error-budget statuses; slowest = top-N "
+             "server spans; events = event-log tail",
+    )
+    admin.add_argument("--host", default="127.0.0.1")
+    admin.add_argument("--port", type=int, required=True)
+    admin.add_argument(
+        "--limit", type=int, default=None,
+        help="result cap for slowest/events (server default 10/50)",
+    )
+
+    trace_assemble = commands.add_parser(
+        "trace-assemble",
+        help="merge client and server trace journals into one "
+             "cross-process span tree",
+    )
+    trace_assemble.add_argument(
+        "--client", required=True, metavar="PATH",
+        help="client span JSONL (loadgen --trace)",
+    )
+    trace_assemble.add_argument(
+        "--server", required=True, metavar="PATH",
+        help="server span JSONL (serve --trace)",
+    )
+    trace_assemble.add_argument(
+        "--max-traces", type=int, default=3,
+        help="how many merged trees to render, in start order (default 3)",
+    )
+    trace_assemble.add_argument(
+        "--no-align", action="store_true",
+        help="skip midpoint-rule clock-skew alignment of server spans",
+    )
+    trace_assemble.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="also write the merged span forest + summary as JSON",
     )
 
     obs_report = commands.add_parser(
@@ -659,6 +733,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.obs.events import EventLog
 
         events = EventLog(args.events_out)
+    tracer = None
+    if args.trace:
+        from repro.obs.trace import SamplingConfig, Tracer
+
+        tracer = Tracer(SamplingConfig(rate=args.sample_rate))
+    monitor = None
+    if args.monitor:
+        from repro.obs.monitor import Monitor, MonitorConfig
+
+        monitor = Monitor(MonitorConfig(), events=events)
     kernel_kwargs = {"kernel": args.kernel}
     if args.kernel_cap is not None:
         kernel_kwargs["kernel_cap"] = args.kernel_cap
@@ -671,7 +755,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             executor=args.executor,
             **kernel_kwargs,
         ),
+        tracer=tracer,
         events=events,
+        monitor=monitor,
     )
     server = AdmissionServer(
         service,
@@ -708,6 +794,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if events is not None:
         events.close()
         print(f"wrote {events.emitted} event(s) to {args.events_out}")
+    if tracer is not None:
+        tracer.write_jsonl(args.trace)
+        print(f"wrote {len(tracer.records())} span(s) to {args.trace}")
     if args.metrics_out:
         from repro.obs.export import render_prometheus
 
@@ -722,6 +811,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
     generator, pool = _wire_workload(args)
     stream = list(generator.issue_stream(pool, args.stream, skew=args.skew))
+    tracer = None
+    if args.trace:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
     load = LoadGenerator(
         LoadgenConfig(
             mode=args.mode,
@@ -730,7 +824,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             warmup=args.warmup,
             timeout=args.timeout,
             retries=args.retries,
-        )
+        ),
+        tracer=tracer,
     )
     report = load.run_sync(args.host, args.port, stream)
     print(report.render())
@@ -741,6 +836,47 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             json.dump(report.to_json(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote report to {args.json_out}")
+    if tracer is not None:
+        tracer.write_jsonl(args.trace)
+        print(f"wrote {len(tracer.records())} span(s) to {args.trace}")
+    return 0
+
+
+def _cmd_admin(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.net.client import AdmissionClient
+
+    async def _query() -> dict:
+        client = AdmissionClient(
+            args.host, args.port, client_name="repro-admin"
+        )
+        await client.connect()
+        try:
+            return await client.admin(args.query, limit=args.limit)
+        finally:
+            await client.close()
+
+    reply = asyncio.run(_query())
+    print(json.dumps(reply, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_trace_assemble(args: argparse.Namespace) -> int:
+    from repro.obs.distrib import assemble_files
+
+    merged = assemble_files(
+        args.client, args.server, align_clocks=not args.no_align
+    )
+    print(merged.render(max_traces=args.max_traces))
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(merged.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote assembled trace to {args.json_out}")
     return 0
 
 
@@ -839,6 +975,9 @@ def _cmd_monitor_report(args: argparse.Namespace) -> int:
         wanted = (
             "alert_state", "slo_compliance", "slo_burn_rate",
             "alert_transitions_total",
+            # Wire-server series (exported since the net layer landed).
+            "wire_requests_total", "wire_protocol_errors_total",
+            "wire_in_flight", "wire_connections_open", "wire_drains_total",
         )
         monitoring = [
             (name, labels, value)
@@ -917,6 +1056,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve-bench": _cmd_serve_bench,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
+        "admin": _cmd_admin,
+        "trace-assemble": _cmd_trace_assemble,
         "obs-report": _cmd_obs_report,
         "monitor-report": _cmd_monitor_report,
         "conformance": _cmd_conformance,

@@ -108,6 +108,8 @@ class GuardedTelemetryRule(Rule):
         "repro/validation/tree_validator.py",
         "repro/service/shard.py",
         "repro/service/service.py",
+        "repro/net/server.py",
+        "repro/net/client.py",
     )
 
     def visit(self, node: ast.AST, ctx: FileContext) -> None:

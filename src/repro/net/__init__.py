@@ -19,23 +19,33 @@ Python iterable:
   closed-loop async load harness with nearest-rank latency histograms on
   an injectable clock.
 
+Protocol v2 adds cross-process observability on the same port: REQUEST
+frames may carry a trace context (so one request is one trace across
+client and server journals -- see :mod:`repro.obs.distrib`), RESPONSE
+frames echo a per-phase server timing breakdown, and an ADMIN message
+family answers live metrics / health / SLO / slowest / event-tail
+queries.  v1 peers negotiate down at HELLO and see none of it.
+
 The wire layer is a pure transport: for the same request stream the
 verdicts are byte-identical to in-process admission (the parity tests
 pin this down), so every guarantee of the engine seam -- determinism
 across shard counts, executors, and kernels -- survives the socket.
 """
 
-from repro.net.client import AdmissionClient
+from repro.net.client import AdmissionClient, WireResult
 from repro.net.loadgen import LoadGenerator, LoadgenConfig, LoadReport
 from repro.net.protocol import (
+    ADMIN_QUERIES,
     Frame,
     FrameDecoder,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     encode_frame,
 )
 from repro.net.server import AdmissionServer, WireServerConfig
 
 __all__ = [
+    "ADMIN_QUERIES",
     "AdmissionClient",
     "AdmissionServer",
     "Frame",
@@ -44,6 +54,8 @@ __all__ = [
     "LoadReport",
     "LoadgenConfig",
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "WireServerConfig",
+    "WireResult",
     "encode_frame",
 ]

@@ -22,12 +22,21 @@ an :class:`~repro.net.server.AdmissionServer`:
 The client is a pure transport too: it never reorders the stream it is
 given, so per-group submission order -- the thing verdicts depend on --
 is exactly the caller's order.
+
+Distributed tracing (protocol v2): give the client a
+:class:`~repro.obs.trace.Tracer` and every request becomes a
+``wire_request`` span whose context (trace id + span id) rides in the
+REQUEST frame, so the server's ``request`` span tree parents under it --
+one request, one trace, across the process boundary.  The server's
+per-phase timing echo comes back on :class:`WireResult` (and as span
+attributes).  Both features negotiate away cleanly against v1 servers.
 """
 
 from __future__ import annotations
 
 import asyncio
 import random
+from dataclasses import dataclass
 from typing import Awaitable, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import (
@@ -38,9 +47,11 @@ from repro.errors import (
 )
 from repro.net import protocol
 from repro.net.protocol import Frame, FrameDecoder
+from repro.obs.distrib import ServerTiming, TraceContext
+from repro.obs.trace import NULL_SPAN, Tracer
 from repro.online.session import IssuanceOutcome
 
-__all__ = ["AdmissionClient", "RequestStats"]
+__all__ = ["AdmissionClient", "RequestStats", "WireResult"]
 
 #: Injectable sleeper type (tests swap in a no-op recorder).
 SleepFn = Callable[[float], Awaitable[None]]
@@ -61,6 +72,21 @@ class RequestStats:
     def as_dict(self) -> Dict[str, int]:
         """Return the counters as a plain dict."""
         return {name: getattr(self, name) for name in self.__slots__}
+
+
+@dataclass(frozen=True)
+class WireResult:
+    """One answered request: verdict plus v2 tracing extras.
+
+    ``timing`` and ``trace_id`` are ``None`` on v1 connections, when the
+    server's timing echo is off, or when no client tracer is configured
+    (respectively) -- the verdict itself is identical either way.
+    """
+
+    outcome: IssuanceOutcome
+    timing: Optional[ServerTiming] = None
+    trace_id: Optional[str] = None
+    attempts: int = 1
 
 
 class AdmissionClient:
@@ -84,6 +110,15 @@ class AdmissionClient:
         ``asyncio.sleep``; tests inject a recorder).
     client_name:
         Advertised in HELLO, echoed in server logs.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; when set, every
+        request emits a ``wire_request`` span and (on v2 connections)
+        propagates its context to the server.
+    protocol_versions:
+        Versions offered in HELLO (default: everything this codec
+        speaks).  Pin to ``(1,)`` to behave exactly like a pre-v2
+        client -- compatibility tests and the tracing-overhead baseline
+        benchmark do.
     """
 
     def __init__(
@@ -98,11 +133,23 @@ class AdmissionClient:
         jitter_seed: int = 0,
         sleep: Optional[SleepFn] = None,
         client_name: str = "repro-client",
+        tracer: Optional[Tracer] = None,
+        protocol_versions: Sequence[int] = protocol.SUPPORTED_VERSIONS,
     ):
         if timeout <= 0:
             raise TransportError(f"timeout must be positive, got {timeout}")
         if retries < 0:
             raise TransportError(f"retries must be >= 0, got {retries}")
+        versions = tuple(sorted(set(protocol_versions)))
+        if not versions or any(
+            v not in protocol.SUPPORTED_VERSIONS for v in versions
+        ):
+            raise TransportError(
+                f"protocol_versions must be a non-empty subset of "
+                f"{protocol.SUPPORTED_VERSIONS}, got {protocol_versions!r}"
+            )
+        self.tracer = tracer
+        self._versions = versions
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -138,7 +185,13 @@ class AdmissionClient:
             protocol.encode_frame(
                 protocol.MSG_HELLO,
                 request_id,
-                protocol.hello_payload(client=self.client_name),
+                protocol.hello_payload(
+                    client=self.client_name, versions=self._versions
+                ),
+                # HELLO precedes negotiation, so it is framed at the
+                # lowest offered version -- the one frame any server in
+                # the offer's range is guaranteed to decode.
+                version=min(self._versions),
             )
         )
         frame = await self._await_frame(future, request_id)
@@ -151,7 +204,7 @@ class AdmissionClient:
                 f"expected HELLO_OK, got message type {frame.msg_type:#x}"
             )
         version = frame.payload.get("version")
-        if not isinstance(version, int) or version not in protocol.SUPPORTED_VERSIONS:
+        if not isinstance(version, int) or version not in self._versions:
             raise ProtocolError(f"server negotiated unusable version {version!r}")
         self._negotiated = version
         return dict(frame.payload)
@@ -194,7 +247,11 @@ class AdmissionClient:
         """Round-trip a PING frame (liveness probe)."""
         request_id = self._allocate_id()
         future = self._register(request_id)
-        await self._send(protocol.encode_frame(protocol.MSG_PING, request_id))
+        await self._send(
+            protocol.encode_frame(
+                protocol.MSG_PING, request_id, version=self._frame_version()
+            )
+        )
         frame = await self._await_frame(future, request_id)
         if frame.msg_type != protocol.MSG_PONG:
             raise ProtocolError(
@@ -210,28 +267,133 @@ class AdmissionClient:
         is spent and :class:`repro.errors.RequestTimeoutError` when an
         attempt's deadline passes with no response at all.
         """
+        return (await self.call(usage)).outcome
+
+    async def call(self, usage) -> WireResult:
+        """Like :meth:`request`, but return the full :class:`WireResult`
+        (verdict + server timing echo + the request's trace id)."""
         payload = protocol.usage_to_payload(usage)
+        tracer = self.tracer
+        span = (
+            tracer.start_span("wire_request", usage_id=usage.license_id)
+            if tracer is not None
+            else NULL_SPAN
+        )
+        if span and self._speaks_v2():
+            payload["trace"] = protocol.trace_context_to_payload(
+                TraceContext(span.trace_id, span.span_id)
+            )
         attempts = self.retries + 1
         last_id = 0
-        for attempt in range(attempts):
-            request_id = self._allocate_id()
-            last_id = request_id
-            future = self._register(request_id)
-            self.stats.requests += 1
-            await self._send(
-                protocol.encode_frame(protocol.MSG_REQUEST, request_id, payload)
-            )
-            frame = await self._await_frame(future, request_id)
-            outcome = self._interpret(frame)
-            if outcome is not None:
-                self.stats.responses += 1
-                return outcome
-            # OVERLOADED: back off and retry on the same connection.
-            self.stats.overloaded += 1
-            if attempt + 1 < attempts:
-                self.stats.retries += 1
-                await self._sleep(self._backoff_delay(attempt))
+        try:
+            for attempt in range(attempts):
+                request_id = self._allocate_id()
+                last_id = request_id
+                future = self._register(request_id)
+                self.stats.requests += 1
+                await self._send(
+                    protocol.encode_frame(
+                        protocol.MSG_REQUEST,
+                        request_id,
+                        payload,
+                        version=self._frame_version(),
+                    )
+                )
+                frame = await self._await_frame(future, request_id)
+                outcome = self._interpret(frame)
+                if outcome is not None:
+                    self.stats.responses += 1
+                    timing = protocol.timing_from_payload(frame.payload)
+                    trace_id = None
+                    if span:
+                        trace_id = span.trace_id
+                        self._finish_span(span, outcome, timing, attempt + 1)
+                        span = NULL_SPAN
+                    return WireResult(
+                        outcome=outcome,
+                        timing=timing,
+                        trace_id=trace_id,
+                        attempts=attempt + 1,
+                    )
+                # OVERLOADED: back off and retry on the same connection.
+                self.stats.overloaded += 1
+                if attempt + 1 < attempts:
+                    self.stats.retries += 1
+                    await self._sleep(self._backoff_delay(attempt))
+        except BaseException:
+            if span:
+                span.set_attr("outcome", "error")
+                span.end()
+            raise
+        if span:
+            span.set_attr("outcome", "overloaded")
+            span.set_attr("attempts", attempts)
+            span.end()
         raise WireOverloadedError(last_id, attempts)
+
+    async def admin(
+        self, query: str, *, limit: Optional[int] = None
+    ) -> Dict[str, object]:
+        """Run one live-introspection query (protocol v2 only).
+
+        ``query`` is one of :data:`repro.net.protocol.ADMIN_QUERIES`;
+        ``limit`` bounds the ``slowest``/``events`` replies.  Returns
+        the ADMIN_OK payload (``{"query": ..., "data": ...}``).
+        """
+        if not self._speaks_v2():
+            raise TransportError(
+                f"admin queries need a protocol-v2 connection "
+                f"(negotiated: {self._negotiated})"
+            )
+        request_id = self._allocate_id()
+        future = self._register(request_id)
+        await self._send(
+            protocol.encode_frame(
+                protocol.MSG_ADMIN,
+                request_id,
+                protocol.admin_payload(query, limit=limit),
+                version=self._frame_version(),
+            )
+        )
+        frame = await self._await_frame(future, request_id)
+        if frame.msg_type == protocol.MSG_ERROR:
+            raise TransportError(
+                f"admin query refused: {frame.payload.get('detail')}"
+            )
+        if frame.msg_type != protocol.MSG_ADMIN_OK:
+            raise ProtocolError(
+                f"expected ADMIN_OK, got message type {frame.msg_type:#x}"
+            )
+        return dict(frame.payload)
+
+    def _speaks_v2(self) -> bool:
+        return self._negotiated is not None and self._negotiated >= 2
+
+    def _frame_version(self) -> int:
+        """Frame version for outgoing messages: the negotiated one, or
+        the lowest we offer while the handshake is still pending."""
+        return (
+            self._negotiated
+            if self._negotiated is not None
+            else min(self._versions)
+        )
+
+    @staticmethod
+    def _finish_span(
+        span, outcome: IssuanceOutcome, timing: Optional[ServerTiming], attempts: int
+    ) -> None:
+        """Close a ``wire_request`` span with verdict + timing attrs."""
+        span.set_attr("outcome", "accepted" if outcome.accepted else "rejected")
+        span.set_attr("attempts", attempts)
+        if timing is not None:
+            span.set_attr("server_queue_us", timing.queue_us)
+            span.set_attr("server_match_us", timing.match_us)
+            span.set_attr("server_admission_us", timing.admission_us)
+            span.set_attr("server_revalidate_us", timing.revalidate_us)
+            span.set_attr("server_total_us", timing.total_us)
+            span.set_attr("shard", timing.shard_id)
+            span.set_attr("kernel", timing.kernel)
+        span.end()
 
     async def request_many(
         self, usages: Sequence[object], *, window: int = 64
@@ -249,6 +411,7 @@ class AdmissionClient:
         retry_queue: List[int] = []
         in_flight: Dict[int, int] = {}  # request id -> stream index
         futures: Dict[int, asyncio.Future] = {}
+        spans: Dict[int, object] = {}  # request id -> live wire span
 
         async def _collect_one() -> None:
             done, _ = await asyncio.wait(
@@ -262,13 +425,26 @@ class AdmissionClient:
                 frame = future.result()
                 index = in_flight.pop(frame.request_id)
                 futures.pop(frame.request_id, None)
+                span = spans.pop(frame.request_id, None)
                 outcome = self._interpret(frame)
                 if outcome is None:
                     self.stats.overloaded += 1
                     retry_queue.append(index)
+                    if span is not None:
+                        # The post-sweep retry opens its own span (a new
+                        # attempt is a new wire exchange).
+                        span.set_attr("outcome", "overloaded")
+                        span.end()
                 else:
                     self.stats.responses += 1
                     results[index] = outcome
+                    if span is not None:
+                        self._finish_span(
+                            span,
+                            outcome,
+                            protocol.timing_from_payload(frame.payload),
+                            1,
+                        )
 
         for index in range(len(usages)):
             while len(in_flight) >= window:
@@ -277,11 +453,24 @@ class AdmissionClient:
             futures[request_id] = self._register(request_id)
             in_flight[request_id] = index
             self.stats.requests += 1
+            payload = protocol.usage_to_payload(usages[index])
+            tracer = self.tracer
+            if tracer is not None:
+                span = tracer.start_span(
+                    "wire_request", usage_id=usages[index].license_id
+                )
+                if span:
+                    spans[request_id] = span
+                    if self._speaks_v2():
+                        payload["trace"] = protocol.trace_context_to_payload(
+                            TraceContext(span.trace_id, span.span_id)
+                        )
             await self._send(
                 protocol.encode_frame(
                     protocol.MSG_REQUEST,
                     request_id,
-                    protocol.usage_to_payload(usages[index]),
+                    payload,
+                    version=self._frame_version(),
                 )
             )
         while in_flight:

@@ -21,6 +21,14 @@ path reads time only through the injectable ``clock`` callable
 latency percentiles are exact nearest-rank over the recorded samples,
 matching :meth:`repro.service.metrics.Histogram.quantile`.  The first
 ``warmup`` responses are excluded from latency/throughput accounting.
+
+Distributed tracing: pass a :class:`~repro.obs.trace.Tracer` and each
+pooled client emits ``wire_request`` spans with propagated contexts.
+The server's per-request timing echo (protocol v2) is aggregated into a
+per-phase breakdown on :class:`LoadReport` -- client-observed latency
+decomposes into wire time plus the server's queue / match / admission /
+revalidate phases -- and the top-N slowest measured requests carry their
+trace ids as exemplars, ready for ``repro trace-assemble``.
 """
 
 from __future__ import annotations
@@ -32,7 +40,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import TransportError, WireOverloadedError
+from repro.net import protocol
 from repro.net.client import AdmissionClient
+from repro.obs.trace import Tracer
 
 __all__ = ["LoadGenerator", "LoadReport", "LoadgenConfig", "nearest_rank"]
 
@@ -123,10 +133,34 @@ class LoadReport:
     elapsed: float
     rps: float
     latencies: List[float] = field(default_factory=list, repr=False)
+    #: Measured responses that carried a server timing echo (v2 only).
+    timed: int = 0
+    #: Summed server phase micros over the ``timed`` responses.
+    phase_totals_us: Dict[str, int] = field(default_factory=dict)
+    #: Top-N slowest measured requests: ``{"latency": s, "trace_id": ...}``
+    #: (trace ids present only when the run was traced).
+    exemplars: List[Dict[str, object]] = field(default_factory=list)
 
     def quantile(self, q: float) -> float:
         """Nearest-rank latency quantile over the measured window."""
         return nearest_rank(self.latencies, q)
+
+    def phase_means_us(self) -> Dict[str, float]:
+        """Mean server phase micros per timed response, plus the ``wire``
+        remainder (client-observed latency minus server-side total)."""
+        if not self.timed:
+            return {}
+        means = {
+            phase: total / self.timed
+            for phase, total in sorted(self.phase_totals_us.items())
+        }
+        mean_latency_us = (
+            sum(self.latencies) / len(self.latencies) * 1e6
+            if self.latencies
+            else 0.0
+        )
+        means["wire"] = max(0.0, mean_latency_us - sum(means.values()))
+        return means
 
     def to_json(self) -> Dict[str, object]:
         """Return the machine-readable summary (no raw samples)."""
@@ -145,6 +179,9 @@ class LoadReport:
             "p50": self.quantile(0.50),
             "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
+            "timed": self.timed,
+            "phases_us": self.phase_means_us(),
+            "exemplars": [dict(entry) for entry in self.exemplars],
         }
 
     def render(self) -> str:
@@ -172,6 +209,22 @@ class LoadReport:
             f"  retries {self.retries}, "
             f"overload failures {self.overloaded_failures}",
         ]
+        if self.timed:
+            means = self.phase_means_us()
+            wire = means.pop("wire", 0.0)
+            lines.append(
+                f"  server phases ({self.timed} timed): "
+                + ", ".join(
+                    f"{phase.replace('_us', '')} {mean:,.0f}us"
+                    for phase, mean in means.items()
+                )
+                + f"; wire remainder {wire:,.0f}us"
+            )
+        for entry in self.exemplars:
+            latency = float(entry.get("latency", 0.0))
+            trace_id = entry.get("trace_id")
+            suffix = f" trace={trace_id}" if trace_id else ""
+            lines.append(f"  slowest {latency * 1e3:.3f}ms{suffix}")
         return "\n".join(lines)
 
 
@@ -187,8 +240,21 @@ class _Recorder:
         self.latencies: List[float] = []
         self.measured_started: Optional[float] = None
         self.measured_ended: Optional[float] = None
+        self.timed = 0
+        self.phase_totals_us: Dict[str, int] = {}
+        #: (latency, trace_id) per measured response, for exemplars.
+        self.samples: List[tuple] = []
 
-    def record(self, outcome, latency: float, started: float, ended: float) -> None:
+    def record(
+        self,
+        outcome,
+        latency: float,
+        started: float,
+        ended: float,
+        *,
+        timing=None,
+        trace_id: Optional[str] = None,
+    ) -> None:
         self.seen += 1
         if self.seen <= self.warmup:
             return
@@ -196,6 +262,14 @@ class _Recorder:
             self.measured_started = started
         self.measured_ended = ended
         self.latencies.append(latency)
+        self.samples.append((latency, trace_id))
+        if timing is not None:
+            self.timed += 1
+            for phase, value in timing.to_dict().items():
+                if phase.endswith("_us"):
+                    self.phase_totals_us[phase] = (
+                        self.phase_totals_us.get(phase, 0) + int(value)
+                    )
         if outcome.accepted:
             self.accepted += 1
         else:
@@ -217,6 +291,15 @@ class LoadGenerator:
     clock:
         Injectable monotonic clock for every latency measurement
         (default ``time.perf_counter``).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` shared by every pooled
+        client: each request emits a ``wire_request`` span whose context
+        propagates to the server (protocol v2), and the report's slowest
+        exemplars carry trace ids.
+    protocol_versions:
+        Wire versions the pooled clients offer at HELLO (defaults to
+        everything this build speaks; pin to ``(1,)`` to measure the
+        legacy no-echo path).
     """
 
     def __init__(
@@ -224,9 +307,13 @@ class LoadGenerator:
         config: Optional[LoadgenConfig] = None,
         *,
         clock: ClockFn = time.perf_counter,
+        tracer: Optional[Tracer] = None,
+        protocol_versions: Sequence[int] = protocol.SUPPORTED_VERSIONS,
     ):
         self.config = config or LoadgenConfig()
         self.clock = clock
+        self.tracer = tracer
+        self.protocol_versions = tuple(protocol_versions)
 
     # ------------------------------------------------------------------
     # Entry points
@@ -267,12 +354,19 @@ class LoadGenerator:
                     return
                 started = self.clock()
                 try:
-                    outcome = await client.request(usage)
+                    result = await client.call(usage)
                 except WireOverloadedError:
                     recorder.record_overload_failure()
                     continue
                 ended = self.clock()
-                recorder.record(outcome, ended - started, started, ended)
+                recorder.record(
+                    result.outcome,
+                    ended - started,
+                    started,
+                    ended,
+                    timing=result.timing,
+                    trace_id=result.trace_id,
+                )
 
         run_started = self.clock()
         try:
@@ -305,12 +399,19 @@ class LoadGenerator:
             client = clients[index % len(clients)]
             started = self.clock()
             try:
-                outcome = await client.request(usage)
+                result = await client.call(usage)
             except WireOverloadedError:
                 recorder.record_overload_failure()
                 return
             ended = self.clock()
-            recorder.record(outcome, ended - started, started, ended)
+            recorder.record(
+                result.outcome,
+                ended - started,
+                started,
+                ended,
+                timing=result.timing,
+                trace_id=result.trace_id,
+            )
 
         run_started = self.clock()
         try:
@@ -346,6 +447,8 @@ class LoadGenerator:
             retries=self.config.retries,
             jitter_seed=seed_offset,
             client_name=f"repro-loadgen-{seed_offset}",
+            tracer=self.tracer,
+            protocol_versions=self.protocol_versions,
         )
 
     def _report(
@@ -368,6 +471,15 @@ class LoadGenerator:
         )
         elapsed = max(ended - started, 1e-9)
         measured = len(recorder.latencies)
+        slowest = sorted(
+            recorder.samples, key=lambda sample: -sample[0]
+        )[:5]
+        exemplars: List[Dict[str, object]] = []
+        for latency, trace_id in slowest:
+            entry: Dict[str, object] = {"latency": latency}
+            if trace_id is not None:
+                entry["trace_id"] = trace_id
+            exemplars.append(entry)
         return LoadReport(
             mode=self.config.mode,
             concurrency=self.config.concurrency,
@@ -381,4 +493,7 @@ class LoadGenerator:
             elapsed=elapsed,
             rps=measured / elapsed if measured else 0.0,
             latencies=recorder.latencies,
+            timed=recorder.timed,
+            phase_totals_us=dict(recorder.phase_totals_us),
+            exemplars=exemplars,
         )

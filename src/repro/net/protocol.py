@@ -27,6 +27,20 @@ Message flow::
       | <------ ERROR {code} -------- |   OVERLOADED keeps the conn alive
       | -- PING -------------------->  |
       | <------ PONG ---------------- |
+      | -- ADMIN {query} ----------->  |   v2: live introspection
+      | <------ ADMIN_OK {data} ----- |
+
+Version history:
+
+* **v1** -- HELLO / REQUEST / RESPONSE / ERROR / PING as above.
+* **v2** -- adds distributed tracing and live introspection.  REQUEST
+  frames may carry an optional ``"trace"`` object (trace id + parent
+  span id, see :func:`trace_context_to_payload`); RESPONSE frames may
+  carry an optional ``"timing"`` object (per-phase server breakdown,
+  see :func:`timing_to_payload`); and the ADMIN/ADMIN_OK message family
+  queries a live server for metrics, health, SLOs, slowest spans, and
+  the event tail.  Both extras are *optional keys on existing frames*,
+  so a v1 peer negotiated down via HELLO keeps working unchanged.
 
 Error codes are part of the protocol surface (:data:`ERR_OVERLOADED`
 maps the service's :class:`repro.errors.ServiceOverloadedError` onto the
@@ -42,6 +56,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ProtocolError
+from repro.obs.distrib import ServerTiming, TraceContext, validate_trace_id
 from repro.geometry.box import Box
 from repro.geometry.discrete import DiscreteSet
 from repro.geometry.interval import Interval
@@ -50,6 +65,7 @@ from repro.licenses.permission import Permission
 from repro.online.session import IssuanceOutcome
 
 __all__ = [
+    "ADMIN_QUERIES",
     "ERR_BAD_REQUEST",
     "ERR_INTERNAL",
     "ERR_OVERLOADED",
@@ -60,6 +76,8 @@ __all__ = [
     "HEADER_SIZE",
     "MAGIC",
     "MAX_PAYLOAD_BYTES",
+    "MSG_ADMIN",
+    "MSG_ADMIN_OK",
     "MSG_ERROR",
     "MSG_HELLO",
     "MSG_HELLO_OK",
@@ -69,6 +87,8 @@ __all__ = [
     "MSG_RESPONSE",
     "PROTOCOL_VERSION",
     "SUPPORTED_VERSIONS",
+    "admin_payload",
+    "admin_query_from_payload",
     "decode_frame",
     "encode_frame",
     "error_payload",
@@ -76,6 +96,10 @@ __all__ = [
     "negotiate_version",
     "outcome_from_payload",
     "outcome_to_payload",
+    "timing_from_payload",
+    "timing_to_payload",
+    "trace_context_from_payload",
+    "trace_context_to_payload",
     "usage_from_payload",
     "usage_to_payload",
 ]
@@ -83,9 +107,9 @@ __all__ = [
 #: Two magic bytes opening every frame ("Repro Validation").
 MAGIC = b"RV"
 #: The protocol version this library speaks natively.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 #: Every version this codec can decode (newest preferred in negotiation).
-SUPPORTED_VERSIONS: Tuple[int, ...] = (1,)
+SUPPORTED_VERSIONS: Tuple[int, ...] = (1, 2)
 #: Hard ceiling on one frame's payload; a length field beyond this is
 #: treated as stream corruption, not an allocation request.
 MAX_PAYLOAD_BYTES = 1 << 20
@@ -104,6 +128,8 @@ MSG_RESPONSE = 0x11
 MSG_ERROR = 0x12
 MSG_PING = 0x20
 MSG_PONG = 0x21
+MSG_ADMIN = 0x30
+MSG_ADMIN_OK = 0x31
 
 _KNOWN_TYPES = frozenset(
     {
@@ -114,6 +140,8 @@ _KNOWN_TYPES = frozenset(
         MSG_ERROR,
         MSG_PING,
         MSG_PONG,
+        MSG_ADMIN,
+        MSG_ADMIN_OK,
     }
 )
 
@@ -451,3 +479,146 @@ def outcome_from_payload(payload: Dict[str, object]) -> IssuanceOutcome:
         reason,
         rejection_detail=detail,
     )
+
+
+# ---------------------------------------------------------------------------
+# Trace-context codec (v2: optional "trace" key on MSG_REQUEST payloads)
+# ---------------------------------------------------------------------------
+def trace_context_to_payload(context: TraceContext) -> Dict[str, object]:
+    """Serialize a trace context for embedding under ``payload["trace"]``."""
+    return {"trace_id": context.trace_id, "span_id": context.span_id}
+
+
+def trace_context_from_payload(
+    payload: Dict[str, object]
+) -> Optional[TraceContext]:
+    """Extract the optional trace context from a MSG_REQUEST payload.
+
+    Returns ``None`` when the request carries no ``"trace"`` key (v1
+    clients, or tracing disabled).  A present-but-malformed context --
+    wrong container type, missing ids, ids that fail
+    :func:`repro.obs.distrib.validate_trace_id` -- raises
+    :class:`~repro.errors.ProtocolError`: a corrupt context must be
+    rejected loudly, never silently dropped into the journals.
+    """
+    entry = payload.get("trace")
+    if entry is None:
+        return None
+    if not isinstance(entry, dict):
+        raise ProtocolError(
+            f"trace context must be a JSON object, got {type(entry).__name__}"
+        )
+    try:
+        trace_id = entry["trace_id"]
+        span_id = entry["span_id"]
+    except KeyError as exc:
+        raise ProtocolError(f"trace context missing field {exc}") from exc
+    return TraceContext(
+        validate_trace_id(trace_id, label="trace_id"),
+        validate_trace_id(span_id, label="span_id"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Server-timing codec (v2: optional "timing" key on MSG_RESPONSE payloads)
+# ---------------------------------------------------------------------------
+_TIMING_PHASES = ("queue_us", "match_us", "admission_us", "revalidate_us")
+
+
+def timing_to_payload(timing: ServerTiming) -> Dict[str, object]:
+    """Serialize the per-request server-side phase breakdown."""
+    return timing.to_dict()
+
+
+def timing_from_payload(payload: Dict[str, object]) -> Optional[ServerTiming]:
+    """Extract the optional timing echo from a MSG_RESPONSE payload.
+
+    Returns ``None`` when absent (v1 servers, or timing echo disabled);
+    raises :class:`~repro.errors.ProtocolError` on a malformed entry.
+    """
+    entry = payload.get("timing")
+    if entry is None:
+        return None
+    if not isinstance(entry, dict):
+        raise ProtocolError(
+            f"timing echo must be a JSON object, got {type(entry).__name__}"
+        )
+    values: Dict[str, int] = {}
+    for phase in _TIMING_PHASES:
+        value = entry.get(phase)
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            raise ProtocolError(
+                f"timing phase {phase} must be a non-negative integer, "
+                f"got {value!r}"
+            )
+        values[phase] = value
+    shard_id = entry.get("shard_id")
+    if isinstance(shard_id, bool) or not isinstance(shard_id, int):
+        raise ProtocolError(f"timing shard_id must be an integer, got {shard_id!r}")
+    kernel = entry.get("kernel")
+    if not isinstance(kernel, str) or not kernel:
+        raise ProtocolError(f"timing kernel must be a non-empty string, got {kernel!r}")
+    return ServerTiming(shard_id=shard_id, kernel=kernel, **values)
+
+
+# ---------------------------------------------------------------------------
+# Admin codec (v2: MSG_ADMIN / MSG_ADMIN_OK live-introspection family)
+# ---------------------------------------------------------------------------
+#: Queries a live server answers over the admission port.
+ADMIN_QUERIES: Tuple[str, ...] = ("metrics", "health", "slo", "slowest", "events")
+
+#: Ceiling on admin "limit" parameters (slowest-N / event-tail length),
+#: so one query cannot ask the server to serialize an unbounded reply.
+MAX_ADMIN_LIMIT = 1000
+
+
+def admin_payload(query: str, *, limit: Optional[int] = None) -> Dict[str, object]:
+    """Build a MSG_ADMIN payload for ``query``.
+
+    ``limit`` bounds list-shaped replies (top-N slowest spans, event
+    tail); it is meaningless for the snapshot queries and rejected there.
+    """
+    if query not in ADMIN_QUERIES:
+        raise ProtocolError(
+            f"unknown admin query {query!r} "
+            f"(expected one of: {', '.join(ADMIN_QUERIES)})"
+        )
+    payload: Dict[str, object] = {"query": query}
+    if limit is not None:
+        if isinstance(limit, bool) or not isinstance(limit, int) or limit < 1:
+            raise ProtocolError(f"admin limit must be a positive integer, got {limit!r}")
+        if limit > MAX_ADMIN_LIMIT:
+            raise ProtocolError(
+                f"admin limit {limit} exceeds the ceiling of {MAX_ADMIN_LIMIT}"
+            )
+        if query not in ("slowest", "events"):
+            raise ProtocolError(f"admin query {query!r} takes no limit")
+        payload["limit"] = limit
+    return payload
+
+
+def admin_query_from_payload(
+    payload: Dict[str, object]
+) -> Tuple[str, Optional[int]]:
+    """Validate a MSG_ADMIN payload; returns ``(query, limit)``.
+
+    Round-trips :func:`admin_payload` and raises
+    :class:`~repro.errors.ProtocolError` on anything else.
+    """
+    query = payload.get("query")
+    if not isinstance(query, str) or query not in ADMIN_QUERIES:
+        raise ProtocolError(
+            f"unknown admin query {query!r} "
+            f"(expected one of: {', '.join(ADMIN_QUERIES)})"
+        )
+    limit = payload.get("limit")
+    if limit is not None:
+        if isinstance(limit, bool) or not isinstance(limit, int) or limit < 1:
+            raise ProtocolError(f"admin limit must be a positive integer, got {limit!r}")
+        if limit > MAX_ADMIN_LIMIT:
+            raise ProtocolError(
+                f"admin limit {limit} exceeds the ceiling of {MAX_ADMIN_LIMIT}"
+            )
+        if query not in ("slowest", "events"):
+            raise ProtocolError(f"admin query {query!r} takes no limit")
+    return query, limit

@@ -25,6 +25,17 @@ real socket.  Design points:
 * **Graceful drain.**  :meth:`shutdown` (also armed for SIGTERM/SIGINT
   by the ``repro serve`` CLI) stops accepting, flushes every in-flight
   request, emits a ``drain`` event, and only then closes connections.
+* **Distributed tracing (protocol v2).**  REQUEST frames may carry a
+  client trace context; the server threads it into
+  :meth:`ValidationService.submit` so server spans parent under the
+  client's wire span, and echoes a per-request phase breakdown
+  (:class:`repro.obs.distrib.ServerTiming`) in RESPONSE frames.  Both
+  are negotiated away transparently for v1 peers.
+* **Live introspection (protocol v2).**  The ADMIN message family
+  answers metrics-snapshot, health, SLO, top-N-slowest and event-tail
+  queries over the same port (see :meth:`admin_snapshot` and the
+  ``repro admin`` CLI) -- the monitor becomes a queryable endpoint
+  instead of a file sink.
 * **Telemetry.**  Connection/request counters land in the service's
   :class:`~repro.service.metrics.MetricsRegistry` (``wire_*`` names) and
   ``conn_open``/``conn_close``/``drain`` events in the optional
@@ -81,6 +92,13 @@ class WireServerConfig:
         service as soon as the batch parsed from one read chunk has been
         submitted.  Tests set ``False`` to drive :meth:`flush` manually
         and observe window saturation deterministically.
+    timing_echo:
+        When ``True`` (default), the service collects a per-request
+        phase breakdown (:class:`repro.obs.distrib.ServerTiming`) and
+        the server echoes it under the ``"timing"`` key of RESPONSE
+        frames on protocol-v2 connections.  v1 connections never see
+        the key; disabling skips clock reads entirely (benchmarked
+        baseline path).
     """
 
     host: str = "127.0.0.1"
@@ -88,6 +106,7 @@ class WireServerConfig:
     max_inflight: int = 256
     read_limit: int = 1 << 16
     auto_flush: bool = True
+    timing_echo: bool = True
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
@@ -146,6 +165,13 @@ class AdmissionServer:
         self.config = config or WireServerConfig()
         self.events = events if events is not None else service.events
         self.metrics = service.metrics
+        if self.config.timing_echo:
+            service.enable_request_timings()
+        monitor = service.monitor
+        if monitor is not None:
+            # Lets the monitor grade wire window saturation (the sixth
+            # health indicator) against this server's actual capacity.
+            monitor.set_wire_capacity(self.config.max_inflight)
         self._server: Optional[asyncio.base_events.Server] = None
         #: seq -> (connection, request id) for submitted, unanswered requests.
         self._pending: Dict[int, Tuple[_Connection, int]] = {}
@@ -281,8 +307,15 @@ class AdmissionServer:
         if frame.msg_type == protocol.MSG_PING:
             await self._send(
                 connection,
-                protocol.encode_frame(protocol.MSG_PONG, frame.request_id),
+                protocol.encode_frame(
+                    protocol.MSG_PONG,
+                    frame.request_id,
+                    version=self._wire_version(connection),
+                ),
             )
+            return 0
+        if frame.msg_type == protocol.MSG_ADMIN:
+            await self._handle_admin(connection, frame)
             return 0
         if frame.msg_type != protocol.MSG_REQUEST:
             await self._send_error(
@@ -325,6 +358,9 @@ class AdmissionServer:
                     "licenses": len(self.service.pool),
                     "shards": self.service.shard_count,
                 },
+                # Framed at the negotiated version: a v1-only peer must
+                # be able to decode everything we send from here on.
+                version=version,
             ),
         )
 
@@ -347,6 +383,14 @@ class AdmissionServer:
             return 0
         try:
             usage = protocol.usage_from_payload(frame.payload)
+            # The trace context only exists on v2 connections; a v1
+            # client cannot have sent one, so don't even look (a stray
+            # "trace" key from a v1 peer is ignored, not an error).
+            context = (
+                protocol.trace_context_from_payload(frame.payload)
+                if connection.negotiated >= 2
+                else None
+            )
         except ProtocolError as exc:
             self.metrics.counter("wire_requests_total").inc(("bad_request",))
             await self._send_error(
@@ -364,7 +408,7 @@ class AdmissionServer:
             )
             return 0
         try:
-            seq = self.service.submit(usage)
+            seq = self.service.submit(usage, trace_context=context)
         except ServiceOverloadedError as exc:
             self.metrics.counter("wire_requests_total").inc(("overloaded",))
             await self._send_error(
@@ -380,7 +424,85 @@ class AdmissionServer:
         self._pending[seq] = (connection, frame.request_id)
         connection.requests += 1
         self.metrics.counter("wire_requests_total").inc(("submitted",))
+        # Kept current on the submit side too (not just after flushes),
+        # so health evaluation sees true window occupancy under load.
+        self.metrics.gauge("wire_in_flight").set(len(self._pending))
         return 1
+
+    # ------------------------------------------------------------------
+    # Admin introspection (protocol v2)
+    # ------------------------------------------------------------------
+    def admin_snapshot(self) -> Dict[str, object]:
+        """Wire-level occupancy summary served by admin ``health``.
+
+        This is the live feed of the wire-saturation health indicator:
+        window occupancy vs. capacity, open connections, served count.
+        """
+        return {
+            "in_flight": len(self._pending),
+            "max_inflight": self.config.max_inflight,
+            "connections_open": len(self._connections),
+            "requests_served": self._requests_served,
+            "draining": self._draining,
+            "timing_echo": self.config.timing_echo,
+        }
+
+    async def _handle_admin(self, connection: _Connection, frame: Frame) -> None:
+        """Answer one MSG_ADMIN query with a MSG_ADMIN_OK frame.
+
+        ADMIN is a v2 message: it requires a negotiated v2 connection
+        (v1 peers never send it -- the type postdates their codec).
+        """
+        if connection.negotiated is None or connection.negotiated < 2:
+            await self._send_error(
+                connection,
+                frame.request_id,
+                protocol.ERR_BAD_REQUEST,
+                "ADMIN requires a negotiated protocol-v2 connection",
+            )
+            return
+        try:
+            query, limit = protocol.admin_query_from_payload(frame.payload)
+        except ProtocolError as exc:
+            await self._send_error(
+                connection, frame.request_id, protocol.ERR_BAD_REQUEST, str(exc)
+            )
+            return
+        monitor = self.service.monitor
+        data: object
+        if query == "metrics":
+            self.metrics.gauge("wire_in_flight").set(len(self._pending))
+            data = self.metrics.snapshot()
+        elif query == "health":
+            self.metrics.gauge("wire_in_flight").set(len(self._pending))
+            if monitor is not None and monitor.attached:
+                monitor.tick()
+            data = {
+                "wire": self.admin_snapshot(),
+                "monitor": monitor.snapshot() if monitor is not None else None,
+            }
+        elif query == "slo":
+            data = (
+                [status.to_dict() for status in monitor.slo_statuses()]
+                if monitor is not None
+                else []
+            )
+        elif query == "slowest":
+            tracer = self.service.tracer
+            records = list(tracer.records()) if tracer is not None else []
+            records.sort(key=lambda r: (-r.duration, r.trace_id, r.span_id))
+            data = [record.to_dict() for record in records[: limit or 10]]
+        else:  # "events" -- admin_query_from_payload vetted the name
+            data = self.events.tail(limit or 50) if self.events is not None else []
+        await self._send(
+            connection,
+            protocol.encode_frame(
+                protocol.MSG_ADMIN_OK,
+                frame.request_id,
+                {"query": query, "data": data},
+                version=self._wire_version(connection),
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Flushing
@@ -413,8 +535,14 @@ class AdmissionServer:
                 connection, request_id = self._pending.pop(seq)
                 self._requests_served += 1
                 payload = protocol.outcome_to_payload(outcome)
+                # Timings must be claimed for every seq (the buffer is
+                # pop-once); only v2 peers get the echo on the wire.
+                timing = self.service.pop_request_timing(seq)
+                version = self._wire_version(connection)
+                if timing is not None and version >= 2:
+                    payload["timing"] = protocol.timing_to_payload(timing)
                 frame = protocol.encode_frame(
-                    protocol.MSG_RESPONSE, request_id, payload
+                    protocol.MSG_RESPONSE, request_id, payload, version=version
                 )
                 await self._send(connection, frame)
                 written += 1
@@ -434,6 +562,12 @@ class AdmissionServer:
         except ConnectionError:  # peer vanished mid-write
             logger.info("write to %s failed; closing", connection.peer)
 
+    @staticmethod
+    def _wire_version(connection: _Connection) -> int:
+        """Frame version for replies: the negotiated one, else v1 (the
+        lowest common denominator every client can decode)."""
+        return connection.negotiated if connection.negotiated is not None else 1
+
     async def _send_error(
         self, connection: _Connection, request_id: int, code: int, detail: str
     ) -> None:
@@ -443,6 +577,7 @@ class AdmissionServer:
                 protocol.MSG_ERROR,
                 request_id,
                 protocol.error_payload(code, detail),
+                version=self._wire_version(connection),
             ),
         )
 

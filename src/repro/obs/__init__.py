@@ -21,9 +21,15 @@ counters, gauges, latency quantiles.  This package answers *why* and
   un-instrumented runs pay (almost) nothing;
 * :mod:`repro.obs.monitor` -- the consumption layer: windowed metric
   streams, derived health indicators (including the Equation-3
-  efficiency-drift signal), SLO error-budget tracking, and an alert
-  engine (static thresholds + EWMA anomaly detection) behind one
-  :class:`Monitor` object a service accepts via ``monitor=``.
+  efficiency-drift signal and wire in-flight saturation), SLO
+  error-budget tracking, and an alert engine (static thresholds + EWMA
+  anomaly detection) behind one :class:`Monitor` object a service
+  accepts via ``monitor=``;
+* :mod:`repro.obs.distrib` -- cross-process tracing: the
+  :class:`TraceContext` carried in wire REQUEST frames, the
+  :class:`ServerTiming` phase breakdown echoed in RESPONSE frames, and
+  :func:`assemble`, which merges a client and a server trace journal
+  into one clock-aligned span forest.
 
 The contract with the serving layer: observability is strictly
 *out-of-band*.  Verdict streams are byte-identical with tracing enabled
@@ -32,6 +38,13 @@ disabled-instrumentation overhead is benchmarked in
 ``benchmarks/bench_obs_overhead.py``.
 """
 
+from repro.obs.distrib import (
+    AssembledTrace,
+    ServerTiming,
+    TraceContext,
+    assemble,
+    assemble_files,
+)
 from repro.obs.events import (
     EVENT_ADMISSION,
     EVENT_ALERT,
@@ -73,6 +86,7 @@ __all__ = [
     "EVENT_CACHE_EVICTION",
     "EVENT_EPOCH_CHANGE",
     "EVENT_REJECTION",
+    "AssembledTrace",
     "CountingInstrumentation",
     "EventLog",
     "EwmaRule",
@@ -83,12 +97,16 @@ __all__ = [
     "NOOP",
     "NULL_SPAN",
     "SamplingConfig",
+    "ServerTiming",
     "Slo",
     "Span",
     "SpanRecord",
     "ThresholdRule",
+    "TraceContext",
     "Tracer",
     "TracingInstrumentation",
+    "assemble",
+    "assemble_files",
     "load_trace_jsonl",
     "parse_prometheus",
     "registry_to_json",

@@ -303,10 +303,18 @@ def top_slowest(
 
 
 def summarize_events(events: Iterable[Dict[str, object]]) -> str:
-    """Summarize a structured event stream: counts per kind + reasons."""
+    """Summarize a structured event stream: counts per kind + reasons.
+
+    Wire-server events (``conn_open``/``conn_close``/``drain``, emitted
+    by :class:`repro.net.server.AdmissionServer` since the wire layer
+    landed) get their own section: connection churn, requests served on
+    closed connections, and in-flight requests flushed by drains.
+    """
     kinds: Dict[str, int] = {}
     reasons: Dict[str, int] = {}
     total = 0
+    conn_requests = 0
+    drain_flushed = 0
     for event in events:
         total += 1
         kind = str(event.get("kind", "?"))
@@ -314,6 +322,10 @@ def summarize_events(events: Iterable[Dict[str, object]]) -> str:
         if kind == "rejection":
             reason = str(event.get("reason", "unknown"))
             reasons[reason] = reasons.get(reason, 0) + 1
+        elif kind == "conn_close":
+            conn_requests += int(event.get("requests", 0) or 0)
+        elif kind == "drain":
+            drain_flushed += int(event.get("in_flight_flushed", 0) or 0)
     lines = [f"{total} event(s)"]
     for kind in sorted(kinds):
         lines.append(f"  {kind}: {kinds[kind]}")
@@ -321,4 +333,16 @@ def summarize_events(events: Iterable[Dict[str, object]]) -> str:
         lines.append("rejection reasons:")
         for reason in sorted(reasons):
             lines.append(f"  {reason}: {reasons[reason]}")
+    opens = kinds.get("conn_open", 0)
+    closes = kinds.get("conn_close", 0)
+    drains = kinds.get("drain", 0)
+    if opens or closes or drains:
+        lines.append("wire:")
+        lines.append(f"  connections: {opens} opened, {closes} closed")
+        if closes:
+            lines.append(f"  requests on closed connections: {conn_requests}")
+        if drains:
+            lines.append(
+                f"  drains: {drains} ({drain_flushed} in-flight flushed)"
+            )
     return "\n".join(lines)

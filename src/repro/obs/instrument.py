@@ -46,8 +46,16 @@ class Instrumentation:
     def count(self, name: str, amount: Union[int, float] = 1) -> None:
         """Record ``amount`` occurrences of a named counter."""
 
-    def span(self, name: str, **attrs: object) -> Union[Span, _NullSpan]:
-        """Open a span context manager around a unit of work."""
+    def span(
+        self, name: str, parent: object = None, **attrs: object
+    ) -> Union[Span, _NullSpan]:
+        """Open a span context manager around a unit of work.
+
+        ``parent`` accepts anything the tracer's duck-typed parent
+        contract does -- including a remote
+        :class:`repro.obs.distrib.TraceContext` -- and is ignored by the
+        no-op.
+        """
         return NULL_SPAN
 
     def counters(self) -> Dict[str, Union[int, float]]:
@@ -111,5 +119,5 @@ class TracingInstrumentation(CountingInstrumentation):
         if current is not None:
             current.inc_attr(name, amount)
 
-    def span(self, name: str, **attrs: object):
-        return self.tracer.span(name, **attrs)
+    def span(self, name: str, parent: object = None, **attrs: object):
+        return self.tracer.span(name, parent, **attrs)  # type: ignore[arg-type]

@@ -2,8 +2,9 @@
 
 Raw counters say what happened; an operator wants to know whether the
 service is *degrading*.  :class:`HealthEvaluator` condenses the stream
-state into five named indicators, each graded ``ok`` / ``warn`` /
-``critical`` against configurable :class:`HealthThresholds`:
+state into five named indicators (six when a wire front end is
+configured), each graded ``ok`` / ``warn`` / ``critical`` against
+configurable :class:`HealthThresholds`:
 
 * ``queue_saturation`` -- worst per-shard queue depth relative to the
   configured queue capacity (1.0 = a shard is one request away from
@@ -22,6 +23,12 @@ state into five named indicators, each graded ``ok`` / ``warn`` /
   traffic far below 1.0; a ratio approaching 1.0 means every admission
   is paying a full grouped revalidation pass -- the grouping gain the
   paper promises is degrading.
+* ``wire_saturation`` (only when ``wire_inflight_capacity`` is set,
+  i.e. an :class:`repro.net.server.AdmissionServer` is attached) --
+  occupancy of the bounded wire in-flight window relative to its
+  ``max_inflight`` capacity, read from the ``wire_in_flight`` gauge the
+  server keeps current on every submit, flush, and admin query.  1.0
+  means the next arrival gets a wire ``OVERLOADED`` error.
 
 Indicators that cannot be computed yet (no traffic, no capacity
 configured) report ``ok`` with an explanatory detail rather than
@@ -80,6 +87,9 @@ class HealthThresholds:
     #: Admission decisions needed before efficiency is graded (single
     #: un-batched requests legitimately pay near the full bound).
     efficiency_min_admissions: int = 10
+    #: Wire in-flight window occupancy vs. capacity.
+    wire_saturation_warn: float = 0.5
+    wire_saturation_critical: float = 0.9
 
 
 @dataclass(frozen=True)
@@ -165,6 +175,10 @@ class HealthEvaluator:
     equations_bound:
         The pool's ``Σ_k (2^{N_k} - 1)`` grouped-equation bound (``None``
         when unknown).
+    wire_inflight_capacity:
+        The wire server's ``max_inflight`` window bound.  ``None`` (no
+        wire front end) leaves the indicator set at the classic five;
+        setting it adds the ``wire_saturation`` indicator.
     """
 
     def __init__(
@@ -174,11 +188,13 @@ class HealthEvaluator:
         *,
         queue_capacity: Optional[int] = None,
         equations_bound: Optional[int] = None,
+        wire_inflight_capacity: Optional[int] = None,
     ):
         self.streams = streams
         self.thresholds = thresholds or HealthThresholds()
         self.queue_capacity = queue_capacity
         self.equations_bound = equations_bound
+        self.wire_inflight_capacity = wire_inflight_capacity
         #: EWMA baseline of the rolling p99 (None until first sample).
         self._latency_baseline: Optional[float] = None
 
@@ -305,11 +321,38 @@ class HealthEvaluator:
             f"{self.equations_bound} (Eq. 3)",
         )
 
+    def _wire_saturation(self) -> Indicator:
+        thresholds = self.thresholds
+        capacity = self.wire_inflight_capacity
+        assert capacity is not None  # evaluate() only calls when set
+        in_flight = self.streams.last("wire_in_flight")
+        if in_flight is None:
+            return Indicator(
+                "wire_saturation", STATUS_OK, 0.0,
+                "no wire data in window",
+            )
+        value = in_flight / capacity
+        return Indicator(
+            "wire_saturation",
+            _grade_high(
+                value,
+                thresholds.wire_saturation_warn,
+                thresholds.wire_saturation_critical,
+            ),
+            value,
+            f"{in_flight:g}/{capacity} request(s) in the wire window",
+        )
+
     # ------------------------------------------------------------------
     # Report
     # ------------------------------------------------------------------
     def evaluate(self) -> HealthReport:
-        """Compute every indicator and the worst overall status."""
+        """Compute every indicator and the worst overall status.
+
+        The wire-saturation indicator only joins the set when a wire
+        capacity is configured, so file-sink deployments keep the exact
+        five-indicator surface their golden reports pin down.
+        """
         indicators = (
             self._queue_saturation(),
             self._backpressure_rate(),
@@ -317,6 +360,8 @@ class HealthEvaluator:
             self._latency_drift(),
             self._efficiency_ratio(),
         )
+        if self.wire_inflight_capacity is not None:
+            indicators = indicators + (self._wire_saturation(),)
         worst = max(
             (ind.status for ind in indicators), key=_STATUS_RANK.__getitem__
         )

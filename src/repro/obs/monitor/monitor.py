@@ -173,6 +173,7 @@ class Monitor:
         equations_bound: Optional[int] = None,
         cache_stats: Optional[Callable[[], Tuple[int, int, int]]] = None,
         events: Optional[EventLog] = None,
+        wire_inflight_capacity: Optional[int] = None,
     ) -> None:
         """Subscribe to a registry and set service-derived constants.
 
@@ -185,9 +186,22 @@ class Monitor:
         self._registry = registry
         self._evaluator.queue_capacity = queue_capacity
         self._evaluator.equations_bound = equations_bound
+        if wire_inflight_capacity is not None:
+            self._evaluator.wire_inflight_capacity = wire_inflight_capacity
         self._cache_stats = cache_stats
         if self.events is None and events is not None:
             self.events = events
+
+    def set_wire_capacity(self, capacity: Optional[int]) -> None:
+        """Configure (or clear) the wire in-flight window capacity.
+
+        Called by :class:`repro.net.server.AdmissionServer` when it
+        fronts the monitored service; enables the ``wire_saturation``
+        health indicator.  Safe before or after attachment -- the
+        capacity is a grading constant, not a stream subscription.
+        """
+        self._evaluator.wire_inflight_capacity = capacity
+        self._last_health = None
 
     def attach(self, service) -> None:
         """Attach to a :class:`ValidationService` (called by its ctor)."""

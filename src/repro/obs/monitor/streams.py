@@ -110,6 +110,40 @@ class MetricStreams:
         while series and series[0][0] < horizon:
             series.popleft()
 
+    #: Wire-server event kinds mapped into stream cells by
+    #: :meth:`ingest_event`: ``{kind: (metric, value field or None)}``.
+    #: ``None`` means each event contributes 1 (a pure occurrence count).
+    WIRE_EVENT_METRICS = {
+        "conn_open": ("wire_conn_events", None),
+        "conn_close": ("wire_conn_events", None),
+        "drain": ("wire_drain_flushed", "in_flight_flushed"),
+    }
+
+    def ingest_event(self, event: Dict[str, object]) -> bool:
+        """Fold one wire-server event into the windowed streams.
+
+        The wire layer reports connection churn and drains through the
+        :class:`~repro.obs.events.EventLog`, not the metrics registry, so
+        a monitor attached only to the registry never sees them.  This
+        maps ``conn_open``/``conn_close`` to a ``wire_conn_events``
+        counter cell labelled by kind and ``drain`` to
+        ``wire_drain_flushed`` valued by the flushed in-flight count --
+        after which the usual :meth:`delta`/:meth:`rate` views apply.
+        Returns ``True`` when the event kind was recognised.
+        """
+        kind = str(event.get("kind", ""))
+        mapping = self.WIRE_EVENT_METRICS.get(kind)
+        if mapping is None:
+            return False
+        metric, value_field = mapping
+        value = 1.0 if value_field is None else float(event.get(value_field, 0) or 0)  # type: ignore[arg-type]
+        self.observe(metric, (kind,), value)
+        return True
+
+    def ingest_events(self, events) -> int:
+        """Call :meth:`ingest_event` per event; return how many matched."""
+        return sum(1 for event in events if self.ingest_event(event))
+
     # ------------------------------------------------------------------
     # Selection
     # ------------------------------------------------------------------

@@ -275,6 +275,14 @@ class Tracer:
         used; with neither, this starts a new *root* span (and trace),
         subject to the head-sampling decision.  A ``NULL_SPAN`` parent
         propagates: the child is ``NULL_SPAN`` too.
+
+        The parent contract is duck-typed: any object exposing
+        ``trace_id``/``span_id`` works, notably a
+        :class:`repro.obs.distrib.TraceContext` carried over the wire --
+        the new span then joins the *remote* trace, which is how a
+        server's ``request`` span nests under a client's
+        ``wire_request`` span.  Remote-parented spans are never
+        head-sampled away (the remote end already made that decision).
         """
         if parent is None:
             parent = _CURRENT.get()

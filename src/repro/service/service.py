@@ -55,6 +55,7 @@ from repro.obs.events import (
     EVENT_REJECTION,
     EventLog,
 )
+from repro.obs.distrib import ServerTiming
 from repro.obs.trace import NULL_SPAN, Tracer
 from repro.online.session import IssuanceOutcome
 from repro.service.cache import GroupTables, MatchCache
@@ -158,6 +159,14 @@ class ValidationService:
         if tracer is not None:
             for shard in self._shards:
                 shard.collect_timings = True
+        self._kernel_by_group: Dict[int, str] = {
+            group_id: gslice.kernel_name
+            for shard_slices in slices_by_shard.values()
+            for group_id, gslice in shard_slices.items()
+        }
+        self._timings_enabled = False
+        self._request_timings: Dict[int, ServerTiming] = {}
+        self._match_us: Dict[int, int] = {}
         self._executor = make_executor(self.config.executor, self._shard_count)
         self._latency = self.metrics.histogram(
             "latency_seconds", self.config.latency_window
@@ -217,6 +226,38 @@ class ValidationService:
         return {shard.shard_id: shard.depth for shard in self._shards}
 
     # ------------------------------------------------------------------
+    # Per-request timing breakdown (wire timing echo)
+    # ------------------------------------------------------------------
+    @property
+    def request_timings_enabled(self) -> bool:
+        """Whether per-request :class:`~repro.obs.distrib.ServerTiming`
+        breakdowns are being collected."""
+        return self._timings_enabled
+
+    def enable_request_timings(self) -> None:
+        """Start collecting a per-request phase breakdown.
+
+        Every completed sequence id then owns one
+        :class:`~repro.obs.distrib.ServerTiming`, claimable exactly once
+        via :meth:`pop_request_timing`.  The admission verdicts are
+        byte-identical with collection on or off; only clocks are read.
+        Enabled by :class:`repro.net.server.AdmissionServer` when its
+        config asks for the v2 timing echo.
+        """
+        self._timings_enabled = True
+        for shard in self._shards:
+            shard.collect_timings = True
+
+    def pop_request_timing(self, seq: int) -> Optional[ServerTiming]:
+        """Claim (and forget) the timing breakdown for ``seq``.
+
+        Returns ``None`` when collection is disabled, the seq is
+        unknown, or the timing was already claimed -- callers must pop
+        every completed seq to keep the buffer from growing.
+        """
+        return self._request_timings.pop(seq, None)
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -234,11 +275,22 @@ class ValidationService:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def submit(self, usage: UsageLicense) -> int:
+    def submit(
+        self,
+        usage: UsageLicense,
+        *,
+        trace_context: Optional[object] = None,
+    ) -> int:
         """Match, route, and enqueue one request; return its sequence id.
 
         Instance rejections are decided immediately (no shard owns them);
         everything else waits for the next :meth:`drain`.
+
+        ``trace_context`` optionally parents this request's span under a
+        *remote* span -- any object exposing ``trace_id``/``span_id``
+        attributes works (e.g. :class:`repro.obs.distrib.TraceContext`
+        decoded from a wire frame), making the request one trace across
+        the process boundary.  Ignored when no tracer is configured.
 
         Raises
         ------
@@ -251,10 +303,18 @@ class ValidationService:
             raise ServiceError("service is closed")
         tracer = self.tracer
         span = (
-            tracer.start_span("request", usage_id=usage.license_id)
+            tracer.start_span(
+                "request", parent=trace_context, usage_id=usage.license_id
+            )
             if tracer is not None
             else NULL_SPAN
         )
+        if trace_context is not None and span:
+            # Both processes draw span ids from identical seeded
+            # counters, so the id alone cannot prove a parent lives in
+            # another journal; the assembler keys on this marker.
+            span.set_attr("remote_parent", True)
+        match_started = time.perf_counter() if self._timings_enabled else 0.0
         if tracer is not None:
             hits_before = self._matcher.hits
             with tracer.span("match", parent=span) as match_span:
@@ -265,6 +325,11 @@ class ValidationService:
                 match_span.set_attr("matched", len(matched))
         else:
             matched = tuple(sorted(self._matcher.match(usage)))
+        match_us = (
+            max(0, int((time.perf_counter() - match_started) * 1e6))
+            if self._timings_enabled
+            else 0
+        )
         seq = self._seq
         span.set_attr("seq", seq)
         if not matched:
@@ -280,6 +345,17 @@ class ValidationService:
             self._pending_outcomes[seq] = outcome
             self._count_outcome(outcome)
             self._emit_outcome_event(seq, outcome)
+            if self._timings_enabled:
+                # Instance rejections never reach a shard: queue /
+                # admission / revalidate phases are structurally zero.
+                self._request_timings[seq] = ServerTiming(
+                    queue_us=0,
+                    match_us=match_us,
+                    admission_us=0,
+                    revalidate_us=0,
+                    shard_id=-1,
+                    kernel="none",
+                )
             span.set_attr("outcome", "rejected")
             span.set_attr("reason", REASON_INSTANCE)
             span.end()
@@ -309,6 +385,8 @@ class ValidationService:
             span.end()
             raise
         self._seq += 1
+        if self._timings_enabled:
+            self._match_us[seq] = match_us
         if span:
             span.set_attr("group_id", group_id)
             span.set_attr("shard", shard.shard_id)
@@ -405,7 +483,17 @@ class ValidationService:
                 )
             now = time.perf_counter()
             completed_results: List[ShardResult] = []
+            reval_us: Dict[int, int] = {}
             for _shard_id, (results, stats) in sorted(outputs.items()):
+                if self._timings_enabled:
+                    # Revalidation runs once per touched group per batch;
+                    # its cost is attributed to every request of that
+                    # group completed by this drain (amortized view).
+                    for timing in stats.batch_timings:
+                        for reval in timing.revalidations:
+                            reval_us[reval.group_id] = reval_us.get(
+                                reval.group_id, 0
+                            ) + max(0, int(reval.duration * 1e6))
                 self.metrics.counter("batches_total").inc(amount=stats.batches)
                 self.metrics.counter("equations_checked_total").inc(
                     amount=stats.equations_checked
@@ -433,7 +521,7 @@ class ValidationService:
             # were spread over shards.
             for result in sorted(completed_results, key=lambda r: r.seq):
                 self._latency.observe(now - result.submitted_at)
-                self._complete(result)
+                self._complete(result, reval_us=reval_us)
             drain_span.end()
         if self.monitor is not None:
             self.monitor.tick()
@@ -480,7 +568,12 @@ class ValidationService:
                     },
                 )
 
-    def _complete(self, result: ShardResult) -> None:
+    def _complete(
+        self,
+        result: ShardResult,
+        *,
+        reval_us: Optional[Dict[int, int]] = None,
+    ) -> None:
         if result.accepted:
             detail = None
             self._log.record(result.members, result.count, result.usage_id)
@@ -500,6 +593,17 @@ class ValidationService:
         self._pending_outcomes[result.seq] = outcome
         self._count_outcome(outcome)
         self._emit_outcome_event(result.seq, outcome, group_id=result.group_id)
+        if self._timings_enabled:
+            self._request_timings[result.seq] = ServerTiming(
+                queue_us=max(
+                    0, int((result.processed_at - result.submitted_at) * 1e6)
+                ),
+                match_us=self._match_us.pop(result.seq, 0),
+                admission_us=max(0, int(result.service_time * 1e6)),
+                revalidate_us=(reval_us or {}).get(result.group_id, 0),
+                shard_id=result.group_id % self._shard_count,
+                kernel=self._kernel_by_group.get(result.group_id, "tree"),
+            )
         span = self._request_spans.pop(result.seq, None)
         tracer = self.tracer
         # A span only exists for this seq if the tracer was live at

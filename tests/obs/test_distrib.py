@@ -1,0 +1,217 @@
+"""Cross-process trace assembly: id validation, namespacing, clock skew."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.obs.distrib import (
+    AssembledTrace,
+    MAX_ID_LENGTH,
+    ServerTiming,
+    TraceContext,
+    assemble,
+    estimate_clock_offset,
+    validate_trace_id,
+)
+from repro.obs.trace import SpanRecord
+
+
+def span(
+    trace_id,
+    span_id,
+    parent_id=None,
+    *,
+    name="span",
+    start=0.0,
+    duration=1.0,
+    **attrs,
+):
+    return SpanRecord(
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_id=parent_id,
+        name=name,
+        start=start,
+        duration=duration,
+        attrs=attrs,
+    )
+
+
+class TestIdValidation:
+    @pytest.mark.parametrize(
+        "value", ["t00000000", "a", "A-Z_0.9:x"[:9], "x" * MAX_ID_LENGTH]
+    )
+    def test_accepts_well_formed(self, value):
+        assert validate_trace_id(value) == value
+
+    @pytest.mark.parametrize(
+        "value",
+        [None, 7, b"t0", "", "x" * (MAX_ID_LENGTH + 1), "sp an", "t\x00", "t€"],
+    )
+    def test_rejects_malformed(self, value):
+        with pytest.raises(ProtocolError):
+            validate_trace_id(value)
+
+    def test_context_validates_both_fields(self):
+        context = TraceContext("t00000000", "s00000001")
+        assert (context.trace_id, context.span_id) == ("t00000000", "s00000001")
+        with pytest.raises(ProtocolError, match="span_id"):
+            TraceContext("t00000000", "")
+        with pytest.raises(ProtocolError, match="trace_id"):
+            TraceContext("t 0", "s00000001")
+
+
+class TestServerTiming:
+    def test_total_and_dict(self):
+        timing = ServerTiming(
+            queue_us=10,
+            match_us=20,
+            admission_us=30,
+            revalidate_us=5,
+            shard_id=2,
+            kernel="dense",
+        )
+        assert timing.total_us == 65
+        payload = timing.to_dict()
+        assert payload["shard_id"] == 2
+        assert payload["kernel"] == "dense"
+        assert sum(v for k, v in payload.items() if k.endswith("_us")) == 65
+
+
+class TestClockOffset:
+    def test_midpoint_rule_recovers_known_skew(self):
+        # Server clock runs 100s behind the client's; wire delay is
+        # symmetric, so the midpoint estimator recovers it exactly.
+        skew = -100.0
+        client = [
+            span("t0", "c0", name="wire_request", start=10.0, duration=2.0)
+        ]
+        server = [
+            span(
+                "t0",
+                "r0",
+                "c0",
+                name="request",
+                start=10.5 + skew,
+                duration=1.0,
+                remote_parent=True,
+            )
+        ]
+        offset, matched = estimate_clock_offset(client, server)
+        assert matched == 1
+        assert offset == pytest.approx(-skew)
+
+    def test_median_over_pairs_resists_outliers(self):
+        client = [
+            span("t0", f"c{i}", name="wire_request", start=float(i), duration=2.0)
+            for i in range(3)
+        ]
+        server = [
+            span(
+                "t0",
+                f"r{i}",
+                f"c{i}",
+                start=float(i) + 0.5,
+                duration=1.0,
+                remote_parent=True,
+            )
+            for i in range(2)
+        ]
+        # One wildly-delayed pair must not drag the median.
+        server.append(
+            span("t0", "r2", "c2", start=40.0, duration=1.0, remote_parent=True)
+        )
+        offset, matched = estimate_clock_offset(client, server)
+        assert matched == 3
+        assert offset == pytest.approx(0.0)
+
+    def test_no_pairs_is_zero(self):
+        offset, matched = estimate_clock_offset([], [span("t0", "s0")])
+        assert (offset, matched) == (0.0, 0)
+
+
+class TestAssemble:
+    def test_cross_process_parenting_and_namespacing(self):
+        # Both journals deliberately reuse the SAME ids -- the seeded
+        # counters of two processes collide by construction.
+        client = [span("t0", "s0", name="wire_request", start=0.0, duration=3.0)]
+        server = [
+            span(
+                "t0",
+                "s1",
+                "s0",
+                name="request",
+                start=0.5,
+                duration=2.0,
+                remote_parent=True,
+            ),
+            span("t0", "s0", "s1", name="admission", start=0.6, duration=1.0),
+            # A server-local root trace whose id collides with the
+            # client's trace id: it must NOT merge into the shared one.
+            span("t0", "s2", name="drain", start=9.0, duration=0.1),
+        ]
+        merged = assemble(client, server, align_clocks=False)
+        assert isinstance(merged, AssembledTrace)
+        assert merged.matched_pairs == 0  # align_clocks=False skips matching
+        by_id = {record.span_id: record for record in merged.records}
+        assert by_id["s:s1"].parent_id == "c:s0"
+        assert by_id["s:s1"].trace_id == "t0"
+        assert by_id["s:s0"].parent_id == "s:s1"
+        assert by_id["s:s0"].trace_id == "t0"
+        assert by_id["s:s2"].trace_id == "s:t0"
+        assert merged.cross_traces == 1
+        assert merged.client_spans == 1 and merged.server_spans == 3
+
+    def test_alignment_shifts_server_starts(self):
+        client = [span("t0", "c0", name="wire_request", start=10.0, duration=2.0)]
+        server = [
+            span(
+                "t0",
+                "r0",
+                "c0",
+                name="request",
+                start=110.5,
+                duration=1.0,
+                remote_parent=True,
+            )
+        ]
+        merged = assemble(client, server)
+        assert merged.matched_pairs == 1
+        assert merged.clock_offset == pytest.approx(-100.0)
+        server_span = next(
+            record for record in merged.records if record.span_id == "s:r0"
+        )
+        assert server_span.start == pytest.approx(10.5)
+        # Aligned, the server span nests inside its client parent.
+        assert 10.0 <= server_span.start
+        assert server_span.start + server_span.duration <= 12.0
+
+    def test_missing_client_journal_keeps_raw_parent(self):
+        server = [
+            span("t0", "r0", "c0", start=0.0, duration=1.0, remote_parent=True)
+        ]
+        merged = assemble([], server)
+        record = merged.records[0]
+        assert record.parent_id == "c0"
+        assert merged.cross_traces == 0
+        assert merged.matched_pairs == 0
+
+    def test_render_and_json(self):
+        client = [span("t0", "c0", name="wire_request", start=0.0, duration=2.0)]
+        server = [
+            span(
+                "t0",
+                "r0",
+                "c0",
+                name="request",
+                start=0.5,
+                duration=1.0,
+                remote_parent=True,
+            )
+        ]
+        merged = assemble(client, server)
+        text = merged.render()
+        assert "1 cross-process trace(s)" in text
+        assert "wire_request" in text and "request" in text
+        payload = merged.to_json()
+        assert payload["matched_pairs"] == 1
+        assert len(payload["spans"]) == 2
