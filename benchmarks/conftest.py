@@ -4,16 +4,25 @@ Every figure benchmark gets a session-scoped :class:`ExperimentSuite` so
 workloads are generated once, plus a ``report`` helper that writes each
 regenerated figure table both to stdout (visible with ``pytest -s``) and to
 ``benchmarks/results/<name>.txt`` so the artifacts persist across runs.
+
+With ``--record-runs [DIR]`` (or ``REPRO_BENCH_RECORD=1``) the session
+also appends one :class:`~repro.obs.runs.record.RunRecord` to the
+persistent run registry (default ``benchmarks/runs/``): every rendered
+results table rides along as an artifact and every ``BENCH_*.json``
+section as gated data, so ``repro report`` can regenerate the text
+summaries and the bench gate can attribute regressions across sessions.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
 
 from repro.analysis.experiments import ExperimentSuite
+from repro.obs.runs import RunRegistry, build_bench_record
 
 #: Sweep used by the timing figures.  The 2^N baseline is exponential in
 #: pure Python, so it is swept to N=18 (≈1 s/run) while the grouped method
@@ -28,6 +37,60 @@ BENCH_JSON_PATH = Path(__file__).parent.parent / "BENCH_service.json"
 #: Machine-readable dense-kernel benchmark results (same merge protocol,
 #: separate file so the kernel gate can run without the service sweep).
 BENCH_KERNEL_JSON_PATH = Path(__file__).parent.parent / "BENCH_kernel.json"
+#: Default persistent run-registry directory (``repro report`` reads it).
+RUNS_DIR = Path(__file__).parent / "runs"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--record-runs",
+        nargs="?",
+        const=str(RUNS_DIR),
+        default=None,
+        metavar="DIR",
+        help="append this benchmark session to the persistent run "
+             f"registry (default DIR: {RUNS_DIR})",
+    )
+
+
+def _record_dir(config) -> "str | None":
+    """Resolve the registry target from the option or the environment."""
+    target = config.getoption("--record-runs", default=None)
+    if target:
+        return str(target)
+    if os.environ.get("REPRO_BENCH_RECORD"):
+        return os.environ.get("REPRO_BENCH_RECORD_DIR", str(RUNS_DIR))
+    return None
+
+
+@pytest.fixture(scope="session")
+def run_sink(request):
+    """Session accumulator feeding the run registry.
+
+    ``report`` and the JSON recorders drop their outputs here; at
+    teardown (after both have flushed, since they depend on this
+    fixture) the session becomes one ``bench`` RunRecord -- if and only
+    if recording was requested.
+    """
+    sink = {"artifacts": {}, "bench": {}}
+    yield sink
+    target = _record_dir(request.config)
+    if not target or not (sink["artifacts"] or sink["bench"]):
+        return
+    smoke = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+    registry = RunRegistry(target)
+    record = registry.append(
+        build_bench_record(
+            registry,
+            sink["bench"],
+            sink["artifacts"],
+            config={"smoke": smoke},
+            label=os.environ.get(
+                "REPRO_BENCH_RECORD_LABEL", "smoke" if smoke else "full"
+            ),
+        )
+    )
+    print(f"\nrecorded {record.run_id} in {registry.path}")
 
 
 @pytest.fixture(scope="session")
@@ -50,28 +113,31 @@ def wide_suite():
 
 
 @pytest.fixture(scope="session")
-def report():
+def report(run_sink):
     """Return a callable persisting + printing a figure table."""
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _report(name: str, text: str) -> None:
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        run_sink["artifacts"][name] = text + "\n"
         print(f"\n{text}\n")
 
     return _report
 
 
-def _json_recorder(path: Path):
+def _json_recorder(path: Path, run_sink):
     """Session-scoped section recorder merging into ``path`` at teardown.
 
     Sections accumulate over the session and are merged into any existing
     file, so running a single benchmark file refreshes its own sections
-    without clobbering the others'.
+    without clobbering the others'.  Each section is also mirrored into
+    the run sink so a recorded session carries its gated data.
     """
     sections = {}
 
     def _record(name: str, payload) -> None:
         sections[name] = payload
+        run_sink["bench"][name] = payload
 
     yield _record
 
@@ -90,12 +156,12 @@ def _json_recorder(path: Path):
 
 
 @pytest.fixture(scope="session")
-def bench_json():
+def bench_json(run_sink):
     """Return a callable recording one ``BENCH_service.json`` section."""
-    yield from _json_recorder(BENCH_JSON_PATH)
+    yield from _json_recorder(BENCH_JSON_PATH, run_sink)
 
 
 @pytest.fixture(scope="session")
-def kernel_bench_json():
+def kernel_bench_json(run_sink):
     """Return a callable recording one ``BENCH_kernel.json`` section."""
-    yield from _json_recorder(BENCH_KERNEL_JSON_PATH)
+    yield from _json_recorder(BENCH_KERNEL_JSON_PATH, run_sink)

@@ -39,6 +39,13 @@ A metric present in the baseline but missing from the current run is a
 failure (a silently dropped benchmark is itself a regression); new
 metrics absent from the baseline are reported informationally.
 
+When ``--runs-dir`` points at a run registry
+(``benchmarks/runs/registry.jsonl``) and the gate fails, the report
+gains a regression-attribution section: the registry's two newest runs
+of each kind are diffed with :func:`repro.obs.runs.attribute`, naming
+the phase and counters that moved.  Attribution never changes the exit
+code -- it annotates a failure, it does not create or excuse one.
+
 Exit codes: 0 clean, 1 regression(s), 2 usage/IO error.  Importable:
 the test suite drives :func:`compare` with synthetic regressions.
 """
@@ -47,13 +54,22 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import dataclass
 from fnmatch import fnmatch
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+#: The gate runs both as ``python scripts/bench_gate.py`` (CI, no
+#: PYTHONPATH) and as an import from the test suite; attribution needs
+#: the library either way.
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
 __all__ = [
     "Finding",
+    "attribution_section",
     "compare",
     "flatten",
     "load_json",
@@ -230,6 +246,42 @@ def render_report(findings: Sequence[Finding]) -> str:
     return "\n".join(lines)
 
 
+def attribution_section(runs_dir: str) -> str:
+    """Render regression attribution from a run registry, best-effort.
+
+    Diffs the newest run of every kind against its predecessor.  All
+    failures (no registry, single run, malformed records, incomparable
+    runs) degrade to an explanatory line -- the gate's verdict must
+    never depend on whether attribution could run.
+    """
+    try:
+        from repro.errors import RunRegistryError
+        from repro.obs.runs import RunRegistry, attribute
+    except ImportError as exc:  # pragma: no cover - import is path-pinned
+        return f"attribution unavailable: {exc}"
+    registry = RunRegistry(runs_dir)
+    try:
+        kinds = registry.kinds()
+    except RunRegistryError as exc:
+        return f"attribution unavailable: {exc}"
+    if not kinds:
+        return f"attribution unavailable: no runs recorded in {registry.path}"
+    sections: List[str] = []
+    for kind in kinds:
+        current = registry.latest(kind)
+        baseline = registry.baseline(kind)
+        if baseline is None or current is None:
+            sections.append(
+                f"attribution ({kind}): only one run recorded, no baseline"
+            )
+            continue
+        try:
+            sections.append(attribute(baseline, current).render())
+        except RunRegistryError as exc:
+            sections.append(f"attribution ({kind}) unavailable: {exc}")
+    return "\n\n".join(sections)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Compare benchmark JSON against a committed baseline."
@@ -247,6 +299,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--report-out", default=None,
         help="also write the findings as JSON (CI artifact)",
     )
+    parser.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="run registry directory; on failure the report gains a "
+             "regression-attribution section naming the responsible "
+             "phase/counter deltas (exit codes unchanged)",
+    )
     args = parser.parse_args(argv)
     try:
         baseline = load_json(args.baseline)
@@ -257,6 +315,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     findings = compare(baseline, current, tolerances)
     print(render_report(findings))
+    if args.runs_dir and any(f.verdict == FAIL for f in findings):
+        print()
+        print(attribution_section(args.runs_dir))
     if args.report_out:
         with open(args.report_out, "w", encoding="utf-8") as handle:
             json.dump(

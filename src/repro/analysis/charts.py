@@ -43,11 +43,14 @@ def bar_chart(
     title: str = "",
     log_scale: bool = True,
     value_format=format_seconds,
+    x_prefix: str = "N=",
 ) -> str:
     """Render named series of ``(x, value)`` points as grouped bars.
 
     All series must share the same x values (missing points are skipped).
     Non-positive values render as a minimal bar with their raw value.
+    ``x_prefix`` labels the x column (``N=`` for problem sizes; run
+    trend charts pass ``""`` and use run ids as x values directly).
     """
     xs: List[object] = []
     for points in series.values():
@@ -64,6 +67,7 @@ def bar_chart(
         return title or "(no data)"
     low, high = min(values), max(values)
     label_width = max(len(name) for name in series)
+    x_width = max(6, max(len(f"{x_prefix}{x}") for x in xs) + 1)
     lines = [f"{title} ({'log' if log_scale else 'linear'} scale)"] if title else []
     for x in xs:
         first = True
@@ -72,7 +76,9 @@ def bar_chart(
             if not match:
                 continue
             value = match[0]
-            prefix = f"{'N=' + str(x):<6}" if first else " " * 6
+            prefix = (
+                f"{x_prefix + str(x):<{x_width}}" if first else " " * x_width
+            )
             first = False
             if value != value:  # NaN
                 lines.append(f"{prefix}{name:<{label_width}}  (not run)")

@@ -42,6 +42,15 @@ Commands
 ``obs-report``
     Summarize a trace (span trees, slowest spans, per-name totals)
     and/or a structured event log produced by ``serve-bench``.
+``report``
+    Render the auto-generated performance report from the persistent
+    run registry (``benchmarks/runs/registry.jsonl``): run inventory,
+    rps/p99 trajectories, phase breakdowns, kernel crossover, and
+    cross-run regression attribution.  ``--results-dir`` regenerates
+    (or, with ``--check``, drift-checks) the ``benchmarks/results``
+    text summaries from the newest recorded bench run.  Runs are
+    recorded by ``serve-bench --record`` / ``loadgen --record`` and the
+    benchmark suite's ``--record-runs`` / ``REPRO_BENCH_RECORD=1``.
 ``monitor-report``
     Render monitoring artifacts: the alert timeline from an event
     journal, a health snapshot written by ``serve-bench --health-out``,
@@ -205,6 +214,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach a monitor and write its final snapshot "
              "(health/SLOs/alerts) as JSON",
     )
+    serve.add_argument(
+        "--record", default=None, metavar="DIR",
+        help="append this run to the persistent run registry rooted at "
+             "DIR (registry.jsonl; see 'repro report')",
+    )
+    serve.add_argument(
+        "--record-label", default="", metavar="LABEL",
+        help="free-form label stored with the recorded run",
+    )
 
     wire = commands.add_parser(
         "serve", help="run the wire-level admission server"
@@ -296,6 +314,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the client span journal (one wire_request span per "
              "request, context propagated to the server) as JSONL",
     )
+    loadgen.add_argument(
+        "--record", default=None, metavar="DIR",
+        help="append this run (stats + server phase means) to the "
+             "persistent run registry rooted at DIR",
+    )
+    loadgen.add_argument(
+        "--record-label", default="", metavar="LABEL",
+        help="free-form label stored with the recorded run",
+    )
 
     admin = commands.add_parser(
         "admin", help="query a live serve instance over the ADMIN channel"
@@ -375,6 +402,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None, metavar="PATH",
         help="Prometheus text from serve-bench --metrics-out "
              "(alert/SLO gauges are extracted)",
+    )
+
+    run_report = commands.add_parser(
+        "report",
+        help="render the performance report from the persistent run "
+             "registry (or regenerate/check benchmarks/results)",
+    )
+    run_report.add_argument(
+        "--runs-dir", default="benchmarks/runs", metavar="DIR",
+        help="registry directory (default benchmarks/runs)",
+    )
+    run_report.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the markdown report here instead of stdout",
+    )
+    run_report.add_argument(
+        "--title", default="Performance report",
+        help="report heading (default 'Performance report')",
+    )
+    run_report.add_argument(
+        "--results-dir", default=None, metavar="DIR",
+        help="instead of the report, regenerate the benchmark results "
+             "text summaries in DIR from the newest recorded bench run",
+    )
+    run_report.add_argument(
+        "--check", action="store_true",
+        help="with --results-dir: verify the on-disk summaries match "
+             "the registry instead of rewriting them (exit 1 on drift)",
     )
 
     conformance = commands.add_parser(
@@ -674,6 +729,32 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
             handle.write(render_prometheus(service.metrics))
         print(f"wrote Prometheus metrics to {args.metrics_out}")
+    if args.record:
+        from repro.obs.runs import RunRegistry, build_serve_bench_record
+
+        registry = RunRegistry(args.record)
+        record = registry.append(
+            build_serve_bench_record(
+                registry,
+                service,
+                elapsed=elapsed,
+                requests=len(stream),
+                accepted=accepted,
+                config={
+                    "licenses": args.licenses,
+                    "stream": args.stream,
+                    "seed": args.seed,
+                    "shards": args.shards,
+                    "batch": args.batch,
+                    "executor": args.executor,
+                    "kernel": args.kernel,
+                    "clusters": args.clusters,
+                    "skew": args.skew,
+                },
+                label=args.record_label,
+            )
+        )
+        print(f"recorded {record.run_id} in {registry.path}")
     if args.compare:
         rows = []
         reference = [outcome.accepted for outcome in outcomes]
@@ -839,6 +920,66 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if tracer is not None:
         tracer.write_jsonl(args.trace)
         print(f"wrote {len(tracer.records())} span(s) to {args.trace}")
+    if args.record:
+        from repro.obs.runs import RunRegistry, build_loadgen_record
+
+        registry = RunRegistry(args.record)
+        record = registry.append(
+            build_loadgen_record(
+                registry,
+                report.to_json(),
+                config={
+                    "licenses": args.licenses,
+                    "stream": args.stream,
+                    "seed": args.seed,
+                    "clusters": args.clusters,
+                    "skew": args.skew,
+                    "mode": args.mode,
+                    "concurrency": args.concurrency,
+                    "rate": args.rate,
+                    "warmup": args.warmup,
+                },
+                label=args.record_label,
+            )
+        )
+        print(f"recorded {record.run_id} in {registry.path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs.runs import RunRegistry, render_report, render_results
+    from repro.obs.runs import results_drift
+
+    registry = RunRegistry(args.runs_dir)
+    if args.results_dir:
+        if args.check:
+            drift = results_drift(registry, args.results_dir)
+            if drift:
+                for message in drift:
+                    print(f"results drift: {message}", file=sys.stderr)
+                return 1
+            print("benchmark results match the recorded run")
+            return 0
+        rendered = render_results(registry)
+        if not rendered:
+            print("no recorded bench run carries results artifacts")
+            return 0
+        os.makedirs(args.results_dir, exist_ok=True)
+        for stem, text in rendered.items():
+            path = os.path.join(args.results_dir, f"{stem}.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {path}")
+        return 0
+    text = render_report(registry, title=args.title)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote report to {args.out}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -889,11 +1030,19 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
         top_slowest,
     )
 
+    import os
+
     if not args.trace and not args.events:
         print("obs-report: provide --trace and/or --events", file=sys.stderr)
         return 2
     if args.trace:
-        records = load_trace_jsonl(args.trace)
+        # A missing or empty journal is a zero-data report, not a crash:
+        # fresh deployments ask for reports before any span is written.
+        records = (
+            load_trace_jsonl(args.trace)
+            if os.path.exists(args.trace)
+            else []
+        )
         traces = {record.trace_id for record in records}
         per_name: dict = {}
         for record in records:
@@ -1057,6 +1206,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
         "admin": _cmd_admin,
+        "report": _cmd_report,
         "trace-assemble": _cmd_trace_assemble,
         "obs-report": _cmd_obs_report,
         "monitor-report": _cmd_monitor_report,

@@ -81,6 +81,12 @@ class ServiceError(ReproError):
     closed service, unknown executor backends."""
 
 
+class RunRegistryError(ReproError):
+    """Raised by :mod:`repro.obs.runs` for run-registry failures:
+    malformed or truncated registry records, unknown run ids or kinds,
+    attribution over records that share no comparable fields."""
+
+
 class ProtocolError(ReproError):
     """Raised by :mod:`repro.net.protocol` for malformed wire traffic:
     bad magic bytes, truncated or oversized frames, unsupported protocol

@@ -110,6 +110,7 @@ class GuardedTelemetryRule(Rule):
         "repro/service/service.py",
         "repro/net/server.py",
         "repro/net/client.py",
+        "repro/obs/runs/*",
     )
 
     def visit(self, node: ast.AST, ctx: FileContext) -> None:

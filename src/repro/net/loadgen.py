@@ -34,7 +34,6 @@ trace ids as exemplars, ready for ``repro trace-assemble``.
 from __future__ import annotations
 
 import asyncio
-import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -42,6 +41,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.errors import TransportError, WireOverloadedError
 from repro.net import protocol
 from repro.net.client import AdmissionClient
+from repro.obs import quantiles
 from repro.obs.trace import Tracer
 
 __all__ = ["LoadGenerator", "LoadReport", "LoadgenConfig", "nearest_rank"]
@@ -57,14 +57,16 @@ MODES = (MODE_CLOSED, MODE_OPEN)
 
 def nearest_rank(samples: Sequence[float], q: float) -> float:
     """Exact nearest-rank quantile (the paper-reproduction discipline:
-    no interpolation, identical to ``Histogram.quantile``)."""
+    no interpolation).  A thin wrapper over the shared
+    :func:`repro.obs.quantiles.nearest_rank` under the ceil convention,
+    keeping this module's historical behavior: empty samples short-
+    circuit to 0.0 *before* validation, and a bad ``q`` raises the wire
+    layer's :class:`~repro.errors.TransportError`."""
     if not samples:
         return 0.0
     if not 0.0 <= q <= 1.0:
         raise TransportError(f"quantile {q} outside [0, 1]")
-    ordered = sorted(samples)
-    rank = max(1, math.ceil(q * len(ordered)))
-    return ordered[rank - 1]
+    return quantiles.nearest_rank(samples, q, method=quantiles.METHOD_CEIL)
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import ServiceError
+from repro.obs.quantiles import nearest_rank
 
 __all__ = ["MetricStreams"]
 
@@ -229,16 +230,12 @@ class MetricStreams:
         labels: Optional[Tuple[str, ...]] = None,
     ) -> float:
         """Nearest-rank ``q``-quantile of the windowed samples (0.0 when
-        the window is empty)."""
+        the window is empty).  Shares the round-convention
+        :func:`repro.obs.quantiles.nearest_rank` with
+        :meth:`repro.service.metrics.Histogram.quantile`."""
         if not 0.0 <= q <= 1.0:
             raise ServiceError(f"quantile {q} outside [0, 1]")
-        values = sorted(self.values(name, labels))
-        if not values:
-            return 0.0
-        if q == 0.0:
-            return values[0]
-        rank = min(len(values) - 1, max(0, round(q * len(values)) - 1))
-        return values[rank]
+        return nearest_rank(self.values(name, labels), q)
 
     def mean(
         self, name: str, labels: Optional[Tuple[str, ...]] = None

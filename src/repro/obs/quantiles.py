@@ -1,0 +1,90 @@
+"""The one nearest-rank quantile implementation every layer shares.
+
+Three call sites grew their own copy of "exact nearest-rank quantile
+over a sample list" -- :meth:`repro.service.metrics.Histogram.quantile`,
+:meth:`repro.obs.monitor.streams.MetricStreams.quantile`, and
+:func:`repro.net.loadgen.nearest_rank` -- and two *different* rank
+conventions were in play:
+
+* ``METHOD_ROUND`` (the Histogram/streams convention):
+  ``rank = min(n - 1, max(0, round(q * n) - 1))`` with banker's
+  rounding, ``q = 0`` pinned to the minimum;
+* ``METHOD_CEIL`` (the loadgen/serving-paper convention):
+  ``rank = max(1, ceil(q * n)) - 1`` -- the textbook nearest-rank
+  definition.
+
+The two agree on most inputs but not all (``q = 0.5`` over five samples
+indexes 1 under ``round`` -- ``round(2.5) == 2`` -- and 2 under
+``ceil``), and both behaviors are pinned by committed baselines and
+tests, so deduplication must preserve each caller's outputs bit for
+bit.  This module therefore keeps both conventions behind one audited
+implementation; the Hypothesis suite in
+``tests/obs/test_quantiles.py`` pins each wrapper byte-identical to the
+code it replaced.
+
+Callers keep their own argument validation (and error types -- the
+service layer raises :class:`~repro.errors.ServiceError`, the wire
+layer :class:`~repro.errors.TransportError`); this module validates too
+so direct users are safe, raising :class:`~repro.errors.ServiceError`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ServiceError
+
+__all__ = [
+    "METHOD_CEIL",
+    "METHOD_ROUND",
+    "nearest_rank",
+    "nearest_rank_index",
+]
+
+#: Histogram/stream convention: banker's-rounded rank, q=0 -> minimum.
+METHOD_ROUND = "round"
+#: Loadgen convention: ceil rank (the textbook nearest-rank definition).
+METHOD_CEIL = "ceil"
+
+_METHODS = (METHOD_ROUND, METHOD_CEIL)
+
+
+def nearest_rank_index(count: int, q: float, method: str = METHOD_ROUND) -> int:
+    """Return the 0-based index of the ``q``-quantile among ``count``
+    sorted samples under the named rank convention.
+
+    ``count`` must be >= 1; ``q`` must already be inside [0, 1].
+    """
+    if count < 1:
+        raise ServiceError(f"nearest rank needs count >= 1, got {count}")
+    if method == METHOD_CEIL:
+        return max(1, math.ceil(q * count)) - 1
+    if method != METHOD_ROUND:
+        raise ServiceError(
+            f"unknown nearest-rank method {method!r}; "
+            f"choose from {', '.join(_METHODS)}"
+        )
+    if q == 0.0:
+        return 0
+    return min(count - 1, max(0, round(q * count) - 1))
+
+
+def nearest_rank(
+    values: Sequence[float],
+    q: float,
+    *,
+    method: str = METHOD_ROUND,
+    presorted: bool = False,
+) -> float:
+    """Exact nearest-rank ``q``-quantile of ``values`` (0.0 when empty).
+
+    ``presorted=True`` skips the sort for callers that maintain sorted
+    samples (the Histogram's bisect-ordered window).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ServiceError(f"quantile {q} outside [0, 1]")
+    if not values:
+        return 0.0
+    ordered = values if presorted else sorted(values)
+    return ordered[nearest_rank_index(len(ordered), q, method)]

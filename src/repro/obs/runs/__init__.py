@@ -1,0 +1,63 @@
+"""Persistent run registry, regression attribution, and reporting.
+
+The observability layers so far watch a *live* service (metrics,
+monitor, tracing, admin channel); this subpackage remembers *finished*
+runs.  Each bench / loadgen / serve-bench session appends one
+:class:`RunRecord` to an append-only JSONL registry
+(:class:`RunRegistry`, conventionally over ``benchmarks/runs/``);
+:func:`attribute` diffs a run against its predecessor and names the
+responsible phase and counters; :func:`render_report` turns the whole
+registry into one deterministic markdown performance report, and
+:func:`render_results` / :func:`results_drift` regenerate and
+drift-check the ``benchmarks/results/*.txt`` summaries from recorded
+artifacts.
+
+Kept out of :mod:`repro.obs`'s eager namespace on purpose: reporting
+pulls in :mod:`repro.analysis.charts`, which live-path consumers of
+``repro.obs`` never need.  Import explicitly::
+
+    from repro.obs.runs import RunRecord, RunRegistry, attribute
+"""
+
+from repro.obs.runs.attribution import (
+    Attribution,
+    CounterDelta,
+    PhaseDelta,
+    StatDelta,
+    attribute,
+)
+from repro.obs.runs.capture import (
+    build_bench_record,
+    build_loadgen_record,
+    build_serve_bench_record,
+    counter_totals,
+)
+from repro.obs.runs.record import (
+    PHASE_KEYS,
+    RUN_KINDS,
+    RunRecord,
+    git_metadata,
+)
+from repro.obs.runs.registry import REGISTRY_FILENAME, RunRegistry
+from repro.obs.runs.report import render_report, render_results, results_drift
+
+__all__ = [
+    "PHASE_KEYS",
+    "REGISTRY_FILENAME",
+    "RUN_KINDS",
+    "Attribution",
+    "CounterDelta",
+    "PhaseDelta",
+    "RunRecord",
+    "RunRegistry",
+    "StatDelta",
+    "attribute",
+    "build_bench_record",
+    "build_loadgen_record",
+    "build_serve_bench_record",
+    "counter_totals",
+    "git_metadata",
+    "render_report",
+    "render_results",
+    "results_drift",
+]

@@ -1,0 +1,302 @@
+"""Cross-run regression attribution.
+
+Given two :class:`~repro.obs.runs.record.RunRecord` instances -- a
+baseline and the candidate under test -- :func:`attribute` names *what*
+regressed (the headline rps / p99 movement) and *where* (which pipeline
+phase grew, which counters moved with it).  The output is a plain
+:class:`Attribution` value with a deterministic :meth:`~Attribution.render`,
+so the gate can print the same section byte-for-byte for the same pair
+of runs.
+
+Ranking model: per-request latency is (to first order) the sum of the
+phase means, so each phase's *absolute microsecond delta* is its direct
+contribution to the latency movement.  Phases are ranked by that
+contribution share; counters are ranked by relative change.  No
+statistics beyond arithmetic -- two runs give one sample each, and the
+point is a pointer for a human ("revalidate doubled"), not a p-value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import RunRegistryError
+from repro.obs.runs.record import PHASE_KEYS, RunRecord
+
+__all__ = [
+    "Attribution",
+    "CounterDelta",
+    "PhaseDelta",
+    "StatDelta",
+    "attribute",
+]
+
+#: Headline stats worth surfacing, with direction: +1 means "bigger is
+#: better" (a drop is a regression), -1 the opposite.
+_HEADLINE_STATS = (
+    ("rps", +1),
+    ("p50", -1),
+    ("p95", -1),
+    ("p99", -1),
+)
+
+#: Relative change below which a delta is reported but not flagged.
+_NOISE_FLOOR = 0.05
+
+
+def _ratio(baseline: float, current: float) -> float:
+    """Relative change ``(current - baseline) / baseline`` (0 when flat
+    from zero, +inf-free: a move away from a zero baseline counts as
+    +1.0 per unit of itself, i.e. 1.0)."""
+    if baseline == 0.0:
+        return 0.0 if current == 0.0 else 1.0
+    return (current - baseline) / baseline
+
+
+@dataclass
+class StatDelta:
+    """One headline stat compared across the two runs."""
+
+    name: str
+    baseline: float
+    current: float
+    direction: int  # +1 bigger-is-better, -1 smaller-is-better
+
+    @property
+    def change(self) -> float:
+        return _ratio(self.baseline, self.current)
+
+    @property
+    def regressed(self) -> bool:
+        return self.change * self.direction < -_NOISE_FLOOR
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "baseline": self.baseline,
+            "current": self.current,
+            "change": self.change,
+            "regressed": self.regressed,
+        }
+
+
+@dataclass
+class PhaseDelta:
+    """One pipeline phase compared across the two runs."""
+
+    phase: str
+    baseline_us: float
+    current_us: float
+    #: Fraction of the total absolute phase movement this phase carries.
+    share: float = 0.0
+
+    @property
+    def delta_us(self) -> float:
+        return self.current_us - self.baseline_us
+
+    @property
+    def change(self) -> float:
+        return _ratio(self.baseline_us, self.current_us)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "phase": self.phase,
+            "baseline_us": self.baseline_us,
+            "current_us": self.current_us,
+            "delta_us": self.delta_us,
+            "change": self.change,
+            "share": self.share,
+        }
+
+
+@dataclass
+class CounterDelta:
+    """One monotone counter compared across the two runs."""
+
+    name: str
+    baseline: float
+    current: float
+
+    @property
+    def change(self) -> float:
+        return _ratio(self.baseline, self.current)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "baseline": self.baseline,
+            "current": self.current,
+            "change": self.change,
+        }
+
+
+@dataclass
+class Attribution:
+    """The full baseline-vs-candidate comparison (see module docstring)."""
+
+    baseline_id: str
+    current_id: str
+    kind: str
+    stats: List[StatDelta] = field(default_factory=list)
+    phases: List[PhaseDelta] = field(default_factory=list)
+    counters: List[CounterDelta] = field(default_factory=list)
+
+    def top_phase(self) -> Optional[PhaseDelta]:
+        """The phase carrying the largest share of the latency movement
+        *in the regressing direction* (grew the most), or ``None`` when
+        no phase grew."""
+        grew = [p for p in self.phases if p.delta_us > 0.0]
+        return grew[0] if grew else None
+
+    def regressed_stats(self) -> List[StatDelta]:
+        return [s for s in self.stats if s.regressed]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "baseline_id": self.baseline_id,
+            "current_id": self.current_id,
+            "kind": self.kind,
+            "stats": [s.to_dict() for s in self.stats],
+            "phases": [p.to_dict() for p in self.phases],
+            "counters": [c.to_dict() for c in self.counters],
+        }
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Deterministic plain-text attribution section.
+
+        Shape::
+
+            attribution: run-000002 vs baseline run-000001 (kind=bench)
+              headline: p99 0.80ms -> 1.90ms (+137.5%)  [regressed]
+              phases (share of latency movement):
+                revalidate_us   120.0 -> 2300.0  (+1816.7%)  share 96.4%
+                ...
+              counters:
+                equations_checked_total  1000 -> 4100  (+310.0%)
+              verdict: revalidate is the top regressing phase
+        """
+        lines = [
+            f"attribution: {self.current_id} vs baseline "
+            f"{self.baseline_id} (kind={self.kind})"
+        ]
+        if self.stats:
+            lines.append("  headline:")
+            for stat in self.stats:
+                flag = "  [regressed]" if stat.regressed else ""
+                lines.append(
+                    f"    {stat.name:<6} {stat.baseline:.6g} -> "
+                    f"{stat.current:.6g}  ({stat.change:+.1%}){flag}"
+                )
+        if self.phases:
+            lines.append("  phases (share of latency movement):")
+            for phase in self.phases:
+                lines.append(
+                    f"    {phase.phase:<15} {phase.baseline_us:10.1f} -> "
+                    f"{phase.current_us:10.1f} us  ({phase.change:+.1%})"
+                    f"  share {phase.share:.1%}"
+                )
+        if self.counters:
+            lines.append("  counters:")
+            for counter in self.counters:
+                lines.append(
+                    f"    {counter.name:<28} {counter.baseline:.6g} -> "
+                    f"{counter.current:.6g}  ({counter.change:+.1%})"
+                )
+        top = self.top_phase()
+        if top is not None and any(s.regressed for s in self.stats):
+            name = top.phase[:-3] if top.phase.endswith("_us") else top.phase
+            lines.append(
+                f"  verdict: {name} is the top regressing phase "
+                f"({top.share:.0%} of the latency movement)"
+            )
+        elif any(s.regressed for s in self.stats):
+            lines.append(
+                "  verdict: headline regressed but no phase grew -- "
+                "suspect load shape or environment"
+            )
+        else:
+            lines.append("  verdict: no headline regression")
+        return "\n".join(lines)
+
+
+def attribute(baseline: RunRecord, current: RunRecord) -> Attribution:
+    """Compare ``current`` against ``baseline`` (see module docstring).
+
+    The two records must share a kind (comparing a loadgen run against a
+    kernel bench names nothing) and at least one stat, phase, or counter
+    in common -- otherwise there is nothing to attribute and the caller
+    gets a :class:`RunRegistryError` instead of an empty verdict.
+    """
+    if baseline.kind != current.kind:
+        raise RunRegistryError(
+            f"cannot attribute across kinds: baseline {baseline.run_id} is "
+            f"{baseline.kind!r}, current {current.run_id} is {current.kind!r}"
+        )
+    stat_names = [
+        name
+        for name, _direction in _HEADLINE_STATS
+        if name in baseline.stats and name in current.stats
+    ]
+    phase_names = [
+        key
+        for key in PHASE_KEYS
+        if key in baseline.phases_us or key in current.phases_us
+    ]
+    counter_names = sorted(
+        set(baseline.counters) & set(current.counters)
+    )
+    if not stat_names and not phase_names and not counter_names:
+        raise RunRegistryError(
+            f"runs {baseline.run_id} and {current.run_id} share no "
+            f"comparable stats, phases, or counters"
+        )
+
+    stats = [
+        StatDelta(
+            name=name,
+            baseline=baseline.stat(name),
+            current=current.stat(name),
+            direction=direction,
+        )
+        for name, direction in _HEADLINE_STATS
+        if name in stat_names
+    ]
+
+    phases = [
+        PhaseDelta(
+            phase=key,
+            baseline_us=baseline.phase_us(key),
+            current_us=current.phase_us(key),
+        )
+        for key in phase_names
+    ]
+    total_movement = sum(abs(p.delta_us) for p in phases)
+    for phase in phases:
+        phase.share = (
+            abs(phase.delta_us) / total_movement if total_movement else 0.0
+        )
+    # Largest mover first; ties broken by pipeline order (stable sort).
+    phases.sort(key=lambda p: -abs(p.delta_us))
+
+    counters = [
+        CounterDelta(
+            name=name,
+            baseline=baseline.counters[name],
+            current=current.counters[name],
+        )
+        for name in counter_names
+    ]
+    counters.sort(key=lambda c: (-abs(c.change), c.name))
+
+    return Attribution(
+        baseline_id=baseline.run_id,
+        current_id=current.run_id,
+        kind=current.kind,
+        stats=stats,
+        phases=phases,
+        counters=counters,
+    )

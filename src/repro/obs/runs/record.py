@@ -1,0 +1,226 @@
+"""One persisted performance run: the :class:`RunRecord`.
+
+A run is one bench / loadgen / serve-bench / serve session, captured at
+the moment it finished: the configuration it ran under, the git state
+it measured, its headline stats (rps, latency percentiles, accepted
+counts), per-phase server timing means (the PR 7 ``ServerTiming``
+echo: queue / match / admission / revalidate, plus the wire
+remainder), monotone counters worth attributing regressions to,
+optional health/SLO end-state, the gated ``BENCH_*.json`` sections, and
+the rendered text artifacts (``benchmarks/results/*.txt`` summaries)
+the run produced.
+
+Determinism discipline (REP001): nothing here reads the wall clock or
+ambient entropy.  ``recorded_at`` is whatever the caller's injected
+clock said (0.0 when unknown), run ids come from the registry's
+seeded counter (:meth:`repro.obs.runs.registry.RunRegistry.next_run_id`),
+and :func:`git_metadata` shells out through an injectable probe that
+tests replace with a canned one.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.errors import RunRegistryError
+
+__all__ = [
+    "PHASE_KEYS",
+    "RUN_KINDS",
+    "GitProbe",
+    "RunRecord",
+    "git_metadata",
+]
+
+#: Canonical per-phase timing keys, in pipeline order.  ``wire_us`` is
+#: the client-observed remainder a load generator adds on top of the
+#: four server phases.
+PHASE_KEYS = (
+    "queue_us",
+    "match_us",
+    "admission_us",
+    "revalidate_us",
+    "wire_us",
+)
+
+#: The run kinds the stack records today.  ``from_dict`` accepts others
+#: (the registry is append-only and must keep reading records written
+#: by future emitters), but emitters in this repository use these.
+RUN_KINDS = ("bench", "serve-bench", "loadgen", "serve")
+
+#: Signature of a git probe: argv after ``git`` -> stripped stdout.
+GitProbe = Callable[[List[str]], str]
+
+
+def _git_probe(args: List[str]) -> str:
+    proc = subprocess.run(
+        ["git", *args], capture_output=True, text=True, timeout=10
+    )
+    if proc.returncode != 0:
+        raise RunRegistryError(
+            f"git {' '.join(args)} failed: {proc.stderr.strip()}"
+        )
+    return proc.stdout.strip()
+
+
+def git_metadata(probe: Optional[GitProbe] = None) -> Dict[str, object]:
+    """Return ``{commit, branch, dirty}`` for the working tree.
+
+    ``probe`` is injectable (tests pass a canned callable); the default
+    shells out to ``git``.  Environments without git (or outside a
+    repository) degrade to ``{"commit": None, "branch": None,
+    "dirty": None}`` rather than failing the run being recorded.
+    """
+    probe = probe or _git_probe
+    try:
+        commit = probe(["rev-parse", "HEAD"])
+        branch = probe(["rev-parse", "--abbrev-ref", "HEAD"])
+        dirty = bool(probe(["status", "--porcelain"]))
+    except (RunRegistryError, OSError, subprocess.SubprocessError):
+        return {"commit": None, "branch": None, "dirty": None}
+    return {"commit": commit, "branch": branch, "dirty": dirty}
+
+
+@dataclass
+class RunRecord:
+    """One finished run (see module docstring).
+
+    Attributes
+    ----------
+    run_id:
+        Registry-assigned id (``run-000001`` ...), unique within one
+        registry, drawn from its seeded counter.
+    kind:
+        Emitter family: ``bench`` (pytest benchmark session),
+        ``serve-bench`` (in-process service drive), ``loadgen`` (wire
+        load run), ``serve`` (wire server session).
+    label:
+        Free-form qualifier (``smoke``, ``full``, a sweep name).
+    recorded_at:
+        Caller-clock timestamp (unix seconds when the caller injected a
+        wall clock; 0.0 when unknown).  Never read ambiently here.
+    git:
+        :func:`git_metadata` output at record time.
+    config:
+        The knobs the run was configured with (shards, kernel, batch,
+        executor, stream length, seed, ...).
+    stats:
+        Headline scalars: ``rps``, ``p50``/``p95``/``p99`` (seconds),
+        ``accepted``, ``rejected``, ``requests``, ``elapsed``.
+    phases_us:
+        Mean microseconds per request per phase (:data:`PHASE_KEYS`).
+    counters:
+        Monotone counter totals worth diffing across runs
+        (``equations_checked_total``, ``kernel_fallback``, ...).
+    metrics:
+        Full ``MetricsRegistry.snapshot()`` payload, when available.
+    health:
+        Final monitor snapshot (``Monitor.snapshot()``), when attached.
+    slos:
+        Final SLO statuses, when a monitor carried SLOs.
+    bench:
+        The ``BENCH_*.json`` sections this run produced (gated fields).
+    artifacts:
+        Rendered text summaries keyed by results-file stem
+        (``service_throughput_shards`` -> the table text).
+    """
+
+    run_id: str
+    kind: str
+    label: str = ""
+    recorded_at: float = 0.0
+    git: Dict[str, object] = field(default_factory=dict)
+    config: Dict[str, object] = field(default_factory=dict)
+    stats: Dict[str, float] = field(default_factory=dict)
+    phases_us: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    metrics: Dict[str, object] = field(default_factory=dict)
+    health: Optional[Dict[str, object]] = None
+    slos: List[Dict[str, object]] = field(default_factory=list)
+    bench: Dict[str, object] = field(default_factory=dict)
+    artifacts: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.run_id:
+            raise RunRegistryError("run record needs a non-empty run_id")
+        if not self.kind:
+            raise RunRegistryError(f"run {self.run_id} needs a kind")
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def stat(self, name: str, default: float = 0.0) -> float:
+        """Return one headline stat (``default`` when absent)."""
+        value = self.stats.get(name, default)
+        return float(value)
+
+    def phase_us(self, phase: str) -> float:
+        """Return one phase mean in microseconds (0.0 when absent)."""
+        return float(self.phases_us.get(phase, 0.0))
+
+    def short_commit(self) -> str:
+        """Return the 10-char commit prefix, or ``-`` when unknown."""
+        commit = self.git.get("commit")
+        return str(commit)[:10] if commit else "-"
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Return the JSONL payload (plain dicts, JSON-safe)."""
+        return {
+            "run_id": self.run_id,
+            "kind": self.kind,
+            "label": self.label,
+            "recorded_at": self.recorded_at,
+            "git": dict(self.git),
+            "config": dict(self.config),
+            "stats": {k: float(v) for k, v in self.stats.items()},
+            "phases_us": {k: float(v) for k, v in self.phases_us.items()},
+            "counters": {k: float(v) for k, v in self.counters.items()},
+            "metrics": dict(self.metrics),
+            "health": None if self.health is None else dict(self.health),
+            "slos": [dict(entry) for entry in self.slos],
+            "bench": dict(self.bench),
+            "artifacts": dict(self.artifacts),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "RunRecord":
+        """Rebuild a record from its JSONL payload."""
+        try:
+            health = payload.get("health")
+            return cls(
+                run_id=str(payload["run_id"]),
+                kind=str(payload["kind"]),
+                label=str(payload.get("label", "")),
+                recorded_at=float(payload.get("recorded_at", 0.0) or 0.0),  # type: ignore[arg-type]
+                git=dict(payload.get("git") or {}),  # type: ignore[call-overload]
+                config=dict(payload.get("config") or {}),  # type: ignore[call-overload]
+                stats={
+                    str(k): float(v)  # type: ignore[arg-type]
+                    for k, v in dict(payload.get("stats") or {}).items()  # type: ignore[call-overload]
+                },
+                phases_us={
+                    str(k): float(v)  # type: ignore[arg-type]
+                    for k, v in dict(payload.get("phases_us") or {}).items()  # type: ignore[call-overload]
+                },
+                counters={
+                    str(k): float(v)  # type: ignore[arg-type]
+                    for k, v in dict(payload.get("counters") or {}).items()  # type: ignore[call-overload]
+                },
+                metrics=dict(payload.get("metrics") or {}),  # type: ignore[call-overload]
+                health=None if health is None else dict(health),  # type: ignore[call-overload]
+                slos=[dict(entry) for entry in payload.get("slos") or ()],  # type: ignore[union-attr, call-overload]
+                bench=dict(payload.get("bench") or {}),  # type: ignore[call-overload]
+                artifacts={
+                    str(k): str(v)
+                    for k, v in dict(payload.get("artifacts") or {}).items()  # type: ignore[call-overload]
+                },
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RunRegistryError(
+                f"malformed run record: {dict(payload)!r}"
+            ) from exc

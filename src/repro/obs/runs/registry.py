@@ -1,0 +1,165 @@
+"""Append-only JSONL run registry.
+
+The registry is one directory (``benchmarks/runs/`` by convention)
+holding ``registry.jsonl``: one JSON object per line, one line per
+:class:`~repro.obs.runs.record.RunRecord`, appended when a bench /
+loadgen / serve-bench session finishes and never rewritten.  History
+accumulates in file order, which doubles as record order -- there is no
+index to corrupt and a partial write can at worst truncate the final
+line (which :meth:`RunRegistry.load` reports precisely).
+
+Run ids come from a *seeded counter*, not a clock: the next id is
+``run-%06d`` of (number of existing records + 1).  Two registries built
+from the same run sequence therefore assign the same ids, which is what
+makes report rendering byte-stable and lets tests pin attribution
+output exactly (REP001 bans wall-clock ids for exactly this reason).
+
+Baseline selection for attribution follows the gate's convention: the
+*latest* record of a kind is the candidate under test and the
+*previous* record of the same kind is its baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.errors import RunRegistryError
+from repro.obs.runs.record import RunRecord
+
+__all__ = ["REGISTRY_FILENAME", "RunRegistry"]
+
+#: The single append-only file inside a registry directory.
+REGISTRY_FILENAME = "registry.jsonl"
+
+
+class RunRegistry:
+    """Reader/appender for one ``registry.jsonl`` directory.
+
+    Parameters
+    ----------
+    root:
+        Directory holding (or to hold) :data:`REGISTRY_FILENAME`.  It is
+        created lazily on the first append; a registry over a missing
+        directory simply loads as empty.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.obs.runs import RunRecord, RunRegistry
+    >>> with tempfile.TemporaryDirectory() as root:
+    ...     registry = RunRegistry(root)
+    ...     record = RunRecord(run_id=registry.next_run_id(), kind="bench")
+    ...     _ = registry.append(record)
+    ...     [r.run_id for r in registry.load()]
+    ['run-000001']
+    """
+
+    def __init__(self, root: str):
+        if not root:
+            raise RunRegistryError("run registry needs a root directory")
+        self.root = root
+        self.path = os.path.join(root, REGISTRY_FILENAME)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def load(self) -> List[RunRecord]:
+        """Return every record in append order.
+
+        A missing registry file is an empty registry.  A malformed line
+        raises :class:`RunRegistryError` naming the line number -- an
+        append-only file that stopped parsing mid-way means truncation
+        or hand-editing, and silently dropping history would poison
+        baseline selection.
+        """
+        if not os.path.exists(self.path):
+            return []
+        records: List[RunRecord] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise RunRegistryError(
+                        f"{self.path}:{lineno}: not valid JSON "
+                        f"(truncated append?): {exc}"
+                    ) from exc
+                if not isinstance(payload, dict):
+                    raise RunRegistryError(
+                        f"{self.path}:{lineno}: expected a JSON object, "
+                        f"got {type(payload).__name__}"
+                    )
+                records.append(RunRecord.from_dict(payload))
+        return records
+
+    def count(self) -> int:
+        """Number of recorded runs."""
+        return len(self.load())
+
+    def get(self, run_id: str) -> RunRecord:
+        """Return the record with ``run_id`` or raise."""
+        for record in self.load():
+            if record.run_id == run_id:
+                return record
+        raise RunRegistryError(
+            f"run {run_id!r} not found in {self.path}"
+        )
+
+    def kinds(self) -> List[str]:
+        """Distinct kinds present, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for record in self.load():
+            seen.setdefault(record.kind, None)
+        return list(seen)
+
+    def of_kind(self, kind: str) -> List[RunRecord]:
+        """Records of one kind, in append order."""
+        return [record for record in self.load() if record.kind == kind]
+
+    def latest(self, kind: Optional[str] = None) -> Optional[RunRecord]:
+        """Newest record (optionally of one kind), or ``None``."""
+        records = self.load() if kind is None else self.of_kind(kind)
+        return records[-1] if records else None
+
+    def baseline(self, kind: Optional[str] = None) -> Optional[RunRecord]:
+        """Second-newest record (optionally of one kind), or ``None``.
+
+        This is the attribution baseline for :meth:`latest`: the run the
+        candidate is compared against.
+        """
+        records = self.load() if kind is None else self.of_kind(kind)
+        return records[-2] if len(records) >= 2 else None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def next_run_id(self) -> str:
+        """Next id from the seeded counter (``run-000001``, ...).
+
+        Derived from the current record count, never from a clock, so a
+        rebuilt registry reassigns identical ids.
+        """
+        return f"run-{self.count() + 1:06d}"
+
+    def append(self, record: RunRecord) -> RunRecord:
+        """Append one record (creating the registry directory if needed).
+
+        Duplicate run ids are rejected: an append-only log where two
+        lines claim the same id makes ``get`` ambiguous and baseline
+        diffs meaningless.
+        """
+        existing = {r.run_id for r in self.load()}
+        if record.run_id in existing:
+            raise RunRegistryError(
+                f"run {record.run_id!r} already recorded in {self.path}"
+            )
+        os.makedirs(self.root, exist_ok=True)
+        line = json.dumps(record.to_dict(), sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        return record

@@ -1,0 +1,322 @@
+"""The auto-generated performance report.
+
+One markdown document rendered from a :class:`~repro.obs.runs.registry.RunRegistry`:
+run inventory, per-kind rps/p99 trajectories (tables plus ASCII trend
+charts via :func:`repro.analysis.charts.bar_chart`), the latest run's
+phase breakdown, the kernel crossover figure straight from the recorded
+``BENCH_kernel.json`` section, and a regression-attribution section
+comparing each kind's latest run against its predecessor.
+
+Everything is a pure function of the registry contents: same records in,
+same bytes out.  That is what lets tests pin the report and what makes
+the committed ``benchmarks/results/*.txt`` regenerable -- those text
+summaries are stored as run *artifacts*, so :func:`render_results`
+reproduces them from the newest recorded run and :func:`results_drift`
+checks the working tree against the registry exactly like the
+``docs/API.md`` drift gate checks generated docs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.analysis.charts import bar_chart
+from repro.analysis.tables import format_seconds
+from repro.errors import RunRegistryError
+from repro.obs.runs.attribution import attribute
+from repro.obs.runs.record import PHASE_KEYS, RunRecord
+from repro.obs.runs.registry import RunRegistry
+
+__all__ = ["render_report", "render_results", "results_drift"]
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f}"
+
+
+def _fmt_rps(value: float) -> str:
+    return f"{value:,.0f} req/s"
+
+
+def _fmt_us(value: float) -> str:
+    return f"{value:.1f} µs"
+
+
+def _table(header: List[str], rows: List[List[str]]) -> List[str]:
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def _code_block(text: str) -> List[str]:
+    return ["```text", *text.split("\n"), "```"]
+
+
+def _inventory(records: List[RunRecord]) -> List[str]:
+    rows = []
+    for record in records:
+        rows.append(
+            [
+                record.run_id,
+                record.kind,
+                record.label or "-",
+                record.short_commit(),
+                f"{record.stat('rps'):,.0f}" if "rps" in record.stats else "-",
+                _fmt_ms(record.stat("p99")) if "p99" in record.stats else "-",
+            ]
+        )
+    return [
+        "## Run inventory",
+        "",
+        *_table(["run", "kind", "label", "commit", "rps", "p99 ms"], rows),
+    ]
+
+
+def _trajectory(kind: str, records: List[RunRecord]) -> List[str]:
+    timed = [r for r in records if "rps" in r.stats or "p99" in r.stats]
+    if not timed:
+        return []
+    lines = [f"## Trajectory — {kind}", ""]
+    rows = [
+        [
+            r.run_id,
+            r.short_commit(),
+            f"{r.stat('rps'):,.0f}",
+            _fmt_ms(r.stat("p50")),
+            _fmt_ms(r.stat("p95")),
+            _fmt_ms(r.stat("p99")),
+        ]
+        for r in timed
+    ]
+    lines.extend(
+        _table(["run", "commit", "rps", "p50 ms", "p95 ms", "p99 ms"], rows)
+    )
+    rps_points = [(r.run_id, r.stat("rps")) for r in timed]
+    p99_points = [(r.run_id, r.stat("p99")) for r in timed]
+    if any(value > 0 for _x, value in rps_points):
+        lines.append("")
+        lines.extend(
+            _code_block(
+                bar_chart(
+                    {"rps": rps_points},
+                    title=f"{kind} throughput trend",
+                    log_scale=False,
+                    value_format=_fmt_rps,
+                    x_prefix="",
+                )
+            )
+        )
+    if any(value > 0 for _x, value in p99_points):
+        lines.append("")
+        lines.extend(
+            _code_block(
+                bar_chart(
+                    {"p99": p99_points},
+                    title=f"{kind} p99 latency trend",
+                    log_scale=False,
+                    value_format=format_seconds,
+                    x_prefix="",
+                )
+            )
+        )
+    return lines
+
+
+def _phase_breakdown(kind: str, records: List[RunRecord]) -> List[str]:
+    phased = [r for r in records if r.phases_us]
+    if not phased:
+        return []
+    latest = phased[-1]
+    phases = [key for key in PHASE_KEYS if key in latest.phases_us]
+    extra = sorted(set(latest.phases_us) - set(PHASE_KEYS))
+    phases.extend(extra)
+    total = sum(latest.phase_us(key) for key in phases)
+    rows = [
+        [
+            key,
+            f"{latest.phase_us(key):.1f}",
+            f"{latest.phase_us(key) / total:.1%}" if total else "-",
+        ]
+        for key in phases
+    ]
+    lines = [
+        f"## Phase breakdown — {kind} ({latest.run_id})",
+        "",
+        *_table(["phase", "mean µs", "share"], rows),
+        "",
+    ]
+    lines.extend(
+        _code_block(
+            bar_chart(
+                {"mean": [(key, latest.phase_us(key)) for key in phases]},
+                title=f"{kind} per-request phase means",
+                log_scale=False,
+                value_format=_fmt_us,
+                x_prefix="",
+            )
+        )
+    )
+    return lines
+
+
+def _kernel_crossover(records: List[RunRecord]) -> List[str]:
+    """The kernel crossover figure, from the newest run carrying the
+    recorded ``kernel_crossover`` bench section."""
+    for record in reversed(records):
+        section = record.bench.get("kernel_crossover")
+        if not isinstance(section, dict) or "sizes" not in section:
+            continue
+        sizes: Dict[str, Dict[str, float]] = section["sizes"]  # type: ignore[assignment]
+        ns = sorted(sizes, key=int)
+        tree = [(n, float(sizes[n].get("tree_s", 0.0))) for n in ns]
+        dense = [(n, float(sizes[n].get("dense_s", 0.0))) for n in ns]
+        chart = bar_chart(
+            {"tree": tree, "dense": dense},
+            title=f"kernel crossover ({record.run_id})",
+            log_scale=True,
+            value_format=format_seconds,
+        )
+        rows = [
+            [
+                n,
+                format_seconds(float(sizes[n].get("tree_s", 0.0))),
+                format_seconds(float(sizes[n].get("dense_s", 0.0))),
+                f"{float(sizes[n].get('speedup', 0.0)):.1f}x",
+                "yes" if sizes[n].get("identical") else "NO",
+            ]
+            for n in ns
+        ]
+        return [
+            "## Kernel crossover",
+            "",
+            *_table(
+                ["N", "tree total", "dense total", "speedup", "identical"],
+                rows,
+            ),
+            "",
+            *_code_block(chart),
+        ]
+    return []
+
+
+def _attribution(kind: str, records: List[RunRecord]) -> List[str]:
+    lines = [f"## Regression attribution — {kind}", ""]
+    if len(records) < 2:
+        lines.append(
+            f"Only one {kind} run recorded — no baseline to attribute "
+            f"against yet."
+        )
+        return lines
+    try:
+        comparison = attribute(records[-2], records[-1])
+    except RunRegistryError as exc:
+        lines.append(f"Attribution unavailable: {exc}")
+        return lines
+    lines.extend(_code_block(comparison.render()))
+    return lines
+
+
+def render_report(
+    registry: RunRegistry, title: str = "Performance report"
+) -> str:
+    """Render the full markdown report (see module docstring).
+
+    An empty registry renders a well-formed \"no runs recorded\" report
+    rather than raising -- fresh checkouts and zero-data environments
+    still get a document.
+    """
+    records = registry.load()
+    lines = [f"# {title}", ""]
+    if not records:
+        lines.append("No runs recorded. Record one with:")
+        lines.append("")
+        lines.extend(
+            _code_block(
+                "REPRO_BENCH_RECORD=1 python -m pytest benchmarks/ -q"
+            )
+        )
+        return "\n".join(lines) + "\n"
+    lines.append(
+        f"{len(records)} recorded run(s); newest is "
+        f"`{records[-1].run_id}` ({records[-1].kind})."
+    )
+    lines.append("")
+    lines.extend(_inventory(records))
+    kinds: List[str] = []
+    for record in records:
+        if record.kind not in kinds:
+            kinds.append(record.kind)
+    for kind in kinds:
+        of_kind = [r for r in records if r.kind == kind]
+        for section in (
+            _trajectory(kind, of_kind),
+            _phase_breakdown(kind, of_kind),
+        ):
+            if section:
+                lines.append("")
+                lines.extend(section)
+    crossover = _kernel_crossover(records)
+    if crossover:
+        lines.append("")
+        lines.extend(crossover)
+    for kind in kinds:
+        lines.append("")
+        lines.extend(_attribution(kind, [r for r in records if r.kind == kind]))
+    return "\n".join(lines) + "\n"
+
+
+def render_results(
+    registry: RunRegistry, kind: Optional[str] = "bench"
+) -> Dict[str, str]:
+    """Return ``{stem: file text}`` for the newest run carrying artifacts.
+
+    These are the ``benchmarks/results/<stem>.txt`` summaries exactly as
+    the bench session rendered them (trailing newline included), so a
+    caller can rewrite the results directory from the registry.  Empty
+    when no matching run recorded artifacts.
+    """
+    records = registry.load() if kind is None else registry.of_kind(kind)
+    for record in reversed(records):
+        if record.artifacts:
+            return {
+                stem: text if text.endswith("\n") else text + "\n"
+                for stem, text in sorted(record.artifacts.items())
+            }
+    return {}
+
+
+def results_drift(
+    registry: RunRegistry,
+    results_dir: str,
+    kind: Optional[str] = "bench",
+) -> List[str]:
+    """Compare on-disk results files against the registry's artifacts.
+
+    Returns one message per drifted file (missing, extra content, or
+    byte mismatch); empty means the working tree matches the recorded
+    run.  Only stems present in the registry are checked -- figure
+    tables produced by the analysis experiments, not the bench session,
+    are out of scope.
+    """
+    drift: List[str] = []
+    expected = render_results(registry, kind)
+    if not expected:
+        return drift
+    for stem, text in expected.items():
+        path = os.path.join(results_dir, f"{stem}.txt")
+        if not os.path.exists(path):
+            drift.append(f"{stem}.txt: missing (expected from registry)")
+            continue
+        with open(path, "r", encoding="utf-8") as handle:
+            actual = handle.read()
+        if actual != text:
+            drift.append(
+                f"{stem}.txt: differs from the recorded run "
+                f"(regenerate with `repro report --results-dir`)"
+            )
+    return drift

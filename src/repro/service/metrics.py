@@ -35,6 +35,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import ServiceError
+from repro.obs.quantiles import nearest_rank
 
 __all__ = [
     "Counter",
@@ -155,16 +156,13 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """Return the ``q``-quantile (nearest-rank) of the current window.
 
-        Returns 0.0 on an empty histogram.
+        Returns 0.0 on an empty histogram.  Delegates to the shared
+        :func:`repro.obs.quantiles.nearest_rank` (round convention) --
+        the window list is kept sorted, so no re-sort happens here.
         """
         if not 0.0 <= q <= 1.0:
             raise ServiceError(f"quantile {q} outside [0, 1]")
-        if not self._sorted:
-            return 0.0
-        rank = min(len(self._sorted) - 1, max(0, round(q * len(self._sorted)) - 1))
-        if q == 0.0:
-            rank = 0
-        return self._sorted[rank]
+        return nearest_rank(self._sorted, q, presorted=True)
 
     def summary(self) -> Dict[str, float]:
         """Return both scopes of the histogram in one flat dict.

@@ -275,6 +275,29 @@ class TestAdminChannel:
 
         run(scenario())
 
+    def test_admin_zero_data_queries_answer_empty(self, workload):
+        """A server with no tracer, events, or monitor answers the
+        observability queries with empty data, not errors."""
+        pool, _stream = workload
+
+        async def scenario():
+            server, service, host, port = await _start_server(pool)
+            try:
+                async with AdmissionClient(host, port) as client:
+                    slowest = await client.admin("slowest", limit=5)
+                    assert slowest["data"] == []
+                    tail = await client.admin("events")
+                    assert tail["data"] == []
+                    slo = await client.admin("slo")
+                    assert slo["data"] == []
+                    health = await client.admin("health")
+                    assert health["data"]["monitor"] is None
+            finally:
+                await server.shutdown()
+                service.close()
+
+        run(scenario())
+
     def test_admin_before_hello_is_rejected(self, workload):
         pool, _stream = workload
 

@@ -1,0 +1,160 @@
+"""The shared nearest-rank helper is byte-identical to the three
+implementations it replaced.
+
+The old code is reproduced verbatim below as reference oracles; the
+Hypothesis properties then pin each surviving call site --
+``Histogram.quantile``, ``MetricStreams.quantile``, and the loadgen's
+``nearest_rank`` -- to the oracle that used to live there.  Floats are
+compared with ``==`` (no tolerance): nearest-rank selection returns an
+*element* of the sample list, so any drift is an off-by-one rank bug,
+not rounding noise.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ServiceError, TransportError
+from repro.net.loadgen import nearest_rank as loadgen_nearest_rank
+from repro.obs.monitor.streams import MetricStreams
+from repro.obs.quantiles import (
+    METHOD_CEIL,
+    METHOD_ROUND,
+    nearest_rank,
+    nearest_rank_index,
+)
+from repro.service.metrics import MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# Reference oracles: the three pre-dedup implementations, verbatim.
+# ----------------------------------------------------------------------
+def _old_histogram_quantile(sorted_samples, q):
+    """service.metrics.Histogram.quantile before the dedup."""
+    if not 0.0 <= q <= 1.0:
+        raise ServiceError(f"quantile {q} outside [0, 1]")
+    if not sorted_samples:
+        return 0.0
+    rank = min(
+        len(sorted_samples) - 1, max(0, round(q * len(sorted_samples)) - 1)
+    )
+    if q == 0.0:
+        rank = 0
+    return sorted_samples[rank]
+
+
+def _old_streams_quantile(values, q):
+    """obs.monitor.streams.MetricStreams.quantile before the dedup."""
+    if not 0.0 <= q <= 1.0:
+        raise ServiceError(f"quantile {q} outside [0, 1]")
+    values = sorted(values)
+    if not values:
+        return 0.0
+    if q == 0.0:
+        return values[0]
+    rank = min(len(values) - 1, max(0, round(q * len(values)) - 1))
+    return values[rank]
+
+
+def _old_loadgen_nearest_rank(samples, q):
+    """net.loadgen.nearest_rank before the dedup."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise TransportError(f"quantile {q} outside [0, 1]")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+SAMPLES = st.lists(
+    st.floats(
+        min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+    ),
+    max_size=64,
+)
+#: Mix of arbitrary quantiles and the exact operating points the stack
+#: queries (p0/p50/p95/p99/p100), where the two conventions diverge.
+QUANTILES = st.one_of(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    st.sampled_from([0.0, 0.5, 0.95, 0.99, 1.0]),
+)
+
+
+class TestSharedHelper:
+    @given(samples=SAMPLES, q=QUANTILES)
+    @settings(max_examples=200)
+    def test_round_method_matches_old_histogram(self, samples, q):
+        assert nearest_rank(sorted(samples), q, presorted=True) == (
+            _old_histogram_quantile(sorted(samples), q)
+        )
+
+    @given(samples=SAMPLES, q=QUANTILES)
+    @settings(max_examples=200)
+    def test_round_method_matches_old_streams(self, samples, q):
+        assert nearest_rank(samples, q) == _old_streams_quantile(samples, q)
+
+    @given(samples=SAMPLES, q=QUANTILES)
+    @settings(max_examples=200)
+    def test_ceil_method_matches_old_loadgen(self, samples, q):
+        assert nearest_rank(samples, q, method=METHOD_CEIL) == (
+            _old_loadgen_nearest_rank(samples, q)
+        )
+
+    def test_conventions_differ_where_documented(self):
+        # round(2.5) banker's-rounds to 2 -> index 1; ceil(2.5) = 3 -> 2.
+        assert nearest_rank_index(5, 0.5, METHOD_ROUND) == 1
+        assert nearest_rank_index(5, 0.5, METHOD_CEIL) == 2
+
+    def test_rejects_bad_method_and_bad_q(self):
+        with pytest.raises(ServiceError):
+            nearest_rank_index(3, 0.5, "interpolate")
+        with pytest.raises(ServiceError):
+            nearest_rank([1.0], 1.5)
+        with pytest.raises(ServiceError):
+            nearest_rank_index(0, 0.5)
+
+
+class TestCallSitesPinned:
+    """Drive the real objects and compare against the oracles."""
+
+    @given(samples=SAMPLES, q=QUANTILES)
+    @settings(max_examples=100)
+    def test_histogram_quantile(self, samples, q):
+        histogram = MetricsRegistry().histogram("latency_seconds")
+        for value in samples:
+            histogram.observe(value)
+        assert histogram.quantile(q) == _old_histogram_quantile(
+            sorted(samples), q
+        )
+
+    @given(samples=SAMPLES, q=QUANTILES)
+    @settings(max_examples=100)
+    def test_streams_quantile(self, samples, q):
+        ticks = iter(range(100000))
+        streams = MetricStreams(
+            window=1e9, clock=lambda: float(next(ticks))
+        )
+        for value in samples:
+            streams.observe("latency", (), value)
+        assert streams.quantile("latency", q) == _old_streams_quantile(
+            samples, q
+        )
+
+    @given(samples=SAMPLES, q=QUANTILES)
+    @settings(max_examples=100)
+    def test_loadgen_nearest_rank(self, samples, q):
+        assert loadgen_nearest_rank(samples, q) == _old_loadgen_nearest_rank(
+            samples, q
+        )
+
+    def test_error_types_preserved(self):
+        histogram = MetricsRegistry().histogram("h")
+        with pytest.raises(ServiceError):
+            histogram.quantile(-0.1)
+        with pytest.raises(TransportError):
+            loadgen_nearest_rank([1.0], 2.0)
+        # Loadgen's historical quirk: empty wins over validation.
+        assert loadgen_nearest_rank([], 2.0) == 0.0

@@ -217,6 +217,82 @@ class TestMain:
         assert "bench_gate:" in capsys.readouterr().err
 
 
+class TestAttribution:
+    """The --runs-dir attribution section: annotates failures, never
+    changes exit codes."""
+
+    def seed_registry(self, tmp_path, *, slow_revalidate=False):
+        from repro.obs.runs import RunRecord, RunRegistry
+
+        registry = RunRegistry(str(tmp_path / "runs"))
+        phases = {"queue_us": 10.0, "match_us": 50.0,
+                  "admission_us": 5.0, "revalidate_us": 120.0}
+        registry.append(RunRecord(
+            run_id=registry.next_run_id(), kind="loadgen",
+            stats={"rps": 1000.0, "p99": 0.003}, phases_us=dict(phases),
+        ))
+        if slow_revalidate:
+            phases["revalidate_us"] = 2300.0
+        registry.append(RunRecord(
+            run_id=registry.next_run_id(), kind="loadgen",
+            stats={"rps": 700.0 if slow_revalidate else 1000.0,
+                   "p99": 0.012 if slow_revalidate else 0.003},
+            phases_us=phases,
+        ))
+        return str(tmp_path / "runs")
+
+    def test_failure_with_runs_dir_prints_attribution(self, tmp_path, capsys):
+        current_payload = json.loads(json.dumps(BASELINE))
+        current_payload["throughput"]["runs"]["batch16"]["accepted"] = 1
+        runs_dir = self.seed_registry(tmp_path, slow_revalidate=True)
+        code = bench_gate.main(
+            ["--baseline", write(tmp_path, "base.json", BASELINE),
+             "--current", write(tmp_path, "cur.json", current_payload),
+             "--tolerances", write(tmp_path, "tol.json", TOLERANCES),
+             "--runs-dir", runs_dir]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "attribution: run-000002 vs baseline run-000001" in out
+        assert "revalidate is the top regressing phase" in out
+
+    def test_clean_run_skips_attribution(self, tmp_path, capsys):
+        runs_dir = self.seed_registry(tmp_path)
+        code = bench_gate.main(
+            ["--baseline", write(tmp_path, "base.json", BASELINE),
+             "--current", write(tmp_path, "cur.json", BASELINE),
+             "--tolerances", write(tmp_path, "tol.json", TOLERANCES),
+             "--runs-dir", runs_dir]
+        )
+        assert code == 0
+        assert "attribution" not in capsys.readouterr().out
+
+    def test_missing_registry_degrades_without_changing_exit(
+        self, tmp_path, capsys
+    ):
+        current_payload = json.loads(json.dumps(BASELINE))
+        current_payload["overhead"]["n"] = 1
+        code = bench_gate.main(
+            ["--baseline", write(tmp_path, "base.json", BASELINE),
+             "--current", write(tmp_path, "cur.json", current_payload),
+             "--tolerances", write(tmp_path, "tol.json", TOLERANCES),
+             "--runs-dir", str(tmp_path / "no-registry")]
+        )
+        assert code == 1
+        assert "attribution unavailable" in capsys.readouterr().out
+
+    def test_single_run_registry_names_missing_baseline(self, tmp_path):
+        from repro.obs.runs import RunRecord, RunRegistry
+
+        registry = RunRegistry(str(tmp_path))
+        registry.append(RunRecord(
+            run_id=registry.next_run_id(), kind="bench",
+            stats={"rps": 100.0},
+        ))
+        section = bench_gate.attribution_section(str(tmp_path))
+        assert "only one run recorded" in section
+
+
 class TestCommittedBaseline:
     """The committed tolerance policy must parse and gate itself cleanly."""
 
