@@ -3,8 +3,9 @@
 
 Two typing tiers are configured in pyproject.toml (see the ``[tool.mypy]``
 comment block): the strict packages (``repro.geometry`` / ``repro.core`` /
-``repro.validation``) must hold zero errors, and every other package may
-carry at most the per-package error count recorded in ``mypy-baseline.json``.
+``repro.validation`` / ``repro.net`` / ``repro.lint``) must hold zero
+errors, and every other package may carry at most the per-package error
+count recorded in ``mypy-baseline.json``.
 This script runs mypy, buckets its errors per package, and compares:
 
 * count above baseline (or any strict-package error) -> exit 1;
@@ -36,7 +37,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "mypy-baseline.json"
 
 #: Packages that must stay at zero errors once the gate is armed.
-STRICT_PACKAGES = ("repro.geometry", "repro.core", "repro.validation")
+STRICT_PACKAGES = (
+    "repro.geometry",
+    "repro.core",
+    "repro.validation",
+    "repro.net",
+    "repro.lint",
+)
 
 _ERROR_LINE = re.compile(r"^(?P<path>[^:]+\.py):\d+(?::\d+)?: error: ")
 

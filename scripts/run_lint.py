@@ -1,20 +1,50 @@
 #!/usr/bin/env python
 """Run the repro.lint invariant checker (CI entry point).
 
-Equivalent to ``repro lint``; kept as a script so CI and pre-commit
-hooks can invoke it without installing the package:
+Equivalent to ``repro lint``, with two repo-level conveniences baked in:
 
-    PYTHONPATH=src python scripts/run_lint.py src
+* invoked with no arguments it lints the full tooling surface --
+  ``src``, ``scripts``, and ``benchmarks`` -- not just ``src``;
+* unless the caller picks a location, the whole-program call graph is
+  cached in ``.lint-cache/callgraph.pickle``, keyed on a content hash
+  of the linted tree, so repeated local runs skip the graph build when
+  nothing changed (CI always starts cold; the cache is gitignored).
+
+    PYTHONPATH=src python scripts/run_lint.py
 
 Exit codes: 0 clean, 1 findings, 2 usage/parse errors.
 """
 
 import sys
 from pathlib import Path
+from typing import List, Sequence
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.lint.cli import main  # noqa: E402
 
+#: What a bare ``python scripts/run_lint.py`` checks.
+DEFAULT_PATHS = ("src", "scripts", "benchmarks")
+
+#: Default pickle cache for the analysis pass's call graph.
+DEFAULT_CACHE = REPO_ROOT / ".lint-cache" / "callgraph.pickle"
+
+
+def build_argv(raw: Sequence[str]) -> List[str]:
+    """Expand a raw argv with the repo-level defaults.
+
+    Defaults are only injected conservatively: paths when *nothing* was
+    passed (so explicit invocations keep their exact meaning), the
+    cache flag whenever the caller did not choose one.
+    """
+    argv = list(raw)
+    if not argv:
+        argv = list(DEFAULT_PATHS)
+    if "--call-graph-cache" not in argv:
+        argv += ["--call-graph-cache", str(DEFAULT_CACHE)]
+    return argv
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(build_argv(sys.argv[1:])))

@@ -1,0 +1,44 @@
+"""Whole-program analysis layer under the :mod:`repro.lint` rules.
+
+The file-local rules (REP001-REP007) see one AST at a time; the modules
+here give the interprocedural rules (REP008+) the project-wide picture:
+
+* :mod:`~repro.lint.analysis.symbols` -- a symbol table indexing every
+  module, class, and function of the linted tree, with method resolution
+  over project-defined class hierarchies;
+* :mod:`~repro.lint.analysis.callgraph` -- an import-resolved call graph
+  (one :class:`~repro.lint.analysis.callgraph.CallSite` per ``ast.Call``,
+  carrying the resolved target where resolution is confident), with a
+  deterministic JSON rendering and a content-hash-keyed pickle cache;
+* :mod:`~repro.lint.analysis.exceptions` -- raised-exception-set
+  propagation with try/except narrowing and class-hierarchy subsumption;
+* :mod:`~repro.lint.analysis.project` -- :class:`Project`, the façade the
+  engine builds once per run and hands to every analysis rule.
+
+Soundness stance (shared by all rules built on this layer): resolution
+is *confident-or-silent*.  A call that cannot be resolved through import
+aliases, ``self``/``cls`` method dispatch, or a project-qualified dotted
+name contributes no edge and no facts -- the analyses may miss
+violations routed through dynamic dispatch, but they never invent one.
+DESIGN.md "Static analysis & typing" records the caveats in detail.
+"""
+
+from repro.lint.analysis.callgraph import CallGraph, CallSite, build_call_graph
+from repro.lint.analysis.project import Project
+from repro.lint.analysis.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    SymbolTable,
+)
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Project",
+    "SymbolTable",
+    "build_call_graph",
+]

@@ -1,0 +1,222 @@
+"""Import-resolved call graph over the project symbol table.
+
+One :class:`CallSite` is recorded per ``ast.Call`` inside every indexed
+function body (nested helpers and lambdas attribute their calls to the
+enclosing indexed function).  Each site carries:
+
+``name``
+    The dotted spelling of the callee after import-alias expansion
+    (``protocol.encode_frame`` -> ``repro.net.protocol.encode_frame``,
+    ``self.service.drain`` stays ``self.service.drain``) -- what
+    pattern-based checks (entropy bans, blocking-call matchers) match
+    against.  ``None`` when the callee is not a name/attribute chain.
+``target``
+    The qualified name of the *project* function the call confidently
+    resolves to, or ``None``.  Confident means: a plain/module-qualified
+    name indexing a project function, a project class constructor
+    (edges to ``Class.__init__``), or a ``self.``/``cls.`` method found
+    on the enclosing class or its project-defined bases.  Calls on
+    arbitrary object attributes stay unresolved on purpose -- the
+    analyses stay silent rather than guess (see package docstring).
+``in_executor``
+    Whether the site sits syntactically inside the arguments of an
+    executor dispatch (``loop.run_in_executor`` / ``asyncio.to_thread``)
+    -- the sanctioned blocking-call escape hatch REP009 honors.
+
+The graph is pure data (no AST references), picklable for the
+content-hash cache, and renders to deterministic JSON for the CLI's
+``--call-graph-out`` debug dump.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.analysis.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    SymbolTable,
+)
+
+__all__ = ["CallGraph", "CallSite", "build_call_graph"]
+
+#: Dump/pickle schema version (bump on any shape change; the cache
+#: discards mismatching payloads).
+GRAPH_VERSION = 1
+
+#: Callee spellings that dispatch their argument to a worker thread.
+_EXECUTOR_SUFFIXES = ("run_in_executor", "to_thread")
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside one project function."""
+
+    line: int
+    col: int
+    name: Optional[str]
+    target: Optional[str]
+    in_executor: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return the JSON payload of this site."""
+        return {
+            "line": self.line,
+            "col": self.col,
+            "name": self.name,
+            "target": self.target,
+            "in_executor": self.in_executor,
+        }
+
+
+@dataclass(frozen=True)
+class _FunctionMeta:
+    """Picklable per-function metadata mirrored from the symbol table."""
+
+    path: str
+    lineno: int
+    is_async: bool
+
+
+class CallGraph:
+    """Per-function call sites plus just enough function metadata to
+    answer reachability queries without the (unpicklable) ASTs."""
+
+    def __init__(self) -> None:
+        self.sites: Dict[str, Tuple[CallSite, ...]] = {}
+        self.meta: Dict[str, _FunctionMeta] = {}
+        self.version: int = GRAPH_VERSION
+
+    def callees(self, qualname: str) -> Tuple[CallSite, ...]:
+        """Return the call sites inside one function (source order)."""
+        return self.sites.get(qualname, ())
+
+    def to_payload(self) -> Dict[str, object]:
+        """Return the deterministic JSON-able dump of the whole graph."""
+        return {
+            "version": self.version,
+            "functions": {
+                qualname: {
+                    "path": meta.path,
+                    "line": meta.lineno,
+                    "async": meta.is_async,
+                }
+                for qualname, meta in sorted(self.meta.items())
+            },
+            "calls": {
+                qualname: [site.to_dict() for site in sites]
+                for qualname, sites in sorted(self.sites.items())
+                if sites
+            },
+        }
+
+
+def _dotted_chain(node: ast.AST) -> Optional[List[str]]:
+    """Return the ``a.b.c`` parts of a name/attribute chain, else None."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    parts.reverse()
+    return parts
+
+
+def _spell_callee(
+    parts: List[str], module: ModuleInfo
+) -> str:
+    """Expand the chain's root through the module's import aliases."""
+    root = module.aliases.get(parts[0])
+    if root is not None:
+        parts = root.split(".") + parts[1:]
+    elif parts[0] not in ("self", "cls") and (
+        parts[0] in module.functions or parts[0] in module.classes
+    ):
+        # A bare in-module name qualifies against its own module.
+        parts = module.name.split(".") + parts
+    return ".".join(parts)
+
+
+def _resolve_target(
+    name: str,
+    parts: List[str],
+    owner: Optional[ClassInfo],
+    table: SymbolTable,
+) -> Optional[str]:
+    """Map a spelled callee to a project function, if confident."""
+    if parts[0] in ("self", "cls"):
+        if owner is None or len(parts) != 2:
+            return None
+        method = table.resolve_method(owner, parts[1])
+        return method.qualname if method is not None else None
+    resolved = table.resolve_function(name)
+    if resolved is not None:
+        return resolved.qualname
+    # Constructor call: edge to the class initializer when one exists.
+    cls_info = table.classes.get(name)
+    if cls_info is not None:
+        init = table.resolve_method(cls_info, "__init__")
+        return init.qualname if init is not None else None
+    return None
+
+
+def _collect_sites(
+    fn: FunctionInfo,
+    module: ModuleInfo,
+    owner: Optional[ClassInfo],
+    table: SymbolTable,
+) -> Tuple[CallSite, ...]:
+    sites: List[CallSite] = []
+
+    def visit(node: ast.AST, in_executor: bool) -> None:
+        if isinstance(node, ast.Call):
+            parts = _dotted_chain(node.func)
+            name: Optional[str] = None
+            target: Optional[str] = None
+            dispatches = False
+            if parts is not None:
+                name = _spell_callee(list(parts), module)
+                target = _resolve_target(name, parts, owner, table)
+                dispatches = name.rsplit(".", 1)[-1] in _EXECUTOR_SUFFIXES
+            sites.append(
+                CallSite(
+                    line=node.lineno,
+                    col=node.col_offset,
+                    name=name,
+                    target=target,
+                    in_executor=in_executor,
+                )
+            )
+            visit(node.func, in_executor)
+            for arg in node.args:
+                visit(arg, in_executor or dispatches)
+            for keyword in node.keywords:
+                visit(keyword.value, in_executor or dispatches)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child, in_executor)
+
+    assert isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    for stmt in fn.node.body:
+        visit(stmt, False)
+    return tuple(sites)
+
+
+def build_call_graph(table: SymbolTable) -> CallGraph:
+    """Resolve every call site of every indexed function."""
+    graph = CallGraph()
+    for qualname in sorted(table.functions):
+        fn = table.functions[qualname]
+        module = table.modules[fn.module]
+        owner = table.classes.get(fn.owner) if fn.owner is not None else None
+        graph.meta[qualname] = _FunctionMeta(
+            path=fn.path, lineno=fn.lineno, is_async=fn.is_async
+        )
+        graph.sites[qualname] = _collect_sites(fn, module, owner, table)
+    return graph

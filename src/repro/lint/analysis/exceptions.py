@@ -1,0 +1,329 @@
+"""Raised-exception-set propagation across project call edges.
+
+:class:`EscapeAnalysis` computes, per project function, the set of
+exception types (dotted names) that may *escape* it: explicit ``raise``
+statements plus everything escaping confidently resolved callees, minus
+whatever enclosing ``try``/``except`` handlers catch.  Catching honors
+subsumption: ``except ServiceError`` catches ``ServiceOverloadedError``
+through the project class hierarchy, ``except Exception`` catches every
+Exception-derived type, and builtin subsumption is answered from a
+bundled parent table (``ConnectionResetError`` -> ``ConnectionError``
+-> ``OSError`` -> ``Exception``).
+
+Soundness caveats (deliberate, documented in DESIGN.md):
+
+* Calls that do not resolve to a project function contribute nothing --
+  stdlib raisers (``writer.drain`` raising ``ConnectionError``) are
+  invisible unless the caller re-raises them explicitly.
+* ``assert`` statements are ignored (they encode invariants and vanish
+  under ``-O``).
+* Nested function/lambda bodies are skipped -- they raise at their own
+  (locally dispatched, hence unresolved) call sites.
+* A bare ``raise`` outside an ``except`` block contributes nothing
+  (it is a runtime error anyway); inside one it re-raises the types the
+  handler could have caught.
+
+The analysis is cycle-safe (recursion through the call graph bottoms
+out on an in-progress marker) and memoized per function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.analysis.callgraph import CallGraph, CallSite
+from repro.lint.analysis.symbols import FunctionInfo, SymbolTable
+
+__all__ = ["EscapeAnalysis", "is_exception_subtype"]
+
+#: Builtin exception -> direct parent (enough of the stdlib hierarchy to
+#: answer the subsumption questions wire/server code actually poses).
+_BUILTIN_BASES: Dict[str, str] = {
+    "ArithmeticError": "Exception",
+    "AssertionError": "Exception",
+    "AttributeError": "Exception",
+    "BrokenPipeError": "ConnectionError",
+    "ConnectionAbortedError": "ConnectionError",
+    "ConnectionError": "OSError",
+    "ConnectionRefusedError": "ConnectionError",
+    "ConnectionResetError": "ConnectionError",
+    "EOFError": "Exception",
+    "Exception": "BaseException",
+    "FileNotFoundError": "OSError",
+    "GeneratorExit": "BaseException",
+    "IOError": "OSError",
+    "IndexError": "LookupError",
+    "KeyError": "LookupError",
+    "KeyboardInterrupt": "BaseException",
+    "LookupError": "Exception",
+    "NotImplementedError": "RuntimeError",
+    "OSError": "Exception",
+    "OverflowError": "ArithmeticError",
+    "PermissionError": "OSError",
+    "RuntimeError": "Exception",
+    "StopAsyncIteration": "Exception",
+    "StopIteration": "Exception",
+    "SystemExit": "BaseException",
+    "TimeoutError": "OSError",
+    "TypeError": "Exception",
+    "UnicodeDecodeError": "ValueError",
+    "ValueError": "Exception",
+    "ZeroDivisionError": "ArithmeticError",
+    "asyncio.CancelledError": "BaseException",
+    "asyncio.IncompleteReadError": "EOFError",
+    "asyncio.TimeoutError": "TimeoutError",
+}
+
+
+def _base_chain(name: str, table: SymbolTable) -> List[str]:
+    """Return ``name`` followed by its ancestors, project-first."""
+    chain: List[str] = []
+    frontier = [name]
+    seen: Set[str] = set()
+    while frontier:
+        current = frontier.pop(0)
+        if current in seen:
+            continue
+        seen.add(current)
+        chain.append(current)
+        cls_info = table.classes.get(current)
+        if cls_info is not None:
+            frontier.extend(cls_info.bases)
+        elif current in _BUILTIN_BASES:
+            frontier.append(_BUILTIN_BASES[current])
+        elif "." not in current and current != "BaseException":
+            # Unknown bare name: assume a plain Exception subclass --
+            # the conservative direction for "does anything catch it".
+            frontier.append("Exception")
+    return chain
+
+
+def is_exception_subtype(name: str, ancestor: str, table: SymbolTable) -> bool:
+    """Return whether exception ``name`` is ``ancestor`` or derives
+    from it (project hierarchy + builtin parent table)."""
+    return ancestor in _base_chain(name, table)
+
+
+class EscapeAnalysis:
+    """Per-function escaping-exception sets over one project."""
+
+    def __init__(self, table: SymbolTable, graph: CallGraph):
+        self._table = table
+        self._graph = graph
+        self._memo: Dict[str, FrozenSet[str]] = {}
+        self._active: Set[str] = set()
+        #: (function qualname) -> {(line, col): CallSite}
+        self._site_index: Dict[str, Dict[Tuple[int, int], CallSite]] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def escaping(self, qualname: str) -> FrozenSet[str]:
+        """Return the exception types that may escape ``qualname``."""
+        cached = self._memo.get(qualname)
+        if cached is not None:
+            return cached
+        if qualname in self._active:
+            return frozenset()  # cycle: the outer activation owns it
+        fn = self._table.functions.get(qualname)
+        if fn is None:
+            return frozenset()
+        self._active.add(qualname)
+        try:
+            assert isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            result = frozenset(
+                self._stmts(fn, fn.node.body, reraise=(), handler_var=None)
+            )
+        finally:
+            self._active.discard(qualname)
+        self._memo[qualname] = result
+        return result
+
+    def catches(self, handler_type: str, exc: str) -> bool:
+        """Return whether one handler type name catches one exception."""
+        return is_exception_subtype(exc, handler_type, self._table)
+
+    # ------------------------------------------------------------------
+    # Statement walk
+    # ------------------------------------------------------------------
+    def _stmts(
+        self,
+        fn: FunctionInfo,
+        stmts: Sequence[ast.stmt],
+        reraise: Tuple[str, ...],
+        handler_var: Optional[str],
+    ) -> Set[str]:
+        out: Set[str] = set()
+        for stmt in stmts:
+            out |= self._stmt(fn, stmt, reraise, handler_var)
+        return out
+
+    def _stmt(
+        self,
+        fn: FunctionInfo,
+        node: ast.stmt,
+        reraise: Tuple[str, ...],
+        handler_var: Optional[str],
+    ) -> Set[str]:
+        if isinstance(node, ast.Raise):
+            return self._raise(fn, node, reraise, handler_var)
+        if isinstance(node, ast.Try):
+            return self._try(fn, node, reraise, handler_var)
+        out: Set[str]
+        if isinstance(node, (ast.If, ast.While)):
+            out = self._expr_calls(fn, node.test)
+            out |= self._stmts(fn, node.body, reraise, handler_var)
+            out |= self._stmts(fn, node.orelse, reraise, handler_var)
+            return out
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            out = self._expr_calls(fn, node.iter)
+            out |= self._stmts(fn, node.body, reraise, handler_var)
+            out |= self._stmts(fn, node.orelse, reraise, handler_var)
+            return out
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            out = set()
+            for item in node.items:
+                out |= self._expr_calls(fn, item.context_expr)
+            out |= self._stmts(fn, node.body, reraise, handler_var)
+            return out
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return set()  # nested definitions raise at their call sites
+        if isinstance(node, ast.Assert):
+            return set()  # invariants, not failure paths (see docstring)
+        # Leaf statements: every call in the expression tree may raise.
+        return self._expr_calls(fn, node)
+
+    def _raise(
+        self,
+        fn: FunctionInfo,
+        node: ast.Raise,
+        reraise: Tuple[str, ...],
+        handler_var: Optional[str],
+    ) -> Set[str]:
+        exc = node.exc
+        if exc is None:
+            return set(reraise)
+        out = self._expr_calls(fn, exc)  # the constructor itself may raise
+        spelled = self._spell(fn, exc)
+        if spelled is not None:
+            out.add(spelled)
+            return out
+        if (
+            isinstance(exc, ast.Name)
+            and handler_var is not None
+            and exc.id == handler_var
+        ):
+            return out | set(reraise)
+        out.add("Exception")  # dynamic raise: conservatively catchable
+        return out
+
+    def _try(
+        self,
+        fn: FunctionInfo,
+        node: ast.Try,
+        reraise: Tuple[str, ...],
+        handler_var: Optional[str],
+    ) -> Set[str]:
+        remaining = self._stmts(fn, node.body, reraise, handler_var)
+        out: Set[str] = set()
+        for handler in node.handlers:
+            types = self._handler_types(fn, handler)
+            if types is None:  # bare except: catches everything
+                caught = set(remaining)
+                declared: Tuple[str, ...] = ("Exception",)
+            else:
+                caught = {
+                    exc
+                    for exc in remaining
+                    if any(self.catches(t, exc) for t in types)
+                }
+                declared = tuple(types)
+            remaining -= caught
+            handler_reraise = tuple(sorted(caught)) if caught else declared
+            out |= self._stmts(
+                fn, handler.body, handler_reraise, handler.name
+            )
+        out |= self._stmts(fn, node.orelse, reraise, handler_var)
+        out |= self._stmts(fn, node.finalbody, reraise, handler_var)
+        return out | remaining
+
+    def _handler_types(
+        self, fn: FunctionInfo, handler: ast.ExceptHandler
+    ) -> Optional[List[str]]:
+        """Spell a handler's caught types; ``None`` means bare except."""
+        if handler.type is None:
+            return None
+        nodes = (
+            list(handler.type.elts)
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        types: List[str] = []
+        for type_node in nodes:
+            spelled = self._spell(fn, type_node)
+            types.append(spelled if spelled is not None else "BaseException")
+        return types
+
+    # ------------------------------------------------------------------
+    # Expression helpers
+    # ------------------------------------------------------------------
+    def _expr_calls(self, fn: FunctionInfo, node: ast.AST) -> Set[str]:
+        """Union the escape sets of resolved calls inside an expression
+        (or leaf statement), skipping nested function/lambda bodies."""
+        sites = self._sites_of(fn)
+        out: Set[str] = set()
+        stack: List[ast.AST] = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(current, ast.Call):
+                site = sites.get((current.lineno, current.col_offset))
+                if site is not None and site.target is not None:
+                    out |= self.escaping(site.target)
+            stack.extend(ast.iter_child_nodes(current))
+        return out
+
+    def _sites_of(self, fn: FunctionInfo) -> Dict[Tuple[int, int], CallSite]:
+        index = self._site_index.get(fn.qualname)
+        if index is None:
+            index = {
+                (site.line, site.col): site
+                for site in self._graph.callees(fn.qualname)
+            }
+            self._site_index[fn.qualname] = index
+        return index
+
+    def _spell(self, fn: FunctionInfo, node: ast.AST) -> Optional[str]:
+        """Spell an exception expression as a dotted type name.
+
+        ``raise ServiceError(...)`` and ``raise ServiceError`` both
+        spell to the (import-resolved) class name; anything that is not
+        a name/attribute chain (or a call on one) returns ``None``.
+        """
+        target = node.func if isinstance(node, ast.Call) else node
+        parts: List[str] = []
+        current = target
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        parts.append(current.id)
+        parts.reverse()
+        module = self._table.modules.get(fn.module)
+        if module is None:
+            return ".".join(parts)
+        root = module.aliases.get(parts[0])
+        if root is not None:
+            parts = root.split(".") + parts[1:]
+        elif parts[0] in module.classes:
+            parts = module.name.split(".") + parts
+        return ".".join(parts)
+    # reprolint note: handler-bound variables that are re-raised under a
+    # different name ("err = exc; raise err") degrade to "Exception".

@@ -1,0 +1,144 @@
+"""The :class:`Project` façade handed to whole-program analysis rules.
+
+Built once per lint run from every parsed file context, it owns the
+symbol table, the call graph (optionally revived from a pickle cache
+keyed on a content hash of the linted tree), and the lazily constructed
+escape analysis.  Analysis rules report through the same per-file
+:class:`~repro.lint.context.FileContext` sinks the syntactic rules use,
+so sorting and suppression handling stay in one place in the engine.
+
+Cache notes: only the :class:`~repro.lint.analysis.callgraph.CallGraph`
+is cached -- it is pure data.  The symbol table holds live AST nodes and
+is rebuilt each run (a single pass over already-parsed trees).  The
+cache key is the SHA-256 of every ``(display path, source bytes)`` pair
+in display-path order, so any edit, rename, addition, or removal misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Type
+
+from repro.lint.analysis.callgraph import (
+    GRAPH_VERSION,
+    CallGraph,
+    build_call_graph,
+)
+from repro.lint.analysis.exceptions import EscapeAnalysis
+from repro.lint.analysis.symbols import FunctionInfo, SymbolTable
+from repro.lint.config import LintConfig
+from repro.lint.context import FileContext
+from repro.lint.registry import Rule
+
+__all__ = ["Project", "tree_digest"]
+
+
+def tree_digest(contexts: List[FileContext]) -> str:
+    """Return the content hash identifying one linted source tree."""
+    digest = hashlib.sha256()
+    for ctx in sorted(contexts, key=lambda c: c.display_path):
+        digest.update(ctx.display_path.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(ctx.source.encode("utf-8"))
+        digest.update(b"\x01")
+    return digest.hexdigest()
+
+
+def _load_cached_graph(cache_path: Path, digest: str) -> Optional[CallGraph]:
+    """Revive a cached call graph if it matches version and digest."""
+    try:
+        with open(cache_path, "rb") as stream:
+            payload = pickle.load(stream)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("version") != GRAPH_VERSION:
+        return None
+    if payload.get("digest") != digest:
+        return None
+    graph = payload.get("graph")
+    return graph if isinstance(graph, CallGraph) else None
+
+
+def _store_cached_graph(
+    cache_path: Path, digest: str, graph: CallGraph
+) -> None:
+    """Best-effort write of the pickle cache (failures are silent --
+    the cache is an optimization, never a correctness input)."""
+    payload = {"version": GRAPH_VERSION, "digest": digest, "graph": graph}
+    try:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp_path = cache_path.with_name(cache_path.name + ".tmp")
+        with open(tmp_path, "wb") as stream:
+            pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp_path.replace(cache_path)
+    except OSError:
+        return
+
+
+class Project:
+    """Whole-program view of one lint run (see module docstring)."""
+
+    def __init__(
+        self,
+        contexts: List[FileContext],
+        config: LintConfig,
+        cache_path: Optional[Path] = None,
+    ):
+        self.config = config
+        #: Every parsed file, keyed by display path.
+        self.contexts: Dict[str, FileContext] = {
+            ctx.display_path: ctx for ctx in contexts
+        }
+        ordered = [self.contexts[key] for key in sorted(self.contexts)]
+        self.table: SymbolTable = SymbolTable.build(ordered)
+        self.digest: str = tree_digest(ordered)
+        self.graph_from_cache: bool = False
+        graph: Optional[CallGraph] = None
+        if cache_path is not None:
+            graph = _load_cached_graph(cache_path, self.digest)
+            self.graph_from_cache = graph is not None
+        if graph is None:
+            graph = build_call_graph(self.table)
+            if cache_path is not None:
+                _store_cached_graph(cache_path, self.digest, graph)
+        self.graph: CallGraph = graph
+        self._escapes: Optional[EscapeAnalysis] = None
+
+    # ------------------------------------------------------------------
+    # Derived analyses
+    # ------------------------------------------------------------------
+    @property
+    def escapes(self) -> EscapeAnalysis:
+        """The (lazily built) escaping-exception analysis."""
+        if self._escapes is None:
+            self._escapes = EscapeAnalysis(self.table, self.graph)
+        return self._escapes
+
+    # ------------------------------------------------------------------
+    # Scoping and reporting helpers
+    # ------------------------------------------------------------------
+    def in_scope(self, rule: Type[Rule], ctx: FileContext) -> bool:
+        """Return whether one rule applies to one file under the active
+        configuration (scope/allow, same semantics as syntactic rules)."""
+        return self.config.rule_applies(
+            rule, ctx.module_path, ctx.path.as_posix()
+        )
+
+    def context_of(self, fn: FunctionInfo) -> Optional[FileContext]:
+        """Return the file context a function was indexed from."""
+        return self.contexts.get(fn.path)
+
+    def functions_in_scope(
+        self, rule: Type[Rule]
+    ) -> Iterator[Tuple[FunctionInfo, FileContext]]:
+        """Yield ``(function, context)`` for every indexed function whose
+        defining file is in the rule's scope, in qualname order."""
+        for qualname in sorted(self.table.functions):
+            fn = self.table.functions[qualname]
+            ctx = self.contexts.get(fn.path)
+            if ctx is not None and self.in_scope(rule, ctx):
+                yield fn, ctx

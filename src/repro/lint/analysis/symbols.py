@@ -1,0 +1,234 @@
+"""Project-wide symbol table: modules, classes, functions, methods.
+
+Built once per lint run from the already-parsed
+:class:`~repro.lint.context.FileContext` objects, so indexing adds no
+second parse.  Identity is the *dotted module path* derived from the
+file's package-rooted module path (``repro/net/server.py`` ->
+``repro.net.server``; an out-of-package file keeps its bare stem), which
+makes resolution independent of checkout location -- the same property
+the per-file rules rely on for scoping.
+
+Method resolution walks the project-defined base-class chain in
+definition order (a depth-first approximation of the MRO that is exact
+for the single-inheritance hierarchies this repository uses).  Bases
+that resolve to nothing in the project (stdlib/third-party classes)
+contribute no methods.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.context import FileContext
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "SymbolTable",
+    "dotted_module_name",
+]
+
+
+def dotted_module_name(module_path: str) -> str:
+    """Map a module path to its dotted name (see module docstring)."""
+    trimmed = module_path[:-3] if module_path.endswith(".py") else module_path
+    if trimmed.endswith("/__init__"):
+        trimmed = trimmed[: -len("/__init__")]
+    return trimmed.replace("/", ".")
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    #: Fully dotted name, e.g. ``repro.net.server.AdmissionServer.flush``.
+    qualname: str
+    #: Dotted module the definition lives in.
+    module: str
+    #: Bare definition name (``flush``).
+    name: str
+    #: Owning class qualname for methods, ``None`` for plain functions.
+    owner: Optional[str]
+    node: ast.AST
+    is_async: bool
+    #: Display path of the defining file (as given on the command line).
+    path: str
+    lineno: int
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its directly defined methods."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    #: Base-class names resolved through the module's import aliases
+    #: (dotted strings; may or may not name a project class).
+    bases: Tuple[str, ...]
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One linted file as a module: identity, aliases, members."""
+
+    #: Dotted module name (``repro.net.server``).
+    name: str
+    #: Display path used in findings.
+    path: str
+    #: Local name -> dotted target, from the module's import statements.
+    aliases: Dict[str, str]
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+
+class SymbolTable:
+    """Index of every module/class/function in one lint run."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        #: Every function/method by qualified name.
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: Every class by qualified name.
+        self.classes: Dict[str, ClassInfo] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, contexts: List[FileContext]) -> "SymbolTable":
+        """Index the given file contexts (sorted by display path)."""
+        table = cls()
+        for ctx in sorted(contexts, key=lambda c: c.display_path):
+            table._index_module(ctx)
+        return table
+
+    def _index_module(self, ctx: FileContext) -> None:
+        module_name = dotted_module_name(ctx.module_path)
+        module = ModuleInfo(
+            name=module_name,
+            path=ctx.display_path,
+            aliases=dict(ctx.import_aliases),
+        )
+        # Last definition wins on duplicate names, matching runtime
+        # rebinding semantics.
+        self.modules[module_name] = module
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._function(module, node, owner=None, path=ctx.display_path)
+                module.functions[node.name] = info
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(module, node, ctx)
+
+    def _index_class(
+        self, module: ModuleInfo, node: ast.ClassDef, ctx: FileContext
+    ) -> None:
+        qualname = f"{module.name}.{node.name}"
+        bases: List[str] = []
+        for base in node.bases:
+            resolved = ctx.qualified_name(base)
+            if resolved is not None:
+                # A bare base name qualifies against this module only if
+                # the module actually defines it (classes must precede
+                # their subclasses at runtime); otherwise it is a builtin
+                # like Exception and stays bare.
+                if (
+                    "." not in resolved
+                    and resolved not in module.aliases
+                    and resolved in module.classes
+                ):
+                    resolved = f"{module.name}.{resolved}"
+                bases.append(resolved)
+        info = ClassInfo(
+            qualname=qualname,
+            module=module.name,
+            name=node.name,
+            node=node,
+            bases=tuple(bases),
+        )
+        module.classes[node.name] = info
+        self.classes[qualname] = info
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = self._function(
+                    module, stmt, owner=qualname, path=ctx.display_path
+                )
+                info.methods[stmt.name] = method
+
+    def _function(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        owner: Optional[str],
+        path: str,
+    ) -> FunctionInfo:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        prefix = owner if owner is not None else module.name
+        info = FunctionInfo(
+            qualname=f"{prefix}.{node.name}",
+            module=module.name,
+            name=node.name,
+            owner=owner,
+            node=node,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            path=path,
+            lineno=node.lineno,
+        )
+        self.functions[info.qualname] = info
+        return info
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve_function(self, dotted: str) -> Optional[FunctionInfo]:
+        """Resolve a dotted name to a project function, if confident.
+
+        Accepts ``module.func``, ``module.Class.method`` (resolved
+        through the project class hierarchy), and in-module shorthand
+        already expanded by the caller.  Returns ``None`` otherwise.
+        """
+        direct = self.functions.get(dotted)
+        if direct is not None:
+            return direct
+        # module-prefix + Class.method, with inherited-method lookup.
+        head, _, member = dotted.rpartition(".")
+        if not head:
+            return None
+        owner = self.classes.get(head)
+        if owner is not None:
+            return self.resolve_method(owner, member)
+        return None
+
+    def resolve_method(
+        self, owner: ClassInfo, name: str
+    ) -> Optional[FunctionInfo]:
+        """Find ``name`` on ``owner`` or its project-defined bases."""
+        for cls_info in self.class_chain(owner):
+            method = cls_info.methods.get(name)
+            if method is not None:
+                return method
+        return None
+
+    def class_chain(self, owner: ClassInfo) -> Iterator[ClassInfo]:
+        """Yield ``owner`` then its project bases, depth-first."""
+        seen: Set[str] = set()
+        stack = [owner.qualname]
+        while stack:
+            qualname = stack.pop(0)
+            if qualname in seen:
+                continue
+            seen.add(qualname)
+            cls_info = self.classes.get(qualname)
+            if cls_info is None:
+                continue
+            yield cls_info
+            stack.extend(cls_info.bases)
+
+    def class_of(self, node: ast.ClassDef, module: str) -> Optional[ClassInfo]:
+        """Return the indexed info of a class node seen during a walk."""
+        return self.classes.get(f"{module}.{node.name}")

@@ -16,7 +16,7 @@ from repro.errors import LintError
 from repro.lint.config import LintConfig, find_pyproject
 from repro.lint.engine import lint_paths
 from repro.lint.registry import all_rules, get_rule
-from repro.lint.report import render_json, render_text
+from repro.lint.report import render_json, render_sarif, render_text
 
 __all__ = ["add_lint_arguments", "main", "run"]
 
@@ -28,8 +28,9 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
-        "--format", choices=["text", "json"], default="text",
-        help="report format (default: text)",
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="report format (default: text); sarif targets GitHub "
+             "code scanning",
     )
     parser.add_argument(
         "--config", default=None, metavar="PYPROJECT",
@@ -43,6 +44,16 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--call-graph-out", default=None, metavar="JSON",
+        help="write the deterministic call-graph dump of the analysis "
+             "pass to this file (debug aid)",
+    )
+    parser.add_argument(
+        "--call-graph-cache", default=None, metavar="PICKLE",
+        help="pickle cache for the call graph, keyed on a content hash "
+             "of the linted tree (scripts/run_lint.py sets this)",
     )
 
 
@@ -86,9 +97,21 @@ def run(args: argparse.Namespace, stream: Optional[TextIO] = None) -> int:
     except LintError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
-    result = lint_paths(paths, config, rules)
+    # getattr defaults keep hand-built Namespace objects (tests, embedders
+    # predating these options) working.
+    graph_out = getattr(args, "call_graph_out", None)
+    graph_cache = getattr(args, "call_graph_cache", None)
+    result = lint_paths(
+        paths,
+        config,
+        rules,
+        cache_path=Path(graph_cache) if graph_cache else None,
+        call_graph_out=Path(graph_out) if graph_out else None,
+    )
     if args.format == "json":
         out.write(render_json(result))
+    elif args.format == "sarif":
+        out.write(render_sarif(result))
     else:
         out.write(render_text(result) + "\n")
     return result.exit_code

@@ -106,6 +106,12 @@ class FileContext:
     # ------------------------------------------------------------------
     # Name resolution
     # ------------------------------------------------------------------
+    @property
+    def import_aliases(self) -> Dict[str, str]:
+        """Local name -> dotted import target for this module (read-only
+        view consumed by the whole-program symbol table)."""
+        return self._imports
+
     def qualified_name(self, node: ast.AST) -> Optional[str]:
         """Resolve an expression to a dotted name through import aliases.
 

@@ -1,25 +1,44 @@
 """The lint driver: file discovery, the AST walk, rule dispatch.
 
-One depth-first, source-ordered walk per file.  Parent/field links are
-recorded in the :class:`~repro.lint.context.FileContext` *before* a node
-is dispatched, so rules can inspect full ancestry (guard analysis needs
-to know which branch of an ``if`` a call sits in).  After the walk,
-findings on suppressed lines are dropped and the remainder sorted.
+Two passes per run:
+
+1. **Syntactic** -- one depth-first, source-ordered walk per file.
+   Parent/field links are recorded in the
+   :class:`~repro.lint.context.FileContext` *before* a node is
+   dispatched, so rules can inspect full ancestry (guard analysis needs
+   to know which branch of an ``if`` a call sits in).
+2. **Whole-program** -- rules with ``requires_analysis`` run once per
+   run against the shared :class:`~repro.lint.analysis.project.Project`
+   (symbol table + import-resolved call graph built from the already
+   parsed contexts), reporting through the same per-file finding sinks.
+
+After both passes, findings on suppressed lines are dropped and the
+remainder sorted.  Suppression semantics differ by rule kind: syntactic
+findings honor ``disable=REPnnn`` and ``disable=all``; analysis
+findings (REP008+) are only dropped by a suppression that names the
+rule *and* carries a ``-- reason`` justification -- a bare suppression
+of an analysis rule suppresses nothing and is itself reported (see
+:mod:`repro.lint.suppress`).
 """
 
 from __future__ import annotations
 
 import ast
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
 
 from repro.errors import LintError
 from repro.lint.config import LintConfig
 from repro.lint.context import FileContext, module_path_of
 from repro.lint.findings import Finding
 from repro.lint.registry import Rule, all_rules
-from repro.lint.suppress import ALL_RULES, suppressed_lines
+from repro.lint.suppress import (
+    ALL_RULES,
+    REASON_REQUIRED_RULES,
+    suppression_details,
+)
 
 __all__ = ["LintResult", "iter_python_files", "lint_file", "lint_paths"]
 
@@ -74,6 +93,27 @@ def iter_python_files(
     return out
 
 
+def _load_context(path: Path, display: str) -> FileContext:
+    """Read and parse one file into a context.
+
+    Raises
+    ------
+    LintError
+        If the file cannot be read or parsed (exit code 2 territory).
+    """
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        raise LintError(f"cannot read {display}: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        raise LintError(
+            f"cannot parse {display}: {exc.msg} (line {exc.lineno})"
+        ) from exc
+    return FileContext(path, display, source, tree)
+
+
 def _walk_dispatch(
     ctx: FileContext, dispatch: Dict[Type[Rule], Rule]
 ) -> None:
@@ -99,6 +139,111 @@ def _walk_dispatch(
     visit(ctx.tree)
 
 
+def _run_syntactic(
+    ctx: FileContext,
+    config: LintConfig,
+    rule_list: Sequence[Type[Rule]],
+) -> None:
+    """Run the per-file rules applying to one context."""
+    active: Dict[Type[Rule], Rule] = {}
+    for rule_cls in rule_list:
+        if rule_cls.requires_analysis:
+            continue
+        if config.rule_applies(rule_cls, ctx.module_path, ctx.path.as_posix()):
+            active[rule_cls] = rule_cls()
+    if not active:
+        return
+    for rule in active.values():
+        rule.start(ctx)
+    _walk_dispatch(ctx, active)
+    for rule in active.values():
+        rule.finish(ctx)
+
+
+def _apply_suppressions(
+    ctx: FileContext, analysis_ids: Set[str]
+) -> Tuple[List[Finding], int]:
+    """Filter one context's findings through its inline suppressions.
+
+    Returns ``(kept findings, dropped count)``.  ``analysis_ids`` names
+    the analysis rules active this run; a *bare* suppression of one of
+    them (no ``-- reason``) suppresses nothing and is itself reported,
+    anchored at the comment.
+    """
+    details = suppression_details(ctx.source)
+    kept: List[Finding] = []
+    dropped = 0
+    for finding in ctx.findings:
+        per_line = details.get(finding.line, {})
+        entry = per_line.get(finding.rule_id)
+        if finding.rule_id in REASON_REQUIRED_RULES:
+            if entry is not None and entry.reason:
+                dropped += 1
+                continue
+        elif entry is not None or ALL_RULES in per_line:
+            dropped += 1
+            continue
+        kept.append(finding)
+    for line in sorted(details):
+        for rule_id in sorted(details[line]):
+            entry = details[line][rule_id]
+            if (
+                rule_id in REASON_REQUIRED_RULES
+                and rule_id in analysis_ids
+                and not entry.reason
+            ):
+                kept.append(
+                    Finding(
+                        path=ctx.display_path,
+                        line=entry.comment_line,
+                        col=0,
+                        rule_id=rule_id,
+                        message=(
+                            f"bare suppression of {rule_id}: silencing a "
+                            f"whole-program finding requires a recorded "
+                            f"justification -- append "
+                            f"'-- <why this is safe>'"
+                        ),
+                    )
+                )
+    kept.sort()
+    return kept, dropped
+
+
+def _active_analysis_rules(
+    config: LintConfig, rule_list: Sequence[Type[Rule]]
+) -> List[Type[Rule]]:
+    return [
+        rule_cls
+        for rule_cls in rule_list
+        if rule_cls.requires_analysis and config.selected(rule_cls)
+    ]
+
+
+def _run_analysis(
+    contexts: List[FileContext],
+    config: LintConfig,
+    analysis_rules: Sequence[Type[Rule]],
+    cache_path: Optional[Path],
+    call_graph_out: Optional[Path],
+) -> None:
+    """Build the project and run the whole-program rules over it."""
+    # Imported here so the syntactic-only path never pays for the
+    # analysis machinery.
+    from repro.lint.analysis.project import Project
+
+    project = Project(contexts, config, cache_path=cache_path)
+    for rule_cls in analysis_rules:
+        rule_cls().check_project(project)
+    if call_graph_out is not None:
+        payload = project.graph.to_payload()
+        call_graph_out.parent.mkdir(parents=True, exist_ok=True)
+        call_graph_out.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+
 def lint_file(
     path: Path,
     config: LintConfig,
@@ -107,6 +252,11 @@ def lint_file(
 ) -> Tuple[List[Finding], int]:
     """Lint one file; return ``(findings, suppressed_count)``.
 
+    Analysis rules see a single-file project: chains crossing into
+    other files are invisible here (use :func:`lint_paths` for the
+    whole-tree view), which is exactly what the per-fixture golden
+    tests want.
+
     Raises
     ------
     LintError
@@ -114,51 +264,40 @@ def lint_file(
         :func:`lint_paths` converts this into a result error entry).
     """
     display = display_path or path.as_posix()
-    try:
-        source = path.read_text(encoding="utf-8")
-    except (OSError, UnicodeDecodeError) as exc:
-        raise LintError(f"cannot read {display}: {exc}") from exc
-    try:
-        tree = ast.parse(source, filename=display)
-    except SyntaxError as exc:
-        raise LintError(
-            f"cannot parse {display}: {exc.msg} (line {exc.lineno})"
-        ) from exc
-    ctx = FileContext(path, display, source, tree)
-    active: Dict[Type[Rule], Rule] = {}
-    for rule_cls in rules if rules is not None else all_rules():
-        if config.rule_applies(rule_cls, ctx.module_path, path.as_posix()):
-            active[rule_cls] = rule_cls()
-    if not active:
-        return [], 0
-    for rule in active.values():
-        rule.start(ctx)
-    _walk_dispatch(ctx, active)
-    for rule in active.values():
-        rule.finish(ctx)
-    suppressions = suppressed_lines(source)
-    kept: List[Finding] = []
-    dropped = 0
-    for finding in ctx.findings:
-        rules_off = suppressions.get(finding.line, frozenset())
-        if ALL_RULES in rules_off or finding.rule_id in rules_off:
-            dropped += 1
-        else:
-            kept.append(finding)
-    kept.sort()
-    return kept, dropped
+    rule_list = list(rules) if rules is not None else all_rules()
+    ctx = _load_context(path, display)
+    _run_syntactic(ctx, config, rule_list)
+    analysis_rules = [
+        rule_cls
+        for rule_cls in _active_analysis_rules(config, rule_list)
+        if config.rule_applies(rule_cls, ctx.module_path, ctx.path.as_posix())
+    ]
+    if analysis_rules:
+        _run_analysis(
+            [ctx], config, analysis_rules, cache_path=None, call_graph_out=None
+        )
+    return _apply_suppressions(
+        ctx, {rule_cls.rule_id for rule_cls in analysis_rules}
+    )
 
 
 def lint_paths(
     paths: Sequence[Path],
     config: Optional[LintConfig] = None,
     rules: Optional[Iterable[Type[Rule]]] = None,
+    cache_path: Optional[Path] = None,
+    call_graph_out: Optional[Path] = None,
 ) -> LintResult:
     """Lint files/directories; return the aggregated, sorted result.
 
     Unreadable or unparseable files become ``errors`` entries (exit
     code 2) rather than aborting the whole run, so one bad file never
     hides the findings of the rest.
+
+    ``cache_path`` revives/persists the pickled call graph keyed on a
+    content hash of the linted tree; ``call_graph_out`` writes the
+    deterministic JSON dump of the graph (both are analysis-pass
+    concerns and have no effect when no analysis rule is selected).
     """
     config = config if config is not None else LintConfig()
     result = LintResult()
@@ -168,13 +307,24 @@ def lint_paths(
     except LintError as exc:
         result.errors.append(str(exc))
         return result
+    contexts: List[FileContext] = []
     for path, display in files:
         try:
-            findings, dropped = lint_file(path, config, rule_list, display)
+            contexts.append(_load_context(path, display))
         except LintError as exc:
             result.errors.append(str(exc))
             continue
-        result.findings.extend(findings)
+    for ctx in contexts:
+        _run_syntactic(ctx, config, rule_list)
+    analysis_rules = _active_analysis_rules(config, rule_list)
+    if analysis_rules or call_graph_out is not None:
+        _run_analysis(
+            contexts, config, analysis_rules, cache_path, call_graph_out
+        )
+    analysis_ids = {rule_cls.rule_id for rule_cls in analysis_rules}
+    for ctx in contexts:
+        kept, dropped = _apply_suppressions(ctx, analysis_ids)
+        result.findings.extend(kept)
         result.suppressed += dropped
         result.files_checked += 1
     result.findings.sort()

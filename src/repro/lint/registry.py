@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, ClassVar, Dict, List, Tuple, Type
 from repro.errors import LintError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.analysis.project import Project
     from repro.lint.context import FileContext
 
 __all__ = ["Rule", "register", "all_rules", "get_rule", "rule_ids"]
@@ -46,6 +47,14 @@ class Rule:
     default_scope: ClassVar[Tuple[str, ...]] = ()
     #: fnmatch patterns of module paths exempt from the rule.
     default_allow: ClassVar[Tuple[str, ...]] = ()
+    #: Whole-program rules set this and implement :meth:`check_project`
+    #: instead of the per-file hooks; the engine runs them once per lint
+    #: run, after every file is parsed, against the shared
+    #: :class:`~repro.lint.analysis.project.Project`.  Their findings go
+    #: through the same per-file contexts (so sorting and suppression
+    #: handling are shared), and suppressing them inline requires a
+    #: ``-- reason`` tail (see :mod:`repro.lint.suppress`).
+    requires_analysis: ClassVar[bool] = False
 
     def start(self, ctx: "FileContext") -> None:
         """Called once before the walk of one file."""
@@ -55,6 +64,9 @@ class Rule:
 
     def finish(self, ctx: "FileContext") -> None:
         """Called once after the walk of one file."""
+
+    def check_project(self, project: "Project") -> None:
+        """Called once per run for rules with :attr:`requires_analysis`."""
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}

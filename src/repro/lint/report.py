@@ -1,9 +1,13 @@
-"""Lint reporters: stable text and JSON renderings of a result.
+"""Lint reporters: stable text, JSON, and SARIF renderings of a result.
 
-Both formats are deterministic functions of the finding *set*: findings
+All formats are deterministic functions of the finding *set*: findings
 are sorted by ``(path, line, col, rule, message)``, JSON keys are
 sorted, and no timestamps or absolute paths leak in -- two runs over the
 same tree produce byte-identical reports (tested).
+
+The SARIF output targets the SARIF 2.1.0 schema consumed by GitHub code
+scanning (CI uploads it from the lint job), with the full rule catalog
+embedded as ``tool.driver.rules`` so findings link to their rationale.
 """
 
 from __future__ import annotations
@@ -12,11 +16,19 @@ import json
 from typing import Dict, List
 
 from repro.lint.engine import LintResult
+from repro.lint.registry import all_rules
 
-__all__ = ["render_json", "render_text"]
+__all__ = ["render_json", "render_sarif", "render_text"]
 
 #: Version stamp of the JSON report schema.
 JSON_SCHEMA_VERSION = 1
+
+#: SARIF spec targeted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(result: LintResult) -> str:
@@ -48,5 +60,81 @@ def render_json(result: LintResult) -> str:
         "errors": sorted(result.errors),
         "counts": counts,
         "findings": [finding.to_dict() for finding in sorted(result.findings)],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(result: LintResult) -> str:
+    """Render a SARIF 2.1.0 log (sorted, newline-terminated).
+
+    Findings become ``results`` with 1-based line/column regions (SARIF
+    columns are 1-based; internal columns are 0-based AST offsets).
+    Hard errors (unreadable/unparseable files) become tool-level
+    ``notifications`` so an exit-code-2 run still uploads something
+    inspectable.
+    """
+    rules = [
+        {
+            "id": rule.rule_id,
+            "name": rule.__name__,
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in all_rules()
+    ]
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "ruleIndex": next(
+                index
+                for index, rule in enumerate(rules)
+                if rule["id"] == finding.rule_id
+            ),
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in sorted(result.findings)
+        if any(rule["id"] == finding.rule_id for rule in rules)
+    ]
+    notifications = [
+        {"level": "error", "message": {"text": error}}
+        for error in sorted(result.errors)
+    ]
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+                "invocations": [
+                    {
+                        "executionSuccessful": not result.errors,
+                        "toolExecutionNotifications": notifications,
+                    }
+                ],
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -12,6 +12,10 @@ from repro.lint.rules.rep004_errors import ErrorDisciplineRule
 from repro.lint.rules.rep005_mutable_defaults import MutableDefaultRule
 from repro.lint.rules.rep006_locks import LockDisciplineRule
 from repro.lint.rules.rep007_powerset import PowersetRule
+from repro.lint.rules.rep008_lockflow import LockFlowRule
+from repro.lint.rules.rep009_async_safety import AsyncSafetyRule
+from repro.lint.rules.rep010_exception_flow import ExceptionFlowRule
+from repro.lint.rules.rep011_entropy_flow import EntropyFlowRule
 
 __all__ = [
     "EntropyRule",
@@ -21,4 +25,8 @@ __all__ = [
     "MutableDefaultRule",
     "LockDisciplineRule",
     "PowersetRule",
+    "LockFlowRule",
+    "AsyncSafetyRule",
+    "ExceptionFlowRule",
+    "EntropyFlowRule",
 ]

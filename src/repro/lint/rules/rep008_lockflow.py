@@ -1,0 +1,221 @@
+"""REP008: interprocedural lock-state discipline.
+
+REP006 checks the *lexical* convention -- writes to shared attributes
+happen under ``with self._lock``.  This rule checks the part REP006
+cannot see: the *call-edge* contract of the convention.
+
+For every class that creates a ``self.*_lock`` in ``__init__``, an
+abstract lock-state walker interprets each method body with a
+held/not-held fact, propagating it through ``self.``/``cls.`` call
+chains (resolved over the project class hierarchy, so helpers inherited
+from a base class in another module participate):
+
+* a ``*_locked`` helper -- documented as "caller already holds the
+  lock" -- reached on any chain *without* the lock held is flagged at
+  the call site that breaks the contract;
+* a ``with self._lock`` acquire reached on any chain with the lock
+  *already* held is flagged as a self-deadlock when the lock is a
+  non-reentrant ``threading.Lock`` (a double ``with`` on ``RLock`` is
+  legal and stays silent).
+
+Entry assumptions mirror the documented convention: public methods are
+entered unheld, ``*_locked`` methods are entered held.  Analysis is
+memoized per ``(method, entry state)`` and bounded in depth, so cyclic
+helper chains terminate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
+
+from repro.lint.analysis.symbols import ClassInfo, FunctionInfo
+from repro.lint.context import FileContext
+from repro.lint.registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.analysis.project import Project
+
+__all__ = ["LockFlowRule"]
+
+#: Call-chain depth bound (matches the other analysis rules).
+MAX_DEPTH = 8
+
+
+def _lock_attr(init: ast.AST, ctx: FileContext) -> Optional[Tuple[str, bool]]:
+    """Return ``(lock attribute, is_reentrant)`` created in ``__init__``."""
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        callee = ctx.qualified_name(node.value.func)
+        if callee not in ("threading.Lock", "threading.RLock"):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and target.attr.endswith("_lock")
+            ):
+                return target.attr, callee == "threading.RLock"
+    return None
+
+
+def _self_method_call(node: ast.Call) -> Optional[str]:
+    """Return the method name of a ``self.m(...)``/``cls.m(...)`` call."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("self", "cls")
+    ):
+        return func.attr
+    return None
+
+
+@register
+class LockFlowRule(Rule):
+    """Propagate lock held/not-held facts across self-call chains."""
+
+    rule_id = "REP008"
+    title = "lock-state contract broken across a call chain"
+    rationale = (
+        "The *_locked naming convention (REP006) is a call-edge "
+        "contract: helpers named *_locked must only be reached with the "
+        "lock held, and lock-acquiring methods must never be re-entered "
+        "while it is held (self-deadlock on threading.Lock)."
+    )
+    default_scope = ("repro/service/*", "repro/obs/*")
+    requires_analysis = True
+
+    def check_project(self, project: "Project") -> None:
+        for qualname in sorted(project.table.classes):
+            cls_info = project.table.classes[qualname]
+            module = project.table.modules[cls_info.module]
+            ctx = project.contexts.get(module.path)
+            if ctx is None or not project.in_scope(type(self), ctx):
+                continue
+            lock = self._find_lock(project, cls_info)
+            if lock is None:
+                continue
+            _ClassLockWalk(self.rule_id, project, cls_info, lock).run()
+
+    @staticmethod
+    def _find_lock(
+        project: "Project", cls_info: ClassInfo
+    ) -> Optional[Tuple[str, bool]]:
+        """Locate the lock attribute this class owns, walking inherited
+        ``__init__`` definitions (the lock-owning base may live in
+        another module -- the attribute spelling must be resolved with
+        the *defining* file's import aliases)."""
+        for ancestor in project.table.class_chain(cls_info):
+            init = ancestor.methods.get("__init__")
+            if init is None:
+                continue
+            init_ctx = project.contexts.get(init.path)
+            if init_ctx is None:
+                continue
+            lock = _lock_attr(init.node, init_ctx)
+            if lock is not None:
+                return lock
+        return None
+
+
+class _ClassLockWalk:
+    """Abstract lock-state interpretation of one lock-owning class."""
+
+    def __init__(
+        self,
+        rule_id: str,
+        project: "Project",
+        cls_info: ClassInfo,
+        lock: Tuple[str, bool],
+    ):
+        self._rule_id = rule_id
+        self._project = project
+        self._cls = cls_info
+        self._lock_attr, self._reentrant = lock
+        #: ``(method qualname, entry_held)`` states already interpreted.
+        self._seen: Set[Tuple[str, bool]] = set()
+
+    def run(self) -> None:
+        for name in sorted(self._cls.methods):
+            if name == "__init__":
+                continue
+            method = self._cls.methods[name]
+            self._analyze(method, held=name.endswith("_locked"), depth=0)
+
+    # ------------------------------------------------------------------
+    def _analyze(self, fn: FunctionInfo, held: bool, depth: int) -> None:
+        key = (fn.qualname, held)
+        if key in self._seen or depth > MAX_DEPTH:
+            return
+        self._seen.add(key)
+        assert isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for stmt in fn.node.body:
+            self._visit(fn, stmt, held, depth)
+
+    def _visit(
+        self, fn: FunctionInfo, node: ast.AST, held: bool, depth: int
+    ) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquires = any(
+                self._is_lock(item.context_expr) for item in node.items
+            )
+            for item in node.items:
+                self._visit(fn, item.context_expr, held, depth)
+            if acquires:
+                if held and not self._reentrant:
+                    self._report(
+                        fn,
+                        node,
+                        f"'with self.{self._lock_attr}:' in "
+                        f"{self._cls.name}.{fn.name}() is reachable with "
+                        f"the lock already held -- self-deadlock on a "
+                        f"non-reentrant threading.Lock",
+                    )
+                held = True
+            for stmt in node.body:
+                self._visit(fn, stmt, held, depth)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # nested definitions run at their own call sites
+        if isinstance(node, ast.Call):
+            self._call(fn, node, held, depth)
+        for child in ast.iter_child_nodes(node):
+            self._visit(fn, child, held, depth)
+
+    def _call(
+        self, fn: FunctionInfo, node: ast.Call, held: bool, depth: int
+    ) -> None:
+        method_name = _self_method_call(node)
+        if method_name is None:
+            return
+        target = self._project.table.resolve_method(self._cls, method_name)
+        if target is None:
+            return
+        if target.name.endswith("_locked") and not held:
+            self._report(
+                fn,
+                node,
+                f"{self._cls.name}.{target.name}() requires the caller to "
+                f"hold self.{self._lock_attr}, but this chain (entered via "
+                f"{fn.name}()) reaches it without acquiring the lock",
+            )
+        self._analyze(target, held, depth + 1)
+
+    # ------------------------------------------------------------------
+    def _is_lock(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr == self._lock_attr
+        )
+
+    def _report(self, fn: FunctionInfo, node: ast.AST, message: str) -> None:
+        ctx = self._project.contexts.get(fn.path)
+        if ctx is not None:
+            ctx.report(self._rule_id, node, message)

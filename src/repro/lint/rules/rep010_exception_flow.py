@@ -1,0 +1,120 @@
+"""REP010: every exception at the wire boundary maps to a wire ERROR.
+
+An exception escaping an asyncio connection handler is swallowed by the
+event loop's task machinery: the peer sees a dropped connection instead
+of a framed ERROR, and the incident leaves no wire-level trace.  The
+admission protocol (PR 6) therefore requires handler code to convert
+every reachable exception into an ``error_payload`` response (or handle
+it explicitly).
+
+This rule finds connection-handler entry points -- methods passed as
+the callback to ``asyncio.start_server(...)`` / ``loop.create_server``
+inside scoped files -- and runs the project's escape analysis
+(:mod:`repro.lint.analysis.exceptions`) over them: explicit raises plus
+everything escaping confidently resolved callees, narrowed by
+``try``/``except`` with full class-hierarchy subsumption.  Anything
+still escaping is flagged at the handler definition, except the
+deliberate pass-throughs of task teardown: ``asyncio.CancelledError``,
+``GeneratorExit``, ``KeyboardInterrupt``, ``SystemExit`` (every
+``BaseException`` that is not an ``Exception``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, List, Set, Tuple
+
+from repro.lint.analysis.exceptions import is_exception_subtype
+from repro.lint.analysis.symbols import FunctionInfo
+from repro.lint.registry import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.analysis.project import Project
+
+__all__ = ["ExceptionFlowRule"]
+
+#: Callee-name suffixes whose first callable argument is a per-connection
+#: handler owned by the event loop.
+_SERVER_FACTORY_SUFFIXES = ("start_server", "create_server")
+
+
+def _handler_entries(
+    project: "Project", fn: FunctionInfo
+) -> List[FunctionInfo]:
+    """Return connection-handler methods registered inside ``fn``."""
+    entries: List[FunctionInfo] = []
+    owner = (
+        project.table.classes.get(fn.owner) if fn.owner is not None else None
+    )
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        callee = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        if callee not in _SERVER_FACTORY_SUFFIXES or not node.args:
+            continue
+        callback = node.args[0]
+        if (
+            owner is not None
+            and isinstance(callback, ast.Attribute)
+            and isinstance(callback.value, ast.Name)
+            and callback.value.id == "self"
+        ):
+            target = project.table.resolve_method(owner, callback.attr)
+            if target is not None:
+                entries.append(target)
+        elif isinstance(callback, ast.Name):
+            module = project.table.modules.get(fn.module)
+            if module is not None:
+                local = module.functions.get(callback.id)
+                if local is not None:
+                    entries.append(local)
+    return entries
+
+
+@register
+class ExceptionFlowRule(Rule):
+    """Flag exceptions escaping wire connection handlers."""
+
+    rule_id = "REP010"
+    title = "exception escapes a wire connection handler"
+    rationale = (
+        "An exception escaping an asyncio connection handler drops the "
+        "connection with no framed ERROR and no wire-level trace; the "
+        "admission protocol requires every failure to answer with "
+        "error_payload (or be handled explicitly)."
+    )
+    default_scope = ("repro/net/*",)
+    requires_analysis = True
+
+    def check_project(self, project: "Project") -> None:
+        seen: Set[str] = set()
+        entries: List[Tuple[FunctionInfo, "object"]] = []
+        for fn, _ctx in project.functions_in_scope(type(self)):
+            for entry in _handler_entries(project, fn):
+                if entry.qualname not in seen:
+                    seen.add(entry.qualname)
+                    entries.append((entry, _ctx))
+        for entry, _ctx in sorted(entries, key=lambda e: e[0].qualname):
+            self._check_entry(project, entry)
+
+    def _check_entry(self, project: "Project", entry: FunctionInfo) -> None:
+        ctx = project.contexts.get(entry.path)
+        if ctx is None or not project.in_scope(type(self), ctx):
+            return
+        escaping = project.escapes.escaping(entry.qualname)
+        offenders = sorted(
+            exc
+            for exc in escaping
+            if is_exception_subtype(exc, "Exception", project.table)
+        )
+        for exc in offenders:
+            ctx.report(
+                self.rule_id,
+                entry.node,
+                f"{exc} can escape connection handler {entry.name}() -- "
+                f"the peer sees a dropped connection instead of a framed "
+                f"ERROR; catch it and answer with error_payload(...)",
+            )

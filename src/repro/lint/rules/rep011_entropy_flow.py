@@ -1,0 +1,149 @@
+"""REP011: ambient time/entropy must not *flow* into deterministic paths.
+
+REP001 bans the lexical use of wall-clock/ambient-RNG calls outside the
+configured seams.  What it cannot see is laundering: a helper in an
+unscoped module reads ``time.time()`` and a verdict- or id-producing
+function consumes the result through an innocent-looking call chain.
+The determinism contract (byte-identical verdict streams, PR 1-3) is
+violated all the same.
+
+This rule runs a taint fixpoint over the project call graph:
+
+* *sources* are project functions whose bodies lexically call one of
+  REP001's banned entry points (:data:`BANNED_CALLS` /
+  :data:`BANNED_MODULES`);
+* taint propagates from callee to caller along confidently resolved
+  call edges, to a fixpoint;
+* files on the rule's *allowlist* (the sanctioned entropy seams) absorb
+  taint: functions defined there are neither sources nor carriers --
+  their contract is that entropy is seeded/injected and stops there.
+
+Every call site in a scoped file whose callee is tainted is flagged,
+with the laundering chain spelled out in the message.  Direct banned
+calls are REP001's findings and are deliberately not repeated here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+
+from repro.lint.analysis.callgraph import CallSite
+from repro.lint.context import FileContext, path_matches
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+from repro.lint.rules.rep001_entropy import BANNED_CALLS, BANNED_MODULES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.analysis.project import Project
+
+__all__ = ["EntropyFlowRule"]
+
+
+def _is_banned(name: Optional[str]) -> bool:
+    if name is None:
+        return False
+    return name in BANNED_CALLS or any(
+        name.startswith(f"{module}.") for module in BANNED_MODULES
+    )
+
+
+@register
+class EntropyFlowRule(Rule):
+    """Interprocedural determinism taint over the project call graph."""
+
+    rule_id = "REP011"
+    title = "ambient time/entropy flows in through a call chain"
+    rationale = (
+        "Verdict streams are byte-identical across shard counts and "
+        "executors only if no deterministic path consumes ambient "
+        "time/entropy -- not even through helper call chains that "
+        "REP001's lexical check cannot see."
+    )
+    default_scope = (
+        "repro/core/*",
+        "repro/validation/*",
+        "repro/geometry/*",
+        "repro/service/*",
+        "repro/net/*",
+        "repro/obs/*",
+    )
+    default_allow = (
+        "repro/workloads/generator.py",
+        "repro/online/strategies.py",
+    )
+    requires_analysis = True
+
+    def check_project(self, project: "Project") -> None:
+        table, graph = project.table, project.graph
+        #: tainted function -> chain of names down to the banned call.
+        chains: Dict[str, Tuple[str, ...]] = {}
+        queue: Deque[str] = deque()
+        for qualname in sorted(graph.sites):
+            fn = table.functions[qualname]
+            ctx = project.contexts.get(fn.path)
+            if ctx is None or self._absorbs(project, ctx):
+                continue
+            for site in graph.callees(qualname):
+                if _is_banned(site.name):
+                    chains[qualname] = (fn.name, f"{site.name}()")
+                    queue.append(qualname)
+                    break
+        callers: Dict[str, List[str]] = {}
+        for qualname in sorted(graph.sites):
+            for site in graph.callees(qualname):
+                if site.target is not None and site.target != qualname:
+                    callers.setdefault(site.target, []).append(qualname)
+        while queue:
+            callee = queue.popleft()
+            for caller in callers.get(callee, ()):
+                if caller in chains:
+                    continue
+                fn = table.functions[caller]
+                ctx = project.contexts.get(fn.path)
+                if ctx is None or self._absorbs(project, ctx):
+                    continue
+                chains[caller] = (fn.name,) + chains[callee]
+                queue.append(caller)
+        self._report_edges(project, chains)
+
+    def _report_edges(
+        self, project: "Project", chains: Dict[str, Tuple[str, ...]]
+    ) -> None:
+        for qualname in sorted(project.graph.sites):
+            fn = project.table.functions[qualname]
+            ctx = project.contexts.get(fn.path)
+            if ctx is None or not project.in_scope(type(self), ctx):
+                continue
+            for site in project.graph.callees(qualname):
+                if site.target is None or site.target == qualname:
+                    continue
+                chain = chains.get(site.target)
+                if chain is None:
+                    continue
+                self._report(ctx, site, chain)
+
+    def _absorbs(self, project: "Project", ctx: FileContext) -> bool:
+        """Seam files (the rule's allowlist) absorb taint entirely."""
+        allowed = project.config.allow.get(self.rule_id, self.default_allow)
+        return any(
+            path_matches(pattern, ctx.module_path, ctx.path.as_posix())
+            for pattern in allowed
+        )
+
+    def _report(
+        self, ctx: FileContext, site: CallSite, chain: Tuple[str, ...]
+    ) -> None:
+        ctx.findings.append(
+            Finding(
+                path=ctx.display_path,
+                line=site.line,
+                col=site.col,
+                rule_id=self.rule_id,
+                message=(
+                    f"call to {site.name}() pulls ambient time/entropy "
+                    f"into this path ({' -> '.join(chain)}); inject a "
+                    f"clock/seeded RNG at the boundary instead"
+                ),
+            )
+        )

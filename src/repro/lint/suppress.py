@@ -7,9 +7,22 @@ Two spellings, both line-scoped:
 * ``# reprolint: disable-next-line=REP001,REP005`` -- suppress on the
   following line (for statements too long to carry a trailing comment).
 
-``disable=all`` suppresses every rule.  Comments are found with
-:mod:`tokenize`, so ``# reprolint:`` text inside string literals never
-counts as a suppression.
+``disable=all`` suppresses every *syntactic* rule.  Comments are found
+with :mod:`tokenize`, so ``# reprolint:`` text inside string literals
+never counts as a suppression.
+
+Whole-program analysis rules (:data:`REASON_REQUIRED_RULES`, REP008+)
+hold findings that are expensive to re-derive by eye -- a lock-state or
+exception-flow fact spanning several call edges -- so suppressing one
+requires a recorded justification::
+
+    self._flush_locked()  # reprolint: disable=REP008 -- caller holds
+                          # the shard registry lock via attach()
+
+A *bare* suppression of an analysis rule (no ``-- reason`` tail) does
+not suppress anything; the engine turns it into a finding of its own.
+``disable=all`` never covers analysis rules either -- each one must be
+named, with a reason.
 """
 
 from __future__ import annotations
@@ -17,27 +30,54 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, FrozenSet
+from typing import Dict, FrozenSet, Optional
 
-__all__ = ["ALL_RULES", "suppressed_lines"]
+__all__ = [
+    "ALL_RULES",
+    "REASON_REQUIRED_RULES",
+    "Suppression",
+    "suppressed_lines",
+    "suppression_details",
+]
 
-#: Sentinel rule id meaning "every rule" in a suppression set.
+#: Sentinel rule id meaning "every syntactic rule" in a suppression set.
 ALL_RULES = "all"
+
+#: Analysis rules whose suppressions must carry a ``-- reason`` tail and
+#: are never covered by ``disable=all``.
+REASON_REQUIRED_RULES = frozenset({"REP008", "REP009", "REP010", "REP011"})
 
 _PATTERN = re.compile(
     r"#\s*reprolint:\s*disable(?P<next>-next-line)?\s*=\s*"
-    r"(?P<rules>[A-Za-z0-9_,\s]+)"
+    r"(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<reason>\S.*))?$"
 )
 
 
-def suppressed_lines(source: str) -> Dict[int, FrozenSet[str]]:
-    """Return ``{line: suppressed rule ids}`` for one file's source.
+class Suppression:
+    """One rule suppressed on one line, with its optional reason."""
+
+    __slots__ = ("rule_id", "reason", "comment_line")
+
+    def __init__(
+        self, rule_id: str, reason: Optional[str], comment_line: int
+    ):
+        self.rule_id = rule_id
+        #: Justification text after ``--`` (``None`` on bare comments).
+        self.reason = reason
+        #: Line carrying the comment itself (differs from the suppressed
+        #: line for the ``disable-next-line`` spelling).
+        self.comment_line = comment_line
+
+
+def suppression_details(source: str) -> Dict[int, Dict[str, Suppression]]:
+    """Return ``{suppressed line: {rule id: Suppression}}`` for a file.
 
     Unparseable source yields no suppressions (the engine reports the
     syntax error separately).  Rule ids are normalized to upper case;
     the :data:`ALL_RULES` sentinel stays lower case.
     """
-    suppressions: Dict[int, FrozenSet[str]] = {}
+    out: Dict[int, Dict[str, Suppression]] = {}
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for token in tokens:
@@ -46,16 +86,34 @@ def suppressed_lines(source: str) -> Dict[int, FrozenSet[str]]:
             match = _PATTERN.search(token.string)
             if match is None:
                 continue
-            rules = frozenset(
+            reason = match.group("reason")
+            rules = {
                 ALL_RULES if atom.strip().lower() == ALL_RULES
                 else atom.strip().upper()
                 for atom in match.group("rules").split(",")
                 if atom.strip()
-            )
+            }
             if not rules:
                 continue
             line = token.start[0] + (1 if match.group("next") else 0)
-            suppressions[line] = suppressions.get(line, frozenset()) | rules
+            per_line = out.setdefault(line, {})
+            for rule_id in rules:
+                per_line[rule_id] = Suppression(
+                    rule_id, reason, token.start[0]
+                )
     except tokenize.TokenizeError:
         return {}
-    return suppressions
+    return out
+
+
+def suppressed_lines(source: str) -> Dict[int, FrozenSet[str]]:
+    """Return ``{line: suppressed rule ids}`` (reason-blind view).
+
+    Kept for callers that only need the classic line/rule sets; the
+    engine itself uses :func:`suppression_details` so it can enforce
+    the reason requirement of analysis rules.
+    """
+    return {
+        line: frozenset(per_line)
+        for line, per_line in suppression_details(source).items()
+    }

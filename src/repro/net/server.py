@@ -294,6 +294,17 @@ class AdmissionServer:
             await self._send_error(
                 connection, 0, protocol.ERR_BAD_REQUEST, str(exc)
             )
+        except ServiceError as exc:
+            # The service refused or broke mid-flush (closed, another
+            # submitter, ...).  Frame it as INTERNAL so the peer learns
+            # the admission failed instead of watching the socket drop.
+            logger.error(
+                "service failure on connection %s: %s", connection.peer, exc
+            )
+            self.metrics.counter("wire_internal_errors_total").inc()
+            await self._send_error(
+                connection, 0, protocol.ERR_INTERNAL, str(exc)
+            )
         except (ConnectionError, asyncio.IncompleteReadError):
             logger.info("connection from %s dropped", connection.peer)
         finally:
@@ -408,7 +419,13 @@ class AdmissionServer:
             )
             return 0
         try:
-            seq = self.service.submit(usage, trace_context=context)
+            # The service is single-submitter, and flush() runs its drain
+            # on a worker thread while holding this mutex: submitting --
+            # and recording the seq as in flight -- must not interleave
+            # with a drain, or responses could no longer be mapped back.
+            async with self._flush_mutex:
+                seq = self.service.submit(usage, trace_context=context)
+                self._pending[seq] = (connection, frame.request_id)
         except ServiceOverloadedError as exc:
             self.metrics.counter("wire_requests_total").inc(("overloaded",))
             await self._send_error(
@@ -421,7 +438,6 @@ class AdmissionServer:
                 connection, frame.request_id, protocol.ERR_INTERNAL, str(exc)
             )
             return 0
-        self._pending[seq] = (connection, frame.request_id)
         connection.requests += 1
         self.metrics.counter("wire_requests_total").inc(("submitted",))
         # Kept current on the submit side too (not just after flushes),
@@ -519,7 +535,12 @@ class AdmissionServer:
                 # Nothing of ours in flight -- nothing to map back.
                 return 0
             ordered_seqs = sorted(self._pending)
-            outcomes = self.service.drain()
+            # drain() joins shard worker futures -- blocking work that
+            # would stall every connection if run on the event loop.
+            # The flush mutex still serializes drains, so outcome order
+            # stays deterministic.
+            loop = asyncio.get_running_loop()
+            outcomes = await loop.run_in_executor(None, self.service.drain)
             if len(outcomes) != len(ordered_seqs):
                 # The server must be the service's only submitter; a
                 # mismatch means that contract broke and responses can
@@ -571,15 +592,22 @@ class AdmissionServer:
     async def _send_error(
         self, connection: _Connection, request_id: int, code: int, detail: str
     ) -> None:
-        await self._send(
-            connection,
-            protocol.encode_frame(
+        try:
+            frame = protocol.encode_frame(
                 protocol.MSG_ERROR,
                 request_id,
                 protocol.error_payload(code, detail),
                 version=self._wire_version(connection),
-            ),
-        )
+            )
+        except ProtocolError:  # pragma: no cover - server-built payload
+            # The ERROR frame itself would not encode; there is nothing
+            # better left to answer with, so log and let the connection
+            # close instead of raising out of the error path.
+            logger.exception(
+                "could not encode ERROR frame for %s", connection.peer
+            )
+            return
+        await self._send(connection, frame)
 
     async def _close_connection(self, connection: _Connection) -> None:
         if connection not in self._connections:

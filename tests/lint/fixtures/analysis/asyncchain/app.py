@@ -1,0 +1,12 @@
+"""Cross-module REP009 fixture: the coroutine that reaches it.
+
+The blocking call lives in helpers.py; the finding only exists because
+the call graph follows ``app.pump -> helpers.relay -> helpers.settle``
+across files.
+"""
+
+import helpers
+
+
+async def pump(batch):
+    return helpers.relay(batch)

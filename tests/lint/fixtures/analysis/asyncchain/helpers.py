@@ -1,0 +1,12 @@
+"""Cross-module REP009 fixture: the blocking helper."""
+
+import time
+
+
+def relay(batch):
+    return settle(batch)
+
+
+def settle(batch):
+    time.sleep(0.05)  # expect: REP009
+    return batch

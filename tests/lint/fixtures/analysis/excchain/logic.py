@@ -1,0 +1,11 @@
+"""Cross-module REP010 fixture: the raising business logic."""
+
+
+class QuotaError(Exception):
+    pass
+
+
+def admit(payload):
+    if not payload:
+        raise QuotaError("no quota")
+    return payload

@@ -1,0 +1,18 @@
+"""Cross-module REP010 fixture: handler leaks an exception raised in
+logic.py -- the finding only exists because escape analysis crosses the
+file boundary (and knows QuotaError derives from Exception)."""
+
+import asyncio
+
+import logic
+
+
+class WireServer:
+    async def start(self):
+        self._server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0
+        )
+
+    async def _handle(self, reader, writer):  # expect: REP010
+        payload = await reader.read(1024)
+        logic.admit(payload)

@@ -1,0 +1,16 @@
+"""Cross-module REP008 fixture: the lock-owning base class."""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.rows = []
+
+    def _insert_locked(self, row):
+        self.rows.append(row)
+
+    def insert(self, row):
+        with self._lock:
+            self._insert_locked(row)

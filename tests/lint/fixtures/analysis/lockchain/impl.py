@@ -1,0 +1,14 @@
+"""Cross-module REP008 fixture: subclass breaks the inherited contract.
+
+``_insert_locked`` is defined in base.py; the violation only exists
+because method resolution walks the project class hierarchy across
+files.
+"""
+
+from base import Store
+
+
+class AuditedStore(Store):
+    def bulk_insert(self, rows):
+        for row in rows:
+            self._insert_locked(row)  # expect: REP008

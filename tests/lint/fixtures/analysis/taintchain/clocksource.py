@@ -1,0 +1,7 @@
+"""Cross-module REP011 fixture: the ambient-entropy helper."""
+
+import time
+
+
+def now_ms():
+    return int(time.time() * 1000)

@@ -1,0 +1,11 @@
+"""Cross-module REP011 fixture: id production consumes laundered time.
+
+The banned call sits in clocksource.py; the finding only exists because
+taint propagates over the cross-file call edge.
+"""
+
+import clocksource
+
+
+def next_request_id(prefix):
+    return f"{prefix}-{clocksource.now_ms()}"  # expect: REP011

@@ -1,0 +1,49 @@
+"""REP008 fixture: lock-state contract broken across self-call chains."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.entries = []
+
+    def _append_locked(self, item):
+        self.entries.append(item)
+
+    def add_direct(self, item):
+        self._append_locked(item)  # expect: REP008
+
+    def add_via_relay(self, item):
+        self._relay(item)
+
+    def _relay(self, item):
+        self._append_locked(item)  # expect: REP008
+
+    def add_properly(self, item):
+        with self._lock:
+            self._append_locked(item)
+
+    def outer(self):
+        with self._lock:
+            self.inner()
+
+    def inner(self):
+        with self._lock:  # expect: REP008
+            return len(self.entries)
+
+
+class ReentrantRegistry:
+    """RLock: nested acquires are legal; nothing here fires."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.entries = []
+
+    def outer(self):
+        with self._lock:
+            self.inner()
+
+    def inner(self):
+        with self._lock:
+            return len(self.entries)

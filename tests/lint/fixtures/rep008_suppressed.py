@@ -1,0 +1,15 @@
+"""REP008 fixture: contract break suppressed with a recorded reason."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.entries = []
+
+    def _append_locked(self, item):
+        self.entries.append(item)
+
+    def add(self, item):
+        self._append_locked(item)  # reprolint: disable=REP008 -- single-threaded test double; no concurrent callers exist

@@ -1,0 +1,7 @@
+"""REP009 fixture: blocking call suppressed with a recorded reason."""
+
+import time
+
+
+async def warmup():
+    time.sleep(0.01)  # reprolint: disable=REP009 -- startup-only coroutine, runs before the loop serves connections

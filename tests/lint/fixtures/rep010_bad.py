@@ -1,0 +1,38 @@
+"""REP010 fixture: exceptions escaping a wire connection handler."""
+
+import asyncio
+
+
+class LeakyServer:
+    async def start(self):
+        self._server = await asyncio.start_server(
+            self._handle_connection, "127.0.0.1", 0
+        )
+
+    async def _handle_connection(self, reader, writer):  # expect: REP010
+        payload = await reader.read(1024)
+        self._process(payload)
+
+    def _process(self, payload):
+        if not payload:
+            raise ValueError("empty payload")
+
+
+class SealedServer:
+    """Catches everything it can raise; nothing here fires."""
+
+    async def start(self):
+        self._server = await asyncio.start_server(
+            self._handle_connection, "127.0.0.1", 0
+        )
+
+    async def _handle_connection(self, reader, writer):
+        try:
+            payload = await reader.read(1024)
+            self._process(payload)
+        except ValueError:
+            writer.close()
+
+    def _process(self, payload):
+        if not payload:
+            raise ValueError("empty payload")

@@ -1,0 +1,17 @@
+"""REP010 fixture: escaping exception suppressed with a recorded reason."""
+
+import asyncio
+
+
+class Server:
+    async def start(self):
+        self._server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0
+        )
+
+    async def _handle(self, reader, writer):  # reprolint: disable=REP010 -- prototype harness; task exception handler logs and closes
+        self._process(await reader.read(1024))
+
+    def _process(self, payload):
+        if not payload:
+            raise ValueError("empty payload")

@@ -1,0 +1,20 @@
+"""REP011 fixture: ambient entropy laundered through call chains."""
+
+import time
+
+
+def stamp():
+    # The direct use is REP001's finding, not REP011's.
+    return time.time()
+
+
+def fresh_id():
+    return int(stamp() * 1e6)  # expect: REP011
+
+
+def verdict_tag(verdict):
+    return f"{verdict}-{fresh_id()}"  # expect: REP011
+
+
+def pure_tag(verdict, seq):
+    return f"{verdict}-{seq}"

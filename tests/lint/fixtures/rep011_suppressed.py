@@ -1,0 +1,11 @@
+"""REP011 fixture: entropy flow suppressed with a recorded reason."""
+
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def fresh_id():
+    return int(stamp() * 1e6)  # reprolint: disable=REP011 -- operator-facing log tag only; never reaches a verdict or id

@@ -1,0 +1,284 @@
+"""Whole-program analysis tests: cross-file chains, mutation flips,
+call-graph determinism, the pickle cache, and the analysis budget.
+
+Each ``fixtures/analysis/<case>/`` directory holds a violation that is
+*only* reachable through a cross-file call chain -- linting the marked
+file alone would stay clean.  The mutation tests then edit the one
+lock/await/raise/entropy line the finding hinges on and assert the
+finding disappears, pinning the dataflow (not just the pattern match).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Set, Tuple
+
+import pytest
+
+from repro.lint.analysis.project import Project
+from repro.lint.config import LintConfig
+from repro.lint.engine import _load_context, lint_file, lint_paths
+from repro.lint.registry import get_rule
+
+from .conftest import FIXTURES, open_scope_config
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+ANALYSIS = FIXTURES / "analysis"
+
+_EXPECT = re.compile(r"#\s*expect:\s*(?P<rule>REP\d{3})")
+
+#: rule id -> (fixture dir, file to mutate, old text, new text).  The
+#: mutation flips exactly the line the finding hinges on: add the lock,
+#: drop the blocking call, drop the raise, drop the entropy read.
+CASES = {
+    "REP008": (
+        "lockchain",
+        "impl.py",
+        "        for row in rows:\n"
+        "            self._insert_locked(row)  # expect: REP008\n",
+        "        with self._lock:\n"
+        "            for row in rows:\n"
+        "                self._insert_locked(row)\n",
+    ),
+    "REP009": (
+        "asyncchain",
+        "helpers.py",
+        "    time.sleep(0.05)  # expect: REP009\n",
+        "",
+    ),
+    "REP010": (
+        "excchain",
+        "logic.py",
+        '        raise QuotaError("no quota")\n',
+        '        return b""\n',
+    ),
+    "REP011": (
+        "taintchain",
+        "clocksource.py",
+        "    return int(time.time() * 1000)\n",
+        "    return 0\n",
+    ),
+}
+
+
+def _lint_dir(directory: Path, rule_id: str):
+    return lint_paths(
+        [directory], open_scope_config(rule_id), rules=[get_rule(rule_id)]
+    )
+
+
+def _expected_in_dir(directory: Path, rule_id: str) -> Set[Tuple[str, int]]:
+    out: Set[Tuple[str, int]] = set()
+    for path in sorted(directory.rglob("*.py")):
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            match = _EXPECT.search(line)
+            if match and match.group("rule") == rule_id:
+                out.add((path.as_posix(), lineno))
+    return out
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_cross_file_chain_is_found(rule_id):
+    """The violation is reported even though cause and symptom live in
+    different modules."""
+    directory = ANALYSIS / CASES[rule_id][0]
+    result = _lint_dir(directory, rule_id)
+    assert not result.errors
+    expected = _expected_in_dir(directory, rule_id)
+    assert expected, f"{directory.name} carries no # expect markers"
+    found = {(f.path, f.line) for f in result.findings}
+    assert found == expected
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_marked_file_alone_is_clean(rule_id):
+    """Without the rest of the project the chain cannot be resolved, so
+    the same file lints clean -- the finding is genuinely whole-program
+    (confident-or-silent: unresolved calls contribute nothing)."""
+    directory = ANALYSIS / CASES[rule_id][0]
+    expected = _expected_in_dir(directory, rule_id)
+    marked = {Path(path) for path, _ in expected}
+    for path in sorted(marked):
+        findings, _ = lint_file(
+            path, open_scope_config(rule_id), rules=[get_rule(rule_id)]
+        )
+        assert findings == [], f"{path.name} should need cross-file context"
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_mutating_the_pivotal_line_flips_the_finding(rule_id, tmp_path):
+    """Editing the one lock/await/raise/entropy line the dataflow hinges
+    on makes the finding disappear."""
+    case_dir, mutate_file, old, new = CASES[rule_id]
+    work = tmp_path / case_dir
+    shutil.copytree(ANALYSIS / case_dir, work)
+
+    before = _lint_dir(work, rule_id)
+    assert before.findings, "fixture must be dirty before the mutation"
+
+    target = work / mutate_file
+    source = target.read_text(encoding="utf-8")
+    assert old in source, f"mutation anchor missing from {mutate_file}"
+    target.write_text(source.replace(old, new), encoding="utf-8")
+
+    after = _lint_dir(work, rule_id)
+    assert not after.errors
+    assert after.findings == []
+
+
+def test_bare_suppression_of_analysis_rule_suppresses_nothing(tmp_path):
+    """A ``disable=REP008`` comment without a ``-- reason`` keeps the
+    original finding *and* earns a finding of its own."""
+    target = tmp_path / "box.py"
+    target.write_text(
+        "import threading\n"
+        "\n"
+        "\n"
+        "class Box:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.items = []\n"
+        "\n"
+        "    def _push_locked(self, item):\n"
+        "        self.items.append(item)\n"
+        "\n"
+        "    def add(self, item):\n"
+        "        self._push_locked(item)  # reprolint: disable=REP008\n",
+        encoding="utf-8",
+    )
+    findings, suppressed = lint_file(
+        target, open_scope_config("REP008"), rules=[get_rule("REP008")]
+    )
+    assert suppressed == 0
+    assert [f.rule_id for f in findings] == ["REP008", "REP008"]
+    messages = sorted(f.message for f in findings)
+    assert any("bare suppression" in m for m in messages)
+    assert any("_push_locked" in m for m in messages)
+
+
+def test_disable_all_does_not_cover_analysis_rules(tmp_path):
+    """``disable=all`` silences syntactic rules only; whole-program
+    findings survive it."""
+    target = tmp_path / "box.py"
+    target.write_text(
+        "import threading\n"
+        "\n"
+        "\n"
+        "class Box:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.items = []\n"
+        "\n"
+        "    def _push_locked(self, item):\n"
+        "        self.items.append(item)\n"
+        "\n"
+        "    def add(self, item):\n"
+        "        self._push_locked(item)  # reprolint: disable=all\n",
+        encoding="utf-8",
+    )
+    findings, _ = lint_file(
+        target, open_scope_config("REP008"), rules=[get_rule("REP008")]
+    )
+    assert [f.rule_id for f in findings] == ["REP008"]
+    assert "_push_locked" in findings[0].message
+
+
+def test_call_graph_dump_is_byte_identical_across_processes(tmp_path):
+    """Two CLI runs in separate interpreters (different hash seeds)
+    write byte-identical call-graph JSON."""
+    config = tmp_path / "pyproject.toml"
+    config.write_text("[tool.reprolint]\n", encoding="utf-8")
+    dumps = []
+    for run, seed in (("a", "101"), ("b", "202")):
+        out = tmp_path / f"graph-{run}.json"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.lint.cli",
+                str(ANALYSIS),
+                "--config",
+                str(config),
+                "--call-graph-out",
+                str(out),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={
+                **os.environ,
+                "PYTHONPATH": str(REPO_ROOT / "src"),
+                "PYTHONHASHSEED": seed,
+            },
+        )
+        assert proc.returncode in (0, 1), proc.stdout + proc.stderr
+        dumps.append(out.read_bytes())
+    assert dumps[0] == dumps[1]
+    payload = json.loads(dumps[0])
+    assert payload["version"] == 1
+    assert payload["functions"], "dump should index the fixture functions"
+
+
+def _analysis_contexts(root: Path):
+    return [
+        _load_context(path, path.as_posix())
+        for path in sorted(root.rglob("*.py"))
+    ]
+
+
+def test_call_graph_cache_round_trip(tmp_path):
+    """Second build with the same tree revives the pickled graph; any
+    source edit invalidates it."""
+    work = tmp_path / "tree"
+    shutil.copytree(ANALYSIS / "asyncchain", work)
+    cache = tmp_path / "cache" / "graph.pickle"
+    config = LintConfig()
+
+    first = Project(_analysis_contexts(work), config, cache_path=cache)
+    assert not first.graph_from_cache
+    assert cache.exists()
+
+    second = Project(_analysis_contexts(work), config, cache_path=cache)
+    assert second.graph_from_cache
+    assert second.graph.to_payload() == first.graph.to_payload()
+
+    edited = work / "app.py"
+    edited.write_text(
+        edited.read_text(encoding="utf-8") + "\nMARKER = 1\n",
+        encoding="utf-8",
+    )
+    third = Project(_analysis_contexts(work), config, cache_path=cache)
+    assert not third.graph_from_cache
+
+
+def test_corrupt_cache_is_ignored(tmp_path):
+    """A truncated/garbage cache file falls back to a fresh build."""
+    work = ANALYSIS / "taintchain"
+    cache = tmp_path / "graph.pickle"
+    cache.write_bytes(b"not a pickle")
+    project = Project(_analysis_contexts(work), LintConfig(), cache_path=cache)
+    assert not project.graph_from_cache
+    assert project.graph.to_payload()["functions"]
+
+
+def test_full_repo_analysis_stays_under_budget():
+    """Whole-program analysis over src/ completes inside the wall-clock
+    ceiling (generous enough for slow CI, tight enough to catch a
+    complexity regression in the graph build or the walkers)."""
+    src = REPO_ROOT / "src"
+    config_path = REPO_ROOT / "pyproject.toml"
+    config = LintConfig.from_pyproject(config_path)
+    started = time.perf_counter()
+    result = lint_paths([src], config)
+    elapsed = time.perf_counter() - started
+    assert not result.errors
+    assert result.files_checked > 50
+    assert elapsed < 20.0, f"analysis took {elapsed:.1f}s (budget 20s)"

@@ -7,7 +7,13 @@ import json
 
 from repro.lint.config import LintConfig
 from repro.lint.engine import lint_paths
-from repro.lint.report import JSON_SCHEMA_VERSION, render_json, render_text
+from repro.lint.report import (
+    JSON_SCHEMA_VERSION,
+    SARIF_VERSION,
+    render_json,
+    render_sarif,
+    render_text,
+)
 
 from tests.lint.conftest import FIXTURES, open_scope_config
 
@@ -57,6 +63,45 @@ def test_suppressed_count_surfaces_in_both_formats():
     assert result.suppressed == 2
     assert ", 2 suppressed" in render_text(result)
     assert json.loads(render_json(result))["suppressed"] == 2
+
+
+def test_sarif_is_byte_identical_across_runs():
+    assert render_sarif(_result()) == render_sarif(_result())
+
+
+def test_sarif_schema_rule_catalog_and_regions():
+    result = _result()
+    log = json.loads(render_sarif(result))
+    assert log["version"] == SARIF_VERSION
+    assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+    (run,) = log["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "reprolint"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert "REP001" in rule_ids and "REP011" in rule_ids
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+        assert rule["fullDescription"]["text"]
+    assert len(run["results"]) == len(result.findings)
+    for entry, finding in zip(run["results"], sorted(result.findings)):
+        assert entry["ruleId"] == finding.rule_id
+        assert rule_ids[entry["ruleIndex"]] == finding.rule_id
+        region = entry["locations"][0]["physicalLocation"]["region"]
+        # SARIF columns are 1-based; internal cols are 0-based offsets.
+        assert region["startLine"] == finding.line
+        assert region["startColumn"] == finding.col + 1
+    (invocation,) = run["invocations"]
+    assert invocation["executionSuccessful"] is True
+
+
+def test_sarif_errors_become_notifications(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n", encoding="utf-8")
+    log = json.loads(render_sarif(lint_paths([bad], LintConfig())))
+    (invocation,) = log["runs"][0]["invocations"]
+    assert invocation["executionSuccessful"] is False
+    notes = invocation["toolExecutionNotifications"]
+    assert notes and "cannot parse" in notes[0]["message"]["text"]
 
 
 def test_parse_error_becomes_result_error_not_crash(tmp_path):

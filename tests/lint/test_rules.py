@@ -13,6 +13,7 @@ from tests.lint.conftest import FIXTURES, expected_findings, lint_fixture
 
 ALL_RULE_IDS = (
     "REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007",
+    "REP008", "REP009", "REP010", "REP011",
 )
 
 
