@@ -59,7 +59,7 @@ def _workload():
     return pool, stream
 
 
-def _run(pool, stream, shards, batch, executor, repeats=REPEATS):
+def _run(pool, stream, shards, batch, executor, repeats=REPEATS, kernel="tree"):
     """Run the stream through a fresh service ``repeats`` times.
 
     Returns plain scalars only (never the service object itself) so the
@@ -77,6 +77,7 @@ def _run(pool, stream, shards, batch, executor, repeats=REPEATS):
                 batch_size=batch,
                 queue_capacity=max(64, STREAM // 4),
                 executor=executor,
+                kernel=kernel,
             ),
         )
         started = time.perf_counter()
@@ -88,7 +89,15 @@ def _run(pool, stream, shards, batch, executor, repeats=REPEATS):
         for outcome in outcomes
     )
     latency = service.metrics.histogram("latency_seconds").summary()
-    return {
+    executor_obj = service._executor
+    backend = service.executor_backend
+    if hasattr(executor_obj, "workers"):
+        max_workers = executor_obj.workers
+    elif backend == "serial":
+        max_workers = 1
+    else:
+        max_workers = service.shard_count
+    run = {
         "groups": service.group_count,
         "verdicts": verdicts,
         "elapsed": elapsed,
@@ -99,18 +108,39 @@ def _run(pool, stream, shards, batch, executor, repeats=REPEATS):
         "p50": latency["p50"],
         "p95": latency["p95"],
         "p99": latency["p99"],
+        # Hardware/backend context: invisible rps comparisons across
+        # machines were the motivating bug (a committed process-executor
+        # row measured at cpu_count=1 looked like a backend regression).
+        "executor": backend,
+        "max_workers": max_workers,
+        "cpu_count": os.cpu_count(),
     }
+    if hasattr(executor_obj, "bytes_shipped_total"):
+        drains = max(1, executor_obj.drains)
+        # O(batch) proof: per-drain IPC for the resident backend; see
+        # test_resident_ipc for the state-independence assertion.
+        run["bytes_shipped_per_drain"] = (
+            executor_obj.bytes_shipped_total // drains
+        )
+        run["drains"] = executor_obj.drains
+    return run
+
+
+#: Scalar fields persisted for every run row (see satellite note in
+#: _run: executor/max_workers/cpu_count contextualize rps trajectories).
+_ROW_FIELDS = (
+    "rps", "elapsed", "equations", "batches", "accepted",
+    "p50", "p95", "p99", "executor", "max_workers", "cpu_count",
+)
 
 
 def _json_row(run):
     """Strip a run dict to the scalar fields worth persisting as JSON."""
-    return {
-        key: run[key]
-        for key in (
-            "rps", "elapsed", "equations", "batches", "accepted",
-            "p50", "p95", "p99",
-        )
-    }
+    row = {key: run[key] for key in _ROW_FIELDS}
+    for optional in ("bytes_shipped_per_drain", "drains"):
+        if optional in run:
+            row[optional] = run[optional]
+    return row
 
 
 def test_throughput_vs_shards(report, bench_json):
@@ -174,9 +204,9 @@ def test_throughput_vs_shards(report, bench_json):
 def test_throughput_vs_executor(report, bench_json):
     """Executor backends must agree verdict-for-verdict; report their cost."""
     pool, stream = _workload()
-    backends = ["serial", "thread"]
+    backends = ["serial", "thread", "resident"]
     if not SMOKE:
-        backends.append("process")
+        backends.append("process-roundtrip")
     runs = {
         backend: _run(pool, stream, shards=4, batch=32, executor=backend)
         for backend in backends
@@ -188,18 +218,22 @@ def test_throughput_vs_executor(report, bench_json):
         f"executor comparison (4 shards, batch=32, {STREAM} requests, "
         f"{os.cpu_count()} cpu core(s))",
         "",
-        "executor | req/s    | p95 ms",
-        "---------+----------+-------",
+        "executor          | req/s    | p95 ms | ipc B/drain",
+        "------------------+----------+--------+------------",
     ]
     for backend, run in runs.items():
+        per_drain = run.get("bytes_shipped_per_drain")
         lines.append(
-            f"{backend:8s} | {run['rps']:8,.0f} | {run['p95'] * 1e3:6.3f}"
+            f"{backend:17s} | {run['rps']:8,.0f} | {run['p95'] * 1e3:6.3f} | "
+            f"{per_drain if per_drain is not None else '-':>11}"
         )
     lines.append("")
     lines.append(
-        "note: thread/process parallelism pays off on multi-core hosts; "
-        "on a single core the serial backend is optimal and the others "
-        "measure pure coordination overhead."
+        "note: process parallelism pays off on multi-core hosts; on a "
+        "single core the serial backend is optimal and the others "
+        "measure pure coordination overhead.  The resident backend's "
+        "per-drain IPC is O(batch) -- the round-trip backend pickles "
+        "whole shard states (O(state)) every drain."
     )
     report("service_throughput_executors", "\n".join(lines))
     bench_json(
@@ -211,6 +245,91 @@ def test_throughput_vs_executor(report, bench_json):
             "batch": 32,
             "cpu_count": os.cpu_count(),
             "runs": {backend: _json_row(run) for backend, run in runs.items()},
+        },
+    )
+    # The acceptance criterion is inherently about hardware: with one
+    # core there is no parallelism to win, only coordination overhead,
+    # so the floor is asserted on multi-core runners only.
+    if (os.cpu_count() or 1) >= 2:
+        assert runs["resident"]["rps"] >= runs["serial"]["rps"], (
+            "resident backend should not lose to serial on multi-core: "
+            f"{runs['resident']['rps']:,.0f} < {runs['serial']['rps']:,.0f} rps"
+        )
+
+
+def test_resident_ipc(report, bench_json):
+    """Per-drain IPC of the resident backend is O(batch), not O(state).
+
+    Two proofs, both deterministic:
+
+    * the *same workload* served with ``kernel="tree"`` vs
+      ``kernel="dense"`` ships per-drain traffic equal to within pickle
+      integer-width jitter (the dense stats reply carries larger
+      ``kernel_fast_path_hits`` counters, a few bytes), even though the
+      dense configuration keeps up to ``2 x 8 * 2^{N_k}`` bytes of
+      resident kernel state per group -- state never crosses the pipe
+      (it lives in shared memory / in-worker);
+    * verdicts are byte-identical to the serial reference either way.
+    """
+    pool, stream = _workload()
+    serial = _run(pool, stream, shards=4, batch=32, executor="serial")
+    by_kernel = {
+        kernel: _run(
+            pool, stream, shards=4, batch=32, executor="resident",
+            kernel=kernel,
+        )
+        for kernel in ("tree", "dense")
+    }
+    parity = all(
+        run["verdicts"] == serial["verdicts"] for run in by_kernel.values()
+    )
+    # 64 B absolute tolerance: counter-width jitter is single bytes,
+    # while the dense tables that must NOT cross the pipe are KiB-MiB.
+    state_independent = (
+        abs(
+            by_kernel["tree"]["bytes_shipped_per_drain"]
+            - by_kernel["dense"]["bytes_shipped_per_drain"]
+        )
+        <= 64
+    )
+    assert parity, "resident verdicts diverged from serial"
+    assert state_independent, (
+        "per-drain IPC must not depend on kernel state size: "
+        f"tree={by_kernel['tree']['bytes_shipped_per_drain']} B vs "
+        f"dense={by_kernel['dense']['bytes_shipped_per_drain']} B"
+    )
+    lines = [
+        f"resident backend IPC (4 shards, batch=32, {STREAM} requests)",
+        "",
+        "kernel | ipc B/drain | drains | req/s",
+        "-------+-------------+--------+---------",
+    ]
+    for kernel, run in by_kernel.items():
+        lines.append(
+            f"{kernel:6s} | {run['bytes_shipped_per_drain']:11,d} | "
+            f"{run['drains']:6d} | {run['rps']:8,.0f}"
+        )
+    lines.append("")
+    lines.append(
+        "per-drain bytes equal across kernels (within integer-width "
+        "jitter): the drain ships the pending batch only; kernel tables "
+        "stay resident in the workers (dense ones in shared memory, "
+        "readable by the coordinator zero-copy)."
+    )
+    report("service_resident_ipc", "\n".join(lines))
+    bench_json(
+        "resident_ipc",
+        {
+            "smoke": SMOKE,
+            "stream": STREAM,
+            "shards": 4,
+            "batch": 32,
+            "cpu_count": os.cpu_count(),
+            "parity": parity,
+            "state_independent": state_independent,
+            "runs": {
+                kernel: _json_row(run) for kernel, run in by_kernel.items()
+            },
         },
     )
 

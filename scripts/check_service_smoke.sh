@@ -16,6 +16,10 @@ python -m pytest tests/service tests/net tests/obs tests/matching/test_boundary_
 echo "== serve-bench CLI =="
 python -m repro serve-bench -n 12 --stream 300 --shards 2 --batch 16
 
+echo "== serve-bench with resident shard workers =="
+python -m repro serve-bench -n 12 --stream 300 --shards 2 --batch 16 \
+    --executor resident --workers 2
+
 echo "== serve-bench with tracing + event journal + Prometheus export =="
 OBS_DIR="$(mktemp -d)"
 trap 'rm -rf "$OBS_DIR"' EXIT

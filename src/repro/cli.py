@@ -166,7 +166,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=4)
     serve.add_argument("--batch", type=int, default=32)
     serve.add_argument(
-        "--executor", choices=["serial", "thread", "process"], default="serial"
+        "--executor",
+        choices=[
+            "serial", "thread", "process", "process-roundtrip", "resident",
+        ],
+        default="serial",
+        help="drain scheduling backend; 'resident' keeps long-lived "
+             "worker processes that own shard state (O(batch) IPC per "
+             "drain), 'process' is its deprecated alias, "
+             "'process-roundtrip' is the old per-drain state pickler",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="resident-backend worker processes (0 = one per shard)",
     )
     serve.add_argument("--queue-capacity", type=int, default=256)
     serve.add_argument(
@@ -233,7 +245,17 @@ def build_parser() -> argparse.ArgumentParser:
     wire.add_argument("--shards", type=int, default=4)
     wire.add_argument("--batch", type=int, default=32)
     wire.add_argument(
-        "--executor", choices=["serial", "thread", "process"], default="serial"
+        "--executor",
+        choices=[
+            "serial", "thread", "process", "process-roundtrip", "resident",
+        ],
+        default="serial",
+        help="drain scheduling backend ('resident' = long-lived worker "
+             "processes owning shard state; 'process' is its alias)",
+    )
+    wire.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="resident-backend worker processes (0 = one per shard)",
     )
     wire.add_argument("--queue-capacity", type=int, default=256)
     wire.add_argument("--kernel", choices=["tree", "dense"], default="tree")
@@ -681,6 +703,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 batch_size=args.batch,
                 queue_capacity=args.queue_capacity,
                 executor=executor,
+                workers=args.workers,
                 **kernel_kwargs,
             ),
             tracer=tracer if observed else None,
@@ -746,7 +769,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                     "seed": args.seed,
                     "shards": args.shards,
                     "batch": args.batch,
-                    "executor": args.executor,
+                    # The canonical backend ('process' -> 'resident'), so
+                    # report trajectories attribute rps movement to real
+                    # executor changes, not alias spelling.
+                    "executor": service.executor_backend,
+                    "workers": args.workers,
                     "kernel": args.kernel,
                     "clusters": args.clusters,
                     "skew": args.skew,
@@ -834,6 +861,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batch_size=args.batch,
             queue_capacity=args.queue_capacity,
             executor=args.executor,
+            workers=args.workers,
             **kernel_kwargs,
         ),
         tracer=tracer,

@@ -108,6 +108,7 @@ class GuardedTelemetryRule(Rule):
         "repro/validation/tree_validator.py",
         "repro/service/shard.py",
         "repro/service/service.py",
+        "repro/service/resident.py",
         "repro/net/server.py",
         "repro/net/client.py",
         "repro/obs/runs/*",

@@ -17,7 +17,17 @@ from repro.validation.limits import DEFAULT_KERNEL_CAP, DENSE_TABLE_MAX_N
 __all__ = ["ServiceConfig", "EXECUTOR_BACKENDS"]
 
 #: Recognized executor backends (see :mod:`repro.service.executor`).
-EXECUTOR_BACKENDS = ("serial", "thread", "process")
+#: ``process`` is a deprecated alias for ``resident``;
+#: ``process-roundtrip`` is the pre-resident per-drain pickle backend,
+#: kept for one release so the parity suite can pin all four real
+#: backends byte-identical.
+EXECUTOR_BACKENDS = (
+    "serial",
+    "thread",
+    "process",
+    "process-roundtrip",
+    "resident",
+)
 
 
 @dataclass(frozen=True)
@@ -42,9 +52,16 @@ class ServiceConfig:
     executor:
         ``"serial"`` (in-caller, zero overhead), ``"thread"`` (one pool
         thread per shard; concurrency across groups, true parallelism on
-        free-threaded builds), or ``"process"`` (per-drain fan-out to
-        worker processes; true parallelism under the GIL at the price of
-        shard-state round-trip serialization).
+        free-threaded builds), ``"resident"`` (long-lived worker
+        processes that own their shards' state -- O(batch) IPC per
+        drain, shared-memory kernel planes for coordinator reads;
+        ``"process"`` is a deprecated alias), or ``"process-roundtrip"``
+        (the pre-resident backend: per-drain shard-state pickle
+        round-trips -- O(state) IPC; kept one release for parity
+        pinning).
+    workers:
+        Worker-process count for the resident backend; ``0`` (default)
+        means one worker per shard.  Ignored by other backends.
     match_cache_size:
         LRU entries for instance-match memoization; 0 disables caching.
     latency_window:
@@ -68,6 +85,7 @@ class ServiceConfig:
     batch_size: int = 32
     queue_capacity: int = 1024
     executor: str = "serial"
+    workers: int = 0
     match_cache_size: int = 4096
     latency_window: int = 65536
     kernel: str = KERNEL_TREE
@@ -86,6 +104,10 @@ class ServiceConfig:
             raise ServiceError(
                 f"unknown executor {self.executor!r}; "
                 f"choose from {', '.join(EXECUTOR_BACKENDS)}"
+            )
+        if self.workers < 0:
+            raise ServiceError(
+                f"workers must be >= 0 (0 = one per shard), got {self.workers}"
             )
         if self.match_cache_size < 0:
             raise ServiceError(

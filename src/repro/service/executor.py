@@ -12,29 +12,35 @@ single task, per-shard serialization is structural -- no locks needed.
   shard.  Concurrency across groups; true parallelism arrives on
   free-threaded CPython builds (under the GIL it still overlaps any
   releases inside numpy-backed matching).
-* :class:`ProcessExecutor` -- ships each busy shard to a worker process
-  and replaces the local shard object with the mutated copy that comes
-  back.  State round-trips by pickle each drain, so it pays off when the
-  per-drain equation work dominates the state size -- large groups, big
-  batches.
+* :class:`ProcessExecutor` (backend name ``process-roundtrip``) -- ships
+  each busy shard to a worker process and replaces the local shard
+  object with the mutated copy that comes back.  State round-trips by
+  pickle each drain -- O(state) IPC -- which is why it lost to serial
+  and is now superseded; it stays for one release so the parity suite
+  can pin all four backends byte-identical.
+* :class:`~repro.service.resident.ResidentProcessExecutor` (backend
+  name ``resident``; ``process`` is an alias) -- long-lived workers own
+  their shards' state, only pending batches and verdicts cross the
+  pipe: O(batch) IPC per drain.  See :mod:`repro.service.resident`.
 
-All three produce identical verdict streams for identical inputs (the
-determinism tests pin this).
+All backends produce identical verdict streams for identical inputs
+(the determinism and parity tests pin this).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ServiceError
-from repro.service.shard import GroupShard, ShardResult, ShardStats
+from repro.service.shard import GroupShard, ShardResult, ShardSpec, ShardStats
 
 __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
     "make_executor",
+    "resolve_backend",
 ]
 
 #: One shard's drain output.
@@ -46,8 +52,8 @@ def _drain_shard(shard: GroupShard) -> DrainOutput:
 
 
 def _drain_shard_roundtrip(shard: GroupShard) -> Tuple[GroupShard, DrainOutput]:
-    # Process backend: the worker mutates its pickled copy of the shard,
-    # so the mutated object must travel back to the coordinator.
+    # Round-trip backend: the worker mutates its pickled copy of the
+    # shard, so the mutated object must travel back to the coordinator.
     return shard, shard.process_pending()
 
 
@@ -96,9 +102,16 @@ class ProcessExecutor:
     the worker, and pickles the mutated shard back.  The coordinator then
     adopts the returned object as the shard's new state, so successive
     drains compose exactly as in the serial backend.
+
+    Adoption is **all-or-nothing**: every worker future is resolved
+    before any mutated shard replaces the caller's copy, so if any
+    shard's drain raises, the coordinator's shard table is left exactly
+    as it was before the drain -- no partially-adopted state (their
+    pending queues were consumed inside throwaway pickled copies, so
+    the originals still hold every request).
     """
 
-    name = "process"
+    name = "process-roundtrip"
 
     def __init__(self, max_workers: int):
         if max_workers < 1:
@@ -108,16 +121,29 @@ class ProcessExecutor:
     def drain(self, shards: List[GroupShard]) -> Dict[int, DrainOutput]:
         """Drain each shard in a worker process; adopt returned state.
 
-        The mutated shard replaces the caller's copy **in place in the
-        provided list**, so the service's shard table stays current.
+        The mutated shards replace the caller's copies **in place in the
+        provided list**, so the service's shard table stays current --
+        but only after *every* future has resolved successfully (see the
+        class docstring for the all-or-nothing contract).
         """
         futures = {
             position: self._pool.submit(_drain_shard_roundtrip, shard)
             for position, shard in enumerate(shards)
         }
-        outputs: Dict[int, DrainOutput] = {}
+        resolved: List[Tuple[int, GroupShard, DrainOutput]] = []
+        error: Optional[BaseException] = None
         for position, future in futures.items():
-            mutated, output = future.result()
+            try:
+                mutated, output = future.result()
+            except BaseException as exc:  # collect, keep resolving the rest
+                if error is None:
+                    error = exc
+                continue
+            resolved.append((position, mutated, output))
+        if error is not None:
+            raise error
+        outputs: Dict[int, DrainOutput] = {}
+        for position, mutated, output in resolved:
             shards[position] = mutated
             outputs[mutated.shard_id] = output
         return outputs
@@ -127,12 +153,41 @@ class ProcessExecutor:
         self._pool.shutdown(wait=True)
 
 
-def make_executor(backend: str, max_workers: int):
-    """Build the executor for a backend name (see module docstring)."""
+#: Deprecated aliases accepted by :func:`resolve_backend`.  ``process``
+#: now means the resident backend -- the round-trip implementation it
+#: used to name survives one release as ``process-roundtrip``.
+_BACKEND_ALIASES = {"process": "resident"}
+
+
+def resolve_backend(backend: str) -> str:
+    """Return the canonical backend name (resolving aliases)."""
+    return _BACKEND_ALIASES.get(backend, backend)
+
+
+def make_executor(
+    backend: str,
+    max_workers: int,
+    specs: Optional[Sequence[ShardSpec]] = None,
+):
+    """Build the executor for a backend name (see module docstring).
+
+    ``specs`` is required by (and only by) the resident backend, which
+    rebuilds its shards inside the workers at startup.
+    """
+    backend = resolve_backend(backend)
     if backend == "serial":
         return SerialExecutor()
     if backend == "thread":
         return ThreadExecutor(max_workers)
-    if backend == "process":
+    if backend == "process-roundtrip":
         return ProcessExecutor(max_workers)
+    if backend == "resident":
+        if specs is None:
+            raise ServiceError(
+                "resident backend needs shard specs (workers rebuild "
+                "their shards from them at startup)"
+            )
+        from repro.service.resident import ResidentProcessExecutor
+
+        return ResidentProcessExecutor(specs, max_workers)
     raise ServiceError(f"unknown executor backend {backend!r}")

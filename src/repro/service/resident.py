@@ -1,0 +1,495 @@
+"""Resident shard workers: zero-copy process parallelism for drains.
+
+The round-trip process backend (:class:`repro.service.executor
+.ProcessExecutor`) pickles every busy shard's *entire* state out and
+back on every drain -- including the dense kernel's ``C``/``H`` int64
+tables, up to ``2 x 8 MiB`` per group at ``kernel_cap=20`` -- so its
+per-drain cost is O(state), not O(batch).  This module replaces that
+with **resident workers**:
+
+* Each long-lived worker process permanently owns a fixed set of
+  shards, rebuilt in-worker once at startup from a
+  :class:`~repro.service.shard.ShardSpec` (small, static: group
+  structure + aggregates + preload log + shared-plane names).
+* A drain ships only the pending :class:`ShardRequest` batches, encoded
+  as compact tuples over a per-worker pipe, and gets back
+  :class:`ShardResult` rows plus :class:`ShardStats` -- per-drain IPC
+  is O(batch size) regardless of group size (the benchmark's
+  ``bytes_shipped_per_drain`` counter pins this).
+* Dense-kernel groups sit on coordinator-created
+  ``multiprocessing.shared_memory`` planes
+  (:class:`repro.core.kernel.KernelPlane`): the owning worker writes
+  them, the coordinator reads kernel occupancy zero-copy for
+  admin/monitor queries -- no worker round-trip.
+
+Ownership and ordering contract (see DESIGN.md "Serving architecture"):
+
+* A shard is mutated by exactly one worker, always from its message
+  loop -- per-shard serialization is structural, as in every other
+  backend, so verdict streams are byte-identical to serial.
+* Drains are two-phase: the coordinator sends every involved worker its
+  batch first, then collects every reply, so workers run concurrently.
+* On any worker error the coordinator requeues the taken requests (its
+  own view returns to exactly the pre-drain state), marks the executor
+  failed -- the erroring worker's state can no longer be trusted -- and
+  raises :class:`~repro.errors.ServiceError` carrying the worker
+  traceback.
+* Shutdown: workers close (never unlink) their attached planes and
+  exit on the ``close`` message; the coordinator joins them *before*
+  the service unlinks the shared segments, so no worker ever maps a
+  vanished name.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import traceback
+from multiprocessing import Pipe, Process
+from multiprocessing.connection import Connection
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ServiceError
+from repro.service.shard import (
+    BatchTiming,
+    GroupShard,
+    RevalidationTiming,
+    ShardRequest,
+    ShardResult,
+    ShardSpec,
+    ShardStats,
+)
+
+__all__ = [
+    "ResidentProcessExecutor",
+    "decode_request",
+    "decode_result",
+    "decode_stats",
+    "encode_request",
+    "encode_result",
+    "encode_stats",
+]
+
+#: One shard's drain output (mirrors ``executor.DrainOutput``).
+DrainOutput = Tuple[List[ShardResult], ShardStats]
+
+#: Wire rows are plain tuples; pickle protocol pinned for stable framing.
+_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: Compact wire aliases (documentation only -- everything is tuples).
+RequestRow = Tuple[int, str, int, Tuple[int, ...], int, float]
+ResultRow = Tuple[
+    int, str, int, Tuple[int, ...], int, bool, object, int, float, float, float
+]
+
+
+# ----------------------------------------------------------------------
+# Wire format: requests / results / stats as compact tuples
+# ----------------------------------------------------------------------
+def encode_request(request: ShardRequest) -> RequestRow:
+    """Flatten one pending request into its wire tuple."""
+    return (
+        request.seq,
+        request.usage_id,
+        request.group_id,
+        request.members,
+        request.count,
+        request.submitted_at,
+    )
+
+
+def decode_request(row: RequestRow) -> ShardRequest:
+    """Rebuild a :class:`ShardRequest` from its wire tuple."""
+    return ShardRequest(
+        seq=row[0],
+        usage_id=row[1],
+        group_id=row[2],
+        members=tuple(row[3]),
+        count=row[4],
+        submitted_at=row[5],
+    )
+
+
+def encode_result(result: ShardResult) -> Tuple[object, ...]:
+    """Flatten one verdict into its wire tuple."""
+    return (
+        result.seq,
+        result.usage_id,
+        result.group_id,
+        result.members,
+        result.count,
+        result.accepted,
+        result.reason,
+        result.headroom,
+        result.service_time,
+        result.submitted_at,
+        result.processed_at,
+    )
+
+
+def decode_result(row: Sequence[object]) -> ShardResult:
+    """Rebuild a :class:`ShardResult` from its wire tuple."""
+    return ShardResult(*row)  # type: ignore[arg-type]
+
+
+def encode_stats(stats: ShardStats) -> Tuple[object, ...]:
+    """Flatten one drain's :class:`ShardStats` into its wire tuple.
+
+    ``per_group`` travels as sorted items and ``batch_timings`` as
+    nested tuples, so the payload stays deterministic and O(batch).
+    """
+    return (
+        stats.processed,
+        stats.accepted,
+        stats.rejected,
+        stats.batches,
+        stats.equations_checked,
+        stats.audit_violations,
+        stats.kernel_fast_path_hits,
+        stats.kernel_fallback,
+        tuple(sorted(stats.per_group.items())),
+        tuple(
+            (
+                timing.shard_id,
+                timing.size,
+                timing.started,
+                timing.duration,
+                tuple(
+                    (
+                        reval.group_id,
+                        reval.equations_checked,
+                        reval.violations,
+                        reval.started,
+                        reval.duration,
+                    )
+                    for reval in timing.revalidations
+                ),
+            )
+            for timing in stats.batch_timings
+        ),
+    )
+
+
+def decode_stats(row: Sequence[object]) -> ShardStats:
+    """Rebuild :class:`ShardStats` from its wire tuple."""
+    per_group = dict(row[8])  # type: ignore[call-overload]
+    timings = [
+        BatchTiming(
+            shard_id=t[0],
+            size=t[1],
+            started=t[2],
+            duration=t[3],
+            revalidations=tuple(
+                RevalidationTiming(
+                    group_id=r[0],
+                    equations_checked=r[1],
+                    violations=r[2],
+                    started=r[3],
+                    duration=r[4],
+                )
+                for r in t[4]
+            ),
+        )
+        for t in row[9]  # type: ignore[union-attr]
+    ]
+    return ShardStats(
+        processed=row[0],  # type: ignore[arg-type]
+        accepted=row[1],  # type: ignore[arg-type]
+        rejected=row[2],  # type: ignore[arg-type]
+        batches=row[3],  # type: ignore[arg-type]
+        equations_checked=row[4],  # type: ignore[arg-type]
+        audit_violations=row[5],  # type: ignore[arg-type]
+        kernel_fast_path_hits=row[6],  # type: ignore[arg-type]
+        kernel_fallback=row[7],  # type: ignore[arg-type]
+        per_group=per_group,
+        batch_timings=timings,
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _worker_main(conn: Connection, specs: Sequence[ShardSpec]) -> None:
+    """Message loop of one resident worker process.
+
+    Rebuilds its shards from the specs (attaching to shared kernel
+    planes where named), acknowledges readiness, then serves drains
+    until the ``close`` message or a dropped pipe.  Every reply is one
+    pickled tuple; errors travel back as ``("error", traceback)`` so
+    the coordinator can raise them as :class:`ServiceError`.
+    """
+    shards: Dict[int, GroupShard] = {}
+    try:
+        try:
+            for spec in specs:
+                shards[spec.shard_id] = GroupShard.from_spec(spec)
+        except BaseException:
+            conn.send_bytes(
+                pickle.dumps(("error", traceback.format_exc()), _PROTOCOL)
+            )
+            return
+        conn.send_bytes(pickle.dumps(("ready", sorted(shards)), _PROTOCOL))
+        while True:
+            try:
+                payload = conn.recv_bytes()
+            except (EOFError, OSError):
+                break  # coordinator vanished; daemon exit
+            message = pickle.loads(payload)
+            kind = message[0]
+            if kind == "close":
+                conn.send_bytes(pickle.dumps(("closed",), _PROTOCOL))
+                break
+            if kind == "timings":
+                for shard in shards.values():
+                    shard.collect_timings = bool(message[1])
+                conn.send_bytes(pickle.dumps(("ok",), _PROTOCOL))
+                continue
+            if kind == "drain":
+                try:
+                    sections: List[Tuple[int, object, object]] = []
+                    for shard_id, rows in message[1]:
+                        shard = shards[shard_id]
+                        for row in rows:
+                            shard.enqueue(decode_request(row))
+                        results, stats = shard.process_pending()
+                        sections.append(
+                            (
+                                shard_id,
+                                tuple(encode_result(r) for r in results),
+                                encode_stats(stats),
+                            )
+                        )
+                    reply = pickle.dumps(("done", sections), _PROTOCOL)
+                except BaseException:
+                    reply = pickle.dumps(
+                        ("error", traceback.format_exc()), _PROTOCOL
+                    )
+                conn.send_bytes(reply)
+                continue
+            conn.send_bytes(
+                pickle.dumps(
+                    ("error", f"unknown message kind {kind!r}"), _PROTOCOL
+                )
+            )
+    finally:
+        for shard in shards.values():
+            shard.close_planes()
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+class ResidentProcessExecutor:
+    """Drain shards on long-lived worker processes that own their state.
+
+    Construction ships each worker its :class:`ShardSpec` set exactly
+    once (fork inherits it; spawn pickles it -- either way, specs are
+    O(config + preload log), never live kernel tables) and blocks until
+    every worker acknowledges readiness.  Thereafter
+    :meth:`drain` moves only pending batches and verdicts.
+
+    The coordinator's ``shards`` list keeps its *original* (stale)
+    shard objects: queue management still happens there, but equation
+    state advances only inside the owning worker.  A service using this
+    backend therefore reads group/kernel state through the shared
+    planes, not through its local slices.
+    """
+
+    name = "resident"
+
+    def __init__(self, specs: Sequence[ShardSpec], max_workers: int):
+        if max_workers < 1:
+            raise ServiceError(f"max_workers must be >= 1, got {max_workers}")
+        if not specs:
+            raise ServiceError("resident executor needs at least one shard spec")
+        self._lock = threading.Lock()
+        workers = min(max_workers, len(specs))
+        #: shard_id -> worker index (round-robin over ascending shard id).
+        self._owner: Dict[int, int] = {
+            spec.shard_id: position % workers
+            for position, spec in enumerate(
+                sorted(specs, key=lambda spec: spec.shard_id)
+            )
+        }
+        assignments: List[List[ShardSpec]] = [[] for _ in range(workers)]
+        for spec in sorted(specs, key=lambda spec: spec.shard_id):
+            assignments[self._owner[spec.shard_id]].append(spec)
+        self._conns: List[Connection] = []
+        self._procs: List[Process] = []
+        self._failed = False
+        self._closed = False
+        self._drains = 0
+        self._bytes_shipped_total = 0
+        self._last_drain_bytes = 0
+        for worker_specs in assignments:
+            parent_conn, child_conn = Pipe()
+            proc = Process(
+                target=_worker_main,
+                args=(child_conn, tuple(worker_specs)),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        for conn in self._conns:
+            ack = self._recv(conn)
+            if ack[0] != "ready":
+                with self._lock:
+                    self._failed = True
+                raise ServiceError(
+                    f"resident worker failed to start: {ack[1]}"
+                )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Return the number of resident worker processes."""
+        return len(self._procs)
+
+    @property
+    def drains(self) -> int:
+        """Return how many drains this executor has served."""
+        return self._drains
+
+    @property
+    def last_drain_bytes(self) -> int:
+        """Return the IPC bytes (requests out + replies in) of the most
+        recent drain -- the O(batch) quantity the benchmark records."""
+        return self._last_drain_bytes
+
+    @property
+    def bytes_shipped_total(self) -> int:
+        """Return cumulative IPC bytes across all drains."""
+        return self._bytes_shipped_total
+
+    # ------------------------------------------------------------------
+    # Contract methods
+    # ------------------------------------------------------------------
+    def drain(self, shards: List[GroupShard]) -> Dict[int, DrainOutput]:
+        """Ship each busy shard's pending batch to its owning worker.
+
+        Two-phase: all sends, then all receives, so workers overlap.
+        On any failure the taken requests are requeued (coordinator
+        state returns to exactly pre-drain) and the executor is marked
+        failed -- worker state may have diverged and no further drains
+        are accepted.
+        """
+        with self._lock:
+            if self._failed or self._closed:
+                raise ServiceError(
+                    "resident executor is closed or failed; restart the service"
+                )
+            taken: Dict[int, List[ShardRequest]] = {}
+            by_worker: Dict[int, List[Tuple[int, Tuple[RequestRow, ...]]]] = {}
+            shard_index: Dict[int, GroupShard] = {}
+            try:
+                for shard in shards:
+                    worker = self._owner.get(shard.shard_id)
+                    if worker is None:
+                        raise ServiceError(
+                            f"shard {shard.shard_id} has no resident worker "
+                            f"(executor built for shards {sorted(self._owner)})"
+                        )
+                    rows = shard.take_pending()
+                    taken[shard.shard_id] = rows
+                    shard_index[shard.shard_id] = shard
+                    by_worker.setdefault(worker, []).append(
+                        (
+                            shard.shard_id,
+                            tuple(encode_request(r) for r in rows),
+                        )
+                    )
+                shipped = 0
+                for worker, sections in sorted(by_worker.items()):
+                    payload = pickle.dumps(("drain", sections), _PROTOCOL)
+                    shipped += len(payload)
+                    self._send(self._conns[worker], payload)
+                outputs: Dict[int, DrainOutput] = {}
+                for worker in sorted(by_worker):
+                    reply, size = self._recv_sized(self._conns[worker])
+                    shipped += size
+                    if reply[0] != "done":
+                        raise ServiceError(
+                            f"resident worker {worker} drain failed: {reply[1]}"
+                        )
+                    for shard_id, result_rows, stats_row in reply[1]:
+                        outputs[shard_id] = (
+                            [decode_result(row) for row in result_rows],
+                            decode_stats(stats_row),
+                        )
+            except BaseException:
+                self._failed = True
+                for shard_id, rows in taken.items():
+                    shard_index[shard_id].requeue(rows)
+                raise
+            self._drains += 1
+            self._last_drain_bytes = shipped
+            self._bytes_shipped_total += shipped
+            return outputs
+
+    def set_collect_timings(self, flag: bool) -> None:
+        """Broadcast the timing-collection flag to every worker."""
+        with self._lock:
+            if self._failed or self._closed:
+                return
+            payload = pickle.dumps(("timings", bool(flag)), _PROTOCOL)
+            for conn in self._conns:
+                self._send(conn, payload)
+            for conn in self._conns:
+                self._recv(conn)
+
+    def close(self) -> None:
+        """Stop every worker: polite ``close`` message, join, then
+        terminate stragglers.  Safe to call repeatedly; must run before
+        the plane allocator unlinks the shared segments."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            payload = pickle.dumps(("close",), _PROTOCOL)
+            for conn in self._conns:
+                try:
+                    conn.send_bytes(payload)
+                except (BrokenPipeError, OSError):
+                    pass
+            for conn in self._conns:
+                try:
+                    if conn.poll(1.0):
+                        conn.recv_bytes()
+                except (EOFError, OSError):
+                    pass
+            for proc in self._procs:
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - defensive
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+            for conn in self._conns:
+                conn.close()
+
+    # ------------------------------------------------------------------
+    # Pipe helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _send(conn: Connection, payload: bytes) -> None:
+        try:
+            conn.send_bytes(payload)
+        except (BrokenPipeError, OSError) as exc:
+            raise ServiceError(f"resident worker pipe broken: {exc}") from exc
+
+    @classmethod
+    def _recv(cls, conn: Connection) -> Tuple[object, ...]:
+        return cls._recv_sized(conn)[0]
+
+    @staticmethod
+    def _recv_sized(conn: Connection) -> Tuple[Tuple[object, ...], int]:
+        try:
+            payload = conn.recv_bytes()
+        except (EOFError, OSError) as exc:
+            raise ServiceError(
+                f"resident worker died mid-drain: {exc}"
+            ) from exc
+        return pickle.loads(payload), len(payload)

@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ServiceError, ServiceOverloadedError, ValidationError
 from repro.core.incremental import GroupSlice
+from repro.core.kernel import KERNEL_DENSE, KernelPlane, KernelPlaneAllocator
 from repro.licenses.license import UsageLicense
 from repro.licenses.pool import LicensePool
 from repro.logstore.log import ValidationLog
@@ -60,9 +61,14 @@ from repro.obs.trace import NULL_SPAN, Tracer
 from repro.online.session import IssuanceOutcome
 from repro.service.cache import GroupTables, MatchCache
 from repro.service.config import ServiceConfig
-from repro.service.executor import make_executor
+from repro.service.executor import make_executor, resolve_backend
 from repro.service.metrics import MetricsRegistry
-from repro.service.shard import GroupShard, ShardRequest, ShardResult
+from repro.service.shard import (
+    GroupShard,
+    ShardRequest,
+    ShardResult,
+    ShardSpec,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import for annotations only
     from repro.obs.monitor import Monitor
@@ -136,16 +142,34 @@ class ValidationService:
             on_evict=self._on_cache_evict if events is not None else None,
         )
         self._shard_count = min(self.config.shards, self._tables.group_count)
+        #: Canonical executor backend (``process`` resolves to
+        #: ``resident``); drives plane allocation and spec shipping.
+        self._backend = resolve_backend(self.config.executor)
+        # Resident backend + dense kernel: back each eligible group's
+        # C/H tables with coordinator-owned shared-memory planes.  The
+        # coordinator's own slices get the *create*-mode views (its
+        # reads are zero-copy); workers attach by name via ShardSpec.
+        self._plane_allocator: Optional[KernelPlaneAllocator] = None
+        if self._backend == "resident" and self.config.kernel == KERNEL_DENSE:
+            self._plane_allocator = KernelPlaneAllocator(shared=True)
         slices_by_shard: Dict[int, Dict[int, GroupSlice]] = {
             shard_id: {} for shard_id in range(self._shard_count)
         }
         for group_id in range(self._tables.group_count):
+            planes: Optional[Tuple[KernelPlane, KernelPlane]] = None
+            if self._plane_allocator is not None:
+                group_size = len(self._tables.structure.groups[group_id])
+                if group_size <= self.config.kernel_cap:
+                    planes = self._plane_allocator.pair_for(
+                        group_id, 1 << group_size
+                    )
             slices_by_shard[group_id % self._shard_count][group_id] = GroupSlice(
                 self._tables.structure,
                 self._tables.aggregates,
                 group_id,
                 kernel=self.config.kernel,
                 kernel_cap=self.config.kernel_cap,
+                planes=planes,
             )
         self._shards: List[GroupShard] = [
             GroupShard(
@@ -167,7 +191,6 @@ class ValidationService:
         self._timings_enabled = False
         self._request_timings: Dict[int, ServerTiming] = {}
         self._match_us: Dict[int, int] = {}
-        self._executor = make_executor(self.config.executor, self._shard_count)
         self._latency = self.metrics.histogram(
             "latency_seconds", self.config.latency_window
         )
@@ -176,8 +199,19 @@ class ValidationService:
         self._pending_outcomes: Dict[int, IssuanceOutcome] = {}
         self._log = ValidationLog()
         self._closed = False
+        # Replay BEFORE spawning any executor workers: resident workers
+        # rebuild shard state from the specs, which must carry the full
+        # preload log (and the shared planes must already hold it).
         if initial_log is not None:
             self._replay(initial_log)
+        if self._backend == "resident":
+            self._executor = make_executor(
+                self._backend,
+                self.config.workers or self._shard_count,
+                specs=self._build_specs(),
+            )
+        else:
+            self._executor = make_executor(self._backend, self._shard_count)
         self.monitor = monitor
         if monitor is not None:
             monitor.attach(self)
@@ -225,6 +259,29 @@ class ValidationService:
         """Return ``{shard_id: depth}`` for all shards."""
         return {shard.shard_id: shard.depth for shard in self._shards}
 
+    @property
+    def executor_backend(self) -> str:
+        """Return the canonical executor backend actually running
+        (``process`` resolves to ``resident``)."""
+        return self._backend
+
+    def kernel_occupancy(self) -> Dict[int, Dict[str, int]]:
+        """Return ``{group_id: occupancy}`` for every dense-kernel group.
+
+        Under the resident backend the coordinator's slices view the
+        workers' live ``C``/``H`` tables through shared-memory planes,
+        so this is a **zero-copy** read -- no worker round-trip, no
+        drain required.  Values may be torn mid-batch; they feed
+        monitoring, never admission.  Tree-only configs return ``{}``.
+        """
+        occupancy: Dict[int, Dict[str, int]] = {}
+        for shard in self._shards:
+            for gslice in shard.slices():
+                occ = gslice.kernel_occupancy()
+                if occ is not None:
+                    occupancy[gslice.group_id] = occ
+        return occupancy
+
     # ------------------------------------------------------------------
     # Per-request timing breakdown (wire timing echo)
     # ------------------------------------------------------------------
@@ -247,6 +304,11 @@ class ValidationService:
         self._timings_enabled = True
         for shard in self._shards:
             shard.collect_timings = True
+        # Resident workers own live shard state in other processes;
+        # broadcast the flag so their drains collect timings too.
+        broadcast = getattr(self._executor, "set_collect_timings", None)
+        if broadcast is not None:
+            broadcast(True)
 
     def pop_request_timing(self, seq: int) -> Optional[ServerTiming]:
         """Claim (and forget) the timing breakdown for ``seq``.
@@ -261,9 +323,17 @@ class ValidationService:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release executor resources.  Submitting afterwards raises."""
+        """Release executor resources.  Submitting afterwards raises.
+
+        Ordering matters for the resident backend: workers are joined
+        *first* (they close their plane attachments on exit), and only
+        then does the coordinator unlink the shared-memory segments --
+        no worker ever maps a vanished name.
+        """
         if not self._closed:
             self._executor.close()
+            if self._plane_allocator is not None:
+                self._plane_allocator.close()
             self._closed = True
 
     def __enter__(self) -> "ValidationService":
@@ -474,8 +544,16 @@ class ValidationService:
                 else NULL_SPAN
             )
             outputs = self._executor.drain(busy)
-            # The process backend hands back mutated shard copies via the
-            # `busy` list; re-adopt so the next drain sees current state.
+            # Resident backend: per-drain IPC is O(batch) -- record it
+            # so the bench can prove state never crosses the boundary.
+            shipped = getattr(self._executor, "last_drain_bytes", None)
+            if shipped is not None:
+                self.metrics.counter("ipc_bytes_shipped_total").inc(
+                    amount=shipped
+                )
+            # The round-trip backend hands back mutated shard copies via
+            # the `busy` list; re-adopt so the next drain sees current
+            # state (a no-op for the in-process and resident backends).
             for shard in busy:
                 self._shards[shard.shard_id] = shard
                 self.metrics.gauge("queue_depth").set(
@@ -537,6 +615,39 @@ class ValidationService:
             group_id = self._tables.group_of[members[0]]
             shard = self._shards[group_id % self._shard_count]
             shard.preload(group_id, members, record.count)
+
+    def _build_specs(self) -> List[ShardSpec]:
+        """Build one :class:`ShardSpec` per shard for resident workers.
+
+        Specs are O(config + preload log): group structure, aggregates,
+        replayed records, and -- for plane-backed dense groups -- the
+        shared-memory names to attach to instead of replaying.
+        """
+        plane_names = (
+            self._plane_allocator.names()
+            if self._plane_allocator is not None
+            else {}
+        )
+        return [
+            ShardSpec(
+                shard_id=shard.shard_id,
+                group_ids=shard.group_ids,
+                batch_size=self.config.batch_size,
+                queue_capacity=self.config.queue_capacity,
+                kernel=self.config.kernel,
+                kernel_cap=self.config.kernel_cap,
+                structure=self._tables.structure,
+                aggregates=tuple(self._tables.aggregates),
+                preloads=shard.preloads,
+                plane_names={
+                    group_id: names
+                    for group_id, names in plane_names.items()
+                    if group_id in shard.group_ids
+                },
+                collect_timings=shard.collect_timings,
+            )
+            for shard in self._shards
+        ]
 
     def _record_batch_spans(self, drain_span, stats) -> None:
         """Stitch shard-side batch/revalidation timings under the drain

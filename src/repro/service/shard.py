@@ -22,11 +22,12 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ServiceError, ServiceOverloadedError
+from repro.core.grouping import GroupStructure
 from repro.core.incremental import GroupSlice
-from repro.core.kernel import KERNEL_DENSE
+from repro.core.kernel import KERNEL_DENSE, KernelPlane
 
 __all__ = [
     "BatchTiming",
@@ -34,6 +35,7 @@ __all__ = [
     "RevalidationTiming",
     "ShardRequest",
     "ShardResult",
+    "ShardSpec",
     "ShardStats",
 ]
 
@@ -125,6 +127,38 @@ class ShardStats:
     batch_timings: List[BatchTiming] = field(default_factory=list)
 
 
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker process needs to rebuild one shard in place.
+
+    The resident executor ships a spec **once** at startup instead of
+    pickling live shard state per drain: the worker reconstructs the
+    shard's :class:`~repro.core.incremental.GroupSlice` objects from the
+    (small, static) group structure + aggregates, then replays
+    ``preloads`` -- except for groups listed in ``plane_names``, whose
+    dense ``C``/``H`` tables live in coordinator-created shared memory
+    that already holds the replayed state; the worker *attaches* and
+    adopts those tables as-is (``adopt_planes=True``), so state is never
+    shipped twice in any form.
+    """
+
+    shard_id: int
+    group_ids: Tuple[int, ...]
+    batch_size: int
+    queue_capacity: int
+    kernel: str
+    kernel_cap: int
+    structure: GroupStructure
+    aggregates: Tuple[int, ...]
+    #: Already-admitted records ``(group_id, members, count)`` to replay
+    #: into tree/fallback groups (plane-backed groups skip these).
+    preloads: Tuple[Tuple[int, Tuple[int, ...], int], ...]
+    #: ``{group_id: (C_name, H_name)}`` shared-memory plane names for the
+    #: dense groups the coordinator allocated; empty when planes are off.
+    plane_names: Dict[int, Tuple[str, str]]
+    collect_timings: bool = False
+
+
 class GroupShard:
     """One serialized lane of the service (see module docstring)."""
 
@@ -144,10 +178,68 @@ class GroupShard:
         self._batch_size = batch_size
         self._capacity = queue_capacity
         self._pending: Deque[ShardRequest] = deque()
+        #: Replayed records, kept so a :class:`ShardSpec` built later can
+        #: carry them to a worker (coordinator side only; workers never
+        #: re-record the preloads they replay).
+        self._preloads: List[Tuple[int, Tuple[int, ...], int]] = []
+        #: Shared planes this shard attached to (worker side only),
+        #: closed -- never unlinked -- on worker shutdown.
+        self._attached_planes: List[KernelPlane] = []
         #: When True, :meth:`process_pending` fills
         #: :attr:`ShardStats.batch_timings` (set by a tracing service;
         #: costs one extra clock read per batch + per revalidation).
         self.collect_timings = False
+
+    @classmethod
+    def from_spec(cls, spec: ShardSpec) -> "GroupShard":
+        """Rebuild a shard inside a worker process from its spec.
+
+        Groups named in ``spec.plane_names`` get slices whose dense
+        kernels *attach* to the coordinator's shared ``C``/``H`` planes
+        and adopt their live contents (the coordinator already replayed
+        the preload log into them); all other groups are rebuilt from
+        the aggregates and replay their preloads locally.  Either way
+        the resulting equation state is byte-identical to the
+        coordinator's at spec time.
+        """
+        slices: Dict[int, GroupSlice] = {}
+        attached: List[KernelPlane] = []
+        plane_groups = set()
+        for group_id in spec.group_ids:
+            planes: Optional[Tuple[KernelPlane, KernelPlane]] = None
+            names = spec.plane_names.get(group_id)
+            if names is not None:
+                length = 1 << len(
+                    spec.structure.groups[group_id]
+                )
+                planes = (
+                    KernelPlane.attach(names[0], length),
+                    KernelPlane.attach(names[1], length),
+                )
+                attached.extend(planes)
+                plane_groups.add(group_id)
+            slices[group_id] = GroupSlice(
+                spec.structure,
+                list(spec.aggregates),
+                group_id,
+                kernel=spec.kernel,
+                kernel_cap=spec.kernel_cap,
+                planes=planes,
+                adopt_planes=planes is not None,
+            )
+        shard = cls(
+            spec.shard_id, slices, spec.batch_size, spec.queue_capacity
+        )
+        shard.collect_timings = spec.collect_timings
+        shard._attached_planes = attached
+        for group_id, members, count in spec.preloads:
+            if group_id in plane_groups:
+                continue  # state already lives in the adopted planes
+            shard.preload(group_id, members, count)
+        # Replayed records are the coordinator's provenance, not this
+        # worker's; keep the worker-side list empty.
+        shard._preloads.clear()
+        return shard
 
     # ------------------------------------------------------------------
     # Queue management (called from the service coordinator only)
@@ -161,6 +253,13 @@ class GroupShard:
     def group_ids(self) -> Tuple[int, ...]:
         """Return the 0-based group ids assigned to this shard."""
         return tuple(sorted(self._slices))
+
+    def slices(self) -> Tuple[GroupSlice, ...]:
+        """Return this shard's group slices, ascending group id (shared,
+        mutable -- read-only use outside the processing loop)."""
+        return tuple(
+            self._slices[group_id] for group_id in sorted(self._slices)
+        )
 
     def enqueue(self, request: ShardRequest) -> None:
         """Queue a request, enforcing the bounded-queue backpressure.
@@ -191,6 +290,38 @@ class GroupShard:
                 f"group {group_id + 1} is not owned by shard {self.shard_id}"
             )
         self._slices[group_id].insert(members, count)
+        self._preloads.append((group_id, tuple(members), count))
+
+    def take_pending(self) -> List[ShardRequest]:
+        """Drain and return the pending queue (coordinator side).
+
+        The resident executor ships exactly this list -- the batch --
+        across the process boundary; the shard's own queue is left empty
+        so a failed drain can repopulate it atomically.
+        """
+        taken = list(self._pending)
+        self._pending.clear()
+        return taken
+
+    def requeue(self, requests: Sequence[ShardRequest]) -> None:
+        """Put back requests taken by :meth:`take_pending` (front of the
+        queue, original order) after a failed drain -- capacity checks
+        are skipped because the requests were already admitted to the
+        queue once."""
+        self._pending.extendleft(reversed(list(requests)))
+
+    @property
+    def preloads(self) -> Tuple[Tuple[int, Tuple[int, ...], int], ...]:
+        """Return replayed records recorded by :meth:`preload` (the
+        coordinator reads these when building a :class:`ShardSpec`)."""
+        return tuple(self._preloads)
+
+    def close_planes(self) -> None:
+        """Close (never unlink) shared planes this shard attached to --
+        the worker half of the plane lifecycle discipline."""
+        for plane in self._attached_planes:
+            plane.close()
+        self._attached_planes = []
 
     # ------------------------------------------------------------------
     # Processing (runs inside the executor worker)

@@ -394,7 +394,10 @@ class TestCrossProcessAssembly:
         names = {record.name for record in shared}
         assert {"wire_request", "request"} <= names
 
-    @pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+    @pytest.mark.parametrize(
+        "executor",
+        ["serial", "thread", "process", "process-roundtrip", "resident"],
+    )
     def test_stable_across_executors(self, workload, executor):
         pool, stream = workload
         client_records, server_records = self._journals(

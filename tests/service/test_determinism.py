@@ -76,7 +76,10 @@ def test_backpressure_does_not_change_verdicts(
     )
 
 
-@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+@pytest.mark.parametrize(
+    "executor",
+    ["serial", "thread", "process", "process-roundtrip", "resident"],
+)
 def test_executor_backend_does_not_change_verdicts(
     workload, reference, executor
 ):

@@ -1,0 +1,385 @@
+"""Resident worker executor: ownership, wire format, plane lifecycle.
+
+The resident backend's contract (see :mod:`repro.service.resident`):
+workers permanently own shard state, drains ship only O(batch) request
+tuples and verdicts, the coordinator reads dense-kernel occupancy
+zero-copy through shared-memory planes, and shutdown joins workers
+before the coordinator unlinks the segments.
+"""
+
+import os
+import pickle
+
+import pytest
+from multiprocessing import shared_memory
+
+from repro.errors import ServiceError
+from repro.core.kernel import KernelPlane
+from repro.logstore.log import ValidationLog
+from repro.service import ServiceConfig, ValidationService
+from repro.service.executor import ProcessExecutor, make_executor, resolve_backend
+from repro.service.resident import (
+    ResidentProcessExecutor,
+    decode_request,
+    decode_result,
+    decode_stats,
+    encode_request,
+    encode_result,
+    encode_stats,
+)
+from repro.service.shard import (
+    BatchTiming,
+    RevalidationTiming,
+    ShardRequest,
+    ShardResult,
+    ShardStats,
+)
+from repro.workloads.config import WorkloadConfig
+from repro.workloads.generator import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def workload():
+    config = WorkloadConfig(
+        n_licenses=16,
+        seed=424,
+        n_records=0,
+        target_groups=5,
+        aggregate_range=(150, 500),
+    )
+    generator = WorkloadGenerator(config)
+    pool = generator.generate_pool()
+    stream = tuple(generator.issue_stream(pool, 160, skew=0.6))
+    return pool, stream
+
+
+def signatures(outcomes):
+    return [
+        (o.usage_id, o.accepted, o.rejection_reason, o.license_set)
+        for o in outcomes
+    ]
+
+
+class TestWireFormat:
+    def test_request_round_trip(self):
+        request = ShardRequest(
+            seq=7,
+            usage_id="u7",
+            group_id=2,
+            members=(3, 5),
+            count=11,
+            submitted_at=1.25,
+        )
+        assert decode_request(encode_request(request)) == request
+
+    def test_result_round_trip(self):
+        result = ShardResult(
+            seq=9,
+            usage_id="u9",
+            group_id=1,
+            members=(2,),
+            count=4,
+            accepted=False,
+            reason="equation",
+            headroom=3,
+            service_time=0.001,
+            submitted_at=1.0,
+            processed_at=1.5,
+        )
+        assert decode_result(encode_result(result)) == result
+
+    def test_stats_round_trip_with_timings(self):
+        stats = ShardStats(
+            processed=5,
+            accepted=4,
+            rejected=1,
+            batches=2,
+            equations_checked=12,
+            audit_violations=0,
+            kernel_fast_path_hits=5,
+            kernel_fallback=0,
+            per_group={3: 2, 1: 3},
+            batch_timings=[
+                BatchTiming(
+                    shard_id=0,
+                    size=3,
+                    started=10.0,
+                    duration=0.5,
+                    revalidations=(
+                        RevalidationTiming(
+                            group_id=1,
+                            equations_checked=7,
+                            violations=0,
+                            started=10.1,
+                            duration=0.2,
+                        ),
+                    ),
+                ),
+            ],
+        )
+        decoded = decode_stats(encode_stats(stats))
+        assert decoded == stats
+
+    def test_request_rows_are_compact_tuples(self):
+        row = encode_request(
+            ShardRequest(
+                seq=0,
+                usage_id="u0",
+                group_id=0,
+                members=(1,),
+                count=1,
+                submitted_at=0.0,
+            )
+        )
+        assert isinstance(row, tuple)
+        # No dataclass overhead on the wire: a row pickles far smaller
+        # than the dataclass it flattens.
+        assert len(pickle.dumps(row)) < 100
+
+
+class TestResidentService:
+    @pytest.mark.parametrize("kernel", ["tree", "dense"])
+    def test_verdicts_match_serial(self, workload, kernel):
+        pool, stream = workload
+        with ValidationService(
+            pool, ServiceConfig(shards=4, kernel=kernel)
+        ) as serial:
+            expected = signatures(serial.process(stream))
+        with ValidationService(
+            pool,
+            ServiceConfig(shards=4, kernel=kernel, executor="resident"),
+        ) as resident:
+            actual = signatures(resident.process(stream))
+        assert actual == expected
+
+    def test_process_alias_resolves_to_resident(self, workload):
+        pool, _stream = workload
+        assert resolve_backend("process") == "resident"
+        with ValidationService(
+            pool, ServiceConfig(executor="process")
+        ) as service:
+            assert service.executor_backend == "resident"
+            assert isinstance(service._executor, ResidentProcessExecutor)
+        with ValidationService(
+            pool, ServiceConfig(executor="process-roundtrip")
+        ) as service:
+            assert service.executor_backend == "process-roundtrip"
+            assert isinstance(service._executor, ProcessExecutor)
+
+    def test_worker_count_clamped_and_configurable(self, workload):
+        pool, _stream = workload
+        with ValidationService(
+            pool,
+            ServiceConfig(shards=4, executor="resident", workers=2),
+        ) as service:
+            assert service._executor.workers == 2
+        with ValidationService(
+            pool,
+            ServiceConfig(shards=2, executor="resident", workers=64),
+        ) as service:
+            # Never more workers than shards: an idle worker owns nothing.
+            assert service._executor.workers == service.shard_count
+
+    def test_occupancy_reads_worker_state_zero_copy(self, workload):
+        """The coordinator never processes a request itself under the
+        resident backend, yet its occupancy view advances: the workers
+        write the shared planes the coordinator's kernels read."""
+        pool, stream = workload
+        config = ServiceConfig(shards=4, kernel="dense", executor="resident")
+        with ValidationService(pool, config) as service:
+            before = service.kernel_occupancy()
+            assert before, "dense config must expose occupancy"
+            assert all(occ["total_count"] == 0 for occ in before.values())
+            outcomes = service.process(stream)
+            accepted_counts = sum(
+                o.count for o in outcomes if o.accepted
+            )
+            after = service.kernel_occupancy()
+            assert (
+                sum(occ["total_count"] for occ in after.values())
+                == accepted_counts
+            )
+
+    def test_replayed_log_reaches_workers(self, workload):
+        """Warm restart: state replayed into the coordinator before the
+        workers spawn must shape worker verdicts (shipped via specs for
+        tree groups, via adopted planes for dense ones)."""
+        pool, stream = workload
+        head, tail = list(stream[:80]), list(stream[80:])
+        for kernel in ("tree", "dense"):
+            config = ServiceConfig(shards=3, kernel=kernel)
+            with ValidationService(pool, config) as cold:
+                cold.process(head)
+                log = ValidationLog()
+                for record in cold.log:
+                    log.record(
+                        record.license_set, record.count, record.issued_id
+                    )
+                expected = signatures(cold.process(tail))
+            resident_config = ServiceConfig(
+                shards=3, kernel=kernel, executor="resident"
+            )
+            with ValidationService(
+                pool, resident_config, initial_log=log
+            ) as warm:
+                actual = signatures(warm.process(tail))
+            assert actual == expected, kernel
+
+    def test_close_unlinks_planes_and_stops_workers(self, workload):
+        pool, stream = workload
+        config = ServiceConfig(shards=2, kernel="dense", executor="resident")
+        service = ValidationService(pool, config)
+        service.process(stream[:40])
+        allocator = service._plane_allocator
+        assert allocator is not None
+        names = [
+            name for pair in allocator.names().values() for name in pair
+        ]
+        assert names, "dense resident service must allocate shared planes"
+        procs = list(service._executor._procs)
+        assert all(proc.is_alive() for proc in procs)
+        service.close()
+        assert all(not proc.is_alive() for proc in procs)
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_drains_ship_batches_not_state(self, workload):
+        """The O(batch) property: per-drain IPC bytes do not grow with
+        accumulated kernel state, and are equal -- up to pickle
+        integer-width jitter in the stats counters -- whether the group
+        engines are dense tables or trees (state never crosses)."""
+        pool, stream = workload
+
+        def drain_bytes(kernel):
+            sizes = []
+            config = ServiceConfig(
+                shards=2, batch_size=16, kernel=kernel, executor="resident"
+            )
+            with ValidationService(pool, config) as service:
+                for start in range(0, 120, 40):
+                    service.process(stream[start : start + 40])
+                    sizes.append(service._executor.last_drain_bytes)
+            return sizes
+
+        dense, tree = drain_bytes("dense"), drain_bytes("tree")
+        assert all(abs(d - t) <= 64 for d, t in zip(dense, tree))
+        # Later drains carry the same-shaped batches while the workers'
+        # kernel state keeps growing: bytes must stay flat (within the
+        # jitter of variable member tuples), not scale with state.
+        assert max(dense) < 2 * min(dense)
+
+    def test_ipc_bytes_counter_exposed(self, workload):
+        pool, stream = workload
+        config = ServiceConfig(shards=2, executor="resident")
+        with ValidationService(pool, config) as service:
+            service.process(stream[:30])
+            counted = service.metrics.counter(
+                "ipc_bytes_shipped_total"
+            ).value()
+            assert counted == service._executor.bytes_shipped_total
+            assert counted > 0
+
+    def test_failed_drain_requeues_and_poisons_executor(self, workload):
+        pool, stream = workload
+        config = ServiceConfig(shards=2, executor="resident")
+        with ValidationService(pool, config) as service:
+            executor = service._executor
+            routable = [u for u in stream if service._matcher.match(u)]
+            for usage in routable[:6]:
+                service.submit(usage)
+            pending_before = service.pending
+            assert pending_before == 6
+            # Sabotage the pipes: the drain must fail, requeue every
+            # taken request, and refuse further drains.
+            for conn in executor._conns:
+                conn.close()
+            with pytest.raises(ServiceError):
+                service.drain()
+            assert service.pending == pending_before
+            with pytest.raises(ServiceError):
+                executor.drain([])
+
+    def test_timings_collected_in_workers(self, workload):
+        pool, stream = workload
+        config = ServiceConfig(shards=2, executor="resident")
+        with ValidationService(pool, config) as service:
+            service.enable_request_timings()
+            outcomes_with_seq = []
+            for usage in stream[:20]:
+                seq = service.submit(usage)
+                outcomes_with_seq.append(seq)
+            service.drain()
+            timings = [
+                service.pop_request_timing(seq) for seq in outcomes_with_seq
+            ]
+            assert all(timing is not None for timing in timings)
+
+    def test_executor_requires_specs(self):
+        with pytest.raises(ServiceError):
+            make_executor("resident", 2)
+
+    def test_startup_failure_surfaces_worker_error(self, workload):
+        pool, _stream = workload
+        config = ServiceConfig(shards=2, kernel="dense", executor="resident")
+        service = ValidationService(pool, config)
+        try:
+            specs = service._build_specs()
+            # Corrupt a plane name: the worker's attach must fail and the
+            # constructor must surface the worker traceback, not hang.
+            bad = specs[0]
+            poisoned = type(bad)(
+                shard_id=bad.shard_id,
+                group_ids=bad.group_ids,
+                batch_size=bad.batch_size,
+                queue_capacity=bad.queue_capacity,
+                kernel=bad.kernel,
+                kernel_cap=bad.kernel_cap,
+                structure=bad.structure,
+                aggregates=bad.aggregates,
+                preloads=bad.preloads,
+                plane_names={
+                    group_id: (f"repro-missing-{os.getpid()}-c", names[1])
+                    for group_id, names in bad.plane_names.items()
+                },
+                collect_timings=bad.collect_timings,
+            )
+            if poisoned.plane_names:
+                with pytest.raises(ServiceError):
+                    ResidentProcessExecutor([poisoned], 1)
+        finally:
+            service.close()
+
+
+class TestHeapPlaneFallback:
+    def test_non_resident_dense_services_use_heap_tables(self, workload):
+        """Workers off -> no shared segments: the plain-heap fallback."""
+        pool, stream = workload
+        config = ServiceConfig(shards=2, kernel="dense")
+        with ValidationService(pool, config) as service:
+            assert service._plane_allocator is None
+            service.process(stream[:40])
+            assert service.kernel_occupancy(), (
+                "occupancy must work on heap-backed kernels too"
+            )
+
+    def test_heap_allocator_names_empty(self):
+        from repro.core.kernel import KernelPlaneAllocator
+
+        allocator = KernelPlaneAllocator(shared=False)
+        pair = allocator.pair_for(0, 16)
+        assert not pair[0].shared and not pair[1].shared
+        assert allocator.names() == {}
+        allocator.close()
+
+    def test_attach_close_never_unlinks(self):
+        plane = KernelPlane.create(f"repro-test-{os.getpid()}", 8)
+        attached = KernelPlane.attach(plane.name, 8)
+        attached.ndarray[3] = 42
+        assert plane.ndarray[3] == 42
+        attached.close()
+        # Attacher closed, creator still maps the segment.
+        assert plane.ndarray[3] == 42
+        plane.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=plane.name)
